@@ -1,0 +1,49 @@
+// Command experiments regenerates the paper's tables and figures against
+// the simulated K80:
+//
+//	experiments                 # run everything
+//	experiments -run fig5       # one experiment
+//	experiments -run fig5,fig6  # several
+//	experiments -scale 2        # larger workloads
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"gpuhms/internal/experiments"
+	"gpuhms/internal/gpu"
+)
+
+func main() {
+	run := flag.String("run", "", "comma-separated experiment names (default: all); one of "+
+		strings.Join(experiments.Names(), ","))
+	scale := flag.Int("scale", 1, "workload scale factor")
+	arch := flag.String("arch", "k80", "architecture: k80 or fermi")
+	flag.Parse()
+
+	names := experiments.Names()
+	if *run != "" {
+		names = strings.Split(*run, ",")
+	}
+
+	cfg := gpu.KeplerK80()
+	switch *arch {
+	case "k80":
+	case "fermi":
+		cfg = gpu.FermiC2050()
+	default:
+		fmt.Fprintf(os.Stderr, "unknown -arch %q (want k80 or fermi)\n", *arch)
+		os.Exit(2)
+	}
+
+	ctx := experiments.NewContext(cfg, *scale)
+	for _, name := range names {
+		if err := experiments.Run(ctx, strings.TrimSpace(name), os.Stdout); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+	}
+}

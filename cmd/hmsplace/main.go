@@ -1,0 +1,239 @@
+// Command hmsplace is the data placement advisor: given a kernel and its
+// sample data placement, it profiles the sample once on the modeled GPU,
+// then predicts the performance of candidate placements and ranks them —
+// the workflow of the paper's §I ("our models can work as a tool to help
+// programmers for GPU performance optimization").
+//
+//	hmsplace -list
+//	hmsplace -kernel matrixMul
+//	hmsplace -kernel spmv -full           # whole m^n legal space
+//	hmsplace -kernel md -measure          # also simulate every candidate
+//	hmsplace -kernel fft -sample "smem:S" -target "smem:G"
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"sort"
+	"text/tabwriter"
+
+	"gpuhms/internal/baseline"
+	"gpuhms/internal/core"
+	"gpuhms/internal/experiments"
+	"gpuhms/internal/gpu"
+	"gpuhms/internal/kernels"
+	"gpuhms/internal/placement"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("hmsplace: ")
+
+	var (
+		list    = flag.Bool("list", false, "list available kernels and exit")
+		kernel  = flag.String("kernel", "", "kernel to optimize (see -list)")
+		sample  = flag.String("sample", "", "sample placement override, e.g. \"a:G,b:T\" (default: the kernel's)")
+		target  = flag.String("target", "", "predict only this placement instead of ranking")
+		full    = flag.Bool("full", false, "rank the full legal placement space instead of single-array moves")
+		greedy  = flag.Bool("greedy", false, "greedy single-array-move search instead of ranking")
+		explain = flag.Bool("explain", false, "print the Eq 1 breakdown of the top-ranked placement")
+		measure = flag.Bool("measure", false, "also run the simulator on every candidate for comparison")
+		scale   = flag.Int("scale", 1, "workload scale factor")
+		arch    = flag.String("arch", "k80", "architecture: k80 or fermi")
+		saveTo  = flag.String("save-model", "", "write the trained model JSON to this file")
+		loadFr  = flag.String("load-model", "", "load a trained model JSON instead of training")
+	)
+	flag.Parse()
+
+	cfg := gpu.KeplerK80()
+	switch *arch {
+	case "k80":
+	case "fermi":
+		cfg = gpu.FermiC2050()
+	default:
+		log.Fatalf("unknown -arch %q (want k80 or fermi)", *arch)
+	}
+	if *list {
+		w := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
+		fmt.Fprintln(w, "KERNEL\tSUITE\tGPU KERNEL\tSAMPLE\tDESCRIPTION")
+		for _, name := range kernels.Names() {
+			s := kernels.MustGet(name)
+			sm := s.Sample
+			if sm == "" {
+				sm = "(all global)"
+			}
+			fmt.Fprintf(w, "%s\t%s\t%s\t%s\t%s\n", name, s.Suite, s.KernelName, sm, s.Description)
+		}
+		w.Flush()
+		return
+	}
+	if *kernel == "" {
+		log.Fatal("missing -kernel (use -list to see choices)")
+	}
+	spec, ok := kernels.Get(*kernel)
+	if !ok {
+		log.Fatalf("unknown kernel %q (use -list)", *kernel)
+	}
+
+	ctx := experiments.NewContext(cfg, *scale)
+	tr := ctx.Trace(*kernel)
+
+	samplePl, err := spec.SamplePlacement(tr)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if *sample != "" {
+		if samplePl, err = placement.Parse(tr, *sample); err != nil {
+			log.Fatal(err)
+		}
+	}
+	if err := placement.Check(tr, samplePl, cfg); err != nil {
+		log.Fatalf("sample placement: %v", err)
+	}
+
+	// Obtain the full model: load a previously trained one, or train the
+	// overlap coefficients on the built-in training placements.
+	var model *core.Model
+	if *loadFr != "" {
+		f, err := os.Open(*loadFr)
+		if err != nil {
+			log.Fatal(err)
+		}
+		opts, err := core.LoadOptions(f, cfg.Name)
+		f.Close()
+		if err != nil {
+			log.Fatal(err)
+		}
+		model = core.NewModel(cfg, opts)
+	} else {
+		var err error
+		model, err = ctx.Model(baseline.Ours())
+		if err != nil {
+			log.Fatal(err)
+		}
+	}
+	if *saveTo != "" {
+		f, err := os.Create(*saveTo)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if err := model.Save(f, cfg.Name); err != nil {
+			log.Fatal(err)
+		}
+		if err := f.Close(); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("trained model saved to %s\n", *saveTo)
+	}
+
+	prof, err := ctx.Measure(*kernel, samplePl, samplePl)
+	if err != nil {
+		log.Fatal(err)
+	}
+	pred, err := core.NewPredictor(model, tr, samplePl,
+		core.SampleProfile{TimeNS: prof.TimeNS, Events: prof.Events})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("kernel %s (%s), sample placement %s: profiled %.0f ns\n\n",
+		*kernel, spec.KernelName, samplePl.Format(tr), prof.TimeNS)
+
+	if *greedy {
+		cost := func(pl *placement.Placement) (float64, error) {
+			p, err := pred.Predict(pl)
+			if err != nil {
+				return 0, err
+			}
+			return p.TimeNS, nil
+		}
+		best, ns, evals, err := placement.GreedySearch(tr, cfg, samplePl, cost)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("greedy search: %s predicted %.0f ns (%d model evaluations)\n",
+			best.Format(tr), ns, evals)
+		if *measure {
+			m, err := ctx.Measure(*kernel, samplePl, best)
+			if err != nil {
+				log.Fatal(err)
+			}
+			fmt.Printf("measured: %.0f ns\n", m.TimeNS)
+		}
+		return
+	}
+
+	var candidates []*placement.Placement
+	switch {
+	case *target != "":
+		pl, err := placement.Parse(tr, *target)
+		if err != nil {
+			log.Fatal(err)
+		}
+		candidates = []*placement.Placement{pl}
+	case *full:
+		candidates = placement.Enumerate(tr, cfg)
+	default:
+		candidates = append([]*placement.Placement{samplePl},
+			placement.Moves(tr, samplePl, cfg)...)
+	}
+
+	type row struct {
+		pl        *placement.Placement
+		predicted float64
+		measured  float64
+	}
+	rows := make([]row, 0, len(candidates))
+	for _, pl := range candidates {
+		p, err := pred.Predict(pl)
+		if err != nil {
+			log.Fatalf("predict %s: %v", pl.Format(tr), err)
+		}
+		r := row{pl: pl, predicted: p.TimeNS}
+		if *measure {
+			m, err := ctx.Measure(*kernel, samplePl, pl)
+			if err != nil {
+				log.Fatal(err)
+			}
+			r.measured = m.TimeNS
+		}
+		rows = append(rows, r)
+	}
+	sort.Slice(rows, func(i, j int) bool { return rows[i].predicted < rows[j].predicted })
+
+	w := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', tabwriter.AlignRight)
+	if *measure {
+		fmt.Fprintln(w, "RANK\tPLACEMENT\tPREDICTED(ns)\tSPEEDUP\tMEASURED(ns)\t")
+	} else {
+		fmt.Fprintln(w, "RANK\tPLACEMENT\tPREDICTED(ns)\tSPEEDUP\t")
+	}
+	samplePred := rows[0].predicted
+	for _, r := range rows {
+		if r.pl.Equal(samplePl) {
+			samplePred = r.predicted
+		}
+	}
+	for i, r := range rows {
+		mark := ""
+		if r.pl.Equal(samplePl) {
+			mark = " (sample)"
+		}
+		if *measure {
+			fmt.Fprintf(w, "%d\t%s%s\t%.0f\t%.2fx\t%.0f\t\n",
+				i+1, r.pl.Format(tr), mark, r.predicted, samplePred/r.predicted, r.measured)
+		} else {
+			fmt.Fprintf(w, "%d\t%s%s\t%.0f\t%.2fx\t\n",
+				i+1, r.pl.Format(tr), mark, r.predicted, samplePred/r.predicted)
+		}
+	}
+	w.Flush()
+
+	if *explain && len(rows) > 0 {
+		p, err := pred.Predict(rows[0].pl)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("\nwhy %s is ranked first:\n%s", rows[0].pl.Format(tr), p.Explain(cfg.NSPerCycle()))
+	}
+}

@@ -1,0 +1,82 @@
+// Autoplacer: explore the full m^n placement space of bundled kernels — the
+// exploration problem of the paper's introduction — with one profiled sample
+// placement per kernel. Reports the predicted best placement and its actual
+// (simulated) speedup over the sample.
+//
+//	go run ./examples/autoplacer
+//	go run ./examples/autoplacer matrixMul spmv md
+package main
+
+import (
+	"fmt"
+	"log"
+	"os"
+
+	"gpuhms"
+)
+
+func main() {
+	log.SetFlags(0)
+
+	kernels := os.Args[1:]
+	if len(kernels) == 0 {
+		kernels = []string{"matrixMul", "spmv", "convolution"}
+	}
+
+	cfg := gpuhms.KeplerK80()
+	adv, err := gpuhms.NewAdvisor(cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	for _, name := range kernels {
+		spec, err := gpuhms.Kernel(name)
+		if err != nil {
+			log.Fatal(err)
+		}
+		tr := spec.Trace(1)
+		sample, err := spec.SamplePlacement(tr)
+		if err != nil {
+			log.Fatal(err)
+		}
+
+		space := gpuhms.EnumeratePlacements(tr, cfg)
+		ranked, err := adv.Rank(tr, sample)
+		if err != nil {
+			log.Fatal(err)
+		}
+		best := ranked[0]
+
+		mSample, err := adv.MeasureOn(tr, sample, sample)
+		if err != nil {
+			log.Fatal(err)
+		}
+		mBest, err := adv.MeasureOn(tr, sample, best.Placement)
+		if err != nil {
+			log.Fatal(err)
+		}
+
+		// How good is the pick really? Rank of the pick by measured time
+		// requires measuring the space; do it for the top-8 predictions to
+		// keep this example fast.
+		fmt.Printf("%s: %d arrays, %d legal placements (m^n space)\n",
+			name, len(tr.Arrays), len(space))
+		fmt.Printf("  sample    %-44s measured %9.0f ns\n", sample.Format(tr), mSample.TimeNS)
+		fmt.Printf("  predicted best %-39s measured %9.0f ns  (%.2fx vs sample)\n",
+			best.Placement.Format(tr), mBest.TimeNS, mSample.TimeNS/mBest.TimeNS)
+		fmt.Println("  top predictions vs simulator:")
+		top := ranked
+		if len(top) > 8 {
+			top = top[:8]
+		}
+		for i, r := range top {
+			m, err := adv.MeasureOn(tr, sample, r.Placement)
+			if err != nil {
+				log.Fatal(err)
+			}
+			fmt.Printf("    %d. %-44s predicted %9.0f ns   measured %9.0f ns\n",
+				i+1, r.Placement.Format(tr), r.PredictedNS, m.TimeNS)
+		}
+		fmt.Println()
+	}
+}

@@ -1,0 +1,83 @@
+// Designspace: use the models to explore alternative heterogeneous memory
+// systems — the paper's "provides foundation to explore other HMS systems".
+// The same kernel is advised on three machines (the K80 baseline, a
+// cache-starved variant, and a latency-heavy variant); the recommended
+// placement and its predicted decomposition shift with the memory design.
+//
+//	go run ./examples/designspace
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"gpuhms"
+)
+
+func main() {
+	log.SetFlags(0)
+
+	configs := []*gpuhms.Config{
+		gpuhms.KeplerK80(),
+		cacheStarved(),
+		latencyHeavy(),
+	}
+
+	spec, err := gpuhms.Kernel("spmv")
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	for _, cfg := range configs {
+		adv, err := gpuhms.NewAdvisor(cfg) // re-trains per architecture
+		if err != nil {
+			log.Fatal(err)
+		}
+		tr := spec.Trace(1)
+		sample, err := spec.SamplePlacement(tr)
+		if err != nil {
+			log.Fatal(err)
+		}
+
+		pr, err := adv.Predictor(tr, sample)
+		if err != nil {
+			log.Fatal(err)
+		}
+		ranked, err := adv.Rank(tr, sample)
+		if err != nil {
+			log.Fatal(err)
+		}
+		best := ranked[0]
+		pred, err := pr.Predict(best.Placement)
+		if err != nil {
+			log.Fatal(err)
+		}
+
+		fmt.Printf("=== %s\n", cfg.Name)
+		fmt.Printf("best placement: %s\n", best.Placement.Format(tr))
+		fmt.Print(pred.Explain(cfg.NSPerCycle()))
+		fmt.Println()
+	}
+}
+
+// cacheStarved shrinks every cache by 8x: placements that rely on reuse
+// (texture for the gathered vector) lose their edge.
+func cacheStarved() *gpuhms.Config {
+	cfg := gpuhms.KeplerK80()
+	cfg.Name = "cache-starved K80 (caches / 8)"
+	cfg.L2.SizeBytes /= 8
+	cfg.Texture.SizeBytes /= 8
+	cfg.Constant.SizeBytes /= 8
+	return cfg
+}
+
+// latencyHeavy doubles every off-chip latency: on-chip placements gain.
+func latencyHeavy() *gpuhms.Config {
+	cfg := gpuhms.KeplerK80()
+	cfg.Name = "latency-heavy K80 (2x DRAM latency)"
+	cfg.DRAM.HitLatencyNS *= 2
+	cfg.DRAM.MissLatencyNS *= 2
+	cfg.DRAM.ConflictLatencyNS *= 2
+	cfg.CacheHitLatency *= 2
+	return cfg
+}

@@ -1,0 +1,91 @@
+// Quickstart: describe a custom kernel as a placement-neutral trace, profile
+// its default (all-global) placement on the modeled K80, and let the trained
+// advisor rank every legal data placement.
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"gpuhms"
+)
+
+func main() {
+	log.SetFlags(0)
+
+	// A SAXPY-like kernel: y[i] = a*x[i] + y[i], plus a gather through an
+	// index array: y[i] += w[idx[i]]. One thread per element.
+	const (
+		n               = 16384
+		threadsPerBlock = 256
+	)
+	b := gpuhms.NewTraceBuilder("saxpy_gather", gpuhms.Launch{
+		Blocks:          n / threadsPerBlock,
+		ThreadsPerBlock: threadsPerBlock,
+		WarpSize:        32,
+	})
+	x := b.DeclareArray(gpuhms.Array{Name: "x", Type: gpuhms.F32, Len: n, ReadOnly: true})
+	w := b.DeclareArray(gpuhms.Array{Name: "w", Type: gpuhms.F32, Len: n, ReadOnly: true})
+	idx := b.DeclareArray(gpuhms.Array{Name: "idx", Type: gpuhms.I32, Len: n, ReadOnly: true})
+	y := b.DeclareArray(gpuhms.Array{Name: "y", Type: gpuhms.F32, Len: n})
+
+	gather := make([]int64, 32)
+	for blk := 0; blk < n/threadsPerBlock; blk++ {
+		for warp := 0; warp < threadsPerBlock/32; warp++ {
+			base := int64(blk*threadsPerBlock + warp*32)
+			wb := b.Warp(blk, warp)
+			wb.Int(2).Branch(1)
+			wb.LoadCoalesced(x, base, 32)
+			wb.LoadCoalesced(y, base, 32)
+			wb.FP32(2)
+			wb.LoadCoalesced(idx, base, 32)
+			for l := range gather {
+				// A deterministic pseudo-random gather pattern.
+				gather[l] = (base + int64(l)*2654435761) % n
+				if gather[l] < 0 {
+					gather[l] += n
+				}
+			}
+			wb.Load(w, gather)
+			wb.FP32(1)
+			wb.StoreCoalesced(y, base, 32)
+		}
+	}
+	tr := b.MustBuild()
+
+	cfg := gpuhms.KeplerK80()
+	adv, err := gpuhms.NewAdvisor(cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	sample, err := gpuhms.ParsePlacement(tr, "") // everything in global memory
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	ranked, err := adv.Rank(tr, sample)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("ranked %d legal placements of %d arrays; top five:\n", len(ranked), len(tr.Arrays))
+	for i, r := range ranked[:5] {
+		fmt.Printf("  %d. %-40s predicted %8.0f ns\n", i+1, r.Placement.Format(tr), r.PredictedNS)
+	}
+
+	// Verify the advisor's top pick against the ground-truth simulator.
+	best := ranked[0].Placement
+	mBest, err := adv.MeasureOn(tr, sample, best)
+	if err != nil {
+		log.Fatal(err)
+	}
+	mSample, err := adv.MeasureOn(tr, sample, sample)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\nsample placement measured: %8.0f ns\n", mSample.TimeNS)
+	fmt.Printf("top pick measured:         %8.0f ns (%.2fx speedup)\n",
+		mBest.TimeNS, mSample.TimeNS/mBest.TimeNS)
+}

@@ -1,0 +1,93 @@
+// Ranking: the Fig 6 scenario as a library user would run it — rank the
+// five data placements of the SHOC neuralnet feed-forward kernel with the
+// trained model and check the order against ground truth. This is the case
+// where a latency-only model (PORPLE) mis-ranks because it ignores
+// instruction replays and computation/memory overlap.
+//
+//	go run ./examples/ranking
+package main
+
+import (
+	"fmt"
+	"log"
+	"sort"
+
+	"gpuhms"
+)
+
+func main() {
+	log.SetFlags(0)
+
+	cfg := gpuhms.KeplerK80()
+	adv, err := gpuhms.NewAdvisor(cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	spec, err := gpuhms.Kernel("neuralnet")
+	if err != nil {
+		log.Fatal(err)
+	}
+	tr := spec.Trace(1)
+	sample, err := spec.SamplePlacement(tr)
+	if err != nil {
+		log.Fatal(err)
+	}
+	targets, err := spec.Targets(tr)
+	if err != nil {
+		log.Fatal(err)
+	}
+	placements := append([]*gpuhms.Placement{sample}, targets...)
+
+	pred, err := adv.Predictor(tr, sample)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	type row struct {
+		placement   *gpuhms.Placement
+		predictedNS float64
+		measuredNS  float64
+	}
+	rows := make([]row, 0, len(placements))
+	for _, pl := range placements {
+		p, err := pred.Predict(pl)
+		if err != nil {
+			log.Fatal(err)
+		}
+		m, err := adv.MeasureOn(tr, sample, pl)
+		if err != nil {
+			log.Fatal(err)
+		}
+		rows = append(rows, row{pl, p.TimeNS, m.TimeNS})
+	}
+
+	byPred := make([]int, len(rows))
+	byMeas := make([]int, len(rows))
+	for i := range rows {
+		byPred[i], byMeas[i] = i, i
+	}
+	sort.Slice(byPred, func(a, b int) bool { return rows[byPred[a]].predictedNS < rows[byPred[b]].predictedNS })
+	sort.Slice(byMeas, func(a, b int) bool { return rows[byMeas[a]].measuredNS < rows[byMeas[b]].measuredNS })
+
+	fmt.Println("neuralnet kernelFeedForward1 — predicted vs measured placement ranking")
+	fmt.Printf("%-36s %14s %14s\n", "placement", "predicted(ns)", "measured(ns)")
+	for _, i := range byPred {
+		fmt.Printf("%-36s %14.0f %14.0f\n", rows[i].placement.Format(tr),
+			rows[i].predictedNS, rows[i].measuredNS)
+	}
+
+	exact := true
+	for k := range byPred {
+		if byPred[k] != byMeas[k] {
+			exact = false
+			break
+		}
+	}
+	if exact {
+		fmt.Println("\npredicted ranking matches the measured ranking exactly")
+	} else {
+		fmt.Println("\npredicted ranking deviates from the measured ranking")
+	}
+	fmt.Printf("best placement: %s\n", rows[byPred[0]].placement.Format(tr))
+}

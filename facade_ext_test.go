@@ -1,0 +1,126 @@
+package gpuhms
+
+import (
+	"bytes"
+	"testing"
+)
+
+// TestAdvisorSaveLoadRoundTrip trains once, saves, reloads, and checks the
+// reloaded advisor predicts identically.
+func TestAdvisorSaveLoadRoundTrip(t *testing.T) {
+	cfg := KeplerK80()
+	adv, err := NewAdvisor(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := adv.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := NewAdvisorFromSaved(cfg, &buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	spec, _ := Kernel("convolution")
+	tr := spec.Trace(1)
+	sample, _ := spec.SamplePlacement(tr)
+	r1, err := adv.Rank(tr, sample)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r2, err := loaded.Rank(tr, sample)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r1) != len(r2) {
+		t.Fatalf("rank lengths differ: %d vs %d", len(r1), len(r2))
+	}
+	for i := range r1 {
+		if r1[i].PredictedNS != r2[i].PredictedNS {
+			t.Fatalf("prediction %d differs after reload: %g vs %g",
+				i, r1[i].PredictedNS, r2[i].PredictedNS)
+		}
+	}
+
+	// Architecture mismatch rejected.
+	var buf2 bytes.Buffer
+	if err := adv.Save(&buf2); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := NewAdvisorFromSaved(FermiC2050(), &buf2); err == nil {
+		t.Error("loading a K80 model for Fermi must fail")
+	}
+}
+
+// TestGreedyAgreesWithExhaustiveTop exercises BestGreedy and requires its
+// pick to be competitive with the exhaustive ranking's best.
+func TestGreedyAgreesWithExhaustiveTop(t *testing.T) {
+	cfg := KeplerK80()
+	adv, err := NewAdvisor(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	spec, _ := Kernel("kmeans")
+	tr := spec.Trace(1)
+	sample, _ := spec.SamplePlacement(tr)
+
+	ranked, err := adv.Rank(tr, sample)
+	if err != nil {
+		t.Fatal(err)
+	}
+	best, evals, err := adv.BestGreedy(tr, sample)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if evals <= 0 || evals >= len(ranked) {
+		t.Errorf("greedy used %d evals vs %d exhaustive", evals, len(ranked))
+	}
+	// Greedy may land in a local optimum, but within 10% of the global
+	// predicted best for this separable-ish workload.
+	if best.PredictedNS > ranked[0].PredictedNS*1.10 {
+		t.Errorf("greedy pick %.0f ns, exhaustive best %.0f ns",
+			best.PredictedNS, ranked[0].PredictedNS)
+	}
+}
+
+// TestFermiEndToEnd runs the whole pipeline — simulate, train, predict —
+// on the second architecture.
+func TestFermiEndToEnd(t *testing.T) {
+	cfg := FermiC2050()
+	if err := cfg.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	adv, err := NewAdvisor(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	spec, _ := Kernel("neuralnet")
+	tr := spec.Trace(1)
+	sample, _ := spec.SamplePlacement(tr)
+	ranked, err := adv.Rank(tr, sample)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ranked) == 0 || ranked[0].PredictedNS <= 0 {
+		t.Fatal("no usable Fermi predictions")
+	}
+	// Direction check: texture placement should still beat constant for
+	// the divergent weights array.
+	var texNS, constNS float64
+	for _, r := range ranked {
+		switch r.Placement.Format(tr) {
+		case "weights:T,inputs:G,outputs:G":
+			texNS = r.PredictedNS
+		case "weights:C,inputs:G,outputs:G":
+			constNS = r.PredictedNS
+		}
+	}
+	if texNS == 0 || constNS == 0 {
+		t.Fatal("expected placements missing from ranking")
+	}
+	if texNS >= constNS {
+		t.Errorf("Fermi: texture (%.0f) should beat constant (%.0f) for divergent weights",
+			texNS, constNS)
+	}
+}

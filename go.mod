@@ -1,0 +1,3 @@
+module gpuhms
+
+go 1.22

@@ -1,0 +1,273 @@
+// Package gpuhms predicts GPU kernel performance under different data
+// placements on a heterogeneous memory system (global, shared, constant,
+// and texture memories), reproducing Huang & Li, "Performance Modeling for
+// Optimal Data Placement on GPU with Heterogeneous Memory Systems"
+// (IEEE CLUSTER 2017).
+//
+// The package is a facade over the implementation packages:
+//
+//   - describe a kernel as a placement-neutral trace (NewTraceBuilder) or
+//     use one of the bundled SHOC/SDK-style workloads (Kernels, Kernel);
+//   - measure any placement on the modeled Tesla K80 (NewSimulator) — the
+//     stand-in for real hardware;
+//   - predict placements from one profiled sample (NewAdvisor / Advisor),
+//     which wraps the paper's full model: issued-instruction estimation
+//     with replays and addressing modes, G/G/1 DRAM queuing with
+//     row-buffer-aware service times, and the trained overlap model.
+//
+// A minimal session:
+//
+//	cfg := gpuhms.KeplerK80()
+//	adv, _ := gpuhms.NewAdvisor(cfg)
+//	spec, _ := gpuhms.Kernel("matrixMul")
+//	tr := spec.Trace(1)
+//	sample, _ := spec.SamplePlacement(tr)
+//	ranked, _ := adv.Rank(tr, sample)
+//	fmt.Println(ranked[0].Placement, ranked[0].PredictedNS)
+package gpuhms
+
+import (
+	"fmt"
+	"io"
+	"sort"
+
+	"gpuhms/internal/baseline"
+	"gpuhms/internal/core"
+	"gpuhms/internal/dram"
+	"gpuhms/internal/experiments"
+	"gpuhms/internal/gpu"
+	"gpuhms/internal/kernels"
+	"gpuhms/internal/microbench"
+	"gpuhms/internal/placement"
+	"gpuhms/internal/sim"
+	"gpuhms/internal/trace"
+)
+
+// Config describes the modeled GPU architecture.
+type Config = gpu.Config
+
+// KeplerK80 returns the default Tesla-K80-like architecture.
+func KeplerK80() *Config { return gpu.KeplerK80() }
+
+// FermiC2050 returns a Tesla-C2050-like (Fermi) architecture.
+func FermiC2050() *Config { return gpu.FermiC2050() }
+
+// MemSpace identifies one programmable memory component of the HMS.
+type MemSpace = gpu.MemSpace
+
+// Memory spaces.
+const (
+	Global    = gpu.Global
+	Shared    = gpu.Shared
+	Constant  = gpu.Constant
+	Texture1D = gpu.Texture1D
+	Texture2D = gpu.Texture2D
+)
+
+// ParseSpace converts a space name ("G", "2T", "shared", …).
+func ParseSpace(name string) (MemSpace, error) { return gpu.ParseSpace(name) }
+
+// Trace is a placement-neutral kernel execution record.
+type Trace = trace.Trace
+
+// Array declares one kernel data object.
+type Array = trace.Array
+
+// TraceBuilder incrementally constructs kernel traces.
+type TraceBuilder = trace.Builder
+
+// Launch is a kernel launch configuration.
+type Launch = trace.Launch
+
+// NewTraceBuilder starts a trace for a custom kernel.
+func NewTraceBuilder(kernel string, launch Launch) *TraceBuilder {
+	return trace.NewBuilder(kernel, launch)
+}
+
+// Element types for Array declarations.
+const (
+	F32 = trace.F32
+	F64 = trace.F64
+	I32 = trace.I32
+)
+
+// Placement assigns each array of a trace to a memory space.
+type Placement = placement.Placement
+
+// ParsePlacement reads a "name:space,…" placement spec against a trace.
+func ParsePlacement(t *Trace, spec string) (*Placement, error) {
+	return placement.Parse(t, spec)
+}
+
+// CheckPlacement verifies a placement's legality (capacities, read-only
+// constraints, 2D texture shapes).
+func CheckPlacement(t *Trace, p *Placement, cfg *Config) error {
+	return placement.Check(t, p, cfg)
+}
+
+// EnumeratePlacements yields the legal m^n placement space of a trace.
+func EnumeratePlacements(t *Trace, cfg *Config) []*Placement {
+	return placement.Enumerate(t, cfg)
+}
+
+// KernelSpec is one bundled benchmark workload.
+type KernelSpec = kernels.Spec
+
+// Kernels lists the bundled workload names.
+func Kernels() []string { return kernels.Names() }
+
+// Kernel looks up a bundled workload.
+func Kernel(name string) (KernelSpec, error) {
+	s, ok := kernels.Get(name)
+	if !ok {
+		return KernelSpec{}, fmt.Errorf("gpuhms: unknown kernel %q", name)
+	}
+	return s, nil
+}
+
+// Simulator is the ground-truth timing simulator (the modeled hardware).
+type Simulator = sim.Simulator
+
+// Measurement is a simulator result.
+type Measurement = sim.Measurement
+
+// NewSimulator builds a simulator for the architecture.
+func NewSimulator(cfg *Config) *Simulator { return sim.New(cfg) }
+
+// Model is the paper's performance model; Prediction its output.
+type (
+	Model      = core.Model
+	Prediction = core.Prediction
+	Predictor  = core.Predictor
+)
+
+// ModelOptions selects model mechanisms (ablation switches).
+type ModelOptions = core.Options
+
+// SampleProfile carries the profiled sample placement (time + events).
+type SampleProfile = core.SampleProfile
+
+// NewModel builds a model with explicit options (FullModelOptions for the
+// complete model; coefficients must be supplied or trained).
+func NewModel(cfg *Config, opts ModelOptions) *Model { return core.NewModel(cfg, opts) }
+
+// FullModelOptions returns the complete model configuration.
+func FullModelOptions() ModelOptions { return core.FullOptions() }
+
+// NewPredictor prepares target-placement predictions for one kernel from
+// its profiled sample placement.
+func NewPredictor(m *Model, t *Trace, sample *Placement, prof SampleProfile) (*Predictor, error) {
+	return core.NewPredictor(m, t, sample, prof)
+}
+
+// Advisor is the high-level placement advisor: a full model whose overlap
+// coefficients were trained on the bundled training placements, plus the
+// simulator used to profile sample placements.
+type Advisor struct {
+	Cfg   *Config
+	Model *Model
+}
+
+// NewAdvisor trains the full model on the bundled Table IV training
+// placements and returns a ready-to-use advisor.
+func NewAdvisor(cfg *Config) (*Advisor, error) {
+	ctx := experiments.NewContext(cfg, 1)
+	m, err := ctx.Model(baseline.Ours())
+	if err != nil {
+		return nil, fmt.Errorf("gpuhms: training advisor: %w", err)
+	}
+	return &Advisor{Cfg: cfg, Model: m}, nil
+}
+
+// Ranked is one candidate placement with its predicted time.
+type Ranked struct {
+	Placement   *Placement
+	PredictedNS float64
+}
+
+// Rank profiles the sample placement on the simulator, predicts every legal
+// placement of the trace, and returns them fastest-first.
+func (a *Advisor) Rank(t *Trace, sample *Placement) ([]Ranked, error) {
+	pr, err := a.Predictor(t, sample)
+	if err != nil {
+		return nil, err
+	}
+	var out []Ranked
+	for _, pl := range placement.Enumerate(t, a.Cfg) {
+		p, err := pr.Predict(pl)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, Ranked{Placement: pl, PredictedNS: p.TimeNS})
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].PredictedNS < out[j].PredictedNS })
+	return out, nil
+}
+
+// Predictor profiles the sample placement and returns a predictor for
+// arbitrary target placements of the trace.
+func (a *Advisor) Predictor(t *Trace, sample *Placement) (*Predictor, error) {
+	simr := sim.New(a.Cfg)
+	prof, err := simr.Run(t, sample, sample)
+	if err != nil {
+		return nil, fmt.Errorf("gpuhms: profiling sample placement: %w", err)
+	}
+	return core.NewPredictor(a.Model, t, sample,
+		core.SampleProfile{TimeNS: prof.TimeNS, Events: prof.Events})
+}
+
+// MeasureOn runs a placement on the ground-truth simulator (the "hardware"
+// measurement of the reproduction).
+func (a *Advisor) MeasureOn(t *Trace, sample, target *Placement) (*Measurement, error) {
+	return sim.New(a.Cfg).Run(t, sample, target)
+}
+
+// Save persists the advisor's trained model (options + Eq 11 coefficients)
+// as JSON, tagged with the architecture name.
+func (a *Advisor) Save(w io.Writer) error {
+	return a.Model.Save(w, a.Cfg.Name)
+}
+
+// NewAdvisorFromSaved reconstructs an advisor from a previously saved
+// model, skipping the training runs. The saved architecture must match.
+func NewAdvisorFromSaved(cfg *Config, r io.Reader) (*Advisor, error) {
+	opts, err := core.LoadOptions(r, cfg.Name)
+	if err != nil {
+		return nil, err
+	}
+	return &Advisor{Cfg: cfg, Model: core.NewModel(cfg, opts)}, nil
+}
+
+// BestGreedy finds a good placement by greedy single-array moves instead of
+// enumerating the m^n space — the practical strategy for kernels with many
+// arrays. Returns the placement, its predicted time, and the number of
+// model evaluations spent.
+func (a *Advisor) BestGreedy(t *Trace, sample *Placement) (Ranked, int, error) {
+	pr, err := a.Predictor(t, sample)
+	if err != nil {
+		return Ranked{}, 0, err
+	}
+	cost := func(pl *Placement) (float64, error) {
+		p, err := pr.Predict(pl)
+		if err != nil {
+			return 0, err
+		}
+		return p.TimeNS, nil
+	}
+	best, ns, evals, err := placement.GreedySearch(t, a.Cfg, sample, cost)
+	if err != nil {
+		return Ranked{}, evals, err
+	}
+	return Ranked{Placement: best, PredictedNS: ns}, evals, nil
+}
+
+// AddressMappingReport is the outcome of the Algorithm 1 probe.
+type AddressMappingReport = microbench.Result
+
+// DetectAddressMapping runs the paper's Algorithm 1 against the modeled
+// DRAM: one-bit-apart probe pairs classify each address bit as column, row,
+// or bank, and measure the row-buffer hit/miss/conflict latencies.
+func DetectAddressMapping(cfg *Config) *AddressMappingReport {
+	m := dram.DefaultMapping(cfg.DRAM)
+	return microbench.Detect(cfg.DRAM, m, 0, m.RowLo+m.RowBits)
+}

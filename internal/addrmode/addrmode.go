@@ -1,0 +1,80 @@
+// Package addrmode quantifies the addressing-mode instruction cost of
+// referencing an array element in each memory space (§III-B of the paper).
+//
+// GPU code overwhelmingly references array elements by element index. The
+// instructions needed to turn that index into something the load/store unit
+// accepts differ per memory component:
+//
+//   - Global memory uses register-indirect addressing on a 64-bit address
+//     space: the effective address is formed with an IMAD/IMAD.HI.X pair on
+//     32-bit registers → 2 instructions (Fig 2a).
+//   - 1D texture memory uses indexed absolute addressing where the element
+//     index itself is the operand of TLD → 0 instructions (Fig 2b).
+//   - Constant memory uses indexed absolute addressing with a pre-determined
+//     base (c[0x2][0]): one SHL to scale the index → 1 instruction (Fig 2c).
+//   - Shared memory likewise needs one scale instruction before LDS → 1
+//     instruction (Fig 2d).
+//   - 2D texture memory consumes the element index as an (x,y) pair; the
+//     flat index is split with one extra integer op → 1 instruction.
+//
+// These addressing instructions are integer instructions, which is why the
+// inst_integer event tracks placement-induced performance variation (§II-B).
+package addrmode
+
+import (
+	"gpuhms/internal/gpu"
+	"gpuhms/internal/trace"
+)
+
+// InstrPerAccess returns the number of executed (non-replayed) integer
+// instructions needed to form the effective address of one element access in
+// the given memory space for the given element type. Counts follow the SASS
+// analysis of Fig 2.
+func InstrPerAccess(space gpu.MemSpace, dt trace.DType) int {
+	switch space {
+	case gpu.Global:
+		// IMAD + IMAD.HI.X: 64-bit address from 32-bit registers, for every
+		// element size (the size only changes the immediate multiplier).
+		return 2
+	case gpu.Shared, gpu.Constant:
+		// One SHL/IMAD to scale the element index; the base address lives in
+		// a fixed constant-bank slot and costs nothing.
+		return 1
+	case gpu.Texture1D:
+		// The element index feeds tex1Dfetch directly.
+		return 0
+	case gpu.Texture2D:
+		// One integer op to derive the second coordinate from the flat
+		// index (or to keep both coordinates live).
+		return 1
+	}
+	return 0
+}
+
+// Delta returns the per-access change in executed addressing instructions
+// when moving an array from one memory space to another
+// (InstrPerAccess(to) − InstrPerAccess(from)).
+func Delta(from, to gpu.MemSpace, dt trace.DType) int {
+	return InstrPerAccess(to, dt) - InstrPerAccess(from, dt)
+}
+
+// TraceDelta returns the total change in executed instructions for a trace
+// when retargeting from the sample placement to the target placement: for
+// every warp-level access to each moved array, the per-access addressing
+// delta (§III-B: "identify those instructions addressing elements of the
+// target data object in the sample data placement, then calculate the
+// instruction difference based on the analysis of addressing mode").
+func TraceDelta(st *trace.Stats, t *trace.Trace, sample, target []gpu.MemSpace) int64 {
+	var d int64
+	for i := range t.Arrays {
+		if sample[i] == target[i] {
+			continue
+		}
+		per := Delta(sample[i], target[i], t.Arrays[i].Type)
+		if per == 0 {
+			continue
+		}
+		d += int64(per) * st.Accesses(trace.ArrayID(i))
+	}
+	return d
+}

@@ -1,0 +1,89 @@
+package addrmode
+
+import (
+	"testing"
+
+	"gpuhms/internal/gpu"
+	"gpuhms/internal/trace"
+)
+
+// TestFig2Counts pins the Fig 2 SASS analysis: 2/0/1/1 addressing
+// instructions per fp32 element access for global / 1D-texture / constant /
+// shared memories.
+func TestFig2Counts(t *testing.T) {
+	want := map[gpu.MemSpace]int{
+		gpu.Global:    2,
+		gpu.Texture1D: 0,
+		gpu.Constant:  1,
+		gpu.Shared:    1,
+		gpu.Texture2D: 1,
+	}
+	for sp, n := range want {
+		if got := InstrPerAccess(sp, trace.F32); got != n {
+			t.Errorf("%s fp32 = %d, want %d", sp.LongString(), got, n)
+		}
+	}
+}
+
+// TestCountsStableAcrossTypes verifies the paper's enumeration over common
+// data types: the element size only changes the scale immediate, not the
+// instruction count.
+func TestCountsStableAcrossTypes(t *testing.T) {
+	for _, sp := range gpu.Spaces {
+		base := InstrPerAccess(sp, trace.F32)
+		for _, dt := range []trace.DType{trace.F64, trace.I32} {
+			if got := InstrPerAccess(sp, dt); got != base {
+				t.Errorf("%s %s = %d, want %d", sp.LongString(), dt, got, base)
+			}
+		}
+	}
+}
+
+func TestDelta(t *testing.T) {
+	if d := Delta(gpu.Global, gpu.Texture1D, trace.F32); d != -2 {
+		t.Errorf("G→T delta = %d", d)
+	}
+	if d := Delta(gpu.Texture1D, gpu.Global, trace.F32); d != 2 {
+		t.Errorf("T→G delta = %d", d)
+	}
+	if d := Delta(gpu.Global, gpu.Global, trace.F32); d != 0 {
+		t.Errorf("identity delta = %d", d)
+	}
+	if d := Delta(gpu.Shared, gpu.Constant, trace.F32); d != 0 {
+		t.Errorf("S→C delta = %d", d)
+	}
+}
+
+func TestTraceDelta(t *testing.T) {
+	// A two-array kernel: a accessed 10 times per warp, b twice, 4 warps.
+	b := trace.NewBuilder("k", trace.Launch{Blocks: 1, ThreadsPerBlock: 128, WarpSize: 32})
+	a1 := b.DeclareArray(trace.Array{Name: "a", Type: trace.F32, Len: 1024, ReadOnly: true})
+	a2 := b.DeclareArray(trace.Array{Name: "b", Type: trace.F32, Len: 1024, ReadOnly: true})
+	for w := 0; w < 4; w++ {
+		wb := b.Warp(0, w)
+		for i := 0; i < 10; i++ {
+			wb.LoadCoalesced(a1, int64(w*32), 32)
+		}
+		wb.LoadCoalesced(a2, int64(w*32), 32)
+		wb.LoadCoalesced(a2, int64(w*32), 32)
+		wb.FP32(1)
+	}
+	tr := b.MustBuild()
+	st := trace.ComputeStats(tr)
+
+	sample := []gpu.MemSpace{gpu.Global, gpu.Global}
+	target := []gpu.MemSpace{gpu.Texture1D, gpu.Global}
+	// Moving a (40 accesses) G→T saves 2 instructions each.
+	if d := TraceDelta(st, tr, sample, target); d != -80 {
+		t.Errorf("delta = %d, want -80", d)
+	}
+	// Moving b (8 accesses) G→C saves 1 each; both moves: -80-8.
+	target2 := []gpu.MemSpace{gpu.Texture1D, gpu.Constant}
+	if d := TraceDelta(st, tr, sample, target2); d != -88 {
+		t.Errorf("delta = %d, want -88", d)
+	}
+	// No move: zero.
+	if d := TraceDelta(st, tr, sample, sample); d != 0 {
+		t.Errorf("identity delta = %d", d)
+	}
+}

@@ -1,0 +1,155 @@
+// Package baseline provides the comparison models of the paper's
+// evaluation: the Sim et al. performance-analysis framework [7] (executed
+// instructions, constant off-chip latency, MWP/CWP overlap), the ablation
+// variants of §V-B built by switching off parts of the full model, and a
+// PORPLE-style memory-latency-oriented ranking model [4].
+package baseline
+
+import (
+	"gpuhms/internal/core"
+	"gpuhms/internal/gpu"
+	"gpuhms/internal/placement"
+	"gpuhms/internal/queuing"
+	"gpuhms/internal/trace"
+)
+
+// Variant names one model configuration of the evaluation.
+type Variant struct {
+	Name string
+	// Opts selects the model mechanisms. Trained overlap coefficients are
+	// filled per variant by the experiment harness (variants with
+	// HongKimOverlap do not need training).
+	Opts core.Options
+	// NeedsTraining reports whether the variant's Eq 11 overlap must be fit
+	// on the training placements.
+	NeedsTraining bool
+}
+
+// Ours is the paper's full model.
+func Ours() Variant {
+	return Variant{Name: "our-model", Opts: core.FullOptions(), NeedsTraining: true}
+}
+
+// SimEtAl reproduces [7]: executed-instruction counting (no replays, no
+// addressing-mode deltas), a constant off-chip memory latency, and the
+// MWP/CWP overlap formulation — no Eq 11 training.
+func SimEtAl() Variant {
+	return Variant{
+		Name: "sim-etal-ppopp12",
+		Opts: core.Options{HongKimOverlap: true},
+	}
+}
+
+// Baseline is the §V-B baseline: the full framework minus detailed
+// instruction counting, minus the queuing model, with even request
+// distribution — but still using the Eq 11 overlap model.
+func Baseline() Variant {
+	return Variant{Name: "baseline", Opts: core.Options{}, NeedsTraining: true}
+}
+
+// BaselineIC adds the detailed instruction counting (replays + addressing
+// modes) to the baseline (Fig 7).
+func BaselineIC() Variant {
+	return Variant{
+		Name:          "baseline+instr-counting",
+		Opts:          core.Options{InstrCounting: true},
+		NeedsTraining: true,
+	}
+}
+
+// BaselineICQueueEven adds the queuing model with even request distribution
+// (no address mapping) on top of BaselineIC (Fig 8).
+func BaselineICQueueEven() Variant {
+	return Variant{
+		Name:          "baseline+ic+queue(even)",
+		Opts:          core.Options{InstrCounting: true, Queuing: true},
+		NeedsTraining: true,
+	}
+}
+
+// BaselineQueue adds the queuing model (with address mapping) to the
+// baseline without instruction counting (Fig 9).
+func BaselineQueue() Variant {
+	return Variant{
+		Name:          "baseline+queue",
+		Opts:          core.Options{Queuing: true, AddressMapping: true},
+		NeedsTraining: true,
+	}
+}
+
+// QueueVariant returns the full model with an alternative queuing
+// approximation: the paper's Eq 9 as printed uses (c_a+c_s)/2 · ρ/(1−ρ) ·
+// τ_a; the classical Kingman form uses (c_a²+c_s²)/2 · ρ/(1−ρ) · τ_s; M/M/1
+// is the Markovian reference the paper argues against (§III-C3).
+func QueueVariant(v queuing.Variant) Variant {
+	opts := core.FullOptions()
+	opts.Variant = v
+	return Variant{
+		Name:          "ours+" + v.String(),
+		Opts:          opts,
+		NeedsTraining: true,
+	}
+}
+
+// AblationVariants returns the model family of §V-B in presentation order.
+func AblationVariants() []Variant {
+	return []Variant{
+		Baseline(),
+		BaselineIC(),
+		BaselineICQueueEven(),
+		BaselineQueue(),
+		Ours(),
+	}
+}
+
+// PORPLE is a memory-latency-oriented placement ranking model in the style
+// of [4]: each array contributes its access count times a per-space latency
+// estimate derived from footprint-vs-cache-capacity hit ratios. It ranks
+// placements but does not predict execution time, and it considers neither
+// instruction replays, nor queuing delays, nor computation/memory overlap —
+// the omissions behind its mis-ranking in Fig 6.
+type PORPLE struct {
+	Cfg *gpu.Config
+}
+
+// Score returns the PORPLE cost of a placement (lower is better).
+func (p *PORPLE) Score(t *trace.Trace, st *trace.Stats, pl *placement.Placement) float64 {
+	cfg := p.Cfg
+	dramLat := cfg.DRAM.MissLatencyNS * cfg.CyclesPerNS() // constant off-chip latency
+	total := 0.0
+	for i := range t.Arrays {
+		id := trace.ArrayID(i)
+		reqs := float64(st.Accesses(id))
+		if reqs == 0 {
+			continue
+		}
+		foot := float64(t.Arrays[i].Bytes())
+		var lat float64
+		switch pl.Of(id) {
+		case gpu.Shared:
+			lat = cfg.SharedLatency
+		case gpu.Constant:
+			hit := capRatio(float64(cfg.Constant.SizeBytes), foot)
+			lat = cfg.CacheHitLatency + (1-hit)*dramLat
+		case gpu.Texture1D, gpu.Texture2D:
+			hit := capRatio(float64(cfg.Texture.SizeBytes), foot)
+			lat = cfg.CacheHitLatency + (1-hit)*dramLat
+		default: // global
+			hit := capRatio(float64(cfg.L2.SizeBytes), foot)
+			lat = cfg.CacheHitLatency + (1-hit)*dramLat
+		}
+		total += reqs * lat
+	}
+	return total
+}
+
+func capRatio(capacity, footprint float64) float64 {
+	if footprint <= 0 {
+		return 1
+	}
+	r := capacity / footprint
+	if r > 1 {
+		return 1
+	}
+	return r
+}

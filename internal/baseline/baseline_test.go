@@ -1,0 +1,86 @@
+package baseline
+
+import (
+	"testing"
+
+	"gpuhms/internal/gpu"
+	"gpuhms/internal/kernels"
+	"gpuhms/internal/placement"
+	"gpuhms/internal/trace"
+)
+
+func TestVariantDefinitions(t *testing.T) {
+	if v := Ours(); !v.Opts.InstrCounting || !v.Opts.Queuing || !v.Opts.AddressMapping || !v.NeedsTraining {
+		t.Errorf("Ours misconfigured: %+v", v)
+	}
+	if v := SimEtAl(); v.Opts.InstrCounting || v.Opts.Queuing || !v.Opts.HongKimOverlap || v.NeedsTraining {
+		t.Errorf("SimEtAl misconfigured: %+v", v)
+	}
+	if v := Baseline(); v.Opts.InstrCounting || v.Opts.Queuing || v.Opts.AddressMapping || !v.NeedsTraining {
+		t.Errorf("Baseline misconfigured: %+v", v)
+	}
+	if v := BaselineICQueueEven(); !v.Opts.Queuing || v.Opts.AddressMapping {
+		t.Errorf("queue(even) must not use address mapping: %+v", v)
+	}
+	if v := BaselineQueue(); v.Opts.InstrCounting || !v.Opts.AddressMapping {
+		t.Errorf("BaselineQueue misconfigured: %+v", v)
+	}
+	vs := AblationVariants()
+	if len(vs) != 5 || vs[0].Name != "baseline" || vs[len(vs)-1].Name != "our-model" {
+		t.Errorf("ablation family: %v", vs)
+	}
+	names := map[string]bool{}
+	for _, v := range vs {
+		if names[v.Name] {
+			t.Errorf("duplicate variant name %s", v.Name)
+		}
+		names[v.Name] = true
+	}
+}
+
+func TestPORPLEPrefersFastSpacesForHotArrays(t *testing.T) {
+	cfg := gpu.KeplerK80()
+	p := &PORPLE{Cfg: cfg}
+	spec := kernels.MustGet("convolution")
+	tr := spec.Trace(1)
+	st := trace.ComputeStats(tr)
+	sample, _ := spec.SamplePlacement(tr)
+
+	// Shared memory has the lowest modeled latency: moving the hot source
+	// array to shared must lower the score.
+	shared, _ := placement.Parse(tr, "c_Kernel:C,d_Src:S")
+	if p.Score(tr, st, shared) >= p.Score(tr, st, sample) {
+		t.Error("PORPLE should prefer shared for a hot array")
+	}
+
+	// Moving a tiny constant-resident array to global must raise the score
+	// (the filter fits every cache, but global's capacity ratio is worse
+	// than constant's tiny-footprint perfect fit only via latency terms —
+	// equal here — so compare a big-footprint move instead).
+	bigToConst := placement.New(len(tr.Arrays))
+	srcID, _ := tr.ArrayByName("d_Src")
+	bigToConst.Spaces[srcID] = gpu.Constant // footprint ≫ constant cache
+	small := placement.New(len(tr.Arrays))
+	smallID, _ := tr.ArrayByName("c_Kernel")
+	small.Spaces[smallID] = gpu.Constant
+	if p.Score(tr, st, bigToConst) <= p.Score(tr, st, small) {
+		t.Error("PORPLE should penalize cache-overflowing footprints")
+	}
+}
+
+func TestPORPLEIgnoresUnaccessedArrays(t *testing.T) {
+	cfg := gpu.KeplerK80()
+	p := &PORPLE{Cfg: cfg}
+	b := trace.NewBuilder("k", trace.Launch{Blocks: 1, ThreadsPerBlock: 32, WarpSize: 32})
+	used := b.DeclareArray(trace.Array{Name: "used", Type: trace.F32, Len: 1024, ReadOnly: true})
+	b.DeclareArray(trace.Array{Name: "unused", Type: trace.F32, Len: 1 << 20, ReadOnly: true})
+	b.Warp(0, 0).LoadCoalesced(used, 0, 32)
+	tr := b.MustBuild()
+	st := trace.ComputeStats(tr)
+
+	a := placement.New(len(tr.Arrays))
+	bPl := a.WithMove(1, gpu.Texture1D) // moving the unused array
+	if p.Score(tr, st, a) != p.Score(tr, st, bPl) {
+		t.Error("unaccessed arrays must not affect the score")
+	}
+}

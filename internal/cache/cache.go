@@ -1,0 +1,150 @@
+// Package cache provides the set-associative cache models of the framework:
+// the shared L2, the per-SM constant cache, and the per-SM texture cache
+// (with 2D block swizzling for 2D textures). These are the "cache models
+// based on the cache models in GPGPUSim" of §IV: they take a memory trace,
+// filter it, and report hit/miss outcomes plus event counts.
+package cache
+
+import (
+	"sort"
+
+	"gpuhms/internal/gpu"
+)
+
+// Cache is a set-associative cache with true-LRU replacement.
+type Cache struct {
+	lineBytes uint64
+	ways      int
+	setMask   uint64
+
+	// sets is laid out as sets*ways entries; tags[i] holds the line tag,
+	// stamp[i] the LRU timestamp. valid is tracked by tag != invalidTag.
+	tags  []uint64
+	stamp []uint64
+	tick  uint64
+
+	hits   int64
+	misses int64
+}
+
+const invalidTag = ^uint64(0)
+
+// New builds a cache from its geometry. Geometry must describe at least one
+// power-of-two set.
+func New(g gpu.CacheGeometry) *Cache {
+	sets := g.Sets()
+	if sets <= 0 {
+		panic("cache: geometry has no sets")
+	}
+	// Round sets down to a power of two so indexing is a mask; geometry in
+	// this repo always is one.
+	for sets&(sets-1) != 0 {
+		sets &^= sets & (-sets)
+	}
+	c := &Cache{
+		lineBytes: uint64(g.LineBytes),
+		ways:      g.Ways,
+		setMask:   uint64(sets - 1),
+		tags:      make([]uint64, sets*g.Ways),
+		stamp:     make([]uint64, sets*g.Ways),
+	}
+	for i := range c.tags {
+		c.tags[i] = invalidTag
+	}
+	return c
+}
+
+// LineBytes returns the cache line size.
+func (c *Cache) LineBytes() int { return int(c.lineBytes) }
+
+// Access looks up the line containing addr, updating LRU state and counters;
+// on a miss the line is filled. Returns true on hit.
+func (c *Cache) Access(addr uint64) bool {
+	tag := addr / c.lineBytes
+	set := int(tag & c.setMask)
+	base := set * c.ways
+	c.tick++
+
+	victim, oldest := base, c.stamp[base]
+	for i := base; i < base+c.ways; i++ {
+		if c.tags[i] == tag {
+			c.stamp[i] = c.tick
+			c.hits++
+			return true
+		}
+		if c.tags[i] == invalidTag {
+			// Prefer empty ways as victims.
+			victim, oldest = i, 0
+		} else if c.stamp[i] < oldest {
+			victim, oldest = i, c.stamp[i]
+		}
+	}
+	c.misses++
+	c.tags[victim] = tag
+	c.stamp[victim] = c.tick
+	return false
+}
+
+// Probe reports whether the line containing addr is resident without
+// touching LRU state or counters.
+func (c *Cache) Probe(addr uint64) bool {
+	tag := addr / c.lineBytes
+	base := int(tag&c.setMask) * c.ways
+	for i := base; i < base+c.ways; i++ {
+		if c.tags[i] == tag {
+			return true
+		}
+	}
+	return false
+}
+
+// Hits returns the hit count since the last Reset.
+func (c *Cache) Hits() int64 { return c.hits }
+
+// Misses returns the miss count since the last Reset.
+func (c *Cache) Misses() int64 { return c.misses }
+
+// Accesses returns hits+misses.
+func (c *Cache) Accesses() int64 { return c.hits + c.misses }
+
+// MissRatio returns misses/accesses (0 when no accesses).
+func (c *Cache) MissRatio() float64 {
+	n := c.Accesses()
+	if n == 0 {
+		return 0
+	}
+	return float64(c.misses) / float64(n)
+}
+
+// Reset invalidates all lines and clears counters.
+func (c *Cache) Reset() {
+	for i := range c.tags {
+		c.tags[i] = invalidTag
+		c.stamp[i] = 0
+	}
+	c.tick, c.hits, c.misses = 0, 0, 0
+}
+
+// LinesTouched returns the distinct line base addresses referenced by a set
+// of byte addresses, ascending. This is the warp-level coalescing unit: each
+// distinct line is one memory transaction.
+func LinesTouched(addrs []uint64, lineBytes int) []uint64 {
+	if len(addrs) == 0 {
+		return nil
+	}
+	lb := uint64(lineBytes)
+	out := make([]uint64, 0, 4)
+	for _, a := range addrs {
+		out = append(out, a/lb*lb)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	// Deduplicate in place.
+	w := 1
+	for i := 1; i < len(out); i++ {
+		if out[i] != out[w-1] {
+			out[w] = out[i]
+			w++
+		}
+	}
+	return out[:w]
+}

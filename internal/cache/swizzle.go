@@ -1,0 +1,29 @@
+package cache
+
+// Swizzle2D converts a linear element index of a logically-2D array into the
+// block-swizzled element offset used when the array is bound to a 2D
+// texture. Elements are grouped into square tiles of edge 1<<blockShift laid
+// out row-major by tile, row-major within a tile. Accesses with 2D spatial
+// locality (neighboring rows of a small window) then land in the same or
+// adjacent cache lines — the "2D spatial locality" caching the paper
+// attributes to texture memory.
+//
+// width is the array's row length in elements. Rows are padded up to a whole
+// number of tiles, so the swizzled address space is slightly larger than the
+// array; padding offsets are never produced for in-range inputs of aligned
+// widths and are harmless (they only spread lines) otherwise.
+func Swizzle2D(index int64, width int, blockShift uint) int64 {
+	if width <= 0 || blockShift == 0 {
+		return index
+	}
+	edge := int64(1) << blockShift
+	x := index % int64(width)
+	y := index / int64(width)
+
+	tilesPerRow := (int64(width) + edge - 1) / edge
+	tx, ox := x>>blockShift, x&(edge-1)
+	ty, oy := y>>blockShift, y&(edge-1)
+
+	tile := ty*tilesPerRow + tx
+	return tile*edge*edge + oy*edge + ox
+}

@@ -1,0 +1,253 @@
+// Package core implements the paper's contribution: performance models that
+// predict the execution time of a GPU kernel under arbitrary data placements
+// from a single profiled sample placement (Huang & Li, CLUSTER 2017).
+//
+// The model decomposes execution time as
+//
+//	T = T_comp + T_mem − T_overlap                         (Eq 1)
+//
+// where T_comp is computed from *issued* instructions — executed
+// instructions plus addressing-mode differences plus instruction replays
+// (Eq 2–3, §III-B) — T_mem from effective memory requests times an average
+// memory access latency whose DRAM component comes from a per-bank G/G/1
+// queuing model with row-buffer-aware service times (Eq 4–10, §III-C), and
+// T_overlap from an empirically trained linear model over memory events
+// (Eq 11–12, §III-D). Appendix equations 13–19 supply instruction and memory
+// throughput terms.
+package core
+
+import (
+	"gpuhms/internal/dram"
+	"gpuhms/internal/gpu"
+	"gpuhms/internal/memsys"
+	"gpuhms/internal/perf"
+	"gpuhms/internal/placement"
+	"gpuhms/internal/queuing"
+	"gpuhms/internal/replay"
+	"gpuhms/internal/trace"
+)
+
+// Analysis is the output of the §IV framework for one (trace, placement)
+// pair: the instruction trace is replayed through the cache models, memory
+// events are counted, and the DRAM request stream is reduced to per-bank
+// arrival/service statistics. Unlike the simulator this pass computes no
+// timing — arrival "times" are an instruction-count proxy.
+type Analysis struct {
+	Events perf.Events
+
+	// Instruction aggregates (whole kernel).
+	IssueSlots  int64 // executed + addressing + replays
+	Executed    int64 // executed incl. addressing-mode instructions
+	Replays14   int64 // replays from placement-dependent causes (1)-(4)
+	MemInsts    int64 // warp-level loads+stores
+	OffchipReqs int64 // mem insts to off-chip spaces
+	Syncs       int64
+
+	// Memory shape.
+	TransPerOffchip float64 // avg first-level transactions per off-chip inst
+	MLP             float64 // mean consecutive-load run length per warp
+
+	// DRAM statistics in proxy time (ns at nominal full issue rate).
+	BankStreams []queuing.Stream
+	CtlStreams  []queuing.Stream
+	RawSpanNS   float64
+	RowCounts   dram.OutcomeCounts
+
+	// Per-bank arrival burstiness: mean and cross-bank standard deviation of
+	// the inter-arrival coefficient of variation c_a (the Fig 4 statistics).
+	BankCaMean, BankCaStd float64
+
+	// InterArrivals holds the global DRAM inter-arrival proxy samples when
+	// collection was requested (Fig 4 histograms); nil otherwise.
+	InterArrivals []float64
+
+	// Staging.
+	StagingNS float64
+
+	// ActiveSMs is the number of SMs the launch occupies (Eq 2).
+	ActiveSMs int
+
+	// Imbalance is the straggler factor of block scheduling: with B blocks
+	// over S SMs, the busiest SM runs ceil(B/S) blocks while the average is
+	// B/S, so the kernel finishes ceil(B/S)·S/B later than a perfectly
+	// balanced launch would.
+	Imbalance float64
+}
+
+// analyze replays the trace under a binding. Warps advance in lockstep
+// (one instruction per warp per round) to approximate the round-robin
+// interleaving of the hardware scheduler; the proxy clock advances by
+// issue-slots/#SMs per slot, i.e. the stream is timed as if every SM issued
+// one slot per cycle with no stalls. The queuing model later rescales this
+// proxy to the predicted execution span (see tmem.go).
+func analyze(cfg *gpu.Config, mapping dram.Mapping, mode dram.DistributionMode, b *memsys.Binding) *Analysis {
+	return analyzeCollect(cfg, mapping, mode, b, false)
+}
+
+func analyzeCollect(cfg *gpu.Config, mapping dram.Mapping, mode dram.DistributionMode, b *memsys.Binding, collectArrivals bool) *Analysis {
+	t := b.Trace
+	hier := memsys.NewHierarchy(cfg)
+	sm := memsys.NewSMCaches(cfg)
+	an := dram.NewAnalyzer(cfg.DRAM, mapping, mode)
+
+	a := &Analysis{ActiveSMs: cfg.ActiveSMs(t.Launch.Blocks)}
+	nsPerCycle := cfg.NSPerCycle()
+	proxyNS := 0.0
+	slotNS := nsPerCycle / float64(a.ActiveSMs)
+
+	// Per-warp program counters for the lockstep walk.
+	pcs := make([]int, len(t.Warps))
+	remaining := len(t.Warps)
+	addrBuf := make([]uint64, 0, t.Launch.WarpSize)
+
+	loadRuns, loadsInRuns := int64(0), int64(0)
+	inRun := make([]bool, len(t.Warps)) // per-warp consecutive-load run state
+	lastArrival := -1.0
+
+	for remaining > 0 {
+		for wi := range t.Warps {
+			pc := pcs[wi]
+			if pc >= len(t.Warps[wi].Inst) {
+				continue
+			}
+			in := &t.Warps[wi].Inst[pc]
+			pcs[wi]++
+			if pcs[wi] == len(t.Warps[wi].Inst) {
+				remaining--
+			}
+
+			if !in.Op.IsMem() {
+				inRun[wi] = false
+				slots := int64(in.Count)
+				if in.Op == trace.OpFP64 {
+					slots *= 2
+				}
+				if in.Op == trace.OpSync {
+					a.Syncs++
+				}
+				a.IssueSlots += slots
+				a.Executed += int64(in.Count)
+				a.Events.InstExecuted += int64(in.Count)
+				a.Events.InstIssued += int64(in.Count)
+				a.Events.IssueSlots += slots
+				if in.Op == trace.OpInt {
+					a.Events.InstInteger += int64(in.Count)
+				}
+				proxyNS += float64(slots) * slotNS
+				continue
+			}
+
+			// Memory instruction: addressing preamble + access.
+			space := b.Place.Of(in.Array)
+			k := int64(addrModeInstrs(space, t.Array(in.Array).Type))
+			a.IssueSlots += k
+			a.Executed += k
+			a.Events.InstExecuted += k
+			a.Events.InstIssued += k
+			a.Events.InstInteger += k
+			a.Events.IssueSlots += k
+			proxyNS += float64(k) * slotNS
+
+			res := hier.Access(sm, b, in, addrBuf)
+			replays := res.Replays.Total()
+			a.IssueSlots += 1 + replays
+			a.Executed++
+			a.Replays14 += replays
+			a.MemInsts++
+			countAnalysisEvents(&a.Events, &res, replays)
+			proxyNS += float64(1+replays) * slotNS
+
+			if in.Op == trace.OpLoad {
+				if inRun[wi] {
+					loadsInRuns++
+				} else {
+					inRun[wi] = true
+					loadRuns++
+					loadsInRuns++
+				}
+			} else {
+				inRun[wi] = false
+			}
+
+			if space != gpu.Shared {
+				a.OffchipReqs++
+				a.TransPerOffchip += float64(res.Transactions)
+				for _, line := range res.DRAMLines {
+					if collectArrivals {
+						if lastArrival >= 0 {
+							a.InterArrivals = append(a.InterArrivals, proxyNS-lastArrival)
+						}
+						lastArrival = proxyNS
+					}
+					an.Add(line, proxyNS)
+				}
+			}
+		}
+	}
+
+	if a.OffchipReqs > 0 {
+		a.TransPerOffchip /= float64(a.OffchipReqs)
+	}
+	if loadRuns > 0 {
+		a.MLP = float64(loadsInRuns) / float64(loadRuns)
+	} else {
+		a.MLP = 1
+	}
+	a.BankStreams = an.Streams()
+	a.CtlStreams = an.CtlStreams()
+	a.RawSpanNS = proxyNS
+	a.RowCounts = an.Counts()
+	a.Events.RowHits = an.Counts().Hits
+	a.Events.RowMisses = an.Counts().Misses
+	a.Events.RowConflicts = an.Counts().Conflicts
+	a.Events.DRAMRequests = an.Counts().Total()
+	a.Events.WarpsPerSM = residentWarps(t, cfg)
+	a.BankCaMean, a.BankCaStd = an.MeanCa()
+
+	a.StagingNS = placement.SharedStagingBytes(t, b.Place) / cfg.SharedCopyGBs
+	a.Imbalance = 1
+	if blocks := t.Launch.Blocks; blocks > a.ActiveSMs {
+		perSM := float64(blocks) / float64(a.ActiveSMs)
+		worst := float64((blocks + a.ActiveSMs - 1) / a.ActiveSMs)
+		a.Imbalance = worst / perSM
+	}
+	return a
+}
+
+func countAnalysisEvents(ev *perf.Events, res *memsys.Result, replays int64) {
+	ev.InstIssued += 1 + replays
+	ev.InstExecuted++
+	ev.LdstIssued += 1 + replays
+	ev.IssueSlots += 1 + replays
+	switch res.Space {
+	case gpu.Global:
+		ev.GlobalRequests++
+	case gpu.Constant:
+		ev.ConstantRequest++
+	case gpu.Texture1D, gpu.Texture2D:
+		ev.TextureRequests++
+	case gpu.Shared:
+		ev.SharedRequests++
+	}
+	ev.ReplayGlobalDiv += res.Replays.ByReason[replay.GlobalDivergence]
+	ev.ReplayConstMiss += res.Replays.ByReason[replay.ConstantMiss]
+	ev.ReplayConstDiv += res.Replays.ByReason[replay.ConstantDivergence]
+	ev.ReplayShared += res.Replays.ByReason[replay.SharedBankConflict]
+	ev.ReplayAtomic += res.Replays.ByReason[replay.AtomicConflict]
+	ev.L2Transactions += int64(res.L2Accesses)
+	ev.L2Misses += int64(res.L2Misses)
+	ev.ConstAccesses += int64(res.ConstAccesses)
+	ev.ConstMisses += int64(res.ConstMiss)
+	ev.TexAccesses += int64(res.TexAccesses)
+	ev.TexMisses += int64(res.TexMiss)
+	ev.SharedBankConflicts += int64(res.SharedConflicts)
+}
+
+// residentWarps mirrors the simulator's resident-warp estimate.
+func residentWarps(t *trace.Trace, cfg *gpu.Config) float64 {
+	per := float64(t.Launch.TotalWarps()) / float64(cfg.ActiveSMs(t.Launch.Blocks))
+	if max := float64(cfg.MaxWarpsPerSM); per > max {
+		return max
+	}
+	return per
+}

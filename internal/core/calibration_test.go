@@ -1,0 +1,57 @@
+package core
+
+import (
+	"testing"
+
+	"gpuhms/internal/gpu"
+	"gpuhms/internal/kernels"
+	"gpuhms/internal/sim"
+)
+
+// TestCalibration prints predicted vs simulated times for a few kernels to
+// keep the model's raw (untrained-overlap) error visible during development.
+func TestCalibration(t *testing.T) {
+	cfg := gpu.KeplerK80()
+	s := sim.New(cfg)
+	for _, name := range []string{"vecadd", "triad", "md", "neuralnet", "matrixMul", "spmv", "fft"} {
+		spec := kernels.MustGet(name)
+		tr := spec.Trace(1)
+		sample, err := spec.SamplePlacement(tr)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ms, err := s.Run(tr, sample, sample)
+		if err != nil {
+			t.Fatal(err)
+		}
+		model := NewModel(cfg, FullOptions())
+		pr, err := NewPredictor(model, tr, sample, SampleProfile{TimeNS: ms.TimeNS, Events: ms.Events})
+		if err != nil {
+			t.Fatal(err)
+		}
+		pred, err := pr.Predict(sample)
+		if err != nil {
+			t.Fatal(err)
+		}
+		t.Logf("%-10s sample: measured=%8.0f ns predicted=%8.0f ns (%.2fx)  Tc=%6.0f Tm=%6.0f To=%6.0f cyc  AMAT=%5.0f dram=%4.0fns q=%4.0fns",
+			name, ms.TimeNS, pred.TimeNS, pred.TimeNS/ms.TimeNS,
+			pred.TComp, pred.TMem, pred.TOverlap, pred.AMAT, pred.DRAMLatNS, pred.QueueDelayNS)
+
+		targets, err := spec.Targets(tr)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, target := range targets {
+			mt, err := s.Run(tr, sample, target)
+			if err != nil {
+				t.Fatal(err)
+			}
+			pt, err := pr.Predict(target)
+			if err != nil {
+				t.Fatal(err)
+			}
+			t.Logf("  %-40s measured=%8.0f predicted=%8.0f (%.2fx)",
+				target.Format(tr), mt.TimeNS, pt.TimeNS, pt.TimeNS/mt.TimeNS)
+		}
+	}
+}

@@ -1,0 +1,229 @@
+package core
+
+import (
+	"fmt"
+	"math"
+
+	"gpuhms/internal/addrmode"
+	"gpuhms/internal/dram"
+	"gpuhms/internal/gpu"
+	"gpuhms/internal/memsys"
+	"gpuhms/internal/perf"
+	"gpuhms/internal/placement"
+	"gpuhms/internal/queuing"
+	"gpuhms/internal/trace"
+)
+
+func addrModeInstrs(space gpu.MemSpace, dt trace.DType) int {
+	return addrmode.InstrPerAccess(space, dt)
+}
+
+// Options selects the model variant. The zero value is the "baseline" of
+// §V-B: no detailed instruction counting, constant DRAM latency, even
+// request distribution, Eq 11 overlap.
+type Options struct {
+	// InstrCounting enables the detailed issued-instruction estimation of
+	// §III-B: addressing-mode deltas and instruction-replay quantification
+	// (Eq 3). When false, T_comp uses the sample placement's executed
+	// instruction count for every placement, as in prior work [6][7].
+	InstrCounting bool
+
+	// Queuing enables the G/G/1 queuing model of §III-C for the DRAM access
+	// latency. When false a constant off-chip latency (the row-miss latency
+	// a microbenchmark would measure) is assumed, as in prior work.
+	Queuing bool
+
+	// AddressMapping distributes memory requests over banks using the
+	// detected address mapping scheme; when false, requests are spread
+	// evenly (the Fig 8 ablation).
+	AddressMapping bool
+
+	// Variant selects the queuing approximation (paper Eq 9 by default).
+	Variant queuing.Variant
+
+	// OverlapCoeffs are the trained Eq 11 coefficients (see Train). Nil
+	// predicts zero overlap.
+	OverlapCoeffs []float64
+
+	// HongKimOverlap replaces the Eq 11 overlap model with the MWP/CWP
+	// formulation of [6], used by the Sim-et-al baseline [7].
+	HongKimOverlap bool
+}
+
+// FullOptions returns the paper's complete model (coefficients must still be
+// trained).
+func FullOptions() Options {
+	return Options{InstrCounting: true, Queuing: true, AddressMapping: true}
+}
+
+// Model predicts kernel execution times under data placements.
+type Model struct {
+	Cfg     *gpu.Config
+	Mapping dram.Mapping
+	Opts    Options
+}
+
+// NewModel builds a model with the architecture's default address mapping.
+func NewModel(cfg *gpu.Config, opts Options) *Model {
+	return &Model{Cfg: cfg, Mapping: dram.DefaultMapping(cfg.DRAM), Opts: opts}
+}
+
+// SampleProfile is what profiling the sample placement provides: its
+// measured execution time and hardware event counters (nvprof in the paper;
+// the ground-truth simulator here).
+type SampleProfile struct {
+	TimeNS float64
+	Events perf.Events
+}
+
+// Prediction is one placement's predicted performance, with the Eq 1
+// decomposition exposed for ablation studies.
+type Prediction struct {
+	TimeNS    float64
+	Cycles    float64
+	TComp     float64 // cycles
+	TMem      float64 // cycles
+	TOverlap  float64 // cycles
+	StagingNS float64
+
+	AMAT         float64 // cycles per memory instruction
+	DRAMLatNS    float64 // average DRAM access latency (Eq 7)
+	QueueDelayNS float64 // average queuing component of DRAMLatNS
+	Events       perf.Events
+	Analysis     *Analysis
+}
+
+// Predictor holds the per-kernel state: the sample placement's layout, the
+// model's own analysis of the sample, and the sample profile.
+type Predictor struct {
+	model        *Model
+	trace        *trace.Trace
+	sample       *placement.Placement
+	sampleLayout *placement.Layout
+	sampleAn     *Analysis
+	profile      SampleProfile
+}
+
+// NewPredictor analyzes the sample placement and prepares target
+// predictions.
+func NewPredictor(m *Model, t *trace.Trace, sample *placement.Placement, prof SampleProfile) (*Predictor, error) {
+	if err := placement.Check(t, sample, m.Cfg); err != nil {
+		return nil, fmt.Errorf("core: sample placement: %w", err)
+	}
+	layout := placement.NewLayout(t, sample)
+	binding := memsys.NewBinding(m.Cfg, t, sample, layout, sample)
+	return &Predictor{
+		model:        m,
+		trace:        t,
+		sample:       sample,
+		sampleLayout: layout,
+		sampleAn:     analyze(m.Cfg, m.Mapping, m.distMode(), binding),
+		profile:      prof,
+	}, nil
+}
+
+func (m *Model) distMode() dram.DistributionMode {
+	if m.Opts.AddressMapping {
+		return dram.Mapped
+	}
+	return dram.Even
+}
+
+// Sample returns the model's analysis of the sample placement.
+func (p *Predictor) Sample() *Analysis { return p.sampleAn }
+
+// AnalyzePlacement runs the §IV trace analysis of one placement under this
+// model's mapping and distribution mode, optionally collecting the global
+// DRAM inter-arrival samples (the Fig 4 study).
+func (m *Model) AnalyzePlacement(t *trace.Trace, sample, target *placement.Placement, collectArrivals bool) *Analysis {
+	layout := placement.NewLayout(t, sample)
+	binding := memsys.NewBinding(m.Cfg, t, sample, layout, target)
+	return analyzeCollect(m.Cfg, m.Mapping, m.distMode(), binding, collectArrivals)
+}
+
+// Predict returns the predicted performance of a target placement.
+func (p *Predictor) Predict(target *placement.Placement) (*Prediction, error) {
+	if err := placement.Check(p.trace, target, p.model.Cfg); err != nil {
+		return nil, err
+	}
+	binding := memsys.NewBinding(p.model.Cfg, p.trace, p.sample, p.sampleLayout, target)
+	an := analyze(p.model.Cfg, p.model.Mapping, p.model.distMode(), binding)
+	return p.model.predictFrom(an, p.sampleAn, &p.profile)
+}
+
+// predictFrom assembles the Eq 1 prediction from a target analysis.
+func (m *Model) predictFrom(an, sampleAn *Analysis, prof *SampleProfile) (*Prediction, error) {
+	cfg := m.Cfg
+	pred := &Prediction{Events: an.Events, Analysis: an, StagingNS: an.StagingNS}
+
+	tcomp := m.tcomp(an, sampleAn, prof)
+	pred.TComp = tcomp
+
+	// The queuing model needs the kernel's execution span to turn the
+	// instruction-count arrival proxy into arrival rates; the span in turn
+	// depends on the memory cost the queuing model produces. The map
+	// span → predicted span is decreasing (spreading arrivals lowers
+	// utilization and queuing delay), so the self-consistent span is the
+	// unique fixed point, found by bisection.
+	eval := func(spanNS float64) (total, tmem, toverlap, amat, dramNS, queueNS float64) {
+		dramNS, queueNS = m.dramLatency(an, spanNS)
+		amat = m.amat(an, dramNS)
+		tmem = m.tmem(an, amat)
+		toverlap = m.toverlap(an, tcomp, tmem, amat)
+		total = tcomp + tmem - toverlap
+		if total < tcomp {
+			total = tcomp
+		}
+		return total, tmem, toverlap, amat, dramNS, queueNS
+	}
+
+	nsPerCycle := cfg.NSPerCycle()
+	var tmem, amat, dramNS, queueNS, toverlap float64
+	if !m.Opts.Queuing || len(an.BankStreams) == 0 {
+		_, tmem, toverlap, amat, dramNS, queueNS = eval(0)
+	} else {
+		// Bracket the fixed point: lo is the no-memory-cost span, hi is
+		// doubled until the predicted span falls below it.
+		uncontended, _, _, _, _, _ := eval(0)
+		lo := tcomp * nsPerCycle
+		if lo <= 0 {
+			lo = 1
+		}
+		hi := uncontended * nsPerCycle
+		if hi < lo {
+			hi = lo
+		}
+		for i := 0; i < 60; i++ {
+			total, _, _, _, _, _ := eval(hi)
+			if total*nsPerCycle <= hi {
+				break
+			}
+			hi *= 2
+		}
+		for i := 0; i < 50 && hi-lo > 1e-3*hi; i++ {
+			mid := (lo + hi) / 2
+			total, _, _, _, _, _ := eval(mid)
+			if total*nsPerCycle > mid {
+				lo = mid
+			} else {
+				hi = mid
+			}
+		}
+		_, tmem, toverlap, amat, dramNS, queueNS = eval(hi)
+	}
+	pred.TMem = tmem
+	pred.TOverlap = toverlap
+	pred.AMAT = amat
+	pred.DRAMLatNS = dramNS
+	pred.QueueDelayNS = queueNS
+
+	pred.Cycles = tcomp + tmem - toverlap
+	if pred.Cycles < tcomp {
+		pred.Cycles = tcomp
+	}
+	pred.TimeNS = pred.Cycles*cfg.NSPerCycle() + an.StagingNS
+	if math.IsNaN(pred.TimeNS) || pred.TimeNS <= 0 {
+		return nil, fmt.Errorf("core: degenerate prediction (%.3f ns)", pred.TimeNS)
+	}
+	return pred, nil
+}

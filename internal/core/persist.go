@@ -1,0 +1,84 @@
+package core
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+
+	"gpuhms/internal/perf"
+	"gpuhms/internal/queuing"
+)
+
+// SavedModel is the JSON-serializable form of a trained model
+// configuration: the mechanism switches and the fitted Eq 11 coefficients.
+// Training the overlap model costs dozens of simulator runs, so tools save
+// it once and reload it across sessions.
+type SavedModel struct {
+	// Architecture names the configuration the coefficients were trained
+	// against; loading verifies it.
+	Architecture string `json:"architecture"`
+
+	InstrCounting  bool   `json:"instr_counting"`
+	Queuing        bool   `json:"queuing"`
+	AddressMapping bool   `json:"address_mapping"`
+	QueueVariant   string `json:"queue_variant"`
+	HongKimOverlap bool   `json:"hongkim_overlap"`
+
+	OverlapCoeffs []float64 `json:"overlap_coeffs"`
+	FeatureNames  []string  `json:"feature_names"`
+}
+
+// Save writes the model's configuration and trained coefficients as JSON.
+func (m *Model) Save(w io.Writer, architecture string) error {
+	sm := SavedModel{
+		Architecture:   architecture,
+		InstrCounting:  m.Opts.InstrCounting,
+		Queuing:        m.Opts.Queuing,
+		AddressMapping: m.Opts.AddressMapping,
+		QueueVariant:   m.Opts.Variant.String(),
+		HongKimOverlap: m.Opts.HongKimOverlap,
+		OverlapCoeffs:  m.Opts.OverlapCoeffs,
+		FeatureNames:   perf.OverlapFeatureNames(),
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(sm)
+}
+
+// LoadOptions reads a SavedModel and reconstructs the model options,
+// verifying the architecture name and coefficient arity.
+func LoadOptions(r io.Reader, architecture string) (Options, error) {
+	var sm SavedModel
+	if err := json.NewDecoder(r).Decode(&sm); err != nil {
+		return Options{}, fmt.Errorf("core: decoding saved model: %w", err)
+	}
+	if sm.Architecture != architecture {
+		return Options{}, fmt.Errorf("core: saved model trained for %q, loading for %q",
+			sm.Architecture, architecture)
+	}
+	if n := len(sm.OverlapCoeffs); n != 0 && n != len(perf.OverlapFeatureNames()) {
+		return Options{}, fmt.Errorf("core: saved model has %d coefficients, want %d",
+			n, len(perf.OverlapFeatureNames()))
+	}
+	variant, err := parseVariant(sm.QueueVariant)
+	if err != nil {
+		return Options{}, err
+	}
+	return Options{
+		InstrCounting:  sm.InstrCounting,
+		Queuing:        sm.Queuing,
+		AddressMapping: sm.AddressMapping,
+		Variant:        variant,
+		HongKimOverlap: sm.HongKimOverlap,
+		OverlapCoeffs:  sm.OverlapCoeffs,
+	}, nil
+}
+
+func parseVariant(name string) (queuing.Variant, error) {
+	for _, v := range []queuing.Variant{queuing.PaperKingman, queuing.ClassicKingman, queuing.MM1} {
+		if v.String() == name {
+			return v, nil
+		}
+	}
+	return 0, fmt.Errorf("core: unknown queue variant %q", name)
+}

@@ -1,0 +1,62 @@
+package core
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"gpuhms/internal/gpu"
+	"gpuhms/internal/queuing"
+)
+
+func TestSaveLoadRoundTrip(t *testing.T) {
+	cfg := gpu.KeplerK80()
+	opts := FullOptions()
+	opts.Variant = queuing.ClassicKingman
+	opts.OverlapCoeffs = []float64{0.1, 0.2, 0.3, 0.4, 0.5, 0.6, 0.7}
+	m := NewModel(cfg, opts)
+
+	var buf bytes.Buffer
+	if err := m.Save(&buf, cfg.Name); err != nil {
+		t.Fatal(err)
+	}
+	got, err := LoadOptions(&buf, cfg.Name)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !got.InstrCounting || !got.Queuing || !got.AddressMapping {
+		t.Errorf("flags lost: %+v", got)
+	}
+	if got.Variant != queuing.ClassicKingman {
+		t.Errorf("variant = %v", got.Variant)
+	}
+	if len(got.OverlapCoeffs) != 7 || got.OverlapCoeffs[3] != 0.4 {
+		t.Errorf("coefficients lost: %v", got.OverlapCoeffs)
+	}
+}
+
+func TestLoadRejectsWrongArchitecture(t *testing.T) {
+	cfg := gpu.KeplerK80()
+	m := NewModel(cfg, FullOptions())
+	var buf bytes.Buffer
+	if err := m.Save(&buf, cfg.Name); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := LoadOptions(&buf, "some other GPU"); err == nil {
+		t.Error("architecture mismatch must be rejected")
+	}
+}
+
+func TestLoadRejectsCorruptInput(t *testing.T) {
+	if _, err := LoadOptions(strings.NewReader("{not json"), "x"); err == nil {
+		t.Error("garbage must be rejected")
+	}
+	bad := `{"architecture":"x","queue_variant":"paper-kingman","overlap_coeffs":[1,2,3]}`
+	if _, err := LoadOptions(strings.NewReader(bad), "x"); err == nil {
+		t.Error("wrong coefficient arity must be rejected")
+	}
+	badVariant := `{"architecture":"x","queue_variant":"warp-drive"}`
+	if _, err := LoadOptions(strings.NewReader(badVariant), "x"); err == nil {
+		t.Error("unknown variant must be rejected")
+	}
+}

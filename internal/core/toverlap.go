@@ -1,0 +1,98 @@
+package core
+
+import "gpuhms/internal/stats"
+
+// T_overlap (§III-D, Eq 11–12): how much of the memory cost hides behind
+// computation of other warps. The paper fits a linear model over
+// per-memory-space event counts (plus row-buffer events and occupancy) to
+// the overlap *ratio*, then sets T_overlap = ratio × T_mem.
+
+// maxOverlapRatio bounds the predicted ratio: overlap can hide at most the
+// whole memory cost, and in practice never quite all of it.
+const maxOverlapRatio = 0.95
+
+func (m *Model) toverlap(an *Analysis, tcomp, tmem, amat float64) float64 {
+	if tmem <= 0 {
+		return 0
+	}
+	if m.Opts.HongKimOverlap {
+		return m.hongKimOverlap(an, tcomp, tmem, amat)
+	}
+	if len(m.Opts.OverlapCoeffs) == 0 {
+		return 0
+	}
+	ratio := stats.Predict(m.Opts.OverlapCoeffs, an.Events.OverlapFeatures())
+	if ratio < 0 {
+		ratio = 0
+	}
+	if ratio > maxOverlapRatio {
+		ratio = maxOverlapRatio
+	}
+	return ratio * tmem // Eq 12
+}
+
+// hongKimOverlap reproduces the CWP/MWP overlap formulation of [6] used by
+// the Sim-et-al comparator [7]: when enough memory warps run in parallel
+// (MWP ≥ CWP) the kernel is compute-bound and memory time hides behind
+// computation; otherwise computation hides behind memory in proportion to
+// MWP/CWP.
+func (m *Model) hongKimOverlap(an *Analysis, tcomp, tmem, amat float64) float64 {
+	mwp, cwp := m.mwpCwp(an, amat)
+	smaller := tmem
+	if tcomp < smaller {
+		smaller = tcomp
+	}
+	n := an.Events.WarpsPerSM
+	if n < 1 {
+		n = 1
+	}
+	var ov float64
+	if mwp >= cwp {
+		ov = smaller * (n - 1) / n
+	} else {
+		ov = smaller * mwp / cwp
+	}
+	if ov > maxOverlapRatio*tmem {
+		ov = maxOverlapRatio * tmem
+	}
+	return ov
+}
+
+// OverlapSample is one training observation for the Eq 11 regression.
+type OverlapSample struct {
+	Kernel    string
+	Placement string
+	Features  []float64
+	Ratio     float64
+}
+
+// OverlapObservation derives a training observation from a zero-overlap
+// prediction (OverlapCoeffs nil) and the measured time of the same
+// placement: the true overlap is T_comp + T_mem − T_measured (Eq 1 solved
+// for T_overlap), expressed as a ratio of T_mem and clamped to [0,1].
+func (m *Model) OverlapObservation(pred *Prediction, measuredNS float64) OverlapSample {
+	measCycles := (measuredNS - pred.StagingNS) * m.Cfg.CyclesPerNS()
+	ratio := 0.0
+	if pred.TMem > 0 {
+		ratio = (pred.TComp + pred.TMem - measCycles) / pred.TMem
+	}
+	if ratio < 0 {
+		ratio = 0
+	}
+	if ratio > 1 {
+		ratio = 1
+	}
+	return OverlapSample{Features: pred.Events.OverlapFeatures(), Ratio: ratio}
+}
+
+// FitOverlap fits the Eq 11 coefficients by ordinary least squares over the
+// training observations.
+func FitOverlap(samples []OverlapSample) ([]float64, error) {
+	x := make([][]float64, len(samples))
+	y := make([]float64, len(samples))
+	for i, s := range samples {
+		x[i] = s.Features
+		y[i] = s.Ratio
+	}
+	return stats.OLS(x, y)
+}

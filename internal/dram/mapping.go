@@ -1,0 +1,112 @@
+// Package dram models the off-chip GDDR5 memory system: the address mapping
+// scheme that distributes requests over channels and banks, the per-bank row
+// buffers whose hit/miss/conflict state determines service time, an
+// event-driven bank simulation used as ground truth, and trace analysis
+// helpers that extract the per-bank arrival/service statistics the queuing
+// model consumes (§III-C of the paper).
+package dram
+
+import (
+	"fmt"
+
+	"gpuhms/internal/gpu"
+)
+
+// Mapping is a bit-sliced address mapping scheme: contiguous column, bank,
+// and row bit fields. The bank field selects one of TotalBanks global banks
+// (channel and bank are not distinguished, exactly like the paper's models:
+// "a combination of the other bits identifies a unique memory bank").
+//
+// Fields below the column field address bytes within one column burst.
+type Mapping struct {
+	ColLo, ColBits   uint
+	BankLo, BankBits uint
+	RowLo, RowBits   uint
+	TotalBanks       int // bank field value is reduced mod TotalBanks
+}
+
+// DefaultMapping derives the modeled K80 mapping from the DRAM topology:
+//
+//	bits [0, colLo)            byte within a column burst
+//	bits [colLo, bankLo)       column within the row buffer
+//	bits [bankLo, rowLo)       global bank (mod TotalBanks)
+//	bits [rowLo, rowLo+rowBits) DRAM row
+//
+// Placing bank bits directly above the column bits spreads consecutive rows
+// of data across banks, giving streaming kernels bank-level parallelism, as
+// on real GDDR.
+func DefaultMapping(t gpu.DRAMTopology) Mapping {
+	colLo := log2(uint64(t.ColumnBytes))
+	colBits := log2(uint64(t.RowBytes / t.ColumnBytes))
+	bankBits := uint(7) // 128 >= 96 banks; reduced mod TotalBanks
+	return Mapping{
+		ColLo: colLo, ColBits: colBits,
+		BankLo: colLo + colBits, BankBits: bankBits,
+		RowLo: colLo + colBits + bankBits, RowBits: 18,
+		TotalBanks: t.TotalBanks(),
+	}
+}
+
+func log2(x uint64) uint {
+	var n uint
+	for x > 1 {
+		x >>= 1
+		n++
+	}
+	return n
+}
+
+func field(addr uint64, lo, bits uint) uint64 {
+	return (addr >> lo) & ((1 << bits) - 1)
+}
+
+// Bank returns the global bank ID of an address.
+func (m Mapping) Bank(addr uint64) int {
+	return int(field(addr, m.BankLo, m.BankBits)) % m.TotalBanks
+}
+
+// Row returns the DRAM row an address maps to within its bank.
+func (m Mapping) Row(addr uint64) int64 {
+	return int64(field(addr, m.RowLo, m.RowBits))
+}
+
+// Column returns the column index within the row buffer.
+func (m Mapping) Column(addr uint64) int64 {
+	return int64(field(addr, m.ColLo, m.ColBits))
+}
+
+// IsRowBit reports whether flipping address bit b changes the row only.
+func (m Mapping) IsRowBit(b uint) bool { return b >= m.RowLo && b < m.RowLo+m.RowBits }
+
+// IsColumnBit reports whether flipping address bit b changes the column only.
+func (m Mapping) IsColumnBit(b uint) bool { return b >= m.ColLo && b < m.ColLo+m.ColBits }
+
+// IsBankBit reports whether flipping address bit b changes the bank.
+func (m Mapping) IsBankBit(b uint) bool { return b >= m.BankLo && b < m.BankLo+m.BankBits }
+
+// Validate checks the fields are contiguous and non-overlapping.
+func (m Mapping) Validate() error {
+	if m.TotalBanks <= 0 {
+		return fmt.Errorf("dram: mapping has %d banks", m.TotalBanks)
+	}
+	if m.ColLo+m.ColBits != m.BankLo {
+		return fmt.Errorf("dram: column field [%d,%d) not adjacent to bank field at %d",
+			m.ColLo, m.ColLo+m.ColBits, m.BankLo)
+	}
+	if m.BankLo+m.BankBits != m.RowLo {
+		return fmt.Errorf("dram: bank field [%d,%d) not adjacent to row field at %d",
+			m.BankLo, m.BankLo+m.BankBits, m.RowLo)
+	}
+	if (1 << m.BankBits) < m.TotalBanks {
+		return fmt.Errorf("dram: %d bank bits cannot index %d banks", m.BankBits, m.TotalBanks)
+	}
+	return nil
+}
+
+// String describes the mapping's bit layout.
+func (m Mapping) String() string {
+	return fmt.Sprintf("col[%d:%d) bank[%d:%d)%%%d row[%d:%d)",
+		m.ColLo, m.ColLo+m.ColBits,
+		m.BankLo, m.BankLo+m.BankBits, m.TotalBanks,
+		m.RowLo, m.RowLo+m.RowBits)
+}

@@ -1,0 +1,154 @@
+package dram
+
+import (
+	"gpuhms/internal/gpu"
+	"gpuhms/internal/stats"
+)
+
+// System is the event-driven DRAM model used as ground truth by the timing
+// simulator. Each global bank is a single server with a FIFO queue: a
+// request starts service when both it has arrived and the bank is free; its
+// service time depends on the row-buffer outcome at service start.
+type System struct {
+	topo    gpu.DRAMTopology
+	mapping Mapping
+
+	rows     []RowBuffer
+	freeAt   []float64 // per bank: time the bank becomes free, ns
+	ctlFree  []float64 // per controller: data-bus free time, ns
+	counts   []OutcomeCounts
+	requests []int64 // per bank request tally
+
+	// Per-bank arrival statistics (for the Fig 4 inter-arrival study).
+	arrival  []stats.Welford
+	lastAt   []float64
+	seenBank []bool
+
+	total OutcomeCounts
+}
+
+// Controller returns the memory controller servicing a global bank. Banks
+// interleave round-robin over controllers so that consecutively-numbered
+// banks (which consecutive address ranges map to) spread across channels.
+func Controller(bank, controllers int) int { return bank % controllers }
+
+// NewSystem builds a DRAM system for the topology with the given mapping.
+func NewSystem(topo gpu.DRAMTopology, m Mapping) *System {
+	nb := topo.TotalBanks()
+	return &System{
+		topo:     topo,
+		mapping:  m,
+		rows:     make([]RowBuffer, nb),
+		freeAt:   make([]float64, nb),
+		ctlFree:  make([]float64, topo.Controllers),
+		counts:   make([]OutcomeCounts, nb),
+		requests: make([]int64, nb),
+		arrival:  make([]stats.Welford, nb),
+		lastAt:   make([]float64, nb),
+		seenBank: make([]bool, nb),
+	}
+}
+
+// Mapping returns the system's address mapping.
+func (s *System) Mapping() Mapping { return s.mapping }
+
+// Topology returns the DRAM topology.
+func (s *System) Topology() gpu.DRAMTopology { return s.topo }
+
+// Result describes the servicing of one request.
+type Result struct {
+	Bank    int
+	Row     int64
+	Outcome Outcome
+	Start   float64 // ns, when the bank began service
+	Done    float64 // ns, when data was returned
+}
+
+// Latency returns the request's total latency from the given arrival time.
+func (r Result) Latency(arrival float64) float64 { return r.Done - arrival }
+
+// Service processes one request arriving at the given time (ns) for the
+// given device address. Requests to the same bank are serviced FIFO in call
+// order; callers should issue requests in approximately nondecreasing
+// arrival order for faithful queuing. A request starts when it has arrived,
+// its bank is free (bank occupancy) and its controller's data bus has a
+// slot; it completes after the row-buffer-dependent access latency.
+func (s *System) Service(addr uint64, arrival float64) Result {
+	bank := s.mapping.Bank(addr)
+	row := s.mapping.Row(addr)
+	ctl := Controller(bank, s.topo.Controllers)
+
+	start := arrival
+	if s.freeAt[bank] > start {
+		start = s.freeAt[bank]
+	}
+	if s.ctlFree[ctl] > start {
+		start = s.ctlFree[ctl]
+	}
+	out := s.rows[bank].Access(row)
+	done := start + out.ServiceNS(s.topo)
+	s.freeAt[bank] = start + out.BusyNS(s.topo)
+	s.ctlFree[ctl] = start + s.topo.CtlBusyNS
+	s.counts[bank].Add(out)
+	s.total.Add(out)
+	s.requests[bank]++
+	if s.seenBank[bank] {
+		d := arrival - s.lastAt[bank]
+		if d < 0 {
+			d = 0
+		}
+		s.arrival[bank].Add(d)
+	}
+	s.seenBank[bank] = true
+	s.lastAt[bank] = arrival
+
+	return Result{Bank: bank, Row: row, Outcome: out, Start: start, Done: done}
+}
+
+// Peek classifies a request without servicing it (no state change).
+func (s *System) Peek(addr uint64) (bank int, row int64, open bool) {
+	bank = s.mapping.Bank(addr)
+	row = s.mapping.Row(addr)
+	_, open = s.rows[bank].Open()
+	return bank, row, open
+}
+
+// Counts returns the aggregate outcome tally.
+func (s *System) Counts() OutcomeCounts { return s.total }
+
+// BankCounts returns the per-bank outcome tallies.
+func (s *System) BankCounts() []OutcomeCounts { return s.counts }
+
+// BankRequests returns per-bank request totals, showing how the address
+// mapping distributed the trace across banks.
+func (s *System) BankRequests() []int64 { return s.requests }
+
+// MeanCa returns the mean and cross-bank standard deviation of the per-bank
+// inter-arrival coefficient of variation, over banks with ≥2 gaps.
+func (s *System) MeanCa() (mean, std float64) {
+	var cas []float64
+	for b := range s.arrival {
+		if s.arrival[b].N() < 2 {
+			continue
+		}
+		cas = append(cas, s.arrival[b].CoV())
+	}
+	return stats.Mean(cas), stats.StdDev(cas)
+}
+
+// Reset clears all row buffers, queues and counters.
+func (s *System) Reset() {
+	for i := range s.rows {
+		s.rows[i].Close()
+		s.freeAt[i] = 0
+		s.counts[i] = OutcomeCounts{}
+		s.requests[i] = 0
+		s.arrival[i] = stats.Welford{}
+		s.lastAt[i] = 0
+		s.seenBank[i] = false
+	}
+	for i := range s.ctlFree {
+		s.ctlFree[i] = 0
+	}
+	s.total = OutcomeCounts{}
+}

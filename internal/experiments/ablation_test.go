@@ -1,0 +1,54 @@
+package experiments
+
+import (
+	"testing"
+
+	"gpuhms/internal/gpu"
+)
+
+// TestAblations checks the §V-B ordering: each added modeling technique
+// reduces mean prediction error, and the combination beats each alone.
+func TestAblations(t *testing.T) {
+	c := NewContext(gpu.KeplerK80(), 1)
+
+	fig7, err := c.Fig7()
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("\n%s", fig7.Render())
+	base := fig7.MeanError("baseline")
+	ic := fig7.MeanError("baseline+instr-counting")
+	t.Logf("Fig7: baseline=%.1f%% +IC=%.1f%% improvement=%.1f%%", 100*base, 100*ic, 100*fig7.Improvement("baseline", "baseline+instr-counting"))
+	if ic >= base {
+		t.Errorf("instruction counting should improve on the baseline (%.1f%% vs %.1f%%)", 100*ic, 100*base)
+	}
+
+	fig8, err := c.Fig8()
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("\n%s", fig8.Render())
+	qe := fig8.MeanError("baseline+ic+queue(even)")
+	full := fig8.MeanError("our-model")
+	t.Logf("Fig8: +queue(even)=%.1f%% full=%.1f%%", 100*qe, 100*full)
+	if full >= qe {
+		t.Errorf("address mapping should improve on even distribution (%.1f%% vs %.1f%%)", 100*full, 100*qe)
+	}
+	if qe >= base {
+		t.Errorf("queuing(even)+IC should improve on baseline (%.1f%% vs %.1f%%)", 100*qe, 100*base)
+	}
+
+	fig9, err := c.Fig9()
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("\n%s", fig9.Render())
+	q := fig9.MeanError("baseline+queue")
+	t.Logf("Fig9: baseline=%.1f%% +queue=%.1f%% full=%.1f%%", 100*base, 100*q, 100*full)
+	if q >= base {
+		t.Errorf("queuing alone should improve on baseline (%.1f%% vs %.1f%%)", 100*q, 100*base)
+	}
+	if full >= q {
+		t.Errorf("full model should beat queuing alone (%.1f%% vs %.1f%%)", 100*full, 100*q)
+	}
+}

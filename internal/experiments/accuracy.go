@@ -1,0 +1,180 @@
+package experiments
+
+import (
+	"fmt"
+	"math"
+	"strings"
+
+	"gpuhms/internal/baseline"
+	"gpuhms/internal/core"
+	"gpuhms/internal/stats"
+)
+
+// AccuracyRow is one data placement's measured time and per-variant
+// predictions.
+type AccuracyRow struct {
+	Label      string
+	Kernel     string
+	Placement  string
+	MeasuredNS float64
+	Predicted  map[string]float64 // by variant name
+}
+
+// Normalized returns predicted/measured for one variant — the y-axis of
+// Figs 5 and 7–9.
+func (r *AccuracyRow) Normalized(variant string) float64 {
+	if r.MeasuredNS == 0 {
+		return 0
+	}
+	return r.Predicted[variant] / r.MeasuredNS
+}
+
+// AccuracyReport is the outcome of one model-accuracy experiment.
+type AccuracyReport struct {
+	Title    string
+	Variants []string
+	Rows     []AccuracyRow
+}
+
+// MeanError returns the arithmetic average prediction error of a variant
+// (the paper's "arithmetic average prediction error is 9.9%").
+func (r *AccuracyReport) MeanError(variant string) float64 {
+	if len(r.Rows) == 0 {
+		return 0
+	}
+	s := 0.0
+	for _, row := range r.Rows {
+		s += stats.RelError(row.Predicted[variant], row.MeasuredNS)
+	}
+	return s / float64(len(r.Rows))
+}
+
+// Improvement returns the mean-error reduction of variant b relative to
+// variant a, as a fraction of a's error (the paper's "improve performance
+// prediction accuracy by 17.6%" style of statement).
+func (r *AccuracyReport) Improvement(a, b string) float64 {
+	ea, eb := r.MeanError(a), r.MeanError(b)
+	if ea == 0 {
+		return 0
+	}
+	return (ea - eb) / ea
+}
+
+// Render prints the report as a fixed-width table of normalized predictions
+// plus the per-variant mean errors.
+func (r *AccuracyReport) Render() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s\n", r.Title)
+	fmt.Fprintf(&b, "%-16s %-34s %12s", "case", "placement", "measured(ns)")
+	for _, v := range r.Variants {
+		fmt.Fprintf(&b, " %22s", v)
+	}
+	b.WriteByte('\n')
+	for _, row := range r.Rows {
+		fmt.Fprintf(&b, "%-16s %-34s %12.0f", row.Label, row.Placement, row.MeasuredNS)
+		for _, v := range r.Variants {
+			fmt.Fprintf(&b, " %13.0f (%5.2fx)", row.Predicted[v], row.Normalized(v))
+		}
+		b.WriteByte('\n')
+	}
+	fmt.Fprintf(&b, "%-64s", "arithmetic mean prediction error")
+	for _, v := range r.Variants {
+		fmt.Fprintf(&b, " %21.1f%%", 100*r.MeanError(v))
+	}
+	b.WriteByte('\n')
+	return b.String()
+}
+
+// RunAccuracy evaluates the given model variants on the evaluation
+// placements (Table IV top half).
+func (c *Context) RunAccuracy(title string, variants []baseline.Variant) (*AccuracyReport, error) {
+	cases, err := c.Cases(EvalKernels(), false)
+	if err != nil {
+		return nil, err
+	}
+	if err := c.Prewarm(cases); err != nil {
+		return nil, err
+	}
+	rep := &AccuracyReport{Title: title}
+	models := make([]*core.Model, len(variants))
+	for i, v := range variants {
+		rep.Variants = append(rep.Variants, v.Name)
+		m, err := c.Model(v)
+		if err != nil {
+			return nil, fmt.Errorf("variant %s: %w", v.Name, err)
+		}
+		models[i] = m
+	}
+
+	// One predictor per (kernel, variant).
+	type pk struct{ kernel, variant string }
+	predictors := make(map[pk]*core.Predictor)
+	for _, cs := range cases {
+		meas, err := c.Measure(cs.Kernel, cs.Sample, cs.Target)
+		if err != nil {
+			return nil, err
+		}
+		row := AccuracyRow{
+			Label:      cs.Label,
+			Kernel:     cs.Kernel,
+			Placement:  cs.Target.Format(cs.Trace),
+			MeasuredNS: meas.TimeNS,
+			Predicted:  make(map[string]float64, len(variants)),
+		}
+		for i, v := range variants {
+			key := pk{cs.Kernel, v.Name}
+			pr, ok := predictors[key]
+			if !ok {
+				prof, err := c.Measure(cs.Kernel, cs.Sample, cs.Sample)
+				if err != nil {
+					return nil, err
+				}
+				pr, err = core.NewPredictor(models[i], cs.Trace, cs.Sample,
+					core.SampleProfile{TimeNS: prof.TimeNS, Events: prof.Events})
+				if err != nil {
+					return nil, err
+				}
+				predictors[key] = pr
+			}
+			pred, err := pr.Predict(cs.Target)
+			if err != nil {
+				return nil, err
+			}
+			if math.IsNaN(pred.TimeNS) {
+				return nil, fmt.Errorf("%s/%s: NaN prediction", cs.Label, v.Name)
+			}
+			row.Predicted[v.Name] = pred.TimeNS
+		}
+		rep.Rows = append(rep.Rows, row)
+	}
+	return rep, nil
+}
+
+// Fig5 compares the full model against Sim et al. [7] on the evaluation
+// placements (paper: 9.9% average error; 17.6% average improvement).
+func (c *Context) Fig5() (*AccuracyReport, error) {
+	return c.RunAccuracy("Fig 5: predicted performance normalized to measured — ours vs [7]",
+		[]baseline.Variant{baseline.Ours(), baseline.SimEtAl()})
+}
+
+// Fig7 isolates the detailed instruction counting (paper: +17% accuracy).
+func (c *Context) Fig7() (*AccuracyReport, error) {
+	return c.RunAccuracy("Fig 7: impact of detailed instruction counting",
+		[]baseline.Variant{baseline.Baseline(), baseline.BaselineIC()})
+}
+
+// Fig8 adds the queuing model on top of instruction counting, without and
+// with address mapping (paper: +31% over baseline; address mapping adds
+// 8.1%).
+func (c *Context) Fig8() (*AccuracyReport, error) {
+	return c.RunAccuracy("Fig 8: impact of the queuing model (instruction counting in place)",
+		[]baseline.Variant{baseline.Baseline(), baseline.BaselineIC(),
+			baseline.BaselineICQueueEven(), baseline.Ours()})
+}
+
+// Fig9 isolates the queuing model without instruction counting (paper:
+// +13.8% alone; both techniques combine to +39.1%).
+func (c *Context) Fig9() (*AccuracyReport, error) {
+	return c.RunAccuracy("Fig 9: impact of the queuing model alone",
+		[]baseline.Variant{baseline.Baseline(), baseline.BaselineQueue(), baseline.Ours()})
+}

@@ -1,0 +1,114 @@
+package experiments
+
+import (
+	"math"
+	"strings"
+	"testing"
+)
+
+func sampleReport() *AccuracyReport {
+	return &AccuracyReport{
+		Title:    "t",
+		Variants: []string{"a", "b"},
+		Rows: []AccuracyRow{
+			{Label: "x", Placement: "p1", MeasuredNS: 100,
+				Predicted: map[string]float64{"a": 110, "b": 150}},
+			{Label: "y", Placement: "p2", MeasuredNS: 200,
+				Predicted: map[string]float64{"a": 180, "b": 100}},
+		},
+	}
+}
+
+func TestAccuracyRowNormalized(t *testing.T) {
+	r := sampleReport().Rows[0]
+	if got := r.Normalized("a"); got != 1.1 {
+		t.Errorf("normalized = %g", got)
+	}
+	zero := AccuracyRow{MeasuredNS: 0, Predicted: map[string]float64{"a": 5}}
+	if zero.Normalized("a") != 0 {
+		t.Error("zero measured must normalize to 0")
+	}
+}
+
+func TestAccuracyMeanErrorAndImprovement(t *testing.T) {
+	rep := sampleReport()
+	// a: |10|/100 and |20|/200 → (0.10+0.10)/2 = 0.10
+	// b: |50|/100 and |100|/200 → (0.5+0.5)/2 = 0.50
+	if got := rep.MeanError("a"); math.Abs(got-0.10) > 1e-12 {
+		t.Errorf("mean error a = %g", got)
+	}
+	if got := rep.MeanError("b"); math.Abs(got-0.50) > 1e-12 {
+		t.Errorf("mean error b = %g", got)
+	}
+	if got := rep.Improvement("b", "a"); math.Abs(got-0.8) > 1e-12 {
+		t.Errorf("improvement = %g", got)
+	}
+	empty := &AccuracyReport{}
+	if empty.MeanError("a") != 0 || empty.Improvement("a", "b") != 0 {
+		t.Error("empty report must report zeros")
+	}
+}
+
+func TestAccuracyRender(t *testing.T) {
+	out := sampleReport().Render()
+	for _, want := range []string{"t\n", "p1", "p2", "1.10x", "mean prediction error"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("render missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestSensitivityHelpers(t *testing.T) {
+	rep := &SensitivityReport{Rows: []SensitivityRow{
+		{Agree: true, RegretPct: 0},
+		{Agree: false, RegretPct: 5},
+		{Agree: true, RegretPct: 0},
+		{Agree: false, RegretPct: 12},
+	}}
+	if got := rep.AgreementRate(); got != 0.5 {
+		t.Errorf("agreement = %g", got)
+	}
+	if got := rep.MaxRegret(); got != 12 {
+		t.Errorf("max regret = %g", got)
+	}
+	out := rep.Render()
+	if !strings.Contains(out, "agreement 50%") || !strings.Contains(out, "worst regret 12.0%") {
+		t.Errorf("sensitivity render:\n%s", out)
+	}
+	empty := &SensitivityReport{}
+	if empty.AgreementRate() != 0 || empty.MaxRegret() != 0 {
+		t.Error("empty sensitivity report must report zeros")
+	}
+}
+
+func TestValidateHelpers(t *testing.T) {
+	rep := &ValidateReport{Rows: []ValidateRow{
+		{Kernel: "a", MeanErrPct: 10, BestAgree: true},
+		{Kernel: "b", MeanErrPct: 30, BestAgree: false},
+	}}
+	if got := rep.MeanError(); got != 20 {
+		t.Errorf("grand mean = %g", got)
+	}
+	if got := rep.BestAgreementRate(); got != 0.5 {
+		t.Errorf("best agreement = %g", got)
+	}
+	if !strings.Contains(rep.Render(), "grand mean error 20.0%") {
+		t.Error("validate render missing summary")
+	}
+	empty := &ValidateReport{}
+	if empty.MeanError() != 0 || empty.BestAgreementRate() != 0 {
+		t.Error("empty validate report must report zeros")
+	}
+}
+
+func TestRankOrderStable(t *testing.T) {
+	xs := []float64{3, 1, 2, 1}
+	order := rankOrder(xs, func(x float64) float64 { return x })
+	want := []int{1, 3, 2, 0} // ties keep input order (stable)
+	if !equalInts(order, want) {
+		t.Errorf("order = %v, want %v", order, want)
+	}
+	if equalInts([]int{1}, []int{1, 2}) {
+		t.Error("length mismatch should be unequal")
+	}
+}

@@ -1,0 +1,28 @@
+package experiments
+
+import (
+	"testing"
+
+	"gpuhms/internal/gpu"
+)
+
+// TestFig5 checks the headline result's shape: the full model is more
+// accurate on the evaluation placements than the Sim-et-al comparator.
+func TestFig5(t *testing.T) {
+	c := NewContext(gpu.KeplerK80(), 1)
+	rep, err := c.Fig5()
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("\n%s", rep.Render())
+	ours := rep.MeanError("our-model")
+	theirs := rep.MeanError("sim-etal-ppopp12")
+	t.Logf("mean error ours=%.1f%% sim-etal=%.1f%% improvement=%.1f%%",
+		100*ours, 100*theirs, 100*rep.Improvement("sim-etal-ppopp12", "our-model"))
+	if ours >= theirs {
+		t.Errorf("full model (%.1f%%) should beat Sim et al. (%.1f%%)", 100*ours, 100*theirs)
+	}
+	if ours > 0.35 {
+		t.Errorf("full model error %.1f%% too high", 100*ours)
+	}
+}

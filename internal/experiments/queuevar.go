@@ -1,0 +1,21 @@
+package experiments
+
+import (
+	"gpuhms/internal/baseline"
+	"gpuhms/internal/queuing"
+)
+
+// QueueVariants compares the queuing approximations inside the full model:
+// the paper's Eq 9 as printed, the classical Kingman formula, and the
+// Markovian M/M/1 the paper argues is inappropriate for GPU arrival streams
+// (§III-C3). An extension beyond the paper's own figures: it quantifies how
+// much the choice of approximation matters once everything else is in
+// place.
+func (c *Context) QueueVariants() (*AccuracyReport, error) {
+	return c.RunAccuracy("Queuing-variant ablation: Eq 9 (paper) vs classical Kingman vs M/M/1",
+		[]baseline.Variant{
+			baseline.QueueVariant(queuing.PaperKingman),
+			baseline.QueueVariant(queuing.ClassicKingman),
+			baseline.QueueVariant(queuing.MM1),
+		})
+}

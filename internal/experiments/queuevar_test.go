@@ -1,0 +1,25 @@
+package experiments
+
+import "testing"
+
+// TestQueueVariants checks the §III-C3 argument quantitatively: the G/G/1
+// treatments (paper Eq 9 and classical Kingman) must beat the Markovian
+// M/M/1 reference on the evaluation set, because GPU arrival streams are
+// bursty (c_a ≫ 1).
+func TestQueueVariants(t *testing.T) {
+	rep, err := sharedCtx.QueueVariants()
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("\n%s", rep.Render())
+	paper := rep.MeanError("ours+paper-kingman")
+	classic := rep.MeanError("ours+classic-kingman")
+	mm1 := rep.MeanError("ours+mm1")
+	t.Logf("paper=%.1f%% classic=%.1f%% mm1=%.1f%%", 100*paper, 100*classic, 100*mm1)
+	if paper >= mm1 {
+		t.Errorf("paper Kingman (%.1f%%) should beat M/M/1 (%.1f%%)", 100*paper, 100*mm1)
+	}
+	if classic >= mm1 {
+		t.Errorf("classical Kingman (%.1f%%) should beat M/M/1 (%.1f%%)", 100*classic, 100*mm1)
+	}
+}

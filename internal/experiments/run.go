@@ -1,0 +1,60 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"sort"
+)
+
+// Renderer is the common surface of experiment reports.
+type Renderer interface {
+	Render() string
+}
+
+// Runner executes one named experiment.
+type Runner func(*Context) (Renderer, error)
+
+// Registry maps experiment names (as accepted by `cmd/experiments -run`) to
+// their runners.
+func Registry() map[string]Runner {
+	return map[string]Runner{
+		"table1":      func(c *Context) (Renderer, error) { return c.Table1() },
+		"fig2":        func(c *Context) (Renderer, error) { return c.Fig2() },
+		"alg1":        func(c *Context) (Renderer, error) { return c.Alg1() },
+		"fig4":        func(c *Context) (Renderer, error) { return c.Fig4() },
+		"fig5":        func(c *Context) (Renderer, error) { return c.Fig5() },
+		"fig6":        func(c *Context) (Renderer, error) { return c.Fig6() },
+		"fig7":        func(c *Context) (Renderer, error) { return c.Fig7() },
+		"fig8":        func(c *Context) (Renderer, error) { return c.Fig8() },
+		"fig9":        func(c *Context) (Renderer, error) { return c.Fig9() },
+		"table4":      func(c *Context) (Renderer, error) { return c.Table4() },
+		"queuevar":    func(c *Context) (Renderer, error) { return c.QueueVariants() },
+		"sensitivity": func(c *Context) (Renderer, error) { return c.Sensitivity() },
+		"validate":    func(c *Context) (Renderer, error) { return c.Validate() },
+	}
+}
+
+// Names returns the registered experiment names, sorted.
+func Names() []string {
+	reg := Registry()
+	out := make([]string, 0, len(reg))
+	for n := range reg {
+		out = append(out, n)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Run executes one experiment and writes its rendering.
+func Run(c *Context, name string, w io.Writer) error {
+	runner, ok := Registry()[name]
+	if !ok {
+		return fmt.Errorf("experiments: unknown experiment %q (have %v)", name, Names())
+	}
+	rep, err := runner(c)
+	if err != nil {
+		return fmt.Errorf("experiments: %s: %w", name, err)
+	}
+	fmt.Fprintf(w, "==== %s ====\n%s\n", name, rep.Render())
+	return nil
+}

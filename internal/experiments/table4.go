@@ -1,0 +1,88 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+
+	"gpuhms/internal/kernels"
+	"gpuhms/internal/trace"
+)
+
+// Table4Row is one benchmark's inventory entry.
+type Table4Row struct {
+	Kernel     string
+	Suite      string
+	KernelName string
+	Sample     string
+	Tests      []string
+	Arrays     []trace.Array
+	Warps      int
+	Training   bool
+}
+
+// Table4Report reproduces Table IV: the benchmark and data placement test
+// inventory, split into evaluation and training halves.
+type Table4Report struct {
+	Rows []Table4Row
+}
+
+// Table4 enumerates every registered kernel.
+func (c *Context) Table4() (*Table4Report, error) {
+	rep := &Table4Report{}
+	for _, name := range kernels.Names() {
+		spec := kernels.MustGet(name)
+		t := c.Trace(name)
+		rep.Rows = append(rep.Rows, Table4Row{
+			Kernel:     name,
+			Suite:      spec.Suite,
+			KernelName: spec.KernelName,
+			Sample:     orDefault(spec.Sample, "(all global)"),
+			Tests:      spec.PlacementTests,
+			Arrays:     t.Arrays,
+			Warps:      t.Launch.TotalWarps(),
+			Training:   spec.Training,
+		})
+	}
+	return rep, nil
+}
+
+func orDefault(s, def string) string {
+	if s == "" {
+		return def
+	}
+	return s
+}
+
+// Render prints the inventory in Table IV's split.
+func (r *Table4Report) Render() string {
+	var b strings.Builder
+	b.WriteString("Table IV: benchmarks and data placement tests (count includes the sample placement)\n")
+	section := func(training bool, title string) {
+		fmt.Fprintf(&b, "\n%s\n", title)
+		for _, row := range r.Rows {
+			if row.Training != training {
+				continue
+			}
+			fmt.Fprintf(&b, "%s:%s(%d)  kernel=%s  sample=%s  warps=%d\n",
+				row.Suite, row.Kernel, len(row.Tests)+1, row.KernelName, row.Sample, row.Warps)
+			var arrays []string
+			for _, a := range row.Arrays {
+				tag := ""
+				if a.ReadOnly {
+					tag = " ro"
+				}
+				if a.Is2D() {
+					tag += fmt.Sprintf(" %dx%d", a.Height(), a.Width)
+				}
+				arrays = append(arrays, fmt.Sprintf("%s(%s %dB%s)", a.Name, a.Type, a.Bytes(), tag))
+			}
+			fmt.Fprintf(&b, "    arrays: %s\n", strings.Join(arrays, ", "))
+			for _, tst := range row.Tests {
+				fmt.Fprintf(&b, "    test: %s\n", tst)
+			}
+		}
+	}
+	section(false, "Benchmarks for evaluation")
+	section(true, "Benchmarks for training T_overlap")
+	return b.String()
+}

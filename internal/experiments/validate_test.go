@@ -1,0 +1,54 @@
+package experiments
+
+import "testing"
+
+// TestValidateSweep runs the whole-corpus acceptance sweep: every kernel's
+// placements predicted and measured, with bounded error and mostly-correct
+// best-placement picks.
+func TestValidateSweep(t *testing.T) {
+	rep, err := sharedCtx.Validate()
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("\n%s", rep.Render())
+	if len(rep.Rows) < 20 {
+		t.Fatalf("only %d kernels swept", len(rep.Rows))
+	}
+	if mean := rep.MeanError(); mean > 30 {
+		t.Errorf("grand mean error %.1f%% too high", mean)
+	}
+	if rate := rep.BestAgreementRate(); rate < 0.5 {
+		t.Errorf("best-placement agreement %.0f%% too low", 100*rate)
+	}
+	for _, row := range rep.Rows {
+		if row.Placements < 2 {
+			t.Errorf("%s swept only %d placements", row.Kernel, row.Placements)
+		}
+		if row.MaxErrPct > 150 {
+			t.Errorf("%s max error %.1f%% — model diverged", row.Kernel, row.MaxErrPct)
+		}
+	}
+}
+
+// TestSensitivitySweep checks the HMS design-space exploration: across
+// perturbed architectures the advisor's picks must mostly match the
+// simulated hardware's best, and never cost much when they don't.
+func TestSensitivitySweep(t *testing.T) {
+	if testing.Short() {
+		t.Skip("re-trains per architecture; skipped in -short")
+	}
+	rep, err := sharedCtx.Sensitivity()
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("\n%s", rep.Render())
+	if len(rep.Rows) != len(SensitivityKernels)*5 {
+		t.Fatalf("rows = %d", len(rep.Rows))
+	}
+	if rate := rep.AgreementRate(); rate < 0.6 {
+		t.Errorf("agreement rate %.0f%% too low", 100*rate)
+	}
+	if regret := rep.MaxRegret(); regret > 30 {
+		t.Errorf("worst regret %.1f%% too high", regret)
+	}
+}

@@ -1,0 +1,448 @@
+package kernels
+
+import "gpuhms/internal/trace"
+
+// The extension corpus: workloads beyond the paper's Table IV roster, kept
+// out of the reproduced figures (suite "ext") but available to the advisor,
+// the CLI, and the test suite. They cover placement-sensitive patterns the
+// paper's set under-represents: broadcast-dominated all-pairs loops,
+// centroid tables, option-pricing streams, DP row sweeps, 8x8 block
+// transforms, non-uniform trigonometric tables, and privatized histograms.
+func init() {
+	register(Spec{
+		Name:        "nbody",
+		Suite:       "ext",
+		KernelName:  "integrateBodies",
+		Description: "all-pairs N-body tile loop: every interaction broadcasts one body's position",
+		Generate:    genNBody,
+		Sample:      "",
+		PlacementTests: []string{
+			"pos:C",
+			"pos:T",
+			"pos:S",
+		},
+	})
+	register(Spec{
+		Name:        "kmeans",
+		Suite:       "ext",
+		KernelName:  "findNearestCluster",
+		Description: "k-means assignment: coalesced point reads against broadcast centroid table",
+		Generate:    genKMeans,
+		Sample:      "",
+		PlacementTests: []string{
+			"centroids:C",
+			"centroids:S",
+			"points:T",
+			"centroids:C,points:T",
+		},
+		// Joins the T_overlap training corpus (broadcast-table pattern).
+		Training: true,
+	})
+	register(Spec{
+		Name:        "blackscholes",
+		Suite:       "ext",
+		KernelName:  "BlackScholesGPU",
+		Description: "option pricing: three coalesced input streams, SFU-heavy math, two output streams",
+		Generate:    genBlackScholes,
+		Sample:      "",
+		PlacementTests: []string{
+			"price:T,strike:T,years:T",
+			"years:S",
+		},
+	})
+	register(Spec{
+		Name:        "pathfinder",
+		Suite:       "ext",
+		KernelName:  "dynproc_kernel",
+		Description: "DP row sweep: shifted coalesced reads of the previous row and the 2D wall",
+		Generate:    genPathfinder,
+		Sample:      "",
+		PlacementTests: []string{
+			"wall:T",
+			"wall:2T",
+		},
+	})
+	register(Spec{
+		Name:        "dct8x8",
+		Suite:       "ext",
+		KernelName:  "CUDAkernel1DCT",
+		Description: "8x8 block DCT: row-and-column passes over tiles with strong 2D locality",
+		Generate:    genDCT8x8,
+		Sample:      "",
+		PlacementTests: []string{
+			"src:2T",
+			"src:T",
+		},
+	})
+	register(Spec{
+		Name:        "mriq",
+		Suite:       "ext",
+		KernelName:  "ComputeQ_GPU",
+		Description: "MRI Q computation: trajectory-sample broadcasts with sin/cos per iteration",
+		Generate:    genMRIQ,
+		Sample:      "kx:C,ky:C,kz:C",
+		PlacementTests: []string{
+			"kx:G,ky:G,kz:G",
+			"kx:T,ky:T,kz:T",
+			"kx:S,ky:S,kz:S",
+		},
+	})
+	register(Spec{
+		Name:        "histogram",
+		Suite:       "ext",
+		KernelName:  "histogram64Kernel",
+		Description: "privatized 64-bin histogram: coalesced reads, data-dependent scratch updates",
+		Generate:    genHistogram,
+		Sample:      "s_Hist:S",
+		PlacementTests: []string{
+			"s_Hist:G",
+		},
+		// Joins the T_overlap training corpus: the Table IV training set
+		// has no shared-scratch-heavy pattern, which starves the Eq 11
+		// regression of e_s variation.
+		Training: true,
+	})
+	register(Spec{
+		Name:        "scatteradd",
+		Suite:       "ext",
+		KernelName:  "scatterAddKernel",
+		Description: "atomic scatter-add into a hot bin table: same-address lanes serialize (replay cause 6)",
+		Generate:    genScatterAdd,
+		Sample:      "",
+		PlacementTests: []string{
+			"bins:S",
+		},
+	})
+}
+
+// genScatterAdd emits a contended atomic accumulation: each lane atomically
+// adds into one of a few dozen bins with a heavily skewed distribution, so
+// warps routinely have many lanes on the same bin.
+func genScatterAdd(scale int) *trace.Trace {
+	const (
+		threadsPerBlock = 128
+		bins            = 48
+	)
+	n := 16384 * scale
+	r := rng("scatteradd", scale)
+	blocks := n / threadsPerBlock
+
+	target := make([]int64, n)
+	for i := range target {
+		// Zipf-ish skew: bin 0 is the hottest.
+		target[i] = int64(r.Intn(bins) * r.Intn(bins) * r.Intn(bins) / (bins * bins))
+	}
+
+	b := trace.NewBuilder("scatterAddKernel", trace.Launch{
+		Blocks: blocks, ThreadsPerBlock: threadsPerBlock, WarpSize: 32,
+	})
+	in := b.DeclareArray(trace.Array{Name: "values", Type: trace.F32, Len: n, ReadOnly: true})
+	bn := b.DeclareArray(trace.Array{Name: "bins", Type: trace.F32, Len: bins * blocks})
+
+	idx := make([]int64, 32)
+	warpsPerBlock := threadsPerBlock / 32
+	for blk := 0; blk < blocks; blk++ {
+		for w := 0; w < warpsPerBlock; w++ {
+			wb := b.Warp(blk, w)
+			wb.Int(2).Branch(1)
+			base := blk*threadsPerBlock + w*32
+			wb.LoadCoalesced(in, int64(base), 32)
+			wb.Int(2)
+			for l := 0; l < 32; l++ {
+				idx[l] = int64(blk*bins) + target[base+l]
+			}
+			wb.Atomic(bn, idx)
+		}
+	}
+	return b.MustBuild()
+}
+
+// genNBody emits the tile-based all-pairs N-body loop: each iteration
+// broadcasts one body's position to the whole warp and accumulates forces.
+func genNBody(scale int) *trace.Trace {
+	const threadsPerBlock = 128
+	bodies := 512 * scale
+	blocks := bodies / threadsPerBlock
+	b := trace.NewBuilder("integrateBodies", trace.Launch{
+		Blocks: blocks, ThreadsPerBlock: threadsPerBlock, WarpSize: 32,
+	})
+	pos := b.DeclareArray(trace.Array{Name: "pos", Type: trace.F32, Len: bodies, ReadOnly: true})
+	acc := b.DeclareArray(trace.Array{Name: "acc", Type: trace.F32, Len: bodies})
+
+	warpsPerBlock := threadsPerBlock / 32
+	for blk := 0; blk < blocks; blk++ {
+		for w := 0; w < warpsPerBlock; w++ {
+			wb := b.Warp(blk, w)
+			wb.Int(3).Branch(1)
+			i0 := blk*threadsPerBlock + w*32
+			wb.LoadCoalesced(pos, int64(i0), 32) // own position
+			for j := 0; j < bodies; j += 4 {
+				// Unrolled by 4: one broadcast per interaction.
+				for u := 0; u < 4; u++ {
+					wb.LoadBroadcast(pos, int64(j+u), 32)
+					wb.FP32(6) // dx, r², r⁻³ (rsqrt folded), accumulate
+				}
+				wb.SFU(1)
+				wb.Branch(1)
+			}
+			wb.StoreCoalesced(acc, int64(i0), 32)
+		}
+	}
+	return b.MustBuild()
+}
+
+// genKMeans emits the assignment step: each point (one thread) compares its
+// coordinates against every centroid; centroid reads broadcast.
+func genKMeans(scale int) *trace.Trace {
+	const (
+		threadsPerBlock = 128
+		k               = 16
+		dims            = 4
+	)
+	points := 4096 * scale
+	blocks := points / threadsPerBlock
+	b := trace.NewBuilder("findNearestCluster", trace.Launch{
+		Blocks: blocks, ThreadsPerBlock: threadsPerBlock, WarpSize: 32,
+	})
+	pts := b.DeclareArray(trace.Array{Name: "points", Type: trace.F32, Len: points * dims, Width: points, ReadOnly: true})
+	cent := b.DeclareArray(trace.Array{Name: "centroids", Type: trace.F32, Len: k * dims, ReadOnly: true})
+	member := b.DeclareArray(trace.Array{Name: "membership", Type: trace.I32, Len: points})
+
+	warpsPerBlock := threadsPerBlock / 32
+	for blk := 0; blk < blocks; blk++ {
+		for w := 0; w < warpsPerBlock; w++ {
+			wb := b.Warp(blk, w)
+			wb.Int(3).Branch(1)
+			p0 := blk*threadsPerBlock + w*32
+			// Own coordinates, dimension-major (coalesced per dimension).
+			for d := 0; d < dims; d++ {
+				wb.LoadCoalesced(pts, int64(d*points+p0), 32)
+			}
+			for c := 0; c < k; c++ {
+				for d := 0; d < dims; d++ {
+					wb.LoadBroadcast(cent, int64(c*dims+d), 32)
+					wb.FP32(2) // diff², accumulate
+				}
+				wb.Int(2) // argmin bookkeeping
+				wb.Branch(1)
+			}
+			wb.StoreCoalesced(member, int64(p0), 32)
+		}
+	}
+	return b.MustBuild()
+}
+
+// genBlackScholes emits the SDK option-pricing kernel: pure streaming with
+// heavy special-function math.
+func genBlackScholes(scale int) *trace.Trace {
+	const threadsPerBlock = 256
+	n := 16384 * scale
+	blocks := n / threadsPerBlock
+	b := trace.NewBuilder("BlackScholesGPU", trace.Launch{
+		Blocks: blocks, ThreadsPerBlock: threadsPerBlock, WarpSize: 32,
+	})
+	price := b.DeclareArray(trace.Array{Name: "price", Type: trace.F32, Len: n, ReadOnly: true})
+	strike := b.DeclareArray(trace.Array{Name: "strike", Type: trace.F32, Len: n, ReadOnly: true})
+	years := b.DeclareArray(trace.Array{Name: "years", Type: trace.F32, Len: n, ReadOnly: true})
+	call := b.DeclareArray(trace.Array{Name: "call", Type: trace.F32, Len: n})
+	put := b.DeclareArray(trace.Array{Name: "put", Type: trace.F32, Len: n})
+
+	warpsPerBlock := threadsPerBlock / 32
+	for blk := 0; blk < blocks; blk++ {
+		for w := 0; w < warpsPerBlock; w++ {
+			wb := b.Warp(blk, w)
+			wb.Int(2).Branch(1)
+			base := int64(blk*threadsPerBlock + w*32)
+			wb.LoadCoalesced(price, base, 32)
+			wb.LoadCoalesced(strike, base, 32)
+			wb.LoadCoalesced(years, base, 32)
+			wb.FP32(14) // d1/d2 arithmetic
+			wb.SFU(4)   // sqrt, log, exp, CND polynomials
+			wb.FP32(8)
+			wb.StoreCoalesced(call, base, 32)
+			wb.StoreCoalesced(put, base, 32)
+		}
+	}
+	return b.MustBuild()
+}
+
+// genPathfinder emits the Rodinia DP sweep: each row reads the previous
+// result row at offsets −1/0/+1 and the current wall row.
+func genPathfinder(scale int) *trace.Trace {
+	const threadsPerBlock = 256
+	cols := 4096
+	rows := 16 * scale
+	blocks := cols / threadsPerBlock
+	b := trace.NewBuilder("dynproc_kernel", trace.Launch{
+		Blocks: blocks, ThreadsPerBlock: threadsPerBlock, WarpSize: 32,
+	})
+	wall := b.DeclareArray(trace.Array{Name: "wall", Type: trace.I32, Len: cols * rows, Width: cols, ReadOnly: true})
+	result := b.DeclareArray(trace.Array{Name: "result", Type: trace.I32, Len: cols * 2})
+
+	clamp := func(v int64) int64 {
+		if v < 0 {
+			return 0
+		}
+		if v >= int64(cols) {
+			return int64(cols) - 1
+		}
+		return v
+	}
+	idx := make([]int64, 32)
+	warpsPerBlock := threadsPerBlock / 32
+	for blk := 0; blk < blocks; blk++ {
+		for w := 0; w < warpsPerBlock; w++ {
+			wb := b.Warp(blk, w)
+			wb.Int(2).Branch(1)
+			x0 := int64(blk*threadsPerBlock + w*32)
+			for r := 0; r < rows; r++ {
+				src := int64((r % 2) * cols)
+				dst := int64(((r + 1) % 2) * cols)
+				for _, off := range []int64{-1, 0, 1} {
+					for l := 0; l < 32; l++ {
+						idx[l] = src + clamp(x0+int64(l)+off)
+					}
+					wb.Load(result, idx)
+					wb.Int(1) // min()
+				}
+				wb.LoadCoalesced(wall, int64(r*cols)+x0, 32)
+				wb.Int(1)
+				wb.StoreCoalesced(result, dst+x0, 32)
+				wb.Sync()
+			}
+		}
+	}
+	return b.MustBuild()
+}
+
+// genDCT8x8 emits the SDK 8x8 DCT: a row pass then a column pass over each
+// tile — textbook 2D spatial locality.
+func genDCT8x8(scale int) *trace.Trace {
+	const threadsPerBlock = 64 // one 8x8 tile per warp pair
+	dim := 128 * scale
+	tiles := (dim / 8) * (dim / 8)
+	blocks := tiles * 8 * 8 / threadsPerBlock
+	b := trace.NewBuilder("CUDAkernel1DCT", trace.Launch{
+		Blocks: blocks, ThreadsPerBlock: threadsPerBlock, WarpSize: 32,
+	})
+	src := b.DeclareArray(trace.Array{Name: "src", Type: trace.F32, Len: dim * dim, Width: dim, ReadOnly: true})
+	dst := b.DeclareArray(trace.Array{Name: "dst", Type: trace.F32, Len: dim * dim, Width: dim})
+
+	tilesPerRow := dim / 8
+	idx := make([]int64, 32)
+	warpsPerBlock := threadsPerBlock / 32
+	for blk := 0; blk < blocks; blk++ {
+		for w := 0; w < warpsPerBlock; w++ {
+			wb := b.Warp(blk, w)
+			wb.Int(4).Branch(1)
+			// Each warp covers 4 rows of one 8x8 tile (8 lanes per row).
+			tile := (blk*warpsPerBlock + w) / 2
+			half := (blk*warpsPerBlock + w) % 2
+			ty, tx := tile/tilesPerRow, tile%tilesPerRow
+			baseY, baseX := ty*8+half*4, tx*8
+			// Row pass: 4 rows × 8 lanes, coalesced within rows.
+			for l := 0; l < 32; l++ {
+				y := baseY + l/8
+				x := baseX + l%8
+				idx[l] = int64(y*dim + x)
+			}
+			wb.Load(src, append([]int64(nil), idx...))
+			wb.FP32(16) // 8-point butterfly
+			// Column pass: 4 columns × 8 rows per warp; lanes stride by dim
+			// within a column.
+			for l := 0; l < 32; l++ {
+				y := ty*8 + l%8
+				x := baseX + half*4 + l/8
+				idx[l] = int64(y*dim + x)
+			}
+			wb.Load(src, append([]int64(nil), idx...))
+			wb.FP32(16)
+			for l := 0; l < 32; l++ {
+				y := baseY + l/8
+				x := baseX + l%8
+				idx[l] = int64(y*dim + x)
+			}
+			wb.Store(dst, idx)
+		}
+	}
+	return b.MustBuild()
+}
+
+// genMRIQ emits the Parboil MRI-Q inner loop: per voxel, every trajectory
+// sample's k-space coordinates broadcast, followed by sin/cos.
+func genMRIQ(scale int) *trace.Trace {
+	const (
+		threadsPerBlock = 128
+		kSamples        = 256
+	)
+	voxels := 2048 * scale
+	blocks := voxels / threadsPerBlock
+	b := trace.NewBuilder("ComputeQ_GPU", trace.Launch{
+		Blocks: blocks, ThreadsPerBlock: threadsPerBlock, WarpSize: 32,
+	})
+	kx := b.DeclareArray(trace.Array{Name: "kx", Type: trace.F32, Len: kSamples, ReadOnly: true})
+	ky := b.DeclareArray(trace.Array{Name: "ky", Type: trace.F32, Len: kSamples, ReadOnly: true})
+	kz := b.DeclareArray(trace.Array{Name: "kz", Type: trace.F32, Len: kSamples, ReadOnly: true})
+	q := b.DeclareArray(trace.Array{Name: "Qr", Type: trace.F32, Len: voxels})
+
+	warpsPerBlock := threadsPerBlock / 32
+	for blk := 0; blk < blocks; blk++ {
+		for w := 0; w < warpsPerBlock; w++ {
+			wb := b.Warp(blk, w)
+			wb.Int(3).Branch(1)
+			v0 := int64(blk*threadsPerBlock + w*32)
+			for s := 0; s < kSamples; s++ {
+				wb.LoadBroadcast(kx, int64(s), 32)
+				wb.LoadBroadcast(ky, int64(s), 32)
+				wb.LoadBroadcast(kz, int64(s), 32)
+				wb.FP32(5) // phase accumulation
+				wb.SFU(2)  // sin, cos
+			}
+			wb.StoreCoalesced(q, v0, 32)
+		}
+	}
+	return b.MustBuild()
+}
+
+// genHistogram emits the privatized 64-bin histogram: coalesced data reads,
+// data-dependent updates of a per-block scratch table (bank conflicts when
+// values collide).
+func genHistogram(scale int) *trace.Trace {
+	const (
+		threadsPerBlock = 128
+		bins            = 64
+	)
+	n := 32768 * scale
+	r := rng("histogram", scale)
+	blocks := n / threadsPerBlock
+	data := make([]int64, n)
+	for i := range data {
+		// Skewed distribution: low bins are hot → same-bank pile-ups.
+		data[i] = int64(r.Intn(bins) * r.Intn(bins) / bins)
+	}
+
+	b := trace.NewBuilder("histogram64Kernel", trace.Launch{
+		Blocks: blocks, ThreadsPerBlock: threadsPerBlock, WarpSize: 32,
+	})
+	in := b.DeclareArray(trace.Array{Name: "d_Data", Type: trace.I32, Len: n, ReadOnly: true})
+	hist := b.DeclareArray(trace.Array{Name: "s_Hist", Type: trace.I32, Len: bins * blocks})
+
+	idx := make([]int64, 32)
+	warpsPerBlock := threadsPerBlock / 32
+	for blk := 0; blk < blocks; blk++ {
+		for w := 0; w < warpsPerBlock; w++ {
+			wb := b.Warp(blk, w)
+			wb.Int(2).Branch(1)
+			base := blk*threadsPerBlock + w*32
+			wb.LoadCoalesced(in, int64(base), 32)
+			wb.Int(2) // bin extraction
+			for l := 0; l < 32; l++ {
+				idx[l] = int64(blk*bins) + data[base+l]
+			}
+			wb.Load(hist, append([]int64(nil), idx...))
+			wb.Int(1)
+			wb.Store(hist, idx)
+		}
+	}
+	return b.MustBuild()
+}

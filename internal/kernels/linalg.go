@@ -1,0 +1,123 @@
+package kernels
+
+import "gpuhms/internal/trace"
+
+func init() {
+	register(Spec{
+		Name:        "matrixMul",
+		Suite:       "SDK",
+		KernelName:  "matrixMul",
+		Description: "C = A×B; per-iteration row broadcast of A, coalesced row of B",
+		Generate:    genMatrixMul,
+		Sample:      "",
+		PlacementTests: []string{
+			"A:2T,B:2T",
+			"A:2T",
+			"A:T",
+			"A:T,B:2T",
+			"B:2T",
+			"A:T,B:T",
+			"B:T",
+		},
+		Training: true,
+	})
+	register(Spec{
+		Name:        "transpose",
+		Suite:       "SDK",
+		KernelName:  "transposeNaive",
+		Description: "out[x][y] = in[y][x]; coalesced reads, fully strided writes",
+		Generate:    genTranspose,
+		Sample:      "",
+		PlacementTests: []string{
+			"idata:2T",
+			"idata:T",
+		},
+		Training: true,
+	})
+}
+
+// genMatrixMul emits a 16x16-thread-block matrix multiply: thread (tx,ty) of
+// block (bx,by) computes C[by*16+ty][bx*16+tx]. A warp covers two rows of
+// the block. Each k iteration loads A[row][k] (two distinct elements per
+// warp, broadcast within a row of lanes) and B[k][col] (16 contiguous
+// elements shared by both lane rows).
+func genMatrixMul(scale int) *trace.Trace {
+	dim := 64 * scale
+	const tile = 16
+	blocksPerDim := dim / tile
+	blocks := blocksPerDim * blocksPerDim
+	b := trace.NewBuilder("matrixMul", trace.Launch{
+		Blocks: blocks, ThreadsPerBlock: tile * tile, WarpSize: 32,
+	})
+	A := b.DeclareArray(trace.Array{Name: "A", Type: trace.F32, Len: dim * dim, Width: dim, ReadOnly: true})
+	B := b.DeclareArray(trace.Array{Name: "B", Type: trace.F32, Len: dim * dim, Width: dim, ReadOnly: true})
+	C := b.DeclareArray(trace.Array{Name: "C", Type: trace.F32, Len: dim * dim, Width: dim})
+
+	warpsPerBlock := tile * tile / 32 // 8: each warp is two lane-rows
+	aIdx := make([]int64, 32)
+	bIdx := make([]int64, 32)
+	cIdx := make([]int64, 32)
+	for blk := 0; blk < blocks; blk++ {
+		by, bx := blk/blocksPerDim, blk%blocksPerDim
+		for w := 0; w < warpsPerBlock; w++ {
+			wb := b.Warp(blk, w)
+			wb.Int(4).Branch(1) // row/col index setup
+			row0 := int64(by*tile + w*2)
+			col0 := int64(bx * tile)
+			for k := 0; k < dim; k++ {
+				for l := 0; l < 32; l++ {
+					r := row0 + int64(l/tile)
+					c := col0 + int64(l%tile)
+					aIdx[l] = r*int64(dim) + int64(k)
+					bIdx[l] = int64(k)*int64(dim) + c
+				}
+				wb.Int(2)
+				wb.Load(A, aIdx)
+				wb.Load(B, bIdx)
+				wb.FP32(2) // fused multiply-add pair
+			}
+			for l := 0; l < 32; l++ {
+				r := row0 + int64(l/tile)
+				c := col0 + int64(l%tile)
+				cIdx[l] = r*int64(dim) + c
+			}
+			wb.Store(C, cIdx)
+		}
+	}
+	return b.MustBuild()
+}
+
+// genTranspose emits the SDK naive transpose: 16x16 thread blocks read a
+// tile of idata with unit stride and write odata with stride dim — the
+// classic fully-diverged store.
+func genTranspose(scale int) *trace.Trace {
+	dim := 96 * scale // 96x96 fp32 keeps idata within constant-memory capacity at scale 1
+	const tile = 16
+	blocksPerDim := dim / tile
+	blocks := blocksPerDim * blocksPerDim
+	b := trace.NewBuilder("transposeNaive", trace.Launch{
+		Blocks: blocks, ThreadsPerBlock: tile * tile, WarpSize: 32,
+	})
+	in := b.DeclareArray(trace.Array{Name: "idata", Type: trace.F32, Len: dim * dim, Width: dim, ReadOnly: true})
+	out := b.DeclareArray(trace.Array{Name: "odata", Type: trace.F32, Len: dim * dim, Width: dim})
+
+	warpsPerBlock := tile * tile / 32
+	rIdx := make([]int64, 32)
+	wIdx := make([]int64, 32)
+	for blk := 0; blk < blocks; blk++ {
+		by, bx := blk/blocksPerDim, blk%blocksPerDim
+		for w := 0; w < warpsPerBlock; w++ {
+			wb := b.Warp(blk, w)
+			wb.Int(4).Branch(1)
+			for l := 0; l < 32; l++ {
+				y := int64(by*tile + w*2 + l/tile)
+				x := int64(bx*tile + l%tile)
+				rIdx[l] = y*int64(dim) + x
+				wIdx[l] = x*int64(dim) + y
+			}
+			wb.Load(in, rIdx)
+			wb.Store(out, wIdx)
+		}
+	}
+	return b.MustBuild()
+}

@@ -1,0 +1,85 @@
+package kernels
+
+import "gpuhms/internal/trace"
+
+func init() {
+	register(Spec{
+		Name:        "vecadd",
+		Suite:       "micro",
+		KernelName:  "vecAdd",
+		Description: "v = a + b; the Fig 2 running example with fully coalesced streams",
+		Generate:    genVecAdd,
+		Sample:      "",
+		PlacementTests: []string{
+			"a:T,b:T",
+			"a:C",
+			"a:S,b:S",
+		},
+		Training: false,
+	})
+	register(Spec{
+		Name:        "triad",
+		Suite:       "SHOC",
+		KernelName:  "triad",
+		Description: "C = A + s*B streaming triad",
+		Generate:    genTriad,
+		Sample:      "",
+		PlacementTests: []string{
+			"B:S",
+		},
+		Training: true,
+	})
+}
+
+// genVecAdd emits the vector-addition kernel of Fig 2: one thread per
+// element, unit-stride loads of a and b, one FP add, unit-stride store of v.
+func genVecAdd(scale int) *trace.Trace {
+	const threadsPerBlock = 256
+	n := 16384 * scale
+	blocks := n / threadsPerBlock
+	b := trace.NewBuilder("vecAdd", trace.Launch{
+		Blocks: blocks, ThreadsPerBlock: threadsPerBlock, WarpSize: 32,
+	})
+	a := b.DeclareArray(trace.Array{Name: "a", Type: trace.F32, Len: n, ReadOnly: true})
+	bb := b.DeclareArray(trace.Array{Name: "b", Type: trace.F32, Len: n, ReadOnly: true})
+	v := b.DeclareArray(trace.Array{Name: "v", Type: trace.F32, Len: n})
+	warpsPerBlock := threadsPerBlock / 32
+	for blk := 0; blk < blocks; blk++ {
+		for w := 0; w < warpsPerBlock; w++ {
+			base := int64(blk*threadsPerBlock + w*32)
+			wb := b.Warp(blk, w)
+			wb.Int(2).Branch(1) // id = blockIdx*blockDim + threadIdx; bounds check
+			wb.LoadCoalesced(a, base, 32)
+			wb.LoadCoalesced(bb, base, 32)
+			wb.FP32(1)
+			wb.StoreCoalesced(v, base, 32)
+		}
+	}
+	return b.MustBuild()
+}
+
+// genTriad emits the SHOC triad kernel: C = A + s*B.
+func genTriad(scale int) *trace.Trace {
+	const threadsPerBlock = 256
+	n := 16384 * scale
+	blocks := n / threadsPerBlock
+	b := trace.NewBuilder("triad", trace.Launch{
+		Blocks: blocks, ThreadsPerBlock: threadsPerBlock, WarpSize: 32,
+	})
+	A := b.DeclareArray(trace.Array{Name: "A", Type: trace.F32, Len: n, ReadOnly: true})
+	B := b.DeclareArray(trace.Array{Name: "B", Type: trace.F32, Len: n, ReadOnly: true})
+	C := b.DeclareArray(trace.Array{Name: "C", Type: trace.F32, Len: n})
+	warpsPerBlock := threadsPerBlock / 32
+	for blk := 0; blk < blocks; blk++ {
+		for w := 0; w < warpsPerBlock; w++ {
+			base := int64(blk*threadsPerBlock + w*32)
+			wb := b.Warp(blk, w)
+			wb.Int(2).Branch(1)
+			wb.LoadCoalesced(A, base, 32)
+			wb.LoadCoalesced(B, base, 32)
+			wb.FP32(2) // mul + add
+			wb.StoreCoalesced(C, base, 32)
+		}
+	}
+	return b.MustBuild()
+}

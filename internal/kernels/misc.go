@@ -1,0 +1,384 @@
+package kernels
+
+import "gpuhms/internal/trace"
+
+func init() {
+	register(Spec{
+		Name:        "fft",
+		Suite:       "SHOC",
+		KernelName:  "FFT512_device",
+		Description: "512-point FFT per block: radix-8 butterflies through a shared-memory exchange buffer",
+		Generate:    genFFT,
+		Sample:      "smem:S",
+		PlacementTests: []string{
+			"smem:G",
+		},
+		Training: false,
+	})
+	register(Spec{
+		Name:        "reduction",
+		Suite:       "SHOC",
+		KernelName:  "reduce",
+		Description: "tree reduction through a per-block scratch array",
+		Generate:    genReduction,
+		Sample:      "sdata:S",
+		PlacementTests: []string{
+			"sdata:G",
+		},
+		Training: false,
+	})
+	register(Spec{
+		Name:        "scan",
+		Suite:       "SHOC",
+		KernelName:  "reduce",
+		Description: "scan's block-sum phase: wide coalesced reads of a 2D-shaped input",
+		Generate:    genScanReduce,
+		Sample:      "",
+		PlacementTests: []string{
+			"g_idata:2T",
+		},
+		Training: false,
+	})
+	register(Spec{
+		Name:        "sort",
+		Suite:       "SHOC",
+		KernelName:  "reorderData",
+		Description: "radix-sort reorder: coalesced key reads, digit-indexed offset lookups, scattered writes",
+		Generate:    genSortReorder,
+		Sample:      "sBlockOffsets:S",
+		PlacementTests: []string{
+			"sBlockOffsets:G",
+		},
+		Training: false,
+	})
+	register(Spec{
+		Name:        "md5hash",
+		Suite:       "SHOC",
+		KernelName:  "FindKeyWithDigest_Kernel",
+		Description: "brute-force MD5 keyspace search: almost pure integer compute",
+		Generate:    genMD5Hash,
+		Sample:      "",
+		PlacementTests: []string{
+			"foundKey:S",
+		},
+		Training: false,
+	})
+	register(Spec{
+		Name:        "neuralnet",
+		Suite:       "SHOC",
+		KernelName:  "kernelFeedForward1",
+		Description: "fully-connected feed-forward layer: per-lane weight rows (stride nIn) and broadcast inputs",
+		Generate:    genNeuralNet,
+		Sample:      "",
+		PlacementTests: []string{
+			"weights:C",
+			"weights:S",
+			"weights:T",
+			"weights:2T",
+		},
+		Training: false,
+	})
+}
+
+// genFFT emits the SHOC FFT512 kernel: blocks of 64 threads process 512
+// points. Data streams in/out of global memory coalesced; three radix-8
+// stages exchange values through the scratch buffer with power-of-two
+// strides that conflict heavily when the buffer lives in shared memory.
+func genFFT(scale int) *trace.Trace {
+	const (
+		threadsPerBlock = 64
+		pointsPerBlock  = 512
+	)
+	blocks := 64 * scale
+	n := blocks * pointsPerBlock
+	b := trace.NewBuilder("FFT512_device", trace.Launch{
+		Blocks: blocks, ThreadsPerBlock: threadsPerBlock, WarpSize: 32,
+	})
+	data := b.DeclareArray(trace.Array{Name: "work", Type: trace.F32, Len: 2 * n, Width: 0})
+	smem := b.DeclareArray(trace.Array{Name: "smem", Type: trace.F32, Len: n})
+
+	warpsPerBlock := threadsPerBlock / 32
+	idx := make([]int64, 32)
+	for blk := 0; blk < blocks; blk++ {
+		for w := 0; w < warpsPerBlock; w++ {
+			wb := b.Warp(blk, w)
+			wb.Int(4).Branch(1)
+			lane0 := w * 32
+			base := blk * pointsPerBlock
+			// Each thread loads 8 points, stride 64 (coalesced per load);
+			// the loads are independent and issue back-to-back before the
+			// twiddle computation consumes them, as the real kernel's
+			// hoisted loads do.
+			for k := 0; k < 8; k++ {
+				wb.LoadCoalesced(data, int64(2*(base+k*threadsPerBlock+lane0)), 32)
+			}
+			wb.FP32(16)
+			// Three radix-8 exchange stages with strides 64, 8, 1.
+			for _, stride := range []int{64, 8, 1} {
+				// Write phase: thread t writes its 8 values at t*8..t*8+7
+				// reshuffled by the stage stride → same-bank pile-ups.
+				for k := 0; k < 8; k++ {
+					for l := 0; l < 32; l++ {
+						t := lane0 + l
+						off := (t*8 + k*stride) % pointsPerBlock
+						idx[l] = int64(base + off)
+					}
+					wb.Store(smem, idx)
+				}
+				wb.Sync()
+				for k := 0; k < 8; k++ {
+					for l := 0; l < 32; l++ {
+						t := lane0 + l
+						off := (t + k*threadsPerBlock) % pointsPerBlock
+						idx[l] = int64(base + off)
+					}
+					wb.Load(smem, idx)
+				}
+				wb.Sync()
+				wb.FP32(24) // radix-8 butterfly twiddles
+				wb.Int(4)
+			}
+			for k := 0; k < 8; k++ {
+				wb.StoreCoalesced(data, int64(2*(base+k*threadsPerBlock+lane0)), 32)
+			}
+		}
+	}
+	return b.MustBuild()
+}
+
+// genReduction emits the SHOC reduce kernel with interleaved addressing:
+// two coalesced input loads, then a tree of scratch-array exchanges with
+// progressively sparser active lanes.
+func genReduction(scale int) *trace.Trace {
+	const threadsPerBlock = 256
+	n := 65536 * scale
+	blocks := n / (threadsPerBlock * 2)
+	b := trace.NewBuilder("reduce", trace.Launch{
+		Blocks: blocks, ThreadsPerBlock: threadsPerBlock, WarpSize: 32,
+	})
+	in := b.DeclareArray(trace.Array{Name: "g_idata", Type: trace.F32, Len: n, ReadOnly: true})
+	sdata := b.DeclareArray(trace.Array{Name: "sdata", Type: trace.F32, Len: threadsPerBlock * blocks})
+	out := b.DeclareArray(trace.Array{Name: "g_odata", Type: trace.F32, Len: blocks})
+
+	warpsPerBlock := threadsPerBlock / 32
+	idx := make([]int64, 32)
+	for blk := 0; blk < blocks; blk++ {
+		for w := 0; w < warpsPerBlock; w++ {
+			wb := b.Warp(blk, w)
+			wb.Int(3).Branch(1)
+			t0 := w * 32
+			gbase := blk*threadsPerBlock*2 + t0
+			sbase := blk*threadsPerBlock + t0
+			wb.LoadCoalesced(in, int64(gbase), 32)
+			wb.LoadCoalesced(in, int64(gbase+threadsPerBlock), 32)
+			wb.FP32(1)
+			wb.StoreCoalesced(sdata, int64(sbase), 32)
+			wb.Sync()
+			// Interleaved tree: stride s halves; active lanes are those with
+			// tid % (2s) == 0.
+			for s := 1; s < threadsPerBlock; s *= 2 {
+				active := 0
+				for l := 0; l < 32; l++ {
+					tid := t0 + l
+					if tid%(2*s) == 0 && tid+s < threadsPerBlock {
+						idx[l] = int64(blk*threadsPerBlock + tid + s)
+						active++
+					} else {
+						idx[l] = trace.Inactive
+					}
+				}
+				wb.Branch(1)
+				if active > 0 {
+					wb.Load(sdata, idx)
+					wb.FP32(1)
+					st := make([]int64, 32)
+					for l := 0; l < 32; l++ {
+						if idx[l] != trace.Inactive {
+							st[l] = int64(blk*threadsPerBlock + t0 + l)
+						} else {
+							st[l] = trace.Inactive
+						}
+					}
+					wb.Store(sdata, st)
+				}
+				wb.Sync()
+			}
+			if w == 0 {
+				one := make([]int64, 32)
+				for l := range one {
+					one[l] = trace.Inactive
+				}
+				one[0] = int64(blk)
+				wb.Store(out, one)
+			}
+		}
+	}
+	return b.MustBuild()
+}
+
+// genScanReduce emits the block-sum phase of SHOC scan: four coalesced
+// loads per warp of a 2D-shaped input, a few adds, one block result.
+func genScanReduce(scale int) *trace.Trace {
+	const threadsPerBlock = 256
+	width := 256
+	n := 65536 * scale
+	blocks := n / (threadsPerBlock * 4)
+	b := trace.NewBuilder("scan_reduce", trace.Launch{
+		Blocks: blocks, ThreadsPerBlock: threadsPerBlock, WarpSize: 32,
+	})
+	in := b.DeclareArray(trace.Array{Name: "g_idata", Type: trace.F32, Len: n, Width: width, ReadOnly: true})
+	out := b.DeclareArray(trace.Array{Name: "g_odata", Type: trace.F32, Len: blocks})
+
+	warpsPerBlock := threadsPerBlock / 32
+	for blk := 0; blk < blocks; blk++ {
+		for w := 0; w < warpsPerBlock; w++ {
+			wb := b.Warp(blk, w)
+			wb.Int(3).Branch(1)
+			base := blk*threadsPerBlock*4 + w*32
+			for k := 0; k < 4; k++ {
+				wb.LoadCoalesced(in, int64(base+k*threadsPerBlock), 32)
+				wb.FP32(1)
+			}
+			wb.Int(2)
+			if w == 0 {
+				one := make([]int64, 32)
+				for l := range one {
+					one[l] = trace.Inactive
+				}
+				one[0] = int64(blk)
+				wb.Store(out, one)
+			}
+		}
+	}
+	return b.MustBuild()
+}
+
+// genSortReorder emits the radix-sort reorder pass: coalesced key reads, a
+// digit-indexed lookup into the per-block offset table, and scattered key
+// writes.
+func genSortReorder(scale int) *trace.Trace {
+	const (
+		threadsPerBlock = 256
+		radixBuckets    = 16
+	)
+	n := 32768 * scale
+	r := rng("sort", scale)
+	blocks := n / threadsPerBlock
+
+	digits := make([]int64, n)
+	targets := make([]int64, n)
+	perm := r.Perm(n)
+	for i := 0; i < n; i++ {
+		digits[i] = int64(r.Intn(radixBuckets))
+		targets[i] = int64(perm[i])
+	}
+
+	b := trace.NewBuilder("reorderData", trace.Launch{
+		Blocks: blocks, ThreadsPerBlock: threadsPerBlock, WarpSize: 32,
+	})
+	keysIn := b.DeclareArray(trace.Array{Name: "keysIn", Type: trace.I32, Len: n, ReadOnly: true})
+	keysOut := b.DeclareArray(trace.Array{Name: "keysOut", Type: trace.I32, Len: n})
+	offsets := b.DeclareArray(trace.Array{Name: "sBlockOffsets", Type: trace.I32, Len: radixBuckets * blocks})
+
+	warpsPerBlock := threadsPerBlock / 32
+	idx := make([]int64, 32)
+	st := make([]int64, 32)
+	for blk := 0; blk < blocks; blk++ {
+		for w := 0; w < warpsPerBlock; w++ {
+			wb := b.Warp(blk, w)
+			wb.Int(3).Branch(1)
+			base := blk*threadsPerBlock + w*32
+			wb.LoadCoalesced(keysIn, int64(base), 32)
+			wb.Int(3) // digit extraction
+			for l := 0; l < 32; l++ {
+				idx[l] = int64(blk*radixBuckets) + digits[base+l]
+				st[l] = targets[base+l]
+			}
+			wb.Load(offsets, idx)
+			wb.Int(2)
+			wb.Store(keysOut, st)
+		}
+	}
+	return b.MustBuild()
+}
+
+// genMD5Hash emits the keyspace search: long integer-only rounds with a
+// single tiny result write — performance is issue-bound, so placement
+// changes barely matter (a useful null case for the models).
+func genMD5Hash(scale int) *trace.Trace {
+	const threadsPerBlock = 256
+	keys := 16384 * scale
+	blocks := keys / threadsPerBlock
+	b := trace.NewBuilder("FindKeyWithDigest_Kernel", trace.Launch{
+		Blocks: blocks, ThreadsPerBlock: threadsPerBlock, WarpSize: 32,
+	})
+	digest := b.DeclareArray(trace.Array{Name: "searchDigest", Type: trace.I32, Len: 4, ReadOnly: true})
+	found := b.DeclareArray(trace.Array{Name: "foundKey", Type: trace.I32, Len: 8})
+
+	warpsPerBlock := threadsPerBlock / 32
+	for blk := 0; blk < blocks; blk++ {
+		for w := 0; w < warpsPerBlock; w++ {
+			wb := b.Warp(blk, w)
+			wb.Int(4).Branch(1)
+			for round := 0; round < 4; round++ {
+				wb.Int(64) // 16 MD5 steps × ~4 integer ops
+				wb.Branch(1)
+			}
+			wb.LoadBroadcast(digest, 0, 32)
+			wb.LoadBroadcast(digest, 1, 32)
+			wb.Int(4)
+			// One lane conditionally records a hit.
+			one := make([]int64, 32)
+			for l := range one {
+				one[l] = trace.Inactive
+			}
+			one[0] = int64((blk*warpsPerBlock + w) % 8)
+			wb.Store(found, one)
+		}
+	}
+	return b.MustBuild()
+}
+
+// genNeuralNet emits kernelFeedForward1: each lane owns an output neuron and
+// walks its weight row (stride nIn across lanes — 32 separate lines per
+// load), while the input activation is a pure broadcast. Batched over
+// samples so the weight traffic repeats.
+func genNeuralNet(scale int) *trace.Trace {
+	const (
+		threadsPerBlock = 64
+		nIn             = 64
+		nOut            = 256
+		nSamples        = 16
+	)
+	_ = scale // the layer shape is fixed by constant-memory capacity
+	blocks := nOut / threadsPerBlock
+	b := trace.NewBuilder("kernelFeedForward1", trace.Launch{
+		Blocks: blocks, ThreadsPerBlock: threadsPerBlock, WarpSize: 32,
+	})
+	weights := b.DeclareArray(trace.Array{Name: "weights", Type: trace.F32, Len: nOut * nIn, Width: nIn, ReadOnly: true})
+	inputs := b.DeclareArray(trace.Array{Name: "inputs", Type: trace.F32, Len: nSamples * nIn, ReadOnly: true})
+	outputs := b.DeclareArray(trace.Array{Name: "outputs", Type: trace.F32, Len: nSamples * nOut})
+
+	warpsPerBlock := threadsPerBlock / 32
+	idx := make([]int64, 32)
+	for blk := 0; blk < blocks; blk++ {
+		for w := 0; w < warpsPerBlock; w++ {
+			wb := b.Warp(blk, w)
+			wb.Int(3).Branch(1)
+			o0 := blk*threadsPerBlock + w*32
+			for s := 0; s < nSamples; s++ {
+				for i := 0; i < nIn; i++ {
+					for l := 0; l < 32; l++ {
+						idx[l] = int64((o0+l)*nIn + i)
+					}
+					wb.Load(weights, idx)
+					wb.LoadBroadcast(inputs, int64(s*nIn+i), 32)
+					wb.FP32(2)
+				}
+				wb.SFU(1) // sigmoid
+				wb.StoreCoalesced(outputs, int64(s*nOut+o0), 32)
+			}
+		}
+	}
+	return b.MustBuild()
+}

@@ -1,0 +1,193 @@
+package kernels
+
+import "gpuhms/internal/trace"
+
+func init() {
+	register(Spec{
+		Name:        "md",
+		Suite:       "SHOC",
+		KernelName:  "compute_lj_force",
+		Description: "Lennard-Jones force: coalesced neighbor-list reads, clumped random position gathers",
+		Generate:    genMD,
+		Sample:      "d_position:T",
+		PlacementTests: []string{
+			"d_position:G",
+			"neighList:T",
+			"d_position:G,neighList:T",
+			"d_position:C",
+		},
+		Training: true,
+	})
+	register(Spec{
+		Name:        "cfd",
+		Suite:       "SDK",
+		KernelName:  "cuda_compute_flux",
+		Description: "unstructured-mesh flux: coalesced connectivity, gathered neighbor state",
+		Generate:    genCFD,
+		Sample:      "",
+		PlacementTests: []string{
+			"variables:T",
+		},
+		Training: true,
+	})
+	register(Spec{
+		Name:        "s3d",
+		Suite:       "SHOC",
+		KernelName:  "gr_base",
+		Description: "chemical rate evaluation: pressure + per-species mass fraction streams, SFU-heavy",
+		Generate:    genS3D,
+		Sample:      "",
+		PlacementTests: []string{
+			"gpu_p:T",
+			"gpu_y:T",
+			"gpu_p:T,gpu_y:T",
+		},
+		Training: false,
+	})
+}
+
+// genMD emits the SHOC MD Lennard-Jones force kernel: one thread per atom,
+// j-major neighbor list (coalesced reads), position gathers at random
+// neighbor indices, heavy FP per pair.
+func genMD(scale int) *trace.Trace {
+	const (
+		threadsPerBlock = 128
+		maxNeighbors    = 32
+	)
+	nAtoms := 4096 * scale
+	r := rng("md", scale)
+
+	// Neighbor indices: random atoms, deterministic.
+	neigh := make([]int64, nAtoms*maxNeighbors)
+	for i := range neigh {
+		neigh[i] = int64(r.Intn(nAtoms))
+	}
+
+	blocks := nAtoms / threadsPerBlock
+	b := trace.NewBuilder("compute_lj_force", trace.Launch{
+		Blocks: blocks, ThreadsPerBlock: threadsPerBlock, WarpSize: 32,
+	})
+	pos := b.DeclareArray(trace.Array{Name: "d_position", Type: trace.F32, Len: nAtoms, ReadOnly: true})
+	nl := b.DeclareArray(trace.Array{Name: "neighList", Type: trace.I32, Len: nAtoms * maxNeighbors, ReadOnly: true})
+	force := b.DeclareArray(trace.Array{Name: "d_force", Type: trace.F32, Len: nAtoms})
+
+	warpsPerBlock := threadsPerBlock / 32
+	idx := make([]int64, 32)
+	for blk := 0; blk < blocks; blk++ {
+		for w := 0; w < warpsPerBlock; w++ {
+			wb := b.Warp(blk, w)
+			wb.Int(3).Branch(1)
+			atom0 := blk*threadsPerBlock + w*32
+			// Own position.
+			wb.LoadCoalesced(pos, int64(atom0), 32)
+			for j := 0; j < maxNeighbors; j++ {
+				// neighList is j-major: neighList[j*nAtoms + i].
+				wb.LoadCoalesced(nl, int64(j*nAtoms+atom0), 32)
+				for l := 0; l < 32; l++ {
+					idx[l] = neigh[j*nAtoms+atom0+l]
+				}
+				wb.Load(pos, idx)
+				wb.Int(1)
+				wb.FP32(8) // r², r⁻⁶, force accumulation
+			}
+			wb.StoreCoalesced(force, int64(atom0), 32)
+		}
+	}
+	return b.MustBuild()
+}
+
+// genCFD emits the Rodinia/SDK CFD flux kernel: per element, four
+// neighbors' state variables are gathered through a connectivity array while
+// face normals stream coalesced.
+func genCFD(scale int) *trace.Trace {
+	const (
+		threadsPerBlock = 128
+		nNeighbors      = 4
+	)
+	nElem := 4096 * scale
+	r := rng("cfd", scale)
+
+	surr := make([]int64, nElem*nNeighbors)
+	for i := range surr {
+		surr[i] = int64(r.Intn(nElem))
+	}
+
+	blocks := nElem / threadsPerBlock
+	b := trace.NewBuilder("cuda_compute_flux", trace.Launch{
+		Blocks: blocks, ThreadsPerBlock: threadsPerBlock, WarpSize: 32,
+	})
+	ese := b.DeclareArray(trace.Array{Name: "elements_surrounding", Type: trace.I32, Len: nElem * nNeighbors, ReadOnly: true})
+	normals := b.DeclareArray(trace.Array{Name: "normals", Type: trace.F32, Len: nElem * nNeighbors * 3, ReadOnly: true})
+	vars := b.DeclareArray(trace.Array{Name: "variables", Type: trace.F32, Len: nElem * 4, ReadOnly: true})
+	fluxes := b.DeclareArray(trace.Array{Name: "fluxes", Type: trace.F32, Len: nElem * 4})
+
+	warpsPerBlock := threadsPerBlock / 32
+	idx := make([]int64, 32)
+	for blk := 0; blk < blocks; blk++ {
+		for w := 0; w < warpsPerBlock; w++ {
+			wb := b.Warp(blk, w)
+			wb.Int(3).Branch(1)
+			elem0 := blk*threadsPerBlock + w*32
+			// Own state: density, momentum, energy.
+			for v := 0; v < 3; v++ {
+				wb.LoadCoalesced(vars, int64(v*nElem+elem0), 32)
+			}
+			for j := 0; j < nNeighbors; j++ {
+				wb.LoadCoalesced(ese, int64(j*nElem+elem0), 32)
+				for v := 0; v < 3; v++ {
+					for l := 0; l < 32; l++ {
+						idx[l] = int64(v*nElem) + surr[j*nElem+elem0+l]
+					}
+					wb.Load(vars, idx)
+				}
+				for v := 0; v < 3; v++ {
+					wb.LoadCoalesced(normals, int64((j*3+v)*nElem+elem0), 32)
+				}
+				wb.Int(2)
+				wb.FP32(15)
+				wb.SFU(1) // sqrt in the speed-of-sound term
+			}
+			for v := 0; v < 4; v++ {
+				wb.StoreCoalesced(fluxes, int64(v*nElem+elem0), 32)
+			}
+		}
+	}
+	return b.MustBuild()
+}
+
+// genS3D emits the S3D gr_base rate kernel: per grid point, the pressure
+// and 22 species mass fractions stream in coalesced, with SFU-heavy
+// Arrhenius evaluations.
+func genS3D(scale int) *trace.Trace {
+	const (
+		threadsPerBlock = 128
+		nSpecies        = 22
+	)
+	n := 4096 * scale
+	blocks := n / threadsPerBlock
+	b := trace.NewBuilder("gr_base", trace.Launch{
+		Blocks: blocks, ThreadsPerBlock: threadsPerBlock, WarpSize: 32,
+	})
+	p := b.DeclareArray(trace.Array{Name: "gpu_p", Type: trace.F32, Len: n, ReadOnly: true})
+	y := b.DeclareArray(trace.Array{Name: "gpu_y", Type: trace.F32, Len: n * nSpecies, Width: n, ReadOnly: true})
+	out := b.DeclareArray(trace.Array{Name: "gpu_wdot", Type: trace.F32, Len: n})
+
+	warpsPerBlock := threadsPerBlock / 32
+	for blk := 0; blk < blocks; blk++ {
+		for w := 0; w < warpsPerBlock; w++ {
+			wb := b.Warp(blk, w)
+			wb.Int(3).Branch(1)
+			i0 := blk*threadsPerBlock + w*32
+			wb.LoadCoalesced(p, int64(i0), 32)
+			wb.FP32(4)
+			for s := 0; s < nSpecies; s++ {
+				wb.LoadCoalesced(y, int64(s*n+i0), 32)
+				wb.FP32(6)
+				wb.SFU(2) // exp/log in the Arrhenius terms
+				wb.Int(1)
+			}
+			wb.StoreCoalesced(out, int64(i0), 32)
+		}
+	}
+	return b.MustBuild()
+}

@@ -1,0 +1,225 @@
+package kernels
+
+import "gpuhms/internal/trace"
+
+func init() {
+	register(Spec{
+		Name:        "spmv",
+		Suite:       "SHOC",
+		KernelName:  "spmv_csr_scalar_kernel",
+		Description: "CSR sparse matrix-vector multiply: divergent row walks and random gathers of the dense vector",
+		Generate:    genSpmv,
+		Sample:      "d_vec:T",
+		PlacementTests: []string{
+			"rowD:S,d_vec:G",
+			"rowD:C,d_vec:G",
+			"rowD:T,d_vec:G",
+			"rowD:S",
+			"val:T,d_vec:G",
+			"rowD:T,d_vec:C",
+			"val:T,cols:T,rowD:C,d_vec:G",
+			"val:T,cols:T",
+			"d_vec:G",
+		},
+		Training: true,
+	})
+	register(Spec{
+		Name:        "bfs",
+		Suite:       "SHOC",
+		KernelName:  "BFS_kernel_warp",
+		Description: "level-synchronous BFS: coalesced offsets, scattered edge and cost gathers",
+		Generate:    genBFS,
+		Sample:      "",
+		PlacementTests: []string{
+			"edgeArray:T",
+		},
+		Training: false,
+	})
+	register(Spec{
+		Name:        "qtc",
+		Suite:       "SHOC",
+		KernelName:  "QTC_device",
+		Description: "quality-threshold clustering: column walks of a dense distance matrix",
+		Generate:    genQTC,
+		Sample:      "",
+		PlacementTests: []string{
+			"distance_matrix:2T",
+		},
+		Training: true,
+	})
+}
+
+// genSpmv emits the SHOC CSR scalar kernel: one thread per matrix row. Row
+// lengths vary, so per-iteration val/cols loads are scattered across lanes
+// and the dense-vector gather is effectively random.
+func genSpmv(scale int) *trace.Trace {
+	const threadsPerBlock = 128
+	nRows := 4096 * scale
+	r := rng("spmv", scale)
+
+	// Build a deterministic CSR structure: 4..36 nonzeros per row.
+	rowStart := make([]int64, nRows+1)
+	for i := 0; i < nRows; i++ {
+		rowStart[i+1] = rowStart[i] + int64(4+r.Intn(33))
+	}
+	nnz := int(rowStart[nRows])
+
+	blocks := nRows / threadsPerBlock
+	b := trace.NewBuilder("spmv_csr_scalar_kernel", trace.Launch{
+		Blocks: blocks, ThreadsPerBlock: threadsPerBlock, WarpSize: 32,
+	})
+	val := b.DeclareArray(trace.Array{Name: "val", Type: trace.F32, Len: nnz, ReadOnly: true})
+	cols := b.DeclareArray(trace.Array{Name: "cols", Type: trace.I32, Len: nnz, ReadOnly: true})
+	rowD := b.DeclareArray(trace.Array{Name: "rowD", Type: trace.I32, Len: nRows + 1, ReadOnly: true})
+	vec := b.DeclareArray(trace.Array{Name: "d_vec", Type: trace.F32, Len: nRows, ReadOnly: true})
+	out := b.DeclareArray(trace.Array{Name: "out", Type: trace.F32, Len: nRows})
+
+	warpsPerBlock := threadsPerBlock / 32
+	idx := make([]int64, 32)
+	for blk := 0; blk < blocks; blk++ {
+		for w := 0; w < warpsPerBlock; w++ {
+			wb := b.Warp(blk, w)
+			wb.Int(2).Branch(1)
+			row0 := blk*threadsPerBlock + w*32
+			// Load row delimiters: myRow and myRow+1 (approximated as one
+			// 33-wide coalesced pair of loads).
+			wb.LoadCoalesced(rowD, int64(row0), 32)
+			wb.LoadCoalesced(rowD, int64(row0)+1, 32)
+
+			maxLen := int64(0)
+			for l := 0; l < 32; l++ {
+				if n := rowStart[row0+l+1] - rowStart[row0+l]; n > maxLen {
+					maxLen = n
+				}
+			}
+			for j := int64(0); j < maxLen; j++ {
+				anyActive := false
+				for l := 0; l < 32; l++ {
+					start, end := rowStart[row0+l], rowStart[row0+l+1]
+					if start+j < end {
+						idx[l] = start + j
+						anyActive = true
+					} else {
+						idx[l] = trace.Inactive
+					}
+				}
+				if !anyActive {
+					break
+				}
+				wb.Branch(1)
+				wb.Load(val, append([]int64(nil), idx...))
+				wb.Load(cols, append([]int64(nil), idx...))
+				// Gather the dense vector at the column index: a
+				// deterministic pseudo-random column per nonzero.
+				for l := 0; l < 32; l++ {
+					if idx[l] != trace.Inactive {
+						idx[l] = (idx[l]*2654435761 + 11) % int64(nRows)
+					}
+				}
+				wb.Load(vec, idx)
+				wb.Int(1)
+				wb.FP32(2)
+			}
+			wb.StoreCoalesced(out, int64(row0), 32)
+		}
+	}
+	return b.MustBuild()
+}
+
+// genBFS emits a warp-per-node-chunk BFS level sweep over a random graph.
+func genBFS(scale int) *trace.Trace {
+	const threadsPerBlock = 128
+	nNodes := 4096 * scale
+	r := rng("bfs", scale)
+
+	degree := make([]int, nNodes)
+	offsets := make([]int64, nNodes+1)
+	for i := 0; i < nNodes; i++ {
+		degree[i] = 2 + r.Intn(12)
+		offsets[i+1] = offsets[i] + int64(degree[i])
+	}
+	nEdges := int(offsets[nNodes])
+
+	blocks := nNodes / threadsPerBlock
+	b := trace.NewBuilder("BFS_kernel_warp", trace.Launch{
+		Blocks: blocks, ThreadsPerBlock: threadsPerBlock, WarpSize: 32,
+	})
+	offs := b.DeclareArray(trace.Array{Name: "edgeOffsets", Type: trace.I32, Len: nNodes + 1, ReadOnly: true})
+	edges := b.DeclareArray(trace.Array{Name: "edgeArray", Type: trace.I32, Len: nEdges, ReadOnly: true})
+	costs := b.DeclareArray(trace.Array{Name: "costs", Type: trace.I32, Len: nNodes})
+
+	warpsPerBlock := threadsPerBlock / 32
+	idx := make([]int64, 32)
+	for blk := 0; blk < blocks; blk++ {
+		for w := 0; w < warpsPerBlock; w++ {
+			wb := b.Warp(blk, w)
+			wb.Int(2).Branch(1)
+			node0 := blk*threadsPerBlock + w*32
+			wb.LoadCoalesced(offs, int64(node0), 32)
+			wb.LoadCoalesced(costs, int64(node0), 32)
+
+			maxDeg := 0
+			for l := 0; l < 32; l++ {
+				if degree[node0+l] > maxDeg {
+					maxDeg = degree[node0+l]
+				}
+			}
+			for j := 0; j < maxDeg; j++ {
+				for l := 0; l < 32; l++ {
+					if j < degree[node0+l] {
+						idx[l] = offsets[node0+l] + int64(j)
+					} else {
+						idx[l] = trace.Inactive
+					}
+				}
+				wb.Branch(1)
+				wb.Load(edges, append([]int64(nil), idx...))
+				for l := 0; l < 32; l++ {
+					if idx[l] != trace.Inactive {
+						idx[l] = (idx[l]*40503 + 7) % int64(nNodes)
+					}
+				}
+				wb.Load(costs, append([]int64(nil), idx...))
+				wb.Int(2)
+			}
+			wb.StoreCoalesced(costs, int64(node0), 32)
+		}
+	}
+	return b.MustBuild()
+}
+
+// genQTC emits the QTC clustering inner loop: each lane owns a seed point
+// and walks a *column* of the seed's distance-matrix row block, so lanes
+// stride by the matrix dimension — poor 1D locality, good 2D tile locality.
+func genQTC(scale int) *trace.Trace {
+	const threadsPerBlock = 64
+	dim := 256
+	seeds := 2048 * scale
+	blocks := seeds / threadsPerBlock
+	b := trace.NewBuilder("QTC_device", trace.Launch{
+		Blocks: blocks, ThreadsPerBlock: threadsPerBlock, WarpSize: 32,
+	})
+	dm := b.DeclareArray(trace.Array{Name: "distance_matrix", Type: trace.F32, Len: dim * dim, Width: dim, ReadOnly: true})
+	cand := b.DeclareArray(trace.Array{Name: "candidates", Type: trace.I32, Len: seeds})
+
+	warpsPerBlock := threadsPerBlock / 32
+	idx := make([]int64, 32)
+	for blk := 0; blk < blocks; blk++ {
+		for w := 0; w < warpsPerBlock; w++ {
+			wb := b.Warp(blk, w)
+			wb.Int(3).Branch(1)
+			seed0 := blk*threadsPerBlock + w*32
+			for j := 0; j < 64; j++ {
+				for l := 0; l < 32; l++ {
+					row := (seed0 + l) % dim
+					idx[l] = int64(row)*int64(dim) + int64(j)
+				}
+				wb.Load(dm, idx)
+				wb.FP32(1)
+				wb.Int(1)
+			}
+			wb.StoreCoalesced(cand, int64(seed0), 32)
+		}
+	}
+	return b.MustBuild()
+}

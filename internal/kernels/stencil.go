@@ -1,0 +1,133 @@
+package kernels
+
+import "gpuhms/internal/trace"
+
+func init() {
+	register(Spec{
+		Name:        "convolution",
+		Suite:       "SDK",
+		KernelName:  "convolutionRowsKernel",
+		Description: "separable row convolution: sliding coalesced window + broadcast filter taps",
+		Generate:    genConvolutionRows,
+		Sample:      "c_Kernel:C",
+		PlacementTests: []string{
+			"d_Src:2T",
+			"d_Src:T",
+			"c_Kernel:G",
+			"c_Kernel:T",
+		},
+		Training: true,
+	})
+	register(Spec{
+		Name:        "stencil2d",
+		Suite:       "SHOC",
+		KernelName:  "StencilKernel",
+		Description: "9-point 2D stencil with strong 2D spatial locality",
+		Generate:    genStencil2D,
+		Sample:      "",
+		PlacementTests: []string{
+			"data:T",
+		},
+		Training: false,
+	})
+}
+
+// genConvolutionRows emits the SDK separable convolution's row pass: one
+// thread per pixel, a radius-8 filter. Every tap loads a shifted coalesced
+// window of d_Src and broadcasts one filter coefficient.
+func genConvolutionRows(scale int) *trace.Trace {
+	const (
+		radius          = 8
+		threadsPerBlock = 256
+	)
+	width := 256
+	height := 64 * scale
+	n := width * height
+	blocks := n / threadsPerBlock
+	b := trace.NewBuilder("convolutionRowsKernel", trace.Launch{
+		Blocks: blocks, ThreadsPerBlock: threadsPerBlock, WarpSize: 32,
+	})
+	src := b.DeclareArray(trace.Array{Name: "d_Src", Type: trace.F32, Len: n, Width: width, ReadOnly: true})
+	kern := b.DeclareArray(trace.Array{Name: "c_Kernel", Type: trace.F32, Len: 2*radius + 1, ReadOnly: true})
+	dst := b.DeclareArray(trace.Array{Name: "d_Dst", Type: trace.F32, Len: n, Width: width})
+
+	warpsPerBlock := threadsPerBlock / 32
+	idx := make([]int64, 32)
+	for blk := 0; blk < blocks; blk++ {
+		for w := 0; w < warpsPerBlock; w++ {
+			wb := b.Warp(blk, w)
+			wb.Int(3).Branch(1)
+			base := blk*threadsPerBlock + w*32
+			y := base / width
+			x0 := base % width
+			for k := -radius; k <= radius; k++ {
+				for l := 0; l < 32; l++ {
+					x := x0 + l + k
+					if x < 0 {
+						x = 0
+					}
+					if x >= width {
+						x = width - 1
+					}
+					idx[l] = int64(y*width + x)
+				}
+				wb.Int(1)
+				wb.Load(src, idx)
+				wb.LoadBroadcast(kern, int64(k+radius), 32)
+				wb.FP32(2)
+			}
+			wb.StoreCoalesced(dst, int64(base), 32)
+		}
+	}
+	return b.MustBuild()
+}
+
+// genStencil2D emits the SHOC 2D 9-point stencil: each output reads its 3x3
+// neighborhood; rows above/below the warp's row give the access 2D locality
+// that the texture cache exploits.
+func genStencil2D(scale int) *trace.Trace {
+	dim := 128 * scale
+	const threadsPerBlock = 256
+	n := dim * dim
+	blocks := n / threadsPerBlock
+	b := trace.NewBuilder("StencilKernel", trace.Launch{
+		Blocks: blocks, ThreadsPerBlock: threadsPerBlock, WarpSize: 32,
+	})
+	data := b.DeclareArray(trace.Array{Name: "data", Type: trace.F32, Len: n, Width: dim, ReadOnly: true})
+	out := b.DeclareArray(trace.Array{Name: "out", Type: trace.F32, Len: n, Width: dim})
+
+	warpsPerBlock := threadsPerBlock / 32
+	idx := make([]int64, 32)
+	clamp := func(v, hi int) int {
+		if v < 0 {
+			return 0
+		}
+		if v >= hi {
+			return hi - 1
+		}
+		return v
+	}
+	for blk := 0; blk < blocks; blk++ {
+		for w := 0; w < warpsPerBlock; w++ {
+			wb := b.Warp(blk, w)
+			wb.Int(3).Branch(1)
+			base := blk*threadsPerBlock + w*32
+			y := base / dim
+			x0 := base % dim
+			for dy := -1; dy <= 1; dy++ {
+				for dx := -1; dx <= 1; dx++ {
+					yy := clamp(y+dy, dim)
+					for l := 0; l < 32; l++ {
+						xx := clamp(x0+l+dx, dim)
+						idx[l] = int64(yy*dim + xx)
+					}
+					wb.Load(data, idx)
+					wb.FP32(1)
+				}
+			}
+			wb.FP32(2)
+			wb.StoreCoalesced(out, int64(base), 32)
+		}
+	}
+	return b.MustBuild()
+}

@@ -1,0 +1,198 @@
+// Package memsys resolves warp-level memory instructions against the HMS
+// memory hierarchy: per-lane element indices become device or shared-memory
+// addresses under a placement, coalesce into transactions, probe the
+// appropriate caches, and finally yield the DRAM request stream. The same
+// resolution drives both the analytical models (internal/core) and the
+// ground-truth timing simulator (internal/sim), so the two disagree only
+// about *timing*, never about which memory events occur.
+package memsys
+
+import (
+	"gpuhms/internal/cache"
+	"gpuhms/internal/gpu"
+	"gpuhms/internal/placement"
+	"gpuhms/internal/replay"
+	"gpuhms/internal/sharedmem"
+	"gpuhms/internal/trace"
+)
+
+// Hierarchy holds the system-wide cache level (L2) and configuration.
+type Hierarchy struct {
+	Cfg *gpu.Config
+	L2  *cache.Cache
+	Sh  sharedmem.Config
+}
+
+// NewHierarchy builds the shared level of the memory hierarchy.
+func NewHierarchy(cfg *gpu.Config) *Hierarchy {
+	return &Hierarchy{
+		Cfg: cfg,
+		L2:  cache.New(cfg.L2),
+		Sh:  sharedmem.FromGPU(cfg),
+	}
+}
+
+// SMCaches holds the per-SM cache level (constant and texture caches).
+type SMCaches struct {
+	Const *cache.Cache
+	Tex   *cache.Cache
+}
+
+// NewSMCaches builds one SM's private caches.
+func NewSMCaches(cfg *gpu.Config) *SMCaches {
+	return &SMCaches{
+		Const: cache.New(cfg.Constant),
+		Tex:   cache.New(cfg.Texture),
+	}
+}
+
+// Binding fixes a trace to a placement and layout so instructions can be
+// resolved to addresses.
+type Binding struct {
+	Trace      *trace.Trace
+	Place      *placement.Placement
+	Layout     *placement.Layout
+	Tex2DShift uint // log2 of the 2D texture tile edge
+}
+
+// NewBinding resolves the layout of a placement and returns the binding.
+func NewBinding(cfg *gpu.Config, t *trace.Trace, sample *placement.Placement, sampleLayout *placement.Layout, target *placement.Placement) *Binding {
+	return &Binding{
+		Trace:      t,
+		Place:      target,
+		Layout:     placement.Retarget(t, sampleLayout, sample, target),
+		Tex2DShift: cfg.TextureBlockShift,
+	}
+}
+
+// Addresses resolves one memory instruction's active lanes into byte
+// addresses: device addresses for off-chip spaces (with 2D-texture
+// swizzling applied) or block-local addresses for shared memory. The
+// returned slice is appended to buf to let callers reuse storage.
+func (b *Binding) Addresses(in *trace.Inst, buf []uint64) []uint64 {
+	sp := b.Place.Of(in.Array)
+	arr := b.Trace.Array(in.Array)
+	out := buf[:0]
+	for _, ix := range in.Index {
+		if ix == trace.Inactive {
+			continue
+		}
+		switch sp {
+		case gpu.Shared:
+			out = append(out, b.Layout.SharedAddress(b.Trace, in.Array, ix))
+		case gpu.Texture2D:
+			sw := cache.Swizzle2D(ix, arr.Width, b.Tex2DShift)
+			out = append(out, b.Layout.Base[in.Array]+uint64(sw)*uint64(arr.Type.Bytes()))
+		default:
+			out = append(out, b.Layout.Address(b.Trace, in.Array, ix))
+		}
+	}
+	return out
+}
+
+// Result describes the memory-system consequences of one warp-level memory
+// instruction.
+type Result struct {
+	Space gpu.MemSpace
+	Store bool
+
+	// Transactions is the number of first-level accesses the warp access
+	// coalesced into (L2 transactions for global, texture-cache lines for
+	// texture, constant words for constant, 1 for shared).
+	Transactions int
+
+	// Replays are the placement-dependent instruction replays (§III-B
+	// causes (1)–(4)) triggered by this access.
+	Replays replay.Breakdown
+
+	// Cache events.
+	L2Accesses, L2Misses     int
+	ConstAccesses, ConstMiss int
+	TexAccesses, TexMiss     int
+	SharedConflicts          int
+
+	// DRAMLines holds the line base addresses that missed all caches and
+	// must be serviced by the DRAM system.
+	DRAMLines []uint64
+}
+
+// Access resolves one memory instruction through the hierarchy, updating
+// cache state, and reports all events. sm supplies the issuing SM's private
+// caches. addrBuf and lineBuf are optional reusable scratch buffers.
+func (h *Hierarchy) Access(sm *SMCaches, b *Binding, in *trace.Inst, addrBuf []uint64) Result {
+	sp := b.Place.Of(in.Array)
+	res := Result{Space: sp, Store: in.Op != trace.OpLoad}
+	addrs := b.Addresses(in, addrBuf)
+	if len(addrs) == 0 {
+		res.Transactions = 1
+		return res
+	}
+
+	// Atomics serialize over same-address lanes regardless of the memory
+	// space (§III-B replay cause (6)); the per-space effects below apply on
+	// top.
+	if in.Op == trace.OpAtomic {
+		res.Replays.Add(replay.AtomicConflict, replay.AtomicConflictReplays(addrs))
+	}
+
+	switch sp {
+	case gpu.Shared:
+		res.Transactions = 1
+		conflicts := replay.SharedConflictReplays(h.Sh, addrs)
+		res.SharedConflicts = int(conflicts)
+		res.Replays.Add(replay.SharedBankConflict, conflicts)
+
+	case gpu.Global:
+		lines := cache.LinesTouched(addrs, h.Cfg.TransactionBytes)
+		res.Transactions = len(lines)
+		res.Replays.Add(replay.GlobalDivergence, int64(len(lines)-1))
+		for _, ln := range lines {
+			res.L2Accesses++
+			if !h.L2.Access(ln) {
+				res.L2Misses++
+				res.DRAMLines = append(res.DRAMLines, ln)
+			}
+		}
+
+	case gpu.Constant:
+		// Constant memory serializes over distinct words; each distinct
+		// word beyond the first is a divergence replay (cause 3). Distinct
+		// constant-cache lines are then probed; each miss is one replay
+		// (cause 2) and one L2 access.
+		words := cache.LinesTouched(addrs, b.Trace.Array(in.Array).Type.Bytes())
+		res.Replays.Add(replay.ConstantDivergence, int64(len(words)-1))
+		lines := cache.LinesTouched(addrs, h.Cfg.Constant.LineBytes)
+		res.Transactions = len(words)
+		for _, ln := range lines {
+			res.ConstAccesses++
+			if !sm.Const.Access(ln) {
+				res.ConstMiss++
+				res.Replays.Add(replay.ConstantMiss, 1)
+				res.L2Accesses++
+				if !h.L2.Access(ln) {
+					res.L2Misses++
+					res.DRAMLines = append(res.DRAMLines, ln)
+				}
+			}
+		}
+
+	case gpu.Texture1D, gpu.Texture2D:
+		lines := cache.LinesTouched(addrs, h.Cfg.Texture.LineBytes)
+		res.Transactions = len(lines)
+		for _, ln := range lines {
+			res.TexAccesses++
+			if !sm.Tex.Access(ln) {
+				res.TexMiss++
+				res.L2Accesses++
+				if !h.L2.Access(ln) {
+					res.L2Misses++
+					res.DRAMLines = append(res.DRAMLines, ln)
+				}
+			}
+		}
+	}
+	return res
+}
+
+// Reset clears all cache state in the hierarchy (not the per-SM caches).
+func (h *Hierarchy) Reset() { h.L2.Reset() }

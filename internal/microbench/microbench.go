@@ -1,0 +1,160 @@
+// Package microbench implements Algorithm 1 of the paper: detection of the
+// DRAM address-mapping scheme (which address bits select the row and which
+// select the column) and measurement of the row-buffer hit, miss and
+// conflict latencies — by issuing pairs of uncached single-thread loads
+// whose addresses differ in exactly one bit and classifying the second
+// access's latency.
+//
+// The paper runs the probe kernel on a real K80 ("ld.global.cs" loads); here
+// the probe drives the event-driven DRAM model, validating that the
+// detection algorithm recovers whatever mapping the hardware implements.
+package microbench
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"gpuhms/internal/dram"
+	"gpuhms/internal/gpu"
+)
+
+// BitClass is the detected role of one address bit.
+type BitClass uint8
+
+const (
+	// ColumnBit: flipping the bit stays in the open row (shortest latency).
+	// Byte-offset bits within one column classify identically; like the
+	// paper, the probe does not distinguish them.
+	ColumnBit BitClass = iota
+	// RowBit: flipping the bit changes the row within the same bank —
+	// a row conflict, the longest latency.
+	RowBit
+	// BankBit: flipping the bit lands in a different (idle) bank — a plain
+	// row-buffer miss.
+	BankBit
+)
+
+// String names the class.
+func (c BitClass) String() string {
+	switch c {
+	case ColumnBit:
+		return "column"
+	case RowBit:
+		return "row"
+	default:
+		return "bank/other"
+	}
+}
+
+// Result is the detection outcome.
+type Result struct {
+	Classes []BitClass // index = address bit
+	// Measured latencies, ns.
+	HitLatencyNS      float64
+	MissLatencyNS     float64
+	ConflictLatencyNS float64
+}
+
+// Detect runs Algorithm 1 against a fresh DRAM system for the topology and
+// mapping, probing address bits [lo, hi).
+func Detect(topo gpu.DRAMTopology, mapping dram.Mapping, lo, hi uint) *Result {
+	res := &Result{Classes: make([]BitClass, hi)}
+
+	// One fresh DRAM state per bit experiment: the first access is then
+	// guaranteed to be a first-touch row-buffer miss, and probes are spaced
+	// 1 ms apart in time so no queuing pollutes the measurement.
+	latencies := make([]float64, 0, hi-lo)
+	type sample struct {
+		bit uint
+		lat float64
+	}
+	var samples []sample
+	const base uint64 = 1 << 40
+	for bit := lo; bit < hi; bit++ {
+		sys := dram.NewSystem(topo, mapping)
+		probe := func(addr uint64, at float64) float64 {
+			r := sys.Service(addr, at)
+			return r.Latency(at)
+		}
+		probe(base, 0)                   // always a row-buffer miss
+		lat := probe(base^(1<<bit), 1e6) // classify by this latency
+		samples = append(samples, sample{bit, lat})
+		latencies = append(latencies, lat)
+	}
+
+	// Classify into three groups by latency: shortest = column bits,
+	// longest = row bits, middle = bank/other (the paper's "classify the
+	// address bits into three groups according to the access latency").
+	sorted := append([]float64(nil), latencies...)
+	sort.Float64s(sorted)
+	min, max := sorted[0], sorted[len(sorted)-1]
+	for _, s := range samples {
+		switch {
+		case s.lat == min:
+			res.Classes[s.bit] = ColumnBit
+		case s.lat == max && max > min:
+			res.Classes[s.bit] = RowBit
+		default:
+			res.Classes[s.bit] = BankBit
+		}
+	}
+	res.HitLatencyNS = min
+	res.ConflictLatencyNS = max
+
+	// The plain-miss latency comes from any first-touch access.
+	sys2 := dram.NewSystem(topo, mapping)
+	r := sys2.Service(1<<39, 0)
+	res.MissLatencyNS = r.Latency(0)
+	return res
+}
+
+// Bits returns the detected bit positions of one class, ascending.
+func (r *Result) Bits(c BitClass) []uint {
+	var out []uint
+	for b, cl := range r.Classes {
+		if cl == c {
+			out = append(out, uint(b))
+		}
+	}
+	return out
+}
+
+// Format renders the detection like the paper reports it ("the row and
+// column address bits are …").
+func (r *Result) Format() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "row-buffer hit latency:      %6.0f ns\n", r.HitLatencyNS)
+	fmt.Fprintf(&b, "row-buffer miss latency:     %6.0f ns\n", r.MissLatencyNS)
+	fmt.Fprintf(&b, "row-conflict latency:        %6.0f ns\n", r.ConflictLatencyNS)
+	fmt.Fprintf(&b, "column/byte bits:            %s\n", ranges(r.Bits(ColumnBit)))
+	fmt.Fprintf(&b, "row bits:                    %s\n", ranges(r.Bits(RowBit)))
+	fmt.Fprintf(&b, "bank (other) bits:           %s\n", ranges(r.Bits(BankBit)))
+	return b.String()
+}
+
+// ranges compacts a sorted bit list into "a-b,c" notation.
+func ranges(bits []uint) string {
+	if len(bits) == 0 {
+		return "(none)"
+	}
+	var parts []string
+	start, prev := bits[0], bits[0]
+	flush := func() {
+		if start == prev {
+			parts = append(parts, fmt.Sprintf("%d", start))
+		} else {
+			parts = append(parts, fmt.Sprintf("%d-%d", start, prev))
+		}
+	}
+	for _, b := range bits[1:] {
+		if b == prev+1 {
+			prev = b
+			continue
+		}
+		flush()
+		start, prev = b, b
+	}
+	flush()
+	return strings.Join(parts, ",")
+}

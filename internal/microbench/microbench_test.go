@@ -1,0 +1,132 @@
+package microbench
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"gpuhms/internal/dram"
+	"gpuhms/internal/gpu"
+)
+
+func TestDetectRecoversDefaultMapping(t *testing.T) {
+	topo := gpu.KeplerK80().DRAM
+	m := dram.DefaultMapping(topo)
+	res := Detect(topo, m, 0, m.RowLo+m.RowBits)
+
+	if res.HitLatencyNS != topo.HitLatencyNS {
+		t.Errorf("hit latency = %g, want %g", res.HitLatencyNS, topo.HitLatencyNS)
+	}
+	if res.MissLatencyNS != topo.MissLatencyNS {
+		t.Errorf("miss latency = %g, want %g", res.MissLatencyNS, topo.MissLatencyNS)
+	}
+	if res.ConflictLatencyNS != topo.ConflictLatencyNS {
+		t.Errorf("conflict latency = %g, want %g", res.ConflictLatencyNS, topo.ConflictLatencyNS)
+	}
+
+	for bit := uint(0); bit < m.RowLo+m.RowBits; bit++ {
+		var want BitClass
+		switch {
+		case m.IsRowBit(bit):
+			want = RowBit
+		case m.IsBankBit(bit):
+			want = BankBit
+		default:
+			want = ColumnBit
+		}
+		if res.Classes[bit] != want {
+			t.Errorf("bit %d classified %v, want %v", bit, res.Classes[bit], want)
+		}
+	}
+}
+
+// Property: the detection recovers arbitrary (valid) bit-sliced mappings —
+// the algorithm does not depend on the particular K80 layout.
+func TestDetectRecoversRandomMappings(t *testing.T) {
+	topo := gpu.KeplerK80().DRAM
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		colLo := uint(3 + r.Intn(4))
+		colBits := uint(3 + r.Intn(5))
+		bankBits := uint(7)
+		m := dram.Mapping{
+			ColLo: colLo, ColBits: colBits,
+			BankLo: colLo + colBits, BankBits: bankBits,
+			RowLo: colLo + colBits + bankBits, RowBits: uint(10 + r.Intn(10)),
+			TotalBanks: topo.TotalBanks(),
+		}
+		if m.Validate() != nil {
+			return true // skip invalid combinations
+		}
+		res := Detect(topo, m, 0, m.RowLo+m.RowBits)
+		for bit := uint(0); bit < m.RowLo+m.RowBits; bit++ {
+			var want BitClass
+			switch {
+			case m.IsRowBit(bit):
+				want = RowBit
+			case m.IsBankBit(bit):
+				want = BankBit
+			default:
+				want = ColumnBit
+			}
+			if res.Classes[bit] != want {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestBitsAndFormat(t *testing.T) {
+	topo := gpu.KeplerK80().DRAM
+	m := dram.DefaultMapping(topo)
+	res := Detect(topo, m, 0, m.RowLo+m.RowBits)
+	cols := res.Bits(ColumnBit)
+	if len(cols) == 0 || cols[0] != 0 {
+		t.Errorf("column bits = %v", cols)
+	}
+	rows := res.Bits(RowBit)
+	if len(rows) != int(m.RowBits) || rows[0] != m.RowLo {
+		t.Errorf("row bits = %v", rows)
+	}
+	out := res.Format()
+	for _, want := range []string{"row-buffer hit latency", "row bits", "bank (other) bits"} {
+		if !contains(out, want) {
+			t.Errorf("format missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func contains(s, sub string) bool {
+	for i := 0; i+len(sub) <= len(s); i++ {
+		if s[i:i+len(sub)] == sub {
+			return true
+		}
+	}
+	return false
+}
+
+func TestBitClassString(t *testing.T) {
+	if ColumnBit.String() != "column" || RowBit.String() != "row" || BankBit.String() != "bank/other" {
+		t.Error("bit class names")
+	}
+}
+
+func TestRangesCompaction(t *testing.T) {
+	for _, tc := range []struct {
+		bits []uint
+		want string
+	}{
+		{nil, "(none)"},
+		{[]uint{3}, "3"},
+		{[]uint{3, 4, 5}, "3-5"},
+		{[]uint{0, 1, 5, 7, 8}, "0-1,5,7-8"},
+	} {
+		if got := ranges(tc.bits); got != tc.want {
+			t.Errorf("ranges(%v) = %q, want %q", tc.bits, got, tc.want)
+		}
+	}
+}

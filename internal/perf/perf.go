@@ -1,0 +1,141 @@
+// Package perf defines the performance-event counter set shared by the
+// ground-truth simulator and the analytical models. It plays the role nvprof
+// events play in the paper: a common vocabulary of countable hardware events
+// (issue slots, issued/executed instructions, per-space memory requests,
+// cache misses, L2 transactions, row-buffer outcomes, …) whose variation
+// across data placements drives both event selection (§II-B, Table I) and
+// the T_overlap model (Eq 11).
+package perf
+
+// Events is one execution's (or one prediction's) event counters.
+type Events struct {
+	// Issue accounting.
+	IssueSlots   int64 // issue slots consumed, including replays
+	InstIssued   int64 // issued warp instructions incl. replays
+	InstExecuted int64 // executed warp instructions (no replays)
+	InstInteger  int64 // integer instructions incl. addressing-mode ops
+	LdstIssued   int64 // issued load/store instructions incl. replays
+
+	// Replays by placement-dependent cause (§III-B (1)-(4)) plus atomic
+	// address conflicts (cause (6), placement-independent).
+	ReplayGlobalDiv int64
+	ReplayConstMiss int64
+	ReplayConstDiv  int64
+	ReplayShared    int64
+	ReplayAtomic    int64
+
+	// Warp-level memory requests by space.
+	GlobalRequests  int64
+	ConstantRequest int64
+	TextureRequests int64
+	SharedRequests  int64
+
+	// Cache traffic.
+	L2Transactions int64
+	L2Misses       int64
+	ConstAccesses  int64
+	ConstMisses    int64
+	TexAccesses    int64
+	TexMisses      int64
+
+	// Shared memory.
+	SharedBankConflicts int64
+
+	// DRAM.
+	DRAMRequests int64
+	RowHits      int64
+	RowMisses    int64
+	RowConflicts int64
+
+	// Occupancy.
+	WarpsPerSM float64
+}
+
+// TotalReplays returns all modeled replays (causes (1)-(4) and (6)).
+func (e *Events) TotalReplays() int64 {
+	return e.ReplayGlobalDiv + e.ReplayConstMiss + e.ReplayConstDiv +
+		e.ReplayShared + e.ReplayAtomic
+}
+
+// MemRequests returns all warp-level memory requests.
+func (e *Events) MemRequests() int64 {
+	return e.GlobalRequests + e.ConstantRequest + e.TextureRequests + e.SharedRequests
+}
+
+// Named is one named counter value, for event-selection studies.
+type Named struct {
+	Name  string
+	Value float64
+}
+
+// All returns every counter with its nvprof-style name, in a fixed order.
+func (e *Events) All() []Named {
+	return []Named{
+		{"issue_slots", float64(e.IssueSlots)},
+		{"inst_issued", float64(e.InstIssued)},
+		{"inst_executed", float64(e.InstExecuted)},
+		{"inst_integer", float64(e.InstInteger)},
+		{"ldst_issued", float64(e.LdstIssued)},
+		{"global_replay", float64(e.ReplayGlobalDiv)},
+		{"const_cache_miss_replay", float64(e.ReplayConstMiss)},
+		{"const_divergence_replay", float64(e.ReplayConstDiv)},
+		{"shared_conflict_replay", float64(e.ReplayShared)},
+		{"atomic_conflict_replay", float64(e.ReplayAtomic)},
+		{"gld_gst_request", float64(e.GlobalRequests)},
+		{"const_request", float64(e.ConstantRequest)},
+		{"tex_request", float64(e.TextureRequests)},
+		{"shared_request", float64(e.SharedRequests)},
+		{"L2_transactions", float64(e.L2Transactions)},
+		{"L2_misses", float64(e.L2Misses)},
+		{"const_cache_accesses", float64(e.ConstAccesses)},
+		{"const_cache_misses", float64(e.ConstMisses)},
+		{"tex_cache_accesses", float64(e.TexAccesses)},
+		{"tex_cache_misses", float64(e.TexMisses)},
+		{"shared_bank_conflict", float64(e.SharedBankConflicts)},
+		{"dram_requests", float64(e.DRAMRequests)},
+		{"row_buffer_hits", float64(e.RowHits)},
+		{"row_buffer_misses", float64(e.RowMisses)},
+		{"row_buffer_conflicts", float64(e.RowConflicts)},
+	}
+}
+
+// Transactions returns all first-level memory transactions: L2 accesses
+// from global traffic plus constant-cache, texture-cache and shared-memory
+// accesses. It is the normalizer of the Eq 11 event ratios.
+func (e *Events) Transactions() int64 {
+	n := e.L2Transactions + e.ConstAccesses + e.TexAccesses + e.SharedRequests
+	if n == 0 {
+		return 1
+	}
+	return n
+}
+
+// OverlapFeatures returns the Eq 11 feature vector, normalized by total
+// first-level memory transactions so each ratio is bounded and the fitted
+// coefficients transfer across applications ("calculating T_overlap_ratio
+// makes models independent of applications"), plus the per-SM warp count
+// and a constant term:
+//
+//	[ e_g, e_c, e_t, e_s, e_r, #warps, 1 ]
+//
+// where e_g = L2 misses + global requests, e_c = constant-cache misses +
+// constant requests, e_t = texture-cache misses + texture requests,
+// e_s = bank conflicts + shared requests, e_r = row-buffer misses+conflicts.
+func (e *Events) OverlapFeatures() []float64 {
+	norm := float64(e.Transactions())
+	return []float64{
+		(float64(e.L2Misses) + float64(e.GlobalRequests)) / norm,
+		(float64(e.ConstMisses) + float64(e.ConstantRequest)) / norm,
+		(float64(e.TexMisses) + float64(e.TextureRequests)) / norm,
+		(float64(e.SharedBankConflicts) + float64(e.SharedRequests)) / norm,
+		(float64(e.RowMisses) + float64(e.RowConflicts)) / norm,
+		e.WarpsPerSM / 64,
+		1,
+	}
+}
+
+// OverlapFeatureNames labels OverlapFeatures entries (coefficient names of
+// Eq 11).
+func OverlapFeatureNames() []string {
+	return []string{"g(global)", "c(constant)", "t(texture)", "s(shared)", "r(rowbuf)", "w(warps)", "const"}
+}

@@ -1,0 +1,95 @@
+package perf
+
+import (
+	"testing"
+)
+
+func TestDerivedCounters(t *testing.T) {
+	e := Events{
+		ReplayGlobalDiv: 3, ReplayConstMiss: 2, ReplayConstDiv: 1, ReplayShared: 4,
+		GlobalRequests: 10, ConstantRequest: 5, TextureRequests: 2, SharedRequests: 3,
+	}
+	if e.TotalReplays() != 10 {
+		t.Errorf("replays = %d", e.TotalReplays())
+	}
+	if e.MemRequests() != 20 {
+		t.Errorf("mem requests = %d", e.MemRequests())
+	}
+}
+
+func TestTransactionsNormalizer(t *testing.T) {
+	e := Events{L2Transactions: 10, ConstAccesses: 5, TexAccesses: 3, SharedRequests: 2}
+	if e.Transactions() != 20 {
+		t.Errorf("transactions = %d", e.Transactions())
+	}
+	var zero Events
+	if zero.Transactions() != 1 {
+		t.Error("zero events must normalize to 1 (division guard)")
+	}
+}
+
+func TestAllNamesUniqueAndComplete(t *testing.T) {
+	e := Events{}
+	all := e.All()
+	if len(all) < 20 {
+		t.Errorf("only %d named events", len(all))
+	}
+	seen := map[string]bool{}
+	for _, n := range all {
+		if n.Name == "" {
+			t.Error("unnamed event")
+		}
+		if seen[n.Name] {
+			t.Errorf("duplicate event name %s", n.Name)
+		}
+		seen[n.Name] = true
+	}
+	// The Table I representative events must be present.
+	for _, want := range []string{"issue_slots", "inst_issued", "inst_integer", "ldst_issued", "L2_transactions"} {
+		if !seen[want] {
+			t.Errorf("missing representative event %s", want)
+		}
+	}
+}
+
+func TestAllReflectsValues(t *testing.T) {
+	e := Events{IssueSlots: 7, L2Misses: 3}
+	for _, n := range e.All() {
+		switch n.Name {
+		case "issue_slots":
+			if n.Value != 7 {
+				t.Errorf("issue_slots = %g", n.Value)
+			}
+		case "L2_misses":
+			if n.Value != 3 {
+				t.Errorf("L2_misses = %g", n.Value)
+			}
+		}
+	}
+}
+
+func TestOverlapFeatures(t *testing.T) {
+	e := Events{
+		L2Misses: 5, GlobalRequests: 15, // e_g numerator 20
+		L2Transactions: 20, // normalizer contribution
+		WarpsPerSM:     32,
+	}
+	f := e.OverlapFeatures()
+	if len(f) != len(OverlapFeatureNames()) {
+		t.Fatalf("feature/name arity: %d vs %d", len(f), len(OverlapFeatureNames()))
+	}
+	if f[0] != 1.0 { // (5+15)/20
+		t.Errorf("e_g = %g", f[0])
+	}
+	if f[5] != 0.5 { // 32/64
+		t.Errorf("warp feature = %g", f[5])
+	}
+	if f[len(f)-1] != 1 {
+		t.Error("constant term must be 1")
+	}
+	for i, v := range f {
+		if v < 0 {
+			t.Errorf("feature %d negative: %g", i, v)
+		}
+	}
+}

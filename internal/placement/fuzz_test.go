@@ -1,0 +1,56 @@
+package placement
+
+import (
+	"testing"
+
+	"gpuhms/internal/gpu"
+	"gpuhms/internal/trace"
+)
+
+// FuzzParse feeds arbitrary placement specs to the parser: no panics, and
+// anything accepted must format back to a parseable spec assigning only the
+// named arrays.
+func FuzzParse(f *testing.F) {
+	f.Add("")
+	f.Add("in:T,w:C")
+	f.Add("in:2T")
+	f.Add("out:shared")
+	f.Add("in:T,,w:C")
+	f.Add("in : T , w : C")
+	f.Add("in:T:extra")
+	f.Add("🦆:G")
+
+	b := trace.NewBuilder("k", trace.Launch{Blocks: 2, ThreadsPerBlock: 64, WarpSize: 32})
+	in := b.DeclareArray(trace.Array{Name: "in", Type: trace.F32, Len: 256, Width: 16, ReadOnly: true})
+	w := b.DeclareArray(trace.Array{Name: "w", Type: trace.F32, Len: 64, ReadOnly: true})
+	out := b.DeclareArray(trace.Array{Name: "out", Type: trace.F32, Len: 256})
+	for blk := 0; blk < 2; blk++ {
+		wb := b.Warp(blk, 0)
+		wb.LoadCoalesced(in, int64(blk*64), 32)
+		wb.LoadBroadcast(w, 1, 32)
+		wb.StoreCoalesced(out, int64(blk*64), 32)
+	}
+	tr := b.MustBuild()
+	cfg := gpu.KeplerK80()
+
+	f.Fuzz(func(t *testing.T, spec string) {
+		p, err := Parse(tr, spec)
+		if err != nil {
+			return
+		}
+		// Accepted placements have one space per array…
+		if len(p.Spaces) != len(tr.Arrays) {
+			t.Fatalf("accepted placement with %d spaces", len(p.Spaces))
+		}
+		// …and the formatted form re-parses to the same placement.
+		q, err := Parse(tr, p.Format(tr))
+		if err != nil {
+			t.Fatalf("formatted placement %q does not re-parse: %v", p.Format(tr), err)
+		}
+		if !p.Equal(q) {
+			t.Fatalf("format/parse round trip changed %q", p.Format(tr))
+		}
+		// Check never panics either way.
+		_ = Check(tr, p, cfg)
+	})
+}

@@ -1,0 +1,244 @@
+// Package placement represents data placements — the assignment of each
+// kernel array to one programmable memory space of the HMS — together with
+// their legality rules, the address-assignment conventions of §III-E of the
+// paper, and enumeration of the m^n placement search space.
+package placement
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"gpuhms/internal/gpu"
+	"gpuhms/internal/trace"
+)
+
+// Placement assigns a memory space to every array of a trace, indexed by
+// trace.ArrayID.
+type Placement struct {
+	Spaces []gpu.MemSpace
+}
+
+// New returns a placement with every array in global memory (the common
+// default for CUDA kernels, and the usual sample placement).
+func New(n int) *Placement {
+	return &Placement{Spaces: make([]gpu.MemSpace, n)}
+}
+
+// Of returns the memory space of the array.
+func (p *Placement) Of(id trace.ArrayID) gpu.MemSpace { return p.Spaces[id] }
+
+// Clone returns an independent copy.
+func (p *Placement) Clone() *Placement {
+	cp := make([]gpu.MemSpace, len(p.Spaces))
+	copy(cp, p.Spaces)
+	return &Placement{Spaces: cp}
+}
+
+// WithMove returns a copy with one array moved to a new space. It is the
+// sample→target transformation of the paper: "pick a data array as the
+// target data object, then predict the kernel performance if we move the
+// array to a new data placement".
+func (p *Placement) WithMove(id trace.ArrayID, to gpu.MemSpace) *Placement {
+	cp := p.Clone()
+	cp.Spaces[id] = to
+	return cp
+}
+
+// Equal reports whether two placements assign identical spaces.
+func (p *Placement) Equal(q *Placement) bool {
+	if len(p.Spaces) != len(q.Spaces) {
+		return false
+	}
+	for i := range p.Spaces {
+		if p.Spaces[i] != q.Spaces[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// String renders the placement in the paper's Table IV notation, e.g.
+// "a:G,b:2T".
+func (p *Placement) String() string { return p.Format(nil) }
+
+// Format renders the placement with array names from the trace when
+// available.
+func (p *Placement) Format(t *trace.Trace) string {
+	var b strings.Builder
+	for i, s := range p.Spaces {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		if t != nil && i < len(t.Arrays) {
+			b.WriteString(t.Arrays[i].Name)
+		} else {
+			fmt.Fprintf(&b, "a%d", i)
+		}
+		b.WriteByte(':')
+		b.WriteString(s.String())
+	}
+	return b.String()
+}
+
+// Parse reads a placement spec of the form "name:S,name:S,…" against a
+// trace's arrays; unspecified arrays default to global memory.
+func Parse(t *trace.Trace, spec string) (*Placement, error) {
+	p := New(len(t.Arrays))
+	if strings.TrimSpace(spec) == "" {
+		return p, nil
+	}
+	for _, part := range strings.Split(spec, ",") {
+		kv := strings.SplitN(strings.TrimSpace(part), ":", 2)
+		if len(kv) != 2 {
+			return nil, fmt.Errorf("placement: bad element %q (want name:space)", part)
+		}
+		id, ok := t.ArrayByName(kv[0])
+		if !ok {
+			return nil, fmt.Errorf("placement: kernel %s has no array %q", t.Kernel, kv[0])
+		}
+		sp, err := gpu.ParseSpace(kv[1])
+		if err != nil {
+			return nil, err
+		}
+		p.Spaces[id] = sp
+	}
+	return p, nil
+}
+
+// Check verifies the placement is legal for the trace on the architecture:
+// read-only constraint for constant/texture, 2D texture requires a declared
+// 2D shape, constant memory capacity, and shared-memory capacity per block.
+func Check(t *trace.Trace, p *Placement, cfg *gpu.Config) error {
+	if len(p.Spaces) != len(t.Arrays) {
+		return fmt.Errorf("placement: %d spaces for %d arrays", len(p.Spaces), len(t.Arrays))
+	}
+	constBytes, sharedBytes := 0, 0
+	for i, sp := range p.Spaces {
+		a := t.Arrays[i]
+		if !sp.Writable() && !a.ReadOnly {
+			return fmt.Errorf("placement: array %s is written but placed in read-only %s",
+				a.Name, sp.LongString())
+		}
+		switch sp {
+		case gpu.Texture2D:
+			if !a.Is2D() {
+				return fmt.Errorf("placement: array %s has no 2D shape for 2D texture", a.Name)
+			}
+		case gpu.Constant:
+			constBytes += a.Bytes()
+		case gpu.Shared:
+			sharedBytes += SharedFootprint(t, trace.ArrayID(i))
+		}
+	}
+	if constBytes > cfg.ConstantBytes {
+		return fmt.Errorf("placement: constant memory overflow: %d > %d bytes",
+			constBytes, cfg.ConstantBytes)
+	}
+	if sharedBytes > cfg.SharedBytesPerSM {
+		return fmt.Errorf("placement: shared memory overflow: %d > %d bytes per block",
+			sharedBytes, cfg.SharedBytesPerSM)
+	}
+	return nil
+}
+
+// SharedFootprint returns the per-block bytes an array occupies when placed
+// in shared memory. Arrays whose footprint exceeds one block's natural share
+// are staged as per-block tiles (the paper conservatively rewrites the index
+// to a block-local one); the tile is the array's footprint divided across
+// blocks, rounded up to the bank width.
+func SharedFootprint(t *trace.Trace, id trace.ArrayID) int {
+	a := t.Arrays[id]
+	blocks := t.Launch.Blocks
+	if blocks < 1 {
+		blocks = 1
+	}
+	per := (a.Bytes() + blocks - 1) / blocks
+	if per < a.Type.Bytes() {
+		per = a.Type.Bytes()
+	}
+	// Round to 4-byte bank words.
+	return (per + 3) &^ 3
+}
+
+// SharedStagingBytes returns the total bytes copied from global to shared
+// memory before the kernel proper runs: every shared-placed array is staged
+// once per block. The paper estimates this initialization "based on memory
+// bandwidth and data size instead of counting instructions" (§III-B); both
+// the simulator and the models divide this quantity by the staging bandwidth.
+func SharedStagingBytes(t *trace.Trace, p *Placement) float64 {
+	var bytes float64
+	for i := range t.Arrays {
+		if p.Spaces[i] == gpu.Shared {
+			bytes += float64(SharedFootprint(t, trace.ArrayID(i)) * t.Launch.Blocks)
+		}
+	}
+	return bytes
+}
+
+// Options returns the legal memory spaces for one array (ignoring aggregate
+// capacity, which Check enforces for the whole placement).
+func Options(t *trace.Trace, id trace.ArrayID, cfg *gpu.Config) []gpu.MemSpace {
+	a := t.Arrays[id]
+	out := []gpu.MemSpace{gpu.Global}
+	if SharedFootprint(t, id) <= cfg.SharedBytesPerSM {
+		out = append(out, gpu.Shared)
+	}
+	if a.ReadOnly {
+		if a.Bytes() <= cfg.ConstantBytes {
+			out = append(out, gpu.Constant)
+		}
+		out = append(out, gpu.Texture1D)
+		if a.Is2D() {
+			out = append(out, gpu.Texture2D)
+		}
+	}
+	return out
+}
+
+// Enumerate yields every legal placement of the trace's arrays, in a
+// deterministic order (lexicographic by array ID and space). This is the m^n
+// exploration space of the paper's introduction, pruned by legality.
+func Enumerate(t *trace.Trace, cfg *gpu.Config) []*Placement {
+	opts := make([][]gpu.MemSpace, len(t.Arrays))
+	for i := range t.Arrays {
+		opts[i] = Options(t, trace.ArrayID(i), cfg)
+	}
+	var out []*Placement
+	cur := New(len(t.Arrays))
+	var rec func(i int)
+	rec = func(i int) {
+		if i == len(opts) {
+			if Check(t, cur, cfg) == nil {
+				out = append(out, cur.Clone())
+			}
+			return
+		}
+		for _, sp := range opts[i] {
+			cur.Spaces[i] = sp
+			rec(i + 1)
+		}
+	}
+	rec(0)
+	return out
+}
+
+// Moves returns single-array moves from the sample placement, one target
+// placement per (array, legal space ≠ current). This matches the paper's
+// evaluation style ("kernel[array(G→T)]").
+func Moves(t *trace.Trace, sample *Placement, cfg *gpu.Config) []*Placement {
+	var out []*Placement
+	for i := range t.Arrays {
+		for _, sp := range Options(t, trace.ArrayID(i), cfg) {
+			if sp == sample.Spaces[i] {
+				continue
+			}
+			cand := sample.WithMove(trace.ArrayID(i), sp)
+			if Check(t, cand, cfg) == nil {
+				out = append(out, cand)
+			}
+		}
+	}
+	sort.Slice(out, func(a, b int) bool { return out[a].String() < out[b].String() })
+	return out
+}

@@ -1,0 +1,74 @@
+package placement
+
+import (
+	"gpuhms/internal/gpu"
+	"gpuhms/internal/trace"
+)
+
+// Cost evaluates a placement; lower is better. Search strategies call it
+// once per candidate (typically a model prediction).
+type Cost func(*Placement) (float64, error)
+
+// GreedySearch finds a good placement without enumerating the m^n space:
+// starting from the given placement, it repeatedly applies the single-array
+// move with the largest predicted improvement until no move helps. For n
+// arrays with m spaces each, one round costs O(n·m) evaluations instead of
+// the exhaustive m^n — the practical option for kernels with many arrays.
+//
+// Returns the best placement found, its cost, and the number of cost
+// evaluations spent.
+func GreedySearch(t *trace.Trace, cfg *gpu.Config, start *Placement, cost Cost) (*Placement, float64, int, error) {
+	cur := start.Clone()
+	curCost, err := cost(cur)
+	if err != nil {
+		return nil, 0, 1, err
+	}
+	evals := 1
+	for {
+		var best *Placement
+		bestCost := curCost
+		for i := range t.Arrays {
+			for _, sp := range Options(t, trace.ArrayID(i), cfg) {
+				if sp == cur.Spaces[i] {
+					continue
+				}
+				cand := cur.WithMove(trace.ArrayID(i), sp)
+				if Check(t, cand, cfg) != nil {
+					continue
+				}
+				c, err := cost(cand)
+				if err != nil {
+					return nil, 0, evals, err
+				}
+				evals++
+				if c < bestCost {
+					best, bestCost = cand, c
+				}
+			}
+		}
+		if best == nil {
+			return cur, curCost, evals, nil
+		}
+		cur, curCost = best, bestCost
+	}
+}
+
+// ExhaustiveSearch evaluates every legal placement and returns the best.
+// It is the ground-truth optimum for GreedySearch comparisons; cost grows
+// as m^n.
+func ExhaustiveSearch(t *trace.Trace, cfg *gpu.Config, cost Cost) (*Placement, float64, int, error) {
+	var best *Placement
+	bestCost := 0.0
+	evals := 0
+	for _, cand := range Enumerate(t, cfg) {
+		c, err := cost(cand)
+		if err != nil {
+			return nil, 0, evals, err
+		}
+		evals++
+		if best == nil || c < bestCost {
+			best, bestCost = cand, c
+		}
+	}
+	return best, bestCost, evals, nil
+}

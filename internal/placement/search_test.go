@@ -1,0 +1,87 @@
+package placement
+
+import (
+	"errors"
+	"testing"
+
+	"gpuhms/internal/gpu"
+	"gpuhms/internal/trace"
+)
+
+// additiveCost is a separable cost: each (array, space) pair contributes
+// independently, so greedy must find the global optimum.
+func additiveCost(t *trace.Trace, weights map[gpu.MemSpace]float64) Cost {
+	return func(p *Placement) (float64, error) {
+		s := 0.0
+		for i := range p.Spaces {
+			s += weights[p.Spaces[i]] * float64(i+1)
+		}
+		return s, nil
+	}
+}
+
+func TestGreedyFindsSeparableOptimum(t *testing.T) {
+	cfg := gpu.KeplerK80()
+	tr := testTrace(t)
+	weights := map[gpu.MemSpace]float64{
+		gpu.Global: 5, gpu.Shared: 3, gpu.Constant: 2, gpu.Texture1D: 1, gpu.Texture2D: 4,
+	}
+	cost := additiveCost(tr, weights)
+
+	gBest, gCost, gEvals, err := GreedySearch(tr, cfg, New(len(tr.Arrays)), cost)
+	if err != nil {
+		t.Fatal(err)
+	}
+	eBest, eCost, eEvals, err := ExhaustiveSearch(tr, cfg, cost)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if gCost != eCost {
+		t.Errorf("greedy cost %g vs optimum %g (%s vs %s)",
+			gCost, eCost, gBest.Format(tr), eBest.Format(tr))
+	}
+	if gEvals >= eEvals {
+		t.Errorf("greedy used %d evals, exhaustive %d — no savings", gEvals, eEvals)
+	}
+	if err := Check(tr, gBest, cfg); err != nil {
+		t.Errorf("greedy returned illegal placement: %v", err)
+	}
+}
+
+func TestGreedyStopsAtLocalOptimum(t *testing.T) {
+	cfg := gpu.KeplerK80()
+	tr := testTrace(t)
+	// A cost that is already minimal at the start.
+	calls := 0
+	cost := func(p *Placement) (float64, error) {
+		calls++
+		if p.Equal(New(len(tr.Arrays))) {
+			return 0, nil
+		}
+		return 1, nil
+	}
+	best, c, _, err := GreedySearch(tr, cfg, New(len(tr.Arrays)), cost)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c != 0 || !best.Equal(New(len(tr.Arrays))) {
+		t.Error("greedy should keep the already-optimal start")
+	}
+	// One full round of neighbor evaluations, no second round.
+	if calls > 12 {
+		t.Errorf("greedy evaluated %d candidates for an immediate stop", calls)
+	}
+}
+
+func TestSearchPropagatesErrors(t *testing.T) {
+	cfg := gpu.KeplerK80()
+	tr := testTrace(t)
+	boom := errors.New("boom")
+	cost := func(p *Placement) (float64, error) { return 0, boom }
+	if _, _, _, err := GreedySearch(tr, cfg, New(len(tr.Arrays)), cost); !errors.Is(err, boom) {
+		t.Errorf("greedy error = %v", err)
+	}
+	if _, _, _, err := ExhaustiveSearch(tr, cfg, cost); !errors.Is(err, boom) {
+		t.Errorf("exhaustive error = %v", err)
+	}
+}

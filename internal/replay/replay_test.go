@@ -1,0 +1,96 @@
+package replay
+
+import (
+	"testing"
+
+	"gpuhms/internal/sharedmem"
+)
+
+func TestGlobalDivergenceReplays(t *testing.T) {
+	const txn = 128
+	coalesced := make([]uint64, 32)
+	for i := range coalesced {
+		coalesced[i] = uint64(i) * 4
+	}
+	if r := GlobalDivergenceReplays(coalesced, txn); r != 0 {
+		t.Errorf("coalesced replays = %d", r)
+	}
+
+	// Fully diverged: every lane its own transaction → 31 replays, the
+	// §III-B rule (transactions − 1).
+	diverged := make([]uint64, 32)
+	for i := range diverged {
+		diverged[i] = uint64(i) * txn
+	}
+	if r := GlobalDivergenceReplays(diverged, txn); r != 31 {
+		t.Errorf("diverged replays = %d", r)
+	}
+
+	// Two-line straddle.
+	straddle := []uint64{0, 127, 128}
+	if r := GlobalDivergenceReplays(straddle, txn); r != 1 {
+		t.Errorf("straddle replays = %d", r)
+	}
+	if r := GlobalDivergenceReplays(nil, txn); r != 0 {
+		t.Errorf("empty replays = %d", r)
+	}
+}
+
+func TestConstantDivergenceReplays(t *testing.T) {
+	// Broadcast: one word → no replay (the access pattern constant memory
+	// is built for).
+	same := make([]uint64, 32)
+	for i := range same {
+		same[i] = 256
+	}
+	if r := ConstantDivergenceReplays(same, 4); r != 0 {
+		t.Errorf("broadcast replays = %d", r)
+	}
+	// d distinct words serialize into d issues → d−1 replays.
+	four := []uint64{0, 4, 8, 12}
+	if r := ConstantDivergenceReplays(four, 4); r != 3 {
+		t.Errorf("4-word replays = %d", r)
+	}
+}
+
+func TestSharedConflictReplays(t *testing.T) {
+	cfg := sharedmem.Config{Banks: 32, BankBytes: 4}
+	stride2 := make([]uint64, 32)
+	for i := range stride2 {
+		stride2[i] = uint64(i) * 8
+	}
+	if r := SharedConflictReplays(cfg, stride2); r != 1 {
+		t.Errorf("stride-2 replays = %d", r)
+	}
+}
+
+func TestBreakdown(t *testing.T) {
+	var b Breakdown
+	b.Add(GlobalDivergence, 3)
+	b.Add(ConstantMiss, 2)
+	b.Add(SharedBankConflict, 0)  // no-op
+	b.Add(ConstantDivergence, -1) // negative guarded
+	if b.Total() != 5 {
+		t.Errorf("total = %d", b.Total())
+	}
+	var o Breakdown
+	o.Add(GlobalDivergence, 1)
+	b.Merge(o)
+	if b.ByReason[GlobalDivergence] != 4 || b.Total() != 6 {
+		t.Errorf("after merge: %+v", b)
+	}
+}
+
+func TestReasonStrings(t *testing.T) {
+	for r, want := range map[Reason]string{
+		GlobalDivergence:   "global-address-divergence",
+		ConstantMiss:       "constant-cache-miss",
+		ConstantDivergence: "constant-address-divergence",
+		SharedBankConflict: "shared-bank-conflict",
+		Reason(200):        "unknown",
+	} {
+		if got := r.String(); got != want {
+			t.Errorf("%d.String() = %q", r, got)
+		}
+	}
+}

@@ -1,0 +1,82 @@
+// Package sharedmem models the on-chip shared memory: a banked scratchpad
+// where a warp access serializes when multiple lanes touch different words
+// in the same bank (a bank conflict). Bank conflicts are instruction-replay
+// reason (4) of §III-B and feed both the replay quantification and the
+// T_overlap event model.
+package sharedmem
+
+import "gpuhms/internal/gpu"
+
+// Config describes the shared memory organization.
+type Config struct {
+	Banks     int // number of banks (32 on Kepler)
+	BankBytes int // word width per bank per cycle (4 bytes on Kepler)
+}
+
+// FromGPU extracts the shared-memory configuration.
+func FromGPU(c *gpu.Config) Config {
+	return Config{Banks: c.SharedBanks, BankBytes: c.SharedBankBytes}
+}
+
+// ConflictDegree returns the serialization degree of one warp access: the
+// maximum, over banks, of the number of *distinct* words the warp's active
+// lanes address in that bank. Lanes reading the same word broadcast and do
+// not conflict. A conflict-free access has degree 1; an access with degree d
+// replays d−1 times.
+//
+// addrs holds block-local shared-memory byte addresses; active[i] reports
+// whether lane i participates. active may be nil (all lanes active).
+func (c Config) ConflictDegree(addrs []uint64, active []bool) int {
+	// words[bank] collects the distinct word addresses seen per bank.
+	// Warp sizes are small; small slices beat maps here.
+	type bankWords struct {
+		words [4]uint64
+		n     int
+		over  map[uint64]struct{}
+	}
+	banks := make([]bankWords, c.Banks)
+	degree := 0
+	for i, a := range addrs {
+		if active != nil && !active[i] {
+			continue
+		}
+		word := a / uint64(c.BankBytes)
+		bank := int(word % uint64(c.Banks))
+		bw := &banks[bank]
+		dup := false
+		for j := 0; j < bw.n && j < len(bw.words); j++ {
+			if bw.words[j] == word {
+				dup = true
+				break
+			}
+		}
+		if !dup && bw.over != nil {
+			_, dup = bw.over[word]
+		}
+		if dup {
+			continue
+		}
+		if bw.n < len(bw.words) {
+			bw.words[bw.n] = word
+		} else {
+			if bw.over == nil {
+				bw.over = make(map[uint64]struct{})
+			}
+			bw.over[word] = struct{}{}
+		}
+		bw.n++
+		if bw.n > degree {
+			degree = bw.n
+		}
+	}
+	if degree == 0 {
+		return 1 // an access with no active lanes still issues once
+	}
+	return degree
+}
+
+// Conflicts returns the number of bank-conflict replays of one warp access:
+// ConflictDegree − 1.
+func (c Config) Conflicts(addrs []uint64, active []bool) int {
+	return c.ConflictDegree(addrs, active) - 1
+}

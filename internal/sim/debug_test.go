@@ -1,0 +1,29 @@
+package sim
+
+import (
+	"testing"
+
+	"gpuhms/internal/gpu"
+	"gpuhms/internal/kernels"
+)
+
+// TestDebugEvents prints full event breakdowns for a few kernels (dev aid).
+func TestDebugEvents(t *testing.T) {
+	cfg := gpu.KeplerK80()
+	s := New(cfg)
+	for _, name := range []string{"md", "spmv", "fft", "vecadd"} {
+		spec := kernels.MustGet(name)
+		tr := spec.Trace(1)
+		sample, _ := spec.SamplePlacement(tr)
+		ms, err := s.Run(tr, sample, sample)
+		if err != nil {
+			t.Fatal(err)
+		}
+		t.Logf("%s: time=%.0fns cycles=%.0f", name, ms.TimeNS, ms.Cycles)
+		for _, ev := range ms.Events.All() {
+			if ev.Value != 0 {
+				t.Logf("   %-28s %12.0f", ev.Name, ev.Value)
+			}
+		}
+	}
+}

@@ -1,0 +1,148 @@
+package sim
+
+import (
+	"testing"
+
+	"gpuhms/internal/gpu"
+	"gpuhms/internal/kernels"
+	"gpuhms/internal/placement"
+	"gpuhms/internal/trace"
+)
+
+// TestTimeMonotoneInLatencyParameters pins the simulator's directional
+// behavior: making any latency parameter worse can only slow a kernel down.
+func TestTimeMonotoneInLatencyParameters(t *testing.T) {
+	base := gpu.KeplerK80()
+	spec := kernels.MustGet("md")
+	tr := spec.Trace(1)
+	sample, _ := spec.SamplePlacement(tr)
+	ref, err := New(base).Run(tr, sample, sample)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	worse := []struct {
+		name string
+		mut  func(*gpu.Config)
+	}{
+		{"2x DRAM latency", func(c *gpu.Config) {
+			c.DRAM.HitLatencyNS *= 2
+			c.DRAM.MissLatencyNS *= 2
+			c.DRAM.ConflictLatencyNS *= 2
+		}},
+		{"2x cache latency", func(c *gpu.Config) { c.CacheHitLatency *= 2 }},
+		{"4x bus occupancy", func(c *gpu.Config) { c.DRAM.CtlBusyNS *= 4 }},
+		{"2x instruction latency", func(c *gpu.Config) { c.AvgInstLatency *= 2 }},
+		{"half the SMs", func(c *gpu.Config) { c.SMs = 6 }},
+	}
+	for _, w := range worse {
+		t.Run(w.name, func(t *testing.T) {
+			cfg := gpu.KeplerK80()
+			w.mut(cfg)
+			m, err := New(cfg).Run(tr, sample, sample)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if m.Cycles < ref.Cycles {
+				t.Errorf("worse hardware ran faster: %.0f vs %.0f cycles", m.Cycles, ref.Cycles)
+			}
+		})
+	}
+}
+
+// TestEventsPlacementInvariants pins which event counters may and may not
+// change when only the data placement changes.
+func TestEventsPlacementInvariants(t *testing.T) {
+	cfg := gpu.KeplerK80()
+	s := New(cfg)
+	spec := kernels.MustGet("convolution")
+	tr := spec.Trace(1)
+	sample, _ := spec.SamplePlacement(tr)
+	base, err := s.Run(tr, sample, sample)
+	if err != nil {
+		t.Fatal(err)
+	}
+	targets, _ := spec.Targets(tr)
+	for _, target := range targets {
+		m, err := s.Run(tr, sample, target)
+		if err != nil {
+			t.Fatal(err)
+		}
+		// Memory instructions per space may shuffle, but their total is the
+		// trace's and cannot change.
+		if m.Events.MemRequests() != base.Events.MemRequests() {
+			t.Errorf("%s: total warp requests changed: %d vs %d",
+				target.Format(tr), m.Events.MemRequests(), base.Events.MemRequests())
+		}
+		// Occupancy is a launch property, not a placement property.
+		if m.Events.WarpsPerSM != base.Events.WarpsPerSM {
+			t.Errorf("%s: warps/SM changed with placement", target.Format(tr))
+		}
+		// DRAM outcomes always partition DRAM requests.
+		if m.Events.DRAMRequests != m.Events.RowHits+m.Events.RowMisses+m.Events.RowConflicts {
+			t.Errorf("%s: row outcomes don't partition requests", target.Format(tr))
+		}
+	}
+}
+
+// TestAtomicContentionCostsTime pins replay cause (6) end to end: the
+// contended scatter-add runs slower than a conflict-free variant of the
+// same shape.
+func TestAtomicContentionCostsTime(t *testing.T) {
+	cfg := gpu.KeplerK80()
+	spec := kernels.MustGet("scatteradd")
+	tr := spec.Trace(1)
+	sample, _ := spec.SamplePlacement(tr)
+	m, err := New(cfg).Run(tr, sample, sample)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Events.ReplayAtomic == 0 {
+		t.Fatal("skewed scatter-add should produce atomic-conflict replays")
+	}
+	if m.Events.InstIssued != m.Events.InstExecuted+m.Events.TotalReplays() {
+		t.Error("issued = executed + replays must include atomic replays")
+	}
+
+	// Rebuild the kernel shape with conflict-free bins: one bin per lane.
+	cf := conflictFreeScatter(tr.Launch.Blocks)
+	sample2 := placement.New(len(cf.Arrays))
+	m2, err := New(cfg).Run(cf, sample2, sample2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m2.Events.ReplayAtomic != 0 {
+		t.Fatalf("conflict-free variant still has %d atomic replays", m2.Events.ReplayAtomic)
+	}
+	if m.Cycles <= m2.Cycles {
+		t.Errorf("contended atomics (%.0f cycles) should cost more than conflict-free (%.0f)",
+			m.Cycles, m2.Cycles)
+	}
+}
+
+// conflictFreeScatter mirrors the scatteradd trace shape (same launch, same
+// instruction mix) but every lane atomically updates its own bin.
+func conflictFreeScatter(blocks int) *trace.Trace {
+	const threadsPerBlock = 128
+	n := blocks * threadsPerBlock
+	b := trace.NewBuilder("scatterAddFree", trace.Launch{
+		Blocks: blocks, ThreadsPerBlock: threadsPerBlock, WarpSize: 32,
+	})
+	in := b.DeclareArray(trace.Array{Name: "values", Type: trace.F32, Len: n, ReadOnly: true})
+	bins := b.DeclareArray(trace.Array{Name: "bins", Type: trace.F32, Len: n})
+	idx := make([]int64, 32)
+	for blk := 0; blk < blocks; blk++ {
+		for w := 0; w < threadsPerBlock/32; w++ {
+			wb := b.Warp(blk, w)
+			wb.Int(2).Branch(1)
+			base := blk*threadsPerBlock + w*32
+			wb.LoadCoalesced(in, int64(base), 32)
+			wb.Int(2)
+			for l := 0; l < 32; l++ {
+				idx[l] = int64(base + l)
+			}
+			wb.Atomic(bins, idx)
+		}
+	}
+	return b.MustBuild()
+}

@@ -1,0 +1,381 @@
+// Package sim is the ground-truth GPU timing simulator of the reproduction —
+// the stand-in for the Tesla K80 the paper measures. It executes a
+// placement-bound kernel trace on an event-driven model of the machine:
+//
+//   - per-SM in-order warps with greedy-oldest scheduling across SMs,
+//   - one issue port per SM whose slots are consumed by executed
+//     instructions, addressing-mode instructions, and instruction replays,
+//   - a scoreboard allowing up to MaxPendingLoads outstanding loads per warp
+//     (compute instructions consume and therefore wait for pending loads),
+//   - the shared cache hierarchy of internal/memsys,
+//   - the event-driven banked GDDR5 of internal/dram with true row-buffer
+//     state and per-bank FIFO queuing.
+//
+// Because the simulator implements strictly more mechanism than any of the
+// analytical models (real queues instead of Kingman's formula, real LRU
+// state instead of miss ratios, per-cycle issue instead of throughput
+// equations), model-vs-simulator error is a meaningful analogue of the
+// paper's model-vs-hardware error.
+package sim
+
+import (
+	"container/heap"
+	"fmt"
+
+	"gpuhms/internal/addrmode"
+	"gpuhms/internal/dram"
+	"gpuhms/internal/gpu"
+	"gpuhms/internal/memsys"
+	"gpuhms/internal/perf"
+	"gpuhms/internal/placement"
+	"gpuhms/internal/replay"
+	"gpuhms/internal/trace"
+)
+
+// Measurement is the simulator's output for one (trace, placement) pair.
+type Measurement struct {
+	Cycles    float64 // SM cycles until the last warp retires
+	StagingNS float64 // one-time global→shared staging cost
+	TimeNS    float64 // total: Cycles/clock + StagingNS
+	Events    perf.Events
+
+	// InterArrivals holds the DRAM request inter-arrival gaps (ns, in
+	// request-issue order) when Simulator.CollectArrivals is set; the Fig 4
+	// study's raw data. BankCaMean/Std are the per-bank c_a statistics.
+	InterArrivals         []float64
+	BankCaMean, BankCaStd float64
+}
+
+// Simulator holds reusable configuration for measuring many placements of
+// many kernels.
+type Simulator struct {
+	Cfg     *gpu.Config
+	Mapping dram.Mapping
+
+	// CollectArrivals enables DRAM inter-arrival collection (Fig 4).
+	CollectArrivals bool
+}
+
+// New builds a simulator with the architecture's default address mapping.
+func New(cfg *gpu.Config) *Simulator {
+	return &Simulator{Cfg: cfg, Mapping: dram.DefaultMapping(cfg.DRAM)}
+}
+
+// instruction latencies in cycles by op class.
+func (s *Simulator) latency(op trace.Op) float64 {
+	switch op {
+	case trace.OpSFU:
+		return s.Cfg.AvgInstLatency * 2
+	case trace.OpFP64:
+		return s.Cfg.AvgInstLatency * 2
+	case trace.OpBranch:
+		return 8
+	default:
+		return s.Cfg.AvgInstLatency
+	}
+}
+
+type warpState struct {
+	sm      int
+	tr      *trace.WarpTrace
+	pc      int
+	ready   float64   // cycle at which the next instruction may issue
+	pending []float64 // completion times of outstanding loads
+	retired bool
+}
+
+// warpHeap orders active warps by their ready time (ties by index for
+// determinism).
+type warpHeap struct {
+	warps []*warpState
+	order []int
+}
+
+func (h *warpHeap) Len() int { return len(h.order) }
+func (h *warpHeap) Less(i, j int) bool {
+	wi, wj := h.warps[h.order[i]], h.warps[h.order[j]]
+	if wi.ready != wj.ready {
+		return wi.ready < wj.ready
+	}
+	return h.order[i] < h.order[j]
+}
+func (h *warpHeap) Swap(i, j int) { h.order[i], h.order[j] = h.order[j], h.order[i] }
+func (h *warpHeap) Push(x any)    { h.order = append(h.order, x.(int)) }
+func (h *warpHeap) Pop() any {
+	old := h.order
+	n := len(old)
+	x := old[n-1]
+	h.order = old[:n-1]
+	return x
+}
+
+// Run measures the trace under the target placement. The sample placement
+// (with its layout) defines address assignment per §III-E; measuring the
+// sample itself is Run(t, sample, sample).
+func (s *Simulator) Run(t *trace.Trace, sample, target *placement.Placement) (*Measurement, error) {
+	if err := placement.Check(t, target, s.Cfg); err != nil {
+		return nil, err
+	}
+	sampleLayout := placement.NewLayout(t, sample)
+	binding := memsys.NewBinding(s.Cfg, t, sample, sampleLayout, target)
+
+	hier := memsys.NewHierarchy(s.Cfg)
+	smCaches := make([]*memsys.SMCaches, s.Cfg.SMs)
+	for i := range smCaches {
+		smCaches[i] = memsys.NewSMCaches(s.Cfg)
+	}
+	dramSys := dram.NewSystem(s.Cfg.DRAM, s.Mapping)
+
+	// Distribute blocks round-robin over SMs; cap resident warps per SM.
+	warps := make([]*warpState, len(t.Warps))
+	var smQueue [][]int // per SM: indices of not-yet-resident warps
+	smQueue = make([][]int, s.Cfg.SMs)
+	smResident := make([]int, s.Cfg.SMs)
+	h := &warpHeap{warps: warps}
+	for i := range t.Warps {
+		sm := t.Warps[i].Block % s.Cfg.SMs
+		warps[i] = &warpState{sm: sm, tr: &t.Warps[i]}
+		if smResident[sm] < s.Cfg.MaxWarpsPerSM {
+			smResident[sm]++
+			h.order = append(h.order, i)
+		} else {
+			smQueue[sm] = append(smQueue[sm], i)
+		}
+	}
+	heap.Init(h)
+
+	smFree := make([]float64, s.Cfg.SMs)
+	var ev perf.Events
+	var endTime float64
+	nsPerCycle := s.Cfg.NSPerCycle()
+	addrBuf := make([]uint64, 0, t.Launch.WarpSize)
+	var arrivals []float64
+	lastArrival := -1.0
+
+	for h.Len() > 0 {
+		wi := heap.Pop(h).(int)
+		w := warps[wi]
+		if w.pc >= len(w.tr.Inst) {
+			// Retire; admit a queued warp on this SM.
+			w.retired = true
+			if w.ready > endTime {
+				endTime = w.ready
+			}
+			if q := smQueue[w.sm]; len(q) > 0 {
+				next := q[0]
+				smQueue[w.sm] = q[1:]
+				warps[next].ready = w.ready
+				heap.Push(h, next)
+			}
+			continue
+		}
+		in := &w.tr.Inst[w.pc]
+		st := w.ready
+		if smFree[w.sm] > st {
+			st = smFree[w.sm]
+		}
+
+		switch {
+		case in.Op == trace.OpSync:
+			// Barrier: consume pending loads (intra-warp approximation of
+			// the block barrier). The pending wait was already folded into
+			// w.ready when the previous instruction retired, so the port is
+			// only held for the issue slot itself.
+			w.pending = w.pending[:0]
+			smFree[w.sm] = st + 1
+			w.ready = st + 1
+			ev.IssueSlots++
+			ev.InstIssued++
+			ev.InstExecuted++
+
+		case !in.Op.IsMem():
+			// Compute consumes loaded values. Its wait for pending loads was
+			// folded into w.ready before the warp re-entered the scheduler
+			// (see below), so st already reflects data readiness and the SM
+			// port is never reserved across a stall.
+			w.pending = w.pending[:0]
+			slots := float64(in.Count)
+			if in.Op == trace.OpFP64 {
+				slots *= 2 // two-cycle issue of double-precision ops
+			}
+			smFree[w.sm] = st + slots
+			w.ready = st + slots + s.latency(in.Op)
+			ev.IssueSlots += int64(slots)
+			ev.InstIssued += int64(in.Count)
+			ev.InstExecuted += int64(in.Count)
+			if in.Op == trace.OpInt {
+				ev.InstInteger += int64(in.Count)
+			}
+
+		default:
+			// Memory instruction: addressing-mode preamble, then the
+			// load/store with its replays and data latency.
+			space := target.Of(in.Array)
+			k := addrmode.InstrPerAccess(space, t.Array(in.Array).Type)
+			if k > 0 {
+				smFree[w.sm] = st + float64(k)
+				st = smFree[w.sm]
+				ev.IssueSlots += int64(k)
+				ev.InstIssued += int64(k)
+				ev.InstExecuted += int64(k)
+				ev.InstInteger += int64(k)
+			}
+
+			res := hier.Access(smCaches[w.sm], binding, in, addrBuf)
+			replays := res.Replays.Total()
+			slots := 1 + float64(replays)
+			issueEnd := st + slots
+			smFree[w.sm] = issueEnd
+
+			ev.IssueSlots += int64(slots)
+			ev.InstIssued += 1 + replays
+			ev.InstExecuted++
+			ev.LdstIssued += 1 + replays
+			countEvents(&ev, &res)
+
+			var done float64
+			if space == gpu.Shared {
+				done = issueEnd + s.Cfg.SharedLatency + float64(res.SharedConflicts)
+			} else {
+				// Cache-hit portion.
+				lat := s.Cfg.CacheHitLatency
+				// DRAM portion: service each missing line; completion is the
+				// slowest line.
+				stNS := st * nsPerCycle
+				for _, line := range res.DRAMLines {
+					if s.CollectArrivals {
+						if lastArrival >= 0 {
+							gap := stNS - lastArrival
+							if gap < 0 {
+								// Scheduling can locally reorder issue
+								// timestamps across SMs.
+								gap = 0
+							}
+							arrivals = append(arrivals, gap)
+						}
+						lastArrival = stNS
+					}
+					r := dramSys.Service(line, stNS)
+					countRow(&ev, r.Outcome)
+					if l := r.Latency(stNS)/nsPerCycle + s.Cfg.CacheHitLatency; l > lat {
+						lat = l
+					}
+				}
+				done = issueEnd + lat
+			}
+
+			if in.Op == trace.OpLoad {
+				// Scoreboard: cap outstanding loads per warp.
+				if len(w.pending) >= s.Cfg.MaxPendingLoads {
+					// Wait for the earliest outstanding load.
+					minI := 0
+					for i, p := range w.pending {
+						if p < w.pending[minI] {
+							minI = i
+						}
+					}
+					if w.pending[minI] > issueEnd {
+						issueEnd = w.pending[minI]
+					}
+					w.pending = append(w.pending[:minI], w.pending[minI+1:]...)
+				}
+				w.pending = append(w.pending, done)
+				w.ready = issueEnd
+			} else {
+				// Stores retire from the warp's perspective at issue.
+				w.ready = issueEnd
+			}
+		}
+
+		w.pc++
+		// If the warp's next instruction consumes loaded values (any
+		// non-memory op), fold the pending-load wait into its ready time
+		// now, so a data-stalled warp sits in the heap without holding the
+		// SM issue port.
+		if w.pc < len(w.tr.Inst) && !w.tr.Inst[w.pc].Op.IsMem() {
+			for _, p := range w.pending {
+				if p > w.ready {
+					w.ready = p
+				}
+			}
+		}
+		heap.Push(h, wi)
+	}
+
+	// Shared staging preamble: each block copies its tile from global
+	// memory; the paper estimates this from bandwidth and size.
+	stagingNS := s.stagingNS(t, sample, target)
+
+	ev.WarpsPerSM = residentWarps(t, s.Cfg)
+	ev.DRAMRequests = ev.RowHits + ev.RowMisses + ev.RowConflicts
+
+	m := &Measurement{
+		Cycles:    endTime,
+		StagingNS: stagingNS,
+		TimeNS:    endTime*nsPerCycle + stagingNS,
+		Events:    ev,
+	}
+	if s.CollectArrivals {
+		m.InterArrivals = arrivals
+		m.BankCaMean, m.BankCaStd = dramSys.MeanCa()
+	}
+	if m.TimeNS <= 0 {
+		return nil, fmt.Errorf("sim: non-positive time for %s", t.Kernel)
+	}
+	return m, nil
+}
+
+// stagingNS estimates the one-time global→shared copy for every array the
+// target placement keeps in shared memory.
+func (s *Simulator) stagingNS(t *trace.Trace, sample, target *placement.Placement) float64 {
+	bytes := placement.SharedStagingBytes(t, target)
+	if bytes == 0 {
+		return 0
+	}
+	return bytes / s.Cfg.SharedCopyGBs // GB/s == bytes/ns
+}
+
+// residentWarps returns the average resident warps per active SM.
+func residentWarps(t *trace.Trace, cfg *gpu.Config) float64 {
+	per := float64(t.Launch.TotalWarps()) / float64(cfg.ActiveSMs(t.Launch.Blocks))
+	if max := float64(cfg.MaxWarpsPerSM); per > max {
+		return max
+	}
+	return per
+}
+
+func countEvents(ev *perf.Events, res *memsys.Result) {
+	switch res.Space {
+	case gpu.Global:
+		ev.GlobalRequests++
+	case gpu.Constant:
+		ev.ConstantRequest++
+	case gpu.Texture1D, gpu.Texture2D:
+		ev.TextureRequests++
+	case gpu.Shared:
+		ev.SharedRequests++
+	}
+	ev.ReplayGlobalDiv += res.Replays.ByReason[replay.GlobalDivergence]
+	ev.ReplayConstMiss += res.Replays.ByReason[replay.ConstantMiss]
+	ev.ReplayConstDiv += res.Replays.ByReason[replay.ConstantDivergence]
+	ev.ReplayShared += res.Replays.ByReason[replay.SharedBankConflict]
+	ev.ReplayAtomic += res.Replays.ByReason[replay.AtomicConflict]
+	ev.L2Transactions += int64(res.L2Accesses)
+	ev.L2Misses += int64(res.L2Misses)
+	ev.ConstAccesses += int64(res.ConstAccesses)
+	ev.ConstMisses += int64(res.ConstMiss)
+	ev.TexAccesses += int64(res.TexAccesses)
+	ev.TexMisses += int64(res.TexMiss)
+	ev.SharedBankConflicts += int64(res.SharedConflicts)
+}
+
+func countRow(ev *perf.Events, o dram.Outcome) {
+	switch o {
+	case dram.Hit:
+		ev.RowHits++
+	case dram.Miss:
+		ev.RowMisses++
+	default:
+		ev.RowConflicts++
+	}
+}

@@ -1,0 +1,59 @@
+package sim
+
+import (
+	"testing"
+
+	"gpuhms/internal/gpu"
+	"gpuhms/internal/kernels"
+	"gpuhms/internal/placement"
+)
+
+// TestSmokeAllKernels measures every kernel's sample placement and every
+// placement test; times must be positive and finite, and events must be
+// self-consistent.
+func TestSmokeAllKernels(t *testing.T) {
+	cfg := gpu.KeplerK80()
+	s := New(cfg)
+	for _, name := range kernels.Names() {
+		name := name
+		t.Run(name, func(t *testing.T) {
+			spec := kernels.MustGet(name)
+			tr := spec.Trace(1)
+			sample, err := spec.SamplePlacement(tr)
+			if err != nil {
+				t.Fatalf("sample placement: %v", err)
+			}
+			if err := placement.Check(tr, sample, cfg); err != nil {
+				t.Fatalf("sample placement illegal: %v", err)
+			}
+			targets, err := spec.Targets(tr)
+			if err != nil {
+				t.Fatalf("targets: %v", err)
+			}
+			ms, err := s.Run(tr, sample, sample)
+			if err != nil {
+				t.Fatalf("sim sample: %v", err)
+			}
+			t.Logf("%s sample: %.0f ns, issued=%d executed=%d replays=%d L2miss=%d dram=%d (rowhit=%d miss=%d conf=%d)",
+				name, ms.TimeNS, ms.Events.InstIssued, ms.Events.InstExecuted,
+				ms.Events.TotalReplays(), ms.Events.L2Misses, ms.Events.DRAMRequests,
+				ms.Events.RowHits, ms.Events.RowMisses, ms.Events.RowConflicts)
+			if ms.TimeNS <= 0 {
+				t.Fatalf("non-positive sample time")
+			}
+			if ms.Events.InstIssued < ms.Events.InstExecuted {
+				t.Fatalf("issued %d < executed %d", ms.Events.InstIssued, ms.Events.InstExecuted)
+			}
+			for i, target := range targets {
+				mt, err := s.Run(tr, sample, target)
+				if err != nil {
+					t.Fatalf("target %d (%s): %v", i, target.Format(tr), err)
+				}
+				t.Logf("  %-40s %.0f ns (%.2fx)", target.Format(tr), mt.TimeNS, mt.TimeNS/ms.TimeNS)
+				if mt.TimeNS <= 0 {
+					t.Fatalf("target %d non-positive time", i)
+				}
+			}
+		})
+	}
+}

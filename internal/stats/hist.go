@@ -1,0 +1,137 @@
+package stats
+
+import (
+	"fmt"
+	"math"
+	"strings"
+)
+
+// Histogram is a fixed-bin-width histogram over [0, BinWidth*len(Counts)).
+type Histogram struct {
+	BinWidth float64
+	Counts   []int64
+	Overflow int64 // samples beyond the last bin
+	Total    int64
+}
+
+// NewHistogram allocates a histogram with the given bin width and count.
+func NewHistogram(binWidth float64, bins int) *Histogram {
+	return &Histogram{BinWidth: binWidth, Counts: make([]int64, bins)}
+}
+
+// Add records one sample.
+func (h *Histogram) Add(x float64) {
+	h.Total++
+	if x < 0 {
+		x = 0
+	}
+	i := int(x / h.BinWidth)
+	if i >= len(h.Counts) {
+		h.Overflow++
+		return
+	}
+	h.Counts[i]++
+}
+
+// Density returns the empirical probability density of bin i
+// (fraction of samples / bin width).
+func (h *Histogram) Density(i int) float64 {
+	if h.Total == 0 {
+		return 0
+	}
+	return float64(h.Counts[i]) / float64(h.Total) / h.BinWidth
+}
+
+// CDF returns the empirical cumulative fraction of samples at or below the
+// upper edge of bin i.
+func (h *Histogram) CDF(i int) float64 {
+	if h.Total == 0 {
+		return 0
+	}
+	var c int64
+	for j := 0; j <= i && j < len(h.Counts); j++ {
+		c += h.Counts[j]
+	}
+	return float64(c) / float64(h.Total)
+}
+
+// ExponentialPDF evaluates the density of an exponential distribution with
+// the given mean at x; the theoretical reference curve of Fig 4.
+func ExponentialPDF(mean, x float64) float64 {
+	if mean <= 0 || x < 0 {
+		return 0
+	}
+	l := 1 / mean
+	return l * math.Exp(-l*x)
+}
+
+// ExponentialCDF evaluates the CDF of an exponential distribution with the
+// given mean at x.
+func ExponentialCDF(mean, x float64) float64 {
+	if mean <= 0 || x <= 0 {
+		return 0
+	}
+	return 1 - math.Exp(-x/mean)
+}
+
+// KSDistanceFromExponential returns the Kolmogorov–Smirnov statistic between
+// the histogram's empirical CDF (evaluated at bin edges) and an exponential
+// CDF with the sample mean. Small values mean the inter-arrival stream looks
+// Markovian; the paper finds md and matrixMul do not.
+func (h *Histogram) KSDistanceFromExponential(mean float64) float64 {
+	d := 0.0
+	for i := range h.Counts {
+		edge := float64(i+1) * h.BinWidth
+		diff := math.Abs(h.CDF(i) - ExponentialCDF(mean, edge))
+		if diff > d {
+			d = diff
+		}
+	}
+	return d
+}
+
+// Render draws a fixed-width ASCII plot of the histogram's density with the
+// exponential reference overlaid ('#' measured, '.' exponential, '*' both).
+// It is the textual analogue of Fig 4.
+func (h *Histogram) Render(mean float64, width int) string {
+	if width <= 0 {
+		width = 50
+	}
+	if h.Total == 0 {
+		return "(empty histogram)\n"
+	}
+	maxD := 0.0
+	for i := range h.Counts {
+		if d := h.Density(i); d > maxD {
+			maxD = d
+		}
+		mid := (float64(i) + 0.5) * h.BinWidth
+		if d := ExponentialPDF(mean, mid); d > maxD {
+			maxD = d
+		}
+	}
+	if maxD == 0 {
+		return "(empty histogram)\n"
+	}
+	var b strings.Builder
+	for i := range h.Counts {
+		mid := (float64(i) + 0.5) * h.BinWidth
+		meas := int(h.Density(i) / maxD * float64(width))
+		theo := int(ExponentialPDF(mean, mid) / maxD * float64(width))
+		fmt.Fprintf(&b, "%8.1f |", mid)
+		for c := 0; c < width; c++ {
+			switch {
+			case c < meas && c < theo:
+				b.WriteByte('*')
+			case c < meas:
+				b.WriteByte('#')
+			case c < theo:
+				b.WriteByte('.')
+			default:
+				b.WriteByte(' ')
+			}
+		}
+		b.WriteByte('\n')
+	}
+	return b.String()
+}

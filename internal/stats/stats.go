@@ -1,0 +1,206 @@
+// Package stats provides the statistical machinery the paper relies on:
+// cosine similarity for performance-event selection (§II-B), descriptive
+// statistics and coefficients of variation for the queuing model (§III-C3),
+// ordinary least squares for training the T_overlap model (Eq 11), and
+// histogram/exponential-reference utilities for the inter-arrival study
+// (Fig 4).
+package stats
+
+import (
+	"errors"
+	"fmt"
+	"math"
+)
+
+// Mean returns the arithmetic mean of xs (0 for empty input).
+func Mean(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	s := 0.0
+	for _, x := range xs {
+		s += x
+	}
+	return s / float64(len(xs))
+}
+
+// StdDev returns the population standard deviation of xs.
+func StdDev(xs []float64) float64 {
+	if len(xs) < 2 {
+		return 0
+	}
+	m := Mean(xs)
+	s := 0.0
+	for _, x := range xs {
+		d := x - m
+		s += d * d
+	}
+	return math.Sqrt(s / float64(len(xs)))
+}
+
+// CoV returns the coefficient of variation σ/μ (0 when μ is 0), the c_a/c_s
+// quantity of the paper's Eq 10.
+func CoV(xs []float64) float64 {
+	m := Mean(xs)
+	if m == 0 {
+		return 0
+	}
+	return StdDev(xs) / m
+}
+
+// CosineSimilarity returns the cosine of the angle between two equal-length
+// vectors: dot(a,b)/(|a||b|). For the non-negative vectors of §II-B the
+// result lies in [0,1], with 1 meaning the event's variation exactly tracks
+// the execution-time variation across placements.
+func CosineSimilarity(a, b []float64) (float64, error) {
+	if len(a) != len(b) {
+		return 0, fmt.Errorf("stats: cosine similarity of length %d vs %d", len(a), len(b))
+	}
+	if len(a) == 0 {
+		return 0, errors.New("stats: cosine similarity of empty vectors")
+	}
+	var dot, na, nb float64
+	for i := range a {
+		dot += a[i] * b[i]
+		na += a[i] * a[i]
+		nb += b[i] * b[i]
+	}
+	if na == 0 || nb == 0 {
+		return 0, nil
+	}
+	return dot / (math.Sqrt(na) * math.Sqrt(nb)), nil
+}
+
+// OLS fits y ≈ X·beta by ordinary least squares via the normal equations
+// with ridge fallback for rank-deficient designs. X is row-major: X[i] is
+// the feature vector of observation i. Returns the coefficient vector of
+// length len(X[0]).
+func OLS(x [][]float64, y []float64) ([]float64, error) {
+	n := len(x)
+	if n == 0 || n != len(y) {
+		return nil, fmt.Errorf("stats: OLS with %d rows, %d targets", n, len(y))
+	}
+	p := len(x[0])
+	for i, row := range x {
+		if len(row) != p {
+			return nil, fmt.Errorf("stats: OLS row %d has %d features, want %d", i, len(row), p)
+		}
+	}
+	// Normal equations: (XᵀX) beta = Xᵀy.
+	xtx := make([][]float64, p)
+	for i := range xtx {
+		xtx[i] = make([]float64, p)
+	}
+	xty := make([]float64, p)
+	for r := 0; r < n; r++ {
+		for i := 0; i < p; i++ {
+			xi := x[r][i]
+			if xi == 0 {
+				continue
+			}
+			xty[i] += xi * y[r]
+			for j := i; j < p; j++ {
+				xtx[i][j] += xi * x[r][j]
+			}
+		}
+	}
+	for i := 0; i < p; i++ {
+		for j := 0; j < i; j++ {
+			xtx[i][j] = xtx[j][i]
+		}
+	}
+	beta, err := solve(xtx, xty)
+	if err == nil {
+		return beta, nil
+	}
+	// Rank-deficient design: add a small ridge on the diagonal, scaled to
+	// the magnitude of XᵀX, and retry.
+	scale := 0.0
+	for i := 0; i < p; i++ {
+		scale += xtx[i][i]
+	}
+	lambda := 1e-8 * (scale/float64(p) + 1)
+	for i := 0; i < p; i++ {
+		xtx[i][i] += lambda
+	}
+	return solve(xtx, xty)
+}
+
+// solve performs Gaussian elimination with partial pivoting on a copy of
+// (A, b).
+func solve(a [][]float64, b []float64) ([]float64, error) {
+	n := len(a)
+	m := make([][]float64, n)
+	for i := range m {
+		m[i] = make([]float64, n+1)
+		copy(m[i], a[i])
+		m[i][n] = b[i]
+	}
+	for col := 0; col < n; col++ {
+		piv, best := col, math.Abs(m[col][col])
+		for r := col + 1; r < n; r++ {
+			if v := math.Abs(m[r][col]); v > best {
+				piv, best = r, v
+			}
+		}
+		if best < 1e-12 {
+			return nil, fmt.Errorf("stats: singular system at column %d", col)
+		}
+		m[col], m[piv] = m[piv], m[col]
+		for r := col + 1; r < n; r++ {
+			f := m[r][col] / m[col][col]
+			if f == 0 {
+				continue
+			}
+			for c := col; c <= n; c++ {
+				m[r][c] -= f * m[col][c]
+			}
+		}
+	}
+	out := make([]float64, n)
+	for i := n - 1; i >= 0; i-- {
+		s := m[i][n]
+		for j := i + 1; j < n; j++ {
+			s -= m[i][j] * out[j]
+		}
+		out[i] = s / m[i][i]
+	}
+	return out, nil
+}
+
+// Predict evaluates a fitted linear model on one feature vector.
+func Predict(beta, features []float64) float64 {
+	s := 0.0
+	for i := range beta {
+		s += beta[i] * features[i]
+	}
+	return s
+}
+
+// R2 returns the coefficient of determination of predictions vs targets.
+func R2(pred, y []float64) float64 {
+	if len(pred) != len(y) || len(y) == 0 {
+		return 0
+	}
+	m := Mean(y)
+	var ssRes, ssTot float64
+	for i := range y {
+		d := y[i] - pred[i]
+		ssRes += d * d
+		t := y[i] - m
+		ssTot += t * t
+	}
+	if ssTot == 0 {
+		return 0
+	}
+	return 1 - ssRes/ssTot
+}
+
+// RelError returns |pred-actual|/actual, the paper's prediction-error
+// metric (predicted performance normalized by measured performance).
+func RelError(pred, actual float64) float64 {
+	if actual == 0 {
+		return 0
+	}
+	return math.Abs(pred-actual) / actual
+}

@@ -1,0 +1,317 @@
+package stats
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func almostEqual(a, b, eps float64) bool {
+	return math.Abs(a-b) <= eps*(1+math.Abs(a)+math.Abs(b))
+}
+
+func TestMeanStdDev(t *testing.T) {
+	tests := []struct {
+		name string
+		xs   []float64
+		mean float64
+		std  float64
+	}{
+		{"empty", nil, 0, 0},
+		{"single", []float64{5}, 5, 0},
+		{"pair", []float64{2, 4}, 3, 1},
+		{"constant", []float64{7, 7, 7, 7}, 7, 0},
+		{"symmetric", []float64{-1, 0, 1}, 0, math.Sqrt(2.0 / 3.0)},
+	}
+	for _, tc := range tests {
+		t.Run(tc.name, func(t *testing.T) {
+			if m := Mean(tc.xs); !almostEqual(m, tc.mean, 1e-12) {
+				t.Errorf("Mean = %g, want %g", m, tc.mean)
+			}
+			if s := StdDev(tc.xs); !almostEqual(s, tc.std, 1e-12) {
+				t.Errorf("StdDev = %g, want %g", s, tc.std)
+			}
+		})
+	}
+}
+
+func TestCoV(t *testing.T) {
+	// Exponential-like samples have CoV near 1; constants have 0.
+	if c := CoV([]float64{3, 3, 3}); c != 0 {
+		t.Errorf("CoV of constant = %g, want 0", c)
+	}
+	if c := CoV(nil); c != 0 {
+		t.Errorf("CoV of empty = %g, want 0", c)
+	}
+	// Zero mean guards division.
+	if c := CoV([]float64{-1, 1}); c != 0 {
+		t.Errorf("CoV with zero mean = %g, want 0", c)
+	}
+}
+
+func TestCosineSimilarityKnown(t *testing.T) {
+	cases := []struct {
+		a, b []float64
+		want float64
+	}{
+		{[]float64{1, 0}, []float64{1, 0}, 1},
+		{[]float64{1, 0}, []float64{0, 1}, 0},
+		{[]float64{1, 2, 3}, []float64{2, 4, 6}, 1},
+		{[]float64{1, 1}, []float64{1, 0}, math.Sqrt2 / 2},
+	}
+	for _, tc := range cases {
+		got, err := CosineSimilarity(tc.a, tc.b)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !almostEqual(got, tc.want, 1e-12) {
+			t.Errorf("cos(%v,%v) = %g, want %g", tc.a, tc.b, got, tc.want)
+		}
+	}
+}
+
+func TestCosineSimilarityErrors(t *testing.T) {
+	if _, err := CosineSimilarity([]float64{1}, []float64{1, 2}); err == nil {
+		t.Error("length mismatch should error")
+	}
+	if _, err := CosineSimilarity(nil, nil); err == nil {
+		t.Error("empty vectors should error")
+	}
+	// Zero vector similarity defined as 0.
+	got, err := CosineSimilarity([]float64{0, 0}, []float64{1, 2})
+	if err != nil || got != 0 {
+		t.Errorf("zero vector: got %g, %v", got, err)
+	}
+}
+
+// Property: cosine similarity of non-negative vectors lies in [0,1], is
+// symmetric, and is scale-invariant — the §II-B requirements.
+func TestCosineSimilarityProperties(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		n := 2 + r.Intn(20)
+		a := make([]float64, n)
+		b := make([]float64, n)
+		for i := range a {
+			a[i] = r.Float64() * 100
+			b[i] = r.Float64() * 100
+		}
+		ab, _ := CosineSimilarity(a, b)
+		ba, _ := CosineSimilarity(b, a)
+		if ab < -1e-12 || ab > 1+1e-12 {
+			return false
+		}
+		if !almostEqual(ab, ba, 1e-12) {
+			return false
+		}
+		// Scale invariance.
+		scaled := make([]float64, n)
+		k := 1 + r.Float64()*10
+		for i := range a {
+			scaled[i] = a[i] * k
+		}
+		sb, _ := CosineSimilarity(scaled, b)
+		return almostEqual(ab, sb, 1e-9)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: OLS recovers the exact coefficients of a noiseless linear model
+// with a well-conditioned design.
+func TestOLSExactRecovery(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		p := 2 + r.Intn(4)
+		n := p + 5 + r.Intn(20)
+		beta := make([]float64, p)
+		for i := range beta {
+			beta[i] = r.NormFloat64() * 3
+		}
+		x := make([][]float64, n)
+		y := make([]float64, n)
+		for i := range x {
+			x[i] = make([]float64, p)
+			for j := range x[i] {
+				x[i][j] = r.NormFloat64()
+			}
+			y[i] = Predict(beta, x[i])
+		}
+		got, err := OLS(x, y)
+		if err != nil {
+			return false
+		}
+		for j := range beta {
+			if !almostEqual(got[j], beta[j], 1e-6) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestOLSRankDeficientFallsBackToRidge(t *testing.T) {
+	// Two identical columns: the normal equations are singular; the ridge
+	// fallback must still return a finite solution reproducing y.
+	x := [][]float64{{1, 1}, {2, 2}, {3, 3}, {4, 4}}
+	y := []float64{2, 4, 6, 8}
+	beta, err := OLS(x, y)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range x {
+		if p := Predict(beta, x[i]); !almostEqual(p, y[i], 1e-3) {
+			t.Errorf("row %d: predict %g, want %g (beta=%v)", i, p, y[i], beta)
+		}
+	}
+}
+
+func TestOLSErrors(t *testing.T) {
+	if _, err := OLS(nil, nil); err == nil {
+		t.Error("empty design should error")
+	}
+	if _, err := OLS([][]float64{{1, 2}}, []float64{1, 2}); err == nil {
+		t.Error("row/target mismatch should error")
+	}
+	if _, err := OLS([][]float64{{1, 2}, {1}}, []float64{1, 2}); err == nil {
+		t.Error("ragged design should error")
+	}
+}
+
+func TestR2(t *testing.T) {
+	y := []float64{1, 2, 3, 4}
+	if r := R2(y, y); !almostEqual(r, 1, 1e-12) {
+		t.Errorf("perfect fit R2 = %g", r)
+	}
+	mean := []float64{2.5, 2.5, 2.5, 2.5}
+	if r := R2(mean, y); !almostEqual(r, 0, 1e-12) {
+		t.Errorf("mean predictor R2 = %g", r)
+	}
+	if r := R2([]float64{1}, []float64{1, 2}); r != 0 {
+		t.Errorf("mismatched lengths R2 = %g", r)
+	}
+}
+
+func TestRelError(t *testing.T) {
+	if e := RelError(110, 100); !almostEqual(e, 0.1, 1e-12) {
+		t.Errorf("RelError = %g", e)
+	}
+	if e := RelError(90, 100); !almostEqual(e, 0.1, 1e-12) {
+		t.Errorf("RelError = %g", e)
+	}
+	if e := RelError(5, 0); e != 0 {
+		t.Errorf("RelError with zero actual = %g", e)
+	}
+}
+
+// Property: Welford matches the two-pass mean/stddev on random data.
+func TestWelfordMatchesTwoPass(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		n := 2 + r.Intn(200)
+		xs := make([]float64, n)
+		var w Welford
+		for i := range xs {
+			xs[i] = r.NormFloat64()*50 + 10
+			w.Add(xs[i])
+		}
+		return almostEqual(w.Mean(), Mean(xs), 1e-9) &&
+			almostEqual(w.StdDev(), StdDev(xs), 1e-9) &&
+			w.N() == int64(n)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestWelfordZeroValue(t *testing.T) {
+	var w Welford
+	if w.Mean() != 0 || w.StdDev() != 0 || w.CoV() != 0 || w.N() != 0 {
+		t.Error("zero-value Welford should report zeros")
+	}
+	w.Add(4)
+	if w.Mean() != 4 || w.Variance() != 0 {
+		t.Errorf("single sample: mean=%g var=%g", w.Mean(), w.Variance())
+	}
+}
+
+func TestHistogram(t *testing.T) {
+	h := NewHistogram(1, 4)
+	for _, x := range []float64{0.5, 1.5, 1.6, 3.2, 10, -1} {
+		h.Add(x)
+	}
+	if h.Total != 6 {
+		t.Errorf("total = %d", h.Total)
+	}
+	if h.Counts[0] != 2 { // 0.5 and the clamped -1
+		t.Errorf("bin0 = %d", h.Counts[0])
+	}
+	if h.Counts[1] != 2 {
+		t.Errorf("bin1 = %d", h.Counts[1])
+	}
+	if h.Overflow != 1 {
+		t.Errorf("overflow = %d", h.Overflow)
+	}
+	if cdf := h.CDF(3); !almostEqual(cdf, 5.0/6.0, 1e-12) {
+		t.Errorf("CDF(3) = %g", cdf)
+	}
+}
+
+func TestExponentialReference(t *testing.T) {
+	// PDF integrates to ~1 over a wide range; CDF is its integral.
+	mean := 2.0
+	sum := 0.0
+	dx := 0.001
+	for x := 0.0; x < 40; x += dx {
+		sum += ExponentialPDF(mean, x) * dx
+	}
+	if !almostEqual(sum, 1, 1e-3) {
+		t.Errorf("PDF integral = %g", sum)
+	}
+	if c := ExponentialCDF(mean, mean); !almostEqual(c, 1-math.Exp(-1), 1e-12) {
+		t.Errorf("CDF(mean) = %g", c)
+	}
+	if ExponentialPDF(0, 1) != 0 || ExponentialCDF(-1, 1) != 0 {
+		t.Error("degenerate parameters should yield 0")
+	}
+}
+
+// Property: samples drawn from an exponential distribution yield a small KS
+// distance to the exponential reference; uniform samples a large one.
+func TestKSDistance(t *testing.T) {
+	r := rand.New(rand.NewSource(42))
+	hExp := NewHistogram(0.25, 80)
+	hUni := NewHistogram(0.25, 80)
+	for i := 0; i < 20000; i++ {
+		hExp.Add(r.ExpFloat64() * 2)
+		hUni.Add(r.Float64() * 4) // uniform with the same mean 2
+	}
+	dExp := hExp.KSDistanceFromExponential(2)
+	dUni := hUni.KSDistanceFromExponential(2)
+	if dExp > 0.05 {
+		t.Errorf("exponential KS distance = %g, want small", dExp)
+	}
+	if dUni < 2*dExp {
+		t.Errorf("uniform KS (%g) should exceed exponential KS (%g) clearly", dUni, dExp)
+	}
+}
+
+func TestHistogramRender(t *testing.T) {
+	h := NewHistogram(1, 3)
+	h.Add(0.5)
+	h.Add(0.6)
+	h.Add(2.5)
+	out := h.Render(1, 20)
+	if out == "" || out == "(empty histogram)\n" {
+		t.Errorf("unexpected render: %q", out)
+	}
+	empty := NewHistogram(1, 3)
+	if out := empty.Render(1, 20); out != "(empty histogram)\n" {
+		t.Errorf("empty render: %q", out)
+	}
+}

@@ -1,0 +1,44 @@
+package stats
+
+import "math"
+
+// Welford accumulates mean and variance in a single pass without storing
+// samples (Welford's online algorithm). The zero value is ready to use.
+type Welford struct {
+	n    int64
+	mean float64
+	m2   float64
+}
+
+// Add records one sample.
+func (w *Welford) Add(x float64) {
+	w.n++
+	d := x - w.mean
+	w.mean += d / float64(w.n)
+	w.m2 += d * (x - w.mean)
+}
+
+// N returns the sample count.
+func (w *Welford) N() int64 { return w.n }
+
+// Mean returns the running mean (0 with no samples).
+func (w *Welford) Mean() float64 { return w.mean }
+
+// Variance returns the population variance.
+func (w *Welford) Variance() float64 {
+	if w.n < 2 {
+		return 0
+	}
+	return w.m2 / float64(w.n)
+}
+
+// StdDev returns the population standard deviation.
+func (w *Welford) StdDev() float64 { return math.Sqrt(w.Variance()) }
+
+// CoV returns the coefficient of variation σ/μ (0 when μ is 0).
+func (w *Welford) CoV() float64 {
+	if w.mean == 0 {
+		return 0
+	}
+	return w.StdDev() / w.mean
+}

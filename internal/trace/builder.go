@@ -1,0 +1,189 @@
+package trace
+
+import "fmt"
+
+// Builder incrementally constructs a Trace. It is the API workload
+// generators use to emit per-warp instruction streams.
+type Builder struct {
+	t        *Trace
+	warpSize int
+}
+
+// NewBuilder starts a trace for the named kernel.
+func NewBuilder(kernel string, launch Launch) *Builder {
+	if launch.WarpSize == 0 {
+		launch.WarpSize = 32
+	}
+	return &Builder{
+		t:        &Trace{Kernel: kernel, Launch: launch},
+		warpSize: launch.WarpSize,
+	}
+}
+
+// DeclareArray registers a data object and returns its ID.
+func (b *Builder) DeclareArray(a Array) ArrayID {
+	if a.Len <= 0 {
+		panic(fmt.Sprintf("trace: array %s has length %d", a.Name, a.Len))
+	}
+	b.t.Arrays = append(b.t.Arrays, a)
+	return ArrayID(len(b.t.Arrays) - 1)
+}
+
+// Warp opens the instruction stream of one warp. Streams may be built in any
+// order; the builder appends them as opened.
+func (b *Builder) Warp(block, warp int) *WarpBuilder {
+	b.t.Warps = append(b.t.Warps, WarpTrace{Block: block, Warp: warp})
+	return &WarpBuilder{
+		w:        &b.t.Warps[len(b.t.Warps)-1],
+		warpSize: b.warpSize,
+		arrays:   b.t.Arrays,
+	}
+}
+
+// Build finalizes and validates the trace.
+func (b *Builder) Build() (*Trace, error) {
+	if err := b.t.Validate(); err != nil {
+		return nil, err
+	}
+	return b.t, nil
+}
+
+// MustBuild is Build for generators with statically-correct emission.
+func (b *Builder) MustBuild() *Trace {
+	t, err := b.Build()
+	if err != nil {
+		panic(err)
+	}
+	return t
+}
+
+// WarpBuilder appends instructions to one warp stream.
+type WarpBuilder struct {
+	w        *WarpTrace
+	warpSize int
+	arrays   []Array
+}
+
+func (w *WarpBuilder) compute(op Op, n int) *WarpBuilder {
+	if n <= 0 {
+		return w
+	}
+	// Merge with a preceding identical compute op to keep traces compact.
+	if k := len(w.w.Inst); k > 0 && w.w.Inst[k-1].Op == op && !op.IsMem() {
+		w.w.Inst[k-1].Count += n
+		return w
+	}
+	w.w.Inst = append(w.w.Inst, Inst{Op: op, Count: n})
+	return w
+}
+
+// Int emits n integer ALU instructions.
+func (w *WarpBuilder) Int(n int) *WarpBuilder { return w.compute(OpInt, n) }
+
+// FP32 emits n single-precision FP instructions.
+func (w *WarpBuilder) FP32(n int) *WarpBuilder { return w.compute(OpFP32, n) }
+
+// FP64 emits n double-precision FP instructions.
+func (w *WarpBuilder) FP64(n int) *WarpBuilder { return w.compute(OpFP64, n) }
+
+// SFU emits n special-function instructions.
+func (w *WarpBuilder) SFU(n int) *WarpBuilder { return w.compute(OpSFU, n) }
+
+// Branch emits n control-flow instructions.
+func (w *WarpBuilder) Branch(n int) *WarpBuilder { return w.compute(OpBranch, n) }
+
+// Sync emits a barrier.
+func (w *WarpBuilder) Sync() *WarpBuilder { return w.compute(OpSync, 1) }
+
+func (w *WarpBuilder) mem(op Op, a ArrayID, idx []int64) *WarpBuilder {
+	if len(idx) != w.warpSize {
+		panic(fmt.Sprintf("trace: memory op with %d lane indices, warp size %d",
+			len(idx), w.warpSize))
+	}
+	cp := make([]int64, len(idx))
+	copy(cp, idx)
+	w.w.Inst = append(w.w.Inst, Inst{Op: op, Count: 1, Array: a, Index: cp})
+	return w
+}
+
+// Load emits a warp load of array a with the given per-lane element indices
+// (Inactive for masked lanes).
+func (w *WarpBuilder) Load(a ArrayID, idx []int64) *WarpBuilder {
+	return w.mem(OpLoad, a, idx)
+}
+
+// Store emits a warp store.
+func (w *WarpBuilder) Store(a ArrayID, idx []int64) *WarpBuilder {
+	return w.mem(OpStore, a, idx)
+}
+
+// Atomic emits a warp read-modify-write; lanes addressing the same element
+// serialize (the paper's replay cause (6)).
+func (w *WarpBuilder) Atomic(a ArrayID, idx []int64) *WarpBuilder {
+	return w.mem(OpAtomic, a, idx)
+}
+
+// LoadCoalesced emits a load where lane L accesses element base+L for lanes
+// [0, active).
+func (w *WarpBuilder) LoadCoalesced(a ArrayID, base int64, active int) *WarpBuilder {
+	return w.mem(OpLoad, a, Coalesced(w.warpSize, base, active))
+}
+
+// StoreCoalesced is the store counterpart of LoadCoalesced.
+func (w *WarpBuilder) StoreCoalesced(a ArrayID, base int64, active int) *WarpBuilder {
+	return w.mem(OpStore, a, Coalesced(w.warpSize, base, active))
+}
+
+// LoadBroadcast emits a load where every active lane reads the same element,
+// the access pattern constant memory is optimized for.
+func (w *WarpBuilder) LoadBroadcast(a ArrayID, elem int64, active int) *WarpBuilder {
+	idx := make([]int64, w.warpSize)
+	for l := range idx {
+		if l < active {
+			idx[l] = elem
+		} else {
+			idx[l] = Inactive
+		}
+	}
+	return w.mem(OpLoad, a, idx)
+}
+
+// LoadStrided emits a load where lane L accesses base + L*stride.
+func (w *WarpBuilder) LoadStrided(a ArrayID, base, stride int64, active int) *WarpBuilder {
+	idx := make([]int64, w.warpSize)
+	for l := range idx {
+		if l < active {
+			idx[l] = base + int64(l)*stride
+		} else {
+			idx[l] = Inactive
+		}
+	}
+	return w.mem(OpLoad, a, idx)
+}
+
+// StoreStrided is the store counterpart of LoadStrided.
+func (w *WarpBuilder) StoreStrided(a ArrayID, base, stride int64, active int) *WarpBuilder {
+	idx := make([]int64, w.warpSize)
+	for l := range idx {
+		if l < active {
+			idx[l] = base + int64(l)*stride
+		} else {
+			idx[l] = Inactive
+		}
+	}
+	return w.mem(OpStore, a, idx)
+}
+
+// Coalesced builds a unit-stride index vector: lane L gets base+L for
+// L < active, Inactive otherwise.
+func Coalesced(warpSize int, base int64, active int) []int64 {
+	idx := make([]int64, warpSize)
+	for l := range idx {
+		if l < active {
+			idx[l] = base + int64(l)
+		} else {
+			idx[l] = Inactive
+		}
+	}
+	return idx
+}

@@ -1,0 +1,43 @@
+package trace
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// FuzzReadJSON feeds arbitrary bytes to the trace reader: it must never
+// panic, and anything it accepts must be a valid trace that survives a
+// write/read round trip.
+func FuzzReadJSON(f *testing.F) {
+	// Seed with a real serialized trace and a few mutations.
+	b := NewBuilder("seed", Launch{Blocks: 1, ThreadsPerBlock: 32, WarpSize: 32})
+	a := b.DeclareArray(Array{Name: "a", Type: F32, Len: 64, ReadOnly: true})
+	b.Warp(0, 0).LoadCoalesced(a, 0, 32).FP32(1)
+	var buf bytes.Buffer
+	if err := WriteJSON(&buf, b.MustBuild()); err != nil {
+		f.Fatal(err)
+	}
+	f.Add(buf.String())
+	f.Add(`{}`)
+	f.Add(`{"kernel":"k","launch":{"WarpSize":32},"arrays":[],"warps":[]}`)
+	f.Add(strings.Replace(buf.String(), "LD", "ST", 1))
+	f.Add(strings.Replace(buf.String(), `"len":64`, `"len":-1`, 1))
+
+	f.Fuzz(func(t *testing.T, data string) {
+		tr, err := ReadJSON(strings.NewReader(data))
+		if err != nil {
+			return // rejection is fine; panics are not
+		}
+		if err := tr.Validate(); err != nil {
+			t.Fatalf("accepted invalid trace: %v", err)
+		}
+		var out bytes.Buffer
+		if err := WriteJSON(&out, tr); err != nil {
+			t.Fatalf("accepted trace failed to serialize: %v", err)
+		}
+		if _, err := ReadJSON(&out); err != nil {
+			t.Fatalf("round trip of accepted trace failed: %v", err)
+		}
+	})
+}
