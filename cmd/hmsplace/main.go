@@ -9,9 +9,18 @@
 //	hmsplace -kernel spmv -full           # whole m^n legal space
 //	hmsplace -kernel md -measure          # also simulate every candidate
 //	hmsplace -kernel fft -sample "smem:S" -target "smem:G"
+//	hmsplace -kernel spmv -full -budget 50 -top 5 -timeout 30s
+//
+// Searches are bounded: -timeout aborts profiling and search after a wall
+// clock limit, -budget caps model evaluations, -top keeps only the K best
+// rows. A search stopped by budget or timeout still prints the best
+// placements found so far, under a "partial search" banner, and exits with
+// code 3 so scripts can tell a partial ranking from a complete one.
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"log"
@@ -23,9 +32,14 @@ import (
 	"gpuhms/internal/core"
 	"gpuhms/internal/experiments"
 	"gpuhms/internal/gpu"
+	"gpuhms/internal/hmserr"
 	"gpuhms/internal/kernels"
 	"gpuhms/internal/placement"
 )
+
+// exitPartial is the exit code of a search stopped by -budget or -timeout:
+// results were printed, but they cover only part of the candidate space.
+const exitPartial = 3
 
 func main() {
 	log.SetFlags(0)
@@ -44,8 +58,18 @@ func main() {
 		arch    = flag.String("arch", "k80", "architecture: k80 or fermi")
 		saveTo  = flag.String("save-model", "", "write the trained model JSON to this file")
 		loadFr  = flag.String("load-model", "", "load a trained model JSON instead of training")
+		timeout = flag.Duration("timeout", 0, "abort profiling and search after this long, e.g. 30s (0 = no limit)")
+		budget  = flag.Int("budget", 0, "stop after this many model evaluations (0 = unlimited)")
+		top     = flag.Int("top", 0, "print only the K best candidates (0 = all)")
 	)
 	flag.Parse()
+
+	runCtx := context.Background()
+	if *timeout > 0 {
+		var cancel context.CancelFunc
+		runCtx, cancel = context.WithTimeout(runCtx, *timeout)
+		defer cancel()
+	}
 
 	cfg := gpu.KeplerK80()
 	switch *arch {
@@ -128,9 +152,9 @@ func main() {
 		fmt.Printf("trained model saved to %s\n", *saveTo)
 	}
 
-	prof, err := ctx.Measure(*kernel, samplePl, samplePl)
+	prof, err := ctx.Sim.RunContext(runCtx, tr, samplePl, samplePl)
 	if err != nil {
-		log.Fatal(err)
+		log.Fatalf("profiling sample placement: %v", err)
 	}
 	pred, err := core.NewPredictor(model, tr, samplePl,
 		core.SampleProfile{TimeNS: prof.TimeNS, Events: prof.Events})
@@ -148,8 +172,8 @@ func main() {
 			}
 			return p.TimeNS, nil
 		}
-		best, ns, evals, err := placement.GreedySearch(tr, cfg, samplePl, cost)
-		if err != nil {
+		best, ns, evals, err := placement.GreedySearchContext(runCtx, tr, cfg, samplePl, cost, *budget)
+		if err != nil && !errors.Is(err, hmserr.ErrBudgetExceeded) {
 			log.Fatal(err)
 		}
 		fmt.Printf("greedy search: %s predicted %.0f ns (%d model evaluations)\n",
@@ -161,22 +185,11 @@ func main() {
 			}
 			fmt.Printf("measured: %.0f ns\n", m.TimeNS)
 		}
-		return
-	}
-
-	var candidates []*placement.Placement
-	switch {
-	case *target != "":
-		pl, err := placement.Parse(tr, *target)
 		if err != nil {
-			log.Fatal(err)
+			fmt.Printf("\npartial search: %v; the move sequence above may not have converged\n", err)
+			os.Exit(exitPartial)
 		}
-		candidates = []*placement.Placement{pl}
-	case *full:
-		candidates = placement.Enumerate(tr, cfg)
-	default:
-		candidates = append([]*placement.Placement{samplePl},
-			placement.Moves(tr, samplePl, cfg)...)
+		return
 	}
 
 	type row struct {
@@ -184,8 +197,21 @@ func main() {
 		predicted float64
 		measured  float64
 	}
-	rows := make([]row, 0, len(candidates))
-	for _, pl := range candidates {
+	var rows []row
+	evals := 0
+	var stopReason error
+	// predictOne appends one candidate's prediction, honoring the wall-clock
+	// and evaluation budgets; it reports whether the search may continue.
+	predictOne := func(pl *placement.Placement) bool {
+		if err := runCtx.Err(); err != nil {
+			stopReason = err
+			return false
+		}
+		if *budget > 0 && evals >= *budget {
+			stopReason = hmserr.Wrap(hmserr.ErrBudgetExceeded, "%d model evaluations", *budget)
+			return false
+		}
+		evals++
 		p, err := pred.Predict(pl)
 		if err != nil {
 			log.Fatalf("predict %s: %v", pl.Format(tr), err)
@@ -199,8 +225,39 @@ func main() {
 			r.measured = m.TimeNS
 		}
 		rows = append(rows, r)
+		return true
+	}
+	switch {
+	case *target != "":
+		pl, err := placement.Parse(tr, *target)
+		if err != nil {
+			log.Fatal(err)
+		}
+		predictOne(pl)
+	case *full:
+		// Stream the m^n space: with -budget/-top set, memory stays bounded
+		// no matter how many arrays the kernel has.
+		placement.EnumerateSeq(tr, cfg, func(pl *placement.Placement) bool {
+			return predictOne(pl.Clone())
+		})
+	default:
+		for _, pl := range append([]*placement.Placement{samplePl},
+			placement.Moves(tr, samplePl, cfg)...) {
+			if !predictOne(pl) {
+				break
+			}
+		}
+	}
+	if len(rows) == 0 {
+		if stopReason != nil {
+			log.Fatalf("no candidate evaluated before the search stopped: %v", stopReason)
+		}
+		log.Fatal("no legal candidate placements")
 	}
 	sort.Slice(rows, func(i, j int) bool { return rows[i].predicted < rows[j].predicted })
+	if *top > 0 && len(rows) > *top {
+		rows = rows[:*top]
+	}
 
 	w := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', tabwriter.AlignRight)
 	if *measure {
@@ -235,5 +292,11 @@ func main() {
 			log.Fatal(err)
 		}
 		fmt.Printf("\nwhy %s is ranked first:\n%s", rows[0].pl.Format(tr), p.Explain(cfg.NSPerCycle()))
+	}
+
+	if stopReason != nil {
+		fmt.Printf("\npartial search: %v; ranking covers only the %d candidates evaluated\n",
+			stopReason, evals)
+		os.Exit(exitPartial)
 	}
 }

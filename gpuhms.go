@@ -27,6 +27,9 @@
 package gpuhms
 
 import (
+	"container/heap"
+	"context"
+	"errors"
 	"fmt"
 	"io"
 	"sort"
@@ -36,12 +39,50 @@ import (
 	"gpuhms/internal/dram"
 	"gpuhms/internal/experiments"
 	"gpuhms/internal/gpu"
+	"gpuhms/internal/hmserr"
 	"gpuhms/internal/kernels"
 	"gpuhms/internal/microbench"
 	"gpuhms/internal/placement"
 	"gpuhms/internal/sim"
 	"gpuhms/internal/trace"
 )
+
+// Structured errors. Every error returned across this API wraps exactly one
+// of these sentinels (branch with errors.Is); see docs/ROBUSTNESS.md for the
+// taxonomy.
+var (
+	// ErrIllegalPlacement: a placement breaks legality rules (capacity,
+	// read-only spaces, 2D shapes, out-of-range array IDs) or fails to parse.
+	ErrIllegalPlacement = hmserr.ErrIllegalPlacement
+	// ErrInvalidTrace: a kernel trace is internally inconsistent.
+	ErrInvalidTrace = hmserr.ErrInvalidTrace
+	// ErrInvalidProfile: a sample profile carries non-finite, negative, or
+	// inconsistent counters and cannot seed predictions.
+	ErrInvalidProfile = hmserr.ErrInvalidProfile
+	// ErrBudgetExceeded: a search ran out of budget; any accompanying
+	// results are explicitly partial.
+	ErrBudgetExceeded = hmserr.ErrBudgetExceeded
+	// ErrArchMismatch: a saved model targets a different architecture.
+	ErrArchMismatch = hmserr.ErrArchMismatch
+)
+
+// guard converts an internal panic into an error at the facade boundary, so
+// no panic ever crosses the public API. Anything caught here is a library
+// bug, not caller misuse — the message says so.
+func guard(err *error) {
+	if r := recover(); r != nil {
+		*err = fmt.Errorf("gpuhms: internal error (please report): %v", r)
+	}
+}
+
+// checkConfig validates an architecture before internals (which assume a
+// screened Config) run on it.
+func checkConfig(cfg *Config) error {
+	if cfg == nil {
+		return fmt.Errorf("gpuhms: nil Config")
+	}
+	return cfg.Validate()
+}
 
 // Config describes the modeled GPU architecture.
 type Config = gpu.Config
@@ -110,6 +151,13 @@ func EnumeratePlacements(t *Trace, cfg *Config) []*Placement {
 	return placement.Enumerate(t, cfg)
 }
 
+// EnumeratePlacementsSeq streams the legal placement space without
+// materializing it; the yielded placement is scratch — Clone to keep it.
+// Returning false stops the enumeration.
+func EnumeratePlacementsSeq(t *Trace, cfg *Config, yield func(*Placement) bool) {
+	placement.EnumerateSeq(t, cfg, yield)
+}
+
 // KernelSpec is one bundled benchmark workload.
 type KernelSpec = kernels.Spec
 
@@ -130,6 +178,10 @@ type Simulator = sim.Simulator
 
 // Measurement is a simulator result.
 type Measurement = sim.Measurement
+
+// Measurer measures placements: the Simulator, or a wrapper around one
+// (e.g. the fault-injection harness in internal/faults).
+type Measurer = sim.Measurer
 
 // NewSimulator builds a simulator for the architecture.
 func NewSimulator(cfg *Config) *Simulator { return sim.New(cfg) }
@@ -162,15 +214,24 @@ func NewPredictor(m *Model, t *Trace, sample *Placement, prof SampleProfile) (*P
 
 // Advisor is the high-level placement advisor: a full model whose overlap
 // coefficients were trained on the bundled training placements, plus the
-// simulator used to profile sample placements.
+// measurer used to profile sample placements.
 type Advisor struct {
 	Cfg   *Config
 	Model *Model
+
+	// Measurer profiles sample placements and serves MeasureOn; nil uses a
+	// fresh ground-truth simulator. Substituting a fault-injecting wrapper
+	// (internal/faults) here exercises the advisor under degraded counters.
+	Measurer Measurer
 }
 
 // NewAdvisor trains the full model on the bundled Table IV training
 // placements and returns a ready-to-use advisor.
-func NewAdvisor(cfg *Config) (*Advisor, error) {
+func NewAdvisor(cfg *Config) (adv *Advisor, err error) {
+	defer guard(&err)
+	if err := checkConfig(cfg); err != nil {
+		return nil, err
+	}
 	ctx := experiments.NewContext(cfg, 1)
 	m, err := ctx.Model(baseline.Ours())
 	if err != nil {
@@ -179,36 +240,119 @@ func NewAdvisor(cfg *Config) (*Advisor, error) {
 	return &Advisor{Cfg: cfg, Model: m}, nil
 }
 
+// measurer returns the configured Measurer or a fresh simulator.
+func (a *Advisor) measurer() Measurer {
+	if a.Measurer != nil {
+		return a.Measurer
+	}
+	return sim.New(a.Cfg)
+}
+
 // Ranked is one candidate placement with its predicted time.
 type Ranked struct {
 	Placement   *Placement
 	PredictedNS float64
 }
 
+// rankHeap is a max-heap on predicted time: the root is the worst kept
+// candidate, evicted first when a better one arrives.
+type rankHeap []Ranked
+
+func (h rankHeap) Len() int           { return len(h) }
+func (h rankHeap) Less(i, j int) bool { return h[i].PredictedNS > h[j].PredictedNS }
+func (h rankHeap) Swap(i, j int)      { h[i], h[j] = h[j], h[i] }
+func (h *rankHeap) Push(x any)        { *h = append(*h, x.(Ranked)) }
+func (h *rankHeap) Pop() any          { old := *h; n := len(old); x := old[n-1]; *h = old[:n-1]; return x }
+
+// RankOptions bounds RankContext's search over the m^n placement space.
+type RankOptions struct {
+	// TopK keeps only the K fastest predictions; 0 keeps the whole ranking.
+	// With TopK set, memory stays O(K) no matter how large the legal
+	// placement space is.
+	TopK int
+	// MaxCandidates stops the search after predicting this many placements
+	// (0 = unlimited). When it triggers, the ranking seen so far is returned
+	// together with an error wrapping ErrBudgetExceeded — partial results
+	// are never silently reported as complete.
+	MaxCandidates int
+}
+
 // Rank profiles the sample placement on the simulator, predicts every legal
 // placement of the trace, and returns them fastest-first.
 func (a *Advisor) Rank(t *Trace, sample *Placement) ([]Ranked, error) {
-	pr, err := a.Predictor(t, sample)
+	return a.RankContext(context.Background(), t, sample, RankOptions{})
+}
+
+// RankContext is Rank with cancellation and budgets. A canceled context
+// aborts the profiling run and the enumeration promptly and returns
+// ctx.Err(). The placement space is streamed, so only the kept candidates
+// are ever resident.
+func (a *Advisor) RankContext(ctx context.Context, t *Trace, sample *Placement, opt RankOptions) (ranked []Ranked, err error) {
+	defer guard(&err)
+	if err := checkConfig(a.Cfg); err != nil {
+		return nil, err
+	}
+	pr, err := a.PredictorContext(ctx, t, sample)
 	if err != nil {
 		return nil, err
 	}
-	var out []Ranked
-	for _, pl := range placement.Enumerate(t, a.Cfg) {
-		p, err := pr.Predict(pl)
-		if err != nil {
-			return nil, err
+	var kept rankHeap
+	var stopErr error
+	candidates := 0
+	placement.EnumerateSeq(t, a.Cfg, func(pl *placement.Placement) bool {
+		if e := ctx.Err(); e != nil {
+			stopErr = e
+			return false
 		}
-		out = append(out, Ranked{Placement: pl, PredictedNS: p.TimeNS})
+		if opt.MaxCandidates > 0 && candidates >= opt.MaxCandidates {
+			stopErr = hmserr.Wrap(hmserr.ErrBudgetExceeded,
+				"%d of the legal candidate placements predicted", candidates)
+			return false
+		}
+		candidates++
+		p, e := pr.Predict(pl)
+		if e != nil {
+			stopErr = e
+			return false
+		}
+		switch {
+		case opt.TopK > 0 && len(kept) == opt.TopK:
+			if p.TimeNS < kept[0].PredictedNS {
+				kept[0] = Ranked{Placement: pl.Clone(), PredictedNS: p.TimeNS}
+				heap.Fix(&kept, 0)
+			}
+		default:
+			heap.Push(&kept, Ranked{Placement: pl.Clone(), PredictedNS: p.TimeNS})
+		}
+		return true
+	})
+	if stopErr != nil && !errors.Is(stopErr, ErrBudgetExceeded) {
+		return nil, stopErr
 	}
+	out := []Ranked(kept)
 	sort.Slice(out, func(i, j int) bool { return out[i].PredictedNS < out[j].PredictedNS })
-	return out, nil
+	return out, stopErr
 }
 
 // Predictor profiles the sample placement and returns a predictor for
 // arbitrary target placements of the trace.
 func (a *Advisor) Predictor(t *Trace, sample *Placement) (*Predictor, error) {
-	simr := sim.New(a.Cfg)
-	prof, err := simr.Run(t, sample, sample)
+	return a.PredictorContext(context.Background(), t, sample)
+}
+
+// PredictorContext is Predictor with cancellation of the profiling run.
+func (a *Advisor) PredictorContext(ctx context.Context, t *Trace, sample *Placement) (pr *Predictor, err error) {
+	defer guard(&err)
+	if err := checkConfig(a.Cfg); err != nil {
+		return nil, err
+	}
+	if t == nil {
+		return nil, hmserr.Wrap(hmserr.ErrInvalidTrace, "nil trace")
+	}
+	if err := t.Validate(); err != nil {
+		return nil, err
+	}
+	prof, err := a.measurer().RunContext(ctx, t, sample, sample)
 	if err != nil {
 		return nil, fmt.Errorf("gpuhms: profiling sample placement: %w", err)
 	}
@@ -219,7 +363,13 @@ func (a *Advisor) Predictor(t *Trace, sample *Placement) (*Predictor, error) {
 // MeasureOn runs a placement on the ground-truth simulator (the "hardware"
 // measurement of the reproduction).
 func (a *Advisor) MeasureOn(t *Trace, sample, target *Placement) (*Measurement, error) {
-	return sim.New(a.Cfg).Run(t, sample, target)
+	return a.MeasureOnContext(context.Background(), t, sample, target)
+}
+
+// MeasureOnContext is MeasureOn with cancellation of the simulator run.
+func (a *Advisor) MeasureOnContext(ctx context.Context, t *Trace, sample, target *Placement) (m *Measurement, err error) {
+	defer guard(&err)
+	return a.measurer().RunContext(ctx, t, sample, target)
 }
 
 // Save persists the advisor's trained model (options + Eq 11 coefficients)
@@ -243,22 +393,34 @@ func NewAdvisorFromSaved(cfg *Config, r io.Reader) (*Advisor, error) {
 // arrays. Returns the placement, its predicted time, and the number of
 // model evaluations spent.
 func (a *Advisor) BestGreedy(t *Trace, sample *Placement) (Ranked, int, error) {
-	pr, err := a.Predictor(t, sample)
+	return a.BestGreedyContext(context.Background(), t, sample, 0)
+}
+
+// BestGreedyContext is BestGreedy with cancellation and an optional model
+// evaluation budget (maxEvals <= 0 means unlimited). When the budget runs
+// out, the best placement found so far is returned together with an error
+// wrapping ErrBudgetExceeded.
+func (a *Advisor) BestGreedyContext(ctx context.Context, t *Trace, sample *Placement, maxEvals int) (best Ranked, evals int, err error) {
+	defer guard(&err)
+	pr, err := a.PredictorContext(ctx, t, sample)
 	if err != nil {
 		return Ranked{}, 0, err
 	}
 	cost := func(pl *Placement) (float64, error) {
+		if e := ctx.Err(); e != nil {
+			return 0, e
+		}
 		p, err := pr.Predict(pl)
 		if err != nil {
 			return 0, err
 		}
 		return p.TimeNS, nil
 	}
-	best, ns, evals, err := placement.GreedySearch(t, a.Cfg, sample, cost)
-	if err != nil {
+	pl, ns, evals, err := placement.GreedySearchContext(ctx, t, a.Cfg, sample, cost, maxEvals)
+	if err != nil && !errors.Is(err, ErrBudgetExceeded) {
 		return Ranked{}, evals, err
 	}
-	return Ranked{Placement: best, PredictedNS: ns}, evals, nil
+	return Ranked{Placement: pl, PredictedNS: ns}, evals, err
 }
 
 // AddressMappingReport is the outcome of the Algorithm 1 probe.

@@ -6,6 +6,7 @@
 package cache
 
 import (
+	"fmt"
 	"sort"
 
 	"gpuhms/internal/gpu"
@@ -29,12 +30,15 @@ type Cache struct {
 
 const invalidTag = ^uint64(0)
 
-// New builds a cache from its geometry. Geometry must describe at least one
-// power-of-two set.
-func New(g gpu.CacheGeometry) *Cache {
+// NewChecked builds a cache from its geometry, rejecting geometries that
+// describe no sets (zero or negative sizes, lines, or ways).
+func NewChecked(g gpu.CacheGeometry) (*Cache, error) {
+	if g.LineBytes <= 0 || g.Ways <= 0 {
+		return nil, fmt.Errorf("cache: geometry %+v has no lines or ways", g)
+	}
 	sets := g.Sets()
 	if sets <= 0 {
-		panic("cache: geometry has no sets")
+		return nil, fmt.Errorf("cache: geometry %+v has no sets", g)
 	}
 	// Round sets down to a power of two so indexing is a mask; geometry in
 	// this repo always is one.
@@ -50,6 +54,17 @@ func New(g gpu.CacheGeometry) *Cache {
 	}
 	for i := range c.tags {
 		c.tags[i] = invalidTag
+	}
+	return c, nil
+}
+
+// New is NewChecked for geometries already screened by gpu.Config.Validate
+// (every facade entry point validates the Config first); it panics on an
+// invalid geometry.
+func New(g gpu.CacheGeometry) *Cache {
+	c, err := NewChecked(g)
+	if err != nil {
+		panic(err)
 	}
 	return c
 }

@@ -7,6 +7,7 @@ import (
 	"gpuhms/internal/addrmode"
 	"gpuhms/internal/dram"
 	"gpuhms/internal/gpu"
+	"gpuhms/internal/hmserr"
 	"gpuhms/internal/memsys"
 	"gpuhms/internal/perf"
 	"gpuhms/internal/placement"
@@ -76,6 +77,20 @@ type SampleProfile struct {
 	Events perf.Events
 }
 
+// Validate rejects profiles that cannot seed predictions — non-finite or
+// non-positive sample times, and negative, non-finite, or inconsistent
+// counters. Failures wrap hmserr.ErrInvalidProfile: a noisy profiler (or a
+// fault injector) surfaces here as a typed error, never as NaN predictions.
+func (p *SampleProfile) Validate() error {
+	if math.IsNaN(p.TimeNS) || math.IsInf(p.TimeNS, 0) || p.TimeNS <= 0 {
+		return hmserr.Wrap(hmserr.ErrInvalidProfile, "sample time %g ns", p.TimeNS)
+	}
+	if err := p.Events.Validate(); err != nil {
+		return hmserr.Wrap(hmserr.ErrInvalidProfile, "%v", err)
+	}
+	return nil
+}
+
 // Prediction is one placement's predicted performance, with the Eq 1
 // decomposition exposed for ablation studies.
 type Prediction struct {
@@ -105,8 +120,12 @@ type Predictor struct {
 }
 
 // NewPredictor analyzes the sample placement and prepares target
-// predictions.
+// predictions. The sample profile is validated first: non-finite, negative,
+// or inconsistent profiles are rejected with hmserr.ErrInvalidProfile.
 func NewPredictor(m *Model, t *trace.Trace, sample *placement.Placement, prof SampleProfile) (*Predictor, error) {
+	if err := prof.Validate(); err != nil {
+		return nil, err
+	}
 	if err := placement.Check(t, sample, m.Cfg); err != nil {
 		return nil, fmt.Errorf("core: sample placement: %w", err)
 	}

@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"io"
 
+	"gpuhms/internal/hmserr"
 	"gpuhms/internal/perf"
 	"gpuhms/internal/queuing"
 )
@@ -53,8 +54,8 @@ func LoadOptions(r io.Reader, architecture string) (Options, error) {
 		return Options{}, fmt.Errorf("core: decoding saved model: %w", err)
 	}
 	if sm.Architecture != architecture {
-		return Options{}, fmt.Errorf("core: saved model trained for %q, loading for %q",
-			sm.Architecture, architecture)
+		return Options{}, hmserr.Wrap(hmserr.ErrArchMismatch,
+			"saved model trained for %q, loading for %q", sm.Architecture, architecture)
 	}
 	if n := len(sm.OverlapCoeffs); n != 0 && n != len(perf.OverlapFeatureNames()) {
 		return Options{}, fmt.Errorf("core: saved model has %d coefficients, want %d",

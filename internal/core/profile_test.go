@@ -1,0 +1,54 @@
+package core
+
+import (
+	"errors"
+	"math"
+	"testing"
+
+	"gpuhms/internal/gpu"
+	"gpuhms/internal/hmserr"
+	"gpuhms/internal/kernels"
+)
+
+// TestPredictorRejectsCorruptProfiles pins the acceptance criterion: a
+// profile carrying NaN, Inf, negative, or inconsistent values is refused with
+// ErrInvalidProfile — it never seeds predictions.
+func TestPredictorRejectsCorruptProfiles(t *testing.T) {
+	cfg := gpu.KeplerK80()
+	spec := kernels.MustGet("stencil2d")
+	tr := spec.Trace(1)
+	sample, err := spec.SamplePlacement(tr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	good := profile(t, cfg, tr, sample)
+	m := NewModel(cfg, FullOptions())
+
+	corrupt := []struct {
+		name string
+		mut  func(*SampleProfile)
+	}{
+		{"nan time", func(p *SampleProfile) { p.TimeNS = math.NaN() }},
+		{"+inf time", func(p *SampleProfile) { p.TimeNS = math.Inf(1) }},
+		{"-inf time", func(p *SampleProfile) { p.TimeNS = math.Inf(-1) }},
+		{"negative time", func(p *SampleProfile) { p.TimeNS = -p.TimeNS }},
+		{"zero time", func(p *SampleProfile) { p.TimeNS = 0 }},
+		{"negative counter", func(p *SampleProfile) { p.Events.L2Misses = -1 }},
+		{"nan occupancy", func(p *SampleProfile) { p.Events.WarpsPerSM = math.NaN() }},
+		{"executed exceeds issued", func(p *SampleProfile) { p.Events.InstExecuted = p.Events.InstIssued + 1 }},
+	}
+	for _, tc := range corrupt {
+		t.Run(tc.name, func(t *testing.T) {
+			prof := good
+			tc.mut(&prof)
+			if _, err := NewPredictor(m, tr, sample, prof); !errors.Is(err, hmserr.ErrInvalidProfile) {
+				t.Errorf("NewPredictor: got %v, want ErrInvalidProfile", err)
+			}
+		})
+	}
+
+	// The untouched profile must still be accepted.
+	if _, err := NewPredictor(m, tr, sample, good); err != nil {
+		t.Errorf("valid profile rejected: %v", err)
+	}
+}

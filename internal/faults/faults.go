@@ -1,0 +1,156 @@
+// Package faults is the deterministic fault-injection harness of the
+// robustness suite. It wraps any sim.Measurer and degrades its measurements
+// the way real profiling degrades: multiplicative latency noise, scaled or
+// dropped event counters, saturated (overflowed) counters, and outright
+// NaN/Inf/negative sample times.
+//
+// The paper's workflow trusts one profiled sample placement to seed every
+// prediction; nvprof-style counters are noisy in practice, so the advisor
+// must degrade gracefully — return a typed error (hmserr.ErrInvalidProfile)
+// or a finite, sanely-ranked result, never garbage or a panic. The tests in
+// this package assert exactly that.
+//
+// All perturbations are seeded and keyed by (kernel, target placement), so
+// a given injector produces identical faults regardless of call order —
+// sweeps and memoized advisors see stable noise.
+package faults
+
+import (
+	"context"
+	"hash/fnv"
+	"io"
+	"math"
+	"math/rand"
+	"reflect"
+
+	"gpuhms/internal/perf"
+	"gpuhms/internal/placement"
+	"gpuhms/internal/sim"
+	"gpuhms/internal/trace"
+)
+
+// Options selects the faults an Injector applies.
+type Options struct {
+	// Seed fixes the perturbation stream. The same seed and inputs always
+	// produce the same degraded measurement.
+	Seed int64
+
+	// LatencyNoise scales the measured time (and cycles) by an independent
+	// uniform factor in [1-LatencyNoise, 1+LatencyNoise].
+	LatencyNoise float64
+
+	// CounterNoise scales every event counter by an independent uniform
+	// factor in [1-CounterNoise, 1+CounterNoise].
+	CounterNoise float64
+
+	// DropRate zeroes each counter independently with this probability —
+	// the profiler "lost" the event stream.
+	DropRate float64
+
+	// Saturate replaces every counter with a huge value, modeling counter
+	// overflow in long profiling sessions.
+	Saturate bool
+
+	// PreserveInvariants re-establishes issued >= executed after counter
+	// perturbation, modeling a profiler whose noise is still
+	// self-consistent. Without it, large noise can produce profiles the
+	// predictor rejects as inconsistent (which is itself a tested path).
+	PreserveInvariants bool
+
+	// NaNTime, InfTime, and NegativeTime corrupt the measured sample time.
+	NaNTime      bool
+	InfTime      bool
+	NegativeTime bool
+}
+
+// saturatedCount is the value Saturate writes: large enough to be absurd,
+// small enough that sums of a few counters do not overflow int64.
+const saturatedCount = int64(1) << 60
+
+// Injector degrades the measurements of a base Measurer.
+type Injector struct {
+	Base sim.Measurer
+	Opts Options
+}
+
+// New wraps a measurer with deterministic fault injection.
+func New(base sim.Measurer, opts Options) *Injector {
+	return &Injector{Base: base, Opts: opts}
+}
+
+var _ sim.Measurer = (*Injector)(nil)
+
+// Run measures through the base and perturbs the result.
+func (in *Injector) Run(t *trace.Trace, sample, target *placement.Placement) (*sim.Measurement, error) {
+	return in.RunContext(context.Background(), t, sample, target)
+}
+
+// RunContext measures through the base and perturbs the result. Base errors
+// pass through untouched; only successful measurements are degraded.
+func (in *Injector) RunContext(ctx context.Context, t *trace.Trace, sample, target *placement.Placement) (*sim.Measurement, error) {
+	m, err := in.Base.RunContext(ctx, t, sample, target)
+	if err != nil {
+		return nil, err
+	}
+	out := *m
+	in.perturb(&out, in.rng(t, target))
+	return &out, nil
+}
+
+// rng derives the deterministic perturbation stream for one measurement,
+// keyed by kernel and target placement so it is independent of call order.
+func (in *Injector) rng(t *trace.Trace, target *placement.Placement) *rand.Rand {
+	h := fnv.New64a()
+	io.WriteString(h, t.Kernel)
+	io.WriteString(h, "|")
+	io.WriteString(h, target.String())
+	return rand.New(rand.NewSource(in.Opts.Seed ^ int64(h.Sum64())))
+}
+
+func (in *Injector) perturb(m *sim.Measurement, rng *rand.Rand) {
+	o := in.Opts
+	if o.LatencyNoise > 0 {
+		f := 1 + o.LatencyNoise*(2*rng.Float64()-1)
+		m.TimeNS *= f
+		m.Cycles *= f
+	}
+	perturbEvents(&m.Events, rng, o)
+	switch {
+	case o.NaNTime:
+		m.TimeNS = math.NaN()
+	case o.InfTime:
+		m.TimeNS = math.Inf(1)
+	case o.NegativeTime:
+		m.TimeNS = -m.TimeNS
+	}
+}
+
+// perturbEvents walks every counter field of perf.Events with reflection so
+// new counters are automatically covered by the harness.
+func perturbEvents(ev *perf.Events, rng *rand.Rand, o Options) {
+	v := reflect.ValueOf(ev).Elem()
+	for i := 0; i < v.NumField(); i++ {
+		switch f := v.Field(i); f.Kind() {
+		case reflect.Int64:
+			c := f.Int()
+			switch {
+			case o.Saturate:
+				c = saturatedCount
+			case o.DropRate > 0 && rng.Float64() < o.DropRate:
+				c = 0
+			case o.CounterNoise > 0:
+				c = int64(float64(c) * (1 + o.CounterNoise*(2*rng.Float64()-1)))
+			}
+			f.SetInt(c)
+		case reflect.Float64:
+			x := f.Float()
+			if o.CounterNoise > 0 {
+				x *= 1 + o.CounterNoise*(2*rng.Float64()-1)
+			}
+			f.SetFloat(x)
+		}
+	}
+	if o.PreserveInvariants && ev.InstExecuted > ev.InstIssued {
+		ev.InstExecuted = ev.InstIssued
+	}
+}

@@ -1,0 +1,42 @@
+// Package hmserr defines the structured error taxonomy of the library.
+//
+// Every error crossing the public gpuhms API wraps exactly one of the
+// sentinels below, so callers branch with errors.Is instead of string
+// matching, and the facade can guarantee that internal panics never escape:
+// anything that is not one of these classes is a bug, not an input problem.
+//
+//   - ErrIllegalPlacement: a placement violates legality rules (capacity,
+//     read-only spaces, 2D-texture shape, out-of-range array IDs) or a
+//     placement spec fails to parse.
+//   - ErrInvalidTrace: a kernel trace is internally inconsistent (lane
+//     counts, index ranges, stores to read-only arrays, duplicate array
+//     names, non-positive or overflowing lengths).
+//   - ErrInvalidProfile: a sample profile carries non-finite, negative, or
+//     inconsistent counters and cannot seed predictions.
+//   - ErrBudgetExceeded: a search stopped because its evaluation or
+//     placement budget ran out; partial results accompany this error and
+//     are never silently returned as complete.
+//   - ErrArchMismatch: a persisted model or profile targets a different
+//     architecture than the one it is being used with.
+package hmserr
+
+import (
+	"errors"
+	"fmt"
+)
+
+// Sentinel errors of the gpuhms error taxonomy. They are compared with
+// errors.Is; concrete errors wrap them via Wrap.
+var (
+	ErrIllegalPlacement = errors.New("illegal placement")
+	ErrInvalidTrace     = errors.New("invalid trace")
+	ErrInvalidProfile   = errors.New("invalid sample profile")
+	ErrBudgetExceeded   = errors.New("search budget exceeded")
+	ErrArchMismatch     = errors.New("architecture mismatch")
+)
+
+// Wrap attaches detail to a sentinel so errors.Is(err, sentinel) holds while
+// the message carries the specifics.
+func Wrap(sentinel error, format string, args ...any) error {
+	return fmt.Errorf("%w: "+format, append([]any{sentinel}, args...)...)
+}

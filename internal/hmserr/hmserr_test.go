@@ -1,0 +1,28 @@
+package hmserr
+
+import (
+	"errors"
+	"testing"
+)
+
+func TestWrapPreservesSentinel(t *testing.T) {
+	sentinels := []error{
+		ErrIllegalPlacement, ErrInvalidTrace, ErrInvalidProfile,
+		ErrBudgetExceeded, ErrArchMismatch,
+	}
+	for _, s := range sentinels {
+		w := Wrap(s, "kernel %s, array %d", "fft", 3)
+		if !errors.Is(w, s) {
+			t.Errorf("Wrap(%v) lost the sentinel", s)
+		}
+		if got := w.Error(); got != s.Error()+": kernel fft, array 3" {
+			t.Errorf("Wrap message = %q", got)
+		}
+		// Sentinels are pairwise distinct.
+		for _, other := range sentinels {
+			if other != s && errors.Is(w, other) {
+				t.Errorf("Wrap(%v) matches unrelated sentinel %v", s, other)
+			}
+		}
+	}
+}

@@ -121,11 +121,30 @@ func namedArrays(t *trace.Trace, spec string) ([]trace.ArrayID, error) {
 
 var registry = map[string]Spec{}
 
-func register(s Spec) {
+// Register validates and adds a workload to the registry. It rejects
+// duplicates, unnamed specs, and specs without a generator, so external
+// callers extending the corpus get errors rather than panics or silently
+// broken lookups.
+func Register(s Spec) error {
+	if s.Name == "" {
+		return fmt.Errorf("kernels: spec has no name")
+	}
+	if s.Generate == nil {
+		return fmt.Errorf("kernels: kernel %s has no generator", s.Name)
+	}
 	if _, dup := registry[s.Name]; dup {
-		panic("kernels: duplicate kernel " + s.Name)
+		return fmt.Errorf("kernels: duplicate kernel %s", s.Name)
 	}
 	registry[s.Name] = s
+	return nil
+}
+
+// register is Register for the statically-correct built-in corpus
+// (init-time registration, where a failure is a programming bug).
+func register(s Spec) {
+	if err := Register(s); err != nil {
+		panic(err)
+	}
 }
 
 // Get looks up a kernel by name.

@@ -7,6 +7,12 @@
 // the T_overlap model (Eq 11).
 package perf
 
+import (
+	"fmt"
+	"math"
+	"reflect"
+)
+
 // Events is one execution's (or one prediction's) event counters.
 type Events struct {
 	// Issue accounting.
@@ -49,6 +55,32 @@ type Events struct {
 
 	// Occupancy.
 	WarpsPerSM float64
+}
+
+// Validate rejects counter sets no real profiler could emit: negative or
+// non-finite values, or more executed than issued instructions (replays can
+// only add issues). Fault-injected or corrupted profiles fail here before
+// they can seed predictions.
+func (e *Events) Validate() error {
+	v := reflect.ValueOf(*e)
+	typ := v.Type()
+	for i := 0; i < v.NumField(); i++ {
+		switch f := v.Field(i); f.Kind() {
+		case reflect.Int64:
+			if f.Int() < 0 {
+				return fmt.Errorf("perf: counter %s is negative (%d)", typ.Field(i).Name, f.Int())
+			}
+		case reflect.Float64:
+			if x := f.Float(); math.IsNaN(x) || math.IsInf(x, 0) || x < 0 {
+				return fmt.Errorf("perf: counter %s is %g", typ.Field(i).Name, x)
+			}
+		}
+	}
+	if e.InstExecuted > e.InstIssued {
+		return fmt.Errorf("perf: %d instructions executed but only %d issued",
+			e.InstExecuted, e.InstIssued)
+	}
+	return nil
 }
 
 // TotalReplays returns all modeled replays (causes (1)-(4) and (6)).

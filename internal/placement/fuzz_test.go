@@ -1,6 +1,7 @@
 package placement
 
 import (
+	"strings"
 	"testing"
 
 	"gpuhms/internal/gpu"
@@ -19,6 +20,14 @@ func FuzzParse(f *testing.F) {
 	f.Add("in : T , w : C")
 	f.Add("in:T:extra")
 	f.Add("🦆:G")
+	f.Add("in:Q")                        // unknown space name
+	f.Add("in:T,in:C")                   // duplicate assignment
+	f.Add("nosucharray:G")               // array the trace does not declare
+	f.Add("in:" + "T" + "T")             // space name with trailing junk
+	f.Add(strings.Repeat("in:T,", 4096)) // pathological length
+	f.Add("in:\x00G")
+	f.Add(":G")
+	f.Add("in:")
 
 	b := trace.NewBuilder("k", trace.Launch{Blocks: 2, ThreadsPerBlock: 64, WarpSize: 32})
 	in := b.DeclareArray(trace.Array{Name: "in", Type: trace.F32, Len: 256, Width: 16, ReadOnly: true})

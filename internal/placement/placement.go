@@ -10,8 +10,14 @@ import (
 	"strings"
 
 	"gpuhms/internal/gpu"
+	"gpuhms/internal/hmserr"
 	"gpuhms/internal/trace"
 )
+
+// illegalf builds an error wrapping hmserr.ErrIllegalPlacement.
+func illegalf(format string, args ...any) error {
+	return hmserr.Wrap(hmserr.ErrIllegalPlacement, format, args...)
+}
 
 // Placement assigns a memory space to every array of a trace, indexed by
 // trace.ArrayID.
@@ -25,8 +31,25 @@ func New(n int) *Placement {
 	return &Placement{Spaces: make([]gpu.MemSpace, n)}
 }
 
-// Of returns the memory space of the array.
-func (p *Placement) Of(id trace.ArrayID) gpu.MemSpace { return p.Spaces[id] }
+// Of returns the memory space of the array. Out-of-range IDs report global
+// memory (the placement default) instead of panicking; use SpaceOf when the
+// caller needs the range violation surfaced.
+func (p *Placement) Of(id trace.ArrayID) gpu.MemSpace {
+	if int(id) < 0 || int(id) >= len(p.Spaces) {
+		return gpu.Global
+	}
+	return p.Spaces[id]
+}
+
+// SpaceOf returns the memory space of the array, or an error wrapping
+// hmserr.ErrIllegalPlacement when id is out of range.
+func (p *Placement) SpaceOf(id trace.ArrayID) (gpu.MemSpace, error) {
+	if int(id) < 0 || int(id) >= len(p.Spaces) {
+		return gpu.Global, hmserr.Wrap(hmserr.ErrIllegalPlacement,
+			"array ID %d out of range [0,%d)", id, len(p.Spaces))
+	}
+	return p.Spaces[id], nil
+}
 
 // Clone returns an independent copy.
 func (p *Placement) Clone() *Placement {
@@ -38,11 +61,23 @@ func (p *Placement) Clone() *Placement {
 // WithMove returns a copy with one array moved to a new space. It is the
 // sample→target transformation of the paper: "pick a data array as the
 // target data object, then predict the kernel performance if we move the
-// array to a new data placement".
+// array to a new data placement". Out-of-range IDs yield an unchanged copy;
+// use WithMoveChecked when the caller needs the violation surfaced.
 func (p *Placement) WithMove(id trace.ArrayID, to gpu.MemSpace) *Placement {
 	cp := p.Clone()
-	cp.Spaces[id] = to
+	if int(id) >= 0 && int(id) < len(cp.Spaces) {
+		cp.Spaces[id] = to
+	}
 	return cp
+}
+
+// WithMoveChecked is WithMove with a typed error for out-of-range IDs.
+func (p *Placement) WithMoveChecked(id trace.ArrayID, to gpu.MemSpace) (*Placement, error) {
+	if int(id) < 0 || int(id) >= len(p.Spaces) {
+		return nil, hmserr.Wrap(hmserr.ErrIllegalPlacement,
+			"move of array ID %d out of range [0,%d)", id, len(p.Spaces))
+	}
+	return p.WithMove(id, to), nil
 }
 
 // Equal reports whether two placements assign identical spaces.
@@ -91,11 +126,11 @@ func Parse(t *trace.Trace, spec string) (*Placement, error) {
 	for _, part := range strings.Split(spec, ",") {
 		kv := strings.SplitN(strings.TrimSpace(part), ":", 2)
 		if len(kv) != 2 {
-			return nil, fmt.Errorf("placement: bad element %q (want name:space)", part)
+			return nil, illegalf("bad element %q (want name:space)", part)
 		}
 		id, ok := t.ArrayByName(kv[0])
 		if !ok {
-			return nil, fmt.Errorf("placement: kernel %s has no array %q", t.Kernel, kv[0])
+			return nil, illegalf("kernel %s has no array %q", t.Kernel, kv[0])
 		}
 		sp, err := gpu.ParseSpace(kv[1])
 		if err != nil {
@@ -111,19 +146,19 @@ func Parse(t *trace.Trace, spec string) (*Placement, error) {
 // 2D shape, constant memory capacity, and shared-memory capacity per block.
 func Check(t *trace.Trace, p *Placement, cfg *gpu.Config) error {
 	if len(p.Spaces) != len(t.Arrays) {
-		return fmt.Errorf("placement: %d spaces for %d arrays", len(p.Spaces), len(t.Arrays))
+		return illegalf("%d spaces for %d arrays", len(p.Spaces), len(t.Arrays))
 	}
 	constBytes, sharedBytes := 0, 0
 	for i, sp := range p.Spaces {
 		a := t.Arrays[i]
 		if !sp.Writable() && !a.ReadOnly {
-			return fmt.Errorf("placement: array %s is written but placed in read-only %s",
+			return illegalf("array %s is written but placed in read-only %s",
 				a.Name, sp.LongString())
 		}
 		switch sp {
 		case gpu.Texture2D:
 			if !a.Is2D() {
-				return fmt.Errorf("placement: array %s has no 2D shape for 2D texture", a.Name)
+				return illegalf("array %s has no 2D shape for 2D texture", a.Name)
 			}
 		case gpu.Constant:
 			constBytes += a.Bytes()
@@ -132,11 +167,11 @@ func Check(t *trace.Trace, p *Placement, cfg *gpu.Config) error {
 		}
 	}
 	if constBytes > cfg.ConstantBytes {
-		return fmt.Errorf("placement: constant memory overflow: %d > %d bytes",
+		return illegalf("constant memory overflow: %d > %d bytes",
 			constBytes, cfg.ConstantBytes)
 	}
 	if sharedBytes > cfg.SharedBytesPerSM {
-		return fmt.Errorf("placement: shared memory overflow: %d > %d bytes per block",
+		return illegalf("shared memory overflow: %d > %d bytes per block",
 			sharedBytes, cfg.SharedBytesPerSM)
 	}
 	return nil
@@ -196,30 +231,53 @@ func Options(t *trace.Trace, id trace.ArrayID, cfg *gpu.Config) []gpu.MemSpace {
 	return out
 }
 
-// Enumerate yields every legal placement of the trace's arrays, in a
-// deterministic order (lexicographic by array ID and space). This is the m^n
-// exploration space of the paper's introduction, pruned by legality.
-func Enumerate(t *trace.Trace, cfg *gpu.Config) []*Placement {
+// EnumerateSeq streams every legal placement of the trace's arrays, in a
+// deterministic order (lexicographic by array ID and space), calling yield
+// for each one. The yielded placement is scratch space owned by the
+// enumerator — it is only valid for the duration of the callback; callers
+// keeping a candidate must Clone it. Returning false from yield stops the
+// enumeration early.
+//
+// Streaming keeps the m^n exploration space of the paper's introduction out
+// of memory: a budgeted or top-K consumer holds O(K) placements instead of
+// the full space. A zero-array trace yields nothing: it has no placement
+// decisions to rank.
+func EnumerateSeq(t *trace.Trace, cfg *gpu.Config, yield func(*Placement) bool) {
+	if len(t.Arrays) == 0 {
+		return
+	}
 	opts := make([][]gpu.MemSpace, len(t.Arrays))
 	for i := range t.Arrays {
 		opts[i] = Options(t, trace.ArrayID(i), cfg)
 	}
-	var out []*Placement
 	cur := New(len(t.Arrays))
-	var rec func(i int)
-	rec = func(i int) {
+	var rec func(i int) bool
+	rec = func(i int) bool {
 		if i == len(opts) {
-			if Check(t, cur, cfg) == nil {
-				out = append(out, cur.Clone())
+			if Check(t, cur, cfg) != nil {
+				return true
 			}
-			return
+			return yield(cur)
 		}
 		for _, sp := range opts[i] {
 			cur.Spaces[i] = sp
-			rec(i + 1)
+			if !rec(i + 1) {
+				return false
+			}
 		}
+		return true
 	}
 	rec(0)
+}
+
+// Enumerate materializes the EnumerateSeq stream. Prefer EnumerateSeq for
+// kernels with many arrays, where m^n placements may not fit in memory.
+func Enumerate(t *trace.Trace, cfg *gpu.Config) []*Placement {
+	var out []*Placement
+	EnumerateSeq(t, cfg, func(p *Placement) bool {
+		out = append(out, p.Clone())
+		return true
+	})
 	return out
 }
 

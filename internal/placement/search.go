@@ -1,13 +1,38 @@
 package placement
 
 import (
+	"context"
+	"errors"
+
 	"gpuhms/internal/gpu"
+	"gpuhms/internal/hmserr"
 	"gpuhms/internal/trace"
 )
 
 // Cost evaluates a placement; lower is better. Search strategies call it
 // once per candidate (typically a model prediction).
 type Cost func(*Placement) (float64, error)
+
+// budget tracks a bounded number of cost evaluations shared by the search
+// loops. A limit of zero or less means unlimited.
+type budget struct {
+	limit int
+	evals int
+}
+
+// take consumes one evaluation, reporting false when the budget is spent.
+func (b *budget) take() bool {
+	if b.limit > 0 && b.evals >= b.limit {
+		return false
+	}
+	b.evals++
+	return true
+}
+
+func (b *budget) exceeded() error {
+	return hmserr.Wrap(hmserr.ErrBudgetExceeded,
+		"%d cost evaluations", b.limit)
+}
 
 // GreedySearch finds a good placement without enumerating the m^n space:
 // starting from the given placement, it repeatedly applies the single-array
@@ -18,12 +43,27 @@ type Cost func(*Placement) (float64, error)
 // Returns the best placement found, its cost, and the number of cost
 // evaluations spent.
 func GreedySearch(t *trace.Trace, cfg *gpu.Config, start *Placement, cost Cost) (*Placement, float64, int, error) {
+	return GreedySearchContext(context.Background(), t, cfg, start, cost, 0)
+}
+
+// GreedySearchContext is GreedySearch with cancellation and an optional
+// evaluation budget (maxEvals <= 0 means unlimited). A canceled context
+// returns ctx.Err() promptly. When the budget runs out, the best placement
+// found so far is returned together with an error wrapping
+// hmserr.ErrBudgetExceeded — a partial search is never reported as complete.
+func GreedySearchContext(ctx context.Context, t *trace.Trace, cfg *gpu.Config, start *Placement, cost Cost, maxEvals int) (*Placement, float64, int, error) {
+	bud := budget{limit: maxEvals}
+	if err := ctx.Err(); err != nil {
+		return nil, 0, 0, err
+	}
+	if !bud.take() {
+		return nil, 0, 0, bud.exceeded()
+	}
 	cur := start.Clone()
 	curCost, err := cost(cur)
 	if err != nil {
-		return nil, 0, 1, err
+		return nil, 0, bud.evals, err
 	}
-	evals := 1
 	for {
 		var best *Placement
 		bestCost := curCost
@@ -36,18 +76,23 @@ func GreedySearch(t *trace.Trace, cfg *gpu.Config, start *Placement, cost Cost) 
 				if Check(t, cand, cfg) != nil {
 					continue
 				}
+				if err := ctx.Err(); err != nil {
+					return nil, 0, bud.evals, err
+				}
+				if !bud.take() {
+					return cur, curCost, bud.evals, bud.exceeded()
+				}
 				c, err := cost(cand)
 				if err != nil {
-					return nil, 0, evals, err
+					return nil, 0, bud.evals, err
 				}
-				evals++
 				if c < bestCost {
 					best, bestCost = cand, c
 				}
 			}
 		}
 		if best == nil {
-			return cur, curCost, evals, nil
+			return cur, curCost, bud.evals, nil
 		}
 		cur, curCost = best, bestCost
 	}
@@ -57,18 +102,43 @@ func GreedySearch(t *trace.Trace, cfg *gpu.Config, start *Placement, cost Cost) 
 // It is the ground-truth optimum for GreedySearch comparisons; cost grows
 // as m^n.
 func ExhaustiveSearch(t *trace.Trace, cfg *gpu.Config, cost Cost) (*Placement, float64, int, error) {
+	return ExhaustiveSearchContext(context.Background(), t, cfg, cost, 0)
+}
+
+// ExhaustiveSearchContext is ExhaustiveSearch with cancellation and an
+// optional evaluation budget (maxEvals <= 0 means unlimited). It streams the
+// placement space via EnumerateSeq, so memory stays O(1) regardless of m^n.
+// A canceled context returns ctx.Err(); a spent budget returns the best
+// placement seen so far with an error wrapping hmserr.ErrBudgetExceeded.
+func ExhaustiveSearchContext(ctx context.Context, t *trace.Trace, cfg *gpu.Config, cost Cost, maxEvals int) (*Placement, float64, int, error) {
+	bud := budget{limit: maxEvals}
 	var best *Placement
 	bestCost := 0.0
-	evals := 0
-	for _, cand := range Enumerate(t, cfg) {
+	var stopErr error
+	EnumerateSeq(t, cfg, func(cand *Placement) bool {
+		if err := ctx.Err(); err != nil {
+			stopErr = err
+			return false
+		}
+		if !bud.take() {
+			stopErr = bud.exceeded()
+			return false
+		}
 		c, err := cost(cand)
 		if err != nil {
-			return nil, 0, evals, err
+			best, stopErr = nil, err
+			return false
 		}
-		evals++
 		if best == nil || c < bestCost {
-			best, bestCost = cand, c
+			best, bestCost = cand.Clone(), c
 		}
+		return true
+	})
+	if stopErr != nil {
+		if best != nil && errors.Is(stopErr, hmserr.ErrBudgetExceeded) {
+			return best, bestCost, bud.evals, stopErr
+		}
+		return nil, 0, bud.evals, stopErr
 	}
-	return best, bestCost, evals, nil
+	return best, bestCost, bud.evals, nil
 }

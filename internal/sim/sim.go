@@ -20,6 +20,7 @@ package sim
 
 import (
 	"container/heap"
+	"context"
 	"fmt"
 
 	"gpuhms/internal/addrmode"
@@ -109,10 +110,34 @@ func (h *warpHeap) Pop() any {
 	return x
 }
 
+// Measurer measures a (trace, placement) pair — the "hardware" of the
+// reproduction. *Simulator is the real implementation; internal/faults wraps
+// any Measurer to inject counter noise and degraded profiles.
+type Measurer interface {
+	Run(t *trace.Trace, sample, target *placement.Placement) (*Measurement, error)
+	RunContext(ctx context.Context, t *trace.Trace, sample, target *placement.Placement) (*Measurement, error)
+}
+
 // Run measures the trace under the target placement. The sample placement
 // (with its layout) defines address assignment per §III-E; measuring the
 // sample itself is Run(t, sample, sample).
 func (s *Simulator) Run(t *trace.Trace, sample, target *placement.Placement) (*Measurement, error) {
+	return s.RunContext(context.Background(), t, sample, target)
+}
+
+// ctxCheckInterval is how many scheduler steps pass between context polls in
+// RunContext's warp loop — frequent enough that cancellation lands well
+// under 100ms even on the largest bundled kernels, rare enough to stay off
+// the profile.
+const ctxCheckInterval = 2048
+
+// RunContext is Run with cancellation: the warp scheduling loop polls the
+// context every few thousand steps and abandons the measurement with
+// ctx.Err(). A canceled run never returns a partial Measurement.
+func (s *Simulator) RunContext(ctx context.Context, t *trace.Trace, sample, target *placement.Placement) (*Measurement, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
 	if err := placement.Check(t, target, s.Cfg); err != nil {
 		return nil, err
 	}
@@ -152,7 +177,14 @@ func (s *Simulator) Run(t *trace.Trace, sample, target *placement.Placement) (*M
 	var arrivals []float64
 	lastArrival := -1.0
 
+	var steps int
 	for h.Len() > 0 {
+		steps++
+		if steps%ctxCheckInterval == 0 {
+			if err := ctx.Err(); err != nil {
+				return nil, err
+			}
+		}
 		wi := heap.Pop(h).(int)
 		w := warps[wi]
 		if w.pc >= len(w.tr.Inst) {

@@ -1,12 +1,18 @@
 package trace
 
-import "fmt"
+import "gpuhms/internal/hmserr"
 
 // Builder incrementally constructs a Trace. It is the API workload
 // generators use to emit per-warp instruction streams.
+//
+// Emission errors (bad array lengths, wrong lane counts) do not panic:
+// the builder records the first one and Build returns it, so fluent
+// emission chains stay uncluttered while hostile or buggy generators are
+// still rejected at the boundary.
 type Builder struct {
 	t        *Trace
 	warpSize int
+	err      error
 }
 
 // NewBuilder starts a trace for the named kernel.
@@ -20,10 +26,20 @@ func NewBuilder(kernel string, launch Launch) *Builder {
 	}
 }
 
+// fail records the first emission error; later calls keep it.
+func (b *Builder) fail(format string, args ...any) {
+	if b.err == nil {
+		b.err = hmserr.Wrap(hmserr.ErrInvalidTrace, format, args...)
+	}
+}
+
+// Err returns the first emission error recorded so far.
+func (b *Builder) Err() error { return b.err }
+
 // DeclareArray registers a data object and returns its ID.
 func (b *Builder) DeclareArray(a Array) ArrayID {
 	if a.Len <= 0 {
-		panic(fmt.Sprintf("trace: array %s has length %d", a.Name, a.Len))
+		b.fail("array %s has length %d", a.Name, a.Len)
 	}
 	b.t.Arrays = append(b.t.Arrays, a)
 	return ArrayID(len(b.t.Arrays) - 1)
@@ -37,11 +53,16 @@ func (b *Builder) Warp(block, warp int) *WarpBuilder {
 		w:        &b.t.Warps[len(b.t.Warps)-1],
 		warpSize: b.warpSize,
 		arrays:   b.t.Arrays,
+		owner:    b,
 	}
 }
 
-// Build finalizes and validates the trace.
+// Build finalizes and validates the trace. The first emission error, if
+// any, takes precedence over whole-trace validation.
 func (b *Builder) Build() (*Trace, error) {
+	if b.err != nil {
+		return nil, b.err
+	}
 	if err := b.t.Validate(); err != nil {
 		return nil, err
 	}
@@ -62,6 +83,7 @@ type WarpBuilder struct {
 	w        *WarpTrace
 	warpSize int
 	arrays   []Array
+	owner    *Builder
 }
 
 func (w *WarpBuilder) compute(op Op, n int) *WarpBuilder {
@@ -97,8 +119,9 @@ func (w *WarpBuilder) Sync() *WarpBuilder { return w.compute(OpSync, 1) }
 
 func (w *WarpBuilder) mem(op Op, a ArrayID, idx []int64) *WarpBuilder {
 	if len(idx) != w.warpSize {
-		panic(fmt.Sprintf("trace: memory op with %d lane indices, warp size %d",
-			len(idx), w.warpSize))
+		w.owner.fail("memory op with %d lane indices, warp size %d",
+			len(idx), w.warpSize)
+		return w
 	}
 	cp := make([]int64, len(idx))
 	copy(cp, idx)

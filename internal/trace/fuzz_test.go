@@ -23,6 +23,18 @@ func FuzzReadJSON(f *testing.F) {
 	f.Add(`{"kernel":"k","launch":{"WarpSize":32},"arrays":[],"warps":[]}`)
 	f.Add(strings.Replace(buf.String(), "LD", "ST", 1))
 	f.Add(strings.Replace(buf.String(), `"len":64`, `"len":-1`, 1))
+	// Hostile shapes: absurd lengths (bytes overflow int64 when multiplied by
+	// the element size), zero lengths, duplicate and empty array names,
+	// unknown dtypes, and warp-size extremes.
+	f.Add(strings.Replace(buf.String(), `"len":64`, `"len":9223372036854775807`, 1))
+	f.Add(strings.Replace(buf.String(), `"len":64`, `"len":1099511627777`, 1))
+	f.Add(strings.Replace(buf.String(), `"len":64`, `"len":0`, 1))
+	f.Add(strings.Replace(buf.String(), `"name":"a"`, `"name":""`, 1))
+	two := strings.Replace(buf.String(), `"arrays":[`, `"arrays":[{"name":"a","type":"f32","len":8},`, 1)
+	f.Add(two) // duplicate array name
+	f.Add(strings.Replace(buf.String(), `"type":"f32"`, `"type":"f128"`, 1))
+	f.Add(strings.Replace(buf.String(), `"WarpSize":32`, `"WarpSize":-32`, 1))
+	f.Add(strings.Replace(buf.String(), `"WarpSize":32`, `"WarpSize":1048576`, 1))
 
 	f.Fuzz(func(t *testing.T, data string) {
 		tr, err := ReadJSON(strings.NewReader(data))

@@ -14,6 +14,8 @@ package trace
 import (
 	"fmt"
 	"sort"
+
+	"gpuhms/internal/hmserr"
 )
 
 // ArrayID names a data object (a kernel array) within a trace.
@@ -199,23 +201,54 @@ func (t *Trace) ArrayByName(name string) (ArrayID, bool) {
 	return 0, false
 }
 
-// Validate checks internal consistency: memory instructions have per-lane
-// indices of the right length and in range, compute instructions have
-// positive counts.
+// maxArrayBytes bounds a single array's footprint (1 TiB), far beyond any
+// modeled GPU; it keeps hostile traces from overflowing byte arithmetic.
+const maxArrayBytes = 1 << 40
+
+// invalidf builds a validation error wrapping hmserr.ErrInvalidTrace.
+func invalidf(format string, args ...any) error {
+	return hmserr.Wrap(hmserr.ErrInvalidTrace, format, args...)
+}
+
+// Validate checks internal consistency: arrays have unique names and sane
+// positive footprints, memory instructions have per-lane indices of the
+// right length and in range, compute instructions have positive counts.
+// All failures wrap hmserr.ErrInvalidTrace.
 func (t *Trace) Validate() error {
-	if t.Launch.WarpSize <= 0 {
-		return fmt.Errorf("trace %s: warp size %d", t.Kernel, t.Launch.WarpSize)
+	if t.Launch.WarpSize <= 0 || t.Launch.WarpSize > 1024 {
+		return invalidf("trace %s: warp size %d", t.Kernel, t.Launch.WarpSize)
+	}
+	if t.Launch.Blocks < 0 || t.Launch.ThreadsPerBlock < 0 {
+		return invalidf("trace %s: launch %d blocks x %d threads",
+			t.Kernel, t.Launch.Blocks, t.Launch.ThreadsPerBlock)
+	}
+	names := make(map[string]bool, len(t.Arrays))
+	for i, a := range t.Arrays {
+		if a.Name == "" {
+			return invalidf("trace %s: array %d has no name", t.Kernel, i)
+		}
+		if names[a.Name] {
+			return invalidf("trace %s: duplicate array name %q", t.Kernel, a.Name)
+		}
+		names[a.Name] = true
+		if a.Len <= 0 || int64(a.Len) > maxArrayBytes/int64(a.Type.Bytes()) {
+			return invalidf("trace %s: array %s has length %d", t.Kernel, a.Name, a.Len)
+		}
+		if a.Width < 0 || a.Width > a.Len {
+			return invalidf("trace %s: array %s has width %d for length %d",
+				t.Kernel, a.Name, a.Width, a.Len)
+		}
 	}
 	for wi := range t.Warps {
 		for ii := range t.Warps[wi].Inst {
 			in := &t.Warps[wi].Inst[ii]
 			if in.Op.IsMem() {
 				if len(in.Index) != t.Launch.WarpSize {
-					return fmt.Errorf("trace %s: warp %d inst %d: %d lane indices, warp size %d",
+					return invalidf("trace %s: warp %d inst %d: %d lane indices, warp size %d",
 						t.Kernel, wi, ii, len(in.Index), t.Launch.WarpSize)
 				}
 				if int(in.Array) < 0 || int(in.Array) >= len(t.Arrays) {
-					return fmt.Errorf("trace %s: warp %d inst %d: array %d out of range",
+					return invalidf("trace %s: warp %d inst %d: array %d out of range",
 						t.Kernel, wi, ii, in.Array)
 				}
 				a := t.Arrays[in.Array]
@@ -224,15 +257,15 @@ func (t *Trace) Validate() error {
 						continue
 					}
 					if ix < 0 || ix >= int64(a.Len) {
-						return fmt.Errorf("trace %s: warp %d inst %d lane %d: index %d out of [0,%d)",
+						return invalidf("trace %s: warp %d inst %d lane %d: index %d out of [0,%d)",
 							t.Kernel, wi, ii, lane, ix, a.Len)
 					}
 				}
 				if (in.Op == OpStore || in.Op == OpAtomic) && a.ReadOnly {
-					return fmt.Errorf("trace %s: %s to read-only array %s", t.Kernel, in.Op, a.Name)
+					return invalidf("trace %s: %s to read-only array %s", t.Kernel, in.Op, a.Name)
 				}
 			} else if in.Count <= 0 {
-				return fmt.Errorf("trace %s: warp %d inst %d: compute count %d",
+				return invalidf("trace %s: warp %d inst %d: compute count %d",
 					t.Kernel, wi, ii, in.Count)
 			}
 		}

@@ -2,6 +2,7 @@ package trace
 
 import (
 	"math/rand"
+	"strings"
 	"testing"
 	"testing/quick"
 )
@@ -130,23 +131,30 @@ func TestValidateCatchesBadTraces(t *testing.T) {
 			t.Error("expected read-only error")
 		}
 	})
-	t.Run("wrong lane count panics in builder", func(t *testing.T) {
+	t.Run("wrong lane count fails at Build", func(t *testing.T) {
 		b, a := mk()
-		defer func() {
-			if recover() == nil {
-				t.Error("expected panic")
-			}
-		}()
 		b.Warp(0, 0).Load(a, make([]int64, 16))
+		if _, err := b.Build(); err == nil {
+			t.Error("expected lane-count error")
+		} else if b.Err() == nil {
+			t.Error("builder did not record the error")
+		}
 	})
-	t.Run("zero-length array panics", func(t *testing.T) {
+	t.Run("zero-length array fails at Build", func(t *testing.T) {
 		b := NewBuilder("k", Launch{Blocks: 1, ThreadsPerBlock: 32, WarpSize: 32})
-		defer func() {
-			if recover() == nil {
-				t.Error("expected panic")
-			}
-		}()
 		b.DeclareArray(Array{Name: "z", Type: F32, Len: 0})
+		if _, err := b.Build(); err == nil {
+			t.Error("expected length error")
+		}
+	})
+	t.Run("first error wins", func(t *testing.T) {
+		b, a := mk()
+		b.DeclareArray(Array{Name: "z", Type: F32, Len: -3})
+		b.Warp(0, 0).Load(a, make([]int64, 7))
+		_, err := b.Build()
+		if err == nil || !strings.Contains(err.Error(), "length -3") {
+			t.Errorf("expected the first recorded error, got %v", err)
+		}
 	})
 }
 

@@ -1,0 +1,21 @@
+#!/bin/sh
+# verify.sh — the repository's verification gate: vet, build, and the full
+# test suite under the race detector. Run from the repo root:
+#
+#   ./scripts/verify.sh
+#
+# Exits nonzero on the first failure.
+set -eu
+
+cd "$(dirname "$0")/.."
+
+echo "== go vet ./..."
+go vet ./...
+
+echo "== go build ./..."
+go build ./...
+
+echo "== go test -race ./..."
+go test -race ./...
+
+echo "verify: OK"
