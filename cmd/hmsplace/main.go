@@ -10,12 +10,21 @@
 //	hmsplace -kernel md -measure          # also simulate every candidate
 //	hmsplace -kernel fft -sample "smem:S" -target "smem:G"
 //	hmsplace -kernel spmv -full -budget 50 -top 5 -timeout 30s
+//	hmsplace -kernel matrixMul -full -trace-out run.json -metrics-out metrics.prom -progress
 //
 // Searches are bounded: -timeout aborts profiling and search after a wall
 // clock limit, -budget caps model evaluations, -top keeps only the K best
 // rows. A search stopped by budget or timeout still prints the best
 // placements found so far, under a "partial search" banner, and exits with
 // code 3 so scripts can tell a partial ranking from a complete one.
+//
+// Observability (docs/OBSERVABILITY.md): -trace-out writes the session's
+// span timeline as Chrome trace_event JSON, loadable in chrome://tracing or
+// ui.perfetto.dev (a .csv suffix selects CSV instead); -metrics-out writes
+// the metrics registry as Prometheus text (a .json suffix selects JSON);
+// -progress streams live search progress to stderr. Artifacts are written
+// on every exit path that produced results, including partial searches
+// (exit code 3).
 package main
 
 import (
@@ -23,10 +32,13 @@ import (
 	"errors"
 	"flag"
 	"fmt"
+	"io"
 	"log"
 	"os"
 	"sort"
+	"strings"
 	"text/tabwriter"
+	"time"
 
 	"gpuhms/internal/baseline"
 	"gpuhms/internal/core"
@@ -34,6 +46,7 @@ import (
 	"gpuhms/internal/gpu"
 	"gpuhms/internal/hmserr"
 	"gpuhms/internal/kernels"
+	"gpuhms/internal/obs"
 	"gpuhms/internal/placement"
 )
 
@@ -61,8 +74,79 @@ func main() {
 		timeout = flag.Duration("timeout", 0, "abort profiling and search after this long, e.g. 30s (0 = no limit)")
 		budget  = flag.Int("budget", 0, "stop after this many model evaluations (0 = unlimited)")
 		top     = flag.Int("top", 0, "print only the K best candidates (0 = all)")
+
+		traceOut   = flag.String("trace-out", "", "write the span timeline here: Chrome trace_event JSON (Perfetto-loadable), or CSV with a .csv suffix")
+		metricsOut = flag.String("metrics-out", "", "write collected metrics here: Prometheus text, or JSON with a .json suffix")
+		progress   = flag.Bool("progress", false, "stream live search progress to stderr")
 	)
 	flag.Parse()
+
+	// The collector gathers the whole session (profiling run, predictions,
+	// search) when any observability output is requested; emitArtifacts
+	// flushes it on every exit path that produced results.
+	var col *obs.Collector
+	if *traceOut != "" || *metricsOut != "" || *progress {
+		col = obs.NewCollector()
+	}
+	if *progress {
+		last := time.Time{}
+		col.OnProgress = func(p obs.Progress) {
+			if !p.Done && time.Since(last) < 250*time.Millisecond {
+				return
+			}
+			last = time.Now()
+			switch {
+			case p.Total > 0:
+				fmt.Fprintf(os.Stderr, "hmsplace: progress %d/%d evaluated, best %.0f ns (%s)\n",
+					p.Evaluated, p.Total, p.BestNS, p.Best)
+			default:
+				fmt.Fprintf(os.Stderr, "hmsplace: progress %d evaluated, best %.0f ns (%s)\n",
+					p.Evaluated, p.BestNS, p.Best)
+			}
+		}
+	}
+	emitArtifacts := func() {
+		if col == nil {
+			return
+		}
+		writeArtifact := func(what, path string, render func(io.Writer) error) {
+			f, err := os.Create(path)
+			if err != nil {
+				log.Print(err)
+				return
+			}
+			renderErr := render(f)
+			closeErr := f.Close()
+			switch {
+			case renderErr != nil:
+				log.Printf("writing %s: %v", path, renderErr)
+			case closeErr != nil:
+				log.Print(closeErr)
+			default:
+				fmt.Fprintf(os.Stderr, "hmsplace: %s written to %s\n", what, path)
+			}
+		}
+		if *traceOut != "" {
+			if strings.HasSuffix(*traceOut, ".csv") {
+				writeArtifact("trace", *traceOut, col.WriteCSV)
+			} else {
+				writeArtifact("trace", *traceOut, col.WriteChromeTrace)
+			}
+		}
+		if *metricsOut != "" {
+			if strings.HasSuffix(*metricsOut, ".json") {
+				writeArtifact("metrics", *metricsOut, col.WriteMetricsJSON)
+			} else {
+				writeArtifact("metrics", *metricsOut, col.WriteMetricsText)
+			}
+		}
+	}
+	// A typed-nil *Collector must not reach Recorder interfaces; normalize
+	// to the no-op recorder explicitly.
+	rec := obs.Nop()
+	if col != nil {
+		rec = col
+	}
 
 	runCtx := context.Background()
 	if *timeout > 0 {
@@ -102,6 +186,7 @@ func main() {
 	}
 
 	ctx := experiments.NewContext(cfg, *scale)
+	ctx.Sim.Recorder = rec
 	tr := ctx.Trace(*kernel)
 
 	samplePl, err := spec.SamplePlacement(tr)
@@ -161,6 +246,7 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
+	pred.SetRecorder(rec)
 	fmt.Printf("kernel %s (%s), sample placement %s: profiled %.0f ns\n\n",
 		*kernel, spec.KernelName, samplePl.Format(tr), prof.TimeNS)
 
@@ -172,7 +258,7 @@ func main() {
 			}
 			return p.TimeNS, nil
 		}
-		best, ns, evals, err := placement.GreedySearchContext(runCtx, tr, cfg, samplePl, cost, *budget)
+		best, ns, evals, err := placement.GreedySearchContext(runCtx, tr, cfg, samplePl, cost, *budget, rec)
 		if err != nil && !errors.Is(err, hmserr.ErrBudgetExceeded) {
 			log.Fatal(err)
 		}
@@ -185,6 +271,7 @@ func main() {
 			}
 			fmt.Printf("measured: %.0f ns\n", m.TimeNS)
 		}
+		emitArtifacts()
 		if err != nil {
 			fmt.Printf("\npartial search: %v; the move sequence above may not have converged\n", err)
 			os.Exit(exitPartial)
@@ -199,6 +286,7 @@ func main() {
 	}
 	var rows []row
 	evals := 0
+	bestNS, bestPl := 0.0, ""
 	var stopReason error
 	// predictOne appends one candidate's prediction, honoring the wall-clock
 	// and evaluation budgets; it reports whether the search may continue.
@@ -212,9 +300,19 @@ func main() {
 			return false
 		}
 		evals++
+		start := rec.Now()
 		p, err := pred.Predict(pl)
 		if err != nil {
 			log.Fatalf("predict %s: %v", pl.Format(tr), err)
+		}
+		if rec.Enabled() {
+			rec.Add("advisor_evals_total", 1)
+			rec.Span("advisor", "eval "+pl.Format(tr), start, rec.Now()-start)
+			if bestPl == "" || p.TimeNS < bestNS {
+				bestNS, bestPl = p.TimeNS, pl.Format(tr)
+				rec.Gauge("advisor_best_ns", bestNS)
+			}
+			rec.ReportProgress(obs.Progress{Evaluated: evals, BestNS: bestNS, Best: bestPl})
 		}
 		r := row{pl: pl, predicted: p.TimeNS}
 		if *measure {
@@ -247,6 +345,22 @@ func main() {
 				break
 			}
 		}
+	}
+	if rec.Enabled() {
+		// Close out the search progress: report coverage of the candidate
+		// space so partial searches can be judged from the metrics alone.
+		total := evals
+		switch {
+		case *full:
+			total = placement.CountLegal(tr, cfg)
+		case *target == "":
+			total = 1 + len(placement.Moves(tr, samplePl, cfg))
+		}
+		rec.Gauge("advisor_rank_evaluated", float64(evals))
+		rec.Gauge("advisor_rank_total", float64(total))
+		rec.ReportProgress(obs.Progress{
+			Evaluated: evals, Total: total, BestNS: bestNS, Best: bestPl, Done: true,
+		})
 	}
 	if len(rows) == 0 {
 		if stopReason != nil {
@@ -293,6 +407,10 @@ func main() {
 		}
 		fmt.Printf("\nwhy %s is ranked first:\n%s", rows[0].pl.Format(tr), p.Explain(cfg.NSPerCycle()))
 	}
+
+	// Flush observability artifacts before any exit: a partial search
+	// (exit code 3) must still leave its trace and metrics behind.
+	emitArtifacts()
 
 	if stopReason != nil {
 		fmt.Printf("\npartial search: %v; ranking covers only the %d candidates evaluated\n",

@@ -42,10 +42,35 @@ import (
 	"gpuhms/internal/hmserr"
 	"gpuhms/internal/kernels"
 	"gpuhms/internal/microbench"
+	"gpuhms/internal/obs"
 	"gpuhms/internal/placement"
 	"gpuhms/internal/sim"
 	"gpuhms/internal/trace"
 )
+
+// Observability. A Collector threaded through the Advisor (or a Simulator)
+// captures structured run telemetry: a metrics registry (Prometheus text /
+// JSON), span timelines (Chrome trace_event JSON for chrome://tracing and
+// Perfetto, or CSV), and live search progress. See docs/OBSERVABILITY.md.
+type (
+	// Recorder is the instrumentation sink; NopRecorder() disables
+	// recording at zero cost.
+	Recorder = obs.Recorder
+	// Collector is the live Recorder with export helpers.
+	Collector = obs.Collector
+	// SearchProgress reports a search's coverage of the candidate space
+	// and its best result so far.
+	SearchProgress = obs.Progress
+	// MetricsSnapshot is a stable copy of collected metrics.
+	MetricsSnapshot = obs.Snapshot
+)
+
+// NewCollector returns a live Collector on the wall clock.
+func NewCollector() *Collector { return obs.NewCollector() }
+
+// NopRecorder returns the shared no-op Recorder (the default when
+// Advisor.Recorder is nil).
+func NopRecorder() Recorder { return obs.Nop() }
 
 // Structured errors. Every error returned across this API wraps exactly one
 // of these sentinels (branch with errors.Is); see docs/ROBUSTNESS.md for the
@@ -223,7 +248,17 @@ type Advisor struct {
 	// fresh ground-truth simulator. Substituting a fault-injecting wrapper
 	// (internal/faults) here exercises the advisor under degraded counters.
 	Measurer Measurer
+
+	// Recorder receives the advisor's telemetry: profiling-run simulator
+	// events, per-prediction model term breakdowns, per-placement eval
+	// spans, and search progress (including the Evaluated/Total record of
+	// a budget-limited ranking). Nil disables recording. When Measurer is
+	// nil, the recorder is also threaded into the fresh simulator.
+	Recorder Recorder
 }
+
+// rec normalizes the advisor's optional recorder.
+func (a *Advisor) rec() Recorder { return obs.OrNop(a.Recorder) }
 
 // NewAdvisor trains the full model on the bundled Table IV training
 // placements and returns a ready-to-use advisor.
@@ -240,12 +275,15 @@ func NewAdvisor(cfg *Config) (adv *Advisor, err error) {
 	return &Advisor{Cfg: cfg, Model: m}, nil
 }
 
-// measurer returns the configured Measurer or a fresh simulator.
+// measurer returns the configured Measurer or a fresh simulator carrying
+// the advisor's recorder.
 func (a *Advisor) measurer() Measurer {
 	if a.Measurer != nil {
 		return a.Measurer
 	}
-	return sim.New(a.Cfg)
+	s := sim.New(a.Cfg)
+	s.Recorder = a.Recorder
+	return s
 }
 
 // Ranked is one candidate placement with its predicted time.
@@ -287,6 +325,13 @@ func (a *Advisor) Rank(t *Trace, sample *Placement) ([]Ranked, error) {
 // aborts the profiling run and the enumeration promptly and returns
 // ctx.Err(). The placement space is streamed, so only the kept candidates
 // are ever resident.
+//
+// With Advisor.Recorder set, each evaluation is recorded as a span, the
+// best-so-far prediction as a gauge, and progress reports flow throughout.
+// When the MaxCandidates budget stops the search, the final progress report
+// carries Evaluated (placements predicted) versus Total (the legal space
+// that was enumerated), so a partial ranking's coverage survives in the obs
+// snapshot instead of being lost with the error.
 func (a *Advisor) RankContext(ctx context.Context, t *Trace, sample *Placement, opt RankOptions) (ranked []Ranked, err error) {
 	defer guard(&err)
 	if err := checkConfig(a.Cfg); err != nil {
@@ -296,24 +341,44 @@ func (a *Advisor) RankContext(ctx context.Context, t *Trace, sample *Placement, 
 	if err != nil {
 		return nil, err
 	}
+	rec := a.rec()
+	enabled := rec.Enabled()
 	var kept rankHeap
 	var stopErr error
+	budgetHit := false
 	candidates := 0
+	bestNS := 0.0
+	bestName := ""
 	placement.EnumerateSeq(t, a.Cfg, func(pl *placement.Placement) bool {
 		if e := ctx.Err(); e != nil {
 			stopErr = e
 			return false
 		}
 		if opt.MaxCandidates > 0 && candidates >= opt.MaxCandidates {
-			stopErr = hmserr.Wrap(hmserr.ErrBudgetExceeded,
-				"%d of the legal candidate placements predicted", candidates)
+			budgetHit = true
 			return false
 		}
 		candidates++
+		var start float64
+		if enabled {
+			start = rec.Now()
+		}
 		p, e := pr.Predict(pl)
 		if e != nil {
 			stopErr = e
 			return false
+		}
+		if bestNS == 0 || p.TimeNS < bestNS {
+			bestNS = p.TimeNS
+			if enabled {
+				bestName = pl.Format(t)
+				rec.Gauge("advisor_best_ns", bestNS)
+			}
+		}
+		if enabled {
+			rec.Add("advisor_evals_total", 1)
+			rec.Span("advisor", "eval "+pl.Format(t), start, rec.Now()-start)
+			rec.ReportProgress(SearchProgress{Evaluated: candidates, BestNS: bestNS, Best: bestName})
 		}
 		switch {
 		case opt.TopK > 0 && len(kept) == opt.TopK:
@@ -326,6 +391,27 @@ func (a *Advisor) RankContext(ctx context.Context, t *Trace, sample *Placement, 
 		}
 		return true
 	})
+	if budgetHit {
+		// The enumeration stopped on budget: count the legal space the
+		// search would have covered, so the partial ranking reports its
+		// coverage (Evaluated/Total) instead of losing it.
+		total := placement.CountLegal(t, a.Cfg)
+		stopErr = hmserr.Wrap(hmserr.ErrBudgetExceeded,
+			"%d of %d legal candidate placements predicted", candidates, total)
+		rec.ReportProgress(SearchProgress{
+			Evaluated: candidates, Total: total, BestNS: bestNS, Best: bestName, Done: true,
+		})
+		if enabled {
+			rec.Gauge("advisor_rank_evaluated", float64(candidates))
+			rec.Gauge("advisor_rank_total", float64(total))
+		}
+	} else if stopErr == nil && enabled {
+		rec.Gauge("advisor_rank_evaluated", float64(candidates))
+		rec.Gauge("advisor_rank_total", float64(candidates))
+		rec.ReportProgress(SearchProgress{
+			Evaluated: candidates, Total: candidates, BestNS: bestNS, Best: bestName, Done: true,
+		})
+	}
 	if stopErr != nil && !errors.Is(stopErr, ErrBudgetExceeded) {
 		return nil, stopErr
 	}
@@ -352,12 +438,25 @@ func (a *Advisor) PredictorContext(ctx context.Context, t *Trace, sample *Placem
 	if err := t.Validate(); err != nil {
 		return nil, err
 	}
+	rec := a.rec()
+	var start float64
+	if rec.Enabled() {
+		start = rec.Now()
+	}
 	prof, err := a.measurer().RunContext(ctx, t, sample, sample)
 	if err != nil {
 		return nil, fmt.Errorf("gpuhms: profiling sample placement: %w", err)
 	}
-	return core.NewPredictor(a.Model, t, sample,
+	if rec.Enabled() {
+		rec.Span("advisor", "profile "+sample.Format(t), start, rec.Now()-start)
+	}
+	p, err := core.NewPredictor(a.Model, t, sample,
 		core.SampleProfile{TimeNS: prof.TimeNS, Events: prof.Events})
+	if err != nil {
+		return nil, err
+	}
+	p.SetRecorder(a.Recorder)
+	return p, nil
 }
 
 // MeasureOn runs a placement on the ground-truth simulator (the "hardware"
@@ -416,7 +515,7 @@ func (a *Advisor) BestGreedyContext(ctx context.Context, t *Trace, sample *Place
 		}
 		return p.TimeNS, nil
 	}
-	pl, ns, evals, err := placement.GreedySearchContext(ctx, t, a.Cfg, sample, cost, maxEvals)
+	pl, ns, evals, err := placement.GreedySearchContext(ctx, t, a.Cfg, sample, cost, maxEvals, a.Recorder)
 	if err != nil && !errors.Is(err, ErrBudgetExceeded) {
 		return Ranked{}, evals, err
 	}

@@ -9,6 +9,7 @@ import (
 	"gpuhms/internal/gpu"
 	"gpuhms/internal/hmserr"
 	"gpuhms/internal/memsys"
+	"gpuhms/internal/obs"
 	"gpuhms/internal/perf"
 	"gpuhms/internal/placement"
 	"gpuhms/internal/queuing"
@@ -106,6 +107,11 @@ type Prediction struct {
 	QueueDelayNS float64 // average queuing component of DRAMLatNS
 	Events       perf.Events
 	Analysis     *Analysis
+
+	// FixedPointIters counts the bisection steps spent finding the
+	// self-consistent execution span of the queuing model (0 when the
+	// queuing model is off) — a convergence observable for the obs layer.
+	FixedPointIters int
 }
 
 // Predictor holds the per-kernel state: the sample placement's layout, the
@@ -117,7 +123,13 @@ type Predictor struct {
 	sampleLayout *placement.Layout
 	sampleAn     *Analysis
 	profile      SampleProfile
+	rec          obs.Recorder
 }
+
+// SetRecorder attaches an instrumentation recorder: every Predict reports
+// its Eq 1 term breakdown (T_comp/T_mem/T_overlap inputs and outputs) and a
+// wall-clock span. A nil recorder disables recording.
+func (p *Predictor) SetRecorder(rec obs.Recorder) { p.rec = obs.OrNop(rec) }
 
 // NewPredictor analyzes the sample placement and prepares target
 // predictions. The sample profile is validated first: non-finite, negative,
@@ -165,9 +177,28 @@ func (p *Predictor) Predict(target *placement.Placement) (*Prediction, error) {
 	if err := placement.Check(p.trace, target, p.model.Cfg); err != nil {
 		return nil, err
 	}
+	rec := obs.OrNop(p.rec)
+	enabled := rec.Enabled()
+	var start float64
+	if enabled {
+		start = rec.Now()
+	}
 	binding := memsys.NewBinding(p.model.Cfg, p.trace, p.sample, p.sampleLayout, target)
 	an := analyze(p.model.Cfg, p.model.Mapping, p.model.distMode(), binding)
-	return p.model.predictFrom(an, p.sampleAn, &p.profile)
+	pred, err := p.model.predictFrom(an, p.sampleAn, &p.profile)
+	if enabled && err == nil {
+		rec.Add("model_predictions_total", 1)
+		rec.Add("model_fixedpoint_iters_total", int64(pred.FixedPointIters))
+		rec.Observe("model_tcomp_cycles", pred.TComp)
+		rec.Observe("model_tmem_cycles", pred.TMem)
+		rec.Observe("model_toverlap_cycles", pred.TOverlap)
+		rec.Observe("model_amat_cycles", pred.AMAT)
+		rec.Observe("model_dram_latency_ns", pred.DRAMLatNS)
+		rec.Observe("model_queue_delay_ns", pred.QueueDelayNS)
+		rec.Observe("model_predicted_ns", pred.TimeNS)
+		rec.Span("model", "predict", start, rec.Now()-start)
+	}
+	return pred, err
 }
 
 // predictFrom assembles the Eq 1 prediction from a target analysis.
@@ -218,6 +249,7 @@ func (m *Model) predictFrom(an, sampleAn *Analysis, prof *SampleProfile) (*Predi
 				break
 			}
 			hi *= 2
+			pred.FixedPointIters++
 		}
 		for i := 0; i < 50 && hi-lo > 1e-3*hi; i++ {
 			mid := (lo + hi) / 2
@@ -227,6 +259,7 @@ func (m *Model) predictFrom(an, sampleAn *Analysis, prof *SampleProfile) (*Predi
 			} else {
 				hi = mid
 			}
+			pred.FixedPointIters++
 		}
 		_, tmem, toverlap, amat, dramNS, queueNS = eval(hi)
 	}

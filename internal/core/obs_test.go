@@ -1,0 +1,80 @@
+package core
+
+import (
+	"testing"
+
+	"gpuhms/internal/gpu"
+	"gpuhms/internal/kernels"
+	"gpuhms/internal/obs"
+)
+
+// TestPredictorRecordsTermBreakdown checks that an attached recorder sees
+// every Predict as a model span plus the Eq 1 term observations, and that
+// attaching one does not change the prediction itself.
+func TestPredictorRecordsTermBreakdown(t *testing.T) {
+	cfg := gpu.KeplerK80()
+	spec := kernels.MustGet("matrixMul")
+	tr := spec.Trace(1)
+	sample, err := spec.SamplePlacement(tr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := NewModel(cfg, FullOptions())
+	prof := profile(t, cfg, tr, sample)
+
+	bare, err := NewPredictor(m, tr, sample, prof)
+	if err != nil {
+		t.Fatal(err)
+	}
+	instrumented, err := NewPredictor(m, tr, sample, prof)
+	if err != nil {
+		t.Fatal(err)
+	}
+	col := obs.NewCollectorWithClock(func() float64 { return 0 })
+	instrumented.SetRecorder(col)
+
+	targets, err := spec.Targets(tr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, target := range targets {
+		want, err := bare.Predict(target)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := instrumented.Predict(target)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got.TimeNS != want.TimeNS || got.TComp != want.TComp || got.TMem != want.TMem {
+			t.Fatalf("recorder changed prediction of %s: %+v vs %+v", target.Format(tr), got, want)
+		}
+	}
+
+	snap := col.Snapshot()
+	if got := snap.Counter("model_predictions_total"); got != int64(len(targets)) {
+		t.Errorf("model_predictions_total = %d, want %d", got, len(targets))
+	}
+	for _, name := range []string{
+		"model_tcomp_cycles", "model_tmem_cycles", "model_toverlap_cycles",
+		"model_amat_cycles", "model_predicted_ns",
+	} {
+		h := snap.Histogram(name)
+		if h == nil || h.Count != int64(len(targets)) {
+			t.Errorf("histogram %s missing or wrong count: %+v", name, h)
+		}
+	}
+	spans := 0
+	for _, e := range col.Timeline().Events() {
+		if e.Track == "model" && e.Name == "predict" {
+			spans++
+		}
+	}
+	if spans != len(targets) {
+		t.Errorf("%d model spans, want %d", spans, len(targets))
+	}
+	// The full model runs the queuing fixed point, so iterations were spent.
+	if got := snap.Counter("model_fixedpoint_iters_total"); got <= 0 {
+		t.Errorf("model_fixedpoint_iters_total = %d, want > 0", got)
+	}
+}

@@ -1,0 +1,135 @@
+package obs
+
+import (
+	"io"
+	"sync"
+	"time"
+)
+
+// Collector is the live Recorder: a metrics Registry plus a span Timeline
+// and the latest search Progress, with export helpers for every artifact
+// the CLI emits (-trace-out, -metrics-out). Hand one Collector to the
+// Simulator, Predictor, and Advisor of a session and it accumulates the
+// whole run.
+type Collector struct {
+	reg *Registry
+	tl  *Timeline
+
+	// OnProgress, when set, is called synchronously with every progress
+	// report — the hook behind `hmsplace -progress`. Set it before the run
+	// starts; the callback must not call back into the Collector's
+	// progress path.
+	OnProgress func(Progress)
+
+	clock func() float64 // ns since start
+
+	mu          sync.Mutex
+	progress    Progress
+	hasProgress bool
+}
+
+// NewCollector returns a Collector on the wall clock.
+func NewCollector() *Collector {
+	start := time.Now()
+	return newCollector(func() float64 { return float64(time.Since(start).Nanoseconds()) })
+}
+
+// NewCollectorWithClock returns a Collector whose Now() is the given clock
+// (nanoseconds since an arbitrary start) — deterministic timelines for
+// tests and golden files.
+func NewCollectorWithClock(clock func() float64) *Collector {
+	return newCollector(clock)
+}
+
+func newCollector(clock func() float64) *Collector {
+	return &Collector{reg: NewRegistry(), tl: NewTimeline(), clock: clock}
+}
+
+// Registry exposes the collector's metrics registry (histogram layout
+// registration, direct snapshots).
+func (c *Collector) Registry() *Registry { return c.reg }
+
+// Timeline exposes the collector's span timeline (event caps, raw access).
+func (c *Collector) Timeline() *Timeline { return c.tl }
+
+// Enabled implements Recorder: a Collector always records.
+func (c *Collector) Enabled() bool { return true }
+
+// Now implements Recorder with the collector's clock.
+func (c *Collector) Now() float64 { return c.clock() }
+
+// Add implements Recorder.
+func (c *Collector) Add(name string, delta int64) { c.reg.Add(name, delta) }
+
+// Gauge implements Recorder.
+func (c *Collector) Gauge(name string, v float64) { c.reg.Gauge(name, v) }
+
+// Observe implements Recorder.
+func (c *Collector) Observe(name string, v float64) { c.reg.Observe(name, v) }
+
+// Span implements Recorder.
+func (c *Collector) Span(track, name string, startNS, durNS float64) {
+	c.tl.Span(track, name, startNS, durNS)
+}
+
+// Instant implements Recorder.
+func (c *Collector) Instant(track, name string, tsNS float64) {
+	c.tl.Instant(track, name, tsNS)
+}
+
+// ReportProgress implements Recorder: the latest report is kept (surfaced
+// by Snapshot) and forwarded to OnProgress.
+func (c *Collector) ReportProgress(p Progress) {
+	c.mu.Lock()
+	c.progress = p
+	c.hasProgress = true
+	cb := c.OnProgress
+	c.mu.Unlock()
+	if cb != nil {
+		cb(p)
+	}
+}
+
+// Progress returns the latest progress report and whether one was made.
+func (c *Collector) Progress() (Progress, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.progress, c.hasProgress
+}
+
+// Snapshot copies the collector's metrics, attaching the latest search
+// progress and the timeline's bookkeeping gauges.
+func (c *Collector) Snapshot() *Snapshot {
+	c.reg.Gauge("obs_timeline_events", float64(c.tl.Len()))
+	if d := c.tl.Dropped(); d > 0 {
+		c.reg.Gauge("obs_timeline_dropped", float64(d))
+	}
+	s := c.reg.Snapshot()
+	c.mu.Lock()
+	if c.hasProgress {
+		p := c.progress
+		s.Search = &p
+	}
+	c.mu.Unlock()
+	return s
+}
+
+// WriteMetricsText renders the current snapshot as Prometheus text.
+func (c *Collector) WriteMetricsText(w io.Writer) error {
+	return c.Snapshot().WritePrometheus(w)
+}
+
+// WriteMetricsJSON renders the current snapshot as JSON.
+func (c *Collector) WriteMetricsJSON(w io.Writer) error {
+	return c.Snapshot().WriteJSON(w)
+}
+
+// WriteChromeTrace renders the timeline as Chrome trace_event JSON.
+func (c *Collector) WriteChromeTrace(w io.Writer) error {
+	return c.tl.WriteChromeTrace(w)
+}
+
+// WriteCSV renders the timeline as CSV.
+func (c *Collector) WriteCSV(w io.Writer) error {
+	return c.tl.WriteCSV(w)
+}

@@ -1,0 +1,199 @@
+package obs
+
+import (
+	"bytes"
+	"encoding/json"
+	"math"
+	"strings"
+	"sync"
+	"testing"
+)
+
+func TestRegistryCountersGaugesHistograms(t *testing.T) {
+	r := NewRegistry()
+	r.Add("a_total", 2)
+	r.Add("a_total", 3)
+	r.Gauge("g", 1.5)
+	r.RegisterHistogram("h_ns", []float64{10, 100})
+	r.Observe("h_ns", 5)
+	r.Observe("h_ns", 50)
+	r.Observe("h_ns", 500)
+
+	s := r.Snapshot()
+	if got := s.Counter("a_total"); got != 5 {
+		t.Errorf("counter a_total = %d, want 5", got)
+	}
+	if got := s.GaugeValue("g"); got != 1.5 {
+		t.Errorf("gauge g = %g, want 1.5", got)
+	}
+	h := s.Histogram("h_ns")
+	if h == nil {
+		t.Fatal("histogram h_ns missing from snapshot")
+	}
+	if h.Count != 3 || h.Sum != 555 {
+		t.Errorf("histogram count/sum = %d/%g, want 3/555", h.Count, h.Sum)
+	}
+	want := []int64{1, 1, 1} // ≤10, ≤100, +Inf
+	for i, c := range h.Counts {
+		if c != want[i] {
+			t.Errorf("bucket %d = %d, want %d", i, c, want[i])
+		}
+	}
+	if got := h.Mean(); got != 185 {
+		t.Errorf("mean = %g, want 185", got)
+	}
+}
+
+func TestRegistryDefaultBuckets(t *testing.T) {
+	r := NewRegistry()
+	r.Observe("x", 3)
+	h := r.Snapshot().Histogram("x")
+	if h == nil {
+		t.Fatal("histogram x missing")
+	}
+	if len(h.Bounds) != len(DefaultBuckets) || len(h.Counts) != len(DefaultBuckets)+1 {
+		t.Fatalf("default layout: %d bounds, %d counts", len(h.Bounds), len(h.Counts))
+	}
+}
+
+func TestSnapshotPrometheusText(t *testing.T) {
+	r := NewRegistry()
+	r.Add("sim_steps_total", 7)
+	r.Gauge("advisor_best_ns", 123.25)
+	r.RegisterHistogram("model_tcomp_cycles", []float64{10, 100})
+	r.Observe("model_tcomp_cycles", 42)
+
+	var b bytes.Buffer
+	if err := r.Snapshot().WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	for _, want := range []string{
+		"# TYPE sim_steps_total counter\nsim_steps_total 7\n",
+		"# TYPE advisor_best_ns gauge\nadvisor_best_ns 123.25\n",
+		"# TYPE model_tcomp_cycles histogram\n",
+		"model_tcomp_cycles_bucket{le=\"10\"} 0\n",
+		"model_tcomp_cycles_bucket{le=\"100\"} 1\n",
+		"model_tcomp_cycles_bucket{le=\"+Inf\"} 1\n",
+		"model_tcomp_cycles_sum 42\n",
+		"model_tcomp_cycles_count 1\n",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("prometheus text missing %q in:\n%s", want, out)
+		}
+	}
+}
+
+func TestSnapshotJSONRoundTrip(t *testing.T) {
+	r := NewRegistry()
+	r.Add("c", 1)
+	r.Gauge("g", 2)
+	r.Observe("h", 3)
+	var b bytes.Buffer
+	if err := r.Snapshot().WriteJSON(&b); err != nil {
+		t.Fatal(err)
+	}
+	var s Snapshot
+	if err := json.Unmarshal(b.Bytes(), &s); err != nil {
+		t.Fatalf("snapshot JSON does not parse: %v", err)
+	}
+	if s.Counter("c") != 1 || s.GaugeValue("g") != 2 || s.Histogram("h") == nil {
+		t.Errorf("round-tripped snapshot lost data: %+v", s)
+	}
+}
+
+func TestCollectorProgress(t *testing.T) {
+	c := NewCollectorWithClock(func() float64 { return 0 })
+	var seen []Progress
+	c.OnProgress = func(p Progress) { seen = append(seen, p) }
+	c.ReportProgress(Progress{Evaluated: 3, Total: 10, BestNS: 99})
+	c.ReportProgress(Progress{Evaluated: 10, Total: 10, BestNS: 42, Done: true})
+	if len(seen) != 2 {
+		t.Fatalf("OnProgress called %d times, want 2", len(seen))
+	}
+	p, ok := c.Progress()
+	if !ok || p.Evaluated != 10 || !p.Done {
+		t.Errorf("latest progress = %+v (ok=%v)", p, ok)
+	}
+	s := c.Snapshot()
+	if s.Search == nil || s.Search.BestNS != 42 {
+		t.Errorf("snapshot did not carry progress: %+v", s.Search)
+	}
+}
+
+func TestCollectorConcurrentUse(t *testing.T) {
+	c := NewCollector()
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < 100; j++ {
+				c.Add("n_total", 1)
+				c.Observe("h", float64(j))
+				c.Span("t", "s", float64(j), 1)
+				c.ReportProgress(Progress{Evaluated: j})
+			}
+		}()
+	}
+	wg.Wait()
+	if got := c.Snapshot().Counter("n_total"); got != 800 {
+		t.Errorf("n_total = %d, want 800", got)
+	}
+	if got := c.Timeline().Len(); got != 800 {
+		t.Errorf("timeline has %d events, want 800", got)
+	}
+}
+
+func TestTimelineCapDropsAndCounts(t *testing.T) {
+	tl := NewTimeline()
+	tl.MaxEvents = 4
+	for i := 0; i < 10; i++ {
+		tl.Span("t", "s", float64(i), 1)
+	}
+	if tl.Len() != 4 || tl.Dropped() != 6 {
+		t.Errorf("len=%d dropped=%d, want 4/6", tl.Len(), tl.Dropped())
+	}
+}
+
+// TestNopRecorderZeroAllocs pins the contract the simulator's hot loop
+// relies on: the disabled recorder allocates nothing on any path.
+func TestNopRecorderZeroAllocs(t *testing.T) {
+	rec := Nop()
+	allocs := testing.AllocsPerRun(1000, func() {
+		if rec.Enabled() {
+			t.Fatal("nop recorder claims enabled")
+		}
+		rec.Add("c", 1)
+		rec.Gauge("g", 1)
+		rec.Observe("h", 1)
+		rec.Span("t", "s", 0, 1)
+		rec.Instant("t", "i", 0)
+		rec.ReportProgress(Progress{})
+		_ = rec.Now()
+	})
+	if allocs != 0 {
+		t.Errorf("no-op recorder path allocates %.1f per run, want 0", allocs)
+	}
+}
+
+func TestOrNop(t *testing.T) {
+	if OrNop(nil) != Nop() {
+		t.Error("OrNop(nil) is not the shared nop")
+	}
+	c := NewCollector()
+	if OrNop(c) != Recorder(c) {
+		t.Error("OrNop did not pass through a live recorder")
+	}
+}
+
+func TestPromFloat(t *testing.T) {
+	for _, tc := range []struct {
+		v    float64
+		want string
+	}{{1, "1"}, {1.5, "1.5"}, {0.25, "0.25"}, {math.Inf(1), "+Inf"}} {
+		if got := promFloat(tc.v); got != tc.want {
+			t.Errorf("promFloat(%g) = %q, want %q", tc.v, got, tc.want)
+		}
+	}
+}

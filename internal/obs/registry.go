@@ -1,0 +1,241 @@
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"math"
+	"sort"
+	"strings"
+	"sync"
+)
+
+// DefaultBuckets is the fixed bucket layout histograms are created with
+// unless RegisterHistogram chose another: powers of four from 1 up to ~16M,
+// wide enough to cover cycle counts, nanosecond latencies, and event counts
+// without per-metric tuning. Values beyond the last bound land in the
+// implicit +Inf bucket.
+var DefaultBuckets = []float64{
+	1, 4, 16, 64, 256, 1024, 4096, 16384, 65536, 262144, 1048576, 4194304, 16777216,
+}
+
+// Registry is a set of named counters, gauges, and histograms. All methods
+// are safe for concurrent use; metrics are created on first touch.
+type Registry struct {
+	mu       sync.Mutex
+	counters map[string]int64
+	gauges   map[string]float64
+	hists    map[string]*histogram
+}
+
+// histogram is a fixed-bucket cumulative-free histogram (per-bucket counts;
+// cumulative sums are computed at render time, Prometheus-style).
+type histogram struct {
+	bounds []float64 // upper bounds, ascending; +Inf is implicit
+	counts []int64   // len(bounds)+1, last is the +Inf bucket
+	sum    float64
+	n      int64
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{
+		counters: make(map[string]int64),
+		gauges:   make(map[string]float64),
+		hists:    make(map[string]*histogram),
+	}
+}
+
+// Add increments a counter.
+func (r *Registry) Add(name string, delta int64) {
+	r.mu.Lock()
+	r.counters[name] += delta
+	r.mu.Unlock()
+}
+
+// Gauge sets a gauge to its latest value.
+func (r *Registry) Gauge(name string, v float64) {
+	r.mu.Lock()
+	r.gauges[name] = v
+	r.mu.Unlock()
+}
+
+// RegisterHistogram creates (or replaces) a histogram with an explicit
+// bucket layout; bounds must be ascending upper edges. Observe on an
+// unregistered name uses DefaultBuckets.
+func (r *Registry) RegisterHistogram(name string, bounds []float64) {
+	h := &histogram{bounds: append([]float64(nil), bounds...)}
+	h.counts = make([]int64, len(h.bounds)+1)
+	r.mu.Lock()
+	r.hists[name] = h
+	r.mu.Unlock()
+}
+
+// Observe records a sample into a histogram.
+func (r *Registry) Observe(name string, v float64) {
+	r.mu.Lock()
+	h := r.hists[name]
+	if h == nil {
+		h = &histogram{bounds: DefaultBuckets, counts: make([]int64, len(DefaultBuckets)+1)}
+		r.hists[name] = h
+	}
+	i := sort.SearchFloat64s(h.bounds, v)
+	h.counts[i]++
+	h.sum += v
+	h.n++
+	r.mu.Unlock()
+}
+
+// CounterSnap is one counter in a Snapshot.
+type CounterSnap struct {
+	Name  string `json:"name"`
+	Value int64  `json:"value"`
+}
+
+// GaugeSnap is one gauge in a Snapshot.
+type GaugeSnap struct {
+	Name  string  `json:"name"`
+	Value float64 `json:"value"`
+}
+
+// HistSnap is one histogram in a Snapshot. Counts[i] holds the samples with
+// value ≤ Bounds[i]; the final entry of Counts is the +Inf bucket.
+type HistSnap struct {
+	Name   string    `json:"name"`
+	Bounds []float64 `json:"bounds"`
+	Counts []int64   `json:"counts"`
+	Sum    float64   `json:"sum"`
+	Count  int64     `json:"count"`
+}
+
+// Mean returns the histogram's sample mean (0 when empty).
+func (h *HistSnap) Mean() float64 {
+	if h.Count == 0 {
+		return 0
+	}
+	return h.Sum / float64(h.Count)
+}
+
+// Snapshot is a stable, renderable copy of a registry's state, with every
+// section sorted by metric name.
+type Snapshot struct {
+	Counters   []CounterSnap `json:"counters"`
+	Gauges     []GaugeSnap   `json:"gauges"`
+	Histograms []HistSnap    `json:"histograms"`
+
+	// Search carries the latest search progress report, when a Collector
+	// produced the snapshot and a search published one (the
+	// Evaluated/Total record of a budget-limited ranking).
+	Search *Progress `json:"search,omitempty"`
+}
+
+// Snapshot copies the registry's current state.
+func (r *Registry) Snapshot() *Snapshot {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	s := &Snapshot{}
+	for name, v := range r.counters {
+		s.Counters = append(s.Counters, CounterSnap{Name: name, Value: v})
+	}
+	for name, v := range r.gauges {
+		s.Gauges = append(s.Gauges, GaugeSnap{Name: name, Value: v})
+	}
+	for name, h := range r.hists {
+		s.Histograms = append(s.Histograms, HistSnap{
+			Name:   name,
+			Bounds: append([]float64(nil), h.bounds...),
+			Counts: append([]int64(nil), h.counts...),
+			Sum:    h.sum,
+			Count:  h.n,
+		})
+	}
+	sort.Slice(s.Counters, func(i, j int) bool { return s.Counters[i].Name < s.Counters[j].Name })
+	sort.Slice(s.Gauges, func(i, j int) bool { return s.Gauges[i].Name < s.Gauges[j].Name })
+	sort.Slice(s.Histograms, func(i, j int) bool { return s.Histograms[i].Name < s.Histograms[j].Name })
+	return s
+}
+
+// WriteJSON renders the snapshot as indented JSON.
+func (s *Snapshot) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(s)
+}
+
+// promFloat formats a float the way Prometheus expects.
+func promFloat(v float64) string {
+	switch {
+	case math.IsInf(v, 1):
+		return "+Inf"
+	case math.IsInf(v, -1):
+		return "-Inf"
+	case math.IsNaN(v):
+		return "NaN"
+	}
+	return strings.TrimRight(strings.TrimRight(fmt.Sprintf("%f", v), "0"), ".")
+}
+
+// WritePrometheus renders the snapshot in the Prometheus text exposition
+// format: counters and gauges as single samples, histograms with cumulative
+// `_bucket{le=...}` samples plus `_sum` and `_count`.
+func (s *Snapshot) WritePrometheus(w io.Writer) error {
+	var b strings.Builder
+	for _, c := range s.Counters {
+		fmt.Fprintf(&b, "# TYPE %s counter\n%s %d\n", c.Name, c.Name, c.Value)
+	}
+	for _, g := range s.Gauges {
+		fmt.Fprintf(&b, "# TYPE %s gauge\n%s %s\n", g.Name, g.Name, promFloat(g.Value))
+	}
+	for _, h := range s.Histograms {
+		fmt.Fprintf(&b, "# TYPE %s histogram\n", h.Name)
+		var cum int64
+		for i, bound := range h.Bounds {
+			cum += h.Counts[i]
+			fmt.Fprintf(&b, "%s_bucket{le=%q} %d\n", h.Name, promFloat(bound), cum)
+		}
+		cum += h.Counts[len(h.Counts)-1]
+		fmt.Fprintf(&b, "%s_bucket{le=\"+Inf\"} %d\n", h.Name, cum)
+		fmt.Fprintf(&b, "%s_sum %s\n", h.Name, promFloat(h.Sum))
+		fmt.Fprintf(&b, "%s_count %d\n", h.Name, h.Count)
+	}
+	if s.Search != nil {
+		fmt.Fprintf(&b, "# TYPE search_evaluated gauge\nsearch_evaluated %d\n", s.Search.Evaluated)
+		fmt.Fprintf(&b, "# TYPE search_total gauge\nsearch_total %d\n", s.Search.Total)
+		if s.Search.BestNS > 0 {
+			fmt.Fprintf(&b, "# TYPE search_best_ns gauge\nsearch_best_ns %s\n", promFloat(s.Search.BestNS))
+		}
+	}
+	_, err := io.WriteString(w, b.String())
+	return err
+}
+
+// Counter returns a counter's current value (0 if absent) — a test and
+// report convenience.
+func (s *Snapshot) Counter(name string) int64 {
+	for _, c := range s.Counters {
+		if c.Name == name {
+			return c.Value
+		}
+	}
+	return 0
+}
+
+// GaugeValue returns a gauge's current value (0 if absent).
+func (s *Snapshot) GaugeValue(name string) float64 {
+	for _, g := range s.Gauges {
+		if g.Name == name {
+			return g.Value
+		}
+	}
+	return 0
+}
+
+// Histogram returns a histogram snapshot by name (nil if absent).
+func (s *Snapshot) Histogram(name string) *HistSnap {
+	for i := range s.Histograms {
+		if s.Histograms[i].Name == name {
+			return &s.Histograms[i]
+		}
+	}
+	return nil
+}

@@ -1,0 +1,212 @@
+package obs
+
+import (
+	"encoding/csv"
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+	"strconv"
+	"sync"
+)
+
+// DefaultMaxEvents bounds a Timeline's retained events so an instrumented
+// simulator run over a huge kernel cannot exhaust memory; later events are
+// counted but dropped. Override with Timeline.MaxEvents before recording.
+const DefaultMaxEvents = 1 << 20
+
+// EventKind distinguishes timeline records.
+type EventKind byte
+
+const (
+	// SpanEvent is a completed interval (Chrome "X" complete event).
+	SpanEvent EventKind = 'X'
+	// InstantEvent is a point in time (Chrome "i" instant event).
+	InstantEvent EventKind = 'i'
+)
+
+// Event is one timeline record. Timestamps and durations are nanoseconds on
+// the track's own timebase (simulated time for simulator tracks, wall time
+// since the collector started for model/search tracks).
+type Event struct {
+	Track string
+	Name  string
+	Kind  EventKind
+	TsNS  float64
+	DurNS float64
+}
+
+// Timeline accumulates spans and instants for export. Safe for concurrent
+// use.
+type Timeline struct {
+	mu sync.Mutex
+	// MaxEvents caps retained events (0 means DefaultMaxEvents). Set it
+	// before recording; changing it mid-run is racy.
+	MaxEvents int
+	events    []Event
+	dropped   int64
+}
+
+// NewTimeline returns an empty timeline with the default event cap.
+func NewTimeline() *Timeline { return &Timeline{} }
+
+func (t *Timeline) add(e Event) {
+	t.mu.Lock()
+	max := t.MaxEvents
+	if max <= 0 {
+		max = DefaultMaxEvents
+	}
+	if len(t.events) >= max {
+		t.dropped++
+	} else {
+		t.events = append(t.events, e)
+	}
+	t.mu.Unlock()
+}
+
+// Span records a completed span.
+func (t *Timeline) Span(track, name string, startNS, durNS float64) {
+	if startNS < 0 {
+		startNS = 0
+	}
+	if durNS < 0 {
+		durNS = 0
+	}
+	t.add(Event{Track: track, Name: name, Kind: SpanEvent, TsNS: startNS, DurNS: durNS})
+}
+
+// Instant records a point event.
+func (t *Timeline) Instant(track, name string, tsNS float64) {
+	if tsNS < 0 {
+		tsNS = 0
+	}
+	t.add(Event{Track: track, Name: name, Kind: InstantEvent, TsNS: tsNS})
+}
+
+// Len returns the number of retained events.
+func (t *Timeline) Len() int {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return len(t.events)
+}
+
+// Dropped returns how many events were discarded past MaxEvents.
+func (t *Timeline) Dropped() int64 {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.dropped
+}
+
+// Events returns a copy of the retained events sorted by (TsNS, Track,
+// Name) — the stable order both exporters use.
+func (t *Timeline) Events() []Event {
+	t.mu.Lock()
+	evs := append([]Event(nil), t.events...)
+	t.mu.Unlock()
+	sort.SliceStable(evs, func(i, j int) bool {
+		if evs[i].TsNS != evs[j].TsNS {
+			return evs[i].TsNS < evs[j].TsNS
+		}
+		if evs[i].Track != evs[j].Track {
+			return evs[i].Track < evs[j].Track
+		}
+		return evs[i].Name < evs[j].Name
+	})
+	return evs
+}
+
+// chromeEvent is the trace_event JSON shape (ts/dur in microseconds, as the
+// Chrome trace format specifies).
+type chromeEvent struct {
+	Name string         `json:"name"`
+	Ph   string         `json:"ph"`
+	Ts   float64        `json:"ts"`
+	Dur  float64        `json:"dur,omitempty"`
+	Pid  int            `json:"pid"`
+	Tid  int            `json:"tid"`
+	S    string         `json:"s,omitempty"`
+	Args map[string]any `json:"args,omitempty"`
+}
+
+type chromeTrace struct {
+	TraceEvents     []chromeEvent `json:"traceEvents"`
+	DisplayTimeUnit string        `json:"displayTimeUnit"`
+}
+
+// tracePid is the single process id all tracks share; tracks map to
+// Chrome/Perfetto threads.
+const tracePid = 1
+
+// WriteChromeTrace renders the timeline as Chrome trace_event JSON, loadable
+// in chrome://tracing and Perfetto (ui.perfetto.dev). Tracks become named
+// threads (thread_name metadata events); spans are complete "X" events and
+// instants "i" events, emitted in non-decreasing ts order.
+func (t *Timeline) WriteChromeTrace(w io.Writer) error {
+	evs := t.Events()
+
+	// Assign tids to tracks in sorted-name order so output is deterministic.
+	trackSet := map[string]int{}
+	var tracks []string
+	for _, e := range evs {
+		if _, ok := trackSet[e.Track]; !ok {
+			trackSet[e.Track] = 0
+			tracks = append(tracks, e.Track)
+		}
+	}
+	sort.Strings(tracks)
+	for i, name := range tracks {
+		trackSet[name] = i + 1
+	}
+
+	out := chromeTrace{DisplayTimeUnit: "ns", TraceEvents: make([]chromeEvent, 0, len(evs)+len(tracks))}
+	for _, name := range tracks {
+		out.TraceEvents = append(out.TraceEvents, chromeEvent{
+			Name: "thread_name", Ph: "M", Pid: tracePid, Tid: trackSet[name],
+			Args: map[string]any{"name": name},
+		})
+	}
+	for _, e := range evs {
+		ce := chromeEvent{
+			Name: e.Name,
+			Ph:   string(rune(e.Kind)),
+			Ts:   e.TsNS / 1e3, // ns → µs
+			Pid:  tracePid,
+			Tid:  trackSet[e.Track],
+		}
+		if e.Kind == SpanEvent {
+			ce.Dur = e.DurNS / 1e3
+		} else {
+			ce.S = "t" // thread-scoped instant
+		}
+		out.TraceEvents = append(out.TraceEvents, ce)
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", " ")
+	return enc.Encode(out)
+}
+
+// WriteCSV renders the timeline as CSV with the header
+// track,name,kind,ts_ns,dur_ns, rows in non-decreasing ts_ns order.
+func (t *Timeline) WriteCSV(w io.Writer) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write([]string{"track", "name", "kind", "ts_ns", "dur_ns"}); err != nil {
+		return err
+	}
+	for _, e := range t.Events() {
+		rec := []string{
+			e.Track,
+			e.Name,
+			string(rune(e.Kind)),
+			strconv.FormatFloat(e.TsNS, 'f', -1, 64),
+			strconv.FormatFloat(e.DurNS, 'f', -1, 64),
+		}
+		if err := cw.Write(rec); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	if err := cw.Error(); err != nil {
+		return fmt.Errorf("obs: csv export: %w", err)
+	}
+	return nil
+}

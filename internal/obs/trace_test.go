@@ -1,0 +1,133 @@
+package obs
+
+import (
+	"bytes"
+	"encoding/csv"
+	"encoding/json"
+	"flag"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+var updateGolden = flag.Bool("update-golden", false, "rewrite testdata golden files")
+
+// goldenTimeline builds a deterministic timeline resembling a small advisor
+// session: a simulator track with warp spans and DRAM instants, plus
+// model/search tracks on a fake wall clock.
+func goldenTimeline() *Timeline {
+	tl := NewTimeline()
+	tl.Span("sim", "run matrixMul", 0, 1200)
+	tl.Span("sim/sm0", "warp0 b0", 0, 480)
+	tl.Span("sim/sm0", "warp1 b0", 16, 512)
+	tl.Span("sim/sm1", "warp2 b1", 8, 640)
+	tl.Instant("sim/dram", "row_conflict", 96)
+	tl.Instant("sim/dram", "row_conflict", 400)
+	tl.Span("model", "predict", 1500, 120)
+	tl.Span("model", "predict", 1700, 110)
+	tl.Span("advisor", "eval a:G,b:S", 1500, 140)
+	tl.Span("advisor", "eval a:T,b:S", 1690, 130)
+	return tl
+}
+
+func TestChromeTraceGolden(t *testing.T) {
+	var b bytes.Buffer
+	if err := goldenTimeline().WriteChromeTrace(&b); err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join("testdata", "chrome_trace_golden.json")
+	if *updateGolden {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, b.Bytes(), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("%v (run with -update-golden to create)", err)
+	}
+	if !bytes.Equal(b.Bytes(), want) {
+		t.Errorf("chrome trace drifted from golden file %s:\n%s", path, b.String())
+	}
+}
+
+// TestChromeTraceWellFormed checks the structural invariants every Chrome
+// trace consumer assumes: valid JSON, monotonically non-decreasing ts over
+// the emitted event order, and only complete (X), instant (i), or metadata
+// (M) phases — no unbalanced B/E pairs.
+func TestChromeTraceWellFormed(t *testing.T) {
+	var b bytes.Buffer
+	if err := goldenTimeline().WriteChromeTrace(&b); err != nil {
+		t.Fatal(err)
+	}
+	var out struct {
+		TraceEvents []struct {
+			Name string  `json:"name"`
+			Ph   string  `json:"ph"`
+			Ts   float64 `json:"ts"`
+			Dur  float64 `json:"dur"`
+			Pid  int     `json:"pid"`
+			Tid  int     `json:"tid"`
+		} `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(b.Bytes(), &out); err != nil {
+		t.Fatalf("export is not valid JSON: %v", err)
+	}
+	if len(out.TraceEvents) == 0 {
+		t.Fatal("no events exported")
+	}
+	begins := 0
+	lastTs := -1.0
+	for i, e := range out.TraceEvents {
+		switch e.Ph {
+		case "M":
+			continue // metadata events carry no timestamp
+		case "B":
+			begins++
+		case "E":
+			begins--
+			if begins < 0 {
+				t.Fatalf("event %d: E without matching B", i)
+			}
+		case "X", "i":
+			// complete/instant events are always balanced
+		default:
+			t.Fatalf("event %d: unexpected phase %q", i, e.Ph)
+		}
+		if e.Ts < lastTs {
+			t.Fatalf("event %d (%s): ts %g decreases from %g", i, e.Name, e.Ts, lastTs)
+		}
+		lastTs = e.Ts
+		if e.Ts < 0 || e.Dur < 0 {
+			t.Fatalf("event %d: negative ts/dur", i)
+		}
+		if e.Pid != tracePid || e.Tid <= 0 {
+			t.Fatalf("event %d: bad pid/tid %d/%d", i, e.Pid, e.Tid)
+		}
+	}
+	if begins != 0 {
+		t.Fatalf("%d unbalanced B events", begins)
+	}
+}
+
+func TestCSVExport(t *testing.T) {
+	var b bytes.Buffer
+	if err := goldenTimeline().WriteCSV(&b); err != nil {
+		t.Fatal(err)
+	}
+	rows, err := csv.NewReader(&b).ReadAll()
+	if err != nil {
+		t.Fatalf("export is not valid CSV: %v", err)
+	}
+	if len(rows) != goldenTimeline().Len()+1 {
+		t.Fatalf("%d rows, want %d", len(rows), goldenTimeline().Len()+1)
+	}
+	wantHeader := []string{"track", "name", "kind", "ts_ns", "dur_ns"}
+	for i, h := range wantHeader {
+		if rows[0][i] != h {
+			t.Errorf("header[%d] = %q, want %q", i, rows[0][i], h)
+		}
+	}
+}

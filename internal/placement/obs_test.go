@@ -1,0 +1,89 @@
+package placement
+
+import (
+	"context"
+	"errors"
+	"testing"
+
+	"gpuhms/internal/gpu"
+	"gpuhms/internal/hmserr"
+	"gpuhms/internal/obs"
+	"gpuhms/internal/trace"
+)
+
+func searchFixture(t *testing.T) (*trace.Trace, *gpu.Config, *Placement) {
+	t.Helper()
+	cfg := gpu.KeplerK80()
+	tr := testTrace(t)
+	return tr, cfg, New(len(tr.Arrays))
+}
+
+// sizeCost is a deterministic stand-in for a model prediction.
+func sizeCost(tr *trace.Trace) Cost {
+	return func(p *Placement) (float64, error) {
+		c := 0.0
+		for i, sp := range p.Spaces {
+			c += float64(i+1) * float64(sp+1)
+		}
+		return c, nil
+	}
+}
+
+func TestCountLegalMatchesEnumerate(t *testing.T) {
+	tr, cfg, _ := searchFixture(t)
+	if got, want := CountLegal(tr, cfg), len(Enumerate(tr, cfg)); got != want {
+		t.Errorf("CountLegal = %d, Enumerate yields %d", got, want)
+	}
+}
+
+func TestGreedySearchRecordsProgress(t *testing.T) {
+	tr, cfg, sample := searchFixture(t)
+	col := obs.NewCollectorWithClock(func() float64 { return 0 })
+	_, _, evals, err := GreedySearchContext(context.Background(), tr, cfg, sample, sizeCost(tr), 0, col)
+	if err != nil {
+		t.Fatal(err)
+	}
+	snap := col.Snapshot()
+	if got := snap.Counter("search_evals_total"); got != int64(evals) {
+		t.Errorf("search_evals_total = %d, want %d", got, evals)
+	}
+	p, ok := col.Progress()
+	if !ok || !p.Done || p.Evaluated != evals || p.Best == "" {
+		t.Errorf("final progress = %+v (ok=%v), want done with %d evals", p, ok, evals)
+	}
+	if snap.GaugeValue("search_best_ns") <= 0 {
+		t.Error("search_best_ns gauge not set")
+	}
+}
+
+func TestExhaustiveSearchBudgetRecordsPartialProgress(t *testing.T) {
+	tr, cfg, _ := searchFixture(t)
+	col := obs.NewCollectorWithClock(func() float64 { return 0 })
+	_, _, evals, err := ExhaustiveSearchContext(context.Background(), tr, cfg, sizeCost(tr), 3, col)
+	if !errors.Is(err, hmserr.ErrBudgetExceeded) {
+		t.Fatalf("err = %v, want ErrBudgetExceeded", err)
+	}
+	if evals != 3 {
+		t.Fatalf("evals = %d, want 3", evals)
+	}
+	p, ok := col.Progress()
+	if !ok || !p.Done || p.Evaluated != 3 {
+		t.Errorf("progress = %+v (ok=%v), want done at 3 evaluated", p, ok)
+	}
+	if p.Total != CountLegal(tr, cfg) {
+		t.Errorf("progress total = %d, want the full legal space %d", p.Total, CountLegal(tr, cfg))
+	}
+}
+
+func TestSearchWithoutRecorderUnchanged(t *testing.T) {
+	tr, cfg, sample := searchFixture(t)
+	p1, c1, e1, err1 := GreedySearchContext(context.Background(), tr, cfg, sample, sizeCost(tr), 0)
+	p2, c2, e2, err2 := GreedySearchContext(context.Background(), tr, cfg, sample, sizeCost(tr), 0, obs.NewCollector())
+	if err1 != nil || err2 != nil {
+		t.Fatal(err1, err2)
+	}
+	if !p1.Equal(p2) || c1 != c2 || e1 != e2 {
+		t.Errorf("recorder changed the search outcome: (%v,%g,%d) vs (%v,%g,%d)",
+			p1, c1, e1, p2, c2, e2)
+	}
+}

@@ -270,6 +270,19 @@ func EnumerateSeq(t *trace.Trace, cfg *gpu.Config, yield func(*Placement) bool) 
 	rec(0)
 }
 
+// CountLegal returns the size of the legal placement space of a trace — the
+// denominator of an "evaluated N of M candidates" progress report. It
+// streams the space, so memory stays O(1); cost is one legality check per
+// candidate (no model evaluations).
+func CountLegal(t *trace.Trace, cfg *gpu.Config) int {
+	n := 0
+	EnumerateSeq(t, cfg, func(*Placement) bool {
+		n++
+		return true
+	})
+	return n
+}
+
 // Enumerate materializes the EnumerateSeq stream. Prefer EnumerateSeq for
 // kernels with many arrays, where m^n placements may not fit in memory.
 func Enumerate(t *trace.Trace, cfg *gpu.Config) []*Placement {

@@ -3,9 +3,11 @@ package placement
 import (
 	"context"
 	"errors"
+	"fmt"
 
 	"gpuhms/internal/gpu"
 	"gpuhms/internal/hmserr"
+	"gpuhms/internal/obs"
 	"gpuhms/internal/trace"
 )
 
@@ -34,6 +36,15 @@ func (b *budget) exceeded() error {
 		"%d cost evaluations", b.limit)
 }
 
+// searchRecorder normalizes the optional trailing recorder argument of the
+// search entry points.
+func searchRecorder(recs []obs.Recorder) obs.Recorder {
+	if len(recs) > 0 {
+		return obs.OrNop(recs[0])
+	}
+	return obs.Nop()
+}
+
 // GreedySearch finds a good placement without enumerating the m^n space:
 // starting from the given placement, it repeatedly applies the single-array
 // move with the largest predicted improvement until no move helps. For n
@@ -51,7 +62,12 @@ func GreedySearch(t *trace.Trace, cfg *gpu.Config, start *Placement, cost Cost) 
 // returns ctx.Err() promptly. When the budget runs out, the best placement
 // found so far is returned together with an error wrapping
 // hmserr.ErrBudgetExceeded — a partial search is never reported as complete.
-func GreedySearchContext(ctx context.Context, t *trace.Trace, cfg *gpu.Config, start *Placement, cost Cost, maxEvals int) (*Placement, float64, int, error) {
+//
+// An optional trailing obs.Recorder receives per-round spans, evaluation
+// counters, a best-so-far gauge, and progress reports.
+func GreedySearchContext(ctx context.Context, t *trace.Trace, cfg *gpu.Config, start *Placement, cost Cost, maxEvals int, recs ...obs.Recorder) (*Placement, float64, int, error) {
+	rec := searchRecorder(recs)
+	enabled := rec.Enabled()
 	bud := budget{limit: maxEvals}
 	if err := ctx.Err(); err != nil {
 		return nil, 0, 0, err
@@ -64,7 +80,20 @@ func GreedySearchContext(ctx context.Context, t *trace.Trace, cfg *gpu.Config, s
 	if err != nil {
 		return nil, 0, bud.evals, err
 	}
+	lastEvals := 0
+	reportRound := func(done bool) {
+		if enabled {
+			rec.Add("search_evals_total", int64(bud.evals-lastEvals))
+			lastEvals = bud.evals
+			rec.Gauge("search_best_ns", curCost)
+			rec.ReportProgress(obs.Progress{
+				Evaluated: bud.evals, BestNS: curCost, Best: cur.Format(t), Done: done,
+			})
+		}
+	}
+	round := 0
 	for {
+		roundStart := rec.Now()
 		var best *Placement
 		bestCost := curCost
 		for i := range t.Arrays {
@@ -80,6 +109,7 @@ func GreedySearchContext(ctx context.Context, t *trace.Trace, cfg *gpu.Config, s
 					return nil, 0, bud.evals, err
 				}
 				if !bud.take() {
+					reportRound(true)
 					return cur, curCost, bud.evals, bud.exceeded()
 				}
 				c, err := cost(cand)
@@ -91,10 +121,16 @@ func GreedySearchContext(ctx context.Context, t *trace.Trace, cfg *gpu.Config, s
 				}
 			}
 		}
+		if enabled {
+			rec.Span("search", fmt.Sprintf("greedy round %d", round), roundStart, rec.Now()-roundStart)
+		}
+		round++
 		if best == nil {
+			reportRound(true)
 			return cur, curCost, bud.evals, nil
 		}
 		cur, curCost = best, bestCost
+		reportRound(false)
 	}
 }
 
@@ -110,7 +146,13 @@ func ExhaustiveSearch(t *trace.Trace, cfg *gpu.Config, cost Cost) (*Placement, f
 // placement space via EnumerateSeq, so memory stays O(1) regardless of m^n.
 // A canceled context returns ctx.Err(); a spent budget returns the best
 // placement seen so far with an error wrapping hmserr.ErrBudgetExceeded.
-func ExhaustiveSearchContext(ctx context.Context, t *trace.Trace, cfg *gpu.Config, cost Cost, maxEvals int) (*Placement, float64, int, error) {
+//
+// An optional trailing obs.Recorder receives evaluation counters, a
+// best-so-far gauge, and progress reports (Total filled on completion, or
+// with the counted remainder after a budget stop).
+func ExhaustiveSearchContext(ctx context.Context, t *trace.Trace, cfg *gpu.Config, cost Cost, maxEvals int, recs ...obs.Recorder) (*Placement, float64, int, error) {
+	rec := searchRecorder(recs)
+	enabled := rec.Enabled()
 	bud := budget{limit: maxEvals}
 	var best *Placement
 	bestCost := 0.0
@@ -131,9 +173,25 @@ func ExhaustiveSearchContext(ctx context.Context, t *trace.Trace, cfg *gpu.Confi
 		}
 		if best == nil || c < bestCost {
 			best, bestCost = cand.Clone(), c
+			if enabled {
+				rec.Gauge("search_best_ns", bestCost)
+			}
+		}
+		if enabled {
+			rec.Add("search_evals_total", 1)
+			rec.ReportProgress(obs.Progress{Evaluated: bud.evals, BestNS: bestCost})
 		}
 		return true
 	})
+	if enabled && best != nil {
+		rec.ReportProgress(obs.Progress{
+			Evaluated: bud.evals,
+			Total:     CountLegal(t, cfg),
+			BestNS:    bestCost,
+			Best:      best.Format(t),
+			Done:      true,
+		})
+	}
 	if stopErr != nil {
 		if best != nil && errors.Is(stopErr, hmserr.ErrBudgetExceeded) {
 			return best, bestCost, bud.evals, stopErr

@@ -27,11 +27,42 @@ import (
 	"gpuhms/internal/dram"
 	"gpuhms/internal/gpu"
 	"gpuhms/internal/memsys"
+	"gpuhms/internal/obs"
 	"gpuhms/internal/perf"
 	"gpuhms/internal/placement"
 	"gpuhms/internal/replay"
 	"gpuhms/internal/trace"
 )
+
+// Breakdown attributes a run's cycles to stall causes. All components are
+// cycles averaged over the launch's active SMs, so they live on the same
+// scale as Measurement.Cycles and their sum never exceeds it:
+//
+//   - IssueCycles: SM issue-port cycles consumed by first-issue slots,
+//     including addressing-mode preambles (the §III-B instruction deltas).
+//   - ReplayCycles: port cycles consumed by instruction replays other than
+//     shared-memory bank conflicts (global divergence, constant misses and
+//     divergence, atomic conflicts).
+//   - BankConflictCycles: port cycles consumed by shared-memory
+//     bank-conflict replays.
+//   - MemStallCycles: issue-port idle cycles attributable to warps waiting
+//     on outstanding loads (scoreboard waits and pending-load folds),
+//     capped at the port's actual idle time.
+//
+// The residual Cycles − Total() is idle time with no attributed cause
+// (tail effects, barrier skew, latency not hidden by other warps).
+type Breakdown struct {
+	IssueCycles        float64
+	ReplayCycles       float64
+	BankConflictCycles float64
+	MemStallCycles     float64
+}
+
+// Total sums the attributed stall components; by construction it is ≤ the
+// measurement's Cycles.
+func (b *Breakdown) Total() float64 {
+	return b.IssueCycles + b.ReplayCycles + b.BankConflictCycles + b.MemStallCycles
+}
 
 // Measurement is the simulator's output for one (trace, placement) pair.
 type Measurement struct {
@@ -39,6 +70,10 @@ type Measurement struct {
 	StagingNS float64 // one-time global→shared staging cost
 	TimeNS    float64 // total: Cycles/clock + StagingNS
 	Events    perf.Events
+
+	// Breakdown attributes cycles to stall causes (issue, replay, memory,
+	// bank conflict); see the type's invariants.
+	Breakdown Breakdown
 
 	// InterArrivals holds the DRAM request inter-arrival gaps (ns, in
 	// request-issue order) when Simulator.CollectArrivals is set; the Fig 4
@@ -55,6 +90,11 @@ type Simulator struct {
 
 	// CollectArrivals enables DRAM inter-arrival collection (Fig 4).
 	CollectArrivals bool
+
+	// Recorder receives run telemetry (warp spans, event counters, DRAM
+	// latency histograms) when set and enabled; nil disables recording at
+	// the cost of one predicted branch per hook site.
+	Recorder obs.Recorder
 }
 
 // New builds a simulator with the architecture's default address mapping.
@@ -83,6 +123,7 @@ type warpState struct {
 	ready   float64   // cycle at which the next instruction may issue
 	pending []float64 // completion times of outstanding loads
 	retired bool
+	started float64 // cycle of the first issue (recorded warp spans)
 }
 
 // warpHeap orders active warps by their ready time (ties by index for
@@ -177,6 +218,24 @@ func (s *Simulator) RunContext(ctx context.Context, t *trace.Trace, sample, targ
 	var arrivals []float64
 	lastArrival := -1.0
 
+	// Recording is hoisted out of the loop: with no recorder the per-step
+	// cost is a single predicted branch and zero allocations (pinned by
+	// TestRunContextNopRecorderAddsNoAllocs).
+	rec := obs.OrNop(s.Recorder)
+	enabled := rec.Enabled()
+	var smTrack []string
+	if enabled {
+		smTrack = make([]string, s.Cfg.SMs)
+		for i := range smTrack {
+			smTrack[i] = fmt.Sprintf("sim/sm%d", i)
+		}
+	}
+
+	// memWaitCycles accumulates warp-cycles spent waiting on outstanding
+	// loads (scoreboard waits and pending-load folds) — the raw material of
+	// Breakdown.MemStallCycles.
+	var memWaitCycles float64
+
 	var steps int
 	for h.Len() > 0 {
 		steps++
@@ -193,6 +252,10 @@ func (s *Simulator) RunContext(ctx context.Context, t *trace.Trace, sample, targ
 			if w.ready > endTime {
 				endTime = w.ready
 			}
+			if enabled && len(w.tr.Inst) > 0 {
+				rec.Span(smTrack[w.sm], fmt.Sprintf("warp%d b%d", wi, w.tr.Block),
+					w.started*nsPerCycle, (w.ready-w.started)*nsPerCycle)
+			}
 			if q := smQueue[w.sm]; len(q) > 0 {
 				next := q[0]
 				smQueue[w.sm] = q[1:]
@@ -205,6 +268,9 @@ func (s *Simulator) RunContext(ctx context.Context, t *trace.Trace, sample, targ
 		st := w.ready
 		if smFree[w.sm] > st {
 			st = smFree[w.sm]
+		}
+		if w.pc == 0 {
+			w.started = st
 		}
 
 		switch {
@@ -289,7 +355,14 @@ func (s *Simulator) RunContext(ctx context.Context, t *trace.Trace, sample, targ
 					}
 					r := dramSys.Service(line, stNS)
 					countRow(&ev, r.Outcome)
-					if l := r.Latency(stNS)/nsPerCycle + s.Cfg.CacheHitLatency; l > lat {
+					latNS := r.Latency(stNS)
+					if enabled {
+						rec.Observe("sim_dram_latency_ns", latNS)
+						if r.Outcome == dram.Conflict {
+							rec.Instant("sim/dram", "row_conflict", stNS)
+						}
+					}
+					if l := latNS/nsPerCycle + s.Cfg.CacheHitLatency; l > lat {
 						lat = l
 					}
 				}
@@ -307,6 +380,7 @@ func (s *Simulator) RunContext(ctx context.Context, t *trace.Trace, sample, targ
 						}
 					}
 					if w.pending[minI] > issueEnd {
+						memWaitCycles += w.pending[minI] - issueEnd
 						issueEnd = w.pending[minI]
 					}
 					w.pending = append(w.pending[:minI], w.pending[minI+1:]...)
@@ -327,6 +401,7 @@ func (s *Simulator) RunContext(ctx context.Context, t *trace.Trace, sample, targ
 		if w.pc < len(w.tr.Inst) && !w.tr.Inst[w.pc].Op.IsMem() {
 			for _, p := range w.pending {
 				if p > w.ready {
+					memWaitCycles += p - w.ready
 					w.ready = p
 				}
 			}
@@ -346,6 +421,11 @@ func (s *Simulator) RunContext(ctx context.Context, t *trace.Trace, sample, targ
 		StagingNS: stagingNS,
 		TimeNS:    endTime*nsPerCycle + stagingNS,
 		Events:    ev,
+		Breakdown: stallBreakdown(&ev, endTime, memWaitCycles,
+			float64(s.Cfg.ActiveSMs(t.Launch.Blocks))),
+	}
+	if enabled {
+		s.record(rec, t, m, steps, nsPerCycle)
 	}
 	if s.CollectArrivals {
 		m.InterArrivals = arrivals
@@ -355,6 +435,56 @@ func (s *Simulator) RunContext(ctx context.Context, t *trace.Trace, sample, targ
 		return nil, fmt.Errorf("sim: non-positive time for %s", t.Kernel)
 	}
 	return m, nil
+}
+
+// stallBreakdown attributes a run's cycles to stall causes. Port-slot
+// components are exact (every issue slot has exactly one cause); the memory
+// component is the accumulated pending-load wait capped at the port's
+// actual idle time, so the components can never sum past endTime.
+func stallBreakdown(ev *perf.Events, endTime, memWaitCycles, activeSMs float64) Breakdown {
+	if activeSMs <= 0 {
+		activeSMs = 1
+	}
+	totalSlots := float64(ev.IssueSlots)
+	replays := float64(ev.TotalReplays())
+	shared := float64(ev.ReplayShared)
+	bd := Breakdown{
+		IssueCycles:        (totalSlots - replays) / activeSMs,
+		ReplayCycles:       (replays - shared) / activeSMs,
+		BankConflictCycles: shared / activeSMs,
+	}
+	idle := endTime - totalSlots/activeSMs
+	if idle < 0 {
+		idle = 0
+	}
+	mem := memWaitCycles / activeSMs
+	if mem > idle {
+		mem = idle
+	}
+	bd.MemStallCycles = mem
+	return bd
+}
+
+// record dumps a completed run into the recorder: the whole perf.Events
+// vocabulary as counters, the stall breakdown and occupancy as gauges, and
+// the run's spans on the "sim" track (simulated-time timebase).
+func (s *Simulator) record(rec obs.Recorder, t *trace.Trace, m *Measurement, steps int, nsPerCycle float64) {
+	rec.Add("sim_runs_total", 1)
+	rec.Add("sim_steps_total", int64(steps))
+	for _, nv := range m.Events.All() {
+		rec.Add("sim_"+nv.Name+"_total", int64(nv.Value))
+	}
+	rec.Gauge("sim_warps_per_sm", m.Events.WarpsPerSM)
+	rec.Gauge("sim_cycles", m.Cycles)
+	rec.Gauge("sim_time_ns", m.TimeNS)
+	rec.Gauge("sim_stall_issue_cycles", m.Breakdown.IssueCycles)
+	rec.Gauge("sim_stall_replay_cycles", m.Breakdown.ReplayCycles)
+	rec.Gauge("sim_stall_bank_conflict_cycles", m.Breakdown.BankConflictCycles)
+	rec.Gauge("sim_stall_memory_cycles", m.Breakdown.MemStallCycles)
+	rec.Span("sim", "run "+t.Kernel, 0, m.Cycles*nsPerCycle)
+	if m.StagingNS > 0 {
+		rec.Span("sim", "staging "+t.Kernel, m.Cycles*nsPerCycle, m.StagingNS)
+	}
 }
 
 // stagingNS estimates the one-time global→shared copy for every array the

@@ -1,0 +1,43 @@
+#!/bin/sh
+# bench.sh — run the recorder-overhead benchmark (simulator with no
+# recorder, the no-op recorder, and a live collector) and write the
+# results as BENCH_obs.json in the repo root. Run from anywhere:
+#
+#   ./scripts/bench.sh            # default -benchtime 10x
+#   BENCHTIME=2s ./scripts/bench.sh
+#
+# The JSON is an array of {name, iterations, ns_per_op, bytes_per_op,
+# allocs_per_op} objects, one per sub-benchmark, suitable for diffing
+# across commits.
+set -eu
+
+cd "$(dirname "$0")/.."
+
+BENCHTIME="${BENCHTIME:-10x}"
+OUT="BENCH_obs.json"
+TMP="$(mktemp)"
+trap 'rm -f "$TMP"' EXIT
+
+echo "== go test -bench BenchmarkRunContextRecorder -benchtime $BENCHTIME"
+go test ./internal/sim/ -run '^$' -bench 'BenchmarkRunContextRecorder' \
+	-benchtime "$BENCHTIME" -benchmem -count=1 | tee "$TMP"
+
+awk '
+BEGIN { n = 0 }
+/^Benchmark/ {
+	name = $1; iters = $2; ns = $3; bytes = $5; allocs = $7
+	if (n++) printf ",\n"
+	printf "  {\"name\": \"%s\", \"iterations\": %s, \"ns_per_op\": %s, \"bytes_per_op\": %s, \"allocs_per_op\": %s}", \
+		name, iters, ns, bytes, allocs
+}
+END { if (n) printf "\n" }
+' "$TMP" > "$TMP.json"
+
+{
+	printf '[\n'
+	cat "$TMP.json"
+	printf ']\n'
+} > "$OUT"
+rm -f "$TMP.json"
+
+echo "bench: wrote $OUT"

@@ -1,6 +1,8 @@
 #!/bin/sh
-# verify.sh — the repository's verification gate: vet, build, and the full
-# test suite under the race detector. Run from the repo root:
+# verify.sh — the repository's verification gate: vet, build, the full test
+# suite under the race detector, and a short smoke of the observability
+# no-op-overhead contract (the disabled recorder must add zero allocations).
+# Run from the repo root:
 #
 #   ./scripts/verify.sh
 #
@@ -17,5 +19,9 @@ go build ./...
 
 echo "== go test -race ./..."
 go test -race ./...
+
+echo "== obs no-op overhead smoke"
+go test ./internal/sim/ -run 'TestRunContextNopRecorderAddsNoAllocs' -count=1
+go test ./internal/sim/ -run '^$' -bench 'BenchmarkRunContextRecorder' -benchtime 3x -benchmem -count=1
 
 echo "verify: OK"
