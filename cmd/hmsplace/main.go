@@ -11,6 +11,13 @@
 //	hmsplace -kernel fft -sample "smem:S" -target "smem:G"
 //	hmsplace -kernel spmv -full -budget 50 -top 5 -timeout 30s
 //	hmsplace -kernel matrixMul -full -trace-out run.json -metrics-out metrics.prom -progress
+//	hmsplace -kernel matrixMul -full -json       # the service's RankResponse JSON
+//
+// With -json the ranking is emitted as the advisory service's RankResponse
+// (the exact wire shape of `POST /v1/rank` on hmsserved — see
+// docs/SERVICE.md), so CLI and server outputs are interchangeable;
+// -measure additionally fills each row's measured_ns. -json applies to the
+// ranking modes (default moves, -full, -target), not -greedy or -explain.
 //
 // Searches are bounded: -timeout aborts profiling and search after a wall
 // clock limit, -budget caps model evaluations, -top keeps only the K best
@@ -29,6 +36,7 @@ package main
 
 import (
 	"context"
+	"encoding/json"
 	"errors"
 	"flag"
 	"fmt"
@@ -40,6 +48,7 @@ import (
 	"text/tabwriter"
 	"time"
 
+	"gpuhms/internal/advisor"
 	"gpuhms/internal/baseline"
 	"gpuhms/internal/core"
 	"gpuhms/internal/experiments"
@@ -48,6 +57,7 @@ import (
 	"gpuhms/internal/kernels"
 	"gpuhms/internal/obs"
 	"gpuhms/internal/placement"
+	"gpuhms/internal/service"
 )
 
 // exitPartial is the exit code of a search stopped by -budget or -timeout:
@@ -74,12 +84,16 @@ func main() {
 		timeout = flag.Duration("timeout", 0, "abort profiling and search after this long, e.g. 30s (0 = no limit)")
 		budget  = flag.Int("budget", 0, "stop after this many model evaluations (0 = unlimited)")
 		top     = flag.Int("top", 0, "print only the K best candidates (0 = all)")
+		jsonOut = flag.Bool("json", false, "emit the ranking as the advisory service's JSON RankResponse (docs/SERVICE.md) instead of a table")
 
 		traceOut   = flag.String("trace-out", "", "write the span timeline here: Chrome trace_event JSON (Perfetto-loadable), or CSV with a .csv suffix")
 		metricsOut = flag.String("metrics-out", "", "write collected metrics here: Prometheus text, or JSON with a .json suffix")
 		progress   = flag.Bool("progress", false, "stream live search progress to stderr")
 	)
 	flag.Parse()
+	if *jsonOut && (*greedy || *explain) {
+		log.Fatal("-json supports the ranking modes only (not -greedy or -explain)")
+	}
 
 	// The collector gathers the whole session (profiling run, predictions,
 	// search) when any observability output is requested; emitArtifacts
@@ -247,8 +261,10 @@ func main() {
 		log.Fatal(err)
 	}
 	pred.SetRecorder(rec)
-	fmt.Printf("kernel %s (%s), sample placement %s: profiled %.0f ns\n\n",
-		*kernel, spec.KernelName, samplePl.Format(tr), prof.TimeNS)
+	if !*jsonOut {
+		fmt.Printf("kernel %s (%s), sample placement %s: profiled %.0f ns\n\n",
+			*kernel, spec.KernelName, samplePl.Format(tr), prof.TimeNS)
+	}
 
 	if *greedy {
 		cost := func(pl *placement.Placement) (float64, error) {
@@ -346,16 +362,18 @@ func main() {
 			}
 		}
 	}
+	// The candidate-space size closes out the search progress and, with
+	// -json, a partial ranking's coverage record.
+	total := evals
+	switch {
+	case *full:
+		total = placement.CountLegal(tr, cfg)
+	case *target == "":
+		total = 1 + len(placement.Moves(tr, samplePl, cfg))
+	}
 	if rec.Enabled() {
 		// Close out the search progress: report coverage of the candidate
 		// space so partial searches can be judged from the metrics alone.
-		total := evals
-		switch {
-		case *full:
-			total = placement.CountLegal(tr, cfg)
-		case *target == "":
-			total = 1 + len(placement.Moves(tr, samplePl, cfg))
-		}
 		rec.Gauge("advisor_rank_evaluated", float64(evals))
 		rec.Gauge("advisor_rank_total", float64(total))
 		rec.ReportProgress(obs.Progress{
@@ -371,6 +389,43 @@ func main() {
 	sort.Slice(rows, func(i, j int) bool { return rows[i].predicted < rows[j].predicted })
 	if *top > 0 && len(rows) > *top {
 		rows = rows[:*top]
+	}
+
+	if *jsonOut {
+		// Emit the exact wire shape of the advisory service's /v1/rank
+		// (docs/SERVICE.md), so CLI and server outputs are interchangeable;
+		// -measure additionally fills measured_ns, which the server never
+		// does.
+		ranked := make([]advisor.Ranked, len(rows))
+		for i, r := range rows {
+			ranked[i] = advisor.Ranked{Placement: r.pl, PredictedNS: r.predicted}
+		}
+		out := service.BuildRanked(tr, samplePl, ranked)
+		if *measure {
+			for i := range out {
+				out[i].MeasuredNS = rows[i].measured
+			}
+		}
+		resp := &service.RankResponse{
+			Arch:   *arch,
+			Kernel: *kernel,
+			Scale:  *scale,
+			Sample: samplePl.Format(tr),
+			Ranked: out,
+		}
+		if stopReason != nil {
+			resp.Partial = true
+			resp.Coverage = &service.Coverage{Evaluated: evals, Total: total}
+		}
+		if err := json.NewEncoder(os.Stdout).Encode(resp); err != nil {
+			log.Fatal(err)
+		}
+		emitArtifacts()
+		if stopReason != nil {
+			fmt.Fprintf(os.Stderr, "hmsplace: partial search: %v\n", stopReason)
+			os.Exit(exitPartial)
+		}
+		return
 	}
 
 	w := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', tabwriter.AlignRight)

@@ -1,0 +1,167 @@
+// Command hmsserved is the placement-advisory service: a long-lived HTTP
+// server that trains (or loads) one Advisor per architecture at startup and
+// serves placement rankings and predictions over JSON — the paper's §I
+// "tool to help programmers for GPU performance optimization" as a shared
+// service instead of a per-invocation CLI.
+//
+//	hmsserved                                # k80 on :8080
+//	hmsserved -addr :9090 -archs k80,fermi
+//	hmsserved -archs k80 -load-model k80.json
+//	hmsserved -workers 8 -queue 128 -cache 512 -timeout 30s
+//
+// Endpoints (docs/SERVICE.md): POST /v1/rank, POST /v1/predict,
+// GET /v1/kernels, GET /healthz, GET /metrics. Concurrency is bounded by a
+// worker pool with an explicit queue — a full queue sheds load with 429 and
+// Retry-After — and identical concurrent rankings collapse into a single
+// search whose result is kept in an LRU cache.
+//
+// On SIGINT/SIGTERM the server stops accepting requests, gives in-flight
+// searches -drain to finish, then aborts the rest via context cancellation
+// and exits 0.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"log"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"sort"
+	"strings"
+	"syscall"
+	"time"
+
+	"gpuhms/internal/advisor"
+	"gpuhms/internal/gpu"
+	"gpuhms/internal/obs"
+	"gpuhms/internal/service"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("hmsserved: ")
+
+	var (
+		addr    = flag.String("addr", ":8080", "listen address (host:port; port 0 picks a free port)")
+		archs   = flag.String("archs", "k80", "comma-separated architectures to keep warm: k80, fermi")
+		loadFr  = flag.String("load-model", "", "load a trained model JSON instead of training (single -archs entry only)")
+		workers = flag.Int("workers", 0, "concurrent searches (0 = GOMAXPROCS)")
+		queue   = flag.Int("queue", 64, "pending-request queue capacity (full queue answers 429)")
+		cacheN  = flag.Int("cache", 256, "LRU result-cache capacity in responses (negative disables)")
+		timeout = flag.Duration("timeout", 60*time.Second, "default per-search wall-clock bound when the request has no timeout_ms")
+		drain   = flag.Duration("drain", 10*time.Second, "graceful-shutdown grace for in-flight searches")
+	)
+	flag.Parse()
+
+	advisors, err := buildAdvisors(*archs, *loadFr)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Thread the collector through every advisor too (before the service
+	// takes ownership), so /metrics carries the model/advisor metrics
+	// alongside the service_ ones.
+	col := obs.NewCollector()
+	for _, adv := range advisors {
+		adv.Recorder = col
+	}
+	svc, err := service.New(advisors, service.Options{
+		Workers:        *workers,
+		QueueCap:       *queue,
+		CacheCap:       *cacheN,
+		DefaultTimeout: *timeout,
+	}, col)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		log.Fatal(err)
+	}
+	httpSrv := &http.Server{Handler: svc.Handler()}
+	// The resolved address is printed (not just the flag) so scripts using
+	// port 0 can discover the port.
+	fmt.Printf("hmsserved: listening on %s (archs %s)\n", ln.Addr(), strings.Join(sortedKeys(advisors), ","))
+
+	errCh := make(chan error, 1)
+	go func() { errCh <- httpSrv.Serve(ln) }()
+
+	sigCh := make(chan os.Signal, 1)
+	signal.Notify(sigCh, os.Interrupt, syscall.SIGTERM)
+	select {
+	case sig := <-sigCh:
+		log.Printf("received %v, draining (up to %v)", sig, *drain)
+	case err := <-errCh:
+		log.Fatalf("serve: %v", err)
+	}
+
+	ctx, cancel := context.WithTimeout(context.Background(), *drain)
+	defer cancel()
+	if err := httpSrv.Shutdown(ctx); err != nil {
+		log.Printf("http shutdown: %v", err)
+	}
+	if err := svc.Shutdown(ctx); err != nil {
+		log.Printf("service shutdown: %v", err)
+	}
+	log.Print("drained, bye")
+}
+
+// buildAdvisors trains (or loads) one advisor per requested architecture.
+func buildAdvisors(archList, loadFrom string) (map[string]*advisor.Advisor, error) {
+	names := strings.Split(archList, ",")
+	if loadFrom != "" && len(names) != 1 {
+		return nil, errors.New("-load-model requires exactly one -archs entry")
+	}
+	advisors := make(map[string]*advisor.Advisor, len(names))
+	for _, name := range names {
+		name = strings.TrimSpace(name)
+		var cfg *gpu.Config
+		switch name {
+		case "k80":
+			cfg = gpu.KeplerK80()
+		case "fermi":
+			cfg = gpu.FermiC2050()
+		case "":
+			continue
+		default:
+			return nil, fmt.Errorf("unknown architecture %q (want k80 or fermi)", name)
+		}
+		start := time.Now()
+		var adv *advisor.Advisor
+		var err error
+		if loadFrom != "" {
+			f, ferr := os.Open(loadFrom)
+			if ferr != nil {
+				return nil, ferr
+			}
+			adv, err = advisor.NewFromSaved(cfg, f)
+			f.Close()
+		} else {
+			adv, err = advisor.New(cfg)
+		}
+		if err != nil {
+			return nil, fmt.Errorf("advisor %s: %w", name, err)
+		}
+		advisors[name] = adv
+		log.Printf("advisor %s ready in %v", name, time.Since(start).Round(time.Millisecond))
+	}
+	if len(advisors) == 0 {
+		return nil, errors.New("no architectures requested")
+	}
+	return advisors, nil
+}
+
+// sortedKeys lists map keys in stable order for the startup banner.
+func sortedKeys(m map[string]*advisor.Advisor) []string {
+	out := make([]string, 0, len(m))
+	for k := range m {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}

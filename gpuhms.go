@@ -27,23 +27,19 @@
 package gpuhms
 
 import (
-	"container/heap"
-	"context"
-	"errors"
 	"fmt"
 	"io"
-	"sort"
 
-	"gpuhms/internal/baseline"
+	"gpuhms/internal/advisor"
 	"gpuhms/internal/core"
 	"gpuhms/internal/dram"
-	"gpuhms/internal/experiments"
 	"gpuhms/internal/gpu"
 	"gpuhms/internal/hmserr"
 	"gpuhms/internal/kernels"
 	"gpuhms/internal/microbench"
 	"gpuhms/internal/obs"
 	"gpuhms/internal/placement"
+	"gpuhms/internal/service"
 	"gpuhms/internal/sim"
 	"gpuhms/internal/trace"
 )
@@ -90,24 +86,6 @@ var (
 	// ErrArchMismatch: a saved model targets a different architecture.
 	ErrArchMismatch = hmserr.ErrArchMismatch
 )
-
-// guard converts an internal panic into an error at the facade boundary, so
-// no panic ever crosses the public API. Anything caught here is a library
-// bug, not caller misuse — the message says so.
-func guard(err *error) {
-	if r := recover(); r != nil {
-		*err = fmt.Errorf("gpuhms: internal error (please report): %v", r)
-	}
-}
-
-// checkConfig validates an architecture before internals (which assume a
-// screened Config) run on it.
-func checkConfig(cfg *Config) error {
-	if cfg == nil {
-		return fmt.Errorf("gpuhms: nil Config")
-	}
-	return cfg.Validate()
-}
 
 // Config describes the modeled GPU architecture.
 type Config = gpu.Config
@@ -239,288 +217,56 @@ func NewPredictor(m *Model, t *Trace, sample *Placement, prof SampleProfile) (*P
 
 // Advisor is the high-level placement advisor: a full model whose overlap
 // coefficients were trained on the bundled training placements, plus the
-// measurer used to profile sample placements.
-type Advisor struct {
-	Cfg   *Config
-	Model *Model
+// measurer used to profile sample placements. It is implemented in
+// internal/advisor (shared with the advisory service, internal/service) and
+// re-exported here unchanged; an Advisor is safe for concurrent use once
+// constructed.
+type Advisor = advisor.Advisor
 
-	// Measurer profiles sample placements and serves MeasureOn; nil uses a
-	// fresh ground-truth simulator. Substituting a fault-injecting wrapper
-	// (internal/faults) here exercises the advisor under degraded counters.
-	Measurer Measurer
+// Ranked is one candidate placement with its predicted time.
+type Ranked = advisor.Ranked
 
-	// Recorder receives the advisor's telemetry: profiling-run simulator
-	// events, per-prediction model term breakdowns, per-placement eval
-	// spans, and search progress (including the Evaluated/Total record of
-	// a budget-limited ranking). Nil disables recording. When Measurer is
-	// nil, the recorder is also threaded into the fresh simulator.
-	Recorder Recorder
-}
-
-// rec normalizes the advisor's optional recorder.
-func (a *Advisor) rec() Recorder { return obs.OrNop(a.Recorder) }
+// RankOptions bounds RankContext's search over the m^n placement space:
+// TopK keeps only the K fastest predictions (O(K) memory on any space);
+// MaxCandidates stops the search after that many predictions and returns
+// the partial ranking together with an error wrapping ErrBudgetExceeded
+// (a *hmserr.BudgetError carrying the Evaluated/Total coverage).
+type RankOptions = advisor.RankOptions
 
 // NewAdvisor trains the full model on the bundled Table IV training
 // placements and returns a ready-to-use advisor.
-func NewAdvisor(cfg *Config) (adv *Advisor, err error) {
-	defer guard(&err)
-	if err := checkConfig(cfg); err != nil {
-		return nil, err
-	}
-	ctx := experiments.NewContext(cfg, 1)
-	m, err := ctx.Model(baseline.Ours())
-	if err != nil {
-		return nil, fmt.Errorf("gpuhms: training advisor: %w", err)
-	}
-	return &Advisor{Cfg: cfg, Model: m}, nil
-}
-
-// measurer returns the configured Measurer or a fresh simulator carrying
-// the advisor's recorder.
-func (a *Advisor) measurer() Measurer {
-	if a.Measurer != nil {
-		return a.Measurer
-	}
-	s := sim.New(a.Cfg)
-	s.Recorder = a.Recorder
-	return s
-}
-
-// Ranked is one candidate placement with its predicted time.
-type Ranked struct {
-	Placement   *Placement
-	PredictedNS float64
-}
-
-// rankHeap is a max-heap on predicted time: the root is the worst kept
-// candidate, evicted first when a better one arrives.
-type rankHeap []Ranked
-
-func (h rankHeap) Len() int           { return len(h) }
-func (h rankHeap) Less(i, j int) bool { return h[i].PredictedNS > h[j].PredictedNS }
-func (h rankHeap) Swap(i, j int)      { h[i], h[j] = h[j], h[i] }
-func (h *rankHeap) Push(x any)        { *h = append(*h, x.(Ranked)) }
-func (h *rankHeap) Pop() any          { old := *h; n := len(old); x := old[n-1]; *h = old[:n-1]; return x }
-
-// RankOptions bounds RankContext's search over the m^n placement space.
-type RankOptions struct {
-	// TopK keeps only the K fastest predictions; 0 keeps the whole ranking.
-	// With TopK set, memory stays O(K) no matter how large the legal
-	// placement space is.
-	TopK int
-	// MaxCandidates stops the search after predicting this many placements
-	// (0 = unlimited). When it triggers, the ranking seen so far is returned
-	// together with an error wrapping ErrBudgetExceeded — partial results
-	// are never silently reported as complete.
-	MaxCandidates int
-}
-
-// Rank profiles the sample placement on the simulator, predicts every legal
-// placement of the trace, and returns them fastest-first.
-func (a *Advisor) Rank(t *Trace, sample *Placement) ([]Ranked, error) {
-	return a.RankContext(context.Background(), t, sample, RankOptions{})
-}
-
-// RankContext is Rank with cancellation and budgets. A canceled context
-// aborts the profiling run and the enumeration promptly and returns
-// ctx.Err(). The placement space is streamed, so only the kept candidates
-// are ever resident.
-//
-// With Advisor.Recorder set, each evaluation is recorded as a span, the
-// best-so-far prediction as a gauge, and progress reports flow throughout.
-// When the MaxCandidates budget stops the search, the final progress report
-// carries Evaluated (placements predicted) versus Total (the legal space
-// that was enumerated), so a partial ranking's coverage survives in the obs
-// snapshot instead of being lost with the error.
-func (a *Advisor) RankContext(ctx context.Context, t *Trace, sample *Placement, opt RankOptions) (ranked []Ranked, err error) {
-	defer guard(&err)
-	if err := checkConfig(a.Cfg); err != nil {
-		return nil, err
-	}
-	pr, err := a.PredictorContext(ctx, t, sample)
-	if err != nil {
-		return nil, err
-	}
-	rec := a.rec()
-	enabled := rec.Enabled()
-	var kept rankHeap
-	var stopErr error
-	budgetHit := false
-	candidates := 0
-	bestNS := 0.0
-	bestName := ""
-	placement.EnumerateSeq(t, a.Cfg, func(pl *placement.Placement) bool {
-		if e := ctx.Err(); e != nil {
-			stopErr = e
-			return false
-		}
-		if opt.MaxCandidates > 0 && candidates >= opt.MaxCandidates {
-			budgetHit = true
-			return false
-		}
-		candidates++
-		var start float64
-		if enabled {
-			start = rec.Now()
-		}
-		p, e := pr.Predict(pl)
-		if e != nil {
-			stopErr = e
-			return false
-		}
-		if bestNS == 0 || p.TimeNS < bestNS {
-			bestNS = p.TimeNS
-			if enabled {
-				bestName = pl.Format(t)
-				rec.Gauge("advisor_best_ns", bestNS)
-			}
-		}
-		if enabled {
-			rec.Add("advisor_evals_total", 1)
-			rec.Span("advisor", "eval "+pl.Format(t), start, rec.Now()-start)
-			rec.ReportProgress(SearchProgress{Evaluated: candidates, BestNS: bestNS, Best: bestName})
-		}
-		switch {
-		case opt.TopK > 0 && len(kept) == opt.TopK:
-			if p.TimeNS < kept[0].PredictedNS {
-				kept[0] = Ranked{Placement: pl.Clone(), PredictedNS: p.TimeNS}
-				heap.Fix(&kept, 0)
-			}
-		default:
-			heap.Push(&kept, Ranked{Placement: pl.Clone(), PredictedNS: p.TimeNS})
-		}
-		return true
-	})
-	if budgetHit {
-		// The enumeration stopped on budget: count the legal space the
-		// search would have covered, so the partial ranking reports its
-		// coverage (Evaluated/Total) instead of losing it.
-		total := placement.CountLegal(t, a.Cfg)
-		stopErr = hmserr.Wrap(hmserr.ErrBudgetExceeded,
-			"%d of %d legal candidate placements predicted", candidates, total)
-		rec.ReportProgress(SearchProgress{
-			Evaluated: candidates, Total: total, BestNS: bestNS, Best: bestName, Done: true,
-		})
-		if enabled {
-			rec.Gauge("advisor_rank_evaluated", float64(candidates))
-			rec.Gauge("advisor_rank_total", float64(total))
-		}
-	} else if stopErr == nil && enabled {
-		rec.Gauge("advisor_rank_evaluated", float64(candidates))
-		rec.Gauge("advisor_rank_total", float64(candidates))
-		rec.ReportProgress(SearchProgress{
-			Evaluated: candidates, Total: candidates, BestNS: bestNS, Best: bestName, Done: true,
-		})
-	}
-	if stopErr != nil && !errors.Is(stopErr, ErrBudgetExceeded) {
-		return nil, stopErr
-	}
-	out := []Ranked(kept)
-	sort.Slice(out, func(i, j int) bool { return out[i].PredictedNS < out[j].PredictedNS })
-	return out, stopErr
-}
-
-// Predictor profiles the sample placement and returns a predictor for
-// arbitrary target placements of the trace.
-func (a *Advisor) Predictor(t *Trace, sample *Placement) (*Predictor, error) {
-	return a.PredictorContext(context.Background(), t, sample)
-}
-
-// PredictorContext is Predictor with cancellation of the profiling run.
-func (a *Advisor) PredictorContext(ctx context.Context, t *Trace, sample *Placement) (pr *Predictor, err error) {
-	defer guard(&err)
-	if err := checkConfig(a.Cfg); err != nil {
-		return nil, err
-	}
-	if t == nil {
-		return nil, hmserr.Wrap(hmserr.ErrInvalidTrace, "nil trace")
-	}
-	if err := t.Validate(); err != nil {
-		return nil, err
-	}
-	rec := a.rec()
-	var start float64
-	if rec.Enabled() {
-		start = rec.Now()
-	}
-	prof, err := a.measurer().RunContext(ctx, t, sample, sample)
-	if err != nil {
-		return nil, fmt.Errorf("gpuhms: profiling sample placement: %w", err)
-	}
-	if rec.Enabled() {
-		rec.Span("advisor", "profile "+sample.Format(t), start, rec.Now()-start)
-	}
-	p, err := core.NewPredictor(a.Model, t, sample,
-		core.SampleProfile{TimeNS: prof.TimeNS, Events: prof.Events})
-	if err != nil {
-		return nil, err
-	}
-	p.SetRecorder(a.Recorder)
-	return p, nil
-}
-
-// MeasureOn runs a placement on the ground-truth simulator (the "hardware"
-// measurement of the reproduction).
-func (a *Advisor) MeasureOn(t *Trace, sample, target *Placement) (*Measurement, error) {
-	return a.MeasureOnContext(context.Background(), t, sample, target)
-}
-
-// MeasureOnContext is MeasureOn with cancellation of the simulator run.
-func (a *Advisor) MeasureOnContext(ctx context.Context, t *Trace, sample, target *Placement) (m *Measurement, err error) {
-	defer guard(&err)
-	return a.measurer().RunContext(ctx, t, sample, target)
-}
-
-// Save persists the advisor's trained model (options + Eq 11 coefficients)
-// as JSON, tagged with the architecture name.
-func (a *Advisor) Save(w io.Writer) error {
-	return a.Model.Save(w, a.Cfg.Name)
-}
+func NewAdvisor(cfg *Config) (*Advisor, error) { return advisor.New(cfg) }
 
 // NewAdvisorFromSaved reconstructs an advisor from a previously saved
 // model, skipping the training runs. The saved architecture must match.
 func NewAdvisorFromSaved(cfg *Config, r io.Reader) (*Advisor, error) {
-	opts, err := core.LoadOptions(r, cfg.Name)
-	if err != nil {
-		return nil, err
-	}
-	return &Advisor{Cfg: cfg, Model: core.NewModel(cfg, opts)}, nil
+	return advisor.NewFromSaved(cfg, r)
 }
 
-// BestGreedy finds a good placement by greedy single-array moves instead of
-// enumerating the m^n space — the practical strategy for kernels with many
-// arrays. Returns the placement, its predicted time, and the number of
-// model evaluations spent.
-func (a *Advisor) BestGreedy(t *Trace, sample *Placement) (Ranked, int, error) {
-	return a.BestGreedyContext(context.Background(), t, sample, 0)
-}
-
-// BestGreedyContext is BestGreedy with cancellation and an optional model
-// evaluation budget (maxEvals <= 0 means unlimited). When the budget runs
-// out, the best placement found so far is returned together with an error
-// wrapping ErrBudgetExceeded.
-func (a *Advisor) BestGreedyContext(ctx context.Context, t *Trace, sample *Placement, maxEvals int) (best Ranked, evals int, err error) {
-	defer guard(&err)
-	pr, err := a.PredictorContext(ctx, t, sample)
-	if err != nil {
-		return Ranked{}, 0, err
-	}
-	cost := func(pl *Placement) (float64, error) {
-		if e := ctx.Err(); e != nil {
-			return 0, e
-		}
-		p, err := pr.Predict(pl)
-		if err != nil {
-			return 0, err
-		}
-		return p.TimeNS, nil
-	}
-	pl, ns, evals, err := placement.GreedySearchContext(ctx, t, a.Cfg, sample, cost, maxEvals, a.Recorder)
-	if err != nil && !errors.Is(err, ErrBudgetExceeded) {
-		return Ranked{}, evals, err
-	}
-	return Ranked{Placement: pl, PredictedNS: ns}, evals, err
-}
+// Advisory service wire types. The placement-advisory HTTP server
+// (cmd/hmsserved, internal/service) and `hmsplace -json` speak exactly
+// these JSON shapes, re-exported so clients of the library can decode
+// server responses without a second type definition. See docs/SERVICE.md.
+type (
+	// RankRequest is the body of POST /v1/rank.
+	RankRequest = service.RankRequest
+	// RankResponse is the rank endpoint's (and `hmsplace -json`'s) reply.
+	RankResponse = service.RankResponse
+	// RankedPlacement is one row of a RankResponse.
+	RankedPlacement = service.RankedPlacement
+	// Coverage reports a partial search's evaluated/total candidates.
+	Coverage = service.Coverage
+	// PredictRequest is the body of POST /v1/predict.
+	PredictRequest = service.PredictRequest
+	// PredictResponse is the predict endpoint's reply.
+	PredictResponse = service.PredictResponse
+	// KernelInfo is one workload in GET /v1/kernels.
+	KernelInfo = service.KernelInfo
+	// KernelsResponse is the kernels endpoint's reply.
+	KernelsResponse = service.KernelsResponse
+	// ErrorResponse is the JSON body of every non-2xx service reply.
+	ErrorResponse = service.ErrorResponse
+)
 
 // AddressMappingReport is the outcome of the Algorithm 1 probe.
 type AddressMappingReport = microbench.Result

@@ -1,0 +1,327 @@
+// Package advisor implements the high-level placement advisor: a trained
+// full model (Eq 1–12) plus the measurer used to profile sample placements,
+// with cancellable, budgeted searches over the legal placement space.
+//
+// It used to live in the gpuhms facade; it is an internal package so that
+// other internal layers — the advisory service (internal/service), the CLIs —
+// can share one implementation without importing the public facade. The
+// facade re-exports every type here as an alias, so the public API is
+// unchanged.
+package advisor
+
+import (
+	"container/heap"
+	"context"
+	"errors"
+	"fmt"
+	"io"
+	"sort"
+
+	"gpuhms/internal/baseline"
+	"gpuhms/internal/core"
+	"gpuhms/internal/experiments"
+	"gpuhms/internal/gpu"
+	"gpuhms/internal/hmserr"
+	"gpuhms/internal/obs"
+	"gpuhms/internal/placement"
+	"gpuhms/internal/sim"
+	"gpuhms/internal/trace"
+)
+
+// checkConfig validates an architecture before internals (which assume a
+// screened Config) run on it.
+func checkConfig(cfg *gpu.Config) error {
+	if cfg == nil {
+		return fmt.Errorf("gpuhms: nil Config")
+	}
+	return cfg.Validate()
+}
+
+// Advisor is the high-level placement advisor: a full model whose overlap
+// coefficients were trained on the bundled training placements, plus the
+// measurer used to profile sample placements.
+//
+// An Advisor is safe for concurrent use once constructed, provided its
+// fields are not mutated afterwards and any substituted Measurer is itself
+// concurrency-safe: every search builds its own predictor and (with a nil
+// Measurer) its own simulator, and the trained model is read-only.
+type Advisor struct {
+	Cfg   *gpu.Config
+	Model *core.Model
+
+	// Measurer profiles sample placements and serves MeasureOn; nil uses a
+	// fresh ground-truth simulator. Substituting a fault-injecting wrapper
+	// (internal/faults) here exercises the advisor under degraded counters.
+	Measurer sim.Measurer
+
+	// Recorder receives the advisor's telemetry: profiling-run simulator
+	// events, per-prediction model term breakdowns, per-placement eval
+	// spans, and search progress (including the Evaluated/Total record of
+	// a budget-limited ranking). Nil disables recording. When Measurer is
+	// nil, the recorder is also threaded into the fresh simulator.
+	Recorder obs.Recorder
+}
+
+// rec normalizes the advisor's optional recorder.
+func (a *Advisor) rec() obs.Recorder { return obs.OrNop(a.Recorder) }
+
+// New trains the full model on the bundled Table IV training placements and
+// returns a ready-to-use advisor.
+func New(cfg *gpu.Config) (adv *Advisor, err error) {
+	defer hmserr.Guard(&err)
+	if err := checkConfig(cfg); err != nil {
+		return nil, err
+	}
+	ctx := experiments.NewContext(cfg, 1)
+	m, err := ctx.Model(baseline.Ours())
+	if err != nil {
+		return nil, fmt.Errorf("gpuhms: training advisor: %w", err)
+	}
+	return &Advisor{Cfg: cfg, Model: m}, nil
+}
+
+// NewFromSaved reconstructs an advisor from a previously saved model,
+// skipping the training runs. The saved architecture must match.
+func NewFromSaved(cfg *gpu.Config, r io.Reader) (*Advisor, error) {
+	opts, err := core.LoadOptions(r, cfg.Name)
+	if err != nil {
+		return nil, err
+	}
+	return &Advisor{Cfg: cfg, Model: core.NewModel(cfg, opts)}, nil
+}
+
+// measurer returns the configured Measurer or a fresh simulator carrying
+// the advisor's recorder.
+func (a *Advisor) measurer() sim.Measurer {
+	if a.Measurer != nil {
+		return a.Measurer
+	}
+	s := sim.New(a.Cfg)
+	s.Recorder = a.Recorder
+	return s
+}
+
+// Ranked is one candidate placement with its predicted time.
+type Ranked struct {
+	Placement   *placement.Placement
+	PredictedNS float64
+}
+
+// rankHeap is a max-heap on predicted time: the root is the worst kept
+// candidate, evicted first when a better one arrives.
+type rankHeap []Ranked
+
+func (h rankHeap) Len() int           { return len(h) }
+func (h rankHeap) Less(i, j int) bool { return h[i].PredictedNS > h[j].PredictedNS }
+func (h rankHeap) Swap(i, j int)      { h[i], h[j] = h[j], h[i] }
+func (h *rankHeap) Push(x any)        { *h = append(*h, x.(Ranked)) }
+func (h *rankHeap) Pop() any          { old := *h; n := len(old); x := old[n-1]; *h = old[:n-1]; return x }
+
+// RankOptions bounds RankContext's search over the m^n placement space.
+type RankOptions struct {
+	// TopK keeps only the K fastest predictions; 0 keeps the whole ranking.
+	// With TopK set, memory stays O(K) no matter how large the legal
+	// placement space is.
+	TopK int
+	// MaxCandidates stops the search after predicting this many placements
+	// (0 = unlimited). When it triggers, the ranking seen so far is returned
+	// together with a *hmserr.BudgetError (wrapping ErrBudgetExceeded) —
+	// partial results are never silently reported as complete.
+	MaxCandidates int
+}
+
+// Rank profiles the sample placement on the simulator, predicts every legal
+// placement of the trace, and returns them fastest-first.
+func (a *Advisor) Rank(t *trace.Trace, sample *placement.Placement) ([]Ranked, error) {
+	return a.RankContext(context.Background(), t, sample, RankOptions{})
+}
+
+// RankContext is Rank with cancellation and budgets. A canceled context
+// aborts the profiling run and the enumeration promptly and returns
+// ctx.Err(). The placement space is streamed, so only the kept candidates
+// are ever resident.
+//
+// With Advisor.Recorder set, each evaluation is recorded as a span, the
+// best-so-far prediction as a gauge, and progress reports flow throughout.
+// When the MaxCandidates budget stops the search, the final progress report
+// carries Evaluated (placements predicted) versus Total (the legal space
+// that was enumerated), so a partial ranking's coverage survives in the obs
+// snapshot instead of being lost with the error.
+func (a *Advisor) RankContext(ctx context.Context, t *trace.Trace, sample *placement.Placement, opt RankOptions) (ranked []Ranked, err error) {
+	defer hmserr.Guard(&err)
+	if err := checkConfig(a.Cfg); err != nil {
+		return nil, err
+	}
+	pr, err := a.PredictorContext(ctx, t, sample)
+	if err != nil {
+		return nil, err
+	}
+	rec := a.rec()
+	enabled := rec.Enabled()
+	var kept rankHeap
+	var stopErr error
+	budgetHit := false
+	candidates := 0
+	bestNS := 0.0
+	bestName := ""
+	placement.EnumerateSeq(t, a.Cfg, func(pl *placement.Placement) bool {
+		if e := ctx.Err(); e != nil {
+			stopErr = e
+			return false
+		}
+		if opt.MaxCandidates > 0 && candidates >= opt.MaxCandidates {
+			budgetHit = true
+			return false
+		}
+		candidates++
+		var start float64
+		if enabled {
+			start = rec.Now()
+		}
+		p, e := pr.Predict(pl)
+		if e != nil {
+			stopErr = e
+			return false
+		}
+		if bestNS == 0 || p.TimeNS < bestNS {
+			bestNS = p.TimeNS
+			if enabled {
+				bestName = pl.Format(t)
+				rec.Gauge("advisor_best_ns", bestNS)
+			}
+		}
+		if enabled {
+			rec.Add("advisor_evals_total", 1)
+			rec.Span("advisor", "eval "+pl.Format(t), start, rec.Now()-start)
+			rec.ReportProgress(obs.Progress{Evaluated: candidates, BestNS: bestNS, Best: bestName})
+		}
+		switch {
+		case opt.TopK > 0 && len(kept) == opt.TopK:
+			if p.TimeNS < kept[0].PredictedNS {
+				kept[0] = Ranked{Placement: pl.Clone(), PredictedNS: p.TimeNS}
+				heap.Fix(&kept, 0)
+			}
+		default:
+			heap.Push(&kept, Ranked{Placement: pl.Clone(), PredictedNS: p.TimeNS})
+		}
+		return true
+	})
+	if budgetHit {
+		// The enumeration stopped on budget: count the legal space the
+		// search would have covered, so the partial ranking reports its
+		// coverage (Evaluated/Total) instead of losing it.
+		total := placement.CountLegal(t, a.Cfg)
+		stopErr = &hmserr.BudgetError{Evaluated: candidates, Total: total, What: "candidate placements"}
+		rec.ReportProgress(obs.Progress{
+			Evaluated: candidates, Total: total, BestNS: bestNS, Best: bestName, Done: true,
+		})
+		if enabled {
+			rec.Gauge("advisor_rank_evaluated", float64(candidates))
+			rec.Gauge("advisor_rank_total", float64(total))
+		}
+	} else if stopErr == nil && enabled {
+		rec.Gauge("advisor_rank_evaluated", float64(candidates))
+		rec.Gauge("advisor_rank_total", float64(candidates))
+		rec.ReportProgress(obs.Progress{
+			Evaluated: candidates, Total: candidates, BestNS: bestNS, Best: bestName, Done: true,
+		})
+	}
+	if stopErr != nil && !errors.Is(stopErr, hmserr.ErrBudgetExceeded) {
+		return nil, stopErr
+	}
+	out := []Ranked(kept)
+	sort.Slice(out, func(i, j int) bool { return out[i].PredictedNS < out[j].PredictedNS })
+	return out, stopErr
+}
+
+// Predictor profiles the sample placement and returns a predictor for
+// arbitrary target placements of the trace.
+func (a *Advisor) Predictor(t *trace.Trace, sample *placement.Placement) (*core.Predictor, error) {
+	return a.PredictorContext(context.Background(), t, sample)
+}
+
+// PredictorContext is Predictor with cancellation of the profiling run.
+func (a *Advisor) PredictorContext(ctx context.Context, t *trace.Trace, sample *placement.Placement) (pr *core.Predictor, err error) {
+	defer hmserr.Guard(&err)
+	if err := checkConfig(a.Cfg); err != nil {
+		return nil, err
+	}
+	if t == nil {
+		return nil, hmserr.Wrap(hmserr.ErrInvalidTrace, "nil trace")
+	}
+	if err := t.Validate(); err != nil {
+		return nil, err
+	}
+	rec := a.rec()
+	var start float64
+	if rec.Enabled() {
+		start = rec.Now()
+	}
+	prof, err := a.measurer().RunContext(ctx, t, sample, sample)
+	if err != nil {
+		return nil, fmt.Errorf("gpuhms: profiling sample placement: %w", err)
+	}
+	if rec.Enabled() {
+		rec.Span("advisor", "profile "+sample.Format(t), start, rec.Now()-start)
+	}
+	p, err := core.NewPredictor(a.Model, t, sample,
+		core.SampleProfile{TimeNS: prof.TimeNS, Events: prof.Events})
+	if err != nil {
+		return nil, err
+	}
+	p.SetRecorder(a.Recorder)
+	return p, nil
+}
+
+// MeasureOn runs a placement on the ground-truth simulator (the "hardware"
+// measurement of the reproduction).
+func (a *Advisor) MeasureOn(t *trace.Trace, sample, target *placement.Placement) (*sim.Measurement, error) {
+	return a.MeasureOnContext(context.Background(), t, sample, target)
+}
+
+// MeasureOnContext is MeasureOn with cancellation of the simulator run.
+func (a *Advisor) MeasureOnContext(ctx context.Context, t *trace.Trace, sample, target *placement.Placement) (m *sim.Measurement, err error) {
+	defer hmserr.Guard(&err)
+	return a.measurer().RunContext(ctx, t, sample, target)
+}
+
+// Save persists the advisor's trained model (options + Eq 11 coefficients)
+// as JSON, tagged with the architecture name.
+func (a *Advisor) Save(w io.Writer) error {
+	return a.Model.Save(w, a.Cfg.Name)
+}
+
+// BestGreedy finds a good placement by greedy single-array moves instead of
+// enumerating the m^n space — the practical strategy for kernels with many
+// arrays. Returns the placement, its predicted time, and the number of
+// model evaluations spent.
+func (a *Advisor) BestGreedy(t *trace.Trace, sample *placement.Placement) (Ranked, int, error) {
+	return a.BestGreedyContext(context.Background(), t, sample, 0)
+}
+
+// BestGreedyContext is BestGreedy with cancellation and an optional model
+// evaluation budget (maxEvals <= 0 means unlimited). When the budget runs
+// out, the best placement found so far is returned together with an error
+// wrapping ErrBudgetExceeded.
+func (a *Advisor) BestGreedyContext(ctx context.Context, t *trace.Trace, sample *placement.Placement, maxEvals int) (best Ranked, evals int, err error) {
+	defer hmserr.Guard(&err)
+	pr, err := a.PredictorContext(ctx, t, sample)
+	if err != nil {
+		return Ranked{}, 0, err
+	}
+	cost := func(pl *placement.Placement) (float64, error) {
+		if e := ctx.Err(); e != nil {
+			return 0, e
+		}
+		p, err := pr.Predict(pl)
+		if err != nil {
+			return 0, err
+		}
+		return p.TimeNS, nil
+	}
+	pl, ns, evals, err := placement.GreedySearchContext(ctx, t, a.Cfg, sample, cost, maxEvals, a.Recorder)
+	if err != nil && !errors.Is(err, hmserr.ErrBudgetExceeded) {
+		return Ranked{}, evals, err
+	}
+	return Ranked{Placement: pl, PredictedNS: ns}, evals, err
+}

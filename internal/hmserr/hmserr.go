@@ -40,3 +40,39 @@ var (
 func Wrap(sentinel error, format string, args ...any) error {
 	return fmt.Errorf("%w: "+format, append([]any{sentinel}, args...)...)
 }
+
+// Guard converts an internal panic into an error at an API boundary, so no
+// panic ever crosses a public surface (the gpuhms facade, the advisory
+// service). Anything caught here is a library bug, not caller misuse — the
+// message says so. Use as `defer hmserr.Guard(&err)`.
+func Guard(err *error) {
+	if r := recover(); r != nil {
+		*err = fmt.Errorf("gpuhms: internal error (please report): %v", r)
+	}
+}
+
+// BudgetError is the concrete error of a search stopped by its candidate
+// budget. It wraps ErrBudgetExceeded (errors.Is still branches on the
+// sentinel) while carrying the search's coverage as data, so callers such as
+// the advisory service can report "Evaluated of Total" without parsing the
+// message.
+type BudgetError struct {
+	// Evaluated is the number of candidates actually predicted.
+	Evaluated int
+	// Total is the size of the legal candidate space (0 when unknown).
+	Total int
+	// What names the budgeted quantity ("candidate placements",
+	// "model evaluations").
+	What string
+}
+
+// Error renders the coverage, matching the historical Wrap message.
+func (e *BudgetError) Error() string {
+	if e.Total > 0 {
+		return fmt.Sprintf("%v: %d of %d legal %s predicted", ErrBudgetExceeded, e.Evaluated, e.Total, e.What)
+	}
+	return fmt.Sprintf("%v: %d %s", ErrBudgetExceeded, e.Evaluated, e.What)
+}
+
+// Unwrap ties the error into the taxonomy: errors.Is(e, ErrBudgetExceeded).
+func (e *BudgetError) Unwrap() error { return ErrBudgetExceeded }

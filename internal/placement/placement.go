@@ -134,7 +134,9 @@ func Parse(t *trace.Trace, spec string) (*Placement, error) {
 		}
 		sp, err := gpu.ParseSpace(kv[1])
 		if err != nil {
-			return nil, err
+			// Classify as an illegal-placement error so callers (and the
+			// service's status mapping) treat a bad spec as client error.
+			return nil, illegalf("%v", err)
 		}
 		p.Spaces[id] = sp
 	}

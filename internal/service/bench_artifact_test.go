@@ -1,0 +1,111 @@
+package service
+
+import (
+	"encoding/json"
+	"os"
+	"sort"
+	"testing"
+	"time"
+)
+
+// latencyStats summarizes one measured request population.
+type latencyStats struct {
+	N      int     `json:"n"`
+	P50NS  float64 `json:"p50_ns"`
+	P99NS  float64 `json:"p99_ns"`
+	MeanNS float64 `json:"mean_ns"`
+	RPS    float64 `json:"req_per_s"`
+}
+
+func summarize(samples []time.Duration) latencyStats {
+	sort.Slice(samples, func(i, j int) bool { return samples[i] < samples[j] })
+	var sum time.Duration
+	for _, d := range samples {
+		sum += d
+	}
+	pct := func(p float64) float64 {
+		i := int(p * float64(len(samples)-1))
+		return float64(samples[i].Nanoseconds())
+	}
+	mean := float64(sum.Nanoseconds()) / float64(len(samples))
+	return latencyStats{
+		N:      len(samples),
+		P50NS:  pct(0.50),
+		P99NS:  pct(0.99),
+		MeanNS: mean,
+		RPS:    1e9 / mean,
+	}
+}
+
+// TestBenchServiceArtifact measures cold (distinct-key search) versus cached
+// request latency through the full handler stack and writes the
+// BENCH_service.json artifact. Gated by BENCH_SERVICE_OUT so the ordinary
+// test run stays fast; scripts/bench_service.sh drives it.
+//
+// The acceptance bound — cached at least 10x faster than cold at the median —
+// is asserted whenever the test runs.
+func TestBenchServiceArtifact(t *testing.T) {
+	out := os.Getenv("BENCH_SERVICE_OUT")
+	if out == "" {
+		t.Skip("set BENCH_SERVICE_OUT=/path/to/BENCH_service.json to run")
+	}
+	s := newTestServer(t, Options{})
+
+	timeOne := func(req RankRequest, wantCache string) time.Duration {
+		start := time.Now()
+		rr := doJSON(t, s, "POST", "/v1/rank", req)
+		elapsed := time.Since(start)
+		if rr.Code != 200 {
+			t.Fatalf("status %d: %s", rr.Code, rr.Body.String())
+		}
+		if got := rr.Header().Get("X-HMS-Cache"); got != wantCache {
+			t.Fatalf("X-HMS-Cache %q, want %q", got, wantCache)
+		}
+		return elapsed
+	}
+
+	// Cold: every request is a distinct cache key, so each one runs a full
+	// profile-and-rank search.
+	const coldN = 12
+	cold := make([]time.Duration, 0, coldN)
+	for i := 0; i < coldN; i++ {
+		cold = append(cold, timeOne(RankRequest{Kernel: "fft", TopK: i + 1}, cacheMiss))
+	}
+
+	// Cached: one warm key replayed; served straight from the LRU.
+	warm := RankRequest{Kernel: "fft", TopK: 1}
+	const cachedN = 500
+	cached := make([]time.Duration, 0, cachedN)
+	for i := 0; i < cachedN; i++ {
+		cached = append(cached, timeOne(warm, cacheHit))
+	}
+
+	report := struct {
+		Bench   string       `json:"bench"`
+		Kernel  string       `json:"kernel"`
+		Cold    latencyStats `json:"cold"`
+		Cached  latencyStats `json:"cached"`
+		Speedup float64      `json:"speedup_p50"`
+	}{
+		Bench:  "service_rank_cold_vs_cached",
+		Kernel: "fft",
+		Cold:   summarize(cold),
+		Cached: summarize(cached),
+	}
+	report.Speedup = report.Cold.P50NS / report.Cached.P50NS
+
+	if report.Speedup < 10 {
+		t.Errorf("cached p50 only %.1fx faster than cold (want >= 10x): cold %.0fns cached %.0fns",
+			report.Speedup, report.Cold.P50NS, report.Cached.P50NS)
+	}
+
+	data, err := json.MarshalIndent(&report, "", "  ")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(out, append(data, '\n'), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("wrote %s (cold p50 %.2fms, cached p50 %.1fµs, %.0fx)",
+		out, report.Cold.P50NS/1e6, report.Cached.P50NS/1e3, report.Speedup)
+}

@@ -1,0 +1,130 @@
+package service
+
+import (
+	"container/list"
+	"fmt"
+
+	"gpuhms/internal/obs"
+	"sync"
+)
+
+// RankKey is the cache/singleflight key of a rank request:
+// (arch, kernel, scale, sample, options). The client-requested timeout is
+// deliberately excluded — it bounds how long a search may run, not what it
+// computes — so identical searches with different deadlines collapse into
+// one flight. The sample spec is keyed as written; two spellings of the
+// same placement ("a:G,b:T" vs "b:T,a:G") are distinct keys and at worst
+// cost one redundant search.
+func RankKey(req *RankRequest) string {
+	return fmt.Sprintf("%s|%s|%d|%s|k%d|c%d",
+		req.Arch, req.Kernel, req.Scale, req.Sample, req.TopK, req.MaxCandidates)
+}
+
+// flight is one in-progress search shared by every request with its key.
+// Complete fills resp/err and then closes done; waiters read the fields
+// only after <-done, so the channel close publishes them.
+type flight struct {
+	done chan struct{}
+	resp *RankResponse
+	err  error
+}
+
+// cacheEntry is one LRU slot.
+type cacheEntry struct {
+	key  string
+	resp *RankResponse
+}
+
+// Cache is the LRU result cache with singleflight collapsing. Begin either
+// answers from the cache, joins an in-flight search, or elects the caller
+// leader of a new flight; Complete publishes a flight's outcome (caching it
+// on success) and wakes every waiter. All methods are safe for concurrent
+// use. Only successful (including partial/206) responses are cached; errors
+// are never negatively cached, so a failed search is retried by the next
+// request.
+type Cache struct {
+	rec obs.Recorder
+
+	mu      sync.Mutex
+	cap     int
+	ll      *list.List // front = most recently used
+	items   map[string]*list.Element
+	flights map[string]*flight
+}
+
+// NewCache returns a cache keeping at most capacity responses (capacity
+// <= 0 disables caching but keeps singleflight collapsing). The recorder
+// receives the eviction counter.
+func NewCache(capacity int, rec obs.Recorder) *Cache {
+	return &Cache{
+		rec:     obs.OrNop(rec),
+		cap:     capacity,
+		ll:      list.New(),
+		items:   make(map[string]*list.Element),
+		flights: make(map[string]*flight),
+	}
+}
+
+// Begin routes one request. Exactly one of the returns is meaningful:
+//
+//   - resp != nil: served from cache (fl is nil).
+//   - leader true: the caller must run the search and call Complete; fl is
+//     the flight it must complete.
+//   - otherwise: an identical search is in flight; wait on fl.done.
+func (c *Cache) Begin(key string) (resp *RankResponse, fl *flight, leader bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if el, ok := c.items[key]; ok {
+		c.ll.MoveToFront(el)
+		return el.Value.(*cacheEntry).resp, nil, false
+	}
+	if fl, ok := c.flights[key]; ok {
+		return nil, fl, false
+	}
+	fl = &flight{done: make(chan struct{})}
+	c.flights[key] = fl
+	return nil, fl, true
+}
+
+// Complete publishes a leader's outcome: the response is cached when err is
+// nil, the flight is retired, and every waiter wakes with the shared
+// result.
+func (c *Cache) Complete(key string, resp *RankResponse, err error) {
+	c.mu.Lock()
+	if err == nil {
+		c.insert(key, resp)
+	}
+	fl := c.flights[key]
+	delete(c.flights, key)
+	c.mu.Unlock()
+	if fl != nil {
+		fl.resp, fl.err = resp, err
+		close(fl.done)
+	}
+}
+
+// insert adds a response under c.mu, evicting from the LRU tail.
+func (c *Cache) insert(key string, resp *RankResponse) {
+	if c.cap <= 0 {
+		return
+	}
+	if el, ok := c.items[key]; ok {
+		el.Value.(*cacheEntry).resp = resp
+		c.ll.MoveToFront(el)
+		return
+	}
+	c.items[key] = c.ll.PushFront(&cacheEntry{key: key, resp: resp})
+	for c.ll.Len() > c.cap {
+		tail := c.ll.Back()
+		c.ll.Remove(tail)
+		delete(c.items, tail.Value.(*cacheEntry).key)
+		c.rec.Add(obs.MetricServiceCacheEvictionsTotal, 1)
+	}
+}
+
+// Len reports the number of cached responses.
+func (c *Cache) Len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.ll.Len()
+}

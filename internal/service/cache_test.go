@@ -1,0 +1,235 @@
+package service
+
+import (
+	"errors"
+	"net/http"
+	"sync"
+	"testing"
+
+	"gpuhms/internal/obs"
+)
+
+// TestCacheBeginComplete exercises the cache/singleflight state machine
+// without a server around it.
+func TestCacheBeginComplete(t *testing.T) {
+	c := NewCache(2, nil)
+
+	// First caller leads.
+	resp, fl, leader := c.Begin("a")
+	if resp != nil || !leader || fl == nil {
+		t.Fatalf("first Begin: resp=%v leader=%v", resp, leader)
+	}
+	// Second caller with the same key joins the flight.
+	resp2, fl2, leader2 := c.Begin("a")
+	if resp2 != nil || leader2 || fl2 != fl {
+		t.Fatal("second Begin should join the first flight")
+	}
+	want := &RankResponse{Kernel: "a"}
+	c.Complete("a", want, nil)
+	<-fl.done
+	if fl.resp != want || fl.err != nil {
+		t.Fatalf("flight carries %v/%v", fl.resp, fl.err)
+	}
+	// Third caller hits the cache.
+	resp3, _, leader3 := c.Begin("a")
+	if resp3 != want || leader3 {
+		t.Fatal("third Begin should hit the cache")
+	}
+}
+
+func TestCacheErrorsNotCached(t *testing.T) {
+	c := NewCache(2, nil)
+	_, fl, leader := c.Begin("a")
+	if !leader {
+		t.Fatal("want leadership")
+	}
+	c.Complete("a", nil, errors.New("boom"))
+	<-fl.done
+	if fl.err == nil {
+		t.Fatal("flight should carry the error")
+	}
+	if c.Len() != 0 {
+		t.Fatal("errors must not be cached")
+	}
+	// The key is free again: the next caller leads a fresh flight.
+	if _, _, leader := c.Begin("a"); !leader {
+		t.Fatal("key should be retryable after a failed flight")
+	}
+}
+
+func TestCacheLRUEviction(t *testing.T) {
+	col := obs.NewCollector()
+	obs.RegisterServiceMetrics(col.Registry())
+	c := NewCache(2, col)
+	for _, key := range []string{"a", "b", "c"} { // c evicts a
+		_, _, leader := c.Begin(key)
+		if !leader {
+			t.Fatalf("want leadership for %q", key)
+		}
+		c.Complete(key, &RankResponse{Kernel: key}, nil)
+	}
+	if c.Len() != 2 {
+		t.Fatalf("cache holds %d entries, want 2", c.Len())
+	}
+	if resp, _, _ := c.Begin("a"); resp != nil {
+		t.Fatal("oldest entry should have been evicted")
+	}
+	c.Complete("a", &RankResponse{Kernel: "a"}, nil) // retire the flight
+	var evictions int64
+	for _, cs := range col.Snapshot().Counters {
+		if cs.Name == obs.MetricServiceCacheEvictionsTotal {
+			evictions = cs.Value
+		}
+	}
+	if evictions == 0 {
+		t.Fatal("eviction counter not incremented")
+	}
+}
+
+func TestCacheDisabledKeepsSingleflight(t *testing.T) {
+	c := NewCache(-1, nil)
+	_, fl, leader := c.Begin("a")
+	if !leader {
+		t.Fatal("want leadership")
+	}
+	// A second caller still collapses into the flight even with caching off.
+	_, fl2, leader2 := c.Begin("a")
+	if leader2 || fl2 != fl {
+		t.Fatal("singleflight should survive a disabled cache")
+	}
+	c.Complete("a", &RankResponse{}, nil)
+	if c.Len() != 0 {
+		t.Fatal("disabled cache must stay empty")
+	}
+}
+
+// TestSingleflightCollapsesIdenticalRequests fires N identical rank
+// requests concurrently and asserts exactly one search ran (profiling-run
+// count and obs counters agree) while every caller got a byte-identical
+// body.
+func TestSingleflightCollapsesIdenticalRequests(t *testing.T) {
+	s, m := countingServer(t, Options{Workers: 4, QueueCap: 16})
+	const n = 8
+	bodies := make([]string, n)
+	codes := make([]int, n)
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			rr := doJSON(t, s, "POST", "/v1/rank", RankRequest{Kernel: "fft"})
+			codes[i], bodies[i] = rr.Code, rr.Body.String()
+		}(i)
+	}
+	wg.Wait()
+	for i := 0; i < n; i++ {
+		if codes[i] != http.StatusOK {
+			t.Fatalf("request %d status %d: %s", i, codes[i], bodies[i])
+		}
+		if bodies[i] != bodies[0] {
+			t.Fatalf("request %d body differs:\n%s\nvs\n%s", i, bodies[i], bodies[0])
+		}
+	}
+	if runs := m.runs.Load(); runs != 1 {
+		t.Fatalf("%d profiling runs for %d identical requests, want 1", runs, n)
+	}
+	if searches := counterVal(s, obs.MetricServiceSearchesTotal); searches != 1 {
+		t.Fatalf("service_searches_total = %d, want 1", searches)
+	}
+	// Every non-leading request either joined the flight or hit the cache.
+	shared := counterVal(s, obs.MetricServiceSingleflightSharedTotal)
+	hits := counterVal(s, obs.MetricServiceCacheHitsTotal)
+	if shared+hits != n-1 {
+		t.Fatalf("shared %d + hits %d, want %d", shared, hits, n-1)
+	}
+}
+
+// TestCacheHitIsByteIdentical replays a request (including a budget-limited
+// 206) and asserts the cached body is bit-for-bit the original.
+func TestCacheHitIsByteIdentical(t *testing.T) {
+	s, m := countingServer(t, Options{})
+	for _, req := range []RankRequest{
+		{Kernel: "fft"},
+		{Kernel: "fft", MaxCandidates: 2}, // partial responses are cached too
+	} {
+		first := doJSON(t, s, "POST", "/v1/rank", req)
+		if first.Code != 200 && first.Code != 206 {
+			t.Fatalf("cold status %d: %s", first.Code, first.Body.String())
+		}
+		second := doJSON(t, s, "POST", "/v1/rank", req)
+		if second.Code != first.Code {
+			t.Fatalf("cached status %d, cold was %d", second.Code, first.Code)
+		}
+		if got := second.Header().Get("X-HMS-Cache"); got != cacheHit {
+			t.Fatalf("X-HMS-Cache %q, want hit", got)
+		}
+		if second.Body.String() != first.Body.String() {
+			t.Fatalf("cached body differs:\ncold   %s\ncached %s",
+				first.Body.String(), second.Body.String())
+		}
+	}
+	if runs := m.runs.Load(); runs != 2 {
+		t.Fatalf("%d profiling runs, want 2 (one per distinct key)", runs)
+	}
+}
+
+// TestCacheKeyIncludesOptions asserts requests differing only in search
+// options do not share cache entries.
+func TestCacheKeyIncludesOptions(t *testing.T) {
+	s, m := countingServer(t, Options{})
+	reqs := []RankRequest{
+		{Kernel: "fft"},
+		{Kernel: "fft", TopK: 1},
+		{Kernel: "fft", MaxCandidates: 3},
+		{Kernel: "fft", Scale: 2},
+	}
+	for i, req := range reqs {
+		rr := doJSON(t, s, "POST", "/v1/rank", req)
+		if rr.Code != 200 && rr.Code != 206 {
+			t.Fatalf("request %d status %d: %s", i, rr.Code, rr.Body.String())
+		}
+		if got := rr.Header().Get("X-HMS-Cache"); got != cacheMiss {
+			t.Fatalf("request %d X-HMS-Cache %q, want miss", i, got)
+		}
+	}
+	if runs := m.runs.Load(); runs != int64(len(reqs)) {
+		t.Fatalf("%d profiling runs, want %d distinct searches", runs, len(reqs))
+	}
+	// Timeout is excluded from the key: same search, different deadline → hit.
+	rr := doJSON(t, s, "POST", "/v1/rank", RankRequest{Kernel: "fft", TimeoutMS: 30000})
+	if got := rr.Header().Get("X-HMS-Cache"); got != cacheHit {
+		t.Fatalf("timeout-only variant X-HMS-Cache %q, want hit", got)
+	}
+}
+
+// TestServerLRUEviction drives eviction through the HTTP path with a
+// one-entry cache.
+func TestServerLRUEviction(t *testing.T) {
+	s, m := countingServer(t, Options{CacheCap: 1})
+	reqA := RankRequest{Kernel: "fft", TopK: 1}
+	reqB := RankRequest{Kernel: "fft", TopK: 2}
+	doJSON(t, s, "POST", "/v1/rank", reqA) // miss, cached
+	doJSON(t, s, "POST", "/v1/rank", reqB) // miss, evicts A
+	rr := doJSON(t, s, "POST", "/v1/rank", reqA)
+	if got := rr.Header().Get("X-HMS-Cache"); got != cacheMiss {
+		t.Fatalf("evicted key served as %q, want miss", got)
+	}
+	if runs := m.runs.Load(); runs != 3 {
+		t.Fatalf("%d profiling runs, want 3", runs)
+	}
+	if counterVal(s, obs.MetricServiceCacheEvictionsTotal) == 0 {
+		t.Fatal("eviction counter not incremented")
+	}
+}
+
+func TestRankKeyShape(t *testing.T) {
+	a := RankKey(&RankRequest{Arch: "k80", Kernel: "fft", Scale: 1})
+	b := RankKey(&RankRequest{Arch: "k80", Kernel: "fft", Scale: 1, TimeoutMS: 500})
+	if a != b {
+		t.Fatal("timeout_ms must not be part of the cache key")
+	}
+	c := RankKey(&RankRequest{Arch: "k80", Kernel: "fft", Scale: 1, TopK: 1})
+	if a == c {
+		t.Fatal("top_k must be part of the cache key")
+	}
+}

@@ -1,0 +1,203 @@
+package service
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+
+	"gpuhms/internal/hmserr"
+)
+
+// Request-hardening limits. A public endpoint sees hostile bodies; these
+// bounds keep a single request from allocating unbounded traces or spinning
+// forever, and are enforced at decode time so the worker pool only ever sees
+// sane work.
+const (
+	// MaxBodyBytes caps a request body.
+	MaxBodyBytes = 1 << 20
+	// MaxScale caps the workload scale factor: trace size grows linearly
+	// with scale, so this bounds per-request memory.
+	MaxScale = 64
+	// MaxSpecLen caps a placement spec string.
+	MaxSpecLen = 4096
+	// MaxTopK caps the kept ranking length.
+	MaxTopK = 100000
+	// MaxTimeoutMS caps the client-requested search deadline (10 minutes).
+	MaxTimeoutMS = 600000
+)
+
+// Service-level error classes, alongside the hmserr taxonomy. Handlers map
+// them (and the hmserr sentinels, and context errors) onto HTTP statuses
+// with statusOf; see docs/SERVICE.md for the full table.
+var (
+	// ErrBadRequest: the body is not valid JSON or a field is out of range.
+	ErrBadRequest = errors.New("bad request")
+	// ErrUnknownKernel: the named workload is not registered.
+	ErrUnknownKernel = errors.New("unknown kernel")
+	// ErrUnknownArch: the named architecture has no warm advisor.
+	ErrUnknownArch = errors.New("unknown architecture")
+	// ErrQueueFull: the worker queue is at capacity (backpressure; 429).
+	ErrQueueFull = errors.New("queue full")
+	// ErrShuttingDown: the server is draining and accepts no new work.
+	ErrShuttingDown = errors.New("server shutting down")
+)
+
+// StatusClientClosedRequest is the non-standard 499 status (nginx lineage)
+// for requests whose client went away before the advisor finished.
+const StatusClientClosedRequest = 499
+
+// badf builds an ErrBadRequest with detail.
+func badf(format string, args ...any) error {
+	return fmt.Errorf("%w: "+format, append([]any{ErrBadRequest}, args...)...)
+}
+
+// decodeJSON unmarshals a bounded body into dst, folding every failure mode
+// (oversize, syntax, wrong types) into ErrBadRequest.
+func decodeJSON(data []byte, dst any) error {
+	if len(data) == 0 {
+		return badf("empty body")
+	}
+	if err := json.Unmarshal(data, dst); err != nil {
+		return badf("%v", err)
+	}
+	return nil
+}
+
+// DecodeRankRequest parses and validates a /v1/rank body. It is the fuzzed
+// surface of the service (FuzzDecodeRankRequest): on any input it either
+// returns a request whose fields are within the limits above, or an error
+// wrapping ErrBadRequest — it never panics, and a handler never turns its
+// error into a 5xx. Kernel and architecture existence are checked later,
+// against the server's registry.
+func DecodeRankRequest(data []byte) (*RankRequest, error) {
+	var req RankRequest
+	if err := decodeJSON(data, &req); err != nil {
+		return nil, err
+	}
+	if req.Kernel == "" {
+		return nil, badf("missing kernel")
+	}
+	if req.Scale == 0 {
+		req.Scale = 1
+	}
+	if err := validateCommon(req.Arch, req.Kernel, req.Scale, req.Sample, req.TimeoutMS); err != nil {
+		return nil, err
+	}
+	if req.TopK < 0 || req.TopK > MaxTopK {
+		return nil, badf("top_k %d out of [0,%d]", req.TopK, MaxTopK)
+	}
+	if req.MaxCandidates < 0 {
+		return nil, badf("negative max_candidates %d", req.MaxCandidates)
+	}
+	return &req, nil
+}
+
+// DecodePredictRequest parses and validates a /v1/predict body under the
+// same contract as DecodeRankRequest.
+func DecodePredictRequest(data []byte) (*PredictRequest, error) {
+	var req PredictRequest
+	if err := decodeJSON(data, &req); err != nil {
+		return nil, err
+	}
+	if req.Kernel == "" {
+		return nil, badf("missing kernel")
+	}
+	if req.Target == "" {
+		return nil, badf("missing target placement")
+	}
+	if len(req.Target) > MaxSpecLen {
+		return nil, badf("target spec longer than %d bytes", MaxSpecLen)
+	}
+	if req.Scale == 0 {
+		req.Scale = 1
+	}
+	if err := validateCommon(req.Arch, req.Kernel, req.Scale, req.Sample, req.TimeoutMS); err != nil {
+		return nil, err
+	}
+	return &req, nil
+}
+
+// validateCommon screens the fields shared by rank and predict requests.
+func validateCommon(arch, kernel string, scale int, sample string, timeoutMS int) error {
+	if len(kernel) > 256 {
+		return badf("kernel name longer than 256 bytes")
+	}
+	if len(arch) > 64 {
+		return badf("arch name longer than 64 bytes")
+	}
+	if scale < 1 || scale > MaxScale {
+		return badf("scale %d out of [1,%d]", scale, MaxScale)
+	}
+	if len(sample) > MaxSpecLen {
+		return badf("sample spec longer than %d bytes", MaxSpecLen)
+	}
+	if timeoutMS < 0 || timeoutMS > MaxTimeoutMS {
+		return badf("timeout_ms %d out of [0,%d]", timeoutMS, MaxTimeoutMS)
+	}
+	return nil
+}
+
+// statusOf maps the error taxonomy onto HTTP statuses:
+//
+//	ErrBadRequest, ErrIllegalPlacement,
+//	ErrInvalidTrace, ErrInvalidProfile  → 400 Bad Request
+//	ErrUnknownKernel, ErrUnknownArch    → 404 Not Found
+//	ErrQueueFull                        → 429 Too Many Requests
+//	context.Canceled                    → 499 Client Closed Request
+//	ErrShuttingDown                     → 503 Service Unavailable
+//	context.DeadlineExceeded            → 504 Gateway Timeout
+//	anything else                       → 500 Internal Server Error
+//
+// ErrBudgetExceeded never reaches this map: a budget-stopped search is a
+// successful partial result (206), assembled by the rank handler.
+func statusOf(err error) int {
+	switch {
+	case errors.Is(err, ErrBadRequest),
+		errors.Is(err, hmserr.ErrIllegalPlacement),
+		errors.Is(err, hmserr.ErrInvalidTrace),
+		errors.Is(err, hmserr.ErrInvalidProfile):
+		return http.StatusBadRequest
+	case errors.Is(err, ErrUnknownKernel), errors.Is(err, ErrUnknownArch):
+		return http.StatusNotFound
+	case errors.Is(err, ErrQueueFull):
+		return http.StatusTooManyRequests
+	case errors.Is(err, context.Canceled):
+		return StatusClientClosedRequest
+	case errors.Is(err, ErrShuttingDown):
+		return http.StatusServiceUnavailable
+	case errors.Is(err, context.DeadlineExceeded):
+		return http.StatusGatewayTimeout
+	default:
+		return http.StatusInternalServerError
+	}
+}
+
+// codeOf names the error class for the machine-readable ErrorResponse.Code.
+func codeOf(err error) string {
+	switch {
+	case errors.Is(err, ErrUnknownKernel):
+		return "unknown_kernel"
+	case errors.Is(err, ErrUnknownArch):
+		return "unknown_arch"
+	case errors.Is(err, ErrBadRequest):
+		return "bad_request"
+	case errors.Is(err, hmserr.ErrIllegalPlacement):
+		return "illegal_placement"
+	case errors.Is(err, hmserr.ErrInvalidTrace):
+		return "invalid_trace"
+	case errors.Is(err, hmserr.ErrInvalidProfile):
+		return "invalid_profile"
+	case errors.Is(err, ErrQueueFull):
+		return "queue_full"
+	case errors.Is(err, ErrShuttingDown):
+		return "shutting_down"
+	case errors.Is(err, context.Canceled):
+		return "canceled"
+	case errors.Is(err, context.DeadlineExceeded):
+		return "deadline"
+	default:
+		return "internal"
+	}
+}

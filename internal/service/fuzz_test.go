@@ -1,0 +1,106 @@
+package service
+
+import (
+	"errors"
+	"strings"
+	"testing"
+)
+
+// hostileRankBodies are the adversarial seeds: oversized scales, unknown
+// kernels, malformed placement specs, negative budgets, wrong JSON types,
+// and syntactic garbage. Shared by the fuzzer and the end-to-end 4xx test.
+var hostileRankBodies = []string{
+	``,
+	`{`,
+	`null`,
+	`[]`,
+	`"rank"`,
+	`{}`,
+	`{"kernel":""}`,
+	`{"kernel":"fft","scale":2147483647}`,
+	`{"kernel":"fft","scale":-1}`,
+	`{"kernel":"no-such-kernel"}`,
+	`{"kernel":"fft","sample":"smem:Q"}`,
+	`{"kernel":"fft","sample":"not-a-spec"}`,
+	`{"kernel":"fft","sample":":::"}`,
+	`{"kernel":"fft","max_candidates":-7}`,
+	`{"kernel":"fft","top_k":-1}`,
+	`{"kernel":"fft","top_k":99999999}`,
+	`{"kernel":"fft","timeout_ms":-50}`,
+	`{"kernel":"fft","timeout_ms":99999999}`,
+	`{"kernel":"fft","scale":"big"}`,
+	`{"kernel":42}`,
+	`{"kernel":"` + strings.Repeat("K", 10000) + `"}`,
+	`{"kernel":"fft","sample":"` + strings.Repeat("a:G,", 5000) + `"}`,
+	`{"kernel":"fft","arch":"` + strings.Repeat("x", 1000) + `"}`,
+}
+
+// FuzzDecodeRankRequest asserts the decode surface never panics and that
+// any accepted request is within the hardening limits — hostile bodies
+// become ErrBadRequest (a 400), never a 5xx or a crash.
+func FuzzDecodeRankRequest(f *testing.F) {
+	for _, seed := range hostileRankBodies {
+		f.Add([]byte(seed))
+	}
+	f.Add([]byte(`{"kernel":"fft","scale":2,"top_k":3,"max_candidates":10,"timeout_ms":1000}`))
+	f.Add([]byte(`{"kernel":"fft","unknown_field":true}`))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		req, err := DecodeRankRequest(data)
+		if err != nil {
+			if !errors.Is(err, ErrBadRequest) {
+				t.Fatalf("decode error %v does not wrap ErrBadRequest", err)
+			}
+			return
+		}
+		// Accepted requests must be within the hardening limits.
+		if req.Kernel == "" || len(req.Kernel) > 256 {
+			t.Fatalf("accepted kernel %q", req.Kernel)
+		}
+		if req.Scale < 1 || req.Scale > MaxScale {
+			t.Fatalf("accepted scale %d", req.Scale)
+		}
+		if len(req.Sample) > MaxSpecLen || len(req.Arch) > 64 {
+			t.Fatal("accepted oversized spec")
+		}
+		if req.TopK < 0 || req.TopK > MaxTopK || req.MaxCandidates < 0 {
+			t.Fatalf("accepted options k=%d c=%d", req.TopK, req.MaxCandidates)
+		}
+		if req.TimeoutMS < 0 || req.TimeoutMS > MaxTimeoutMS {
+			t.Fatalf("accepted timeout %d", req.TimeoutMS)
+		}
+	})
+}
+
+func FuzzDecodePredictRequest(f *testing.F) {
+	for _, seed := range hostileRankBodies {
+		f.Add([]byte(seed))
+	}
+	f.Add([]byte(`{"kernel":"fft","target":"smem:G"}`))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		req, err := DecodePredictRequest(data)
+		if err != nil {
+			if !errors.Is(err, ErrBadRequest) {
+				t.Fatalf("decode error %v does not wrap ErrBadRequest", err)
+			}
+			return
+		}
+		if req.Kernel == "" || req.Target == "" {
+			t.Fatal("accepted request without kernel/target")
+		}
+	})
+}
+
+// TestHostileBodiesNever5xx drives every hostile seed through the real
+// handler stack: each must map to a 4xx — never a panic, never a 5xx.
+func TestHostileBodiesNever5xx(t *testing.T) {
+	s := newTestServer(t, Options{})
+	for i, body := range hostileRankBodies {
+		for _, path := range []string{"/v1/rank", "/v1/predict"} {
+			rr := doJSON(t, s, "POST", path, body)
+			if rr.Code < 400 || rr.Code >= 500 {
+				t.Errorf("seed %d on %s: status %d (want 4xx): %.120s",
+					i, path, rr.Code, rr.Body.String())
+			}
+		}
+	}
+}

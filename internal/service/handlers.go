@@ -1,0 +1,203 @@
+package service
+
+import (
+	"encoding/json"
+	"io"
+	"net/http"
+	"strconv"
+	"time"
+
+	"gpuhms/internal/kernels"
+	"gpuhms/internal/obs"
+)
+
+// Handler returns the service's HTTP API:
+//
+//	POST /v1/rank     rank the legal placements of a kernel (cached)
+//	POST /v1/predict  predict one target placement
+//	GET  /v1/kernels  list the bundled workloads
+//	GET  /healthz     liveness + warm architectures
+//	GET  /metrics     Prometheus text exposition of the obs registry
+//
+// Every response body is JSON; non-2xx bodies are ErrorResponse. See
+// docs/SERVICE.md for the status-code mapping.
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /v1/rank", s.instrument(s.handleRank))
+	mux.HandleFunc("POST /v1/predict", s.instrument(s.handlePredict))
+	mux.HandleFunc("GET /v1/kernels", s.instrument(s.handleKernels))
+	mux.HandleFunc("GET /healthz", s.handleHealthz)
+	mux.HandleFunc("GET /metrics", s.handleMetrics)
+	return mux
+}
+
+// instrument wraps a handler with the request counter and the
+// whole-request latency histogram, and counts 5xx outcomes.
+func (s *Server) instrument(h func(http.ResponseWriter, *http.Request) int) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		start := time.Now()
+		s.col.Add(obs.MetricServiceRequestsTotal, 1)
+		status := h(w, r)
+		s.col.Observe(obs.MetricServiceRequestNS, float64(time.Since(start).Nanoseconds()))
+		// 503/504/499 are flow-control outcomes (shedding, deadlines,
+		// departed clients); only genuine server faults count as errors.
+		if status == http.StatusInternalServerError {
+			s.col.Add(obs.MetricServiceErrorsTotal, 1)
+		}
+	}
+}
+
+// writeJSON writes one JSON response. The encoding of a given value is
+// deterministic, so cached rank responses stay byte-identical to the
+// search that produced them.
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	enc := json.NewEncoder(w)
+	_ = enc.Encode(v)
+}
+
+// writeError maps err onto its status (attaching backpressure headers) and
+// writes the ErrorResponse body. It returns the status for instrumentation.
+func (s *Server) writeError(w http.ResponseWriter, err error) int {
+	status := statusOf(err)
+	if status == http.StatusTooManyRequests {
+		s.col.Add(obs.MetricServiceRejectedTotal, 1)
+		w.Header().Set("Retry-After", strconv.Itoa(s.opt.RetryAfter))
+	}
+	writeJSON(w, status, ErrorResponse{Error: err.Error(), Code: codeOf(err)})
+	return status
+}
+
+// readBody drains a bounded request body.
+func readBody(w http.ResponseWriter, r *http.Request) ([]byte, error) {
+	body, err := io.ReadAll(http.MaxBytesReader(w, r.Body, MaxBodyBytes))
+	if err != nil {
+		return nil, badf("reading body: %v", err)
+	}
+	return body, nil
+}
+
+// handleRank serves POST /v1/rank: decode → advisor lookup → cache /
+// singleflight / pool → 200 (or 206 for a budget-limited partial ranking).
+func (s *Server) handleRank(w http.ResponseWriter, r *http.Request) int {
+	body, err := readBody(w, r)
+	if err != nil {
+		return s.writeError(w, err)
+	}
+	req, err := DecodeRankRequest(body)
+	if err != nil {
+		return s.writeError(w, err)
+	}
+	adv, arch, err := s.advisorFor(req.Arch)
+	if err != nil {
+		return s.writeError(w, err)
+	}
+	req.Arch = arch // normalize before keying the cache
+	if _, ok := kernels.Get(req.Kernel); !ok {
+		return s.writeError(w, badKernel(req.Kernel))
+	}
+	resp, outcome, err := s.doRank(r.Context(), adv, req)
+	if err != nil {
+		return s.writeError(w, err)
+	}
+	w.Header().Set("X-HMS-Cache", outcome)
+	status := http.StatusOK
+	if resp.Partial {
+		status = http.StatusPartialContent
+	}
+	writeJSON(w, status, resp)
+	return status
+}
+
+// badKernel wraps an unknown kernel name.
+func badKernel(name string) error {
+	return &unknownKernelError{name: name}
+}
+
+// unknownKernelError carries the name while wrapping ErrUnknownKernel.
+type unknownKernelError struct{ name string }
+
+func (e *unknownKernelError) Error() string { return ErrUnknownKernel.Error() + ": " + e.name }
+func (e *unknownKernelError) Unwrap() error { return ErrUnknownKernel }
+
+// handlePredict serves POST /v1/predict through the worker pool (no
+// cache: a single prediction is dominated by the sample profiling run,
+// which repeats per request by design — rank with top_k=1 for the cached
+// path).
+func (s *Server) handlePredict(w http.ResponseWriter, r *http.Request) int {
+	body, err := readBody(w, r)
+	if err != nil {
+		return s.writeError(w, err)
+	}
+	req, err := DecodePredictRequest(body)
+	if err != nil {
+		return s.writeError(w, err)
+	}
+	adv, arch, err := s.advisorFor(req.Arch)
+	if err != nil {
+		return s.writeError(w, err)
+	}
+	req.Arch = arch
+	type result struct {
+		resp *PredictResponse
+		err  error
+	}
+	ch := make(chan result, 1) // buffered: the worker never blocks on an absent reader
+	searchCtx, cancelSearch := s.searchContext(req.TimeoutMS)
+	if err := s.pool.Submit(func() {
+		defer cancelSearch()
+		resp, err := s.runPredict(searchCtx, adv, req)
+		ch <- result{resp, err}
+	}); err != nil {
+		cancelSearch()
+		return s.writeError(w, err)
+	}
+	select {
+	case res := <-ch:
+		if res.err != nil {
+			return s.writeError(w, res.err)
+		}
+		writeJSON(w, http.StatusOK, res.resp)
+		return http.StatusOK
+	case <-r.Context().Done():
+		return s.writeError(w, r.Context().Err())
+	}
+}
+
+// handleKernels serves GET /v1/kernels.
+func (s *Server) handleKernels(w http.ResponseWriter, r *http.Request) int {
+	resp := KernelsResponse{}
+	for _, name := range kernels.Names() {
+		spec := kernels.MustGet(name)
+		resp.Kernels = append(resp.Kernels, KernelInfo{
+			Name:        spec.Name,
+			Suite:       spec.Suite,
+			KernelName:  spec.KernelName,
+			Sample:      spec.Sample,
+			Description: spec.Description,
+		})
+	}
+	writeJSON(w, http.StatusOK, resp)
+	return http.StatusOK
+}
+
+// handleHealthz serves GET /healthz.
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, HealthResponse{
+		Status:  "ok",
+		Archs:   s.archs,
+		UptimeS: time.Since(s.start).Seconds(),
+	})
+}
+
+// handleMetrics serves GET /metrics in the Prometheus text format.
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	_ = s.col.WriteMetricsText(w)
+}
+
+// ServeHTTP makes *Server an http.Handler directly.
+func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	s.Handler().ServeHTTP(w, r)
+}

@@ -1,0 +1,108 @@
+package service
+
+import (
+	"sync"
+	"time"
+
+	"gpuhms/internal/obs"
+)
+
+// poolJob is one queued unit of work.
+type poolJob struct {
+	run      func()
+	enqueued time.Time
+}
+
+// Pool is a bounded worker pool with an explicit queue: Submit never
+// blocks — when the queue is full it returns ErrQueueFull, which the
+// handlers surface as 429 with Retry-After (load shedding instead of
+// unbounded goroutine growth). The pool reports queue depth and in-flight
+// gauges and a queue-wait histogram through the service metric names in
+// internal/obs.
+type Pool struct {
+	rec   obs.Recorder
+	queue chan poolJob
+	wg    sync.WaitGroup
+
+	mu     sync.Mutex
+	closed bool
+
+	inflightMu sync.Mutex
+	inflight   int
+}
+
+// NewPool starts workers goroutines consuming a queue of queueCap pending
+// jobs (queueCap 0 means Submit succeeds only when a worker is free to take
+// the job soon; the channel still needs one slot per handoff, so a minimum
+// capacity of 1 is used).
+func NewPool(workers, queueCap int, rec obs.Recorder) *Pool {
+	if workers < 1 {
+		workers = 1
+	}
+	if queueCap < 1 {
+		queueCap = 1
+	}
+	p := &Pool{rec: obs.OrNop(rec), queue: make(chan poolJob, queueCap)}
+	p.wg.Add(workers)
+	for i := 0; i < workers; i++ {
+		go p.worker()
+	}
+	return p
+}
+
+// Submit enqueues a job. It returns ErrQueueFull when the queue is at
+// capacity and ErrShuttingDown after Close.
+func (p *Pool) Submit(run func()) error {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if p.closed {
+		return ErrShuttingDown
+	}
+	select {
+	case p.queue <- poolJob{run: run, enqueued: time.Now()}:
+		p.rec.Gauge(obs.MetricServiceQueueDepth, float64(len(p.queue)))
+		return nil
+	default:
+		return ErrQueueFull
+	}
+}
+
+// worker drains the queue until Close.
+func (p *Pool) worker() {
+	defer p.wg.Done()
+	for job := range p.queue {
+		if p.rec.Enabled() {
+			p.rec.Observe(obs.MetricServiceQueueWaitNS, float64(time.Since(job.enqueued).Nanoseconds()))
+			p.rec.Gauge(obs.MetricServiceQueueDepth, float64(len(p.queue)))
+		}
+		p.setInflight(+1)
+		job.run()
+		p.setInflight(-1)
+	}
+}
+
+// setInflight adjusts the running-jobs gauge.
+func (p *Pool) setInflight(d int) {
+	p.inflightMu.Lock()
+	p.inflight += d
+	n := p.inflight
+	p.inflightMu.Unlock()
+	p.rec.Gauge(obs.MetricServiceInflight, float64(n))
+}
+
+// QueueDepth reports the currently queued (not yet running) jobs.
+func (p *Pool) QueueDepth() int { return len(p.queue) }
+
+// Close stops accepting jobs, lets the workers drain what is already
+// queued, and returns when every worker has exited. Callers that need a
+// faster drain cancel the context their jobs run under before (or while)
+// calling Close.
+func (p *Pool) Close() {
+	p.mu.Lock()
+	if !p.closed {
+		p.closed = true
+		close(p.queue)
+	}
+	p.mu.Unlock()
+	p.wg.Wait()
+}

@@ -1,0 +1,77 @@
+package service
+
+import (
+	"errors"
+	"sync"
+	"sync/atomic"
+	"testing"
+)
+
+func TestPoolRunsJobs(t *testing.T) {
+	p := NewPool(4, 8, nil)
+	defer p.Close()
+	var done atomic.Int64
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		if err := p.Submit(func() { done.Add(1); wg.Done() }); err != nil {
+			t.Fatal(err)
+		}
+	}
+	wg.Wait()
+	if done.Load() != 8 {
+		t.Fatalf("%d jobs ran, want 8", done.Load())
+	}
+}
+
+func TestPoolQueueFull(t *testing.T) {
+	p := NewPool(1, 1, nil)
+	block := make(chan struct{})
+	started := make(chan struct{})
+	// Occupy the worker...
+	if err := p.Submit(func() { close(started); <-block }); err != nil {
+		t.Fatal(err)
+	}
+	<-started
+	// ...and the queue slot.
+	if err := p.Submit(func() {}); err != nil {
+		t.Fatal(err)
+	}
+	// The next job is shed.
+	if err := p.Submit(func() {}); !errors.Is(err, ErrQueueFull) {
+		t.Fatalf("err = %v, want ErrQueueFull", err)
+	}
+	close(block)
+	p.Close()
+}
+
+// TestPoolCloseDrains verifies Close waits for queued jobs to finish.
+func TestPoolCloseDrains(t *testing.T) {
+	p := NewPool(1, 4, nil)
+	var done atomic.Int64
+	for i := 0; i < 4; i++ {
+		if err := p.Submit(func() { done.Add(1) }); err != nil {
+			t.Fatal(err)
+		}
+	}
+	p.Close()
+	if done.Load() != 4 {
+		t.Fatalf("Close returned with %d of 4 jobs done", done.Load())
+	}
+	if err := p.Submit(func() {}); !errors.Is(err, ErrShuttingDown) {
+		t.Fatalf("post-Close Submit err = %v, want ErrShuttingDown", err)
+	}
+}
+
+// TestPoolCloseIdempotent guards the Close/Close and Close/Submit races.
+func TestPoolCloseIdempotent(t *testing.T) {
+	p := NewPool(2, 2, nil)
+	var wg sync.WaitGroup
+	for i := 0; i < 4; i++ {
+		wg.Add(1)
+		go func() { defer wg.Done(); p.Close() }()
+		wg.Add(1)
+		go func() { defer wg.Done(); _ = p.Submit(func() {}) }()
+	}
+	wg.Wait()
+}

@@ -1,0 +1,333 @@
+package service
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"runtime"
+	"sort"
+	"time"
+
+	"gpuhms/internal/advisor"
+	"gpuhms/internal/hmserr"
+	"gpuhms/internal/kernels"
+	"gpuhms/internal/obs"
+	"gpuhms/internal/placement"
+	"gpuhms/internal/trace"
+)
+
+// Options configures a Server. The zero value gets sensible defaults.
+type Options struct {
+	// Workers is the number of concurrent searches (default GOMAXPROCS).
+	Workers int
+	// QueueCap is the pending-request queue; a full queue sheds load with
+	// 429 (default 64).
+	QueueCap int
+	// CacheCap is the LRU result-cache capacity in responses (default 256;
+	// negative disables caching but keeps singleflight).
+	CacheCap int
+	// DefaultTimeout bounds a search's wall clock when the request carries
+	// no timeout_ms (default 60s; negative means unlimited).
+	DefaultTimeout time.Duration
+	// RetryAfter is the Retry-After value (seconds) sent with 429 (default 1).
+	RetryAfter int
+}
+
+// withDefaults fills unset options.
+func (o Options) withDefaults() Options {
+	if o.Workers == 0 {
+		o.Workers = runtime.GOMAXPROCS(0)
+	}
+	if o.QueueCap == 0 {
+		o.QueueCap = 64
+	}
+	if o.CacheCap == 0 {
+		o.CacheCap = 256
+	}
+	if o.DefaultTimeout == 0 {
+		o.DefaultTimeout = 60 * time.Second
+	}
+	if o.RetryAfter == 0 {
+		o.RetryAfter = 1
+	}
+	return o
+}
+
+// Server is the placement-advisory service: warm trained Advisors (one per
+// architecture name) behind a worker pool, an LRU result cache with
+// singleflight, and the HTTP API of docs/SERVICE.md. Construct with New,
+// expose Handler(), and stop with Shutdown.
+type Server struct {
+	advisors map[string]*advisor.Advisor
+	archs    []string // sorted advisor keys
+	opt      Options
+	col      *obs.Collector
+	pool     *Pool
+	cache    *Cache
+	start    time.Time
+
+	// baseCtx parents every search; cancel aborts all in-flight work
+	// (the forced-drain path of Shutdown).
+	baseCtx context.Context
+	cancel  context.CancelFunc
+}
+
+// New builds a server over trained advisors keyed by architecture name
+// ("k80", "fermi"). The collector backs GET /metrics and all service
+// telemetry; nil creates a private one. Advisors must not be mutated after
+// New.
+func New(advisors map[string]*advisor.Advisor, opt Options, col *obs.Collector) (*Server, error) {
+	if len(advisors) == 0 {
+		return nil, fmt.Errorf("service: no advisors")
+	}
+	if col == nil {
+		col = obs.NewCollector()
+	}
+	obs.RegisterServiceMetrics(col.Registry())
+	opt = opt.withDefaults()
+	archs := make([]string, 0, len(advisors))
+	for name, adv := range advisors {
+		if adv == nil || adv.Cfg == nil || adv.Model == nil {
+			return nil, fmt.Errorf("service: advisor %q is not initialized", name)
+		}
+		archs = append(archs, name)
+	}
+	sort.Strings(archs)
+	ctx, cancel := context.WithCancel(context.Background())
+	return &Server{
+		advisors: advisors,
+		archs:    archs,
+		opt:      opt,
+		col:      col,
+		pool:     NewPool(opt.Workers, opt.QueueCap, col),
+		cache:    NewCache(opt.CacheCap, col),
+		start:    time.Now(),
+		baseCtx:  ctx,
+		cancel:   cancel,
+	}, nil
+}
+
+// Collector exposes the server's telemetry (the /metrics backing store).
+func (s *Server) Collector() *obs.Collector { return s.col }
+
+// advisorFor resolves an architecture name ("" defaults to "k80" when
+// warm, else the only/first advisor).
+func (s *Server) advisorFor(arch string) (*advisor.Advisor, string, error) {
+	if arch == "" {
+		if _, ok := s.advisors["k80"]; ok {
+			arch = "k80"
+		} else {
+			arch = s.archs[0]
+		}
+	}
+	adv, ok := s.advisors[arch]
+	if !ok {
+		return nil, arch, fmt.Errorf("%w: %q (have %v)", ErrUnknownArch, arch, s.archs)
+	}
+	return adv, arch, nil
+}
+
+// searchContext derives the context a search runs under: a child of the
+// server's base context (so Shutdown can abort it), bounded by the
+// client-requested timeout or the server default.
+func (s *Server) searchContext(timeoutMS int) (context.Context, context.CancelFunc) {
+	d := s.opt.DefaultTimeout
+	if timeoutMS > 0 {
+		d = time.Duration(timeoutMS) * time.Millisecond
+	}
+	if d > 0 {
+		return context.WithTimeout(s.baseCtx, d)
+	}
+	return context.WithCancel(s.baseCtx)
+}
+
+// Cache outcomes for the X-HMS-Cache response header.
+const (
+	cacheHit    = "hit"    // served from the LRU cache
+	cacheMiss   = "miss"   // this request led the search
+	cacheShared = "shared" // joined an identical search in flight
+)
+
+// doRank serves one rank request through the cache, singleflight, and the
+// worker pool. The search runs detached from the caller: it is bounded by
+// the search context (server base + request timeout), not by the caller's
+// presence, so a client that gives up waiting does not waste the work — the
+// result still lands in the cache. The caller's reqCtx only bounds the
+// wait: when it fires first, the mapped error (499/504) is returned while
+// the flight completes behind the scenes.
+func (s *Server) doRank(reqCtx context.Context, adv *advisor.Advisor, req *RankRequest) (*RankResponse, string, error) {
+	key := RankKey(req)
+	resp, fl, leader := s.cache.Begin(key)
+	outcome := cacheShared
+	switch {
+	case resp != nil:
+		s.col.Add(obs.MetricServiceCacheHitsTotal, 1)
+		return resp, cacheHit, nil
+	case leader:
+		outcome = cacheMiss
+		s.col.Add(obs.MetricServiceCacheMissesTotal, 1)
+		searchCtx, cancelSearch := s.searchContext(req.TimeoutMS)
+		err := s.pool.Submit(func() {
+			defer cancelSearch()
+			resp, err := s.runRank(searchCtx, adv, req)
+			s.cache.Complete(key, resp, err)
+		})
+		if err != nil {
+			// The queue rejected the job: complete the flight so every
+			// waiter sheds with the same backpressure error.
+			cancelSearch()
+			s.cache.Complete(key, nil, err)
+		}
+	default:
+		s.col.Add(obs.MetricServiceSingleflightSharedTotal, 1)
+	}
+	select {
+	case <-fl.done:
+		return fl.resp, outcome, fl.err
+	case <-reqCtx.Done():
+		return nil, outcome, reqCtx.Err()
+	}
+}
+
+// runRank executes one ranking search on a worker.
+func (s *Server) runRank(ctx context.Context, adv *advisor.Advisor, req *RankRequest) (*RankResponse, error) {
+	s.col.Add(obs.MetricServiceSearchesTotal, 1)
+	tr, sample, err := s.resolve(adv, req.Kernel, req.Scale, req.Sample)
+	if err != nil {
+		return nil, err
+	}
+	ranked, err := adv.RankContext(ctx, tr, sample, advisor.RankOptions{
+		TopK:          req.TopK,
+		MaxCandidates: req.MaxCandidates,
+	})
+	resp := &RankResponse{
+		Arch:   req.Arch,
+		Kernel: req.Kernel,
+		Scale:  req.Scale,
+		Sample: sample.Format(tr),
+	}
+	if err != nil {
+		var budget *hmserr.BudgetError
+		switch {
+		case errors.As(err, &budget):
+			resp.Partial = true
+			resp.Coverage = &Coverage{Evaluated: budget.Evaluated, Total: budget.Total}
+		case errors.Is(err, hmserr.ErrBudgetExceeded):
+			resp.Partial = true
+		default:
+			return nil, err
+		}
+	}
+	resp.Ranked = BuildRanked(tr, sample, ranked)
+	return resp, nil
+}
+
+// runPredict executes one single-placement prediction on a worker.
+func (s *Server) runPredict(ctx context.Context, adv *advisor.Advisor, req *PredictRequest) (*PredictResponse, error) {
+	tr, sample, err := s.resolve(adv, req.Kernel, req.Scale, req.Sample)
+	if err != nil {
+		return nil, err
+	}
+	target, err := placement.Parse(tr, req.Target)
+	if err != nil {
+		return nil, err
+	}
+	if err := placement.Check(tr, target, adv.Cfg); err != nil {
+		return nil, err
+	}
+	pr, err := adv.PredictorContext(ctx, tr, sample)
+	if err != nil {
+		return nil, err
+	}
+	p, err := pr.Predict(target)
+	if err != nil {
+		return nil, err
+	}
+	return &PredictResponse{
+		Arch:        req.Arch,
+		Kernel:      req.Kernel,
+		Scale:       req.Scale,
+		Sample:      sample.Format(tr),
+		Target:      target.Format(tr),
+		PredictedNS: p.TimeNS,
+	}, nil
+}
+
+// resolve turns (kernel, scale, sample spec) into a generated trace and a
+// checked sample placement.
+func (s *Server) resolve(adv *advisor.Advisor, kernel string, scale int, sampleSpec string) (*trace.Trace, *placement.Placement, error) {
+	spec, ok := kernels.Get(kernel)
+	if !ok {
+		return nil, nil, fmt.Errorf("%w: %q", ErrUnknownKernel, kernel)
+	}
+	tr := spec.Trace(scale)
+	var sample *placement.Placement
+	var err error
+	if sampleSpec != "" {
+		sample, err = placement.Parse(tr, sampleSpec)
+	} else {
+		sample, err = spec.SamplePlacement(tr)
+	}
+	if err != nil {
+		return nil, nil, err
+	}
+	if err := placement.Check(tr, sample, adv.Cfg); err != nil {
+		return nil, nil, err
+	}
+	return tr, sample, nil
+}
+
+// BuildRanked converts an advisor ranking into wire rows, marking the
+// sample placement's own row and computing speedups against its prediction
+// when the sample appears in the ranking. It is shared by the server and
+// `hmsplace -json`, so CLI and service outputs are interchangeable.
+func BuildRanked(tr *trace.Trace, sample *placement.Placement, ranked []advisor.Ranked) []RankedPlacement {
+	sampleNS := 0.0
+	for _, r := range ranked {
+		if r.Placement.Equal(sample) {
+			sampleNS = r.PredictedNS
+			break
+		}
+	}
+	rows := make([]RankedPlacement, len(ranked))
+	for i, r := range ranked {
+		rows[i] = RankedPlacement{
+			Placement:   r.Placement.Format(tr),
+			PredictedNS: r.PredictedNS,
+			IsSample:    r.Placement.Equal(sample),
+		}
+		if sampleNS > 0 && r.PredictedNS > 0 {
+			rows[i].SpeedupVsSample = sampleNS / r.PredictedNS
+		}
+	}
+	return rows
+}
+
+// Shutdown drains the server gracefully: no new work is accepted, queued
+// and running searches are given until ctx expires to finish, then the
+// base context is canceled so the rest abort promptly (their waiters
+// receive the mapped cancellation errors). It returns once every worker
+// has exited; the HTTP listener itself is the caller's to stop first
+// (http.Server.Shutdown in cmd/hmsserved).
+func (s *Server) Shutdown(ctx context.Context) error {
+	done := make(chan struct{})
+	go func() {
+		s.pool.Close()
+		close(done)
+	}()
+	select {
+	case <-done:
+	case <-ctx.Done():
+		s.cancel() // force in-flight searches to abort via context cancellation
+		<-done
+	}
+	s.cancel()
+	return nil
+}
+
+// Close shuts the server down immediately: in-flight searches are
+// canceled, not drained.
+func (s *Server) Close() {
+	s.cancel()
+	s.pool.Close()
+}

@@ -1,0 +1,130 @@
+// Package service implements the placement-advisory HTTP server behind
+// cmd/hmsserved: a JSON API over warm, trained Advisors (one per
+// architecture) with a bounded worker pool, an LRU result cache with
+// singleflight collapsing of concurrent identical searches, structured
+// error → status-code mapping, and graceful shutdown that drains in-flight
+// searches via context cancellation. See docs/SERVICE.md for the protocol.
+package service
+
+// RankRequest is the body of POST /v1/rank: rank the legal placements of a
+// bundled kernel from one profiled sample placement. The zero value of every
+// optional field means "default" (k80, scale 1, the kernel's own sample
+// placement, unbounded search).
+type RankRequest struct {
+	// Arch selects the modeled architecture: "k80" (default) or "fermi".
+	Arch string `json:"arch,omitempty"`
+	// Kernel is the bundled workload name (GET /v1/kernels).
+	Kernel string `json:"kernel"`
+	// Scale is the workload scale factor (default 1, capped at MaxScale).
+	Scale int `json:"scale,omitempty"`
+	// Sample overrides the kernel's sample placement, in "name:space,…"
+	// notation.
+	Sample string `json:"sample,omitempty"`
+	// TopK keeps only the K fastest placements (0 = whole ranking).
+	TopK int `json:"top_k,omitempty"`
+	// MaxCandidates stops the search after that many predictions; the
+	// response is then 206 Partial Content with coverage attached.
+	MaxCandidates int `json:"max_candidates,omitempty"`
+	// TimeoutMS bounds the search wall-clock; an exceeded deadline maps to
+	// 504 Gateway Timeout. 0 uses the server's default timeout.
+	TimeoutMS int `json:"timeout_ms,omitempty"`
+}
+
+// RankedPlacement is one row of a RankResponse.
+type RankedPlacement struct {
+	// Placement is the placement spec in "name:space,…" notation.
+	Placement string `json:"placement"`
+	// PredictedNS is the model's predicted execution time.
+	PredictedNS float64 `json:"predicted_ns"`
+	// IsSample marks the profiled sample placement's own row.
+	IsSample bool `json:"is_sample,omitempty"`
+	// SpeedupVsSample is sample-predicted / this-predicted, when the sample
+	// placement appears in the ranking (0 otherwise).
+	SpeedupVsSample float64 `json:"speedup_vs_sample,omitempty"`
+	// MeasuredNS is the ground-truth simulator time, only filled by
+	// `hmsplace -json -measure` (the server never simulates candidates).
+	MeasuredNS float64 `json:"measured_ns,omitempty"`
+}
+
+// Coverage reports how much of the legal candidate space a partial search
+// predicted before its budget stopped it.
+type Coverage struct {
+	Evaluated int `json:"evaluated"`
+	Total     int `json:"total"`
+}
+
+// RankResponse is the reply of POST /v1/rank and of `hmsplace -json`:
+// candidate placements fastest-first. Responses are deterministic functions
+// of the request (no timestamps), so a cached reply is byte-identical to
+// the search that populated it; freshness is reported out-of-band in the
+// X-HMS-Cache header.
+type RankResponse struct {
+	Arch   string `json:"arch"`
+	Kernel string `json:"kernel"`
+	Scale  int    `json:"scale"`
+	// Sample is the profiled sample placement, formatted.
+	Sample string `json:"sample"`
+	// Ranked lists candidate placements fastest-first.
+	Ranked []RankedPlacement `json:"ranked"`
+	// Partial marks a ranking truncated by MaxCandidates (HTTP 206).
+	Partial bool `json:"partial,omitempty"`
+	// Coverage accompanies Partial with the evaluated/total counts.
+	Coverage *Coverage `json:"coverage,omitempty"`
+}
+
+// PredictRequest is the body of POST /v1/predict: predict one target
+// placement instead of ranking the space.
+type PredictRequest struct {
+	Arch   string `json:"arch,omitempty"`
+	Kernel string `json:"kernel"`
+	Scale  int    `json:"scale,omitempty"`
+	Sample string `json:"sample,omitempty"`
+	// Target is the placement to predict, in "name:space,…" notation
+	// (required).
+	Target    string `json:"target"`
+	TimeoutMS int    `json:"timeout_ms,omitempty"`
+}
+
+// PredictResponse is the reply of POST /v1/predict.
+type PredictResponse struct {
+	Arch        string  `json:"arch"`
+	Kernel      string  `json:"kernel"`
+	Scale       int     `json:"scale"`
+	Sample      string  `json:"sample"`
+	Target      string  `json:"target"`
+	PredictedNS float64 `json:"predicted_ns"`
+}
+
+// KernelInfo is one bundled workload in a KernelsResponse.
+type KernelInfo struct {
+	Name        string `json:"name"`
+	Suite       string `json:"suite"`
+	KernelName  string `json:"kernel_name"`
+	Sample      string `json:"sample,omitempty"`
+	Description string `json:"description"`
+}
+
+// KernelsResponse is the reply of GET /v1/kernels.
+type KernelsResponse struct {
+	Kernels []KernelInfo `json:"kernels"`
+}
+
+// ErrorResponse is the JSON body of every non-2xx reply.
+type ErrorResponse struct {
+	// Error is the human-readable message.
+	Error string `json:"error"`
+	// Code is the machine-readable error class, mirroring the hmserr
+	// taxonomy: "bad_request", "unknown_kernel", "unknown_arch",
+	// "illegal_placement", "invalid_trace", "invalid_profile",
+	// "queue_full", "canceled", "deadline", "internal".
+	Code string `json:"code"`
+}
+
+// HealthResponse is the reply of GET /healthz.
+type HealthResponse struct {
+	Status string `json:"status"`
+	// Archs lists the architectures with a warm advisor.
+	Archs []string `json:"archs"`
+	// UptimeS is seconds since the server started.
+	UptimeS float64 `json:"uptime_s"`
+}

@@ -1,0 +1,23 @@
+#!/bin/sh
+# bench_service.sh — measure the advisory service's cold (full search)
+# versus cached request latency through the complete handler stack and
+# write the BENCH_service.json artifact (n, p50/p99/mean ns, req/s per
+# population, and the cold/cached p50 speedup — asserted >= 10x).
+#
+#   ./scripts/bench_service.sh [output.json]
+#
+# Defaults to BENCH_service.json in the repo root.
+set -eu
+
+cd "$(dirname "$0")/.."
+
+OUT=${1:-"$PWD/BENCH_service.json"}
+case "$OUT" in
+    /*) ;;
+    *) OUT="$PWD/$OUT" ;;
+esac
+
+BENCH_SERVICE_OUT="$OUT" go test ./internal/service/ \
+    -run 'TestBenchServiceArtifact' -count=1 -v
+
+echo "wrote $OUT"

@@ -24,4 +24,33 @@ echo "== obs no-op overhead smoke"
 go test ./internal/sim/ -run 'TestRunContextNopRecorderAddsNoAllocs' -count=1
 go test ./internal/sim/ -run '^$' -bench 'BenchmarkRunContextRecorder' -benchtime 3x -benchmem -count=1
 
+echo "== advisory service smoke"
+# Start hmsserved on an ephemeral port, hit /healthz and /v1/rank, then
+# check SIGTERM drains to a clean exit. Skipped when curl is unavailable.
+if command -v curl >/dev/null 2>&1; then
+    go build -o /tmp/hmsserved.verify ./cmd/hmsserved
+    /tmp/hmsserved.verify -addr 127.0.0.1:0 >/tmp/hmsserved.verify.out 2>&1 &
+    SRV_PID=$!
+    trap 'kill "$SRV_PID" 2>/dev/null || true' EXIT
+    # The banner prints the resolved address once the advisor is trained.
+    ADDR=""
+    for _ in $(seq 1 120); do
+        ADDR=$(sed -n 's/^hmsserved: listening on \([^ ]*\).*/\1/p' /tmp/hmsserved.verify.out)
+        [ -n "$ADDR" ] && break
+        kill -0 "$SRV_PID" 2>/dev/null || { cat /tmp/hmsserved.verify.out; exit 1; }
+        sleep 0.5
+    done
+    [ -n "$ADDR" ] || { echo "verify: hmsserved never came up"; cat /tmp/hmsserved.verify.out; exit 1; }
+    curl -fsS "http://$ADDR/healthz" | grep -q '"status":"ok"'
+    curl -fsS "http://$ADDR/v1/rank" -d '{"kernel":"fft","top_k":3}' | grep -q '"ranked"'
+    kill -TERM "$SRV_PID"
+    wait "$SRV_PID"    # graceful shutdown must exit 0
+    trap - EXIT
+    grep -q "drained, bye" /tmp/hmsserved.verify.out
+    rm -f /tmp/hmsserved.verify /tmp/hmsserved.verify.out
+    echo "service smoke: OK"
+else
+    echo "service smoke: skipped (curl not found)"
+fi
+
 echo "verify: OK"
