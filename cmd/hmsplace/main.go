@@ -10,6 +10,7 @@
 //	hmsplace -kernel md -measure          # also simulate every candidate
 //	hmsplace -kernel fft -sample "smem:S" -target "smem:G"
 //	hmsplace -kernel spmv -full -budget 50 -top 5 -timeout 30s
+//	hmsplace -kernel spmv -full -parallel 8       # 8 ranking workers, same output
 //	hmsplace -kernel matrixMul -full -trace-out run.json -metrics-out metrics.prom -progress
 //	hmsplace -kernel matrixMul -full -json       # the service's RankResponse JSON
 //
@@ -21,9 +22,12 @@
 //
 // Searches are bounded: -timeout aborts profiling and search after a wall
 // clock limit, -budget caps model evaluations, -top keeps only the K best
-// rows. A search stopped by budget or timeout still prints the best
-// placements found so far, under a "partial search" banner, and exits with
-// code 3 so scripts can tell a partial ranking from a complete one.
+// rows. A search stopped by budget (or, outside -full, by timeout) still
+// prints the best placements found so far, under a "partial search" banner,
+// and exits with code 3 so scripts can tell a partial ranking from a
+// complete one. -full fans the ranking out over -parallel workers (default
+// GOMAXPROCS) with output identical to the sequential search; -measure
+// simulates only the rows that end up displayed.
 //
 // Observability (docs/OBSERVABILITY.md): -trace-out writes the session's
 // span timeline as Chrome trace_event JSON, loadable in chrome://tracing or
@@ -43,6 +47,7 @@ import (
 	"io"
 	"log"
 	"os"
+	"runtime"
 	"sort"
 	"strings"
 	"text/tabwriter"
@@ -69,22 +74,23 @@ func main() {
 	log.SetPrefix("hmsplace: ")
 
 	var (
-		list    = flag.Bool("list", false, "list available kernels and exit")
-		kernel  = flag.String("kernel", "", "kernel to optimize (see -list)")
-		sample  = flag.String("sample", "", "sample placement override, e.g. \"a:G,b:T\" (default: the kernel's)")
-		target  = flag.String("target", "", "predict only this placement instead of ranking")
-		full    = flag.Bool("full", false, "rank the full legal placement space instead of single-array moves")
-		greedy  = flag.Bool("greedy", false, "greedy single-array-move search instead of ranking")
-		explain = flag.Bool("explain", false, "print the Eq 1 breakdown of the top-ranked placement")
-		measure = flag.Bool("measure", false, "also run the simulator on every candidate for comparison")
-		scale   = flag.Int("scale", 1, "workload scale factor")
-		arch    = flag.String("arch", "k80", "architecture: k80 or fermi")
-		saveTo  = flag.String("save-model", "", "write the trained model JSON to this file")
-		loadFr  = flag.String("load-model", "", "load a trained model JSON instead of training")
-		timeout = flag.Duration("timeout", 0, "abort profiling and search after this long, e.g. 30s (0 = no limit)")
-		budget  = flag.Int("budget", 0, "stop after this many model evaluations (0 = unlimited)")
-		top     = flag.Int("top", 0, "print only the K best candidates (0 = all)")
-		jsonOut = flag.Bool("json", false, "emit the ranking as the advisory service's JSON RankResponse (docs/SERVICE.md) instead of a table")
+		list     = flag.Bool("list", false, "list available kernels and exit")
+		kernel   = flag.String("kernel", "", "kernel to optimize (see -list)")
+		sample   = flag.String("sample", "", "sample placement override, e.g. \"a:G,b:T\" (default: the kernel's)")
+		target   = flag.String("target", "", "predict only this placement instead of ranking")
+		full     = flag.Bool("full", false, "rank the full legal placement space instead of single-array moves")
+		greedy   = flag.Bool("greedy", false, "greedy single-array-move search instead of ranking")
+		explain  = flag.Bool("explain", false, "print the Eq 1 breakdown of the top-ranked placement")
+		measure  = flag.Bool("measure", false, "also run the simulator on every candidate for comparison")
+		scale    = flag.Int("scale", 1, "workload scale factor")
+		arch     = flag.String("arch", "k80", "architecture: k80 or fermi")
+		saveTo   = flag.String("save-model", "", "write the trained model JSON to this file")
+		loadFr   = flag.String("load-model", "", "load a trained model JSON instead of training")
+		timeout  = flag.Duration("timeout", 0, "abort profiling and search after this long, e.g. 30s (0 = no limit)")
+		budget   = flag.Int("budget", 0, "stop after this many model evaluations (0 = unlimited)")
+		top      = flag.Int("top", 0, "print only the K best candidates (0 = all)")
+		parallel = flag.Int("parallel", 0, "ranking workers for -full (0 = GOMAXPROCS, 1 = sequential); output is identical for every value")
+		jsonOut  = flag.Bool("json", false, "emit the ranking as the advisory service's JSON RankResponse (docs/SERVICE.md) instead of a table")
 
 		traceOut   = flag.String("trace-out", "", "write the span timeline here: Chrome trace_event JSON (Perfetto-loadable), or CSV with a .csv suffix")
 		metricsOut = flag.String("metrics-out", "", "write collected metrics here: Prometheus text, or JSON with a .json suffix")
@@ -330,15 +336,7 @@ func main() {
 			}
 			rec.ReportProgress(obs.Progress{Evaluated: evals, BestNS: bestNS, Best: bestPl})
 		}
-		r := row{pl: pl, predicted: p.TimeNS}
-		if *measure {
-			m, err := ctx.Measure(*kernel, samplePl, pl)
-			if err != nil {
-				log.Fatal(err)
-			}
-			r.measured = m.TimeNS
-		}
-		rows = append(rows, r)
+		rows = append(rows, row{pl: pl, predicted: p.TimeNS})
 		return true
 	}
 	switch {
@@ -349,11 +347,32 @@ func main() {
 		}
 		predictOne(pl)
 	case *full:
-		// Stream the m^n space: with -budget/-top set, memory stays bounded
-		// no matter how many arrays the kernel has.
-		placement.EnumerateSeq(tr, cfg, func(pl *placement.Placement) bool {
-			return predictOne(pl.Clone())
-		})
+		// Rank the m^n space through the parallel engine: workers stream
+		// strided shards of the enumeration, and the merged ranking is
+		// identical for every worker count. The engine emits the eval spans,
+		// best-so-far gauges, and the closing progress report itself.
+		workers := *parallel
+		if workers == 0 {
+			workers = runtime.GOMAXPROCS(0)
+		}
+		ranked, rerr := advisor.RankPredictor(runCtx, cfg, tr, pred,
+			advisor.RankOptions{TopK: *top, MaxCandidates: *budget, Parallelism: workers}, rec)
+		var be *hmserr.BudgetError
+		switch {
+		case rerr == nil:
+			evals = placement.CountLegal(tr, cfg)
+		case errors.As(rerr, &be):
+			stopReason = rerr
+			evals = be.Evaluated
+		case errors.Is(rerr, hmserr.ErrBudgetExceeded):
+			stopReason = rerr
+			evals = len(ranked)
+		default:
+			log.Fatal(rerr)
+		}
+		for _, r := range ranked {
+			rows = append(rows, row{pl: r.Placement, predicted: r.PredictedNS})
+		}
 	default:
 		for _, pl := range append([]*placement.Placement{samplePl},
 			placement.Moves(tr, samplePl, cfg)...) {
@@ -371,9 +390,10 @@ func main() {
 	case *target == "":
 		total = 1 + len(placement.Moves(tr, samplePl, cfg))
 	}
-	if rec.Enabled() {
+	if rec.Enabled() && !*full {
 		// Close out the search progress: report coverage of the candidate
 		// space so partial searches can be judged from the metrics alone.
+		// (-full's closeout is emitted by the ranking engine itself.)
 		rec.Gauge("advisor_rank_evaluated", float64(evals))
 		rec.Gauge("advisor_rank_total", float64(total))
 		rec.ReportProgress(obs.Progress{
@@ -386,9 +406,24 @@ func main() {
 		}
 		log.Fatal("no legal candidate placements")
 	}
-	sort.Slice(rows, func(i, j int) bool { return rows[i].predicted < rows[j].predicted })
-	if *top > 0 && len(rows) > *top {
-		rows = rows[:*top]
+	if !*full {
+		// The engine already returns -full rankings sorted under its
+		// deterministic (predicted, index) order and truncated to -top.
+		sort.Slice(rows, func(i, j int) bool { return rows[i].predicted < rows[j].predicted })
+		if *top > 0 && len(rows) > *top {
+			rows = rows[:*top]
+		}
+	}
+	if *measure {
+		// Measure only the displayed rows — a -top 5 ranking costs 5
+		// simulator runs, not one per enumerated candidate.
+		for i := range rows {
+			m, err := ctx.Measure(*kernel, samplePl, rows[i].pl)
+			if err != nil {
+				log.Fatal(err)
+			}
+			rows[i].measured = m.TimeNS
+		}
 	}
 
 	if *jsonOut {

@@ -8,6 +8,7 @@
 //	hmsserved -addr :9090 -archs k80,fermi
 //	hmsserved -archs k80 -load-model k80.json
 //	hmsserved -workers 8 -queue 128 -cache 512 -timeout 30s
+//	hmsserved -workers 2 -parallel 8         # few requests, big rankings
 //
 // Endpoints (docs/SERVICE.md): POST /v1/rank, POST /v1/predict,
 // GET /v1/kernels, GET /healthz, GET /metrics. Concurrency is bounded by a
@@ -30,8 +31,10 @@ import (
 	"net/http"
 	"os"
 	"os/signal"
+	"runtime"
 	"sort"
 	"strings"
+	"sync"
 	"syscall"
 	"time"
 
@@ -46,14 +49,15 @@ func main() {
 	log.SetPrefix("hmsserved: ")
 
 	var (
-		addr    = flag.String("addr", ":8080", "listen address (host:port; port 0 picks a free port)")
-		archs   = flag.String("archs", "k80", "comma-separated architectures to keep warm: k80, fermi")
-		loadFr  = flag.String("load-model", "", "load a trained model JSON instead of training (single -archs entry only)")
-		workers = flag.Int("workers", 0, "concurrent searches (0 = GOMAXPROCS)")
-		queue   = flag.Int("queue", 64, "pending-request queue capacity (full queue answers 429)")
-		cacheN  = flag.Int("cache", 256, "LRU result-cache capacity in responses (negative disables)")
-		timeout = flag.Duration("timeout", 60*time.Second, "default per-search wall-clock bound when the request has no timeout_ms")
-		drain   = flag.Duration("drain", 10*time.Second, "graceful-shutdown grace for in-flight searches")
+		addr     = flag.String("addr", ":8080", "listen address (host:port; port 0 picks a free port)")
+		archs    = flag.String("archs", "k80", "comma-separated architectures to keep warm: k80, fermi")
+		loadFr   = flag.String("load-model", "", "load a trained model JSON instead of training (single -archs entry only)")
+		workers  = flag.Int("workers", 0, "concurrent searches (0 = GOMAXPROCS)")
+		queue    = flag.Int("queue", 64, "pending-request queue capacity (full queue answers 429)")
+		cacheN   = flag.Int("cache", 256, "LRU result-cache capacity in responses (negative disables)")
+		timeout  = flag.Duration("timeout", 60*time.Second, "default per-search wall-clock bound when the request has no timeout_ms")
+		drain    = flag.Duration("drain", 10*time.Second, "graceful-shutdown grace for in-flight searches")
+		parallel = flag.Int("parallel", 0, "ranking workers per search when the request has no parallelism (0 = NumCPU/workers so the pool never oversubscribes, negative = sequential)")
 	)
 	flag.Parse()
 
@@ -74,6 +78,7 @@ func main() {
 		QueueCap:       *queue,
 		CacheCap:       *cacheN,
 		DefaultTimeout: *timeout,
+		Parallelism:    *parallel,
 	}, col)
 	if err != nil {
 		log.Fatal(err)
@@ -112,46 +117,73 @@ func main() {
 }
 
 // buildAdvisors trains (or loads) one advisor per requested architecture.
+// Training runs are independent, so architectures train concurrently —
+// bounded to NumCPU workers — and multi-arch boot takes roughly as long as
+// the slowest single architecture.
 func buildAdvisors(archList, loadFrom string) (map[string]*advisor.Advisor, error) {
 	names := strings.Split(archList, ",")
 	if loadFrom != "" && len(names) != 1 {
 		return nil, errors.New("-load-model requires exactly one -archs entry")
 	}
-	advisors := make(map[string]*advisor.Advisor, len(names))
+	cfgs := make(map[string]*gpu.Config, len(names))
 	for _, name := range names {
 		name = strings.TrimSpace(name)
-		var cfg *gpu.Config
 		switch name {
 		case "k80":
-			cfg = gpu.KeplerK80()
+			cfgs[name] = gpu.KeplerK80()
 		case "fermi":
-			cfg = gpu.FermiC2050()
+			cfgs[name] = gpu.FermiC2050()
 		case "":
-			continue
 		default:
 			return nil, fmt.Errorf("unknown architecture %q (want k80 or fermi)", name)
 		}
-		start := time.Now()
-		var adv *advisor.Advisor
-		var err error
-		if loadFrom != "" {
-			f, ferr := os.Open(loadFrom)
-			if ferr != nil {
-				return nil, ferr
-			}
-			adv, err = advisor.NewFromSaved(cfg, f)
-			f.Close()
-		} else {
-			adv, err = advisor.New(cfg)
-		}
-		if err != nil {
-			return nil, fmt.Errorf("advisor %s: %w", name, err)
-		}
-		advisors[name] = adv
-		log.Printf("advisor %s ready in %v", name, time.Since(start).Round(time.Millisecond))
 	}
-	if len(advisors) == 0 {
+	if len(cfgs) == 0 {
 		return nil, errors.New("no architectures requested")
+	}
+
+	var (
+		mu       sync.Mutex
+		wg       sync.WaitGroup
+		firstErr error
+		advisors = make(map[string]*advisor.Advisor, len(cfgs))
+		sem      = make(chan struct{}, max(1, runtime.NumCPU()))
+	)
+	for name, cfg := range cfgs {
+		wg.Add(1)
+		go func(name string, cfg *gpu.Config) {
+			defer wg.Done()
+			sem <- struct{}{}
+			defer func() { <-sem }()
+			start := time.Now()
+			var adv *advisor.Advisor
+			var err error
+			if loadFrom != "" {
+				f, ferr := os.Open(loadFrom)
+				if ferr != nil {
+					err = ferr
+				} else {
+					adv, err = advisor.NewFromSaved(cfg, f)
+					f.Close()
+				}
+			} else {
+				adv, err = advisor.New(cfg)
+			}
+			mu.Lock()
+			defer mu.Unlock()
+			if err != nil {
+				if firstErr == nil {
+					firstErr = fmt.Errorf("advisor %s: %w", name, err)
+				}
+				return
+			}
+			advisors[name] = adv
+			log.Printf("advisor %s ready in %v", name, time.Since(start).Round(time.Millisecond))
+		}(name, cfg)
+	}
+	wg.Wait()
+	if firstErr != nil {
+		return nil, firstErr
 	}
 	return advisors, nil
 }

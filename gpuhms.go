@@ -161,6 +161,17 @@ func EnumeratePlacementsSeq(t *Trace, cfg *Config, yield func(*Placement) bool) 
 	placement.EnumerateSeq(t, cfg, yield)
 }
 
+// PlacementSpace is an indexed view of a trace's raw m^n placement space:
+// At decodes any raw index to its placement, and EnumerateShard streams the
+// legal placements of one strided shard — the primitive behind the parallel
+// ranking engine (see RankOptions.Parallelism).
+type PlacementSpace = placement.Space
+
+// NewPlacementSpace builds the indexed placement space of a trace.
+func NewPlacementSpace(t *Trace, cfg *Config) *PlacementSpace {
+	return placement.NewSpace(t, cfg)
+}
+
 // KernelSpec is one bundled benchmark workload.
 type KernelSpec = kernels.Spec
 
@@ -230,7 +241,10 @@ type Ranked = advisor.Ranked
 // TopK keeps only the K fastest predictions (O(K) memory on any space);
 // MaxCandidates stops the search after that many predictions and returns
 // the partial ranking together with an error wrapping ErrBudgetExceeded
-// (a *hmserr.BudgetError carrying the Evaluated/Total coverage).
+// (a *hmserr.BudgetError carrying the Evaluated/Total coverage);
+// Parallelism fans the candidate evaluations out over that many workers,
+// with a ranking guaranteed identical to the sequential one (ties broken
+// by enumeration index — docs/PERFORMANCE.md).
 type RankOptions = advisor.RankOptions
 
 // NewAdvisor trains the full model on the bundled Table IV training

@@ -10,12 +10,10 @@
 package advisor
 
 import (
-	"container/heap"
 	"context"
 	"errors"
 	"fmt"
 	"io"
-	"sort"
 
 	"gpuhms/internal/baseline"
 	"gpuhms/internal/core"
@@ -101,21 +99,34 @@ func (a *Advisor) measurer() sim.Measurer {
 	return s
 }
 
-// Ranked is one candidate placement with its predicted time.
+// Ranked is one candidate placement with its predicted time. Index is the
+// candidate's raw index in the enumeration of the placement space
+// (placement.Space); equal predictions sort by it, which is what makes a
+// ranking reproducible regardless of how many workers produced it. Searches
+// that do not enumerate the space (BestGreedy) leave it zero.
 type Ranked struct {
 	Placement   *placement.Placement
 	PredictedNS float64
+	Index       int64
 }
 
-// rankHeap is a max-heap on predicted time: the root is the worst kept
-// candidate, evicted first when a better one arrives.
+// rankHeap is a max-heap on (predicted time, enumeration index): the root is
+// the worst kept candidate — slowest, then highest index among equal
+// predictions — evicted first when a better one arrives. Using the full
+// total order here (not just the time) keeps the kept set identical across
+// worker counts even when predictions tie at the top-K boundary.
 type rankHeap []Ranked
 
-func (h rankHeap) Len() int           { return len(h) }
-func (h rankHeap) Less(i, j int) bool { return h[i].PredictedNS > h[j].PredictedNS }
-func (h rankHeap) Swap(i, j int)      { h[i], h[j] = h[j], h[i] }
-func (h *rankHeap) Push(x any)        { *h = append(*h, x.(Ranked)) }
-func (h *rankHeap) Pop() any          { old := *h; n := len(old); x := old[n-1]; *h = old[:n-1]; return x }
+func (h rankHeap) Len() int { return len(h) }
+func (h rankHeap) Less(i, j int) bool {
+	if h[i].PredictedNS != h[j].PredictedNS {
+		return h[i].PredictedNS > h[j].PredictedNS
+	}
+	return h[i].Index > h[j].Index
+}
+func (h rankHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
+func (h *rankHeap) Push(x any)   { *h = append(*h, x.(Ranked)) }
+func (h *rankHeap) Pop() any     { old := *h; n := len(old); x := old[n-1]; *h = old[:n-1]; return x }
 
 // RankOptions bounds RankContext's search over the m^n placement space.
 type RankOptions struct {
@@ -128,6 +139,13 @@ type RankOptions struct {
 	// together with a *hmserr.BudgetError (wrapping ErrBudgetExceeded) —
 	// partial results are never silently reported as complete.
 	MaxCandidates int
+	// Parallelism is the number of workers evaluating candidates; values
+	// below 2 run the classic sequential search. Each worker streams a
+	// strided shard of the enumeration through its own predictor clone, and
+	// results are merged under the (PredictedNS, Index) total order, so the
+	// ranking is identical for every worker count. Only the subset covered
+	// by a MaxCandidates budget depends on it (see RankPredictor).
+	Parallelism int
 }
 
 // Rank profiles the sample placement on the simulator, predicts every legal
@@ -136,10 +154,13 @@ func (a *Advisor) Rank(t *trace.Trace, sample *placement.Placement) ([]Ranked, e
 	return a.RankContext(context.Background(), t, sample, RankOptions{})
 }
 
-// RankContext is Rank with cancellation and budgets. A canceled context
-// aborts the profiling run and the enumeration promptly and returns
-// ctx.Err(). The placement space is streamed, so only the kept candidates
-// are ever resident.
+// RankContext is Rank with cancellation, budgets, and optional parallelism.
+// A canceled context aborts the profiling run and the enumeration promptly
+// and returns ctx.Err(). The placement space is streamed, so only the kept
+// candidates are ever resident. With opt.Parallelism > 1 the space is
+// sharded over that many workers, each predicting on its own clone of the
+// profiled model; the result is identical to the sequential ranking for
+// every worker count (see RankPredictor, the engine behind this method).
 //
 // With Advisor.Recorder set, each evaluation is recorded as a span, the
 // best-so-far prediction as a gauge, and progress reports flow throughout.
@@ -156,82 +177,7 @@ func (a *Advisor) RankContext(ctx context.Context, t *trace.Trace, sample *place
 	if err != nil {
 		return nil, err
 	}
-	rec := a.rec()
-	enabled := rec.Enabled()
-	var kept rankHeap
-	var stopErr error
-	budgetHit := false
-	candidates := 0
-	bestNS := 0.0
-	bestName := ""
-	placement.EnumerateSeq(t, a.Cfg, func(pl *placement.Placement) bool {
-		if e := ctx.Err(); e != nil {
-			stopErr = e
-			return false
-		}
-		if opt.MaxCandidates > 0 && candidates >= opt.MaxCandidates {
-			budgetHit = true
-			return false
-		}
-		candidates++
-		var start float64
-		if enabled {
-			start = rec.Now()
-		}
-		p, e := pr.Predict(pl)
-		if e != nil {
-			stopErr = e
-			return false
-		}
-		if bestNS == 0 || p.TimeNS < bestNS {
-			bestNS = p.TimeNS
-			if enabled {
-				bestName = pl.Format(t)
-				rec.Gauge("advisor_best_ns", bestNS)
-			}
-		}
-		if enabled {
-			rec.Add("advisor_evals_total", 1)
-			rec.Span("advisor", "eval "+pl.Format(t), start, rec.Now()-start)
-			rec.ReportProgress(obs.Progress{Evaluated: candidates, BestNS: bestNS, Best: bestName})
-		}
-		switch {
-		case opt.TopK > 0 && len(kept) == opt.TopK:
-			if p.TimeNS < kept[0].PredictedNS {
-				kept[0] = Ranked{Placement: pl.Clone(), PredictedNS: p.TimeNS}
-				heap.Fix(&kept, 0)
-			}
-		default:
-			heap.Push(&kept, Ranked{Placement: pl.Clone(), PredictedNS: p.TimeNS})
-		}
-		return true
-	})
-	if budgetHit {
-		// The enumeration stopped on budget: count the legal space the
-		// search would have covered, so the partial ranking reports its
-		// coverage (Evaluated/Total) instead of losing it.
-		total := placement.CountLegal(t, a.Cfg)
-		stopErr = &hmserr.BudgetError{Evaluated: candidates, Total: total, What: "candidate placements"}
-		rec.ReportProgress(obs.Progress{
-			Evaluated: candidates, Total: total, BestNS: bestNS, Best: bestName, Done: true,
-		})
-		if enabled {
-			rec.Gauge("advisor_rank_evaluated", float64(candidates))
-			rec.Gauge("advisor_rank_total", float64(total))
-		}
-	} else if stopErr == nil && enabled {
-		rec.Gauge("advisor_rank_evaluated", float64(candidates))
-		rec.Gauge("advisor_rank_total", float64(candidates))
-		rec.ReportProgress(obs.Progress{
-			Evaluated: candidates, Total: candidates, BestNS: bestNS, Best: bestName, Done: true,
-		})
-	}
-	if stopErr != nil && !errors.Is(stopErr, hmserr.ErrBudgetExceeded) {
-		return nil, stopErr
-	}
-	out := []Ranked(kept)
-	sort.Slice(out, func(i, j int) bool { return out[i].PredictedNS < out[j].PredictedNS })
-	return out, stopErr
+	return RankPredictor(ctx, a.Cfg, t, pr, opt, a.rec())
 }
 
 // Predictor profiles the sample placement and returns a predictor for

@@ -1,0 +1,8 @@
+//go:build !race
+
+package advisor
+
+// raceEnabled mirrors the race detector's build tag so the heavyweight
+// all-kernel sweeps can shrink to representative subsets under -race, where
+// every memory access costs an order of magnitude more.
+const raceEnabled = false

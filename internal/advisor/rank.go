@@ -1,0 +1,198 @@
+package advisor
+
+import (
+	"container/heap"
+	"context"
+	"sort"
+	"sync"
+	"sync/atomic"
+
+	"gpuhms/internal/core"
+	"gpuhms/internal/gpu"
+	"gpuhms/internal/hmserr"
+	"gpuhms/internal/obs"
+	"gpuhms/internal/placement"
+	"gpuhms/internal/trace"
+)
+
+// RankPredictor is the ranking engine behind Advisor.RankContext: it streams
+// the legal placement space of t through pr and returns the candidates
+// fastest-first, tie-broken by enumeration index.
+//
+// With opt.Parallelism > 1 the raw space is sharded by stride — worker w of n
+// covers raw indices congruent to w mod n — and each worker evaluates its
+// shard on a private clone of pr, keeping a private top-K heap. The shards
+// partition the space exactly, and every ordering decision (heap eviction,
+// final sort) uses the (PredictedNS, Index) total order, so the merged result
+// is identical to the sequential ranking for every worker count. The only
+// worker-count-dependent behavior is *which* placements a MaxCandidates
+// budget covers: the budget is a shared atomic token pool, so exactly
+// MaxCandidates predictions run, but the evaluated subset follows the shard
+// interleaving rather than the sequential prefix.
+//
+// Cancellation and budget semantics match the sequential search: a canceled
+// ctx wins over any other stop cause, a worker error cancels the remaining
+// shards and is returned as-is, and a budget stop returns the partial ranking
+// with a *hmserr.BudgetError carrying Evaluated/Total coverage.
+func RankPredictor(ctx context.Context, cfg *gpu.Config, t *trace.Trace, pr *core.Predictor, opt RankOptions, rec obs.Recorder) ([]Ranked, error) {
+	rec = obs.OrNop(rec)
+	enabled := rec.Enabled()
+	space := placement.NewSpace(t, cfg)
+
+	workers := opt.Parallelism
+	if workers < 1 {
+		workers = 1
+	}
+	if raw := space.RawSize(); raw > 0 && int64(workers) > raw {
+		workers = int(raw)
+	}
+
+	preds := make([]*core.Predictor, workers)
+	preds[0] = pr
+	for w := 1; w < workers; w++ {
+		preds[w] = pr.Clone()
+	}
+
+	inner, cancel := context.WithCancel(ctx)
+	defer cancel()
+
+	var (
+		granted   atomic.Int64 // prediction tokens handed out (budget pool)
+		budgetHit atomic.Bool
+		failOnce  sync.Once
+		firstErr  error
+
+		obsMu    sync.Mutex // serializes best-so-far tracking and recording
+		bestNS   float64
+		bestName string
+	)
+	limit := int64(opt.MaxCandidates)
+	fail := func(err error) {
+		failOnce.Do(func() {
+			firstErr = err
+			cancel()
+		})
+	}
+
+	heaps := make([]rankHeap, workers)
+	runWorker := func(w int) {
+		p := preds[w]
+		var kept rankHeap
+		space.EnumerateShard(w, workers, func(idx int64, pl *placement.Placement) bool {
+			if inner.Err() != nil {
+				return false
+			}
+			// Take a budget token before predicting; handing back an
+			// over-limit grant keeps the total number of predictions across
+			// all workers exactly at the limit.
+			if granted.Add(1) > limit && limit > 0 {
+				granted.Add(-1)
+				budgetHit.Store(true)
+				return false
+			}
+			var start float64
+			if enabled {
+				start = rec.Now()
+			}
+			res, e := p.Predict(pl)
+			if e != nil {
+				fail(e)
+				return false
+			}
+			if enabled {
+				obsMu.Lock()
+				if bestNS == 0 || res.TimeNS < bestNS {
+					bestNS = res.TimeNS
+					bestName = pl.Format(t)
+					rec.Gauge("advisor_best_ns", bestNS)
+				}
+				rec.Add("advisor_evals_total", 1)
+				rec.Span("advisor", "eval "+pl.Format(t), start, rec.Now()-start)
+				rec.ReportProgress(obs.Progress{Evaluated: int(granted.Load()), BestNS: bestNS, Best: bestName})
+				obsMu.Unlock()
+			}
+			// The yielded placement is the shard's scratch: clone only when
+			// the candidate actually enters the heap.
+			c := Ranked{PredictedNS: res.TimeNS, Index: idx}
+			switch {
+			case opt.TopK > 0 && len(kept) == opt.TopK:
+				root := &kept[0]
+				if c.PredictedNS < root.PredictedNS ||
+					(c.PredictedNS == root.PredictedNS && c.Index < root.Index) {
+					c.Placement = pl.Clone()
+					kept[0] = c
+					heap.Fix(&kept, 0)
+				}
+			default:
+				c.Placement = pl.Clone()
+				heap.Push(&kept, c)
+			}
+			return true
+		})
+		heaps[w] = kept
+	}
+
+	if workers == 1 {
+		runWorker(0)
+	} else {
+		var wg sync.WaitGroup
+		for w := 0; w < workers; w++ {
+			wg.Add(1)
+			go func(w int) { defer wg.Done(); runWorker(w) }(w)
+		}
+		wg.Wait()
+	}
+
+	if e := ctx.Err(); e != nil {
+		return nil, e
+	}
+	if firstErr != nil {
+		return nil, firstErr
+	}
+
+	candidates := int(granted.Load())
+	out := make([]Ranked, 0, candidates)
+	for _, h := range heaps {
+		out = append(out, h...)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].PredictedNS != out[j].PredictedNS {
+			return out[i].PredictedNS < out[j].PredictedNS
+		}
+		return out[i].Index < out[j].Index
+	})
+	if opt.TopK > 0 && len(out) > opt.TopK {
+		out = out[:opt.TopK]
+	}
+	// Recompute the final best from the merged ranking so the Done report is
+	// deterministic (the in-flight gauge tracked arrival order, not index
+	// order, among equal predictions).
+	bestNS, bestName = 0, ""
+	if len(out) > 0 {
+		bestNS = out[0].PredictedNS
+		bestName = out[0].Placement.Format(t)
+	}
+	if budgetHit.Load() {
+		// The search stopped on budget: count the legal space it would have
+		// covered, so the partial ranking reports its coverage
+		// (Evaluated/Total) instead of losing it.
+		total := placement.CountLegal(t, cfg)
+		stopErr := &hmserr.BudgetError{Evaluated: candidates, Total: total, What: "candidate placements"}
+		rec.ReportProgress(obs.Progress{
+			Evaluated: candidates, Total: total, BestNS: bestNS, Best: bestName, Done: true,
+		})
+		if enabled {
+			rec.Gauge("advisor_rank_evaluated", float64(candidates))
+			rec.Gauge("advisor_rank_total", float64(total))
+		}
+		return out, stopErr
+	}
+	if enabled {
+		rec.Gauge("advisor_rank_evaluated", float64(candidates))
+		rec.Gauge("advisor_rank_total", float64(candidates))
+		rec.ReportProgress(obs.Progress{
+			Evaluated: candidates, Total: candidates, BestNS: bestNS, Best: bestName, Done: true,
+		})
+	}
+	return out, nil
+}

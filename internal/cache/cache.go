@@ -7,7 +7,6 @@ package cache
 
 import (
 	"fmt"
-	"sort"
 
 	"gpuhms/internal/gpu"
 )
@@ -147,12 +146,30 @@ func LinesTouched(addrs []uint64, lineBytes int) []uint64 {
 	if len(addrs) == 0 {
 		return nil
 	}
+	return LinesTouchedInto(make([]uint64, 0, 4), addrs, lineBytes)
+}
+
+// LinesTouchedInto is LinesTouched appending into dst's storage (dst is
+// truncated first), so per-access hot loops can reuse one buffer instead of
+// allocating: pass the previous call's result re-sliced to [:0], or any
+// scratch slice. The returned slice aliases dst's array when it fits.
+func LinesTouchedInto(dst, addrs []uint64, lineBytes int) []uint64 {
+	out := dst[:0]
+	if len(addrs) == 0 {
+		return out
+	}
 	lb := uint64(lineBytes)
-	out := make([]uint64, 0, 4)
 	for _, a := range addrs {
 		out = append(out, a/lb*lb)
 	}
-	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	// Insertion sort: warp-sized inputs (≤ 32 lanes) are far below the
+	// crossover where sort.Slice's interface-boxing overhead pays off, and
+	// this keeps the hot path allocation-free.
+	for i := 1; i < len(out); i++ {
+		for j := i; j > 0 && out[j] < out[j-1]; j-- {
+			out[j], out[j-1] = out[j-1], out[j]
+		}
+	}
 	// Deduplicate in place.
 	w := 1
 	for i := 1; i < len(out); i++ {

@@ -74,6 +74,46 @@ type Analysis struct {
 	Imbalance float64
 }
 
+// analysisScratch holds the per-analysis allocations — the cache hierarchy,
+// one SM's private caches (the lockstep walk models a single scheduler), the
+// DRAM analyzer, and the per-warp walk state — so a Predictor evaluating
+// thousands of candidate placements reuses one set instead of rebuilding
+// ~75k allocations per prediction. Reset between analyses by analyzeScratch.
+type analysisScratch struct {
+	hier  *memsys.Hierarchy
+	sm    *memsys.SMCaches
+	an    *dram.Analyzer
+	pcs   []int
+	inRun []bool
+	mem   memsys.Scratch
+}
+
+// newAnalysisScratch builds scratch bound to one (config, mapping,
+// distribution mode) triple — a Predictor's model never changes these.
+func newAnalysisScratch(cfg *gpu.Config, mapping dram.Mapping, mode dram.DistributionMode) *analysisScratch {
+	return &analysisScratch{
+		hier: memsys.NewHierarchy(cfg),
+		sm:   memsys.NewSMCaches(cfg),
+		an:   dram.NewAnalyzer(cfg.DRAM, mapping, mode),
+	}
+}
+
+// reset returns the scratch to a fresh-analysis state for nWarps warps.
+func (s *analysisScratch) reset(nWarps int) {
+	s.hier.Reset()
+	s.sm.Reset()
+	s.an.Reset()
+	if cap(s.pcs) < nWarps {
+		s.pcs = make([]int, nWarps)
+		s.inRun = make([]bool, nWarps)
+	} else {
+		s.pcs = s.pcs[:nWarps]
+		s.inRun = s.inRun[:nWarps]
+		clear(s.pcs)
+		clear(s.inRun)
+	}
+}
+
 // analyze replays the trace under a binding. Warps advance in lockstep
 // (one instruction per warp per round) to approximate the round-robin
 // interleaving of the hardware scheduler; the proxy clock advances by
@@ -85,10 +125,18 @@ func analyze(cfg *gpu.Config, mapping dram.Mapping, mode dram.DistributionMode, 
 }
 
 func analyzeCollect(cfg *gpu.Config, mapping dram.Mapping, mode dram.DistributionMode, b *memsys.Binding, collectArrivals bool) *Analysis {
+	return analyzeScratch(cfg, mapping, mode, b, collectArrivals,
+		newAnalysisScratch(cfg, mapping, mode))
+}
+
+// analyzeScratch is analyzeCollect drawing every reusable buffer from scr,
+// which must have been built for the same (cfg, mapping, mode). The returned
+// Analysis owns all of its data — nothing aliases the scratch — so the
+// scratch is free for the next analysis as soon as this one returns.
+func analyzeScratch(cfg *gpu.Config, mapping dram.Mapping, mode dram.DistributionMode, b *memsys.Binding, collectArrivals bool, scr *analysisScratch) *Analysis {
 	t := b.Trace
-	hier := memsys.NewHierarchy(cfg)
-	sm := memsys.NewSMCaches(cfg)
-	an := dram.NewAnalyzer(cfg.DRAM, mapping, mode)
+	scr.reset(len(t.Warps))
+	hier, sm, an := scr.hier, scr.sm, scr.an
 
 	a := &Analysis{ActiveSMs: cfg.ActiveSMs(t.Launch.Blocks)}
 	nsPerCycle := cfg.NSPerCycle()
@@ -96,12 +144,11 @@ func analyzeCollect(cfg *gpu.Config, mapping dram.Mapping, mode dram.Distributio
 	slotNS := nsPerCycle / float64(a.ActiveSMs)
 
 	// Per-warp program counters for the lockstep walk.
-	pcs := make([]int, len(t.Warps))
+	pcs := scr.pcs
 	remaining := len(t.Warps)
-	addrBuf := make([]uint64, 0, t.Launch.WarpSize)
 
 	loadRuns, loadsInRuns := int64(0), int64(0)
-	inRun := make([]bool, len(t.Warps)) // per-warp consecutive-load run state
+	inRun := scr.inRun // per-warp consecutive-load run state
 	lastArrival := -1.0
 
 	for remaining > 0 {
@@ -148,7 +195,7 @@ func analyzeCollect(cfg *gpu.Config, mapping dram.Mapping, mode dram.Distributio
 			a.Events.IssueSlots += k
 			proxyNS += float64(k) * slotNS
 
-			res := hier.Access(sm, b, in, addrBuf)
+			res := hier.AccessScratch(sm, b, in, &scr.mem)
 			replays := res.Replays.Total()
 			a.IssueSlots += 1 + replays
 			a.Executed++

@@ -3,6 +3,7 @@ package core
 import (
 	"fmt"
 	"math"
+	"sync"
 
 	"gpuhms/internal/addrmode"
 	"gpuhms/internal/dram"
@@ -116,6 +117,11 @@ type Prediction struct {
 
 // Predictor holds the per-kernel state: the sample placement's layout, the
 // model's own analysis of the sample, and the sample profile.
+//
+// A Predictor is safe for concurrent use: the fields set at construction are
+// read-only, and the reusable analysis scratch is guarded by a mutex. For
+// parallel ranking, prefer one Clone per worker — clones share the immutable
+// state but carry private scratch, so they never contend on the lock.
 type Predictor struct {
 	model        *Model
 	trace        *trace.Trace
@@ -124,6 +130,28 @@ type Predictor struct {
 	sampleAn     *Analysis
 	profile      SampleProfile
 	rec          obs.Recorder
+
+	// mu guards scr, the lazily-built reusable analysis scratch that makes
+	// repeated Predict calls allocation-lean (one cache hierarchy and DRAM
+	// analyzer per predictor instead of per prediction).
+	mu  sync.Mutex
+	scr *analysisScratch
+}
+
+// Clone returns a predictor sharing this one's immutable state (model,
+// trace, sample analysis, profile, recorder) but with private analysis
+// scratch — the per-worker handle of a parallel ranking. Clones produce
+// bit-identical predictions to the original.
+func (p *Predictor) Clone() *Predictor {
+	return &Predictor{
+		model:        p.model,
+		trace:        p.trace,
+		sample:       p.sample,
+		sampleLayout: p.sampleLayout,
+		sampleAn:     p.sampleAn,
+		profile:      p.profile,
+		rec:          p.rec,
+	}
 }
 
 // SetRecorder attaches an instrumentation recorder: every Predict reports
@@ -184,7 +212,15 @@ func (p *Predictor) Predict(target *placement.Placement) (*Prediction, error) {
 		start = rec.Now()
 	}
 	binding := memsys.NewBinding(p.model.Cfg, p.trace, p.sample, p.sampleLayout, target)
-	an := analyze(p.model.Cfg, p.model.Mapping, p.model.distMode(), binding)
+	// The analysis runs on the predictor's reusable scratch; the lock makes
+	// a shared Predictor safe (its cost is noise next to the analysis), and
+	// per-worker Clones avoid even that.
+	p.mu.Lock()
+	if p.scr == nil {
+		p.scr = newAnalysisScratch(p.model.Cfg, p.model.Mapping, p.model.distMode())
+	}
+	an := analyzeScratch(p.model.Cfg, p.model.Mapping, p.model.distMode(), binding, false, p.scr)
+	p.mu.Unlock()
 	pred, err := p.model.predictFrom(an, p.sampleAn, &p.profile)
 	if enabled && err == nil {
 		rec.Add("model_predictions_total", 1)

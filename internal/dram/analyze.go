@@ -78,6 +78,26 @@ func NewAnalyzer(topo gpu.DRAMTopology, m Mapping, mode DistributionMode) *Analy
 	}
 }
 
+// Reset returns the analyzer to its freshly-built state — all row buffers
+// closed, every per-bank and per-controller statistic zeroed — so one
+// allocation can be reused across many trace replays.
+func (a *Analyzer) Reset() {
+	clear(a.rows)
+	clear(a.counts)
+	a.total = OutcomeCounts{}
+	clear(a.last)
+	clear(a.seen)
+	clear(a.arrival)
+	clear(a.service)
+	clear(a.batches)
+	a.rr = 0
+	clear(a.ctlLast)
+	clear(a.ctlSeen)
+	clear(a.ctlArrival)
+	clear(a.ctlN)
+	clear(a.ctlBatches)
+}
+
 // Add records one DRAM request with its arrival proxy (must be nondecreasing
 // per bank for meaningful inter-arrival statistics) and returns its
 // row-buffer outcome.

@@ -46,6 +46,13 @@ func NewSMCaches(cfg *gpu.Config) *SMCaches {
 	}
 }
 
+// Reset invalidates both private caches, returning the SM to its
+// freshly-built state so one allocation can serve many runs.
+func (s *SMCaches) Reset() {
+	s.Const.Reset()
+	s.Tex.Reset()
+}
+
 // Binding fixes a trace to a placement and layout so instructions can be
 // resolved to addresses.
 type Binding struct {
@@ -116,13 +123,36 @@ type Result struct {
 	DRAMLines []uint64
 }
 
+// Scratch holds the reusable per-caller buffers of AccessScratch: resolved
+// addresses, coalesced line sets, and the DRAM miss list. One Scratch serves
+// one caller's whole replay loop; the zero value is ready to use and the
+// buffers grow to the high-water mark of the trace.
+type Scratch struct {
+	addrs []uint64
+	lines []uint64
+	words []uint64
+	dram  []uint64
+}
+
 // Access resolves one memory instruction through the hierarchy, updating
 // cache state, and reports all events. sm supplies the issuing SM's private
-// caches. addrBuf and lineBuf are optional reusable scratch buffers.
+// caches; addrBuf is an optional reusable address buffer. The returned
+// Result owns its DRAMLines. Hot loops that can tolerate a borrowed
+// DRAMLines slice should use AccessScratch instead.
 func (h *Hierarchy) Access(sm *SMCaches, b *Binding, in *trace.Inst, addrBuf []uint64) Result {
+	sc := Scratch{addrs: addrBuf}
+	return h.AccessScratch(sm, b, in, &sc)
+}
+
+// AccessScratch is Access with every intermediate buffer drawn from sc,
+// making the per-instruction replay loop allocation-free once the buffers
+// have grown. The returned Result's DRAMLines aliases sc's storage: consume
+// it before the next AccessScratch call on the same Scratch.
+func (h *Hierarchy) AccessScratch(sm *SMCaches, b *Binding, in *trace.Inst, sc *Scratch) Result {
 	sp := b.Place.Of(in.Array)
 	res := Result{Space: sp, Store: in.Op != trace.OpLoad}
-	addrs := b.Addresses(in, addrBuf)
+	addrs := b.Addresses(in, sc.addrs)
+	sc.addrs = addrs
 	if len(addrs) == 0 {
 		res.Transactions = 1
 		return res
@@ -143,26 +173,33 @@ func (h *Hierarchy) Access(sm *SMCaches, b *Binding, in *trace.Inst, addrBuf []u
 		res.Replays.Add(replay.SharedBankConflict, conflicts)
 
 	case gpu.Global:
-		lines := cache.LinesTouched(addrs, h.Cfg.TransactionBytes)
+		lines := cache.LinesTouchedInto(sc.lines, addrs, h.Cfg.TransactionBytes)
+		sc.lines = lines
 		res.Transactions = len(lines)
 		res.Replays.Add(replay.GlobalDivergence, int64(len(lines)-1))
+		dram := sc.dram[:0]
 		for _, ln := range lines {
 			res.L2Accesses++
 			if !h.L2.Access(ln) {
 				res.L2Misses++
-				res.DRAMLines = append(res.DRAMLines, ln)
+				dram = append(dram, ln)
 			}
 		}
+		sc.dram = dram
+		res.DRAMLines = dram
 
 	case gpu.Constant:
 		// Constant memory serializes over distinct words; each distinct
 		// word beyond the first is a divergence replay (cause 3). Distinct
 		// constant-cache lines are then probed; each miss is one replay
 		// (cause 2) and one L2 access.
-		words := cache.LinesTouched(addrs, b.Trace.Array(in.Array).Type.Bytes())
+		words := cache.LinesTouchedInto(sc.words, addrs, b.Trace.Array(in.Array).Type.Bytes())
+		sc.words = words
 		res.Replays.Add(replay.ConstantDivergence, int64(len(words)-1))
-		lines := cache.LinesTouched(addrs, h.Cfg.Constant.LineBytes)
+		lines := cache.LinesTouchedInto(sc.lines, addrs, h.Cfg.Constant.LineBytes)
+		sc.lines = lines
 		res.Transactions = len(words)
+		dram := sc.dram[:0]
 		for _, ln := range lines {
 			res.ConstAccesses++
 			if !sm.Const.Access(ln) {
@@ -171,14 +208,18 @@ func (h *Hierarchy) Access(sm *SMCaches, b *Binding, in *trace.Inst, addrBuf []u
 				res.L2Accesses++
 				if !h.L2.Access(ln) {
 					res.L2Misses++
-					res.DRAMLines = append(res.DRAMLines, ln)
+					dram = append(dram, ln)
 				}
 			}
 		}
+		sc.dram = dram
+		res.DRAMLines = dram
 
 	case gpu.Texture1D, gpu.Texture2D:
-		lines := cache.LinesTouched(addrs, h.Cfg.Texture.LineBytes)
+		lines := cache.LinesTouchedInto(sc.lines, addrs, h.Cfg.Texture.LineBytes)
+		sc.lines = lines
 		res.Transactions = len(lines)
+		dram := sc.dram[:0]
 		for _, ln := range lines {
 			res.TexAccesses++
 			if !sm.Tex.Access(ln) {
@@ -186,10 +227,12 @@ func (h *Hierarchy) Access(sm *SMCaches, b *Binding, in *trace.Inst, addrBuf []u
 				res.L2Accesses++
 				if !h.L2.Access(ln) {
 					res.L2Misses++
-					res.DRAMLines = append(res.DRAMLines, ln)
+					dram = append(dram, ln)
 				}
 			}
 		}
+		sc.dram = dram
+		res.DRAMLines = dram
 	}
 	return res
 }

@@ -1,6 +1,7 @@
 package placement
 
 import (
+	"sort"
 	"strings"
 	"testing"
 
@@ -61,5 +62,87 @@ func FuzzParse(f *testing.F) {
 		}
 		// Check never panics either way.
 		_ = Check(tr, p, cfg)
+	})
+}
+
+// FuzzEnumerateShard drives the sharded enumerator with arbitrary stride and
+// shard-subset parameters: the union of all shards of a stride must equal the
+// EnumerateSeq stream exactly — no duplicates, no gaps, indices ascending
+// within a shard and congruent to the shard number.
+func FuzzEnumerateShard(f *testing.F) {
+	f.Add(1)
+	f.Add(2)
+	f.Add(3)
+	f.Add(8)
+	f.Add(31)
+	f.Add(1 << 20)
+	f.Add(0)
+	f.Add(-4)
+
+	b := trace.NewBuilder("k", trace.Launch{Blocks: 2, ThreadsPerBlock: 64, WarpSize: 32})
+	in := b.DeclareArray(trace.Array{Name: "in", Type: trace.F32, Len: 256, Width: 16, ReadOnly: true})
+	w := b.DeclareArray(trace.Array{Name: "w", Type: trace.F32, Len: 64, ReadOnly: true})
+	out := b.DeclareArray(trace.Array{Name: "out", Type: trace.F32, Len: 256})
+	for blk := 0; blk < 2; blk++ {
+		wb := b.Warp(blk, 0)
+		wb.LoadCoalesced(in, int64(blk*64), 32)
+		wb.LoadBroadcast(w, 1, 32)
+		wb.StoreCoalesced(out, int64(blk*64), 32)
+	}
+	tr := b.MustBuild()
+	cfg := gpu.KeplerK80()
+
+	// The reference stream, computed once.
+	var want []*Placement
+	EnumerateSeq(tr, cfg, func(p *Placement) bool {
+		want = append(want, p.Clone())
+		return true
+	})
+	space := NewSpace(tr, cfg)
+
+	f.Fuzz(func(t *testing.T, stride int) {
+		if stride < 1 || stride > 1<<20 {
+			// Degenerate strides must yield nothing and never panic.
+			n := 0
+			space.EnumerateShard(0, stride, func(int64, *Placement) bool { n++; return true })
+			if stride < 1 && n != 0 {
+				t.Fatalf("stride %d yielded %d placements", stride, n)
+			}
+			return
+		}
+		shards := stride
+		if int64(shards) > space.RawSize() {
+			shards = int(space.RawSize())
+		}
+		type item struct {
+			idx int64
+			p   *Placement
+		}
+		var got []item
+		seen := make(map[int64]bool)
+		for shard := 0; shard < shards; shard++ {
+			last := int64(-1)
+			space.EnumerateShard(shard, stride, func(idx int64, p *Placement) bool {
+				if idx%int64(stride) != int64(shard) || idx <= last {
+					t.Fatalf("stride %d shard %d: bad idx %d after %d", stride, shard, idx, last)
+				}
+				last = idx
+				if seen[idx] {
+					t.Fatalf("stride %d: duplicate idx %d", stride, idx)
+				}
+				seen[idx] = true
+				got = append(got, item{idx, p.Clone()})
+				return true
+			})
+		}
+		if len(got) != len(want) {
+			t.Fatalf("stride %d: union has %d placements, want %d", stride, len(got), len(want))
+		}
+		sort.Slice(got, func(i, j int) bool { return got[i].idx < got[j].idx })
+		for i := range got {
+			if !got[i].p.Equal(want[i]) {
+				t.Fatalf("stride %d: position %d is %v, want %v", stride, i, got[i].p.Spaces, want[i].Spaces)
+			}
+		}
 	})
 }

@@ -145,11 +145,15 @@ func ExhaustiveSearch(t *trace.Trace, cfg *gpu.Config, cost Cost) (*Placement, f
 // optional evaluation budget (maxEvals <= 0 means unlimited). It streams the
 // placement space via EnumerateSeq, so memory stays O(1) regardless of m^n.
 // A canceled context returns ctx.Err(); a spent budget returns the best
-// placement seen so far with an error wrapping hmserr.ErrBudgetExceeded.
+// placement seen so far with a *hmserr.BudgetError (wrapping
+// ErrBudgetExceeded) whose Evaluated/Total record the partial coverage.
 //
 // An optional trailing obs.Recorder receives evaluation counters, a
-// best-so-far gauge, and progress reports (Total filled on completion, or
-// with the counted remainder after a budget stop).
+// best-so-far gauge, and progress reports. Both a completed search and a
+// budget-stopped one emit a final Done report carrying the counted Total of
+// the legal space — even when no candidate was evaluated — so a partial
+// search's coverage survives in the obs snapshot, matching the advisor's
+// RankContext reporting.
 func ExhaustiveSearchContext(ctx context.Context, t *trace.Trace, cfg *gpu.Config, cost Cost, maxEvals int, recs ...obs.Recorder) (*Placement, float64, int, error) {
 	rec := searchRecorder(recs)
 	enabled := rec.Enabled()
@@ -157,13 +161,14 @@ func ExhaustiveSearchContext(ctx context.Context, t *trace.Trace, cfg *gpu.Confi
 	var best *Placement
 	bestCost := 0.0
 	var stopErr error
+	budgetHit := false
 	EnumerateSeq(t, cfg, func(cand *Placement) bool {
 		if err := ctx.Err(); err != nil {
 			stopErr = err
 			return false
 		}
 		if !bud.take() {
-			stopErr = bud.exceeded()
+			budgetHit = true
 			return false
 		}
 		c, err := cost(cand)
@@ -183,14 +188,24 @@ func ExhaustiveSearchContext(ctx context.Context, t *trace.Trace, cfg *gpu.Confi
 		}
 		return true
 	})
-	if enabled && best != nil {
-		rec.ReportProgress(obs.Progress{
+	if budgetHit {
+		stopErr = &hmserr.BudgetError{
+			Evaluated: bud.evals,
+			Total:     CountLegal(t, cfg),
+			What:      "cost evaluations",
+		}
+	}
+	if enabled && (stopErr == nil || budgetHit) {
+		p := obs.Progress{
 			Evaluated: bud.evals,
 			Total:     CountLegal(t, cfg),
 			BestNS:    bestCost,
-			Best:      best.Format(t),
 			Done:      true,
-		})
+		}
+		if best != nil {
+			p.Best = best.Format(t)
+		}
+		rec.ReportProgress(p)
 	}
 	if stopErr != nil {
 		if best != nil && errors.Is(stopErr, hmserr.ErrBudgetExceeded) {

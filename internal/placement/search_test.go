@@ -1,8 +1,12 @@
 package placement
 
 import (
+	"context"
 	"errors"
 	"testing"
+
+	"gpuhms/internal/hmserr"
+	"gpuhms/internal/obs"
 
 	"gpuhms/internal/gpu"
 	"gpuhms/internal/trace"
@@ -83,5 +87,52 @@ func TestSearchPropagatesErrors(t *testing.T) {
 	}
 	if _, _, _, err := ExhaustiveSearch(tr, cfg, cost); !errors.Is(err, boom) {
 		t.Errorf("exhaustive error = %v", err)
+	}
+}
+
+// TestExhaustiveBudgetErrorCarriesCoverage pins the budget-stop contract:
+// the error is a typed *hmserr.BudgetError whose Evaluated/Total record the
+// partial coverage (matching the advisor's RankContext), not just a bare
+// wrapped sentinel.
+func TestExhaustiveBudgetErrorCarriesCoverage(t *testing.T) {
+	cfg := gpu.KeplerK80()
+	tr := testTrace(t)
+	cost := additiveCost(tr, map[gpu.MemSpace]float64{
+		gpu.Global: 5, gpu.Shared: 3, gpu.Constant: 2, gpu.Texture1D: 1, gpu.Texture2D: 4,
+	})
+
+	best, _, evals, err := ExhaustiveSearchContext(context.Background(), tr, cfg, cost, 3)
+	if best == nil || evals != 3 {
+		t.Fatalf("best=%v evals=%d, want partial best after 3 evals", best, evals)
+	}
+	var be *hmserr.BudgetError
+	if !errors.As(err, &be) {
+		t.Fatalf("err = %T %v, want *hmserr.BudgetError", err, err)
+	}
+	if !errors.Is(err, hmserr.ErrBudgetExceeded) {
+		t.Fatal("BudgetError must wrap ErrBudgetExceeded")
+	}
+	if be.Evaluated != 3 || be.Total != CountLegal(tr, cfg) {
+		t.Errorf("coverage = %d/%d, want 3/%d", be.Evaluated, be.Total, CountLegal(tr, cfg))
+	}
+}
+
+// TestExhaustiveEmptySpaceReportsDone pins the best == nil reporting path: a
+// search over an empty placement space still closes out its progress with a
+// Done report (Total 0), instead of leaving the obs stream dangling.
+func TestExhaustiveEmptySpaceReportsDone(t *testing.T) {
+	cfg := gpu.KeplerK80()
+	b := trace.NewBuilder("empty", trace.Launch{Blocks: 1, ThreadsPerBlock: 32, WarpSize: 32})
+	b.Warp(0, 0).FP32(1)
+	tr := b.MustBuild()
+
+	col := obs.NewCollectorWithClock(func() float64 { return 0 })
+	best, _, evals, err := ExhaustiveSearchContext(context.Background(), tr, cfg, nil, 0, col)
+	if best != nil || evals != 0 || err != nil {
+		t.Fatalf("empty space: best=%v evals=%d err=%v", best, evals, err)
+	}
+	p, ok := col.Progress()
+	if !ok || !p.Done || p.Evaluated != 0 || p.Total != 0 {
+		t.Errorf("progress = %+v (ok=%v), want done with 0/0", p, ok)
 	}
 }

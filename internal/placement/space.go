@@ -1,0 +1,97 @@
+package placement
+
+import (
+	"math"
+
+	"gpuhms/internal/gpu"
+	"gpuhms/internal/trace"
+)
+
+// Space is an indexed view of a trace's placement search space: the
+// mixed-radix cross product of each array's legal memory spaces (the m^n
+// space of the paper's introduction, before aggregate-capacity screening).
+// Raw indices decode to placements with At; EnumerateShard streams a
+// deterministic stride of the legal subset, so independent workers can
+// partition the space without coordination and a merge by raw index
+// reproduces the EnumerateSeq order exactly.
+//
+// A Space is immutable after NewSpace and safe for concurrent use; the
+// scratch placements handed to each EnumerateShard call are private to that
+// call.
+type Space struct {
+	t    *trace.Trace
+	cfg  *gpu.Config
+	opts [][]gpu.MemSpace
+	raw  int64
+}
+
+// NewSpace builds the indexed placement space of a trace on an architecture.
+// A zero-array trace has an empty space (RawSize 0): it has no placement
+// decisions to rank, matching EnumerateSeq.
+func NewSpace(t *trace.Trace, cfg *gpu.Config) *Space {
+	s := &Space{t: t, cfg: cfg}
+	if len(t.Arrays) == 0 {
+		return s
+	}
+	s.opts = make([][]gpu.MemSpace, len(t.Arrays))
+	s.raw = 1
+	for i := range t.Arrays {
+		s.opts[i] = Options(t, trace.ArrayID(i), cfg)
+		n := int64(len(s.opts[i]))
+		if s.raw > math.MaxInt64/n {
+			s.raw = math.MaxInt64 // saturate; At still decodes exactly
+		} else {
+			s.raw *= n
+		}
+	}
+	return s
+}
+
+// RawSize is the size of the unscreened cross product — the count of raw
+// indices At accepts. Legal placements are a subset (aggregate capacity
+// checks reject some combinations). Saturates at MaxInt64 for astronomically
+// large spaces; At remains exact regardless.
+func (s *Space) RawSize() int64 { return s.raw }
+
+// At decodes raw index i into dst (which must hold len(t.Arrays) spaces) and
+// reports whether i is in range. Index 0 is the first placement EnumerateSeq
+// yields before legality screening; array 0 is the most significant digit,
+// so ascending indices match the enumeration order. At does not check
+// legality — pair it with Check, or use EnumerateShard which does.
+func (s *Space) At(i int64, dst *Placement) bool {
+	if i < 0 || len(s.opts) == 0 || len(dst.Spaces) != len(s.opts) {
+		return false
+	}
+	// Mixed-radix decode, least significant digit (the last array) first.
+	rem := i
+	for j := len(s.opts) - 1; j >= 0; j-- {
+		radix := int64(len(s.opts[j]))
+		dst.Spaces[j] = s.opts[j][rem%radix]
+		rem /= radix
+	}
+	return rem == 0
+}
+
+// EnumerateShard streams shard number `shard` of `stride` total shards: the
+// legal placements whose raw index ≡ shard (mod stride), in ascending index
+// order. The union of shards 0..stride-1 is exactly the EnumerateSeq stream,
+// with no duplicates and no gaps, and merging shard outputs by idx
+// reproduces its order. The yielded placement is scratch owned by this call
+// — clone to keep it. Returning false from yield stops the shard early.
+func (s *Space) EnumerateShard(shard, stride int, yield func(idx int64, p *Placement) bool) {
+	if len(s.opts) == 0 || shard < 0 || stride < 1 || int64(shard) >= s.raw {
+		return
+	}
+	cur := New(len(s.opts))
+	for idx := int64(shard); idx >= 0; idx += int64(stride) {
+		if !s.At(idx, cur) {
+			return
+		}
+		if Check(s.t, cur, s.cfg) != nil {
+			continue
+		}
+		if !yield(idx, cur) {
+			return
+		}
+	}
+}

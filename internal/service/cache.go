@@ -12,12 +12,19 @@ import (
 // (arch, kernel, scale, sample, options). The client-requested timeout is
 // deliberately excluded — it bounds how long a search may run, not what it
 // computes — so identical searches with different deadlines collapse into
-// one flight. The sample spec is keyed as written; two spellings of the
+// one flight. Parallelism is likewise excluded for complete rankings — the
+// engine guarantees worker-count-invariant output — but keyed for budgeted
+// ones (max_candidates > 0), where the covered subset follows the shard
+// interleaving. The sample spec is keyed as written; two spellings of the
 // same placement ("a:G,b:T" vs "b:T,a:G") are distinct keys and at worst
 // cost one redundant search.
 func RankKey(req *RankRequest) string {
-	return fmt.Sprintf("%s|%s|%d|%s|k%d|c%d",
+	key := fmt.Sprintf("%s|%s|%d|%s|k%d|c%d",
 		req.Arch, req.Kernel, req.Scale, req.Sample, req.TopK, req.MaxCandidates)
+	if req.MaxCandidates > 0 && req.Parallelism > 0 {
+		key += fmt.Sprintf("|p%d", req.Parallelism)
+	}
+	return key
 }
 
 // flight is one in-progress search shared by every request with its key.

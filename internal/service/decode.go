@@ -26,6 +26,10 @@ const (
 	MaxTopK = 100000
 	// MaxTimeoutMS caps the client-requested search deadline (10 minutes).
 	MaxTimeoutMS = 600000
+	// MaxParallelism caps the per-request ranking worker count: enough for
+	// any machine this serves on, small enough that a hostile request
+	// cannot ask for an absurd goroutine fan-out.
+	MaxParallelism = 64
 )
 
 // Service-level error classes, alongside the hmserr taxonomy. Handlers map
@@ -90,6 +94,9 @@ func DecodeRankRequest(data []byte) (*RankRequest, error) {
 	}
 	if req.MaxCandidates < 0 {
 		return nil, badf("negative max_candidates %d", req.MaxCandidates)
+	}
+	if req.Parallelism < 0 || req.Parallelism > MaxParallelism {
+		return nil, badf("parallelism %d out of [0,%d]", req.Parallelism, MaxParallelism)
 	}
 	return &req, nil
 }

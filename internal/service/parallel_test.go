@@ -1,0 +1,55 @@
+package service
+
+import "testing"
+
+// TestRankWireBytesParallelismInvariant pins the determinism guarantee at
+// the outermost boundary: the JSON bytes a client reads from /v1/rank are
+// identical whatever parallelism the search ran with. The cache is disabled
+// so every request truly recomputes its ranking.
+func TestRankWireBytesParallelismInvariant(t *testing.T) {
+	s := newTestServer(t, Options{CacheCap: -1})
+	var base string
+	for _, parallelism := range []int{1, 2, 8} {
+		rr := doJSON(t, s, "POST", "/v1/rank",
+			RankRequest{Kernel: "neuralnet", Parallelism: parallelism})
+		if rr.Code != 200 {
+			t.Fatalf("parallelism=%d: status %d: %s", parallelism, rr.Code, rr.Body.String())
+		}
+		if parallelism == 1 {
+			base = rr.Body.String()
+			continue
+		}
+		if got := rr.Body.String(); got != base {
+			t.Errorf("parallelism=%d response differs from sequential:\n%s\nvs\n%s",
+				parallelism, got, base)
+		}
+	}
+}
+
+// TestRankParallelismValidation pins the request-side bounds: negative or
+// over-cap parallelism is a 400, never a 5xx or a goroutine fan-out.
+func TestRankParallelismValidation(t *testing.T) {
+	s := newTestServer(t, Options{})
+	for _, p := range []int{-1, MaxParallelism + 1} {
+		rr := doJSON(t, s, "POST", "/v1/rank", RankRequest{Kernel: "fft", Parallelism: p})
+		if rr.Code != 400 {
+			t.Errorf("parallelism=%d: status %d, want 400", p, rr.Code)
+		}
+	}
+}
+
+// TestRankKeyParallelism pins the cache-key policy: complete rankings share
+// one key across worker counts (their results are identical), budgeted
+// rankings key the worker count (their covered subset is not).
+func TestRankKeyParallelism(t *testing.T) {
+	complete1 := RankKey(&RankRequest{Kernel: "fft", Parallelism: 1})
+	complete8 := RankKey(&RankRequest{Kernel: "fft", Parallelism: 8})
+	if complete1 != complete8 {
+		t.Errorf("complete-ranking keys differ: %q vs %q", complete1, complete8)
+	}
+	budget1 := RankKey(&RankRequest{Kernel: "fft", MaxCandidates: 2, Parallelism: 1})
+	budget8 := RankKey(&RankRequest{Kernel: "fft", MaxCandidates: 2, Parallelism: 8})
+	if budget1 == budget8 {
+		t.Errorf("budgeted-ranking keys collide: %q", budget1)
+	}
+}

@@ -31,12 +31,22 @@ type Options struct {
 	DefaultTimeout time.Duration
 	// RetryAfter is the Retry-After value (seconds) sent with 429 (default 1).
 	RetryAfter int
+	// Parallelism is the ranking worker count for requests that don't ask
+	// for one. The default is queue-aware: NumCPU divided by the pool's
+	// Workers (at least 1), so pool × parallelism never oversubscribes the
+	// machine. Negative forces sequential ranking.
+	Parallelism int
 }
 
 // withDefaults fills unset options.
 func (o Options) withDefaults() Options {
 	if o.Workers == 0 {
 		o.Workers = runtime.GOMAXPROCS(0)
+	}
+	if o.Parallelism == 0 {
+		o.Parallelism = max(1, runtime.NumCPU()/o.Workers)
+	} else if o.Parallelism < 0 {
+		o.Parallelism = 1
 	}
 	if o.QueueCap == 0 {
 		o.QueueCap = 64
@@ -196,9 +206,14 @@ func (s *Server) runRank(ctx context.Context, adv *advisor.Advisor, req *RankReq
 	if err != nil {
 		return nil, err
 	}
+	parallelism := s.opt.Parallelism
+	if req.Parallelism > 0 {
+		parallelism = req.Parallelism
+	}
 	ranked, err := adv.RankContext(ctx, tr, sample, advisor.RankOptions{
 		TopK:          req.TopK,
 		MaxCandidates: req.MaxCandidates,
+		Parallelism:   parallelism,
 	})
 	resp := &RankResponse{
 		Arch:   req.Arch,

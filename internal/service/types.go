@@ -25,6 +25,11 @@ type RankRequest struct {
 	// MaxCandidates stops the search after that many predictions; the
 	// response is then 206 Partial Content with coverage attached.
 	MaxCandidates int `json:"max_candidates,omitempty"`
+	// Parallelism is the number of ranking workers for this search (0 uses
+	// the server's configured default, capped at MaxParallelism). Complete
+	// rankings are identical for every value; only the subset covered by a
+	// max_candidates budget depends on it.
+	Parallelism int `json:"parallelism,omitempty"`
 	// TimeoutMS bounds the search wall-clock; an exceeded deadline maps to
 	// 504 Gateway Timeout. 0 uses the server's default timeout.
 	TimeoutMS int `json:"timeout_ms,omitempty"`

@@ -1,0 +1,108 @@
+package sim
+
+import (
+	"sync"
+
+	"gpuhms/internal/dram"
+	"gpuhms/internal/gpu"
+	"gpuhms/internal/memsys"
+)
+
+// runScratch is the per-run working state of RunContext — the cache
+// hierarchy, per-SM caches, the event-driven DRAM system, and the warp
+// scheduling arrays. Building it from scratch costs ~9MB and ~100k
+// allocations per run, so completed runs return theirs to a pool keyed by
+// (config, mapping) and the next run on the same architecture resets and
+// reuses it.
+type runScratch struct {
+	hier       *memsys.Hierarchy
+	smCaches   []*memsys.SMCaches
+	dramSys    *dram.System
+	warps      []warpState
+	order      []int
+	smQueue    [][]int
+	smQHead    []int
+	smResident []int
+	smFree     []float64
+	mem        memsys.Scratch
+}
+
+// scratchKey identifies the architecture a pooled scratch was built for.
+// Config is keyed by pointer: the advisor and experiment layers thread one
+// *gpu.Config through every simulator they build, and two distinct Config
+// values simply maintain separate pools. Mapping is a comparable value
+// struct, so a Simulator with a substituted mapping never reuses a default
+// one's DRAM system.
+type scratchKey struct {
+	cfg     *gpu.Config
+	mapping dram.Mapping
+}
+
+// scratchPools maps scratchKey to a *sync.Pool of *runScratch.
+var scratchPools sync.Map
+
+// getScratch returns run scratch for the architecture, reset and ready:
+// either a pooled one or a freshly built one.
+func getScratch(cfg *gpu.Config, mapping dram.Mapping) *runScratch {
+	key := scratchKey{cfg: cfg, mapping: mapping}
+	p, ok := scratchPools.Load(key)
+	if !ok {
+		p, _ = scratchPools.LoadOrStore(key, &sync.Pool{})
+	}
+	if sc, ok := p.(*sync.Pool).Get().(*runScratch); ok {
+		sc.reset()
+		return sc
+	}
+	sc := &runScratch{
+		hier:       memsys.NewHierarchy(cfg),
+		smCaches:   make([]*memsys.SMCaches, cfg.SMs),
+		dramSys:    dram.NewSystem(cfg.DRAM, mapping),
+		smQueue:    make([][]int, cfg.SMs),
+		smQHead:    make([]int, cfg.SMs),
+		smResident: make([]int, cfg.SMs),
+		smFree:     make([]float64, cfg.SMs),
+	}
+	for i := range sc.smCaches {
+		sc.smCaches[i] = memsys.NewSMCaches(cfg)
+	}
+	return sc
+}
+
+// putScratch returns scratch to its architecture's pool.
+func putScratch(cfg *gpu.Config, mapping dram.Mapping, sc *runScratch) {
+	p, ok := scratchPools.Load(scratchKey{cfg: cfg, mapping: mapping})
+	if ok {
+		p.(*sync.Pool).Put(sc)
+	}
+}
+
+// reset returns pooled scratch to a fresh-run state: caches invalidated,
+// DRAM system closed, scheduling arrays emptied (capacity kept).
+func (sc *runScratch) reset() {
+	sc.hier.Reset()
+	for _, sm := range sc.smCaches {
+		sm.Reset()
+	}
+	sc.dramSys.Reset()
+	sc.order = sc.order[:0]
+	for i := range sc.smQueue {
+		sc.smQueue[i] = sc.smQueue[i][:0]
+	}
+	clear(sc.smQHead)
+	clear(sc.smResident)
+	clear(sc.smFree)
+}
+
+// warpsFor sizes the warp-state array for a run, reusing the pending-load
+// slices that survived in place.
+func (sc *runScratch) warpsFor(n int) []warpState {
+	if cap(sc.warps) < n {
+		sc.warps = make([]warpState, n)
+	} else {
+		sc.warps = sc.warps[:n]
+		for i := range sc.warps {
+			sc.warps[i] = warpState{pending: sc.warps[i].pending[:0]}
+		}
+	}
+	return sc.warps
+}

@@ -127,15 +127,16 @@ type warpState struct {
 }
 
 // warpHeap orders active warps by their ready time (ties by index for
-// determinism).
+// determinism). Warp states are stored by value in one pooled array — a
+// pointer per warp used to be a measurable share of a run's allocations.
 type warpHeap struct {
-	warps []*warpState
+	warps []warpState
 	order []int
 }
 
 func (h *warpHeap) Len() int { return len(h.order) }
 func (h *warpHeap) Less(i, j int) bool {
-	wi, wj := h.warps[h.order[i]], h.warps[h.order[j]]
+	wi, wj := &h.warps[h.order[i]], &h.warps[h.order[j]]
 	if wi.ready != wj.ready {
 		return wi.ready < wj.ready
 	}
@@ -185,22 +186,26 @@ func (s *Simulator) RunContext(ctx context.Context, t *trace.Trace, sample, targ
 	sampleLayout := placement.NewLayout(t, sample)
 	binding := memsys.NewBinding(s.Cfg, t, sample, sampleLayout, target)
 
-	hier := memsys.NewHierarchy(s.Cfg)
-	smCaches := make([]*memsys.SMCaches, s.Cfg.SMs)
-	for i := range smCaches {
-		smCaches[i] = memsys.NewSMCaches(s.Cfg)
-	}
-	dramSys := dram.NewSystem(s.Cfg.DRAM, s.Mapping)
+	// The run's working state — hierarchy, per-SM caches, DRAM system, warp
+	// arrays — comes from a per-architecture pool; runs are deterministic
+	// regardless of whether the scratch is fresh or reused (reset restores
+	// the freshly-built state exactly). Returned on every exit path.
+	sc := getScratch(s.Cfg, s.Mapping)
+	defer putScratch(s.Cfg, s.Mapping, sc)
+	hier := sc.hier
+	smCaches := sc.smCaches
+	dramSys := sc.dramSys
 
 	// Distribute blocks round-robin over SMs; cap resident warps per SM.
-	warps := make([]*warpState, len(t.Warps))
-	var smQueue [][]int // per SM: indices of not-yet-resident warps
-	smQueue = make([][]int, s.Cfg.SMs)
-	smResident := make([]int, s.Cfg.SMs)
-	h := &warpHeap{warps: warps}
+	warps := sc.warpsFor(len(t.Warps))
+	smQueue := sc.smQueue // per SM: indices of not-yet-resident warps
+	smQHead := sc.smQHead // per SM: next admission cursor into smQueue
+	smResident := sc.smResident
+	h := &warpHeap{warps: warps, order: sc.order}
 	for i := range t.Warps {
 		sm := t.Warps[i].Block % s.Cfg.SMs
-		warps[i] = &warpState{sm: sm, tr: &t.Warps[i]}
+		warps[i].sm = sm
+		warps[i].tr = &t.Warps[i]
 		if smResident[sm] < s.Cfg.MaxWarpsPerSM {
 			smResident[sm]++
 			h.order = append(h.order, i)
@@ -209,12 +214,14 @@ func (s *Simulator) RunContext(ctx context.Context, t *trace.Trace, sample, targ
 		}
 	}
 	heap.Init(h)
+	// heap operations re-slice h.order; hand the (possibly grown) buffer
+	// back to the scratch so the pool keeps its capacity.
+	defer func() { sc.order = h.order }()
 
-	smFree := make([]float64, s.Cfg.SMs)
+	smFree := sc.smFree
 	var ev perf.Events
 	var endTime float64
 	nsPerCycle := s.Cfg.NSPerCycle()
-	addrBuf := make([]uint64, 0, t.Launch.WarpSize)
 	var arrivals []float64
 	lastArrival := -1.0
 
@@ -245,9 +252,10 @@ func (s *Simulator) RunContext(ctx context.Context, t *trace.Trace, sample, targ
 			}
 		}
 		wi := heap.Pop(h).(int)
-		w := warps[wi]
+		w := &warps[wi]
 		if w.pc >= len(w.tr.Inst) {
-			// Retire; admit a queued warp on this SM.
+			// Retire; admit a queued warp on this SM (smQHead is a cursor so
+			// the pooled queue buffers keep their capacity across runs).
 			w.retired = true
 			if w.ready > endTime {
 				endTime = w.ready
@@ -256,9 +264,9 @@ func (s *Simulator) RunContext(ctx context.Context, t *trace.Trace, sample, targ
 				rec.Span(smTrack[w.sm], fmt.Sprintf("warp%d b%d", wi, w.tr.Block),
 					w.started*nsPerCycle, (w.ready-w.started)*nsPerCycle)
 			}
-			if q := smQueue[w.sm]; len(q) > 0 {
-				next := q[0]
-				smQueue[w.sm] = q[1:]
+			if q := smQueue[w.sm]; smQHead[w.sm] < len(q) {
+				next := q[smQHead[w.sm]]
+				smQHead[w.sm]++
 				warps[next].ready = w.ready
 				heap.Push(h, next)
 			}
@@ -319,7 +327,7 @@ func (s *Simulator) RunContext(ctx context.Context, t *trace.Trace, sample, targ
 				ev.InstInteger += int64(k)
 			}
 
-			res := hier.Access(smCaches[w.sm], binding, in, addrBuf)
+			res := hier.AccessScratch(smCaches[w.sm], binding, in, &sc.mem)
 			replays := res.Replays.Total()
 			slots := 1 + float64(replays)
 			issueEnd := st + slots

@@ -295,3 +295,41 @@ func TestPlacementDirectionality(t *testing.T) {
 		}
 	})
 }
+
+// TestPooledScratchReuse pins that reusing pooled run scratch across traces
+// of different shapes and different placements never leaks state: replaying
+// a run after arbitrary intervening runs reproduces it exactly.
+func TestPooledScratchReuse(t *testing.T) {
+	cfg := gpu.KeplerK80()
+	tr := kernels.MustGet("spmv").Trace(1)
+	sample, _ := kernels.MustGet("spmv").SamplePlacement(tr)
+	s := New(cfg)
+
+	first, err := s.Run(tr, sample, sample)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Intervening runs with a different trace shape and a different target
+	// placement dirty (and grow) the pooled scratch.
+	run(t, cfg, simpleTrace(64, 8), "")
+	var alt *placement.Placement
+	placement.EnumerateSeq(tr, cfg, func(p *placement.Placement) bool {
+		if !p.Equal(sample) {
+			alt = p.Clone()
+			return false
+		}
+		return true
+	})
+	if _, err := s.Run(tr, sample, alt); err != nil {
+		t.Fatal(err)
+	}
+
+	again, err := s.Run(tr, sample, sample)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if first.TimeNS != again.TimeNS || first.Cycles != again.Cycles ||
+		!reflect.DeepEqual(first.Events, again.Events) {
+		t.Error("pooled-scratch reuse changed simulation results")
+	}
+}

@@ -1,0 +1,29 @@
+#!/bin/sh
+# bench_rank.sh — measure the cold placement-ranking path (profile the
+# sample, predict and rank the whole legal space) sequentially versus with
+# workers=NumCPU, and write the BENCH_rank.json artifact (per-kernel
+# p50/p99/mean ns, parallel speedup, and the allocation-lean eval loop's
+# allocs/op before and after). The >= 2.5x speedup bound is asserted on
+# machines with at least 4 CPUs; smaller machines assert only that the
+# parallel path degrades gracefully.
+#
+#   ./scripts/bench_rank.sh [output.json]
+#
+# Defaults to BENCH_rank.json in the repo root. For the raw scaling curve,
+# run the benchmark directly:
+#
+#   go test ./internal/advisor/ -run '^$' -bench BenchmarkRankParallel -benchmem
+set -eu
+
+cd "$(dirname "$0")/.."
+
+OUT=${1:-"$PWD/BENCH_rank.json"}
+case "$OUT" in
+    /*) ;;
+    *) OUT="$PWD/$OUT" ;;
+esac
+
+BENCH_RANK_OUT="$OUT" go test ./internal/advisor/ \
+    -run 'TestBenchRankArtifact' -count=1 -v
+
+echo "wrote $OUT"

@@ -1,8 +1,9 @@
 #!/bin/sh
 # verify.sh — the repository's verification gate: vet, build, the full test
-# suite under the race detector, and a short smoke of the observability
-# no-op-overhead contract (the disabled recorder must add zero allocations).
-# Run from the repo root:
+# suite under the race detector, the shard-enumerator fuzz seeds under race,
+# a one-pass parallel-ranking benchmark smoke, and a short smoke of the
+# observability no-op-overhead contract (the disabled recorder must add zero
+# allocations). Run from the repo root:
 #
 #   ./scripts/verify.sh
 #
@@ -19,6 +20,17 @@ go build ./...
 
 echo "== go test -race ./..."
 go test -race ./...
+
+echo "== shard enumerator fuzz seeds under race"
+# FuzzEnumerateShard pins union-of-shards == EnumerateSeq (no dup, no miss);
+# replaying its seed corpus under the race detector also exercises the
+# sharded enumeration the parallel ranking engine is built on.
+go test -race ./internal/placement/ -run 'FuzzEnumerateShard' -count=1
+
+echo "== parallel rank bench smoke"
+# One pass of the scaling-curve benchmark (scripts/bench_rank.sh runs the
+# full artifact); the determinism suite itself runs in the race pass above.
+go test ./internal/advisor/ -run '^$' -bench 'BenchmarkRankParallel' -benchtime 1x -benchmem -count=1
 
 echo "== obs no-op overhead smoke"
 go test ./internal/sim/ -run 'TestRunContextNopRecorderAddsNoAllocs' -count=1
