@@ -11,6 +11,7 @@
 //	hmsplace -kernel fft -sample "smem:S" -target "smem:G"
 //	hmsplace -kernel spmv -full -budget 50 -top 5 -timeout 30s
 //	hmsplace -kernel spmv -full -parallel 8       # 8 ranking workers, same output
+//	hmsplace -kernel spmv -full -strategy beam-4  # bound-pruned beam search
 //	hmsplace -kernel matrixMul -full -trace-out run.json -metrics-out metrics.prom -progress
 //	hmsplace -kernel matrixMul -full -json       # the service's RankResponse JSON
 //
@@ -18,7 +19,13 @@
 // (the exact wire shape of `POST /v1/rank` on hmsserved — see
 // docs/SERVICE.md), so CLI and server outputs are interchangeable;
 // -measure additionally fills each row's measured_ns. -json applies to the
-// ranking modes (default moves, -full, -target), not -greedy or -explain.
+// ranking modes (default moves, -full, -target), not -explain.
+//
+// -strategy selects the -full search strategy (docs/SEARCH.md): exhaustive
+// (the default) enumerates the whole m^n legal space; greedy and beam-W
+// evaluate a small subset chosen by the model. Sub-exhaustive rankings list
+// only the candidates the strategy evaluated, and -json attaches their
+// coverage. -greedy is a deprecated alias for -full -strategy greedy -top 1.
 //
 // Searches are bounded: -timeout aborts profiling and search after a wall
 // clock limit, -budget caps model evaluations, -top keeps only the K best
@@ -27,7 +34,9 @@
 // and exits with code 3 so scripts can tell a partial ranking from a
 // complete one. -full fans the ranking out over -parallel workers (default
 // GOMAXPROCS) with output identical to the sequential search; -measure
-// simulates only the rows that end up displayed.
+// simulates only the rows that end up displayed. Every mode — default
+// moves, -target, -full under any strategy — feeds one shared rendering
+// path, so -top, -measure, and -json behave identically across them.
 //
 // Observability (docs/OBSERVABILITY.md): -trace-out writes the session's
 // span timeline as Chrome trace_event JSON, loadable in chrome://tracing or
@@ -79,7 +88,8 @@ func main() {
 		sample   = flag.String("sample", "", "sample placement override, e.g. \"a:G,b:T\" (default: the kernel's)")
 		target   = flag.String("target", "", "predict only this placement instead of ranking")
 		full     = flag.Bool("full", false, "rank the full legal placement space instead of single-array moves")
-		greedy   = flag.Bool("greedy", false, "greedy single-array-move search instead of ranking")
+		greedy   = flag.Bool("greedy", false, "deprecated: alias for -full -strategy greedy -top 1")
+		strategy = flag.String("strategy", "", "search strategy for -full: exhaustive (default), greedy, or beam-W (docs/SEARCH.md)")
 		explain  = flag.Bool("explain", false, "print the Eq 1 breakdown of the top-ranked placement")
 		measure  = flag.Bool("measure", false, "also run the simulator on every candidate for comparison")
 		scale    = flag.Int("scale", 1, "workload scale factor")
@@ -97,8 +107,27 @@ func main() {
 		progress   = flag.Bool("progress", false, "stream live search progress to stderr")
 	)
 	flag.Parse()
-	if *jsonOut && (*greedy || *explain) {
-		log.Fatal("-json supports the ranking modes only (not -greedy or -explain)")
+	if *jsonOut && *explain {
+		log.Fatal("-json supports the ranking modes only (not -explain)")
+	}
+	if *greedy {
+		// Deprecated alias: route the old greedy mode through the unified
+		// ranking path so -top/-measure/-json behave like every other mode.
+		fmt.Fprintln(os.Stderr, "hmsplace: -greedy is deprecated; use -full -strategy greedy")
+		*full = true
+		if *strategy == "" {
+			*strategy = "greedy"
+		}
+		if *top == 0 {
+			*top = 1
+		}
+	}
+	strat, err := advisor.ParseStrategy(*strategy)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if *strategy != "" && !*full {
+		log.Fatal("-strategy applies to -full searches only")
 	}
 
 	// The collector gathers the whole session (profiling run, predictions,
@@ -272,41 +301,13 @@ func main() {
 			*kernel, spec.KernelName, samplePl.Format(tr), prof.TimeNS)
 	}
 
-	if *greedy {
-		cost := func(pl *placement.Placement) (float64, error) {
-			p, err := pred.Predict(pl)
-			if err != nil {
-				return 0, err
-			}
-			return p.TimeNS, nil
-		}
-		best, ns, evals, err := placement.GreedySearchContext(runCtx, tr, cfg, samplePl, cost, *budget, rec)
-		if err != nil && !errors.Is(err, hmserr.ErrBudgetExceeded) {
-			log.Fatal(err)
-		}
-		fmt.Printf("greedy search: %s predicted %.0f ns (%d model evaluations)\n",
-			best.Format(tr), ns, evals)
-		if *measure {
-			m, err := ctx.Measure(*kernel, samplePl, best)
-			if err != nil {
-				log.Fatal(err)
-			}
-			fmt.Printf("measured: %.0f ns\n", m.TimeNS)
-		}
-		emitArtifacts()
-		if err != nil {
-			fmt.Printf("\npartial search: %v; the move sequence above may not have converged\n", err)
-			os.Exit(exitPartial)
-		}
-		return
-	}
-
 	type row struct {
 		pl        *placement.Placement
 		predicted float64
 		measured  float64
 	}
 	var rows []row
+	var res *advisor.RankResult // set by -full: carries strategy + coverage
 	evals := 0
 	bestNS, bestPl := 0.0, ""
 	var stopReason error
@@ -347,30 +348,27 @@ func main() {
 		}
 		predictOne(pl)
 	case *full:
-		// Rank the m^n space through the parallel engine: workers stream
-		// strided shards of the enumeration, and the merged ranking is
-		// identical for every worker count. The engine emits the eval spans,
-		// best-so-far gauges, and the closing progress report itself.
+		// Rank through the search engine: the chosen strategy decides which
+		// candidates are predicted, workers stream its work in deterministic
+		// shards, and the merged ranking is identical for every worker count.
+		// The engine emits the eval spans, best-so-far gauges, and the
+		// closing progress report itself.
 		workers := *parallel
 		if workers == 0 {
 			workers = runtime.GOMAXPROCS(0)
 		}
-		ranked, rerr := advisor.RankPredictor(runCtx, cfg, tr, pred,
-			advisor.RankOptions{TopK: *top, MaxCandidates: *budget, Parallelism: workers}, rec)
-		var be *hmserr.BudgetError
-		switch {
-		case rerr == nil:
-			evals = placement.CountLegal(tr, cfg)
-		case errors.As(rerr, &be):
-			stopReason = rerr
-			evals = be.Evaluated
-		case errors.Is(rerr, hmserr.ErrBudgetExceeded):
-			stopReason = rerr
-			evals = len(ranked)
-		default:
+		result, rerr := advisor.Search(runCtx, cfg, tr, pred, advisor.RankOptions{
+			TopK: *top, MaxCandidates: *budget, Parallelism: workers, Strategy: strat,
+		}, rec)
+		if rerr != nil && !errors.Is(rerr, hmserr.ErrBudgetExceeded) {
 			log.Fatal(rerr)
 		}
-		for _, r := range ranked {
+		if rerr != nil {
+			stopReason = rerr
+		}
+		res = result
+		evals = res.Evaluated
+		for _, r := range res.Ranked {
 			rows = append(rows, row{pl: r.Placement, predicted: r.PredictedNS})
 		}
 	default:
@@ -386,7 +384,7 @@ func main() {
 	total := evals
 	switch {
 	case *full:
-		total = placement.CountLegal(tr, cfg)
+		total = res.Total
 	case *target == "":
 		total = 1 + len(placement.Moves(tr, samplePl, cfg))
 	}
@@ -406,13 +404,15 @@ func main() {
 		}
 		log.Fatal("no legal candidate placements")
 	}
-	if !*full {
-		// The engine already returns -full rankings sorted under its
-		// deterministic (predicted, index) order and truncated to -top.
-		sort.Slice(rows, func(i, j int) bool { return rows[i].predicted < rows[j].predicted })
-		if *top > 0 && len(rows) > *top {
-			rows = rows[:*top]
-		}
+	// One shared rendering path for every mode: rows are sorted fastest-first
+	// (stably, preserving each producer's deterministic tie order — the
+	// engine's (predicted, index) order for -full, generation order for
+	// moves) and truncated to -top here, so -top/-measure/-json behave
+	// identically whether the rows came from moves, -target, or a -full
+	// strategy.
+	sort.SliceStable(rows, func(i, j int) bool { return rows[i].predicted < rows[j].predicted })
+	if *top > 0 && len(rows) > *top {
+		rows = rows[:*top]
 	}
 	if *measure {
 		// Measure only the displayed rows — a -top 5 ranking costs 5
@@ -450,7 +450,16 @@ func main() {
 		}
 		if stopReason != nil {
 			resp.Partial = true
+		}
+		// Coverage is attached whenever the ranking does not cover the whole
+		// legal space: partial (budget-stopped) searches and sub-exhaustive
+		// strategies — mirroring the service's contract.
+		if stopReason != nil || (res != nil && res.Strategy != "exhaustive") {
 			resp.Coverage = &service.Coverage{Evaluated: evals, Total: total}
+			if res != nil {
+				resp.Coverage.Strategy = res.Strategy
+				resp.Coverage.Pruned = res.Pruned
+			}
 		}
 		if err := json.NewEncoder(os.Stdout).Encode(resp); err != nil {
 			log.Fatal(err)
@@ -489,6 +498,13 @@ func main() {
 		}
 	}
 	w.Flush()
+	if res != nil && res.Strategy != "exhaustive" {
+		fmt.Printf("\n%s search: evaluated %d of %d legal placements", res.Strategy, evals, total)
+		if res.Pruned > 0 {
+			fmt.Printf(" (%d pruned by bound)", res.Pruned)
+		}
+		fmt.Println()
+	}
 
 	if *explain && len(rows) > 0 {
 		p, err := pred.Predict(rows[0].pl)

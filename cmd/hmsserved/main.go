@@ -9,6 +9,7 @@
 //	hmsserved -archs k80 -load-model k80.json
 //	hmsserved -workers 8 -queue 128 -cache 512 -timeout 30s
 //	hmsserved -workers 2 -parallel 8         # few requests, big rankings
+//	hmsserved -strategy beam-4               # default to beam search (docs/SEARCH.md)
 //
 // Endpoints (docs/SERVICE.md): POST /v1/rank, POST /v1/predict,
 // GET /v1/kernels, GET /healthz, GET /metrics. Concurrency is bounded by a
@@ -58,6 +59,7 @@ func main() {
 		timeout  = flag.Duration("timeout", 60*time.Second, "default per-search wall-clock bound when the request has no timeout_ms")
 		drain    = flag.Duration("drain", 10*time.Second, "graceful-shutdown grace for in-flight searches")
 		parallel = flag.Int("parallel", 0, "ranking workers per search when the request has no parallelism (0 = NumCPU/workers so the pool never oversubscribes, negative = sequential)")
+		strategy = flag.String("strategy", "", "default search strategy when the request names none: exhaustive, greedy, or beam-W (docs/SEARCH.md)")
 	)
 	flag.Parse()
 
@@ -77,8 +79,9 @@ func main() {
 		Workers:        *workers,
 		QueueCap:       *queue,
 		CacheCap:       *cacheN,
-		DefaultTimeout: *timeout,
-		Parallelism:    *parallel,
+		DefaultTimeout:  *timeout,
+		Parallelism:     *parallel,
+		DefaultStrategy: *strategy,
 	}, col)
 	if err != nil {
 		log.Fatal(err)

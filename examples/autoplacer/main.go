@@ -8,6 +8,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"os"
@@ -41,10 +42,11 @@ func main() {
 		}
 
 		space := gpuhms.EnumeratePlacements(tr, cfg)
-		ranked, err := adv.Rank(tr, sample)
+		res, err := adv.RankPlacements(context.Background(), tr, sample, gpuhms.RankOptions{})
 		if err != nil {
 			log.Fatal(err)
 		}
+		ranked := res.Ranked
 		best := ranked[0]
 
 		mSample, err := adv.MeasureOn(tr, sample, sample)

@@ -8,6 +8,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -43,11 +44,11 @@ func main() {
 		if err != nil {
 			log.Fatal(err)
 		}
-		ranked, err := adv.Rank(tr, sample)
+		res, err := adv.RankPlacements(context.Background(), tr, sample, gpuhms.RankOptions{})
 		if err != nil {
 			log.Fatal(err)
 		}
-		best := ranked[0]
+		best := res.Ranked[0]
 		pred, err := pr.Predict(best.Placement)
 		if err != nil {
 			log.Fatal(err)

@@ -6,6 +6,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -66,10 +67,11 @@ func main() {
 		log.Fatal(err)
 	}
 
-	ranked, err := adv.Rank(tr, sample)
+	res, err := adv.RankPlacements(context.Background(), tr, sample, gpuhms.RankOptions{})
 	if err != nil {
 		log.Fatal(err)
 	}
+	ranked := res.Ranked
 	fmt.Printf("ranked %d legal placements of %d arrays; top five:\n", len(ranked), len(tr.Arrays))
 	for i, r := range ranked[:5] {
 		fmt.Printf("  %d. %-40s predicted %8.0f ns\n", i+1, r.Placement.Format(tr), r.PredictedNS)

@@ -22,8 +22,15 @@
 //	spec, _ := gpuhms.Kernel("matrixMul")
 //	tr := spec.Trace(1)
 //	sample, _ := spec.SamplePlacement(tr)
-//	ranked, _ := adv.Rank(tr, sample)
-//	fmt.Println(ranked[0].Placement, ranked[0].PredictedNS)
+//	res, _ := adv.RankPlacements(context.Background(), tr, sample, gpuhms.RankOptions{})
+//	fmt.Println(res.Ranked[0].Placement, res.Ranked[0].PredictedNS)
+//
+// RankPlacements is the single rank entry point: a context for
+// cancellation, RankOptions for bounds (TopK, MaxCandidates, Parallelism)
+// and the search strategy (Exhaustive, Greedy, Beam — docs/SEARCH.md), and
+// a RankResult carrying the ranking plus its coverage. The older Rank,
+// RankContext, BestGreedy, and BestGreedyContext helpers remain as
+// deprecated wrappers around it.
 package gpuhms
 
 import (
@@ -85,6 +92,9 @@ var (
 	ErrBudgetExceeded = hmserr.ErrBudgetExceeded
 	// ErrArchMismatch: a saved model targets a different architecture.
 	ErrArchMismatch = hmserr.ErrArchMismatch
+	// ErrUnknownStrategy: a search-strategy spec names no known strategy
+	// (see ParseStrategy).
+	ErrUnknownStrategy = hmserr.ErrUnknownStrategy
 )
 
 // Config describes the modeled GPU architecture.
@@ -237,15 +247,44 @@ type Advisor = advisor.Advisor
 // Ranked is one candidate placement with its predicted time.
 type Ranked = advisor.Ranked
 
-// RankOptions bounds RankContext's search over the m^n placement space:
-// TopK keeps only the K fastest predictions (O(K) memory on any space);
-// MaxCandidates stops the search after that many predictions and returns
-// the partial ranking together with an error wrapping ErrBudgetExceeded
-// (a *hmserr.BudgetError carrying the Evaluated/Total coverage);
-// Parallelism fans the candidate evaluations out over that many workers,
-// with a ranking guaranteed identical to the sequential one (ties broken
-// by enumeration index — docs/PERFORMANCE.md).
+// RankOptions bounds Advisor.RankPlacements' search over the m^n placement
+// space: TopK keeps only the K fastest predictions (O(K) memory on any
+// space); MaxCandidates stops the search after that many predictions and
+// returns the partial ranking together with an error wrapping
+// ErrBudgetExceeded (a *hmserr.BudgetError carrying the Evaluated/Total
+// coverage); Parallelism fans the candidate evaluations out over that many
+// workers, with a ranking guaranteed identical to the sequential one (ties
+// broken by enumeration index — docs/PERFORMANCE.md); Strategy selects the
+// search strategy (nil = Exhaustive — docs/SEARCH.md).
 type RankOptions = advisor.RankOptions
+
+// RankResult is RankPlacements' outcome: the ranking plus the effective
+// strategy and its Evaluated/Total/Pruned coverage of the legal space.
+type RankResult = advisor.RankResult
+
+// Strategy selects how RankPlacements explores the legal placement space;
+// see docs/SEARCH.md. Every strategy returns the same deterministic
+// (predicted, index)-ordered ranking shape for any worker count.
+type Strategy = advisor.Strategy
+
+// Exhaustive enumerates every legal placement (the default strategy).
+func Exhaustive() Strategy { return advisor.Exhaustive() }
+
+// GreedyStrategy is per-array coordinate descent from the sample placement:
+// it evaluates single-array moves and keeps strictly improving until no
+// move helps. Fast, but only its best row is meaningful beyond the visited
+// subset.
+func GreedyStrategy() Strategy { return advisor.Greedy() }
+
+// Beam keeps the width best partial placements per array position, pruning
+// branches whose model-derived lower bound already exceeds the current
+// top-K (width <= 0 uses the default width 4).
+func Beam(width int) Strategy { return advisor.Beam(width) }
+
+// ParseStrategy reads a strategy spec: "exhaustive" (or ""), "greedy",
+// "beam" or "beam-W". Unknown specs return an error wrapping
+// ErrUnknownStrategy.
+func ParseStrategy(spec string) (Strategy, error) { return advisor.ParseStrategy(spec) }
 
 // NewAdvisor trains the full model on the bundled Table IV training
 // placements and returns a ready-to-use advisor.
@@ -268,7 +307,8 @@ type (
 	RankResponse = service.RankResponse
 	// RankedPlacement is one row of a RankResponse.
 	RankedPlacement = service.RankedPlacement
-	// Coverage reports a partial search's evaluated/total candidates.
+	// Coverage reports a partial or sub-exhaustive search's
+	// evaluated/total candidates, effective strategy, and pruned count.
 	Coverage = service.Coverage
 	// PredictRequest is the body of POST /v1/predict.
 	PredictRequest = service.PredictRequest

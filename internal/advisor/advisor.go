@@ -11,7 +11,6 @@ package advisor
 
 import (
 	"context"
-	"errors"
 	"fmt"
 	"io"
 
@@ -102,8 +101,10 @@ func (a *Advisor) measurer() sim.Measurer {
 // Ranked is one candidate placement with its predicted time. Index is the
 // candidate's raw index in the enumeration of the placement space
 // (placement.Space); equal predictions sort by it, which is what makes a
-// ranking reproducible regardless of how many workers produced it. Searches
-// that do not enumerate the space (BestGreedy) leave it zero.
+// ranking reproducible regardless of how many workers produced it. Every
+// strategy assigns it — sub-exhaustive searches encode the candidates they
+// construct back to their enumeration index (placement.Space.IndexOf), so
+// rankings from different strategies order ties identically.
 type Ranked struct {
 	Placement   *placement.Placement
 	PredictedNS float64
@@ -128,7 +129,7 @@ func (h rankHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
 func (h *rankHeap) Push(x any)   { *h = append(*h, x.(Ranked)) }
 func (h *rankHeap) Pop() any     { old := *h; n := len(old); x := old[n-1]; *h = old[:n-1]; return x }
 
-// RankOptions bounds RankContext's search over the m^n placement space.
+// RankOptions bounds RankPlacements' search over the m^n placement space.
 type RankOptions struct {
 	// TopK keeps only the K fastest predictions; 0 keeps the whole ranking.
 	// With TopK set, memory stays O(K) no matter how large the legal
@@ -140,35 +141,40 @@ type RankOptions struct {
 	// partial results are never silently reported as complete.
 	MaxCandidates int
 	// Parallelism is the number of workers evaluating candidates; values
-	// below 2 run the classic sequential search. Each worker streams a
-	// strided shard of the enumeration through its own predictor clone, and
-	// results are merged under the (PredictedNS, Index) total order, so the
-	// ranking is identical for every worker count. Only the subset covered
-	// by a MaxCandidates budget depends on it (see RankPredictor).
+	// below 2 run sequentially. Each worker predicts on its own clone of the
+	// profiled model, and results are merged under the (PredictedNS, Index)
+	// total order, so the ranking is identical for every worker count. Only
+	// the subset covered by a MaxCandidates budget depends on it (see
+	// Search).
 	Parallelism int
+	// Strategy selects how the search covers the space: nil or Exhaustive()
+	// predicts every legal placement; Greedy() and Beam(w) visit a
+	// model-guided subset and rank only what they visit (docs/SEARCH.md).
+	Strategy Strategy
 }
 
-// Rank profiles the sample placement on the simulator, predicts every legal
-// placement of the trace, and returns them fastest-first.
-func (a *Advisor) Rank(t *trace.Trace, sample *placement.Placement) ([]Ranked, error) {
-	return a.RankContext(context.Background(), t, sample, RankOptions{})
-}
-
-// RankContext is Rank with cancellation, budgets, and optional parallelism.
-// A canceled context aborts the profiling run and the enumeration promptly
-// and returns ctx.Err(). The placement space is streamed, so only the kept
-// candidates are ever resident. With opt.Parallelism > 1 the space is
-// sharded over that many workers, each predicting on its own clone of the
-// profiled model; the result is identical to the sequential ranking for
-// every worker count (see RankPredictor, the engine behind this method).
+// RankPlacements profiles the sample placement, searches the legal placement
+// space of the trace under opt, and returns the kept candidates
+// fastest-first together with the search's coverage (strategy, evaluated,
+// pruned, total). It is the advisor's one ranking entry point; Rank,
+// RankContext, BestGreedy, and BestGreedyContext are deprecated wrappers
+// around it.
+//
+// A canceled context aborts the profiling run and the search promptly and
+// returns ctx.Err(). The placement space is streamed, so only the kept
+// candidates are ever resident. With opt.Parallelism > 1 evaluations fan out
+// over that many workers, each predicting on its own clone of the profiled
+// model; the result is identical to the sequential search for every worker
+// count (see Search, the engine behind this method).
 //
 // With Advisor.Recorder set, each evaluation is recorded as a span, the
-// best-so-far prediction as a gauge, and progress reports flow throughout.
-// When the MaxCandidates budget stops the search, the final progress report
-// carries Evaluated (placements predicted) versus Total (the legal space
-// that was enumerated), so a partial ranking's coverage survives in the obs
-// snapshot instead of being lost with the error.
-func (a *Advisor) RankContext(ctx context.Context, t *trace.Trace, sample *placement.Placement, opt RankOptions) (ranked []Ranked, err error) {
+// best-so-far prediction as a gauge, and progress reports (including the
+// strategy and pruned-candidate count) flow throughout. When the
+// MaxCandidates budget stops the search, the partial result is returned with
+// a *hmserr.BudgetError, and the final progress report carries Evaluated
+// versus Total, so a partial ranking's coverage survives in the obs snapshot
+// instead of being lost with the error.
+func (a *Advisor) RankPlacements(ctx context.Context, t *trace.Trace, sample *placement.Placement, opt RankOptions) (res *RankResult, err error) {
 	defer hmserr.Guard(&err)
 	if err := checkConfig(a.Cfg); err != nil {
 		return nil, err
@@ -177,7 +183,30 @@ func (a *Advisor) RankContext(ctx context.Context, t *trace.Trace, sample *place
 	if err != nil {
 		return nil, err
 	}
-	return RankPredictor(ctx, a.Cfg, t, pr, opt, a.rec())
+	return Search(ctx, a.Cfg, t, pr, opt, a.rec())
+}
+
+// Rank profiles the sample placement on the simulator, predicts every legal
+// placement of the trace, and returns them fastest-first.
+//
+// Deprecated: use RankPlacements, which adds cancellation, strategy
+// selection, and coverage reporting. Rank remains as a thin wrapper and
+// behaves exactly as before.
+func (a *Advisor) Rank(t *trace.Trace, sample *placement.Placement) ([]Ranked, error) {
+	return a.RankContext(context.Background(), t, sample, RankOptions{})
+}
+
+// RankContext is Rank with cancellation, budgets, and optional parallelism.
+//
+// Deprecated: use RankPlacements, which additionally reports the search's
+// strategy, pruning, and coverage. RankContext remains as a thin wrapper
+// returning just the ranked slice.
+func (a *Advisor) RankContext(ctx context.Context, t *trace.Trace, sample *placement.Placement, opt RankOptions) ([]Ranked, error) {
+	res, err := a.RankPlacements(ctx, t, sample, opt)
+	if res == nil {
+		return nil, err
+	}
+	return res.Ranked, err
 }
 
 // Predictor profiles the sample placement and returns a predictor for
@@ -238,9 +267,12 @@ func (a *Advisor) Save(w io.Writer) error {
 }
 
 // BestGreedy finds a good placement by greedy single-array moves instead of
-// enumerating the m^n space — the practical strategy for kernels with many
-// arrays. Returns the placement, its predicted time, and the number of
-// model evaluations spent.
+// enumerating the m^n space. Returns the placement, its predicted time, and
+// the number of model evaluations spent.
+//
+// Deprecated: use RankPlacements with RankOptions{Strategy: Greedy(),
+// TopK: 1}; RankResult carries the same evaluation count as Evaluated.
+// BestGreedy remains as a thin wrapper routed through it.
 func (a *Advisor) BestGreedy(t *trace.Trace, sample *placement.Placement) (Ranked, int, error) {
 	return a.BestGreedyContext(context.Background(), t, sample, 0)
 }
@@ -249,25 +281,19 @@ func (a *Advisor) BestGreedy(t *trace.Trace, sample *placement.Placement) (Ranke
 // evaluation budget (maxEvals <= 0 means unlimited). When the budget runs
 // out, the best placement found so far is returned together with an error
 // wrapping ErrBudgetExceeded.
-func (a *Advisor) BestGreedyContext(ctx context.Context, t *trace.Trace, sample *placement.Placement, maxEvals int) (best Ranked, evals int, err error) {
-	defer hmserr.Guard(&err)
-	pr, err := a.PredictorContext(ctx, t, sample)
-	if err != nil {
+//
+// Deprecated: use RankPlacements with RankOptions{Strategy: Greedy(),
+// TopK: 1, MaxCandidates: maxEvals}. BestGreedyContext remains as a thin
+// wrapper routed through it.
+func (a *Advisor) BestGreedyContext(ctx context.Context, t *trace.Trace, sample *placement.Placement, maxEvals int) (Ranked, int, error) {
+	res, err := a.RankPlacements(ctx, t, sample, RankOptions{
+		TopK: 1, MaxCandidates: maxEvals, Strategy: Greedy(),
+	})
+	if res == nil {
 		return Ranked{}, 0, err
 	}
-	cost := func(pl *placement.Placement) (float64, error) {
-		if e := ctx.Err(); e != nil {
-			return 0, e
-		}
-		p, err := pr.Predict(pl)
-		if err != nil {
-			return 0, err
-		}
-		return p.TimeNS, nil
+	if len(res.Ranked) == 0 {
+		return Ranked{}, res.Evaluated, err
 	}
-	pl, ns, evals, err := placement.GreedySearchContext(ctx, t, a.Cfg, sample, cost, maxEvals, a.Recorder)
-	if err != nil && !errors.Is(err, hmserr.ErrBudgetExceeded) {
-		return Ranked{}, evals, err
-	}
-	return Ranked{Placement: pl, PredictedNS: ns}, evals, err
+	return res.Ranked[0], res.Evaluated, err
 }

@@ -1,0 +1,116 @@
+package advisor
+
+import (
+	"context"
+	"encoding/json"
+	"os"
+	"runtime"
+	"testing"
+	"time"
+)
+
+// searchStrategyReport is one strategy's row in BENCH_search.json: how much
+// of the space it predicted, what it skipped, how long it took, and how far
+// its best placement sits from the exhaustive optimum.
+type searchStrategyReport struct {
+	Evaluated int          `json:"evaluated"`
+	Pruned    int          `json:"pruned,omitempty"`
+	Total     int          `json:"total"`
+	Wall      latencyStats `json:"wall"`
+	Top1NS    float64      `json:"top1_ns"`
+	// Top1Regret is top1_ns / exhaustive top1_ns (1.0 = found the optimum).
+	Top1Regret float64 `json:"top1_regret"`
+	// EvalFraction is evaluated/total — the point of sub-exhaustive search.
+	EvalFraction float64 `json:"eval_fraction"`
+}
+
+// TestBenchSearchArtifact compares the search strategies on the largest
+// bundled space (spmv, 288 legal placements): candidates evaluated and wall
+// time per strategy, from one shared profiled sample so the comparison is
+// search-only. Writes BENCH_search.json; gated by BENCH_SEARCH_OUT so the
+// ordinary test run stays fast — scripts/bench_search.sh drives it.
+//
+// Asserted acceptance: greedy and beam-4 must evaluate under half the space
+// while landing within 1% of the exhaustive top-1 prediction.
+func TestBenchSearchArtifact(t *testing.T) {
+	out := os.Getenv("BENCH_SEARCH_OUT")
+	if out == "" {
+		t.Skip("set BENCH_SEARCH_OUT=/path/to/BENCH_search.json to run")
+	}
+	const kernel = "spmv"
+	a, tr, sample := benchSetup(t, kernel)
+	ctx := context.Background()
+	pr, err := a.PredictorContext(ctx, tr, sample)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	const rounds = 10
+	workers := runtime.NumCPU()
+	reports := map[string]searchStrategyReport{}
+	var exhaustiveTop1 float64
+	for _, strat := range []Strategy{Exhaustive(), Greedy(), Beam(4)} {
+		var res *RankResult
+		wall := make([]time.Duration, 0, rounds)
+		for i := 0; i < rounds; i++ {
+			start := time.Now()
+			res, err = Search(ctx, a.Cfg, tr, pr,
+				RankOptions{TopK: 10, Parallelism: workers, Strategy: strat}, nil)
+			wall = append(wall, time.Since(start))
+			if err != nil {
+				t.Fatalf("%s: %v", strat.Spec(), err)
+			}
+		}
+		r := searchStrategyReport{
+			Evaluated:    res.Evaluated,
+			Pruned:       res.Pruned,
+			Total:        res.Total,
+			Wall:         summarize(wall),
+			Top1NS:       res.Ranked[0].PredictedNS,
+			EvalFraction: float64(res.Evaluated) / float64(res.Total),
+		}
+		if strat.Spec() == "exhaustive" {
+			exhaustiveTop1 = r.Top1NS
+		}
+		r.Top1Regret = r.Top1NS / exhaustiveTop1
+		reports[strat.Spec()] = r
+	}
+
+	for spec, r := range reports {
+		if spec == "exhaustive" {
+			continue
+		}
+		if r.EvalFraction >= 0.5 {
+			t.Errorf("%s evaluated %d of %d (%.0f%%) — want under half the space",
+				spec, r.Evaluated, r.Total, 100*r.EvalFraction)
+		}
+		if r.Top1Regret > 1.01 {
+			t.Errorf("%s top-1 regret %.4fx — want within 1%% of the exhaustive optimum",
+				spec, r.Top1Regret)
+		}
+	}
+
+	report := struct {
+		Bench      string                          `json:"bench"`
+		Kernel     string                          `json:"kernel"`
+		NumCPU     int                             `json:"num_cpu"`
+		Strategies map[string]searchStrategyReport `json:"strategies"`
+	}{
+		Bench:      "advisor_search_strategies",
+		Kernel:     kernel,
+		NumCPU:     workers,
+		Strategies: reports,
+	}
+	data, err := json.MarshalIndent(&report, "", "  ")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(out, append(data, '\n'), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	ex, gr, bm := reports["exhaustive"], reports["greedy"], reports["beam-4"]
+	t.Logf("wrote %s (exhaustive %d evals p50 %.2fms; greedy %d evals p50 %.2fms regret %.4fx; beam-4 %d evals (%d pruned) p50 %.2fms regret %.4fx)",
+		out, ex.Evaluated, ex.Wall.P50NS/1e6,
+		gr.Evaluated, gr.Wall.P50NS/1e6, gr.Top1Regret,
+		bm.Evaluated, bm.Pruned, bm.Wall.P50NS/1e6, bm.Top1Regret)
+}

@@ -15,28 +15,232 @@ import (
 	"gpuhms/internal/trace"
 )
 
-// RankPredictor is the ranking engine behind Advisor.RankContext: it streams
-// the legal placement space of t through pr and returns the candidates
-// fastest-first, tie-broken by enumeration index.
+// RankResult is the outcome of a ranking search: the kept candidates
+// fastest-first plus the search's own coverage record, so a caller (or the
+// advisory service) can report what a sub-exhaustive or budget-stopped
+// search actually looked at without re-deriving it.
+type RankResult struct {
+	// Ranked holds the kept candidates fastest-first, tie-broken by
+	// enumeration index.
+	Ranked []Ranked
+	// Strategy is the canonical spec of the strategy that ran
+	// ("exhaustive", "greedy", "beam-4").
+	Strategy string
+	// Evaluated is the number of candidate placements actually predicted.
+	Evaluated int
+	// Pruned counts candidates a bounded search skipped because the
+	// admissible lower bound proved they could not enter the top-K; 0 for
+	// exhaustive and greedy searches.
+	Pruned int
+	// Total is the size of the legal placement space. For a complete
+	// exhaustive search it equals Evaluated; sub-exhaustive and
+	// budget-stopped searches count it separately so Evaluated/Total is
+	// their true coverage.
+	Total int
+}
+
+// engine is the shared ranking machinery every Strategy drives: the indexed
+// placement space, per-worker predictor clones and top-K heaps, the shared
+// budget token pool, cancellation, and obs recording. A strategy decides
+// *which* candidates to evaluate (and in what structure); the engine owns
+// *how* one candidate is evaluated and kept.
+type engine struct {
+	inner  context.Context
+	cancel context.CancelFunc
+
+	cfg     *gpu.Config
+	t       *trace.Trace
+	space   *placement.Space
+	preds   []*core.Predictor
+	opt     RankOptions
+	spec    string
+	rec     obs.Recorder
+	enabled bool
+	workers int
+	limit   int64
+
+	granted   atomic.Int64 // prediction tokens handed out (budget pool)
+	budgetHit atomic.Bool
+	pruned    atomic.Int64
+	failOnce  sync.Once
+	firstErr  error
+
+	obsMu    sync.Mutex // serializes best-so-far tracking and recording
+	bestNS   float64
+	bestName string
+
+	heaps []rankHeap
+}
+
+func (e *engine) fail(err error) {
+	e.failOnce.Do(func() {
+		e.firstErr = err
+		e.cancel()
+	})
+}
+
+// stopping reports whether the search must not continue past the current
+// barrier: canceled, failed, or out of budget.
+func (e *engine) stopping() bool {
+	return e.inner.Err() != nil || e.budgetHit.Load()
+}
+
+// evalOne evaluates one candidate on worker w's predictor: it takes a budget
+// token, predicts, records, and feeds worker w's top-K heap. The returned ok
+// is false when the search must stop (cancellation, budget, or a prediction
+// error already routed through fail).
+func (e *engine) evalOne(w int, idx int64, pl *placement.Placement) (float64, bool) {
+	if e.inner.Err() != nil {
+		return 0, false
+	}
+	// Take a budget token before predicting; handing back an over-limit
+	// grant keeps the total number of predictions across all workers exactly
+	// at the limit.
+	if e.granted.Add(1) > e.limit && e.limit > 0 {
+		e.granted.Add(-1)
+		e.budgetHit.Store(true)
+		return 0, false
+	}
+	var start float64
+	if e.enabled {
+		start = e.rec.Now()
+	}
+	res, err := e.preds[w].Predict(pl)
+	if err != nil {
+		e.fail(err)
+		return 0, false
+	}
+	if e.enabled {
+		e.obsMu.Lock()
+		if e.bestNS == 0 || res.TimeNS < e.bestNS {
+			e.bestNS = res.TimeNS
+			e.bestName = pl.Format(e.t)
+			e.rec.Gauge("advisor_best_ns", e.bestNS)
+		}
+		e.rec.Add("advisor_evals_total", 1)
+		e.rec.Span("advisor", "eval "+pl.Format(e.t), start, e.rec.Now()-start)
+		e.rec.ReportProgress(obs.Progress{
+			Evaluated: int(e.granted.Load()), BestNS: e.bestNS, Best: e.bestName,
+			Strategy: e.spec, Pruned: int(e.pruned.Load()),
+		})
+		e.obsMu.Unlock()
+	}
+	// The candidate may be enumeration scratch: clone only when it actually
+	// enters the heap.
+	kept := &e.heaps[w]
+	c := Ranked{PredictedNS: res.TimeNS, Index: idx}
+	switch {
+	case e.opt.TopK > 0 && len(*kept) == e.opt.TopK:
+		root := &(*kept)[0]
+		if c.PredictedNS < root.PredictedNS ||
+			(c.PredictedNS == root.PredictedNS && c.Index < root.Index) {
+			c.Placement = pl.Clone()
+			(*kept)[0] = c
+			heap.Fix(kept, 0)
+		}
+	default:
+		c.Placement = pl.Clone()
+		heap.Push(kept, c)
+	}
+	return res.TimeNS, true
+}
+
+// scored is one evalBatch outcome; ok mirrors evalOne's.
+type scored struct {
+	ns float64
+	ok bool
+}
+
+// evalBatch evaluates a batch of candidates across the engine's workers
+// (item i on worker i mod w) and returns their scores in batch order. Every
+// item is evaluated unless the search is stopping, so batch results — and
+// anything a strategy derives from them — are identical for every worker
+// count.
+func (e *engine) evalBatch(idxs []int64, pls []*placement.Placement) []scored {
+	out := make([]scored, len(pls))
+	w := e.workers
+	if w > len(pls) {
+		w = len(pls)
+	}
+	if w <= 1 {
+		for i := range pls {
+			ns, ok := e.evalOne(0, idxs[i], pls[i])
+			out[i] = scored{ns: ns, ok: ok}
+			if !ok {
+				break
+			}
+		}
+		return out
+	}
+	var wg sync.WaitGroup
+	for wi := 0; wi < w; wi++ {
+		wg.Add(1)
+		go func(wi int) {
+			defer wg.Done()
+			for i := wi; i < len(pls); i += w {
+				ns, ok := e.evalOne(wi, idxs[i], pls[i])
+				out[i] = scored{ns: ns, ok: ok}
+				if !ok {
+					return
+				}
+			}
+		}(wi)
+	}
+	wg.Wait()
+	return out
+}
+
+// worstKept returns the current global k-th best prediction (the pruning
+// threshold) and whether the kept set is full. Must be called at a barrier —
+// no evaluation in flight. The union of the worker heaps always contains the
+// global top-K of everything evaluated so far, so the answer is identical
+// for every worker count.
+func (e *engine) worstKept() (float64, bool) {
+	if e.opt.TopK <= 0 {
+		return 0, false
+	}
+	var all []Ranked
+	for _, h := range e.heaps {
+		all = append(all, h...)
+	}
+	if len(all) < e.opt.TopK {
+		return 0, false
+	}
+	sort.Slice(all, func(i, j int) bool {
+		if all[i].PredictedNS != all[j].PredictedNS {
+			return all[i].PredictedNS < all[j].PredictedNS
+		}
+		return all[i].Index < all[j].Index
+	})
+	return all[e.opt.TopK-1].PredictedNS, true
+}
+
+// Search is the ranking engine behind Advisor.RankPlacements: it runs
+// opt.Strategy (nil = Exhaustive) over the legal placement space of t
+// through pr and returns the kept candidates fastest-first, tie-broken by
+// enumeration index, together with the search's coverage.
 //
-// With opt.Parallelism > 1 the raw space is sharded by stride — worker w of n
-// covers raw indices congruent to w mod n — and each worker evaluates its
-// shard on a private clone of pr, keeping a private top-K heap. The shards
-// partition the space exactly, and every ordering decision (heap eviction,
-// final sort) uses the (PredictedNS, Index) total order, so the merged result
-// is identical to the sequential ranking for every worker count. The only
+// With opt.Parallelism > 1 candidate evaluations fan out over that many
+// workers, each predicting on a private clone of pr with a private top-K
+// heap; every ordering decision (heap eviction, frontier selection, final
+// sort) uses the (PredictedNS, Index) total order, so the result is
+// identical to the sequential search for every worker count. The only
 // worker-count-dependent behavior is *which* placements a MaxCandidates
 // budget covers: the budget is a shared atomic token pool, so exactly
-// MaxCandidates predictions run, but the evaluated subset follows the shard
-// interleaving rather than the sequential prefix.
+// MaxCandidates predictions run, but the evaluated subset follows worker
+// interleaving rather than a deterministic prefix.
 //
-// Cancellation and budget semantics match the sequential search: a canceled
-// ctx wins over any other stop cause, a worker error cancels the remaining
-// shards and is returned as-is, and a budget stop returns the partial ranking
-// with a *hmserr.BudgetError carrying Evaluated/Total coverage.
-func RankPredictor(ctx context.Context, cfg *gpu.Config, t *trace.Trace, pr *core.Predictor, opt RankOptions, rec obs.Recorder) ([]Ranked, error) {
+// Cancellation and budget semantics are uniform across strategies: a
+// canceled ctx wins over any other stop cause, a prediction error cancels
+// the remaining work and is returned as-is, and a budget stop returns the
+// partial result with a *hmserr.BudgetError carrying Evaluated/Total
+// coverage.
+func Search(ctx context.Context, cfg *gpu.Config, t *trace.Trace, pr *core.Predictor, opt RankOptions, rec obs.Recorder) (*RankResult, error) {
 	rec = obs.OrNop(rec)
-	enabled := rec.Enabled()
+	strat := opt.Strategy
+	if strat == nil {
+		strat = Exhaustive()
+	}
 	space := placement.NewSpace(t, cfg)
 
 	workers := opt.Parallelism
@@ -46,7 +250,6 @@ func RankPredictor(ctx context.Context, cfg *gpu.Config, t *trace.Trace, pr *cor
 	if raw := space.RawSize(); raw > 0 && int64(workers) > raw {
 		workers = int(raw)
 	}
-
 	preds := make([]*core.Predictor, workers)
 	preds[0] = pr
 	for w := 1; w < workers; w++ {
@@ -55,104 +258,34 @@ func RankPredictor(ctx context.Context, cfg *gpu.Config, t *trace.Trace, pr *cor
 
 	inner, cancel := context.WithCancel(ctx)
 	defer cancel()
-
-	var (
-		granted   atomic.Int64 // prediction tokens handed out (budget pool)
-		budgetHit atomic.Bool
-		failOnce  sync.Once
-		firstErr  error
-
-		obsMu    sync.Mutex // serializes best-so-far tracking and recording
-		bestNS   float64
-		bestName string
-	)
-	limit := int64(opt.MaxCandidates)
-	fail := func(err error) {
-		failOnce.Do(func() {
-			firstErr = err
-			cancel()
-		})
+	e := &engine{
+		inner:   inner,
+		cancel:  cancel,
+		cfg:     cfg,
+		t:       t,
+		space:   space,
+		preds:   preds,
+		opt:     opt,
+		spec:    strat.Spec(),
+		rec:     rec,
+		enabled: rec.Enabled(),
+		workers: workers,
+		limit:   int64(opt.MaxCandidates),
+		heaps:   make([]rankHeap, workers),
 	}
 
-	heaps := make([]rankHeap, workers)
-	runWorker := func(w int) {
-		p := preds[w]
-		var kept rankHeap
-		space.EnumerateShard(w, workers, func(idx int64, pl *placement.Placement) bool {
-			if inner.Err() != nil {
-				return false
-			}
-			// Take a budget token before predicting; handing back an
-			// over-limit grant keeps the total number of predictions across
-			// all workers exactly at the limit.
-			if granted.Add(1) > limit && limit > 0 {
-				granted.Add(-1)
-				budgetHit.Store(true)
-				return false
-			}
-			var start float64
-			if enabled {
-				start = rec.Now()
-			}
-			res, e := p.Predict(pl)
-			if e != nil {
-				fail(e)
-				return false
-			}
-			if enabled {
-				obsMu.Lock()
-				if bestNS == 0 || res.TimeNS < bestNS {
-					bestNS = res.TimeNS
-					bestName = pl.Format(t)
-					rec.Gauge("advisor_best_ns", bestNS)
-				}
-				rec.Add("advisor_evals_total", 1)
-				rec.Span("advisor", "eval "+pl.Format(t), start, rec.Now()-start)
-				rec.ReportProgress(obs.Progress{Evaluated: int(granted.Load()), BestNS: bestNS, Best: bestName})
-				obsMu.Unlock()
-			}
-			// The yielded placement is the shard's scratch: clone only when
-			// the candidate actually enters the heap.
-			c := Ranked{PredictedNS: res.TimeNS, Index: idx}
-			switch {
-			case opt.TopK > 0 && len(kept) == opt.TopK:
-				root := &kept[0]
-				if c.PredictedNS < root.PredictedNS ||
-					(c.PredictedNS == root.PredictedNS && c.Index < root.Index) {
-					c.Placement = pl.Clone()
-					kept[0] = c
-					heap.Fix(&kept, 0)
-				}
-			default:
-				c.Placement = pl.Clone()
-				heap.Push(&kept, c)
-			}
-			return true
-		})
-		heaps[w] = kept
+	strat.run(e)
+
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	if e.firstErr != nil {
+		return nil, e.firstErr
 	}
 
-	if workers == 1 {
-		runWorker(0)
-	} else {
-		var wg sync.WaitGroup
-		for w := 0; w < workers; w++ {
-			wg.Add(1)
-			go func(w int) { defer wg.Done(); runWorker(w) }(w)
-		}
-		wg.Wait()
-	}
-
-	if e := ctx.Err(); e != nil {
-		return nil, e
-	}
-	if firstErr != nil {
-		return nil, firstErr
-	}
-
-	candidates := int(granted.Load())
+	candidates := int(e.granted.Load())
 	out := make([]Ranked, 0, candidates)
-	for _, h := range heaps {
+	for _, h := range e.heaps {
 		out = append(out, h...)
 	}
 	sort.Slice(out, func(i, j int) bool {
@@ -167,32 +300,55 @@ func RankPredictor(ctx context.Context, cfg *gpu.Config, t *trace.Trace, pr *cor
 	// Recompute the final best from the merged ranking so the Done report is
 	// deterministic (the in-flight gauge tracked arrival order, not index
 	// order, among equal predictions).
-	bestNS, bestName = 0, ""
+	bestNS, bestName := 0.0, ""
 	if len(out) > 0 {
 		bestNS = out[0].PredictedNS
 		bestName = out[0].Placement.Format(t)
 	}
-	if budgetHit.Load() {
-		// The search stopped on budget: count the legal space it would have
-		// covered, so the partial ranking reports its coverage
-		// (Evaluated/Total) instead of losing it.
-		total := placement.CountLegal(t, cfg)
-		stopErr := &hmserr.BudgetError{Evaluated: candidates, Total: total, What: "candidate placements"}
-		rec.ReportProgress(obs.Progress{
-			Evaluated: candidates, Total: total, BestNS: bestNS, Best: bestName, Done: true,
-		})
-		if enabled {
-			rec.Gauge("advisor_rank_evaluated", float64(candidates))
-			rec.Gauge("advisor_rank_total", float64(total))
-		}
-		return out, stopErr
+
+	res := &RankResult{
+		Ranked:    out,
+		Strategy:  e.spec,
+		Evaluated: candidates,
+		Pruned:    int(e.pruned.Load()),
 	}
-	if enabled {
+	budget := e.budgetHit.Load()
+	if budget || e.spec != "exhaustive" {
+		// The search did not (necessarily) cover the whole legal space:
+		// count it so Evaluated/Total reports the true coverage. A complete
+		// exhaustive search covered exactly what it evaluated.
+		res.Total = placement.CountLegal(t, cfg)
+	} else {
+		res.Total = candidates
+	}
+
+	rec.ReportProgress(obs.Progress{
+		Evaluated: candidates, Total: res.Total, BestNS: bestNS, Best: bestName,
+		Strategy: e.spec, Pruned: res.Pruned, Done: true,
+	})
+	if e.enabled {
 		rec.Gauge("advisor_rank_evaluated", float64(candidates))
-		rec.Gauge("advisor_rank_total", float64(candidates))
-		rec.ReportProgress(obs.Progress{
-			Evaluated: candidates, Total: candidates, BestNS: bestNS, Best: bestName, Done: true,
-		})
+		rec.Gauge("advisor_rank_total", float64(res.Total))
+		if res.Pruned > 0 {
+			rec.Add("advisor_pruned_total", int64(res.Pruned))
+		}
 	}
-	return out, nil
+	if budget {
+		return res, &hmserr.BudgetError{Evaluated: candidates, Total: res.Total, What: "candidate placements"}
+	}
+	return res, nil
+}
+
+// RankPredictor is the legacy engine entry point: Search flattened to the
+// ranked slice.
+//
+// Deprecated: use Search, which also reports the strategy, pruning, and
+// coverage of the run; RankPredictor remains for callers that only need the
+// ranking.
+func RankPredictor(ctx context.Context, cfg *gpu.Config, t *trace.Trace, pr *core.Predictor, opt RankOptions, rec obs.Recorder) ([]Ranked, error) {
+	res, err := Search(ctx, cfg, t, pr, opt, rec)
+	if res == nil {
+		return nil, err
+	}
+	return res.Ranked, err
 }

@@ -1,0 +1,289 @@
+package advisor
+
+import (
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+
+	"gpuhms/internal/core"
+	"gpuhms/internal/hmserr"
+	"gpuhms/internal/placement"
+	"gpuhms/internal/trace"
+)
+
+// Strategy selects how a ranking search covers the legal placement space.
+// The built-in strategies — Exhaustive, Greedy, Beam — are the closed set of
+// implementations (the interface has an unexported method); pick one by
+// constructor or parse a wire spec with ParseStrategy.
+//
+// Every strategy preserves the engine contracts (docs/SEARCH.md): results are
+// deterministic for any worker count, a MaxCandidates budget stops the search
+// with a *hmserr.BudgetError carrying Evaluated/Total coverage, and a
+// canceled context wins over every other stop cause. Sub-exhaustive
+// strategies (greedy, beam) rank only the candidates they visit, so their
+// rankings are a subset of the exhaustive one — the top-1 agrees on all
+// bundled kernels (pinned in tests), but in general a sub-exhaustive search
+// may return a near-optimal placement with bounded regret.
+type Strategy interface {
+	// Spec returns the canonical wire spelling of the strategy:
+	// "exhaustive", "greedy", "beam-4". It is what the service echoes in
+	// RankResponse.Coverage and keys its result cache on.
+	Spec() string
+
+	// run drives the shared ranking engine. Unexported: the strategy set is
+	// closed so the engine contracts stay enforceable.
+	run(e *engine)
+}
+
+// DefaultBeamWidth is the frontier width Beam uses when none is given; it is
+// also the width the "beam" spec (no suffix) parses to.
+const DefaultBeamWidth = 4
+
+// MaxBeamWidth caps the frontier width accepted from wire specs, so a
+// hostile "beam-1000000000" cannot turn a bounded search back into an
+// exhaustive one with a giant frontier.
+const MaxBeamWidth = 4096
+
+// Exhaustive returns the complete-enumeration strategy: every legal
+// placement is predicted, exactly the classic Rank semantics. It is the
+// default when RankOptions.Strategy is nil.
+func Exhaustive() Strategy { return exhaustive{} }
+
+// Greedy returns per-array coordinate descent from the sample placement:
+// each round evaluates every unseen single-array move from the current
+// placement (in parallel) and takes the strictly best one; the search stops
+// when no move improves. Evaluations are cached by enumeration index, so a
+// placement is never predicted twice.
+func Greedy() Strategy { return greedy{} }
+
+// Beam returns a width-w beam search over arrays in declaration order: level
+// L fixes array L's space across a frontier of at most w of the best states
+// seen so far (suffix arrays keep the sample's spaces until their level).
+// With TopK set, a model-derived admissible lower bound (core.PlacementBound)
+// prunes branches that provably cannot beat the current top-K. Widths < 1
+// become DefaultBeamWidth; widths above MaxBeamWidth are capped.
+func Beam(width int) Strategy {
+	if width < 1 {
+		width = DefaultBeamWidth
+	}
+	if width > MaxBeamWidth {
+		width = MaxBeamWidth
+	}
+	return beam{width: width}
+}
+
+// ParseStrategy converts a wire spec into a Strategy: "" or "exhaustive",
+// "greedy", "beam" (DefaultBeamWidth), or "beam-W" for an explicit width.
+// Unknown specs (and out-of-range widths) return an error wrapping
+// hmserr.ErrUnknownStrategy — caller input, never an internal failure.
+func ParseStrategy(spec string) (Strategy, error) {
+	s := strings.ToLower(strings.TrimSpace(spec))
+	switch s {
+	case "", "exhaustive":
+		return Exhaustive(), nil
+	case "greedy":
+		return Greedy(), nil
+	case "beam":
+		return Beam(DefaultBeamWidth), nil
+	}
+	if w, ok := strings.CutPrefix(s, "beam-"); ok {
+		n, err := strconv.Atoi(w)
+		if err == nil && n >= 1 {
+			if n > MaxBeamWidth {
+				return nil, hmserr.Wrap(hmserr.ErrUnknownStrategy,
+					"beam width %d exceeds max %d", n, MaxBeamWidth)
+			}
+			return Beam(n), nil
+		}
+	}
+	return nil, hmserr.Wrap(hmserr.ErrUnknownStrategy,
+		"%q (want exhaustive, greedy, or beam-W)", spec)
+}
+
+// exhaustive is the classic complete search: shard the raw space by stride,
+// one shard per worker, each predicting on its own clone (see Search).
+type exhaustive struct{}
+
+func (exhaustive) Spec() string { return "exhaustive" }
+
+func (exhaustive) run(e *engine) {
+	runWorker := func(w int) {
+		e.space.EnumerateShard(w, e.workers, func(idx int64, pl *placement.Placement) bool {
+			_, ok := e.evalOne(w, idx, pl)
+			return ok
+		})
+	}
+	if e.workers == 1 {
+		runWorker(0)
+		return
+	}
+	var wg sync.WaitGroup
+	for w := 0; w < e.workers; w++ {
+		wg.Add(1)
+		go func(w int) { defer wg.Done(); runWorker(w) }(w)
+	}
+	wg.Wait()
+}
+
+// greedy is per-array coordinate descent from the sample placement.
+type greedy struct{}
+
+func (greedy) Spec() string { return "greedy" }
+
+func (greedy) run(e *engine) {
+	if e.space.Arrays() == 0 {
+		return
+	}
+	sample := e.preds[0].SamplePlacement()
+	idx, ok := e.space.IndexOf(sample)
+	if !ok {
+		return
+	}
+	cur := sample.Clone()
+	seen := map[int64]bool{idx: true}
+	curNS, ok := e.evalOne(0, idx, cur)
+	if !ok {
+		return
+	}
+	for {
+		// One round: every unseen legal single-array move from the current
+		// placement, generated in deterministic (array, option) order.
+		var idxs []int64
+		var pls []*placement.Placement
+		for j := 0; j < e.space.Arrays(); j++ {
+			for _, sp := range e.space.ArrayOptions(j) {
+				if sp == cur.Spaces[j] {
+					continue
+				}
+				next := cur.WithMove(trace.ArrayID(j), sp)
+				if placement.Check(e.t, next, e.cfg) != nil {
+					continue
+				}
+				ni, ok := e.space.IndexOf(next)
+				if !ok || seen[ni] {
+					continue
+				}
+				seen[ni] = true
+				idxs = append(idxs, ni)
+				pls = append(pls, next)
+			}
+		}
+		if len(pls) == 0 {
+			return
+		}
+		res := e.evalBatch(idxs, pls)
+		if e.stopping() {
+			return
+		}
+		best := -1
+		for i, r := range res {
+			if !r.ok {
+				continue
+			}
+			if best < 0 || r.ns < res[best].ns ||
+				(r.ns == res[best].ns && idxs[i] < idxs[best]) {
+				best = i
+			}
+		}
+		// Move only on strict improvement: the current prediction strictly
+		// decreases every round, so no placement ever repeats as current and
+		// the descent terminates.
+		if best < 0 || res[best].ns >= curNS {
+			return
+		}
+		cur, curNS = pls[best], res[best].ns
+	}
+}
+
+// beam is a width-limited frontier search over arrays in declaration order,
+// with admissible-bound pruning against the current top-K.
+type beam struct{ width int }
+
+func (b beam) Spec() string { return "beam-" + strconv.Itoa(b.width) }
+
+func (b beam) run(e *engine) {
+	n := e.space.Arrays()
+	if n == 0 {
+		return
+	}
+	sample := e.preds[0].SamplePlacement()
+	rootIdx, ok := e.space.IndexOf(sample)
+	if !ok {
+		return
+	}
+	lower := core.NewPlacementBound(e.preds[0])
+
+	type state struct {
+		pl  *placement.Placement
+		ns  float64
+		idx int64
+	}
+	rootNS, ok := e.evalOne(0, rootIdx, sample)
+	if !ok {
+		return
+	}
+	// Every frontier state is a fully legal placement: arrays below the
+	// current level are decided, arrays at or above it still hold the
+	// sample's spaces. The root is the sample itself.
+	frontier := []state{{pl: sample.Clone(), ns: rootNS, idx: rootIdx}}
+	seen := map[int64]bool{rootIdx: true}
+
+	for level := 0; level < n; level++ {
+		// The prune threshold is the current global k-th best prediction —
+		// computed at the level barrier, where all prior evaluations have
+		// completed, so it is identical for every worker count.
+		worstNS, full := e.worstKept()
+		var idxs []int64
+		var pls []*placement.Placement
+		for _, st := range frontier {
+			for _, sp := range e.space.ArrayOptions(level) {
+				if sp == st.pl.Spaces[level] {
+					continue // the unchanged child is the parent itself
+				}
+				child := st.pl.WithMove(trace.ArrayID(level), sp)
+				if placement.Check(e.t, child, e.cfg) != nil {
+					continue
+				}
+				ci, ok := e.space.IndexOf(child)
+				if !ok || seen[ci] {
+					continue
+				}
+				seen[ci] = true
+				// Admissible bound on every completion of the child's fixed
+				// prefix: if even the best case cannot beat the worst kept
+				// candidate, neither the child nor any descendant can enter
+				// the top-K. Strictly greater only — an equal-time completion
+				// could still displace a higher-index candidate.
+				if full && lower.Bound(child, level+1) > worstNS {
+					e.pruned.Add(1)
+					continue
+				}
+				idxs = append(idxs, ci)
+				pls = append(pls, child)
+			}
+		}
+		if len(pls) > 0 {
+			res := e.evalBatch(idxs, pls)
+			if e.stopping() {
+				return
+			}
+			for i, r := range res {
+				if r.ok {
+					frontier = append(frontier, state{pl: pls[i], ns: r.ns, idx: idxs[i]})
+				}
+			}
+		}
+		// Parents stay in contention (keeping the sample's space at this
+		// level); the next frontier is the best width states overall.
+		sort.Slice(frontier, func(i, j int) bool {
+			if frontier[i].ns != frontier[j].ns {
+				return frontier[i].ns < frontier[j].ns
+			}
+			return frontier[i].idx < frontier[j].idx
+		})
+		if len(frontier) > b.width {
+			frontier = frontier[:b.width]
+		}
+	}
+}

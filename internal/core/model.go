@@ -191,6 +191,11 @@ func (m *Model) distMode() dram.DistributionMode {
 // Sample returns the model's analysis of the sample placement.
 func (p *Predictor) Sample() *Analysis { return p.sampleAn }
 
+// SamplePlacement returns the profiled sample placement — the canonical
+// starting point for local searches (greedy coordinate descent). Callers must
+// not mutate it; Clone before modifying.
+func (p *Predictor) SamplePlacement() *placement.Placement { return p.sample }
+
 // AnalyzePlacement runs the §IV trace analysis of one placement under this
 // model's mapping and distribution mode, optionally collecting the global
 // DRAM inter-arrival samples (the Fig 4 study).

@@ -22,8 +22,32 @@ const syncCost = 2
 // arithmetic, back-to-back loads) between dependences.
 const warpILP = 2.5
 
-func (m *Model) tcomp(an, sampleAn *Analysis, prof *SampleProfile) float64 {
+// effectiveThroughput is Eq 13–15: the effective instruction throughput
+// (cycles per executed instruction per SM) at a resident-warp count. ITILP =
+// min(ILP×N, ITILP_max) with ITILP_max = avg_inst_lat /
+// (warp_size/SIMD_width). Replayed instructions re-issue already-computed
+// work, so they consume one issue slot each but no pipeline latency. The
+// result is clamped to ≥ 1 cycle per instruction; the resident-warp count
+// does not depend on placement, so neither does the throughput — which is
+// what lets PlacementBound treat it as a constant factor.
+func (m *Model) effectiveThroughput(warpsPerSM float64) float64 {
 	cfg := m.Cfg
+	itilpMax := cfg.AvgInstLatency / (float64(cfg.WarpSize) / float64(cfg.SIMDWidth))
+	itilp := warpILP * warpsPerSM
+	if itilp > itilpMax {
+		itilp = itilpMax
+	}
+	if itilp < 1 {
+		itilp = 1
+	}
+	throughput := cfg.AvgInstLatency / itilp
+	if throughput < 1 {
+		throughput = 1
+	}
+	return throughput
+}
+
+func (m *Model) tcomp(an, sampleAn *Analysis, prof *SampleProfile) float64 {
 	activeSMs := float64(an.ActiveSMs)
 
 	var executed, replays float64
@@ -43,24 +67,7 @@ func (m *Model) tcomp(an, sampleAn *Analysis, prof *SampleProfile) float64 {
 		executed = float64(prof.Events.InstExecuted)
 	}
 
-	// Eq 13–15: effective instruction throughput (cycles per executed
-	// instruction per SM). ITILP = min(ILP×N, ITILP_max) with ITILP_max =
-	// avg_inst_lat / (warp_size/SIMD_width). Replayed instructions re-issue
-	// already-computed work, so they consume one issue slot each but no
-	// pipeline latency.
-	n := an.Events.WarpsPerSM
-	itilpMax := cfg.AvgInstLatency / (float64(cfg.WarpSize) / float64(cfg.SIMDWidth))
-	itilp := warpILP * n
-	if itilp > itilpMax {
-		itilp = itilpMax
-	}
-	if itilp < 1 {
-		itilp = 1
-	}
-	throughput := cfg.AvgInstLatency / itilp
-	if throughput < 1 {
-		throughput = 1
-	}
+	throughput := m.effectiveThroughput(an.Events.WarpsPerSM)
 
 	// Eq 16: serialization overhead; only the barrier term varies with the
 	// kernel, and none of it varies with placement.

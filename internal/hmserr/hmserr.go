@@ -18,6 +18,9 @@
 //     are never silently returned as complete.
 //   - ErrArchMismatch: a persisted model or profile targets a different
 //     architecture than the one it is being used with.
+//   - ErrUnknownStrategy: a search-strategy spec does not name a known
+//     strategy (exhaustive, greedy, beam-W); a caller input problem, never
+//     an internal failure.
 package hmserr
 
 import (
@@ -33,6 +36,7 @@ var (
 	ErrInvalidProfile   = errors.New("invalid sample profile")
 	ErrBudgetExceeded   = errors.New("search budget exceeded")
 	ErrArchMismatch     = errors.New("architecture mismatch")
+	ErrUnknownStrategy  = errors.New("unknown search strategy")
 )
 
 // Wrap attaches detail to a sentinel so errors.Is(err, sentinel) holds while

@@ -8,7 +8,7 @@ import (
 func TestWrapPreservesSentinel(t *testing.T) {
 	sentinels := []error{
 		ErrIllegalPlacement, ErrInvalidTrace, ErrInvalidProfile,
-		ErrBudgetExceeded, ErrArchMismatch,
+		ErrBudgetExceeded, ErrArchMismatch, ErrUnknownStrategy,
 	}
 	for _, s := range sentinels {
 		w := Wrap(s, "kernel %s, array %d", "fft", 3)

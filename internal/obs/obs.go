@@ -79,6 +79,13 @@ type Progress struct {
 	BestNS float64 `json:"best_ns,omitempty"`
 	// Best names the best placement seen so far (Placement.Format).
 	Best string `json:"best,omitempty"`
+	// Strategy names the search strategy producing this report ("exhaustive",
+	// "greedy", "beam-4"); empty for searches predating strategy selection.
+	Strategy string `json:"strategy,omitempty"`
+	// Pruned counts candidate placements a bounded search skipped because an
+	// admissible lower bound proved they could not enter the current top-K.
+	// Always 0 for exhaustive searches.
+	Pruned int `json:"pruned,omitempty"`
 	// Done marks the final report of a search (complete or stopped).
 	Done bool `json:"done,omitempty"`
 }

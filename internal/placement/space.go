@@ -72,6 +72,41 @@ func (s *Space) At(i int64, dst *Placement) bool {
 	return rem == 0
 }
 
+// IndexOf is the inverse of At: it encodes a placement back to its raw
+// enumeration index, reporting false when any array uses a space outside its
+// legal option set (or the arity mismatches). Sub-exhaustive searches use it
+// to give every candidate they construct the same Index an enumeration would
+// have assigned, so rankings from different strategies order ties identically
+// and deduplicate by index.
+func (s *Space) IndexOf(p *Placement) (int64, bool) {
+	if len(s.opts) == 0 || len(p.Spaces) != len(s.opts) {
+		return 0, false
+	}
+	var idx int64
+	for j := range s.opts {
+		digit := -1
+		for d, sp := range s.opts[j] {
+			if sp == p.Spaces[j] {
+				digit = d
+				break
+			}
+		}
+		if digit < 0 {
+			return 0, false
+		}
+		idx = idx*int64(len(s.opts[j])) + int64(digit)
+	}
+	return idx, true
+}
+
+// Arrays returns the number of arrays (mixed-radix digits) in the space.
+func (s *Space) Arrays() int { return len(s.opts) }
+
+// ArrayOptions returns the legal spaces of one array, in the digit order At
+// decodes — the per-level alphabet a beam search expands over. The returned
+// slice is the space's own; callers must not mutate it.
+func (s *Space) ArrayOptions(i int) []gpu.MemSpace { return s.opts[i] }
+
 // EnumerateShard streams shard number `shard` of `stride` total shards: the
 // legal placements whose raw index ≡ shard (mod stride), in ascending index
 // order. The union of shards 0..stride-1 is exactly the EnumerateSeq stream,

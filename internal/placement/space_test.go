@@ -153,3 +153,46 @@ func TestEnumerateShardEarlyStopAndEdges(t *testing.T) {
 		t.Fatal("zero-array At(0) = true")
 	}
 }
+
+// TestSpaceIndexOf pins the encode side of the space's index bijection: every
+// enumerated legal placement round-trips through IndexOf back to the raw
+// index that At decodes it from, and foreign shapes are rejected.
+func TestSpaceIndexOf(t *testing.T) {
+	tr := testTrace(t)
+	cfg := gpu.KeplerK80()
+	s := NewSpace(tr, cfg)
+
+	if s.Arrays() != len(tr.Arrays) {
+		t.Fatalf("Arrays() = %d, want %d", s.Arrays(), len(tr.Arrays))
+	}
+	for j := 0; j < s.Arrays(); j++ {
+		if len(s.ArrayOptions(j)) == 0 {
+			t.Fatalf("ArrayOptions(%d) is empty", j)
+		}
+	}
+
+	// Round-trip every raw index: At(i) → IndexOf = i.
+	dst := New(len(tr.Arrays))
+	for i := int64(0); i < s.RawSize(); i++ {
+		if !s.At(i, dst) {
+			t.Fatalf("At(%d) = false", i)
+		}
+		got, ok := s.IndexOf(dst)
+		if !ok || got != i {
+			t.Fatalf("IndexOf(At(%d)) = %d, %v", i, got, ok)
+		}
+	}
+
+	// A placement using a space outside an array's option set is rejected,
+	// as is one of the wrong arity.
+	if !s.At(0, dst) {
+		t.Fatal("At(0) = false")
+	}
+	dst.Spaces[1] = gpu.Texture2D // "w" is 1D-only in this trace
+	if _, ok := s.IndexOf(dst); ok {
+		t.Error("IndexOf accepted a space outside the array's options")
+	}
+	if _, ok := s.IndexOf(New(len(tr.Arrays) + 1)); ok {
+		t.Error("IndexOf accepted a placement of the wrong arity")
+	}
+}

@@ -9,18 +9,21 @@ import (
 )
 
 // RankKey is the cache/singleflight key of a rank request:
-// (arch, kernel, scale, sample, options). The client-requested timeout is
-// deliberately excluded — it bounds how long a search may run, not what it
-// computes — so identical searches with different deadlines collapse into
-// one flight. Parallelism is likewise excluded for complete rankings — the
-// engine guarantees worker-count-invariant output — but keyed for budgeted
-// ones (max_candidates > 0), where the covered subset follows the shard
-// interleaving. The sample spec is keyed as written; two spellings of the
-// same placement ("a:G,b:T" vs "b:T,a:G") are distinct keys and at worst
-// cost one redundant search.
+// (arch, kernel, scale, sample, options, strategy). The client-requested
+// timeout is deliberately excluded — it bounds how long a search may run,
+// not what it computes — so identical searches with different deadlines
+// collapse into one flight. Parallelism is likewise excluded for complete
+// rankings — the engine guarantees worker-count-invariant output for every
+// strategy — but keyed for budgeted ones (max_candidates > 0), where the
+// covered subset follows the shard interleaving. Strategy is always keyed
+// (callers must normalize it first: decode canonicalizes the spelling and
+// the rank handler applies the server default), since different strategies
+// legitimately produce different rankings. The sample spec is keyed as
+// written; two spellings of the same placement ("a:G,b:T" vs "b:T,a:G") are
+// distinct keys and at worst cost one redundant search.
 func RankKey(req *RankRequest) string {
-	key := fmt.Sprintf("%s|%s|%d|%s|k%d|c%d",
-		req.Arch, req.Kernel, req.Scale, req.Sample, req.TopK, req.MaxCandidates)
+	key := fmt.Sprintf("%s|%s|%d|%s|k%d|c%d|s%s",
+		req.Arch, req.Kernel, req.Scale, req.Sample, req.TopK, req.MaxCandidates, req.Strategy)
 	if req.MaxCandidates > 0 && req.Parallelism > 0 {
 		key += fmt.Sprintf("|p%d", req.Parallelism)
 	}

@@ -7,6 +7,7 @@ import (
 	"fmt"
 	"net/http"
 
+	"gpuhms/internal/advisor"
 	"gpuhms/internal/hmserr"
 )
 
@@ -98,6 +99,16 @@ func DecodeRankRequest(data []byte) (*RankRequest, error) {
 	if req.Parallelism < 0 || req.Parallelism > MaxParallelism {
 		return nil, badf("parallelism %d out of [0,%d]", req.Parallelism, MaxParallelism)
 	}
+	if req.Strategy != "" {
+		// Normalize to the canonical spec ("Beam" → error, "beam" →
+		// "beam-4") so equivalent spellings share one cache key. Unknown
+		// strategies wrap hmserr.ErrUnknownStrategy — a 400, never a 5xx.
+		strat, err := advisor.ParseStrategy(req.Strategy)
+		if err != nil {
+			return nil, err
+		}
+		req.Strategy = strat.Spec()
+	}
 	return &req, nil
 }
 
@@ -148,7 +159,7 @@ func validateCommon(arch, kernel string, scale int, sample string, timeoutMS int
 
 // statusOf maps the error taxonomy onto HTTP statuses:
 //
-//	ErrBadRequest, ErrIllegalPlacement,
+//	ErrBadRequest, ErrIllegalPlacement, ErrUnknownStrategy,
 //	ErrInvalidTrace, ErrInvalidProfile  → 400 Bad Request
 //	ErrUnknownKernel, ErrUnknownArch    → 404 Not Found
 //	ErrQueueFull                        → 429 Too Many Requests
@@ -163,6 +174,7 @@ func statusOf(err error) int {
 	switch {
 	case errors.Is(err, ErrBadRequest),
 		errors.Is(err, hmserr.ErrIllegalPlacement),
+		errors.Is(err, hmserr.ErrUnknownStrategy),
 		errors.Is(err, hmserr.ErrInvalidTrace),
 		errors.Is(err, hmserr.ErrInvalidProfile):
 		return http.StatusBadRequest
@@ -190,6 +202,8 @@ func codeOf(err error) string {
 		return "unknown_arch"
 	case errors.Is(err, ErrBadRequest):
 		return "bad_request"
+	case errors.Is(err, hmserr.ErrUnknownStrategy):
+		return "unknown_strategy"
 	case errors.Is(err, hmserr.ErrIllegalPlacement):
 		return "illegal_placement"
 	case errors.Is(err, hmserr.ErrInvalidTrace):

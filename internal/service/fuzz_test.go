@@ -4,6 +4,9 @@ import (
 	"errors"
 	"strings"
 	"testing"
+
+	"gpuhms/internal/advisor"
+	"gpuhms/internal/hmserr"
 )
 
 // hostileRankBodies are the adversarial seeds: oversized scales, unknown
@@ -33,6 +36,12 @@ var hostileRankBodies = []string{
 	`{"kernel":"` + strings.Repeat("K", 10000) + `"}`,
 	`{"kernel":"fft","sample":"` + strings.Repeat("a:G,", 5000) + `"}`,
 	`{"kernel":"fft","arch":"` + strings.Repeat("x", 1000) + `"}`,
+	`{"kernel":"fft","strategy":"annealing"}`,
+	`{"kernel":"fft","strategy":"beam-"}`,
+	`{"kernel":"fft","strategy":"beam-0"}`,
+	`{"kernel":"fft","strategy":"beam-99999999"}`,
+	`{"kernel":"fft","strategy":42}`,
+	`{"kernel":"fft","strategy":"` + strings.Repeat("beam-", 2000) + `"}`,
 }
 
 // FuzzDecodeRankRequest asserts the decode surface never panics and that
@@ -44,11 +53,16 @@ func FuzzDecodeRankRequest(f *testing.F) {
 	}
 	f.Add([]byte(`{"kernel":"fft","scale":2,"top_k":3,"max_candidates":10,"timeout_ms":1000}`))
 	f.Add([]byte(`{"kernel":"fft","unknown_field":true}`))
+	f.Add([]byte(`{"kernel":"fft","strategy":"beam-4"}`))
+	f.Add([]byte(`{"kernel":"fft","strategy":"greedy","parallelism":8}`))
+	f.Add([]byte(`{"kernel":"fft","strategy":"EXHAUSTIVE"}`))
 	f.Fuzz(func(t *testing.T, data []byte) {
 		req, err := DecodeRankRequest(data)
 		if err != nil {
-			if !errors.Is(err, ErrBadRequest) {
-				t.Fatalf("decode error %v does not wrap ErrBadRequest", err)
+			// Both classes map to 400: generic validation failures and
+			// unknown search strategies.
+			if !errors.Is(err, ErrBadRequest) && !errors.Is(err, hmserr.ErrUnknownStrategy) {
+				t.Fatalf("decode error %v wraps neither ErrBadRequest nor ErrUnknownStrategy", err)
 			}
 			return
 		}
@@ -67,6 +81,13 @@ func FuzzDecodeRankRequest(f *testing.F) {
 		}
 		if req.TimeoutMS < 0 || req.TimeoutMS > MaxTimeoutMS {
 			t.Fatalf("accepted timeout %d", req.TimeoutMS)
+		}
+		if req.Strategy != "" {
+			// Accepted strategies are already canonical specs.
+			strat, serr := advisor.ParseStrategy(req.Strategy)
+			if serr != nil || strat.Spec() != req.Strategy {
+				t.Fatalf("accepted non-canonical strategy %q (%v)", req.Strategy, serr)
+			}
 		}
 	})
 }

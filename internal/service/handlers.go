@@ -94,6 +94,11 @@ func (s *Server) handleRank(w http.ResponseWriter, r *http.Request) int {
 		return s.writeError(w, err)
 	}
 	req.Arch = arch // normalize before keying the cache
+	if req.Strategy == "" {
+		// Apply the server's default strategy before keying the cache, so
+		// an explicit "exhaustive" and an empty field share one entry.
+		req.Strategy = s.opt.DefaultStrategy
+	}
 	if _, ok := kernels.Get(req.Kernel); !ok {
 		return s.writeError(w, badKernel(req.Kernel))
 	}

@@ -36,10 +36,15 @@ type Options struct {
 	// Workers (at least 1), so pool × parallelism never oversubscribes the
 	// machine. Negative forces sequential ranking.
 	Parallelism int
+	// DefaultStrategy is the search strategy applied when a request carries
+	// no "strategy" field: "exhaustive" (the default when empty), "greedy",
+	// or "beam-W". It is normalized to its canonical spec at New, so cache
+	// keys are stable across spellings.
+	DefaultStrategy string
 }
 
-// withDefaults fills unset options.
-func (o Options) withDefaults() Options {
+// withDefaults fills unset options and normalizes the default strategy.
+func (o Options) withDefaults() (Options, error) {
 	if o.Workers == 0 {
 		o.Workers = runtime.GOMAXPROCS(0)
 	}
@@ -60,7 +65,12 @@ func (o Options) withDefaults() Options {
 	if o.RetryAfter == 0 {
 		o.RetryAfter = 1
 	}
-	return o
+	strat, err := advisor.ParseStrategy(o.DefaultStrategy)
+	if err != nil {
+		return o, err
+	}
+	o.DefaultStrategy = strat.Spec()
+	return o, nil
 }
 
 // Server is the placement-advisory service: warm trained Advisors (one per
@@ -94,7 +104,10 @@ func New(advisors map[string]*advisor.Advisor, opt Options, col *obs.Collector) 
 		col = obs.NewCollector()
 	}
 	obs.RegisterServiceMetrics(col.Registry())
-	opt = opt.withDefaults()
+	opt, err := opt.withDefaults()
+	if err != nil {
+		return nil, fmt.Errorf("service: %w", err)
+	}
 	archs := make([]string, 0, len(advisors))
 	for name, adv := range advisors {
 		if adv == nil || adv.Cfg == nil || adv.Model == nil {
@@ -210,10 +223,17 @@ func (s *Server) runRank(ctx context.Context, adv *advisor.Advisor, req *RankReq
 	if req.Parallelism > 0 {
 		parallelism = req.Parallelism
 	}
-	ranked, err := adv.RankContext(ctx, tr, sample, advisor.RankOptions{
+	// The request strategy was canonicalized at decode and defaulted by the
+	// rank handler; ParseStrategy here only rebuilds the Strategy value.
+	strat, err := advisor.ParseStrategy(req.Strategy)
+	if err != nil {
+		return nil, err
+	}
+	res, err := adv.RankPlacements(ctx, tr, sample, advisor.RankOptions{
 		TopK:          req.TopK,
 		MaxCandidates: req.MaxCandidates,
 		Parallelism:   parallelism,
+		Strategy:      strat,
 	})
 	resp := &RankResponse{
 		Arch:   req.Arch,
@@ -222,18 +242,25 @@ func (s *Server) runRank(ctx context.Context, adv *advisor.Advisor, req *RankReq
 		Sample: sample.Format(tr),
 	}
 	if err != nil {
-		var budget *hmserr.BudgetError
-		switch {
-		case errors.As(err, &budget):
-			resp.Partial = true
-			resp.Coverage = &Coverage{Evaluated: budget.Evaluated, Total: budget.Total}
-		case errors.Is(err, hmserr.ErrBudgetExceeded):
-			resp.Partial = true
-		default:
+		if !errors.Is(err, hmserr.ErrBudgetExceeded) {
 			return nil, err
 		}
+		resp.Partial = true
 	}
-	resp.Ranked = BuildRanked(tr, sample, ranked)
+	if res != nil {
+		// Coverage accompanies every partial or sub-exhaustive ranking, so
+		// the response records what the search actually looked at (and what
+		// the beam's bound pruned).
+		if resp.Partial || res.Strategy != "exhaustive" {
+			resp.Coverage = &Coverage{
+				Evaluated: res.Evaluated,
+				Total:     res.Total,
+				Strategy:  res.Strategy,
+				Pruned:    res.Pruned,
+			}
+		}
+		resp.Ranked = BuildRanked(tr, sample, res.Ranked)
+	}
 	return resp, nil
 }
 

@@ -1,0 +1,123 @@
+package service
+
+import (
+	"encoding/json"
+	"net/http"
+	"testing"
+
+	"gpuhms/internal/advisor"
+)
+
+// TestRankUnknownStrategy400 pins the wire contract: an unknown strategy is
+// the client's fault — 400 with code "unknown_strategy", never a 5xx.
+func TestRankUnknownStrategy400(t *testing.T) {
+	s := newTestServer(t, Options{})
+	for _, spec := range []string{"annealing", "beam-0", "beam-99999999", "Beam 4"} {
+		rr := doJSON(t, s, "POST", "/v1/rank", RankRequest{Kernel: "fft", Strategy: spec})
+		if rr.Code != http.StatusBadRequest {
+			t.Fatalf("strategy %q: status %d, want 400: %s", spec, rr.Code, rr.Body.String())
+		}
+		var er ErrorResponse
+		if err := json.Unmarshal(rr.Body.Bytes(), &er); err != nil {
+			t.Fatalf("strategy %q: %v", spec, err)
+		}
+		if er.Code != "unknown_strategy" {
+			t.Errorf("strategy %q: code %q, want unknown_strategy", spec, er.Code)
+		}
+	}
+}
+
+// TestRankStrategyCoverage pins the response contract: a sub-exhaustive
+// strategy always attaches Coverage echoing the effective strategy, with
+// Evaluated below the space size, while a complete exhaustive search stays
+// coverage-free.
+func TestRankStrategyCoverage(t *testing.T) {
+	s := newTestServer(t, Options{})
+
+	rr := doJSON(t, s, "POST", "/v1/rank", RankRequest{Kernel: "kmeans", Strategy: "beam-4", TopK: 1})
+	if rr.Code != http.StatusOK {
+		t.Fatalf("beam rank: status %d: %s", rr.Code, rr.Body.String())
+	}
+	resp := decodeRank(t, rr)
+	if resp.Partial {
+		t.Error("beam rank marked partial without a budget")
+	}
+	if resp.Coverage == nil {
+		t.Fatal("beam rank has no coverage")
+	}
+	if resp.Coverage.Strategy != "beam-4" {
+		t.Errorf("coverage strategy %q, want beam-4", resp.Coverage.Strategy)
+	}
+	if resp.Coverage.Evaluated <= 0 || resp.Coverage.Evaluated >= resp.Coverage.Total {
+		t.Errorf("coverage %d/%d, want a strict subset", resp.Coverage.Evaluated, resp.Coverage.Total)
+	}
+
+	rr = doJSON(t, s, "POST", "/v1/rank", RankRequest{Kernel: "kmeans", Strategy: "exhaustive", TopK: 1})
+	if rr.Code != http.StatusOK {
+		t.Fatalf("exhaustive rank: status %d: %s", rr.Code, rr.Body.String())
+	}
+	if resp := decodeRank(t, rr); resp.Coverage != nil {
+		t.Errorf("complete exhaustive rank has coverage %+v", resp.Coverage)
+	}
+}
+
+// TestRankStrategyCacheKey pins that the cache is keyed on the normalized
+// strategy: different strategies never share an entry, equivalent spellings
+// of the same strategy do, and the server default fills the empty field
+// before keying.
+func TestRankStrategyCacheKey(t *testing.T) {
+	a := RankKey(&RankRequest{Kernel: "fft", Strategy: "exhaustive"})
+	b := RankKey(&RankRequest{Kernel: "fft", Strategy: "greedy"})
+	c := RankKey(&RankRequest{Kernel: "fft", Strategy: "beam-4"})
+	if a == b || a == c || b == c {
+		t.Fatalf("strategies share a cache key: %q %q %q", a, b, c)
+	}
+
+	s := newTestServer(t, Options{})
+	// "beam" normalizes to "beam-4" at decode; the two spellings must share
+	// one cache entry.
+	rr := doJSON(t, s, "POST", "/v1/rank", RankRequest{Kernel: "fft", Strategy: "beam-4"})
+	if rr.Code != http.StatusOK {
+		t.Fatalf("status %d: %s", rr.Code, rr.Body.String())
+	}
+	if got := rr.Header().Get("X-HMS-Cache"); got != "miss" {
+		t.Fatalf("first beam-4 request: cache %q, want miss", got)
+	}
+	rr = doJSON(t, s, "POST", "/v1/rank", RankRequest{Kernel: "fft", Strategy: "beam"})
+	if got := rr.Header().Get("X-HMS-Cache"); got != "hit" {
+		t.Errorf(`"beam" after "beam-4": cache %q, want hit`, got)
+	}
+	// A different strategy on the same kernel is a different search.
+	rr = doJSON(t, s, "POST", "/v1/rank", RankRequest{Kernel: "fft", Strategy: "greedy"})
+	if got := rr.Header().Get("X-HMS-Cache"); got != "miss" {
+		t.Errorf("greedy after beam: cache %q, want miss", got)
+	}
+}
+
+// TestRankDefaultStrategy pins the server-side default: an empty strategy
+// field takes Options.DefaultStrategy (normalized), and shares its cache
+// entry with the explicit spelling.
+func TestRankDefaultStrategy(t *testing.T) {
+	s := newTestServer(t, Options{DefaultStrategy: "beam"})
+	rr := doJSON(t, s, "POST", "/v1/rank", RankRequest{Kernel: "fft"})
+	if rr.Code != http.StatusOK {
+		t.Fatalf("status %d: %s", rr.Code, rr.Body.String())
+	}
+	resp := decodeRank(t, rr)
+	if resp.Coverage == nil || resp.Coverage.Strategy != "beam-4" {
+		t.Fatalf("coverage %+v, want strategy beam-4 from the server default", resp.Coverage)
+	}
+	rr = doJSON(t, s, "POST", "/v1/rank", RankRequest{Kernel: "fft", Strategy: "beam-4"})
+	if got := rr.Header().Get("X-HMS-Cache"); got != "hit" {
+		t.Errorf("explicit beam-4 after defaulted request: cache %q, want hit", got)
+	}
+}
+
+// TestNewRejectsBadDefaultStrategy pins construction-time validation: a
+// misconfigured default strategy fails fast instead of 400ing every request.
+func TestNewRejectsBadDefaultStrategy(t *testing.T) {
+	_, err := New(map[string]*advisor.Advisor{"k80": testAdvisor(t)}, Options{DefaultStrategy: "annealing"}, nil)
+	if err == nil {
+		t.Fatal("New accepted an unknown default strategy")
+	}
+}

@@ -30,6 +30,12 @@ type RankRequest struct {
 	// rankings are identical for every value; only the subset covered by a
 	// max_candidates budget depends on it.
 	Parallelism int `json:"parallelism,omitempty"`
+	// Strategy selects the search strategy: "exhaustive" (default),
+	// "greedy", or "beam-W" (docs/SEARCH.md). Unknown values are rejected
+	// with 400 and code "unknown_strategy". Empty uses the server's
+	// configured default strategy. Sub-exhaustive responses carry the
+	// effective strategy and coverage in RankResponse.Coverage.
+	Strategy string `json:"strategy,omitempty"`
 	// TimeoutMS bounds the search wall-clock; an exceeded deadline maps to
 	// 504 Gateway Timeout. 0 uses the server's default timeout.
 	TimeoutMS int `json:"timeout_ms,omitempty"`
@@ -51,11 +57,17 @@ type RankedPlacement struct {
 	MeasuredNS float64 `json:"measured_ns,omitempty"`
 }
 
-// Coverage reports how much of the legal candidate space a partial search
-// predicted before its budget stopped it.
+// Coverage reports how much of the legal candidate space a search predicted:
+// attached whenever the ranking is partial (budget-stopped) or produced by a
+// sub-exhaustive strategy, so a response never silently looks exhaustive.
 type Coverage struct {
 	Evaluated int `json:"evaluated"`
 	Total     int `json:"total"`
+	// Strategy is the effective search strategy ("exhaustive", "greedy",
+	// "beam-4") after server defaults were applied.
+	Strategy string `json:"strategy,omitempty"`
+	// Pruned counts candidates the beam search's admissible bound skipped.
+	Pruned int `json:"pruned,omitempty"`
 }
 
 // RankResponse is the reply of POST /v1/rank and of `hmsplace -json`:
@@ -73,7 +85,9 @@ type RankResponse struct {
 	Ranked []RankedPlacement `json:"ranked"`
 	// Partial marks a ranking truncated by MaxCandidates (HTTP 206).
 	Partial bool `json:"partial,omitempty"`
-	// Coverage accompanies Partial with the evaluated/total counts.
+	// Coverage carries the evaluated/total counts, effective strategy, and
+	// pruned-candidate count; attached for partial rankings and for every
+	// sub-exhaustive strategy.
 	Coverage *Coverage `json:"coverage,omitempty"`
 }
 
@@ -120,8 +134,8 @@ type ErrorResponse struct {
 	Error string `json:"error"`
 	// Code is the machine-readable error class, mirroring the hmserr
 	// taxonomy: "bad_request", "unknown_kernel", "unknown_arch",
-	// "illegal_placement", "invalid_trace", "invalid_profile",
-	// "queue_full", "canceled", "deadline", "internal".
+	// "unknown_strategy", "illegal_placement", "invalid_trace",
+	// "invalid_profile", "queue_full", "canceled", "deadline", "internal".
 	Code string `json:"code"`
 }
 

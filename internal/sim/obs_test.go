@@ -171,8 +171,12 @@ func TestRunContextNopRecorderAddsNoAllocs(t *testing.T) {
 	}
 	bare := measure(nil)
 	nop := measure(obs.Nop())
-	if nop != bare {
-		t.Errorf("no-op recorder changes allocations: %.0f with nop vs %.0f bare", nop, bare)
+	// One-sided on purpose: under heavy parallel load (the full -race
+	// suite) GC pressure can evict pooled scratch during the bare
+	// measurement and inflate its floor, so nop < bare is noise, not a
+	// contract violation. Only the recorder *adding* allocations fails.
+	if nop > bare {
+		t.Errorf("no-op recorder adds allocations: %.0f with nop vs %.0f bare", nop, bare)
 	}
 }
 

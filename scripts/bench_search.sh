@@ -1,0 +1,26 @@
+#!/bin/sh
+# bench_search.sh — compare the search strategies (exhaustive, greedy,
+# bound-pruned beam-4) on the largest bundled placement space (spmv, 288
+# legal placements) and write the BENCH_search.json artifact: candidates
+# evaluated, candidates pruned by the admissible bound, wall time
+# (p50/p99/mean), and top-1 regret versus the exhaustive optimum per
+# strategy. Asserts that the sub-exhaustive strategies evaluate under half
+# the space while landing within 1% of the exhaustive top-1.
+#
+#   ./scripts/bench_search.sh [output.json]
+#
+# Defaults to BENCH_search.json in the repo root.
+set -eu
+
+cd "$(dirname "$0")/.."
+
+OUT=${1:-"$PWD/BENCH_search.json"}
+case "$OUT" in
+    /*) ;;
+    *) OUT="$PWD/$OUT" ;;
+esac
+
+BENCH_SEARCH_OUT="$OUT" go test ./internal/advisor/ \
+    -run 'TestBenchSearchArtifact' -count=1 -v
+
+echo "wrote $OUT"

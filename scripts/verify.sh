@@ -32,6 +32,15 @@ echo "== parallel rank bench smoke"
 # full artifact); the determinism suite itself runs in the race pass above.
 go test ./internal/advisor/ -run '^$' -bench 'BenchmarkRankParallel' -benchtime 1x -benchmem -count=1
 
+echo "== search strategy bench artifact"
+# Generates the BENCH_search.json comparison (scripts/bench_search.sh keeps
+# the repo-root copy) and asserts the acceptance bounds: greedy and beam-4
+# must evaluate under half the spmv space while landing within 1% of the
+# exhaustive top-1 prediction.
+BENCH_SEARCH_OUT=/tmp/BENCH_search.verify.json go test ./internal/advisor/ \
+    -run 'TestBenchSearchArtifact' -count=1
+rm -f /tmp/BENCH_search.verify.json
+
 echo "== obs no-op overhead smoke"
 go test ./internal/sim/ -run 'TestRunContextNopRecorderAddsNoAllocs' -count=1
 go test ./internal/sim/ -run '^$' -bench 'BenchmarkRunContextRecorder' -benchtime 3x -benchmem -count=1
@@ -55,6 +64,10 @@ if command -v curl >/dev/null 2>&1; then
     [ -n "$ADDR" ] || { echo "verify: hmsserved never came up"; cat /tmp/hmsserved.verify.out; exit 1; }
     curl -fsS "http://$ADDR/healthz" | grep -q '"status":"ok"'
     curl -fsS "http://$ADDR/v1/rank" -d '{"kernel":"fft","top_k":3}' | grep -q '"ranked"'
+    # A sub-exhaustive strategy must echo itself in the coverage record, and
+    # an unknown one must map to the unknown_strategy error code (a 400).
+    curl -fsS "http://$ADDR/v1/rank" -d '{"kernel":"fft","strategy":"greedy"}' | grep -q '"strategy":"greedy"'
+    curl -sS "http://$ADDR/v1/rank" -d '{"kernel":"fft","strategy":"annealing"}' | grep -q '"code":"unknown_strategy"'
     kill -TERM "$SRV_PID"
     wait "$SRV_PID"    # graceful shutdown must exit 0
     trap - EXIT
