@@ -10,20 +10,35 @@
 //	hmsserved -workers 8 -queue 128 -cache 512 -timeout 30s
 //	hmsserved -workers 2 -parallel 8         # few requests, big rankings
 //	hmsserved -strategy beam-4               # default to beam search (docs/SEARCH.md)
+//	hmsserved -snapshot state.snap           # crash-safe warm boot (docs/ROBUSTNESS.md)
 //
 // Endpoints (docs/SERVICE.md): POST /v1/rank, POST /v1/predict,
-// GET /v1/kernels, GET /healthz, GET /metrics. Concurrency is bounded by a
-// worker pool with an explicit queue — a full queue sheds load with 429 and
-// Retry-After — and identical concurrent rankings collapse into a single
-// search whose result is kept in an LRU cache.
+// GET /v1/kernels, GET /healthz, GET /readyz, GET /metrics. Concurrency is
+// bounded by a worker pool with an explicit queue — a full queue sheds load
+// with 429 and a jittered Retry-After, and requests whose deadline budget
+// cannot cover the observed median service time are shed with 504 — and
+// identical concurrent rankings collapse into a single search whose result
+// is kept in an LRU cache.
+//
+// The listener binds before the advisors train: during warmup /healthz
+// reports alive, /readyz reports 503, and the API sheds with 503 until the
+// models are trained and any snapshot restore has finished.
+//
+// With -snapshot, warm state (trained models + result cache) is persisted
+// atomically every -snapshot-interval, on SIGHUP, and after the shutdown
+// drain; the next boot restores it, skipping (and counting in /metrics)
+// anything that fails checksum, version, or schema validation. A corrupt or
+// missing snapshot degrades to a cold boot, never a failed one.
 //
 // On SIGINT/SIGTERM the server stops accepting requests, gives in-flight
-// searches -drain to finish, then aborts the rest via context cancellation
-// and exits 0.
+// searches -drain to finish, then aborts the rest via context cancellation,
+// writes a final snapshot (when -snapshot is set), and exits 0.
 package main
 
 import (
+	"bytes"
 	"context"
+	"encoding/json"
 	"errors"
 	"flag"
 	"fmt"
@@ -36,6 +51,7 @@ import (
 	"sort"
 	"strings"
 	"sync"
+	"sync/atomic"
 	"syscall"
 	"time"
 
@@ -60,25 +76,63 @@ func main() {
 		drain    = flag.Duration("drain", 10*time.Second, "graceful-shutdown grace for in-flight searches")
 		parallel = flag.Int("parallel", 0, "ranking workers per search when the request has no parallelism (0 = NumCPU/workers so the pool never oversubscribes, negative = sequential)")
 		strategy = flag.String("strategy", "", "default search strategy when the request names none: exhaustive, greedy, or beam-W (docs/SEARCH.md)")
+		snapPath = flag.String("snapshot", "", "snapshot file for crash-safe warm boot: restored at startup, written periodically, on SIGHUP, and after the shutdown drain")
+		snapIvl  = flag.Duration("snapshot-interval", 30*time.Second, "periodic snapshot cadence when -snapshot is set (0 disables the timer; SIGHUP and shutdown still write)")
 	)
 	flag.Parse()
 
-	advisors, err := buildAdvisors(*archs, *loadFr)
+	// The collector exists before anything warms so snapshot-restore skips
+	// and model/advisor metrics all land on the same /metrics surface.
+	col := obs.NewCollector()
+
+	// Bind the listener before training: readiness (/readyz 503) is
+	// observable from the first instant, and scripts using port 0 can
+	// discover the port without waiting out the warmup.
+	ln, err := net.Listen("tcp", *addr)
 	if err != nil {
 		log.Fatal(err)
 	}
+	var handler atomic.Value // http.Handler: boot handler now, service handler once warm
+	handler.Store(bootHandler())
+	httpSrv := &http.Server{Handler: http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		handler.Load().(http.Handler).ServeHTTP(w, r)
+	})}
+	// The resolved address is printed (not just the flag) so scripts using
+	// port 0 can discover the port.
+	fmt.Printf("hmsserved: listening on %s (archs %s)\n", ln.Addr(), strings.Join(requestedArchs(*archs), ","))
+	errCh := make(chan error, 1)
+	go func() { errCh <- httpSrv.Serve(ln) }()
 
+	// Warm boot: read the snapshot (tolerant — damage shrinks it, never
+	// fails it), then build advisors from restored models where possible.
+	var snap *service.SnapshotContents
+	if *snapPath != "" {
+		snap, err = service.ReadSnapshotFile(*snapPath)
+		if err != nil {
+			log.Printf("snapshot %s unusable (%v): booting cold", *snapPath, err)
+		}
+		if snap.Skipped > 0 {
+			col.Add(obs.MetricServiceSnapshotSkippedTotal, int64(snap.Skipped))
+			log.Printf("snapshot: skipped %d damaged or unknown entries", snap.Skipped)
+		}
+	} else {
+		snap = &service.SnapshotContents{}
+	}
+
+	advisors, err := buildAdvisors(*archs, *loadFr, snap.Models, col)
+	if err != nil {
+		log.Fatal(err)
+	}
 	// Thread the collector through every advisor too (before the service
 	// takes ownership), so /metrics carries the model/advisor metrics
 	// alongside the service_ ones.
-	col := obs.NewCollector()
 	for _, adv := range advisors {
 		adv.Recorder = col
 	}
 	svc, err := service.New(advisors, service.Options{
-		Workers:        *workers,
-		QueueCap:       *queue,
-		CacheCap:       *cacheN,
+		Workers:         *workers,
+		QueueCap:        *queue,
+		CacheCap:        *cacheN,
 		DefaultTimeout:  *timeout,
 		Parallelism:     *parallel,
 		DefaultStrategy: *strategy,
@@ -86,28 +140,44 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-
-	ln, err := net.Listen("tcp", *addr)
-	if err != nil {
-		log.Fatal(err)
-	}
-	httpSrv := &http.Server{Handler: svc.Handler()}
-	// The resolved address is printed (not just the flag) so scripts using
-	// port 0 can discover the port.
-	fmt.Printf("hmsserved: listening on %s (archs %s)\n", ln.Addr(), strings.Join(sortedKeys(advisors), ","))
-
-	errCh := make(chan error, 1)
-	go func() { errCh <- httpSrv.Serve(ln) }()
-
-	sigCh := make(chan os.Signal, 1)
-	signal.Notify(sigCh, os.Interrupt, syscall.SIGTERM)
-	select {
-	case sig := <-sigCh:
-		log.Printf("received %v, draining (up to %v)", sig, *drain)
-	case err := <-errCh:
-		log.Fatalf("serve: %v", err)
+	if len(snap.Cache) > 0 {
+		restored, skipped := svc.RestoreCache(snap.Cache)
+		log.Printf("snapshot: restored %d cached rankings (%d skipped)", restored, skipped)
 	}
 
+	// Warm: swap the real handler in and flip readiness.
+	handler.Store(svc.Handler())
+	svc.MarkReady()
+	log.Printf("ready (archs %s)", strings.Join(sortedKeys(advisors), ","))
+
+	var snapshotter *service.Snapshotter
+	if *snapPath != "" {
+		snapshotter = svc.StartSnapshotter(*snapPath, *snapIvl, log.Printf)
+	}
+
+	sigCh := make(chan os.Signal, 2)
+	signal.Notify(sigCh, os.Interrupt, syscall.SIGTERM, syscall.SIGHUP)
+serve:
+	for {
+		select {
+		case sig := <-sigCh:
+			if sig == syscall.SIGHUP {
+				if snapshotter != nil {
+					log.Print("SIGHUP: snapshot requested")
+					snapshotter.Trigger()
+				}
+				continue
+			}
+			log.Printf("received %v, draining (up to %v)", sig, *drain)
+			break serve
+		case err := <-errCh:
+			log.Fatalf("serve: %v", err)
+		}
+	}
+
+	if snapshotter != nil {
+		snapshotter.Stop()
+	}
 	ctx, cancel := context.WithTimeout(context.Background(), *drain)
 	defer cancel()
 	if err := httpSrv.Shutdown(ctx); err != nil {
@@ -116,14 +186,57 @@ func main() {
 	if err := svc.Shutdown(ctx); err != nil {
 		log.Printf("service shutdown: %v", err)
 	}
+	// The final snapshot happens after the drain, when the cache has stopped
+	// changing: the next boot resumes exactly where this one left off.
+	if *snapPath != "" {
+		if err := svc.SaveSnapshot(*snapPath); err != nil {
+			log.Printf("final snapshot: %v", err)
+		} else {
+			log.Printf("final snapshot written to %s", *snapPath)
+		}
+	}
 	log.Print("drained, bye")
 }
 
+// bootHandler serves the warmup window between bind and readiness: alive on
+// /healthz, not ready on /readyz, and 503 (retryable) everywhere else.
+func bootHandler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		json.NewEncoder(w).Encode(service.HealthResponse{Status: "booting"})
+	})
+	notReady := func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		w.Header().Set("Retry-After", "1")
+		w.WriteHeader(http.StatusServiceUnavailable)
+		json.NewEncoder(w).Encode(service.ReadyResponse{Ready: false, Reason: "warming: advisors training or snapshot restore in progress"})
+	}
+	mux.HandleFunc("GET /readyz", notReady)
+	mux.HandleFunc("/", notReady)
+	return mux
+}
+
+// requestedArchs normalizes the -archs flag into the banner's arch list
+// (validation happens later in buildAdvisors).
+func requestedArchs(archList string) []string {
+	var out []string
+	for _, name := range strings.Split(archList, ",") {
+		if name = strings.TrimSpace(name); name != "" {
+			out = append(out, name)
+		}
+	}
+	sort.Strings(out)
+	return out
+}
+
 // buildAdvisors trains (or loads) one advisor per requested architecture.
-// Training runs are independent, so architectures train concurrently —
-// bounded to NumCPU workers — and multi-arch boot takes roughly as long as
-// the slowest single architecture.
-func buildAdvisors(archList, loadFrom string) (map[string]*advisor.Advisor, error) {
+// A snapshot-restored model takes precedence over training; a model that
+// fails to load falls back to training and counts as a skipped snapshot
+// entry. Training runs are independent, so architectures train concurrently
+// — bounded to NumCPU workers — and multi-arch boot takes roughly as long
+// as the slowest single architecture.
+func buildAdvisors(archList, loadFrom string, saved map[string]json.RawMessage, col obs.Recorder) (map[string]*advisor.Advisor, error) {
 	names := strings.Split(archList, ",")
 	if loadFrom != "" && len(names) != 1 {
 		return nil, errors.New("-load-model requires exactly one -archs entry")
@@ -161,7 +274,9 @@ func buildAdvisors(archList, loadFrom string) (map[string]*advisor.Advisor, erro
 			start := time.Now()
 			var adv *advisor.Advisor
 			var err error
-			if loadFrom != "" {
+			how := "trained"
+			switch {
+			case loadFrom != "":
 				f, ferr := os.Open(loadFrom)
 				if ferr != nil {
 					err = ferr
@@ -169,7 +284,19 @@ func buildAdvisors(archList, loadFrom string) (map[string]*advisor.Advisor, erro
 					adv, err = advisor.NewFromSaved(cfg, f)
 					f.Close()
 				}
-			} else {
+				how = "loaded"
+			case saved[name] != nil:
+				adv, err = advisor.NewFromSaved(cfg, bytes.NewReader(saved[name]))
+				if err != nil {
+					// A stale or forged model is one more skipped snapshot
+					// entry, not a boot failure: train instead.
+					log.Printf("advisor %s: snapshot model rejected (%v), training instead", name, err)
+					obs.OrNop(col).Add(obs.MetricServiceSnapshotSkippedTotal, 1)
+					adv, err = advisor.New(cfg)
+				} else {
+					how = "restored"
+				}
+			default:
 				adv, err = advisor.New(cfg)
 			}
 			mu.Lock()
@@ -181,7 +308,7 @@ func buildAdvisors(archList, loadFrom string) (map[string]*advisor.Advisor, erro
 				return
 			}
 			advisors[name] = adv
-			log.Printf("advisor %s ready in %v", name, time.Since(start).Round(time.Millisecond))
+			log.Printf("advisor %s %s in %v", name, how, time.Since(start).Round(time.Millisecond))
 		}(name, cfg)
 	}
 	wg.Wait()

@@ -1,0 +1,123 @@
+package faults
+
+import (
+	"fmt"
+	"math/rand"
+	"os"
+	"strconv"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// EnvSeedVar is the environment variable that fixes every seedable chaos
+// harness in the repo: the measurement Injector, the process-level Points,
+// and the soak tests. A failing chaos run prints the seed it used; exporting
+// it replays the identical fault stream.
+const EnvSeedVar = "HMS_FAULT_SEED"
+
+// EnvSeed returns the seed from HMS_FAULT_SEED when set (and parseable as a
+// base-10 int64), else fallback. The boolean reports whether the
+// environment supplied it.
+func EnvSeed(fallback int64) (int64, bool) {
+	if v := os.Getenv(EnvSeedVar); v != "" {
+		if s, err := strconv.ParseInt(v, 10, 64); err == nil {
+			return s, true
+		}
+	}
+	return fallback, false
+}
+
+// SeedFromEnv applies HMS_FAULT_SEED to the injector options, making CI
+// chaos runs reproducible: the env var (when set) overrides o.Seed.
+func (o Options) SeedFromEnv() Options {
+	o.Seed, _ = EnvSeed(o.Seed)
+	return o
+}
+
+// PointOptions configures one fault point's behavior in a Points set.
+type PointOptions struct {
+	// FailProb is the probability an operation at this point fails outright.
+	FailProb float64
+	// TornProb is the probability a write at this point is torn: a random
+	// prefix persists and the rest is lost (snapshot.FaultHooks.TornLen).
+	TornProb float64
+	// DelayProb is the probability an operation at this point is delayed
+	// by a uniform duration in (0, MaxDelay].
+	DelayProb float64
+	// MaxDelay bounds an injected delay.
+	MaxDelay time.Duration
+}
+
+// Points is the process-level fault-point registry: seeded, per-point
+// probabilities of injected failures, torn writes, and slow I/O. It
+// implements snapshot.FaultHooks, so wiring a Points into the snapshot
+// writer chaos-tests the durability path the way the measurement Injector
+// chaos-tests the profiling path. All methods are safe for concurrent use;
+// given one seed, the injected fault stream is a deterministic function of
+// the sequence of point consultations.
+type Points struct {
+	mu  sync.Mutex
+	rng *rand.Rand
+	pts map[string]PointOptions
+
+	// Injected counts every injected fault (failures + torn writes), so a
+	// soak can assert its chaos actually fired.
+	Injected atomic.Int64
+}
+
+// NewPoints builds an empty registry over a seeded stream; configure points
+// with Set. The seed typically comes from EnvSeed.
+func NewPoints(seed int64) *Points {
+	return &Points{rng: rand.New(rand.NewSource(seed)), pts: make(map[string]PointOptions)}
+}
+
+// Set configures (or replaces) one named fault point.
+func (p *Points) Set(point string, opt PointOptions) *Points {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.pts[point] = opt
+	return p
+}
+
+// Fail rolls the named point's failure probability; a non-nil error means
+// the operation must fail.
+func (p *Points) Fail(point string) error {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	opt := p.pts[point]
+	if opt.FailProb > 0 && p.rng.Float64() < opt.FailProb {
+		p.Injected.Add(1)
+		return fmt.Errorf("faults: injected failure at %s", point)
+	}
+	return nil
+}
+
+// TornLen rolls the named point's torn-write probability: on a tear, only a
+// random prefix of the n bytes persists. Returning n means the write is
+// whole.
+func (p *Points) TornLen(point string, n int) int {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	opt := p.pts[point]
+	if n > 0 && opt.TornProb > 0 && p.rng.Float64() < opt.TornProb {
+		p.Injected.Add(1)
+		return p.rng.Intn(n)
+	}
+	return n
+}
+
+// Delay blocks the named point for a random duration up to MaxDelay,
+// modeling slow I/O (a stalling disk under the snapshot writer).
+func (p *Points) Delay(point string) {
+	p.mu.Lock()
+	opt := p.pts[point]
+	var d time.Duration
+	if opt.DelayProb > 0 && opt.MaxDelay > 0 && p.rng.Float64() < opt.DelayProb {
+		d = time.Duration(1 + p.rng.Int63n(int64(opt.MaxDelay)))
+	}
+	p.mu.Unlock()
+	if d > 0 {
+		time.Sleep(d)
+	}
+}

@@ -1,0 +1,84 @@
+package faults
+
+import (
+	"testing"
+	"time"
+)
+
+func TestEnvSeedOverridesFallback(t *testing.T) {
+	t.Setenv(EnvSeedVar, "12345")
+	if s, ok := EnvSeed(7); !ok || s != 12345 {
+		t.Fatalf("EnvSeed = %d,%v, want 12345,true", s, ok)
+	}
+	if o := (Options{Seed: 7}).SeedFromEnv(); o.Seed != 12345 {
+		t.Fatalf("SeedFromEnv kept seed %d", o.Seed)
+	}
+}
+
+func TestEnvSeedFallback(t *testing.T) {
+	t.Setenv(EnvSeedVar, "")
+	if s, ok := EnvSeed(7); ok || s != 7 {
+		t.Fatalf("EnvSeed = %d,%v, want 7,false", s, ok)
+	}
+	t.Setenv(EnvSeedVar, "not-a-number")
+	if s, ok := EnvSeed(7); ok || s != 7 {
+		t.Fatalf("unparseable seed: EnvSeed = %d,%v, want 7,false", s, ok)
+	}
+}
+
+// TestPointsDeterministic pins reproducibility: two Points with the same
+// seed and the same consultation sequence inject identical faults.
+func TestPointsDeterministic(t *testing.T) {
+	mk := func() *Points {
+		return NewPoints(42).
+			Set("a", PointOptions{FailProb: 0.5}).
+			Set("b", PointOptions{TornProb: 0.5})
+	}
+	p1, p2 := mk(), mk()
+	for i := 0; i < 200; i++ {
+		e1, e2 := p1.Fail("a"), p2.Fail("a")
+		if (e1 == nil) != (e2 == nil) {
+			t.Fatalf("call %d: Fail diverged (%v vs %v)", i, e1, e2)
+		}
+		if n1, n2 := p1.TornLen("b", 100), p2.TornLen("b", 100); n1 != n2 {
+			t.Fatalf("call %d: TornLen diverged (%d vs %d)", i, n1, n2)
+		}
+	}
+	if p1.Injected.Load() == 0 {
+		t.Fatal("no faults injected at 50% probabilities over 400 rolls")
+	}
+	if p1.Injected.Load() != p2.Injected.Load() {
+		t.Fatal("injected counts diverged")
+	}
+}
+
+// TestPointsScoped pins that an unconfigured point never injects.
+func TestPointsScoped(t *testing.T) {
+	p := NewPoints(1).Set("configured", PointOptions{FailProb: 1, TornProb: 1})
+	for i := 0; i < 50; i++ {
+		if err := p.Fail("other"); err != nil {
+			t.Fatalf("unconfigured point failed: %v", err)
+		}
+		if n := p.TornLen("other", 10); n != 10 {
+			t.Fatalf("unconfigured point tore a write to %d", n)
+		}
+	}
+	if err := p.Fail("configured"); err == nil {
+		t.Fatal("FailProb 1 did not fail")
+	}
+	if n := p.TornLen("configured", 10); n >= 10 {
+		t.Fatalf("TornProb 1 returned whole write %d", n)
+	}
+}
+
+func TestPointsDelayBounded(t *testing.T) {
+	p := NewPoints(3).Set("slow", PointOptions{DelayProb: 1, MaxDelay: time.Millisecond})
+	start := time.Now()
+	for i := 0; i < 5; i++ {
+		p.Delay("slow")
+	}
+	if elapsed := time.Since(start); elapsed > time.Second {
+		t.Fatalf("5 bounded delays took %v", elapsed)
+	}
+	p.Delay("fast") // unconfigured: returns immediately, must not panic
+}

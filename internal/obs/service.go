@@ -40,6 +40,30 @@ const (
 	// MetricServiceRequestNS is the histogram of whole-request latencies
 	// (decode to response) of the compute endpoints.
 	MetricServiceRequestNS = "service_request_ns"
+	// MetricServiceShedDeadlineTotal counts requests shed with 504 because
+	// their remaining deadline budget could not cover the observed median
+	// service time (doomed work rejected before wasting a worker).
+	MetricServiceShedDeadlineTotal = "service_shed_deadline_total"
+	// MetricServiceReady gauges readiness: 1 once every advisor is trained
+	// and any snapshot restore has finished (GET /readyz flips to 200).
+	MetricServiceReady = "service_ready"
+	// MetricServiceSnapshotRestoredTotal counts warm-boot entries (cached
+	// responses, trained models) restored from a snapshot.
+	MetricServiceSnapshotRestoredTotal = "service_snapshot_entries_restored_total"
+	// MetricServiceSnapshotSkippedTotal counts snapshot entries dropped by
+	// checksum, framing, version, or schema validation. Nonzero after a boot
+	// means the snapshot was damaged and the service degraded toward a cold
+	// start instead of failing.
+	MetricServiceSnapshotSkippedTotal = "service_snapshot_entries_skipped_total"
+	// MetricServiceSnapshotWritesTotal counts successful snapshot writes
+	// (periodic, SIGHUP-triggered, and shutdown-drain).
+	MetricServiceSnapshotWritesTotal = "service_snapshot_writes_total"
+	// MetricServiceSnapshotWriteErrorsTotal counts failed snapshot writes;
+	// the previous on-disk snapshot stays intact when one fails.
+	MetricServiceSnapshotWriteErrorsTotal = "service_snapshot_write_errors_total"
+	// MetricServiceSnapshotBytes gauges the size of the last snapshot
+	// successfully written.
+	MetricServiceSnapshotBytes = "service_snapshot_bytes"
 )
 
 // ServiceLatencyBuckets is the bucket layout of the service latency

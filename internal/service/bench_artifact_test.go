@@ -1,11 +1,15 @@
 package service
 
 import (
+	"bytes"
 	"encoding/json"
 	"os"
+	"path/filepath"
 	"sort"
 	"testing"
 	"time"
+
+	"gpuhms/internal/advisor"
 )
 
 // latencyStats summarizes one measured request population.
@@ -80,12 +84,63 @@ func TestBenchServiceArtifact(t *testing.T) {
 		cached = append(cached, timeOne(warm, cacheHit))
 	}
 
+	// Warm boot: time-to-first-cached-response of a process restored from a
+	// snapshot (load model + restore cache + serve a hit) versus a cold one
+	// (train + full search). This is the number the -snapshot flag buys.
+	snapPath := filepath.Join(t.TempDir(), "bench.snap")
+	if err := s.SaveSnapshot(snapPath); err != nil {
+		t.Fatal(err)
+	}
+	cfg := testAdvisor(t).Cfg
+	firstResponse := func(boot func() *Server, wantCache string) time.Duration {
+		start := time.Now()
+		srv := boot()
+		defer srv.Close()
+		rr := doJSON(t, srv, "POST", "/v1/rank", warm)
+		if rr.Code != 200 || rr.Header().Get("X-HMS-Cache") != wantCache {
+			t.Fatalf("boot request: status %d cache %q, want 200 %q", rr.Code, rr.Header().Get("X-HMS-Cache"), wantCache)
+		}
+		return time.Since(start)
+	}
+	coldBoot := firstResponse(func() *Server {
+		adv, err := advisor.New(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		srv, err := New(map[string]*advisor.Advisor{"k80": adv}, Options{}, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return srv
+	}, cacheMiss)
+	warmBoot := firstResponse(func() *Server {
+		contents, err := ReadSnapshotFile(snapPath)
+		if err != nil || contents.Skipped != 0 {
+			t.Fatalf("bench snapshot read: err %v, %d skipped", err, contents.Skipped)
+		}
+		adv, err := advisor.NewFromSaved(cfg, bytes.NewReader(contents.Models["k80"]))
+		if err != nil {
+			t.Fatal(err)
+		}
+		srv, err := New(map[string]*advisor.Advisor{"k80": adv}, Options{}, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		srv.RestoreCache(contents.Cache)
+		return srv
+	}, cacheHit)
+
 	report := struct {
-		Bench   string       `json:"bench"`
-		Kernel  string       `json:"kernel"`
-		Cold    latencyStats `json:"cold"`
-		Cached  latencyStats `json:"cached"`
-		Speedup float64      `json:"speedup_p50"`
+		Bench    string       `json:"bench"`
+		Kernel   string       `json:"kernel"`
+		Cold     latencyStats `json:"cold"`
+		Cached   latencyStats `json:"cached"`
+		Speedup  float64      `json:"speedup_p50"`
+		WarmBoot struct {
+			ColdBootNS    float64 `json:"cold_boot_ns"`
+			RestoredNS    float64 `json:"restored_boot_ns"`
+			SpeedupFactor float64 `json:"speedup"`
+		} `json:"warm_boot_first_response"`
 	}{
 		Bench:  "service_rank_cold_vs_cached",
 		Kernel: "fft",
@@ -93,10 +148,17 @@ func TestBenchServiceArtifact(t *testing.T) {
 		Cached: summarize(cached),
 	}
 	report.Speedup = report.Cold.P50NS / report.Cached.P50NS
+	report.WarmBoot.ColdBootNS = float64(coldBoot.Nanoseconds())
+	report.WarmBoot.RestoredNS = float64(warmBoot.Nanoseconds())
+	report.WarmBoot.SpeedupFactor = report.WarmBoot.ColdBootNS / report.WarmBoot.RestoredNS
 
 	if report.Speedup < 10 {
 		t.Errorf("cached p50 only %.1fx faster than cold (want >= 10x): cold %.0fns cached %.0fns",
 			report.Speedup, report.Cold.P50NS, report.Cached.P50NS)
+	}
+	if report.WarmBoot.SpeedupFactor < 5 {
+		t.Errorf("warm boot only %.1fx faster to first cached response than cold boot (want >= 5x): cold %v restored %v",
+			report.WarmBoot.SpeedupFactor, coldBoot, warmBoot)
 	}
 
 	data, err := json.MarshalIndent(&report, "", "  ")
@@ -106,6 +168,7 @@ func TestBenchServiceArtifact(t *testing.T) {
 	if err := os.WriteFile(out, append(data, '\n'), 0o644); err != nil {
 		t.Fatal(err)
 	}
-	t.Logf("wrote %s (cold p50 %.2fms, cached p50 %.1fµs, %.0fx)",
-		out, report.Cold.P50NS/1e6, report.Cached.P50NS/1e3, report.Speedup)
+	t.Logf("wrote %s (cold p50 %.2fms, cached p50 %.1fµs, %.0fx; warm boot %.0fms vs cold boot %.0fms, %.0fx)",
+		out, report.Cold.P50NS/1e6, report.Cached.P50NS/1e3, report.Speedup,
+		report.WarmBoot.RestoredNS/1e6, report.WarmBoot.ColdBootNS/1e6, report.WarmBoot.SpeedupFactor)
 }

@@ -138,3 +138,32 @@ func (c *Cache) Len() int {
 	defer c.mu.Unlock()
 	return c.ll.Len()
 }
+
+// CachedResponse is one (key, response) pair of the cache's snapshot view.
+type CachedResponse struct {
+	Key  string
+	Resp *RankResponse
+}
+
+// Entries returns the cached responses least-recently-used first, so
+// replaying them through Restore in order reproduces the recency order
+// (the most recently used entry is re-inserted last and evicted last).
+func (c *Cache) Entries() []CachedResponse {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	out := make([]CachedResponse, 0, c.ll.Len())
+	for el := c.ll.Back(); el != nil; el = el.Prev() {
+		e := el.Value.(*cacheEntry)
+		out = append(out, CachedResponse{Key: e.key, Resp: e.resp})
+	}
+	return out
+}
+
+// Restore inserts one entry as if it had just been served, subject to the
+// normal LRU capacity. It is the warm-boot path; callers validate entries
+// (service.RestoreCache) before handing them over.
+func (c *Cache) Restore(key string, resp *RankResponse) {
+	c.mu.Lock()
+	c.insert(key, resp)
+	c.mu.Unlock()
+}

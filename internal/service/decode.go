@@ -47,6 +47,11 @@ var (
 	ErrQueueFull = errors.New("queue full")
 	// ErrShuttingDown: the server is draining and accepts no new work.
 	ErrShuttingDown = errors.New("server shutting down")
+	// ErrDeadlineBudget: load shedding rejected the request because its
+	// remaining deadline could not cover the observed median service time.
+	// It wraps context.DeadlineExceeded, so it maps to 504 like the timeout
+	// it was about to become — but without wasting a worker first.
+	ErrDeadlineBudget = fmt.Errorf("deadline budget below observed service time: %w", context.DeadlineExceeded)
 )
 
 // StatusClientClosedRequest is the non-standard 499 status (nginx lineage)
@@ -165,7 +170,8 @@ func validateCommon(arch, kernel string, scale int, sample string, timeoutMS int
 //	ErrQueueFull                        → 429 Too Many Requests
 //	context.Canceled                    → 499 Client Closed Request
 //	ErrShuttingDown                     → 503 Service Unavailable
-//	context.DeadlineExceeded            → 504 Gateway Timeout
+//	context.DeadlineExceeded,
+//	ErrDeadlineBudget                   → 504 Gateway Timeout
 //	anything else                       → 500 Internal Server Error
 //
 // ErrBudgetExceeded never reaches this map: a budget-stopped search is a
@@ -216,6 +222,8 @@ func codeOf(err error) string {
 		return "shutting_down"
 	case errors.Is(err, context.Canceled):
 		return "canceled"
+	case errors.Is(err, ErrDeadlineBudget):
+		return "shed_deadline"
 	case errors.Is(err, context.DeadlineExceeded):
 		return "deadline"
 	default:

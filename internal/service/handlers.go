@@ -17,6 +17,8 @@ import (
 //	POST /v1/predict  predict one target placement
 //	GET  /v1/kernels  list the bundled workloads
 //	GET  /healthz     liveness + warm architectures
+//	GET  /readyz      readiness: 503 until advisors are trained and any
+//	                  snapshot restore has finished (MarkReady)
 //	GET  /metrics     Prometheus text exposition of the obs registry
 //
 // Every response body is JSON; non-2xx bodies are ErrorResponse. See
@@ -27,6 +29,7 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("POST /v1/predict", s.instrument(s.handlePredict))
 	mux.HandleFunc("GET /v1/kernels", s.instrument(s.handleKernels))
 	mux.HandleFunc("GET /healthz", s.handleHealthz)
+	mux.HandleFunc("GET /readyz", s.handleReadyz)
 	mux.HandleFunc("GET /metrics", s.handleMetrics)
 	return mux
 }
@@ -59,11 +62,15 @@ func writeJSON(w http.ResponseWriter, status int, v any) {
 
 // writeError maps err onto its status (attaching backpressure headers) and
 // writes the ErrorResponse body. It returns the status for instrumentation.
+// Shed responses (429, 503) carry a queue-depth-derived, full-jitter
+// Retry-After so a synchronized herd of retries decorrelates.
 func (s *Server) writeError(w http.ResponseWriter, err error) int {
 	status := statusOf(err)
 	if status == http.StatusTooManyRequests {
 		s.col.Add(obs.MetricServiceRejectedTotal, 1)
-		w.Header().Set("Retry-After", strconv.Itoa(s.opt.RetryAfter))
+	}
+	if status == http.StatusTooManyRequests || status == http.StatusServiceUnavailable {
+		w.Header().Set("Retry-After", strconv.Itoa(s.retryAfter()))
 	}
 	writeJSON(w, status, ErrorResponse{Error: err.Error(), Code: codeOf(err)})
 	return status
@@ -150,10 +157,14 @@ func (s *Server) handlePredict(w http.ResponseWriter, r *http.Request) int {
 	}
 	ch := make(chan result, 1) // buffered: the worker never blocks on an absent reader
 	searchCtx, cancelSearch := s.searchContext(req.TimeoutMS)
-	if err := s.pool.Submit(func() {
+	deadline, _ := searchCtx.Deadline()
+	if err := s.pool.SubmitDeadline(deadline, func() {
 		defer cancelSearch()
 		resp, err := s.runPredict(searchCtx, adv, req)
 		ch <- result{resp, err}
+	}, func(err error) {
+		cancelSearch()
+		ch <- result{nil, err}
 	}); err != nil {
 		cancelSearch()
 		return s.writeError(w, err)
@@ -194,6 +205,22 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 		Archs:   s.archs,
 		UptimeS: time.Since(s.start).Seconds(),
 	})
+}
+
+// handleReadyz serves GET /readyz: 200 once the server is ready to take
+// traffic (advisors trained, snapshot restored), 503 with a jittered
+// Retry-After before that. Distinct from /healthz, which reports liveness
+// and stays 200 throughout warmup.
+func (s *Server) handleReadyz(w http.ResponseWriter, r *http.Request) {
+	if !s.Ready() {
+		w.Header().Set("Retry-After", strconv.Itoa(s.retryAfter()))
+		writeJSON(w, http.StatusServiceUnavailable, ReadyResponse{
+			Ready:  false,
+			Reason: "warming: advisors training or snapshot restore in progress",
+		})
+		return
+	}
+	writeJSON(w, http.StatusOK, ReadyResponse{Ready: true, Archs: s.archs})
 }
 
 // handleMetrics serves GET /metrics in the Prometheus text format.

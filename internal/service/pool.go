@@ -1,34 +1,58 @@
 package service
 
 import (
+	"sort"
 	"sync"
 	"time"
 
 	"gpuhms/internal/obs"
 )
 
-// poolJob is one queued unit of work.
+// poolJob is one queued unit of work. Jobs submitted with a deadline carry
+// a shed callback: when the pool decides the job cannot finish in time, it
+// invokes shed(ErrDeadlineBudget) instead of run, so the waiters are
+// answered immediately rather than after a doomed search.
 type poolJob struct {
 	run      func()
+	shed     func(error)
+	deadline time.Time
 	enqueued time.Time
 }
+
+// serviceTimeWindow is the ring of recent job service times backing the
+// pool's p50 estimate; 128 samples is enough to track the workload mix
+// while forgetting a cold-start transient quickly.
+const serviceTimeWindow = 128
 
 // Pool is a bounded worker pool with an explicit queue: Submit never
 // blocks — when the queue is full it returns ErrQueueFull, which the
 // handlers surface as 429 with Retry-After (load shedding instead of
-// unbounded goroutine growth). The pool reports queue depth and in-flight
-// gauges and a queue-wait histogram through the service metric names in
-// internal/obs.
+// unbounded goroutine growth). Deadline-aware jobs (SubmitDeadline) are
+// additionally shed with ErrDeadlineBudget — at submit and again at
+// dequeue — when their remaining deadline budget cannot cover the observed
+// median service time: a request that would time out anyway is answered
+// 504 immediately instead of occupying a worker. The pool reports queue
+// depth and in-flight gauges and a queue-wait histogram through the service
+// metric names in internal/obs.
 type Pool struct {
 	rec   obs.Recorder
 	queue chan poolJob
 	wg    sync.WaitGroup
+
+	// now is the pool's clock, swappable by tests driving shed decisions
+	// with a fake time.
+	now func() time.Time
 
 	mu     sync.Mutex
 	closed bool
 
 	inflightMu sync.Mutex
 	inflight   int
+
+	svcMu    sync.Mutex
+	svcTimes [serviceTimeWindow]time.Duration
+	svcLen   int // samples recorded, capped at the window
+	svcNext  int // ring cursor
 }
 
 // NewPool starts workers goroutines consuming a queue of queueCap pending
@@ -42,7 +66,7 @@ func NewPool(workers, queueCap int, rec obs.Recorder) *Pool {
 	if queueCap < 1 {
 		queueCap = 1
 	}
-	p := &Pool{rec: obs.OrNop(rec), queue: make(chan poolJob, queueCap)}
+	p := &Pool{rec: obs.OrNop(rec), queue: make(chan poolJob, queueCap), now: time.Now}
 	p.wg.Add(workers)
 	for i := 0; i < workers; i++ {
 		go p.worker()
@@ -50,16 +74,30 @@ func NewPool(workers, queueCap int, rec obs.Recorder) *Pool {
 	return p
 }
 
-// Submit enqueues a job. It returns ErrQueueFull when the queue is at
-// capacity and ErrShuttingDown after Close.
+// Submit enqueues a job with no deadline. It returns ErrQueueFull when the
+// queue is at capacity and ErrShuttingDown after Close.
 func (p *Pool) Submit(run func()) error {
+	return p.SubmitDeadline(time.Time{}, run, nil)
+}
+
+// SubmitDeadline enqueues a job that must finish by deadline (zero means
+// none). When the remaining budget already cannot cover the observed median
+// service time, the job is rejected with ErrDeadlineBudget without being
+// queued; if the budget runs out while the job waits in the queue, the
+// worker that dequeues it calls shed(ErrDeadlineBudget) instead of run.
+// Other errors are ErrQueueFull and ErrShuttingDown, as for Submit.
+func (p *Pool) SubmitDeadline(deadline time.Time, run func(), shed func(error)) error {
+	if p.doomed(deadline) {
+		p.rec.Add(obs.MetricServiceShedDeadlineTotal, 1)
+		return ErrDeadlineBudget
+	}
 	p.mu.Lock()
 	defer p.mu.Unlock()
 	if p.closed {
 		return ErrShuttingDown
 	}
 	select {
-	case p.queue <- poolJob{run: run, enqueued: time.Now()}:
+	case p.queue <- poolJob{run: run, shed: shed, deadline: deadline, enqueued: p.now()}:
 		p.rec.Gauge(obs.MetricServiceQueueDepth, float64(len(p.queue)))
 		return nil
 	default:
@@ -67,18 +105,63 @@ func (p *Pool) Submit(run func()) error {
 	}
 }
 
+// doomed reports whether a job with this deadline is not worth running:
+// the time remaining is shorter than the observed median service time.
+// With no deadline or no service-time history yet, nothing is doomed.
+func (p *Pool) doomed(deadline time.Time) bool {
+	if deadline.IsZero() {
+		return false
+	}
+	p50 := p.ObservedP50()
+	return p50 > 0 && deadline.Sub(p.now()) < p50
+}
+
 // worker drains the queue until Close.
 func (p *Pool) worker() {
 	defer p.wg.Done()
 	for job := range p.queue {
 		if p.rec.Enabled() {
-			p.rec.Observe(obs.MetricServiceQueueWaitNS, float64(time.Since(job.enqueued).Nanoseconds()))
+			p.rec.Observe(obs.MetricServiceQueueWaitNS, float64(p.now().Sub(job.enqueued).Nanoseconds()))
 			p.rec.Gauge(obs.MetricServiceQueueDepth, float64(len(p.queue)))
 		}
+		if job.shed != nil && p.doomed(job.deadline) {
+			p.rec.Add(obs.MetricServiceShedDeadlineTotal, 1)
+			job.shed(ErrDeadlineBudget)
+			continue
+		}
 		p.setInflight(+1)
+		start := p.now()
 		job.run()
+		p.observeService(p.now().Sub(start))
 		p.setInflight(-1)
 	}
+}
+
+// observeService records one job's service time into the ring.
+func (p *Pool) observeService(d time.Duration) {
+	p.svcMu.Lock()
+	p.svcTimes[p.svcNext] = d
+	p.svcNext = (p.svcNext + 1) % serviceTimeWindow
+	if p.svcLen < serviceTimeWindow {
+		p.svcLen++
+	}
+	p.svcMu.Unlock()
+}
+
+// ObservedP50 is the median service time over the recent window (0 until
+// the first job completes) — the pool's estimate of what one more search
+// will cost, and the bar a queued request's remaining deadline must clear.
+func (p *Pool) ObservedP50() time.Duration {
+	p.svcMu.Lock()
+	n := p.svcLen
+	buf := make([]time.Duration, n)
+	copy(buf, p.svcTimes[:n])
+	p.svcMu.Unlock()
+	if n == 0 {
+		return 0
+	}
+	sort.Slice(buf, func(i, j int) bool { return buf[i] < buf[j] })
+	return buf[n/2]
 }
 
 // setInflight adjusts the running-jobs gauge.

@@ -4,8 +4,11 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"math/rand"
 	"runtime"
 	"sort"
+	"sync"
+	"sync/atomic"
 	"time"
 
 	"gpuhms/internal/advisor"
@@ -13,6 +16,7 @@ import (
 	"gpuhms/internal/kernels"
 	"gpuhms/internal/obs"
 	"gpuhms/internal/placement"
+	"gpuhms/internal/snapshot"
 	"gpuhms/internal/trace"
 )
 
@@ -29,8 +33,16 @@ type Options struct {
 	// DefaultTimeout bounds a search's wall clock when the request carries
 	// no timeout_ms (default 60s; negative means unlimited).
 	DefaultTimeout time.Duration
-	// RetryAfter is the Retry-After value (seconds) sent with 429 (default 1).
+	// RetryAfter is the base Retry-After value (seconds) for shed responses
+	// (default 1). The value actually sent on 429/503 is full-jitter
+	// exponential: uniform in [1, RetryAfter << k], where k grows with the
+	// queue's fullness — synchronized client retries decorrelate instead of
+	// re-stampeding the pool.
 	RetryAfter int
+	// SnapshotFaults optionally injects chaos (write failures, torn writes,
+	// slow I/O) into SaveSnapshot; nil disables injection. Wired by the soak
+	// harness via internal/faults.Points.
+	SnapshotFaults snapshot.FaultHooks
 	// Parallelism is the ranking worker count for requests that don't ask
 	// for one. The default is queue-aware: NumCPU divided by the pool's
 	// Workers (at least 1), so pool × parallelism never oversubscribes the
@@ -86,6 +98,16 @@ type Server struct {
 	cache    *Cache
 	start    time.Time
 
+	// ready gates GET /readyz: false (503) until MarkReady, which the boot
+	// sequence calls once every advisor is trained and any snapshot restore
+	// has finished. Liveness (/healthz) is independent of it.
+	ready atomic.Bool
+
+	// jitter drives the full-jitter Retry-After values; guarded because
+	// math/rand.Rand is not concurrency-safe.
+	jitterMu sync.Mutex
+	jitter   *rand.Rand
+
 	// baseCtx parents every search; cancel aborts all in-flight work
 	// (the forced-drain path of Shutdown).
 	baseCtx context.Context
@@ -127,7 +149,47 @@ func New(advisors map[string]*advisor.Advisor, opt Options, col *obs.Collector) 
 		start:    time.Now(),
 		baseCtx:  ctx,
 		cancel:   cancel,
+		jitter:   rand.New(rand.NewSource(time.Now().UnixNano())),
 	}, nil
+}
+
+// MarkReady flips GET /readyz to 200. The boot sequence calls it once every
+// advisor is trained and any snapshot restore has finished; until then the
+// probe answers 503 so an orchestrator keeps traffic away from a still-cold
+// instance.
+func (s *Server) MarkReady() {
+	s.ready.Store(true)
+	s.col.Gauge(obs.MetricServiceReady, 1)
+}
+
+// Ready reports whether MarkReady has run.
+func (s *Server) Ready() bool { return s.ready.Load() }
+
+// retryAfterSeconds computes one full-jitter Retry-After value: the base
+// doubles as the queue fills (exponent 0..4 over the depth/capacity ratio)
+// and the reply is uniform in [1, base<<k]. Randomizing the whole interval
+// — not just a fraction of it — is what decorrelates a synchronized herd:
+// clients that were rejected together retry spread across the window.
+func retryAfterSeconds(depth, queueCap, base int, intn func(int) int) int {
+	if base < 1 {
+		base = 1
+	}
+	k := 0
+	if queueCap > 0 {
+		k = 4 * depth / queueCap
+		if k > 4 {
+			k = 4
+		}
+	}
+	return 1 + intn(base<<k)
+}
+
+// retryAfter derives the Retry-After for one shed response from the current
+// queue depth.
+func (s *Server) retryAfter() int {
+	s.jitterMu.Lock()
+	defer s.jitterMu.Unlock()
+	return retryAfterSeconds(s.pool.QueueDepth(), s.opt.QueueCap, s.opt.RetryAfter, s.jitter.Intn)
 }
 
 // Collector exposes the server's telemetry (the /metrics backing store).
@@ -190,10 +252,17 @@ func (s *Server) doRank(reqCtx context.Context, adv *advisor.Advisor, req *RankR
 		outcome = cacheMiss
 		s.col.Add(obs.MetricServiceCacheMissesTotal, 1)
 		searchCtx, cancelSearch := s.searchContext(req.TimeoutMS)
-		err := s.pool.Submit(func() {
+		// The search deadline rides along to the pool so a job whose
+		// remaining budget cannot cover the observed service time is shed
+		// with 504 instead of starting a doomed search.
+		deadline, _ := searchCtx.Deadline()
+		err := s.pool.SubmitDeadline(deadline, func() {
 			defer cancelSearch()
 			resp, err := s.runRank(searchCtx, adv, req)
 			s.cache.Complete(key, resp, err)
+		}, func(err error) {
+			cancelSearch()
+			s.cache.Complete(key, nil, err)
 		})
 		if err != nil {
 			// The queue rejected the job: complete the flight so every

@@ -1,0 +1,220 @@
+package service
+
+import (
+	"bytes"
+	"encoding/json"
+	"net/http"
+	"os"
+	"path/filepath"
+	"runtime"
+	"testing"
+	"time"
+
+	"gpuhms/internal/advisor"
+	"gpuhms/internal/obs"
+)
+
+// warmServer builds a test server and warms one fft ranking into its cache,
+// returning the served body bytes.
+func warmServer(t *testing.T, opt Options) (*Server, RankRequest, []byte) {
+	t.Helper()
+	s := newTestServer(t, opt)
+	req := RankRequest{Kernel: "fft", TopK: 5}
+	rr := doJSON(t, s, "POST", "/v1/rank", req)
+	if rr.Code != 200 {
+		t.Fatalf("warming rank: status %d: %s", rr.Code, rr.Body.String())
+	}
+	return s, req, rr.Body.Bytes()
+}
+
+// TestSnapshotRoundTripByteIdentical pins the acceptance criterion: a
+// ranking cached before a snapshot is served byte-identically — and as a
+// cache hit — by a second server restored from that snapshot.
+func TestSnapshotRoundTripByteIdentical(t *testing.T) {
+	s1, req, wantBody := warmServer(t, Options{})
+	path := filepath.Join(t.TempDir(), "state.snap")
+	if err := s1.SaveSnapshot(path); err != nil {
+		t.Fatal(err)
+	}
+
+	contents, err := ReadSnapshotFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if contents.Skipped != 0 {
+		t.Fatalf("%d entries skipped loading a pristine snapshot", contents.Skipped)
+	}
+	if _, ok := contents.Models["k80"]; !ok {
+		t.Fatal("snapshot missing the k80 model")
+	}
+	if len(contents.Cache) == 0 {
+		t.Fatal("snapshot missing the cached ranking")
+	}
+
+	// The saved model must reconstruct a working advisor without training.
+	adv2, err := advisor.NewFromSaved(testAdvisor(t).Cfg, bytes.NewReader(contents.Models["k80"]))
+	if err != nil {
+		t.Fatalf("restoring model: %v", err)
+	}
+	s2, err := New(map[string]*advisor.Advisor{"k80": adv2}, Options{}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(s2.Close)
+	if restored, skipped := s2.RestoreCache(contents.Cache); restored == 0 || skipped != 0 {
+		t.Fatalf("restore: %d restored %d skipped", restored, skipped)
+	}
+
+	rr := doJSON(t, s2, "POST", "/v1/rank", req)
+	if rr.Code != 200 {
+		t.Fatalf("post-restore status %d: %s", rr.Code, rr.Body.String())
+	}
+	if got := rr.Header().Get("X-HMS-Cache"); got != cacheHit {
+		t.Fatalf("post-restore X-HMS-Cache %q, want %q (restored entry not served from cache)", got, cacheHit)
+	}
+	if string(rr.Body.Bytes()) != string(wantBody) {
+		t.Fatalf("post-restore body differs from pre-snapshot body:\npre:  %s\npost: %s", wantBody, rr.Body.Bytes())
+	}
+	if counterVal(s2, obs.MetricServiceSnapshotRestoredTotal) == 0 {
+		t.Fatal("snapshot restored counter not incremented")
+	}
+}
+
+// TestCorruptSnapshotBootsCold pins the other acceptance criterion: a
+// deliberately corrupted snapshot degrades to a cold boot — entries skipped
+// and counted, the request path fully functional, zero 5xx.
+func TestCorruptSnapshotBootsCold(t *testing.T) {
+	s1, req, _ := warmServer(t, Options{})
+	path := filepath.Join(t.TempDir(), "state.snap")
+	if err := s1.SaveSnapshot(path); err != nil {
+		t.Fatal(err)
+	}
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Flip bytes through the entry region: checksum damage everywhere.
+	for i := 16; i < len(raw); i += 7 {
+		raw[i] ^= 0x55
+	}
+	if err := os.WriteFile(path, raw, 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	contents, err := ReadSnapshotFile(path)
+	if err != nil {
+		t.Fatalf("corrupt snapshot must not error (cold boot, not failed boot): %v", err)
+	}
+	if contents.Skipped == 0 {
+		t.Fatal("corruption went uncounted")
+	}
+	s2 := newTestServer(t, Options{})
+	restored, _ := s2.RestoreCache(contents.Cache)
+	if restored != 0 {
+		// Unlikely but possible if some entry survived the stride; the
+		// invariant that matters is Skipped > 0 and no failure.
+		t.Logf("%d entries survived corruption", restored)
+	}
+	s2.col.Add(obs.MetricServiceSnapshotSkippedTotal, int64(contents.Skipped))
+	if counterVal(s2, obs.MetricServiceSnapshotSkippedTotal) == 0 {
+		t.Fatal("snapshot_entries_skipped counter is zero after corrupt restore")
+	}
+	rr := doJSON(t, s2, "POST", "/v1/rank", req)
+	if rr.Code != 200 {
+		t.Fatalf("cold-booted server status %d: %s", rr.Code, rr.Body.String())
+	}
+}
+
+// TestRestoreCacheRejectsHostileEntries pins schema validation on the
+// restore path: forged keys and empty responses are skipped and counted.
+func TestRestoreCacheRejectsHostileEntries(t *testing.T) {
+	s := newTestServer(t, Options{})
+	longKey := string(make([]byte, MaxSnapshotKeyLen+1))
+	restored, skipped := s.RestoreCache([]CachedResponse{
+		{Key: "", Resp: &RankResponse{Kernel: "fft"}},
+		{Key: "k", Resp: nil},
+		{Key: longKey, Resp: &RankResponse{Kernel: "fft"}},
+		{Key: "k2", Resp: &RankResponse{}}, // no kernel: schema-invalid
+		{Key: "ok", Resp: &RankResponse{Kernel: "fft", Arch: "k80", Scale: 1}},
+	})
+	if restored != 1 || skipped != 4 {
+		t.Fatalf("restored %d skipped %d, want 1 and 4", restored, skipped)
+	}
+	if counterVal(s, obs.MetricServiceSnapshotSkippedTotal) != 4 {
+		t.Fatal("skip counter mismatch")
+	}
+}
+
+// TestSnapshotterWritesAndStops covers the periodic writer end to end: it
+// writes on the timer and on Trigger, and Stop leaves no goroutine behind.
+func TestSnapshotterWritesAndStops(t *testing.T) {
+	before := runtime.NumGoroutine()
+	s, _, _ := warmServer(t, Options{})
+	path := filepath.Join(t.TempDir(), "periodic.snap")
+
+	sn := s.StartSnapshotter(path, 5*time.Millisecond, t.Logf)
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		if _, err := os.Stat(path); err == nil {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("periodic snapshot never appeared")
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	sn.Stop()
+	sn.Stop() // idempotent
+
+	// Trigger-only snapshotter (no timer).
+	path2 := filepath.Join(t.TempDir(), "triggered.snap")
+	sn2 := s.StartSnapshotter(path2, 0, nil)
+	sn2.Trigger()
+	deadline = time.Now().Add(5 * time.Second)
+	for {
+		if _, err := os.Stat(path2); err == nil {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("triggered snapshot never appeared")
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	sn2.Stop()
+
+	if counterVal(s, obs.MetricServiceSnapshotWritesTotal) < 2 {
+		t.Fatal("snapshot write counter did not advance")
+	}
+	s.Close()
+	waitGoroutines(t, before)
+}
+
+// TestReadyz pins readiness semantics: 503 (with Retry-After) until
+// MarkReady, 200 with the warm arch list after; /healthz reports alive
+// throughout.
+func TestReadyz(t *testing.T) {
+	s := newTestServer(t, Options{})
+	rr := doJSON(t, s, "GET", "/readyz", nil)
+	if rr.Code != http.StatusServiceUnavailable {
+		t.Fatalf("pre-ready /readyz status %d, want 503", rr.Code)
+	}
+	if rr.Header().Get("Retry-After") == "" {
+		t.Fatal("pre-ready /readyz missing Retry-After")
+	}
+	if rr := doJSON(t, s, "GET", "/healthz", nil); rr.Code != 200 {
+		t.Fatalf("/healthz %d during warmup, want 200 (liveness is not readiness)", rr.Code)
+	}
+
+	s.MarkReady()
+	rr = doJSON(t, s, "GET", "/readyz", nil)
+	if rr.Code != 200 {
+		t.Fatalf("post-ready /readyz status %d, want 200", rr.Code)
+	}
+	var ready ReadyResponse
+	if err := json.Unmarshal(rr.Body.Bytes(), &ready); err != nil {
+		t.Fatal(err)
+	}
+	if !ready.Ready || len(ready.Archs) != 1 || ready.Archs[0] != "k80" {
+		t.Fatalf("ready body %+v", ready)
+	}
+}

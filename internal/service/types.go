@@ -139,6 +139,17 @@ type ErrorResponse struct {
 	Code string `json:"code"`
 }
 
+// ReadyResponse is the reply of GET /readyz: the readiness probe, distinct
+// from /healthz liveness. Ready is false (and the status 503) until every
+// per-arch advisor is trained and any snapshot restore has finished.
+type ReadyResponse struct {
+	Ready bool `json:"ready"`
+	// Reason explains a not-ready reply.
+	Reason string `json:"reason,omitempty"`
+	// Archs lists the warm architectures once ready.
+	Archs []string `json:"archs,omitempty"`
+}
+
 // HealthResponse is the reply of GET /healthz.
 type HealthResponse struct {
 	Status string `json:"status"`

@@ -1,0 +1,83 @@
+package snapshot
+
+import (
+	"bytes"
+	"encoding/binary"
+	"errors"
+	"testing"
+)
+
+// validSnapshot builds a well-formed two-entry snapshot for seeding.
+func validSnapshot(t testing.TB) []byte {
+	t.Helper()
+	var buf bytes.Buffer
+	w, err := NewWriter(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Append(1, []byte(`{"arch":"k80","model":{}}`)); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Append(2, []byte(`{"key":"k80|fft|1||k3|c0|sexhaustive","response":{"kernel":"fft"}}`)); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+// FuzzLoadSnapshot proves the loader's safety contract on hostile bytes:
+// it never panics, never allocates past the declared-length cap, and on any
+// damage falls back to fewer entries (cold state) with the loss counted.
+func FuzzLoadSnapshot(f *testing.F) {
+	valid := validSnapshot(f)
+	f.Add(valid)
+	f.Add([]byte{})
+	f.Add(valid[:headerLen])    // header only
+	f.Add(valid[:headerLen+3])  // torn mid-frame
+	f.Add(valid[:len(valid)-2]) // torn mid-CRC
+	f.Add(valid[:len(valid)/2]) // torn mid-payload
+	f.Add([]byte("HMSSNAP1garbage that is not framed"))
+	f.Add([]byte("not a snapshot at all"))
+
+	flipped := bytes.Clone(valid)
+	flipped[len(flipped)-1] ^= 0x01 // last CRC byte
+	f.Add(flipped)
+
+	wrongVersion := bytes.Clone(valid)
+	binary.LittleEndian.PutUint32(wrongVersion[8:], 2)
+	f.Add(wrongVersion)
+
+	giant := bytes.Clone(valid[:headerLen])
+	giant = append(giant, 1)
+	giant = binary.LittleEndian.AppendUint32(giant, 0xFFFFFFFF) // ~4GiB declared
+	f.Add(giant)
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		entries, st, err := Read(bytes.NewReader(data))
+		if err != nil {
+			// The only post-open error class is a bad header, and it must
+			// come with no restored entries: clean cold boot.
+			if !errors.Is(err, ErrBadHeader) {
+				t.Fatalf("non-header error %v", err)
+			}
+			if len(entries) != 0 {
+				t.Fatalf("%d entries restored alongside ErrBadHeader", len(entries))
+			}
+			return
+		}
+		if st.Restored != len(entries) {
+			t.Fatalf("stats claim %d restored, got %d entries", st.Restored, len(entries))
+		}
+		total := headerLen
+		for i, e := range entries {
+			if len(e.Payload) > MaxEntryBytes {
+				t.Fatalf("entry %d payload %d bytes exceeds cap", i, len(e.Payload))
+			}
+			total += entryOverhead + len(e.Payload)
+		}
+		// Restored bytes are bounded by the input: the loader cannot invent
+		// (or over-allocate) data a hostile length field merely declared.
+		if total > len(data) {
+			t.Fatalf("restored framing spans %d bytes from a %d-byte input", total, len(data))
+		}
+	})
+}

@@ -1,0 +1,306 @@
+// Package snapshot implements the crash-safe on-disk state format behind
+// hmsserved's warm boot: a versioned, length-prefixed, CRC-checksummed
+// stream of opaque entries, written atomically (temp file + fsync + rename)
+// and loaded tolerantly — a corrupt, truncated, or hostile snapshot degrades
+// to fewer restored entries (each one counted), never to a panic, an
+// unbounded allocation, or a failed boot.
+//
+// Wire layout (all integers little-endian):
+//
+//	offset  size  field
+//	0       8     magic "HMSSNAP1"
+//	8       4     format version (currently 1)
+//	12      —     entries, each:
+//	                1   kind (application-defined entry type)
+//	                4   payload length N (must be <= MaxEntryBytes)
+//	                N   payload
+//	                4   CRC-32 (IEEE) of kind || length || payload
+//
+// The payload encoding is the caller's business (internal/service stores
+// JSON); this package guarantees only framing integrity. A reader that hits
+// a CRC mismatch skips that entry and keeps going — the length field was
+// covered by the checksum of a *well-framed* entry, so the stream stays in
+// sync; a short read, an oversize declared length, or a bad header ends the
+// scan (everything after an unframeable point is untrustworthy).
+package snapshot
+
+import (
+	"bufio"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"os"
+	"path/filepath"
+)
+
+// Format constants.
+const (
+	// Version is the current snapshot format version; readers reject
+	// anything else (forward compatibility is a cold boot, not a crash).
+	Version = 1
+	// MaxEntryBytes caps one entry's declared payload length. A hostile or
+	// corrupted length field can therefore allocate at most this much,
+	// never the multi-gigabyte buffer a flipped high bit would ask for.
+	MaxEntryBytes = 16 << 20
+	// headerLen is magic + version.
+	headerLen = 12
+	// entryOverhead is kind + length + CRC framing around a payload.
+	entryOverhead = 9
+)
+
+// magic identifies a snapshot file; the trailing '1' is a format
+// generation, distinct from the version word that follows it.
+var magic = [8]byte{'H', 'M', 'S', 'S', 'N', 'A', 'P', '1'}
+
+// ErrBadHeader reports a stream that is not a snapshot at all (wrong magic,
+// unsupported version, or shorter than a header). Callers treat it as an
+// empty snapshot: cold boot, never failed boot.
+var ErrBadHeader = errors.New("snapshot: bad header")
+
+// Fault-point names the writer consults on its FaultHooks; a chaos harness
+// (internal/faults.Points) keys injected failures, torn writes, and delays
+// by these.
+const (
+	PointWrite  = "snapshot/write"
+	PointSync   = "snapshot/sync"
+	PointRename = "snapshot/rename"
+)
+
+// FaultHooks is the chaos-injection surface of the atomic writer,
+// implemented by internal/faults.Points. A nil FaultHooks disables
+// injection. Implementations must be safe for concurrent use.
+type FaultHooks interface {
+	// Fail returns a non-nil error to force the named operation to fail.
+	Fail(point string) error
+	// TornLen reports how many of n bytes a write persists before failing;
+	// returning n means the write completes whole.
+	TornLen(point string, n int) int
+	// Delay blocks the named operation, modeling slow I/O.
+	Delay(point string)
+}
+
+// Entry is one framed record of a snapshot stream.
+type Entry struct {
+	// Kind is the application-defined entry type.
+	Kind uint8
+	// Payload is the entry's opaque body.
+	Payload []byte
+}
+
+// Stats reports a load's outcome: how many entries survived framing and
+// checksum validation, and how many were dropped.
+type Stats struct {
+	// Restored counts entries returned to the caller.
+	Restored int
+	// Skipped counts entries (or unframeable tails) dropped by checksum,
+	// length, or truncation damage.
+	Skipped int
+}
+
+// Writer frames entries onto an io.Writer. Construct with NewWriter, which
+// emits the header.
+type Writer struct {
+	w       io.Writer
+	scratch [entryOverhead]byte
+}
+
+// NewWriter writes the snapshot header and returns a framing writer.
+func NewWriter(w io.Writer) (*Writer, error) {
+	var hdr [headerLen]byte
+	copy(hdr[:], magic[:])
+	binary.LittleEndian.PutUint32(hdr[8:], Version)
+	if _, err := w.Write(hdr[:]); err != nil {
+		return nil, fmt.Errorf("snapshot: writing header: %w", err)
+	}
+	return &Writer{w: w}, nil
+}
+
+// Append frames one entry: kind, length, payload, CRC.
+func (sw *Writer) Append(kind uint8, payload []byte) error {
+	if len(payload) > MaxEntryBytes {
+		return fmt.Errorf("snapshot: entry payload %d bytes exceeds %d", len(payload), MaxEntryBytes)
+	}
+	sw.scratch[0] = kind
+	binary.LittleEndian.PutUint32(sw.scratch[1:5], uint32(len(payload)))
+	crc := crc32.NewIEEE()
+	crc.Write(sw.scratch[:5])
+	crc.Write(payload)
+	binary.LittleEndian.PutUint32(sw.scratch[5:9], crc.Sum32())
+	if _, err := sw.w.Write(sw.scratch[:5]); err != nil {
+		return err
+	}
+	if _, err := sw.w.Write(payload); err != nil {
+		return err
+	}
+	_, err := sw.w.Write(sw.scratch[5:9])
+	return err
+}
+
+// Read scans a snapshot stream, returning every entry whose framing and
+// checksum validate. It never returns an error for damage past the header:
+// a checksum mismatch skips that entry and continues (the frame itself was
+// intact), while truncation or an oversize declared length counts one skip
+// and ends the scan. ErrBadHeader means the stream is not a snapshot; the
+// returned entries are then nil.
+func Read(r io.Reader) ([]Entry, Stats, error) {
+	var st Stats
+	br := bufio.NewReader(r)
+	var hdr [headerLen]byte
+	if _, err := io.ReadFull(br, hdr[:]); err != nil {
+		return nil, Stats{Skipped: 1}, fmt.Errorf("%w: truncated before header end", ErrBadHeader)
+	}
+	if [8]byte(hdr[:8]) != magic {
+		return nil, Stats{Skipped: 1}, fmt.Errorf("%w: wrong magic", ErrBadHeader)
+	}
+	if v := binary.LittleEndian.Uint32(hdr[8:]); v != Version {
+		return nil, Stats{Skipped: 1}, fmt.Errorf("%w: version %d (want %d)", ErrBadHeader, v, Version)
+	}
+	var entries []Entry
+	var frame [entryOverhead]byte
+	for {
+		if _, err := io.ReadFull(br, frame[:5]); err != nil {
+			if err == io.EOF {
+				return entries, st, nil // clean end of stream
+			}
+			st.Skipped++ // torn mid-frame
+			return entries, st, nil
+		}
+		n := binary.LittleEndian.Uint32(frame[1:5])
+		if n > MaxEntryBytes {
+			// A giant declared length is either corruption or an attack;
+			// both leave the rest of the stream unframeable.
+			st.Skipped++
+			return entries, st, nil
+		}
+		payload := make([]byte, n)
+		if _, err := io.ReadFull(br, payload); err != nil {
+			st.Skipped++
+			return entries, st, nil
+		}
+		if _, err := io.ReadFull(br, frame[5:9]); err != nil {
+			st.Skipped++
+			return entries, st, nil
+		}
+		crc := crc32.NewIEEE()
+		crc.Write(frame[:5])
+		crc.Write(payload)
+		if crc.Sum32() != binary.LittleEndian.Uint32(frame[5:9]) {
+			st.Skipped++ // this entry is damaged, but the frame held: keep scanning
+			continue
+		}
+		entries = append(entries, Entry{Kind: frame[0], Payload: payload})
+		st.Restored++
+	}
+}
+
+// Load reads the snapshot at path. A missing file is an empty snapshot
+// (nil entries, zero stats, nil error); any other open error is returned
+// as-is for the caller to log before booting cold.
+func Load(path string) ([]Entry, Stats, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		if os.IsNotExist(err) {
+			return nil, Stats{}, nil
+		}
+		return nil, Stats{Skipped: 1}, err
+	}
+	defer f.Close()
+	return Read(f)
+}
+
+// faultWriter threads FaultHooks through every file write.
+type faultWriter struct {
+	f     *os.File
+	hooks FaultHooks
+}
+
+func (fw *faultWriter) Write(p []byte) (int, error) {
+	if fw.hooks != nil {
+		fw.hooks.Delay(PointWrite)
+		if err := fw.hooks.Fail(PointWrite); err != nil {
+			return 0, err
+		}
+		if n := fw.hooks.TornLen(PointWrite, len(p)); n < len(p) {
+			// A torn write persists a prefix and then fails — the temp file
+			// is left truncated mid-entry, exactly what a crash produces.
+			if n > 0 {
+				fw.f.Write(p[:n])
+			}
+			return n, fmt.Errorf("snapshot: injected torn write (%d of %d bytes)", n, len(p))
+		}
+	}
+	return fw.f.Write(p)
+}
+
+// WriteAtomic writes one snapshot to path with crash-safe semantics: the
+// stream is produced into a temp file in the same directory, fsynced,
+// closed, and renamed over path, and the directory is fsynced so the
+// rename itself is durable. On any failure the temp file is removed and the
+// previous snapshot at path is untouched — a half-written snapshot can
+// never be observed under the final name. It returns the written size.
+func WriteAtomic(path string, hooks FaultHooks, fn func(*Writer) error) (int64, error) {
+	dir := filepath.Dir(path)
+	tmp, err := os.CreateTemp(dir, filepath.Base(path)+".tmp-*")
+	if err != nil {
+		return 0, fmt.Errorf("snapshot: creating temp file: %w", err)
+	}
+	tmpName := tmp.Name()
+	cleanup := func() {
+		tmp.Close()
+		os.Remove(tmpName)
+	}
+	bw := bufio.NewWriter(&faultWriter{f: tmp, hooks: hooks})
+	sw, err := NewWriter(bw)
+	if err != nil {
+		cleanup()
+		return 0, err
+	}
+	if err := fn(sw); err != nil {
+		cleanup()
+		return 0, err
+	}
+	if err := bw.Flush(); err != nil {
+		cleanup()
+		return 0, fmt.Errorf("snapshot: flushing: %w", err)
+	}
+	if hooks != nil {
+		hooks.Delay(PointSync)
+		if err := hooks.Fail(PointSync); err != nil {
+			cleanup()
+			return 0, err
+		}
+	}
+	if err := tmp.Sync(); err != nil {
+		cleanup()
+		return 0, fmt.Errorf("snapshot: fsync: %w", err)
+	}
+	size, err := tmp.Seek(0, io.SeekEnd)
+	if err != nil {
+		cleanup()
+		return 0, err
+	}
+	if err := tmp.Close(); err != nil {
+		os.Remove(tmpName)
+		return 0, fmt.Errorf("snapshot: closing temp file: %w", err)
+	}
+	if hooks != nil {
+		hooks.Delay(PointRename)
+		if err := hooks.Fail(PointRename); err != nil {
+			os.Remove(tmpName)
+			return 0, err
+		}
+	}
+	if err := os.Rename(tmpName, path); err != nil {
+		os.Remove(tmpName)
+		return 0, fmt.Errorf("snapshot: renaming into place: %w", err)
+	}
+	// Durability of the rename itself; best-effort on filesystems that
+	// reject directory fsync.
+	if d, err := os.Open(dir); err == nil {
+		d.Sync()
+		d.Close()
+	}
+	return size, nil
+}

@@ -1,0 +1,234 @@
+package snapshot
+
+import (
+	"bytes"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// writeFile builds a snapshot at path with the given entries.
+func writeFile(t *testing.T, path string, entries []Entry) int64 {
+	t.Helper()
+	size, err := WriteAtomic(path, nil, func(w *Writer) error {
+		for _, e := range entries {
+			if err := w.Append(e.Kind, e.Payload); err != nil {
+				return err
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return size
+}
+
+func testEntries() []Entry {
+	return []Entry{
+		{Kind: 1, Payload: []byte(`{"arch":"k80"}`)},
+		{Kind: 2, Payload: []byte(`{"key":"a","response":{}}`)},
+		{Kind: 2, Payload: []byte{}}, // empty payloads are legal
+		{Kind: 7, Payload: bytes.Repeat([]byte{0xAB}, 4096)},
+	}
+}
+
+func TestRoundTrip(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "state.snap")
+	want := testEntries()
+	size := writeFile(t, path, want)
+	fi, err := os.Stat(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fi.Size() != size {
+		t.Fatalf("WriteAtomic reported %d bytes, file has %d", size, fi.Size())
+	}
+	got, st, err := Load(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Skipped != 0 || st.Restored != len(want) {
+		t.Fatalf("stats %+v, want %d restored 0 skipped", st, len(want))
+	}
+	if len(got) != len(want) {
+		t.Fatalf("%d entries, want %d", len(got), len(want))
+	}
+	for i := range want {
+		if got[i].Kind != want[i].Kind || !bytes.Equal(got[i].Payload, want[i].Payload) {
+			t.Fatalf("entry %d mismatch", i)
+		}
+	}
+}
+
+func TestLoadMissingFileIsEmpty(t *testing.T) {
+	entries, st, err := Load(filepath.Join(t.TempDir(), "nope.snap"))
+	if err != nil || len(entries) != 0 || st != (Stats{}) {
+		t.Fatalf("missing file: entries=%v stats=%+v err=%v, want all empty", entries, st, err)
+	}
+}
+
+// TestTruncatedTail pins the torn-write recovery policy: every prefix of a
+// valid snapshot loads without error, restoring only the entries whose
+// framing fully survived and counting the torn tail as skipped.
+func TestTruncatedTail(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "state.snap")
+	writeFile(t, path, testEntries())
+	full, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for cut := 0; cut < len(full); cut++ {
+		entries, st, err := Read(bytes.NewReader(full[:cut]))
+		if cut < headerLen {
+			if !errors.Is(err, ErrBadHeader) {
+				t.Fatalf("cut %d: err %v, want ErrBadHeader", cut, err)
+			}
+			continue
+		}
+		if err != nil {
+			t.Fatalf("cut %d: unexpected error %v", cut, err)
+		}
+		if cut < len(full) && st.Skipped == 0 && len(entries) == len(testEntries()) {
+			t.Fatalf("cut %d: full restore from a truncated file", cut)
+		}
+		for _, e := range entries {
+			if len(e.Payload) > MaxEntryBytes {
+				t.Fatalf("cut %d: oversized payload restored", cut)
+			}
+		}
+	}
+}
+
+// TestFlippedByteSkipsOnlyThatEntry pins that checksum damage confined to
+// one entry's payload drops exactly that entry and restores the rest.
+func TestFlippedByteSkipsOnlyThatEntry(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "state.snap")
+	writeFile(t, path, testEntries())
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Flip a byte inside the second entry's payload: after the header and
+	// the complete first entry, past the 5-byte frame.
+	off := headerLen + entryOverhead + len(testEntries()[0].Payload) + 5 + 2
+	raw[off] ^= 0xFF
+	entries, st, err := Read(bytes.NewReader(raw))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Skipped != 1 || st.Restored != len(testEntries())-1 {
+		t.Fatalf("stats %+v, want 1 skipped %d restored", st, len(testEntries())-1)
+	}
+	if entries[1].Kind != testEntries()[2].Kind {
+		t.Fatal("scan did not resync after the damaged entry")
+	}
+}
+
+func TestWrongVersionAndMagic(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "state.snap")
+	writeFile(t, path, testEntries())
+	raw, _ := os.ReadFile(path)
+
+	wrongVersion := bytes.Clone(raw)
+	binary.LittleEndian.PutUint32(wrongVersion[8:], 99)
+	if _, _, err := Read(bytes.NewReader(wrongVersion)); !errors.Is(err, ErrBadHeader) {
+		t.Fatalf("version 99: err %v, want ErrBadHeader", err)
+	}
+
+	wrongMagic := bytes.Clone(raw)
+	wrongMagic[0] = 'X'
+	if _, _, err := Read(bytes.NewReader(wrongMagic)); !errors.Is(err, ErrBadHeader) {
+		t.Fatalf("bad magic: err %v, want ErrBadHeader", err)
+	}
+}
+
+// TestGiantDeclaredLength pins the over-allocation guard: a length field
+// claiming more than MaxEntryBytes ends the scan instead of allocating.
+func TestGiantDeclaredLength(t *testing.T) {
+	var buf bytes.Buffer
+	w, err := NewWriter(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Append(1, []byte("ok")); err != nil {
+		t.Fatal(err)
+	}
+	frame := make([]byte, 5)
+	frame[0] = 2
+	binary.LittleEndian.PutUint32(frame[1:], 0xFFFFFFF0)
+	buf.Write(frame)
+	entries, st, err := Read(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(entries) != 1 || st.Skipped != 1 {
+		t.Fatalf("entries=%d stats=%+v, want 1 entry 1 skipped", len(entries), st)
+	}
+}
+
+func TestAppendRejectsOversizePayload(t *testing.T) {
+	w, err := NewWriter(&bytes.Buffer{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Append(1, make([]byte, MaxEntryBytes+1)); err == nil {
+		t.Fatal("oversize Append accepted")
+	}
+}
+
+// failHooks injects one failure at a named point.
+type failHooks struct {
+	point string
+	torn  int // bytes a torn write persists; -1 means fail outright
+}
+
+func (h *failHooks) Fail(point string) error {
+	if h.torn < 0 && point == h.point {
+		return fmt.Errorf("injected failure at %s", point)
+	}
+	return nil
+}
+
+func (h *failHooks) TornLen(point string, n int) int {
+	if h.torn >= 0 && point == h.point && n > h.torn {
+		return h.torn
+	}
+	return n
+}
+
+func (h *failHooks) Delay(string) {}
+
+// TestWriteAtomicPreservesOldSnapshot pins crash safety: a failed or torn
+// rewrite leaves the previous snapshot intact and no temp litter behind.
+func TestWriteAtomicPreservesOldSnapshot(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "state.snap")
+	writeFile(t, path, testEntries())
+	before, _ := os.ReadFile(path)
+
+	for _, hooks := range []*failHooks{
+		{point: PointWrite, torn: -1},
+		{point: PointSync, torn: -1},
+		{point: PointRename, torn: -1},
+		{point: PointWrite, torn: 3}, // torn write: 3 bytes persist, then failure
+	} {
+		_, err := WriteAtomic(path, hooks, func(w *Writer) error {
+			return w.Append(9, []byte("replacement"))
+		})
+		if err == nil {
+			t.Fatalf("hooks %+v: write succeeded, want injected failure", hooks)
+		}
+		after, rerr := os.ReadFile(path)
+		if rerr != nil || !bytes.Equal(before, after) {
+			t.Fatalf("hooks %+v: old snapshot damaged by failed rewrite", hooks)
+		}
+		left, _ := filepath.Glob(filepath.Join(dir, "*.tmp-*"))
+		if len(left) != 0 {
+			t.Fatalf("hooks %+v: temp litter %v", hooks, left)
+		}
+	}
+}

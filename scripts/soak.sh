@@ -1,0 +1,23 @@
+#!/bin/sh
+# soak.sh — the chaos soak harness (docs/ROBUSTNESS.md): hammer a live
+# advisory server over HTTP with mixed strategies, deadline budgets, and
+# client cancels while snapshot writes fail, tear, and stall under seeded
+# fault injection, with the snapshot save/restore-cycled concurrently.
+# Asserts zero 500s, byte-identical rankings across a snapshot restore, and
+# zero leaked goroutines — all under the race detector.
+#
+#   ./scripts/soak.sh            # default 30s hammer phase
+#   ./scripts/soak.sh 5000       # 5s hammer phase (verify.sh uses a short one)
+#   HMS_FAULT_SEED=12345 ./scripts/soak.sh   # replay a failing run exactly
+#
+# A failing soak prints the fault seed; rerun with HMS_FAULT_SEED set to that
+# value for a deterministic replay.
+set -eu
+
+cd "$(dirname "$0")/.."
+
+HMS_SOAK_MS=${1:-30000}
+export HMS_SOAK_MS
+
+echo "== chaos soak (${HMS_SOAK_MS}ms hammer, race detector on)"
+go test ./internal/service/ -race -run 'TestSoakChaos' -count=1 -v

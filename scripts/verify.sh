@@ -1,9 +1,12 @@
 #!/bin/sh
 # verify.sh — the repository's verification gate: vet, build, the full test
 # suite under the race detector, the shard-enumerator fuzz seeds under race,
-# a one-pass parallel-ranking benchmark smoke, and a short smoke of the
+# a one-pass parallel-ranking benchmark smoke, a short smoke of the
 # observability no-op-overhead contract (the disabled recorder must add zero
-# allocations). Run from the repo root:
+# allocations), a short chaos soak (scripts/soak.sh runs the long one), and
+# an end-to-end service smoke covering warm boot, crash/restart recovery,
+# and corrupt-snapshot cold boot (docs/ROBUSTNESS.md). Run from the repo
+# root:
 #
 #   ./scripts/verify.sh
 #
@@ -45,35 +48,87 @@ echo "== obs no-op overhead smoke"
 go test ./internal/sim/ -run 'TestRunContextNopRecorderAddsNoAllocs' -count=1
 go test ./internal/sim/ -run '^$' -bench 'BenchmarkRunContextRecorder' -benchtime 3x -benchmem -count=1
 
+echo "== chaos soak (short mode)"
+# The full harness is scripts/soak.sh; the gate runs a short hammer phase so
+# every verify exercises fault injection, shedding, and snapshot cycling.
+HMS_SOAK_MS=1500 go test ./internal/service/ -race -run 'TestSoakChaos' -count=1
+
 echo "== advisory service smoke"
-# Start hmsserved on an ephemeral port, hit /healthz and /v1/rank, then
-# check SIGTERM drains to a clean exit. Skipped when curl is unavailable.
+# Start hmsserved on an ephemeral port, wait for readiness (the listener now
+# binds before the advisor trains, so the banner no longer implies warm),
+# hit /healthz and /v1/rank, then check SIGTERM drains to a clean exit.
+# Skipped when curl is unavailable.
 if command -v curl >/dev/null 2>&1; then
     go build -o /tmp/hmsserved.verify ./cmd/hmsserved
-    /tmp/hmsserved.verify -addr 127.0.0.1:0 >/tmp/hmsserved.verify.out 2>&1 &
+    SNAP=/tmp/hmsserved.verify.snap
+    rm -f "$SNAP"
+
+    # wait_ready <logfile>: parse the banner for the resolved address, then
+    # poll /readyz until it flips 503 -> 200. Sets ADDR.
+    wait_ready() {
+        ADDR=""
+        for _ in $(seq 1 120); do
+            ADDR=$(sed -n 's/^hmsserved: listening on \([^ ]*\).*/\1/p' "$1")
+            [ -n "$ADDR" ] && break
+            kill -0 "$SRV_PID" 2>/dev/null || { cat "$1"; exit 1; }
+            sleep 0.5
+        done
+        [ -n "$ADDR" ] || { echo "verify: hmsserved never came up"; cat "$1"; exit 1; }
+        for _ in $(seq 1 240); do
+            [ "$(curl -s -o /dev/null -w '%{http_code}' "http://$ADDR/readyz")" = "200" ] && return 0
+            kill -0 "$SRV_PID" 2>/dev/null || { cat "$1"; exit 1; }
+            sleep 0.5
+        done
+        echo "verify: hmsserved never became ready"; cat "$1"; exit 1
+    }
+
+    /tmp/hmsserved.verify -addr 127.0.0.1:0 -snapshot "$SNAP" -snapshot-interval 0 >/tmp/hmsserved.verify.out 2>&1 &
     SRV_PID=$!
     trap 'kill "$SRV_PID" 2>/dev/null || true' EXIT
-    # The banner prints the resolved address once the advisor is trained.
-    ADDR=""
-    for _ in $(seq 1 120); do
-        ADDR=$(sed -n 's/^hmsserved: listening on \([^ ]*\).*/\1/p' /tmp/hmsserved.verify.out)
-        [ -n "$ADDR" ] && break
-        kill -0 "$SRV_PID" 2>/dev/null || { cat /tmp/hmsserved.verify.out; exit 1; }
-        sleep 0.5
-    done
-    [ -n "$ADDR" ] || { echo "verify: hmsserved never came up"; cat /tmp/hmsserved.verify.out; exit 1; }
+    wait_ready /tmp/hmsserved.verify.out
     curl -fsS "http://$ADDR/healthz" | grep -q '"status":"ok"'
-    curl -fsS "http://$ADDR/v1/rank" -d '{"kernel":"fft","top_k":3}' | grep -q '"ranked"'
+    curl -fsS "http://$ADDR/v1/rank" -d '{"kernel":"fft","top_k":3}' -o /tmp/hmsserved.verify.body1 -D - | grep -qi 'X-HMS-Cache: miss'
+    grep -q '"ranked"' /tmp/hmsserved.verify.body1
     # A sub-exhaustive strategy must echo itself in the coverage record, and
     # an unknown one must map to the unknown_strategy error code (a 400).
     curl -fsS "http://$ADDR/v1/rank" -d '{"kernel":"fft","strategy":"greedy"}' | grep -q '"strategy":"greedy"'
     curl -sS "http://$ADDR/v1/rank" -d '{"kernel":"fft","strategy":"annealing"}' | grep -q '"code":"unknown_strategy"'
+
+    # Crash/restart smoke: SIGHUP forces a snapshot, kill -9 simulates a
+    # crash, and the restarted server must answer the warmed ranking from its
+    # restored cache, byte-identical.
+    kill -HUP "$SRV_PID"
+    for _ in $(seq 1 120); do [ -s "$SNAP" ] && break; sleep 0.5; done
+    [ -s "$SNAP" ] || { echo "verify: SIGHUP never produced a snapshot"; exit 1; }
+    kill -9 "$SRV_PID"; wait "$SRV_PID" 2>/dev/null || true
+    /tmp/hmsserved.verify -addr 127.0.0.1:0 -snapshot "$SNAP" -snapshot-interval 0 >/tmp/hmsserved.verify.out2 2>&1 &
+    SRV_PID=$!
+    trap 'kill "$SRV_PID" 2>/dev/null || true' EXIT
+    wait_ready /tmp/hmsserved.verify.out2
+    curl -fsS "http://$ADDR/v1/rank" -d '{"kernel":"fft","top_k":3}' -o /tmp/hmsserved.verify.body2 -D - | grep -qi 'X-HMS-Cache: hit'
+    cmp -s /tmp/hmsserved.verify.body1 /tmp/hmsserved.verify.body2 || {
+        echo "verify: restored ranking differs from pre-crash ranking"; exit 1; }
     kill -TERM "$SRV_PID"
     wait "$SRV_PID"    # graceful shutdown must exit 0
     trap - EXIT
-    grep -q "drained, bye" /tmp/hmsserved.verify.out
-    rm -f /tmp/hmsserved.verify /tmp/hmsserved.verify.out
-    echo "service smoke: OK"
+    grep -q "drained, bye" /tmp/hmsserved.verify.out2
+
+    # Corrupt-snapshot smoke: damage the snapshot, and the next boot must
+    # degrade to cold — skipped entries counted in /metrics, requests fine.
+    dd if=/dev/zero of="$SNAP" bs=1 seek=40 count=8 conv=notrunc 2>/dev/null
+    /tmp/hmsserved.verify -addr 127.0.0.1:0 -snapshot "$SNAP" -snapshot-interval 0 >/tmp/hmsserved.verify.out3 2>&1 &
+    SRV_PID=$!
+    trap 'kill "$SRV_PID" 2>/dev/null || true' EXIT
+    wait_ready /tmp/hmsserved.verify.out3
+    curl -fsS "http://$ADDR/v1/rank" -d '{"kernel":"fft","top_k":3}' | grep -q '"ranked"'
+    curl -fsS "http://$ADDR/metrics" | grep 'service_snapshot_entries_skipped_total' | grep -qv ' 0$' || {
+        echo "verify: corrupt snapshot left skipped counter at zero"; exit 1; }
+    kill -TERM "$SRV_PID"
+    wait "$SRV_PID"
+    trap - EXIT
+    rm -f /tmp/hmsserved.verify /tmp/hmsserved.verify.out /tmp/hmsserved.verify.out2 \
+        /tmp/hmsserved.verify.out3 /tmp/hmsserved.verify.body1 /tmp/hmsserved.verify.body2 "$SNAP"
+    echo "service smoke: OK (warm boot, crash/restart, corrupt snapshot)"
 else
     echo "service smoke: skipped (curl not found)"
 fi
