@@ -1,0 +1,339 @@
+// Command hmsbench is the open-loop load harness of the placement-advisory
+// service: it offers Poisson-arrival traffic at a configured rate (or ramps
+// the rate until the service saturates) and reports coordinated-omission-
+// safe latency quantiles, shed/error counts, and the traceability invariant
+// (every response must carry an X-Request-ID). scripts/bench_load.sh drives
+// it to produce the BENCH_load.json artifact; scripts/verify.sh runs a
+// short smoke.
+//
+//	hmsbench -rate 20000 -duration 5s                # one fixed-rate run
+//	hmsbench -sweep -sweep-max 80000                 # find the saturation knee
+//	hmsbench -mix mixed -access-log access.jsonl -trace-out trace.json
+//	hmsbench -mode http -addr http://127.0.0.1:8080  # against a live server
+//
+// In the default in-process mode the harness trains the advisors itself and
+// dispatches requests straight into the service handler — the full
+// middleware/mux/handler stack without kernel sockets, which is the only
+// way tens of thousands of requests per second measure the service rather
+// than the loopback stack. HTTP mode drives a live hmsserved instead.
+//
+// Measured rank traffic is prewarmed (each unique request is issued once
+// before the clock starts) so the steady state exercises the cache path the
+// way production repeat-traffic does; -mix cold skips the prewarm.
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+	"time"
+
+	"gpuhms/internal/advisor"
+	"gpuhms/internal/gpu"
+	"gpuhms/internal/loadgen"
+	"gpuhms/internal/obs"
+	"gpuhms/internal/service"
+)
+
+// benchKernels is the kernel slice of the standard workload mix: a spread
+// of small and large candidate spaces from the bundled suites.
+var benchKernels = []string{"fft", "triad", "md", "spmv", "stencil2d", "bfs"}
+
+// benchStrategies is the strategy slice of the mix (docs/SEARCH.md).
+var benchStrategies = []string{"exhaustive", "greedy", "beam-4"}
+
+// Artifact is the BENCH_load.json schema.
+type Artifact struct {
+	GeneratedUnix   int64    `json:"generated_unix"`
+	Mode            string   `json:"mode"`
+	Mix             string   `json:"mix"`
+	Seed            int64    `json:"seed"`
+	Kernels         []string `json:"kernels"`
+	Strategies      []string `json:"strategies"`
+	SLOTargetP99MS  float64  `json:"slo_target_p99_ms"`
+	SLOAvailability float64  `json:"slo_availability"`
+	// Single is the fixed-rate run's report (when -rate was given).
+	Single *loadgen.Report `json:"single,omitempty"`
+	// Sweep is the saturation ramp (when -sweep was given).
+	Sweep *loadgen.SweepResult `json:"sweep,omitempty"`
+}
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("hmsbench: ")
+
+	var (
+		mode        = flag.String("mode", "inproc", "dispatch mode: inproc (build the service in-process) or http (drive -addr)")
+		addr        = flag.String("addr", "", "base URL of a live hmsserved (http mode)")
+		archs       = flag.String("archs", "k80", "architecture to warm in inproc mode")
+		mix         = flag.String("mix", "cached", "workload mix: cached (prewarmed rank keys), mixed (adds kernels/healthz reads), cold (unique keys, no prewarm)")
+		rate        = flag.Float64("rate", 0, "fixed offered rate in req/s (0 skips the fixed-rate run)")
+		duration    = flag.Duration("duration", 5*time.Second, "arrival window of the fixed-rate run")
+		seed        = flag.Int64("seed", 1, "PRNG seed for arrivals and op mix")
+		outstanding = flag.Int("max-outstanding", 4096, "in-flight cap; arrivals beyond it count as overflow")
+
+		sweep     = flag.Bool("sweep", false, "run the saturation sweep")
+		sweepFrom = flag.Float64("sweep-start", 10000, "sweep: first offered rate (req/s)")
+		sweepStep = flag.Float64("sweep-step", 10000, "sweep: rate increment per step")
+		sweepMax  = flag.Float64("sweep-max", 80000, "sweep: last offered rate")
+		stepDur   = flag.Duration("step-duration", 2*time.Second, "sweep: arrival window per step")
+		shedFrac  = flag.Float64("shed-threshold", 0.01, "sweep: shed fraction that declares saturation")
+
+		sloP99   = flag.Duration("slo-p99-ms", 250*time.Millisecond, "latency SLO target fed to the in-process service")
+		sloAvail = flag.Float64("slo-availability", 0.999, "availability SLO target fed to the in-process service")
+
+		accessLog   = flag.String("access-log", "", "inproc: write the service's JSON access log here")
+		traceOut    = flag.String("trace-out", "", "inproc: write the service's Chrome trace here after the run")
+		traceSample = flag.Int("trace-sample", 997, "inproc: record every Nth request's spans (0 disables)")
+		out         = flag.String("out", "", "write the BENCH_load.json artifact here (default stdout)")
+
+		assertRPS  = flag.Float64("assert-sustained-rps", 0, "exit 1 unless the sweep sustains at least this achieved req/s")
+		assertSane = flag.Bool("assert", false, "exit 1 on any 5xx, any response missing X-Request-ID, or sustained p99 over the SLO target")
+	)
+	flag.Parse()
+	if !*sweep && *rate <= 0 {
+		*rate = 20000 // a bare `hmsbench` does one sensible fixed-rate run
+	}
+
+	var target loadgen.Target
+	var col *obs.Collector
+	switch *mode {
+	case "http":
+		if *addr == "" {
+			log.Fatal("-mode http requires -addr")
+		}
+		target = &loadgen.HTTPTarget{Base: *addr, Client: &http.Client{Timeout: 30 * time.Second}}
+	case "inproc":
+		svc, c, cleanup := buildService(*archs, *accessLog, *traceSample, *sloP99, *sloAvail)
+		defer cleanup()
+		col = c
+		target = &loadgen.HandlerTarget{Handler: svc.Handler()}
+	default:
+		log.Fatalf("unknown -mode %q (want inproc or http)", *mode)
+	}
+
+	wl := buildWorkload(*mix)
+	if *mix != "cold" {
+		prewarm(target, wl)
+	}
+
+	art := &Artifact{
+		GeneratedUnix:   time.Now().Unix(),
+		Mode:            *mode,
+		Mix:             *mix,
+		Seed:            *seed,
+		Kernels:         benchKernels,
+		Strategies:      benchStrategies,
+		SLOTargetP99MS:  float64(sloP99.Milliseconds()),
+		SLOAvailability: *sloAvail,
+	}
+	if *rate > 0 {
+		log.Printf("fixed-rate run: %.0f req/s for %v (%s mix)", *rate, *duration, *mix)
+		art.Single = loadgen.Run(target, wl, loadgen.Options{
+			Rate: *rate, Duration: *duration, Seed: *seed, MaxOutstanding: *outstanding,
+		})
+		logReport(art.Single)
+	}
+	if *sweep {
+		log.Printf("saturation sweep: %.0f → %.0f req/s in %.0f steps of %v", *sweepFrom, *sweepMax, *sweepStep, *stepDur)
+		art.Sweep = loadgen.Sweep(target, wl, loadgen.SweepOptions{
+			StartRPS: *sweepFrom, StepRPS: *sweepStep, MaxRPS: *sweepMax,
+			StepDuration: *stepDur, Seed: *seed, ShedThreshold: *shedFrac,
+			MaxOutstanding: *outstanding, OnStep: logReport,
+		})
+		log.Printf("sustained %.0f req/s at p99 %.2fms (saturated=%v)",
+			art.Sweep.SustainedRPS, art.Sweep.SustainedP99NS/1e6, art.Sweep.Saturated)
+	}
+
+	if *traceOut != "" && col != nil {
+		f, err := os.Create(*traceOut)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if err := col.WriteChromeTrace(f); err != nil {
+			log.Fatal(err)
+		}
+		f.Close()
+	}
+
+	w := os.Stdout
+	if *out != "" {
+		f, err := os.Create(*out)
+		if err != nil {
+			log.Fatal(err)
+		}
+		defer f.Close()
+		w = f
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(art); err != nil {
+		log.Fatal(err)
+	}
+
+	if fails := check(art, *assertRPS, *assertSane, *sloP99); len(fails) > 0 {
+		for _, f := range fails {
+			log.Printf("ASSERT FAILED: %s", f)
+		}
+		os.Exit(1)
+	}
+}
+
+// logReport prints one run's one-line summary.
+func logReport(r *loadgen.Report) {
+	log.Printf("  offered %.0f: achieved %.0f req/s, p50 %.1fµs p99 %.1fµs, shed %d, 5xx %d, overflow %d",
+		r.OfferedRPS, r.AchievedRPS, r.Latency.P50NS/1e3, r.Latency.P99NS/1e3, r.Shed, r.Errors5xx, r.Overflow)
+}
+
+// check evaluates the acceptance assertions against the artifact.
+func check(art *Artifact, wantRPS float64, sane bool, sloP99 time.Duration) []string {
+	var fails []string
+	reports := art.allReports()
+	if sane {
+		for _, r := range reports {
+			if r.Errors5xx > 0 {
+				fails = append(fails, fmt.Sprintf("offered %.0f: %d 5xx responses", r.OfferedRPS, r.Errors5xx))
+			}
+			if r.MissingID > 0 {
+				fails = append(fails, fmt.Sprintf("offered %.0f: %d responses without X-Request-ID", r.OfferedRPS, r.MissingID))
+			}
+		}
+		if art.Sweep != nil && art.Sweep.SustainedP99NS > float64(sloP99.Nanoseconds()) {
+			fails = append(fails, fmt.Sprintf("sustained p99 %.2fms over SLO target %v", art.Sweep.SustainedP99NS/1e6, sloP99))
+		}
+		if art.Single != nil && art.Single.Latency.P99NS > float64(sloP99.Nanoseconds()) {
+			fails = append(fails, fmt.Sprintf("fixed-rate p99 %.2fms over SLO target %v", art.Single.Latency.P99NS/1e6, sloP99))
+		}
+	}
+	if wantRPS > 0 {
+		if art.Sweep == nil {
+			fails = append(fails, "-assert-sustained-rps needs -sweep")
+		} else if art.Sweep.SustainedRPS < wantRPS {
+			fails = append(fails, fmt.Sprintf("sustained %.0f req/s under the %.0f floor", art.Sweep.SustainedRPS, wantRPS))
+		}
+	}
+	return fails
+}
+
+// allReports flattens the artifact's runs.
+func (a *Artifact) allReports() []*loadgen.Report {
+	var out []*loadgen.Report
+	if a.Single != nil {
+		out = append(out, a.Single)
+	}
+	if a.Sweep != nil {
+		out = append(out, a.Sweep.Steps...)
+	}
+	return out
+}
+
+// buildService trains the advisor and assembles an in-process service with
+// the observability options under test wired in.
+func buildService(arch, accessLog string, traceSample int, sloP99 time.Duration, sloAvail float64) (*service.Server, *obs.Collector, func()) {
+	var cfg *gpu.Config
+	switch arch {
+	case "k80":
+		cfg = gpu.KeplerK80()
+	case "fermi":
+		cfg = gpu.FermiC2050()
+	default:
+		log.Fatalf("unknown -archs %q (want k80 or fermi)", arch)
+	}
+	start := time.Now()
+	adv, err := advisor.New(cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	log.Printf("advisor %s trained in %v", arch, time.Since(start).Round(time.Millisecond))
+
+	col := obs.NewCollector()
+	opt := service.Options{
+		CacheCap:         1024, // hold the full warm key set with headroom
+		TraceSampleEvery: traceSample,
+		SLOTargetP99:     sloP99,
+		SLOAvailability:  sloAvail,
+	}
+	cleanup := func() {}
+	if accessLog != "" {
+		f, err := os.Create(accessLog)
+		if err != nil {
+			log.Fatal(err)
+		}
+		// Buffered: an unbuffered access log is one write syscall per
+		// request, which at bench rates measures the filesystem.
+		bw := bufio.NewWriterSize(f, 1<<20)
+		opt.AccessLog = service.NewAccessLogger(bw)
+		cleanup = func() {
+			bw.Flush()
+			f.Close()
+		}
+	}
+	svc, err := service.New(map[string]*advisor.Advisor{arch: adv}, opt, col)
+	if err != nil {
+		log.Fatal(err)
+	}
+	svc.MarkReady()
+	prev := cleanup
+	cleanup = func() {
+		svc.Close()
+		prev()
+	}
+	return svc, col, cleanup
+}
+
+// buildWorkload assembles the op mix: rank requests across kernels ×
+// strategies (the cacheable steady state), optionally diluted with
+// read-only endpoints.
+func buildWorkload(mix string) *loadgen.Workload {
+	var ops []loadgen.Op
+	for _, kernel := range benchKernels {
+		for _, strat := range benchStrategies {
+			body, err := json.Marshal(service.RankRequest{Kernel: kernel, Strategy: strat, TopK: 3})
+			if err != nil {
+				log.Fatal(err)
+			}
+			ops = append(ops, loadgen.Op{
+				Name:   "rank-" + kernel + "-" + strat,
+				Method: "POST",
+				Path:   "/v1/rank",
+				Body:   body,
+				Weight: 10,
+			})
+		}
+	}
+	switch mix {
+	case "cached", "cold":
+	case "mixed":
+		ops = append(ops,
+			loadgen.Op{Name: "kernels", Method: "GET", Path: "/v1/kernels", Weight: len(ops)},
+			loadgen.Op{Name: "healthz", Method: "GET", Path: "/healthz", Weight: len(ops) / 2},
+		)
+	default:
+		log.Fatalf("unknown -mix %q (want cached, mixed, or cold)", mix)
+	}
+	return loadgen.NewWorkload(ops)
+}
+
+// prewarm issues every unique op once so measured rank traffic replays warm
+// cache keys, then verifies the replay actually hits.
+func prewarm(target loadgen.Target, wl *loadgen.Workload) {
+	start := time.Now()
+	for i := range wl.Ops() {
+		op := &wl.Ops()[i]
+		if resp := target.Do(op); resp.Status >= 400 {
+			log.Fatalf("prewarm %s: status %d", op.Name, resp.Status)
+		}
+	}
+	for i := range wl.Ops() {
+		op := &wl.Ops()[i]
+		resp := target.Do(op)
+		if op.Path == "/v1/rank" && resp.Cache != "hit" {
+			log.Fatalf("prewarm %s: replay was %q, want hit", op.Name, resp.Cache)
+		}
+	}
+	log.Printf("prewarmed %d ops in %v", len(wl.Ops()), time.Since(start).Round(time.Millisecond))
+}

@@ -43,8 +43,10 @@ import (
 	"flag"
 	"fmt"
 	"log"
+	"log/slog"
 	"net"
 	"net/http"
+	_ "net/http/pprof"
 	"os"
 	"os/signal"
 	"runtime"
@@ -78,12 +80,49 @@ func main() {
 		strategy = flag.String("strategy", "", "default search strategy when the request names none: exhaustive, greedy, or beam-W (docs/SEARCH.md)")
 		snapPath = flag.String("snapshot", "", "snapshot file for crash-safe warm boot: restored at startup, written periodically, on SIGHUP, and after the shutdown drain")
 		snapIvl  = flag.Duration("snapshot-interval", 30*time.Second, "periodic snapshot cadence when -snapshot is set (0 disables the timer; SIGHUP and shutdown still write)")
+
+		accessLog   = flag.String("access-log", "", "write one JSON access-log line per request to this file (\"-\" for stderr); schema in docs/OBSERVABILITY.md")
+		traceOut    = flag.String("trace-out", "", "write the request/pool Chrome trace here at shutdown (chrome://tracing, Perfetto)")
+		traceSample = flag.Int("trace-sample", 0, "record every Nth request's per-stage spans into the trace (0 disables sampling; IDs and access logs are unaffected)")
+		debugAddr   = flag.String("debug-addr", "", "serve net/http/pprof on this separate listener (keep it off the service port)")
+		sloP99      = flag.Duration("slo-p99-ms", 250*time.Millisecond, "latency SLO target behind the service_slo_* burn gauges")
+		sloAvail    = flag.Float64("slo-availability", 0.999, "availability SLO target (non-5xx fraction)")
 	)
 	flag.Parse()
 
 	// The collector exists before anything warms so snapshot-restore skips
 	// and model/advisor metrics all land on the same /metrics surface.
 	col := obs.NewCollector()
+
+	var accessLogger *slog.Logger
+	switch *accessLog {
+	case "":
+	case "-":
+		accessLogger = service.NewAccessLogger(os.Stderr)
+	default:
+		f, err := os.OpenFile(*accessLog, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+		if err != nil {
+			log.Fatal(err)
+		}
+		defer f.Close()
+		accessLogger = service.NewAccessLogger(f)
+	}
+
+	// pprof lives on its own listener: profiling endpoints never share the
+	// service port, so exposing the API does not expose heap dumps.
+	if *debugAddr != "" {
+		dln, err := net.Listen("tcp", *debugAddr)
+		if err != nil {
+			log.Fatal(err)
+		}
+		log.Printf("pprof on http://%s/debug/pprof/", dln.Addr())
+		go func() {
+			// DefaultServeMux carries the net/http/pprof registrations.
+			if err := http.Serve(dln, nil); err != nil {
+				log.Printf("debug listener: %v", err)
+			}
+		}()
+	}
 
 	// Bind the listener before training: readiness (/readyz 503) is
 	// observable from the first instant, and scripts using port 0 can
@@ -92,10 +131,14 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	var handler atomic.Value // http.Handler: boot handler now, service handler once warm
-	handler.Store(bootHandler())
+	// boot handler now, service handler once warm. atomic.Pointer rather
+	// than atomic.Value: the two handlers have different concrete types,
+	// which Value.Store forbids.
+	var handler atomic.Pointer[http.Handler]
+	boot := bootHandler()
+	handler.Store(&boot)
 	httpSrv := &http.Server{Handler: http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
-		handler.Load().(http.Handler).ServeHTTP(w, r)
+		(*handler.Load()).ServeHTTP(w, r)
 	})}
 	// The resolved address is printed (not just the flag) so scripts using
 	// port 0 can discover the port.
@@ -130,12 +173,16 @@ func main() {
 		adv.Recorder = col
 	}
 	svc, err := service.New(advisors, service.Options{
-		Workers:         *workers,
-		QueueCap:        *queue,
-		CacheCap:        *cacheN,
-		DefaultTimeout:  *timeout,
-		Parallelism:     *parallel,
-		DefaultStrategy: *strategy,
+		Workers:          *workers,
+		QueueCap:         *queue,
+		CacheCap:         *cacheN,
+		DefaultTimeout:   *timeout,
+		Parallelism:      *parallel,
+		DefaultStrategy:  *strategy,
+		AccessLog:        accessLogger,
+		TraceSampleEvery: *traceSample,
+		SLOTargetP99:     *sloP99,
+		SLOAvailability:  *sloAvail,
 	}, col)
 	if err != nil {
 		log.Fatal(err)
@@ -146,7 +193,8 @@ func main() {
 	}
 
 	// Warm: swap the real handler in and flip readiness.
-	handler.Store(svc.Handler())
+	warm := svc.Handler()
+	handler.Store(&warm)
 	svc.MarkReady()
 	log.Printf("ready (archs %s)", strings.Join(sortedKeys(advisors), ","))
 
@@ -193,6 +241,21 @@ serve:
 			log.Printf("final snapshot: %v", err)
 		} else {
 			log.Printf("final snapshot written to %s", *snapPath)
+		}
+	}
+	// The trace is written after the drain too, so the last sampled
+	// requests' spans are complete.
+	if *traceOut != "" {
+		f, err := os.Create(*traceOut)
+		if err != nil {
+			log.Printf("trace: %v", err)
+		} else {
+			if err := col.WriteChromeTrace(f); err != nil {
+				log.Printf("trace: %v", err)
+			} else {
+				log.Printf("trace written to %s", *traceOut)
+			}
+			f.Close()
 		}
 	}
 	log.Print("drained, bye")

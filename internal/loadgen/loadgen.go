@@ -1,0 +1,412 @@
+// Package loadgen is an open-loop load generator for the placement-advisory
+// service (cmd/hmsbench drives it; scripts/bench_load.sh turns its output
+// into BENCH_load.json). Arrivals follow a Poisson process at the offered
+// rate, independent of how fast the service answers — the open-loop model —
+// and every latency is measured from the request's *scheduled* arrival
+// time, not from when the sender got around to issuing it. A generator that
+// measures from send time silently excuses the server: when responses slow
+// down, a closed-loop sender issues fewer requests and the stall never
+// shows up in the histogram (coordinated omission). Measuring from the
+// schedule charges every queued nanosecond to the server, where it belongs.
+package loadgen
+
+import (
+	"bytes"
+	"context"
+	"io"
+	"math/rand"
+	"net/http"
+	"net/url"
+	"runtime"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"gpuhms/internal/obs"
+)
+
+// Op is one request template of a workload.
+type Op struct {
+	// Name labels the op in reports ("rank-hit", "predict").
+	Name string
+	// Method and Path route the request.
+	Method string
+	Path   string
+	// Body is the JSON payload (nil for GETs).
+	Body []byte
+	// Weight is the op's relative frequency in the mix (default 1).
+	Weight int
+}
+
+// Workload is a weighted mix of ops.
+type Workload struct {
+	ops []Op
+	cum []int // cumulative weights
+	sum int
+}
+
+// NewWorkload builds a workload from a weighted op mix.
+func NewWorkload(ops []Op) *Workload {
+	w := &Workload{ops: ops, cum: make([]int, len(ops))}
+	for i, op := range ops {
+		weight := op.Weight
+		if weight <= 0 {
+			weight = 1
+		}
+		w.sum += weight
+		w.cum[i] = w.sum
+	}
+	return w
+}
+
+// Ops returns the workload's op templates (the prewarm pass replays each
+// unique op once before measuring).
+func (w *Workload) Ops() []Op { return w.ops }
+
+// pick selects one op by weight.
+func (w *Workload) pick(rng *rand.Rand) *Op {
+	n := rng.Intn(w.sum)
+	i := sort.SearchInts(w.cum, n+1)
+	return &w.ops[i]
+}
+
+// Response is what the generator needs back from one request: enough to
+// classify the outcome and to prove traceability (every response must carry
+// a request ID).
+type Response struct {
+	Status    int
+	Cache     string // X-HMS-Cache, "" when absent
+	RequestID string // X-Request-ID, "" when absent
+}
+
+// Target executes one request. Implementations must be safe for concurrent
+// use: the open-loop scheduler dispatches every arrival on its own
+// goroutine.
+type Target interface {
+	Do(op *Op) Response
+}
+
+// HandlerTarget dispatches requests in-process, straight into an
+// http.Handler — the full mux/middleware/handler stack without kernel
+// sockets. On a single-CPU box this is the only way an offered load in the
+// tens of thousands of requests per second measures the service instead of
+// the loopback stack.
+type HandlerTarget struct {
+	Handler http.Handler
+}
+
+// nullWriter is a header-capturing, body-discarding ResponseWriter. The
+// generator classifies responses by status and headers; decoding or storing
+// bodies at 40k req/s would measure the generator's allocator, not the
+// service.
+type nullWriter struct {
+	header http.Header
+	status int
+	n      int64
+}
+
+func (w *nullWriter) Header() http.Header { return w.header }
+func (w *nullWriter) WriteHeader(code int) {
+	if w.status == 0 {
+		w.status = code
+	}
+}
+func (w *nullWriter) Write(p []byte) (int, error) {
+	if w.status == 0 {
+		w.status = http.StatusOK
+	}
+	w.n += int64(len(p))
+	return len(p), nil
+}
+
+var writerPool = sync.Pool{New: func() any { return &nullWriter{} }}
+
+// Do implements Target.
+func (t *HandlerTarget) Do(op *Op) Response {
+	w := writerPool.Get().(*nullWriter)
+	w.header = make(http.Header, 8)
+	w.status = 0
+	w.n = 0
+	req := &http.Request{
+		Method:     op.Method,
+		URL:        &url.URL{Path: op.Path},
+		Proto:      "HTTP/1.1",
+		ProtoMajor: 1,
+		ProtoMinor: 1,
+		Header:     http.Header{},
+		Host:       "loadgen",
+		RemoteAddr: "127.0.0.1:0",
+	}
+	if op.Body != nil {
+		req.Body = io.NopCloser(bytes.NewReader(op.Body))
+		req.ContentLength = int64(len(op.Body))
+	} else {
+		req.Body = http.NoBody
+	}
+	req = req.WithContext(context.Background())
+	t.Handler.ServeHTTP(w, req)
+	resp := Response{
+		Status:    w.status,
+		Cache:     w.header.Get("X-HMS-Cache"),
+		RequestID: w.header.Get("X-Request-ID"),
+	}
+	writerPool.Put(w)
+	return resp
+}
+
+// HTTPTarget dispatches requests to a live server over TCP.
+type HTTPTarget struct {
+	Base   string // "http://127.0.0.1:8080"
+	Client *http.Client
+}
+
+// Do implements Target.
+func (t *HTTPTarget) Do(op *Op) Response {
+	client := t.Client
+	if client == nil {
+		client = http.DefaultClient
+	}
+	var body io.Reader
+	if op.Body != nil {
+		body = bytes.NewReader(op.Body)
+	}
+	req, err := http.NewRequest(op.Method, t.Base+op.Path, body)
+	if err != nil {
+		return Response{Status: 0}
+	}
+	req.Header.Set("Content-Type", "application/json")
+	resp, err := client.Do(req)
+	if err != nil {
+		return Response{Status: 0} // transport failure, reported as status "0"
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	return Response{
+		Status:    resp.StatusCode,
+		Cache:     resp.Header.Get("X-HMS-Cache"),
+		RequestID: resp.Header.Get("X-Request-ID"),
+	}
+}
+
+// Options configures one open-loop run.
+type Options struct {
+	// Rate is the offered arrival rate in requests per second.
+	Rate float64
+	// Duration is how long arrivals are generated.
+	Duration time.Duration
+	// Seed makes the arrival process and op mix reproducible.
+	Seed int64
+	// MaxOutstanding bounds concurrently in-flight requests (default 4096).
+	// An arrival finding the limit exhausted is *not* sent and is counted in
+	// Report.Overflow — by then the server is so far behind that the
+	// generator itself would become the bottleneck, and a nonzero overflow
+	// marks the rate as saturated.
+	MaxOutstanding int
+}
+
+// rec is one completed request's record slot.
+type rec struct {
+	latencyNS float64
+	status    int
+	cache     string
+	hasID     bool
+}
+
+// LatencySummary are the quantiles of one run's CO-safe latencies.
+type LatencySummary struct {
+	N      int     `json:"n"`
+	MeanNS float64 `json:"mean_ns"`
+	P50NS  float64 `json:"p50_ns"`
+	P90NS  float64 `json:"p90_ns"`
+	P95NS  float64 `json:"p95_ns"`
+	P99NS  float64 `json:"p99_ns"`
+	MaxNS  float64 `json:"max_ns"`
+}
+
+// Report summarizes one open-loop run.
+type Report struct {
+	// OfferedRPS is the configured Poisson arrival rate.
+	OfferedRPS float64 `json:"offered_rps"`
+	// AchievedRPS is completed requests over measured wall time.
+	AchievedRPS float64 `json:"achieved_rps"`
+	// DurationS is the measured wall time (arrival window + drain).
+	DurationS float64 `json:"duration_s"`
+	// Sent counts dispatched requests; Overflow counts arrivals dropped at
+	// the MaxOutstanding valve (never sent).
+	Sent     int `json:"sent"`
+	Overflow int `json:"overflow"`
+	// Status counts responses by exact status code (key is the decimal
+	// code; "0" is a transport failure).
+	Status map[string]int `json:"status"`
+	// Shed counts 429 responses; Errors5xx counts status >= 500.
+	Shed      int `json:"shed"`
+	Errors5xx int `json:"errors_5xx"`
+	// MissingID counts responses without an X-Request-ID header — the
+	// traceability invariant says this stays zero.
+	MissingID int `json:"missing_id"`
+	// ByCache counts responses by X-HMS-Cache value ("" omitted).
+	ByCache map[string]int `json:"by_cache,omitempty"`
+	// Latency holds the coordinated-omission-safe quantiles: each sample is
+	// completion time minus *scheduled* arrival time.
+	Latency LatencySummary `json:"latency"`
+	// Histogram is the same population in obs.FineLatencyBuckets form.
+	Histogram obs.HistSnap `json:"histogram"`
+}
+
+// latencyHist is the registry name the run's histogram is recorded under.
+const latencyHist = "load_latency_ns"
+
+// Run executes one open-loop run against target. The scheduler draws
+// exponential inter-arrival gaps (a Poisson process at opt.Rate), sleeps
+// until each scheduled instant, and dispatches the request on its own
+// goroutine; it never waits for responses, so a slow server faces the full
+// offered rate. Latency is measured from the scheduled instant.
+func Run(target Target, wl *Workload, opt Options) *Report {
+	if opt.MaxOutstanding <= 0 {
+		opt.MaxOutstanding = 4096
+	}
+	rng := rand.New(rand.NewSource(opt.Seed))
+	expected := int(opt.Rate*opt.Duration.Seconds()*3/2) + 1024
+	recs := make([]rec, expected)
+	var next atomic.Int64
+	var overflow atomic.Int64
+	sem := make(chan struct{}, opt.MaxOutstanding)
+	var wg sync.WaitGroup
+
+	start := time.Now()
+	offset := time.Duration(0)
+	sent := 0
+	for {
+		// Exponential gap between Poisson arrivals at the offered rate.
+		gap := time.Duration(rng.ExpFloat64() / opt.Rate * float64(time.Second))
+		offset += gap
+		if offset >= opt.Duration {
+			break
+		}
+		op := wl.pick(rng)
+		scheduled := start.Add(offset)
+		waitUntil(scheduled)
+		select {
+		case sem <- struct{}{}:
+		default:
+			overflow.Add(1)
+			continue
+		}
+		sent++
+		wg.Add(1)
+		go func(op *Op, scheduled time.Time) {
+			defer wg.Done()
+			resp := target.Do(op)
+			latency := time.Since(scheduled)
+			<-sem
+			if slot := next.Add(1) - 1; int(slot) < len(recs) {
+				recs[slot] = rec{
+					latencyNS: float64(latency.Nanoseconds()),
+					status:    resp.Status,
+					cache:     resp.Cache,
+					hasID:     resp.RequestID != "",
+				}
+			}
+		}(op, scheduled)
+	}
+	wg.Wait()
+	wall := time.Since(start)
+
+	n := int(next.Load())
+	if n > len(recs) {
+		n = len(recs)
+	}
+	return aggregate(recs[:n], opt.Rate, wall, sent, int(overflow.Load()))
+}
+
+// waitUntil pauses the scheduler until the next scheduled arrival. A plain
+// time.Sleep wakes up to a millisecond late on Linux, and since latency is
+// measured from the *scheduled* instant, every microsecond of scheduler
+// lateness would be charged to the server — at low rates that floor
+// dominates the real sub-100µs cache-hit latencies. So the tail of each
+// wait spins, yielding the processor so in-flight handler goroutines keep
+// running (on a single-CPU box the generator and the service share it).
+func waitUntil(scheduled time.Time) {
+	if d := time.Until(scheduled); d > 2*time.Millisecond {
+		time.Sleep(d - time.Millisecond)
+	}
+	for time.Now().Before(scheduled) {
+		runtime.Gosched()
+	}
+}
+
+// aggregate folds the run's records into a Report.
+func aggregate(recs []rec, rate float64, wall time.Duration, sent, overflow int) *Report {
+	rep := &Report{
+		OfferedRPS: rate,
+		DurationS:  wall.Seconds(),
+		Sent:       sent,
+		Overflow:   overflow,
+		Status:     make(map[string]int),
+		ByCache:    make(map[string]int),
+	}
+	reg := obs.NewRegistry()
+	reg.RegisterHistogram(latencyHist, obs.FineLatencyBuckets())
+	lat := make([]float64, 0, len(recs))
+	var sum float64
+	for i := range recs {
+		r := &recs[i]
+		rep.Status[itoa(r.status)]++
+		switch {
+		case r.status == http.StatusTooManyRequests:
+			rep.Shed++
+		case r.status >= 500:
+			rep.Errors5xx++
+		}
+		if !r.hasID {
+			rep.MissingID++
+		}
+		if r.cache != "" {
+			rep.ByCache[r.cache]++
+		}
+		reg.Observe(latencyHist, r.latencyNS)
+		lat = append(lat, r.latencyNS)
+		sum += r.latencyNS
+	}
+	sort.Float64s(lat)
+	pct := func(p float64) float64 {
+		if len(lat) == 0 {
+			return 0
+		}
+		return lat[int(p*float64(len(lat)-1))]
+	}
+	rep.Latency = LatencySummary{
+		N:     len(lat),
+		P50NS: pct(0.50),
+		P90NS: pct(0.90),
+		P95NS: pct(0.95),
+		P99NS: pct(0.99),
+		MaxNS: pct(1.0),
+	}
+	if len(lat) > 0 {
+		rep.Latency.MeanNS = sum / float64(len(lat))
+		rep.AchievedRPS = float64(len(lat)) / wall.Seconds()
+	}
+	for _, h := range reg.Snapshot().Histograms {
+		if h.Name == latencyHist {
+			rep.Histogram = h
+		}
+	}
+	return rep
+}
+
+// itoa is strconv.Itoa for the three-digit status codes without the import.
+func itoa(v int) string {
+	if v == 0 {
+		return "0"
+	}
+	var buf [8]byte
+	i := len(buf)
+	for v > 0 {
+		i--
+		buf[i] = byte('0' + v%10)
+		v /= 10
+	}
+	return string(buf[i:])
+}

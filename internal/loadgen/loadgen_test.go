@@ -1,0 +1,141 @@
+package loadgen
+
+import (
+	"math/rand"
+	"net/http"
+	"sync"
+	"testing"
+	"time"
+)
+
+// stubHandler answers instantly with a request ID and a cache header, with
+// an optional fixed service delay (serialized — a one-lane server that
+// queues), and an optional always-shed mode.
+type stubHandler struct {
+	delay time.Duration
+	shed  bool
+	mu    sync.Mutex
+}
+
+func (h *stubHandler) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	if h.delay > 0 {
+		h.mu.Lock()
+		time.Sleep(h.delay)
+		h.mu.Unlock()
+	}
+	w.Header().Set("X-Request-ID", "stub-id")
+	w.Header().Set("X-HMS-Cache", "hit")
+	if h.shed {
+		w.WriteHeader(http.StatusTooManyRequests)
+		return
+	}
+	w.Write([]byte(`{}`))
+}
+
+func TestRunBasics(t *testing.T) {
+	target := &HandlerTarget{Handler: &stubHandler{}}
+	wl := NewWorkload([]Op{{Name: "a", Method: "POST", Path: "/v1/rank", Body: []byte(`{}`), Weight: 3}})
+	rep := Run(target, wl, Options{Rate: 500, Duration: 300 * time.Millisecond, Seed: 42})
+	if rep.Latency.N == 0 {
+		t.Fatal("no requests completed")
+	}
+	if rep.MissingID != 0 {
+		t.Fatalf("%d responses missing request id", rep.MissingID)
+	}
+	if rep.Errors5xx != 0 || rep.Shed != 0 || rep.Overflow != 0 {
+		t.Fatalf("unexpected failures: %+v", rep)
+	}
+	if rep.Status["200"] != rep.Latency.N {
+		t.Fatalf("status map %v != N %d", rep.Status, rep.Latency.N)
+	}
+	if rep.ByCache["hit"] != rep.Latency.N {
+		t.Fatalf("cache map %v", rep.ByCache)
+	}
+	if rep.Histogram.Count != int64(rep.Latency.N) {
+		t.Fatalf("histogram count %d != N %d", rep.Histogram.Count, rep.Latency.N)
+	}
+	if rep.Latency.P50NS <= 0 || rep.Latency.P99NS < rep.Latency.P50NS {
+		t.Fatalf("implausible quantiles: %+v", rep.Latency)
+	}
+}
+
+// TestRunIsReproducible: identical seeds must produce identical arrival
+// counts and op picks (latencies differ — they're wall-clock).
+func TestRunIsReproducible(t *testing.T) {
+	target := &HandlerTarget{Handler: &stubHandler{}}
+	wl := NewWorkload([]Op{{Name: "a", Method: "GET", Path: "/x"}, {Name: "b", Method: "GET", Path: "/y"}})
+	a := Run(target, wl, Options{Rate: 400, Duration: 200 * time.Millisecond, Seed: 7})
+	b := Run(target, wl, Options{Rate: 400, Duration: 200 * time.Millisecond, Seed: 7})
+	if a.Sent != b.Sent {
+		t.Fatalf("same seed, different arrivals: %d vs %d", a.Sent, b.Sent)
+	}
+}
+
+// TestCoordinatedOmissionSafety: with one slow in-flight cap the generator
+// keeps offering load, so queued arrivals are charged their full scheduled
+// wait. A closed-loop generator would report ~the service time; the CO-safe
+// p99 must be far above it.
+func TestCoordinatedOmissionSafety(t *testing.T) {
+	const delay = 20 * time.Millisecond
+	target := &HandlerTarget{Handler: &stubHandler{delay: delay}}
+	wl := NewWorkload([]Op{{Name: "slow", Method: "GET", Path: "/x"}})
+	// 200 req/s against a 20ms server = 4x oversubscribed on one lane.
+	rep := Run(target, wl, Options{Rate: 200, Duration: 300 * time.Millisecond, Seed: 1})
+	if rep.Latency.N == 0 {
+		t.Fatal("no samples")
+	}
+	if p99 := time.Duration(rep.Latency.P99NS); p99 < 2*delay {
+		t.Fatalf("p99 %v does not reflect queueing behind a %v server — coordinated omission", p99, delay)
+	}
+}
+
+func TestSweepStopsAtSaturation(t *testing.T) {
+	target := &HandlerTarget{Handler: &stubHandler{shed: true}}
+	wl := NewWorkload([]Op{{Name: "a", Method: "GET", Path: "/x"}})
+	res := Sweep(target, wl, SweepOptions{
+		StartRPS: 100, StepRPS: 100, MaxRPS: 1000,
+		StepDuration: 100 * time.Millisecond, Seed: 1,
+	})
+	if !res.Saturated {
+		t.Fatal("all-shed target not reported as saturated")
+	}
+	if len(res.Steps) != 1 {
+		t.Fatalf("sweep ran %d steps past saturation", len(res.Steps))
+	}
+	if res.SaturationRPS != 0 || res.SustainedRPS != 0 {
+		t.Fatalf("sustained rate nonzero despite immediate saturation: %+v", res)
+	}
+}
+
+func TestSweepCompletesWhenUnderThreshold(t *testing.T) {
+	target := &HandlerTarget{Handler: &stubHandler{}}
+	wl := NewWorkload([]Op{{Name: "a", Method: "GET", Path: "/x"}})
+	res := Sweep(target, wl, SweepOptions{
+		StartRPS: 100, StepRPS: 100, MaxRPS: 300,
+		StepDuration: 100 * time.Millisecond, Seed: 1,
+	})
+	if res.Saturated {
+		t.Fatalf("healthy target reported saturated: %+v", res)
+	}
+	if len(res.Steps) != 3 {
+		t.Fatalf("ran %d steps, want 3", len(res.Steps))
+	}
+	if res.SaturationRPS != 300 {
+		t.Fatalf("saturation rate %v, want 300 (the ramp top)", res.SaturationRPS)
+	}
+}
+
+func TestWorkloadPickRespectsWeights(t *testing.T) {
+	wl := NewWorkload([]Op{
+		{Name: "common", Weight: 9},
+		{Name: "rare", Weight: 1},
+	})
+	rng := rand.New(rand.NewSource(1))
+	counts := map[string]int{}
+	for i := 0; i < 10000; i++ {
+		counts[wl.pick(rng).Name]++
+	}
+	if counts["common"] < 8500 || counts["rare"] < 500 {
+		t.Fatalf("weighted pick off: %v", counts)
+	}
+}

@@ -1,0 +1,89 @@
+package loadgen
+
+import "time"
+
+// SweepOptions configures a saturation sweep: a ramp of open-loop runs at
+// increasing offered rates that stops once the service starts shedding more
+// than the threshold fraction.
+type SweepOptions struct {
+	// StartRPS, StepRPS, MaxRPS define the offered-rate ramp (inclusive).
+	StartRPS float64
+	StepRPS  float64
+	MaxRPS   float64
+	// StepDuration is the arrival window of each step.
+	StepDuration time.Duration
+	// Seed makes every step reproducible (step i uses Seed+i).
+	Seed int64
+	// ShedThreshold is the shed fraction — (429s + overflow) over sent+overflow
+	// — above which the sweep declares saturation and stops (default 0.01).
+	ShedThreshold float64
+	// MaxOutstanding is passed through to each step's run.
+	MaxOutstanding int
+	// OnStep, when set, observes each step's report as it completes
+	// (progress output for the CLI).
+	OnStep func(*Report)
+}
+
+// SweepResult is the outcome of a saturation sweep.
+type SweepResult struct {
+	// Steps holds every executed step, in ramp order — including the
+	// saturated one that stopped the sweep, so the knee is visible in the
+	// artifact.
+	Steps []*Report `json:"steps"`
+	// SaturationRPS is the highest offered rate that stayed under the shed
+	// threshold (0 when even the first step saturated).
+	SaturationRPS float64 `json:"saturation_rps"`
+	// SustainedRPS is the achieved throughput at that rate.
+	SustainedRPS float64 `json:"sustained_rps"`
+	// SustainedP99NS is the CO-safe p99 latency at that rate.
+	SustainedP99NS float64 `json:"sustained_p99_ns"`
+	// Saturated reports whether the ramp actually found the knee (false
+	// means the service absorbed MaxRPS without shedding).
+	Saturated bool `json:"saturated"`
+}
+
+// shedFraction is the step's shed-or-dropped share of offered arrivals.
+func shedFraction(r *Report) float64 {
+	offered := r.Sent + r.Overflow
+	if offered == 0 {
+		return 0
+	}
+	return float64(r.Shed+r.Overflow) / float64(offered)
+}
+
+// Sweep ramps the offered rate from StartRPS to MaxRPS in StepRPS
+// increments, running one open-loop step at each rate, and stops at the
+// first step whose shed fraction exceeds the threshold. The last
+// under-threshold step defines the sustained throughput.
+func Sweep(target Target, wl *Workload, opt SweepOptions) *SweepResult {
+	threshold := opt.ShedThreshold
+	if threshold <= 0 {
+		threshold = 0.01
+	}
+	res := &SweepResult{}
+	step := 0
+	for rate := opt.StartRPS; rate <= opt.MaxRPS+1e-9; rate += opt.StepRPS {
+		rep := Run(target, wl, Options{
+			Rate:           rate,
+			Duration:       opt.StepDuration,
+			Seed:           opt.Seed + int64(step),
+			MaxOutstanding: opt.MaxOutstanding,
+		})
+		res.Steps = append(res.Steps, rep)
+		if opt.OnStep != nil {
+			opt.OnStep(rep)
+		}
+		if shedFraction(rep) > threshold {
+			res.Saturated = true
+			break
+		}
+		res.SaturationRPS = rate
+		res.SustainedRPS = rep.AchievedRPS
+		res.SustainedP99NS = rep.Latency.P99NS
+		step++
+		if opt.StepRPS <= 0 {
+			break
+		}
+	}
+	return res
+}

@@ -26,6 +26,9 @@ type Collector struct {
 	mu          sync.Mutex
 	progress    Progress
 	hasProgress bool
+
+	hookMu sync.Mutex
+	hooks  []func(*Registry)
 }
 
 // NewCollector returns a Collector on the wall clock.
@@ -97,9 +100,29 @@ func (c *Collector) Progress() (Progress, bool) {
 	return c.progress, c.hasProgress
 }
 
+// AddScrapeHook registers a function run at the start of every Snapshot
+// (and therefore every /metrics scrape), before the registry is copied.
+// Hooks publish values that are only worth computing on demand — runtime
+// health gauges, rolling-window SLO quantiles — instead of on every
+// request. Hooks must be safe for concurrent use and fast: they run inline
+// with the scrape.
+func (c *Collector) AddScrapeHook(fn func(*Registry)) {
+	c.hookMu.Lock()
+	c.hooks = append(c.hooks, fn)
+	c.hookMu.Unlock()
+}
+
 // Snapshot copies the collector's metrics, attaching the latest search
-// progress and the timeline's bookkeeping gauges.
+// progress and the timeline's bookkeeping gauges. Scrape hooks run first,
+// so sampled-at-scrape gauges are current in the copy.
 func (c *Collector) Snapshot() *Snapshot {
+	c.hookMu.Lock()
+	hooks := make([]func(*Registry), len(c.hooks))
+	copy(hooks, c.hooks)
+	c.hookMu.Unlock()
+	for _, fn := range hooks {
+		fn(c.reg)
+	}
 	c.reg.Gauge("obs_timeline_events", float64(c.tl.Len()))
 	if d := c.tl.Dropped(); d > 0 {
 		c.reg.Gauge("obs_timeline_dropped", float64(d))

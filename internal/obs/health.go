@@ -1,0 +1,55 @@
+package obs
+
+import (
+	"runtime"
+	"sort"
+)
+
+// Runtime health gauges, sampled at scrape time by the hook
+// RegisterRuntimeHealth installs. They answer the first three questions of
+// any "is this process healthy" triage — is it leaking goroutines, is the
+// heap growing, is GC stalling requests — without a sidecar exporter.
+const (
+	// MetricRuntimeGoroutines gauges the live goroutine count. The soak
+	// harness asserts it returns to baseline after a drain (no leaks).
+	MetricRuntimeGoroutines = "runtime_goroutines"
+	// MetricRuntimeHeapBytes gauges live heap allocations (HeapAlloc).
+	MetricRuntimeHeapBytes = "runtime_heap_alloc_bytes"
+	// MetricRuntimeGCPauseP99NS gauges the p99 of the last (up to) 256
+	// stop-the-world GC pauses.
+	MetricRuntimeGCPauseP99NS = "runtime_gc_pause_p99_ns"
+	// MetricRuntimeGCTotal gauges completed GC cycles since process start.
+	MetricRuntimeGCTotal = "runtime_gc_cycles_total"
+)
+
+// RegisterRuntimeHealth installs a scrape hook publishing the runtime
+// health gauges above. Sampling happens at scrape time, not on a timer:
+// an unscraped process pays nothing, and every scrape sees current values.
+func RegisterRuntimeHealth(c *Collector) {
+	c.AddScrapeHook(func(reg *Registry) {
+		var ms runtime.MemStats
+		runtime.ReadMemStats(&ms)
+		reg.Gauge(MetricRuntimeGoroutines, float64(runtime.NumGoroutine()))
+		reg.Gauge(MetricRuntimeHeapBytes, float64(ms.HeapAlloc))
+		reg.Gauge(MetricRuntimeGCPauseP99NS, gcPauseP99(&ms))
+		reg.Gauge(MetricRuntimeGCTotal, float64(ms.NumGC))
+	})
+}
+
+// gcPauseP99 computes the p99 of the pauses retained in MemStats' circular
+// PauseNs buffer (the most recent min(NumGC, 256) cycles).
+func gcPauseP99(ms *runtime.MemStats) float64 {
+	n := int(ms.NumGC)
+	if n == 0 {
+		return 0
+	}
+	if n > len(ms.PauseNs) {
+		n = len(ms.PauseNs)
+	}
+	pauses := make([]float64, n)
+	for i := 0; i < n; i++ {
+		pauses[i] = float64(ms.PauseNs[i])
+	}
+	sort.Float64s(pauses)
+	return quantile(pauses, 0.99)
+}

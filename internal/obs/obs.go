@@ -95,14 +95,14 @@ type Progress struct {
 // pays no allocation and no synchronization.
 type nop struct{}
 
-func (nop) Enabled() bool                   { return false }
-func (nop) Now() float64                    { return 0 }
-func (nop) Add(string, int64)               {}
-func (nop) Gauge(string, float64)           {}
-func (nop) Observe(string, float64)         {}
+func (nop) Enabled() bool                         { return false }
+func (nop) Now() float64                          { return 0 }
+func (nop) Add(string, int64)                     {}
+func (nop) Gauge(string, float64)                 {}
+func (nop) Observe(string, float64)               {}
 func (nop) Span(string, string, float64, float64) {}
-func (nop) Instant(string, string, float64) {}
-func (nop) ReportProgress(Progress)         {}
+func (nop) Instant(string, string, float64)       {}
+func (nop) ReportProgress(Progress)               {}
 
 // Nop returns the shared no-op Recorder. It is the default everywhere a
 // recorder is optional: nil recorder fields normalize to Nop().

@@ -64,6 +64,11 @@ const (
 	// MetricServiceSnapshotBytes gauges the size of the last snapshot
 	// successfully written.
 	MetricServiceSnapshotBytes = "service_snapshot_bytes"
+	// MetricServiceTraceSampledTotal counts requests whose per-stage spans
+	// were recorded into the Chrome-trace timeline (every Nth request, per
+	// the trace-sampling option). Every request gets an access-log line and
+	// an X-Request-ID regardless.
+	MetricServiceTraceSampledTotal = "service_trace_sampled_total"
 )
 
 // ServiceLatencyBuckets is the bucket layout of the service latency
@@ -79,4 +84,18 @@ var ServiceLatencyBuckets = []float64{
 func RegisterServiceMetrics(r *Registry) {
 	r.RegisterHistogram(MetricServiceQueueWaitNS, ServiceLatencyBuckets)
 	r.RegisterHistogram(MetricServiceRequestNS, ServiceLatencyBuckets)
+}
+
+// FineLatencyBuckets returns a 1-2-5 log-spaced bucket layout from 1µs to
+// 10s (in nanoseconds) — fine enough for a load generator's
+// coordinated-omission-safe latency histograms, where the decade-wide
+// ServiceLatencyBuckets would hide a p99 regression inside one bucket.
+func FineLatencyBuckets() []float64 {
+	var out []float64
+	for decade := 1e3; decade <= 1e10; decade *= 10 {
+		for _, m := range []float64{1, 2, 5} {
+			out = append(out, decade*m)
+		}
+	}
+	return out
 }

@@ -1,0 +1,173 @@
+package obs
+
+import (
+	"strings"
+	"testing"
+	"time"
+)
+
+// fakeClock is an injectable SLO clock tests advance by hand.
+type fakeClock struct{ t time.Time }
+
+func (c *fakeClock) now() time.Time          { return c.t }
+func (c *fakeClock) advance(d time.Duration) { c.t = c.t.Add(d) }
+func newFakeClock() *fakeClock               { return &fakeClock{t: time.Unix(1000, 0)} }
+
+func newTestTracker(clk *fakeClock) *SLOTracker {
+	return NewSLOTracker(SLOOptions{
+		Window:             time.Minute,
+		TargetP99:          time.Millisecond,
+		TargetAvailability: 0.99,
+		Now:                clk.now,
+	})
+}
+
+func TestSLOWindowStats(t *testing.T) {
+	clk := newFakeClock()
+	tr := newTestTracker(clk)
+	// 100 samples: 1..100µs, the top two over the 1ms... no — target is 1ms;
+	// make 98 fast (100µs) and 2 slow (2ms), one of them a failure.
+	for i := 0; i < 98; i++ {
+		tr.Record("rank", "hit", 100e3, true)
+	}
+	tr.Record("rank", "miss", 2e6, true)
+	tr.Record("rank", "miss", 2e6, false)
+
+	st := tr.WindowStats("rank")
+	if st.Requests != 100 || st.Failed != 1 {
+		t.Fatalf("requests %d failed %d, want 100/1", st.Requests, st.Failed)
+	}
+	if st.P50NS != 100e3 {
+		t.Fatalf("p50 %v, want 100µs", st.P50NS)
+	}
+	if st.P99NS != 2e6 {
+		t.Fatalf("p99 %v, want 2ms", st.P99NS)
+	}
+	if st.OverTarget != 2 {
+		t.Fatalf("over-target %d, want 2", st.OverTarget)
+	}
+	// The route×cache keys were fed too.
+	if hit := tr.WindowStats("rank_hit"); hit.Requests != 98 {
+		t.Fatalf("rank_hit requests %d, want 98", hit.Requests)
+	}
+	if miss := tr.WindowStats("rank_miss"); miss.Requests != 2 || miss.Failed != 1 {
+		t.Fatalf("rank_miss %+v", miss)
+	}
+}
+
+func TestSLOWindowExpiry(t *testing.T) {
+	clk := newFakeClock()
+	tr := newTestTracker(clk)
+	tr.Record("rank", "", 5e6, true)
+	if st := tr.WindowStats("rank"); st.Requests != 1 {
+		t.Fatalf("fresh sample not counted: %+v", st)
+	}
+	// Advance past the window: the sample ages out without any new traffic.
+	clk.advance(2 * time.Minute)
+	if st := tr.WindowStats("rank"); st.Requests != 0 {
+		t.Fatalf("expired sample still counted: %+v", st)
+	}
+}
+
+func TestSLOPublishGauges(t *testing.T) {
+	clk := newFakeClock()
+	tr := newTestTracker(clk)
+	// 90 fast OK + 10 slow (over the 1ms target), 5 of those failures:
+	// latency burn = (10/100)/0.01 = 10; availability burn = (5/100)/0.01 = 5.
+	for i := 0; i < 90; i++ {
+		tr.Record("rank", "hit", 100e3, true)
+	}
+	for i := 0; i < 10; i++ {
+		tr.Record("rank", "miss", 5e6, i >= 5)
+	}
+	reg := NewRegistry()
+	tr.Publish(reg)
+	gauges := map[string]float64{}
+	for _, g := range reg.Snapshot().Gauges {
+		gauges[g.Name] = g.Value
+	}
+	checks := map[string]float64{
+		SLOQuantileGauge("rank", 50):               100e3,
+		SLOQuantileGauge("rank", 99):               5e6,
+		SLOQuantileGauge("rank_hit", 99):           100e3,
+		SLOQuantileGauge("rank_miss", 99):          5e6,
+		MetricServiceSLOLatencyBurnPrefix + "rank": 10,
+		MetricServiceSLOAvailabilityBurn:           5,
+		MetricServiceSLOWindowRequests:             100,
+		MetricServiceSLOTargetP99MS:                1,
+		MetricServiceSLOTargetAvailability:         0.99,
+	}
+	for name, want := range checks {
+		got, ok := gauges[name]
+		if !ok {
+			t.Errorf("gauge %s not published", name)
+			continue
+		}
+		if diff := got - want; diff > 1e-9 || diff < -1e-9 {
+			t.Errorf("gauge %s = %v, want %v", name, got, want)
+		}
+	}
+	// Burn gauges are per route: no burn gauge for route×cache keys.
+	if _, ok := gauges[MetricServiceSLOLatencyBurnPrefix+"rank_hit"]; ok {
+		t.Error("latency burn published for a cache-state key")
+	}
+}
+
+func TestSLORingCap(t *testing.T) {
+	clk := newFakeClock()
+	tr := newTestTracker(clk)
+	for i := 0; i < sloRingCap+100; i++ {
+		tr.Record("rank", "", float64(i), true)
+	}
+	if st := tr.WindowStats("rank"); st.Requests != sloRingCap {
+		t.Fatalf("ring holds %d, want cap %d", st.Requests, sloRingCap)
+	}
+}
+
+func TestSLOScrapeHook(t *testing.T) {
+	clk := newFakeClock()
+	tr := newTestTracker(clk)
+	col := NewCollector()
+	col.AddScrapeHook(tr.Publish)
+	tr.Record("rank", "hit", 100e3, true)
+	for _, g := range col.Snapshot().Gauges {
+		if g.Name == SLOQuantileGauge("rank", 99) {
+			return
+		}
+	}
+	t.Fatal("scrape did not publish SLO gauges")
+}
+
+func TestRuntimeHealthGauges(t *testing.T) {
+	col := NewCollector()
+	RegisterRuntimeHealth(col)
+	gauges := map[string]float64{}
+	for _, g := range col.Snapshot().Gauges {
+		gauges[g.Name] = g.Value
+	}
+	if gauges[MetricRuntimeGoroutines] < 1 {
+		t.Fatalf("goroutine gauge %v", gauges[MetricRuntimeGoroutines])
+	}
+	if gauges[MetricRuntimeHeapBytes] <= 0 {
+		t.Fatalf("heap gauge %v", gauges[MetricRuntimeHeapBytes])
+	}
+	if _, ok := gauges[MetricRuntimeGCPauseP99NS]; !ok {
+		t.Fatal("gc pause gauge missing")
+	}
+}
+
+func TestTimelineFlowEvents(t *testing.T) {
+	tl := NewTimeline()
+	tl.FlowStart("req/abc", "handoff", 0xdeadbeef, 100)
+	tl.FlowEnd("pool", "handoff", 0xdeadbeef, 200)
+	var buf strings.Builder
+	if err := tl.WriteChromeTrace(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{`"ph": "s"`, `"ph": "f"`, `"bp": "e"`, `"id": "deadbeef"`} {
+		if !strings.Contains(out, want) {
+			t.Errorf("chrome trace missing %s:\n%s", want, out)
+		}
+	}
+}

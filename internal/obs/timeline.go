@@ -23,6 +23,12 @@ const (
 	SpanEvent EventKind = 'X'
 	// InstantEvent is a point in time (Chrome "i" instant event).
 	InstantEvent EventKind = 'i'
+	// FlowStartEvent opens a flow arrow (Chrome "s" event): a causal link
+	// from this track to the FlowEndEvent sharing its ID — e.g. a service
+	// request handing a search off to a pool worker.
+	FlowStartEvent EventKind = 's'
+	// FlowEndEvent terminates a flow arrow (Chrome "f" event).
+	FlowEndEvent EventKind = 'f'
 )
 
 // Event is one timeline record. Timestamps and durations are nanoseconds on
@@ -34,6 +40,9 @@ type Event struct {
 	Kind  EventKind
 	TsNS  float64
 	DurNS float64
+	// ID pairs a FlowStartEvent with its FlowEndEvent; ignored for spans
+	// and instants.
+	ID uint64
 }
 
 // Timeline accumulates spans and instants for export. Safe for concurrent
@@ -83,6 +92,26 @@ func (t *Timeline) Instant(track, name string, tsNS float64) {
 	t.add(Event{Track: track, Name: name, Kind: InstantEvent, TsNS: tsNS})
 }
 
+// FlowStart opens a flow arrow on a track. The arrow renders in
+// Perfetto/chrome://tracing from here to the FlowEnd recorded with the same
+// id (and the same name), visualizing a handoff between tracks — the
+// service uses it to link a request's submit to the pool worker that picked
+// the search up.
+func (t *Timeline) FlowStart(track, name string, id uint64, tsNS float64) {
+	if tsNS < 0 {
+		tsNS = 0
+	}
+	t.add(Event{Track: track, Name: name, Kind: FlowStartEvent, TsNS: tsNS, ID: id})
+}
+
+// FlowEnd terminates the flow arrow opened by FlowStart with the same id.
+func (t *Timeline) FlowEnd(track, name string, id uint64, tsNS float64) {
+	if tsNS < 0 {
+		tsNS = 0
+	}
+	t.add(Event{Track: track, Name: name, Kind: FlowEndEvent, TsNS: tsNS, ID: id})
+}
+
 // Len returns the number of retained events.
 func (t *Timeline) Len() int {
 	t.mu.Lock()
@@ -125,6 +154,8 @@ type chromeEvent struct {
 	Pid  int            `json:"pid"`
 	Tid  int            `json:"tid"`
 	S    string         `json:"s,omitempty"`
+	ID   string         `json:"id,omitempty"`
+	BP   string         `json:"bp,omitempty"`
 	Args map[string]any `json:"args,omitempty"`
 }
 
@@ -173,10 +204,16 @@ func (t *Timeline) WriteChromeTrace(w io.Writer) error {
 			Pid:  tracePid,
 			Tid:  trackSet[e.Track],
 		}
-		if e.Kind == SpanEvent {
+		switch e.Kind {
+		case SpanEvent:
 			ce.Dur = e.DurNS / 1e3
-		} else {
+		case InstantEvent:
 			ce.S = "t" // thread-scoped instant
+		case FlowStartEvent:
+			ce.ID = strconv.FormatUint(e.ID, 16)
+		case FlowEndEvent:
+			ce.ID = strconv.FormatUint(e.ID, 16)
+			ce.BP = "e" // bind to the enclosing slice, so the arrow lands on the span
 		}
 		out.TraceEvents = append(out.TraceEvents, ce)
 	}

@@ -3,6 +3,7 @@ package service
 import (
 	"bytes"
 	"encoding/json"
+	"math"
 	"os"
 	"path/filepath"
 	"sort"
@@ -14,11 +15,12 @@ import (
 
 // latencyStats summarizes one measured request population.
 type latencyStats struct {
-	N      int     `json:"n"`
-	P50NS  float64 `json:"p50_ns"`
-	P99NS  float64 `json:"p99_ns"`
-	MeanNS float64 `json:"mean_ns"`
-	RPS    float64 `json:"req_per_s"`
+	N        int     `json:"n"`
+	P50NS    float64 `json:"p50_ns"`
+	P99NS    float64 `json:"p99_ns"`
+	MeanNS   float64 `json:"mean_ns"`
+	StddevNS float64 `json:"stddev_ns"`
+	RPS      float64 `json:"req_per_s"`
 }
 
 func summarize(samples []time.Duration) latencyStats {
@@ -32,12 +34,22 @@ func summarize(samples []time.Duration) latencyStats {
 		return float64(samples[i].Nanoseconds())
 	}
 	mean := float64(sum.Nanoseconds()) / float64(len(samples))
+	var sq float64
+	for _, d := range samples {
+		diff := float64(d.Nanoseconds()) - mean
+		sq += diff * diff
+	}
+	var stddev float64
+	if len(samples) > 1 {
+		stddev = math.Sqrt(sq / float64(len(samples)-1))
+	}
 	return latencyStats{
-		N:      len(samples),
-		P50NS:  pct(0.50),
-		P99NS:  pct(0.99),
-		MeanNS: mean,
-		RPS:    1e9 / mean,
+		N:        len(samples),
+		P50NS:    pct(0.50),
+		P99NS:    pct(0.99),
+		MeanNS:   mean,
+		StddevNS: stddev,
+		RPS:      1e9 / mean,
 	}
 }
 
@@ -69,8 +81,10 @@ func TestBenchServiceArtifact(t *testing.T) {
 	}
 
 	// Cold: every request is a distinct cache key, so each one runs a full
-	// profile-and-rank search.
-	const coldN = 12
+	// profile-and-rank search. 40 samples keep the p99 index off the max
+	// sample and give the stddev column something real to measure — 12 was
+	// too few for either.
+	const coldN = 40
 	cold := make([]time.Duration, 0, coldN)
 	for i := 0; i < coldN; i++ {
 		cold = append(cold, timeOne(RankRequest{Kernel: "fft", TopK: i + 1}, cacheMiss))

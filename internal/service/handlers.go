@@ -23,6 +23,10 @@ import (
 //
 // Every response body is JSON; non-2xx bodies are ErrorResponse. See
 // docs/SERVICE.md for the status-code mapping.
+//
+// The whole mux is wrapped in the tracing middleware (reqtrace.go), so
+// every response — including mux-level 404/405 — carries X-Request-ID and
+// produces an access-log line when access logging is configured.
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("POST /v1/rank", s.instrument(s.handleRank))
@@ -31,7 +35,7 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("GET /healthz", s.handleHealthz)
 	mux.HandleFunc("GET /readyz", s.handleReadyz)
 	mux.HandleFunc("GET /metrics", s.handleMetrics)
-	return mux
+	return s.traceMiddleware(mux)
 }
 
 // instrument wraps a handler with the request counter and the
@@ -61,18 +65,29 @@ func writeJSON(w http.ResponseWriter, status int, v any) {
 }
 
 // writeError maps err onto its status (attaching backpressure headers) and
-// writes the ErrorResponse body. It returns the status for instrumentation.
-// Shed responses (429, 503) carry a queue-depth-derived, full-jitter
-// Retry-After so a synchronized herd of retries decorrelates.
-func (s *Server) writeError(w http.ResponseWriter, err error) int {
+// writes the ErrorResponse body, echoing the request ID into it. It returns
+// the status for instrumentation. Shed responses (429, 503) carry a
+// queue-depth-derived, full-jitter Retry-After so a synchronized herd of
+// retries decorrelates; shed reasons land in the access log via SetShed.
+func (s *Server) writeError(w http.ResponseWriter, r *http.Request, err error) int {
+	rt := TraceFrom(r.Context())
 	status := statusOf(err)
+	code := codeOf(err)
+	switch code {
+	case "queue_full", "shed_deadline", "shutting_down":
+		rt.SetShed(code)
+	}
 	if status == http.StatusTooManyRequests {
 		s.col.Add(obs.MetricServiceRejectedTotal, 1)
 	}
 	if status == http.StatusTooManyRequests || status == http.StatusServiceUnavailable {
 		w.Header().Set("Retry-After", strconv.Itoa(s.retryAfter()))
 	}
-	writeJSON(w, status, ErrorResponse{Error: err.Error(), Code: codeOf(err)})
+	body := ErrorResponse{Error: err.Error(), Code: code}
+	if rt != nil {
+		body.RequestID = rt.ID
+	}
+	writeJSON(w, status, body)
 	return status
 }
 
@@ -88,17 +103,21 @@ func readBody(w http.ResponseWriter, r *http.Request) ([]byte, error) {
 // handleRank serves POST /v1/rank: decode → advisor lookup → cache /
 // singleflight / pool → 200 (or 206 for a budget-limited partial ranking).
 func (s *Server) handleRank(w http.ResponseWriter, r *http.Request) int {
+	rt := TraceFrom(r.Context())
+	endDecode := rt.BeginStage(StageDecode)
 	body, err := readBody(w, r)
 	if err != nil {
-		return s.writeError(w, err)
+		endDecode()
+		return s.writeError(w, r, err)
 	}
 	req, err := DecodeRankRequest(body)
+	endDecode()
 	if err != nil {
-		return s.writeError(w, err)
+		return s.writeError(w, r, err)
 	}
 	adv, arch, err := s.advisorFor(req.Arch)
 	if err != nil {
-		return s.writeError(w, err)
+		return s.writeError(w, r, err)
 	}
 	req.Arch = arch // normalize before keying the cache
 	if req.Strategy == "" {
@@ -106,19 +125,26 @@ func (s *Server) handleRank(w http.ResponseWriter, r *http.Request) int {
 		// an explicit "exhaustive" and an empty field share one entry.
 		req.Strategy = s.opt.DefaultStrategy
 	}
+	rt.SetStrategy(req.Strategy)
 	if _, ok := kernels.Get(req.Kernel); !ok {
-		return s.writeError(w, badKernel(req.Kernel))
+		return s.writeError(w, r, badKernel(req.Kernel))
 	}
 	resp, outcome, err := s.doRank(r.Context(), adv, req)
-	if err != nil {
-		return s.writeError(w, err)
+	if outcome != "" {
+		// The cache verdict rides on errors too: a 504 that joined a shared
+		// flight and a 504 that led its own search triage differently.
+		w.Header().Set(HeaderCache, outcome)
 	}
-	w.Header().Set("X-HMS-Cache", outcome)
+	if err != nil {
+		return s.writeError(w, r, err)
+	}
 	status := http.StatusOK
 	if resp.Partial {
 		status = http.StatusPartialContent
 	}
+	endEncode := rt.BeginStage(StageEncode)
 	writeJSON(w, status, resp)
+	endEncode()
 	return status
 }
 
@@ -138,17 +164,21 @@ func (e *unknownKernelError) Unwrap() error { return ErrUnknownKernel }
 // which repeats per request by design — rank with top_k=1 for the cached
 // path).
 func (s *Server) handlePredict(w http.ResponseWriter, r *http.Request) int {
+	rt := TraceFrom(r.Context())
+	endDecode := rt.BeginStage(StageDecode)
 	body, err := readBody(w, r)
 	if err != nil {
-		return s.writeError(w, err)
+		endDecode()
+		return s.writeError(w, r, err)
 	}
 	req, err := DecodePredictRequest(body)
+	endDecode()
 	if err != nil {
-		return s.writeError(w, err)
+		return s.writeError(w, r, err)
 	}
 	adv, arch, err := s.advisorFor(req.Arch)
 	if err != nil {
-		return s.writeError(w, err)
+		return s.writeError(w, r, err)
 	}
 	req.Arch = arch
 	type result struct {
@@ -158,26 +188,35 @@ func (s *Server) handlePredict(w http.ResponseWriter, r *http.Request) int {
 	ch := make(chan result, 1) // buffered: the worker never blocks on an absent reader
 	searchCtx, cancelSearch := s.searchContext(req.TimeoutMS)
 	deadline, _ := searchCtx.Deadline()
+	rt.MarkSubmit()
 	if err := s.pool.SubmitDeadline(deadline, func() {
 		defer cancelSearch()
+		rt.MarkPickup(s.col)
+		searchStart := s.col.Now()
 		resp, err := s.runPredict(searchCtx, adv, req)
+		rt.SearchSpan(s.col, searchStart, s.col.Now()-searchStart)
 		ch <- result{resp, err}
 	}, func(err error) {
 		cancelSearch()
 		ch <- result{nil, err}
 	}); err != nil {
 		cancelSearch()
-		return s.writeError(w, err)
+		return s.writeError(w, r, err)
 	}
+	endWait := rt.BeginStage(StageWait)
 	select {
 	case res := <-ch:
+		endWait()
 		if res.err != nil {
-			return s.writeError(w, res.err)
+			return s.writeError(w, r, res.err)
 		}
+		endEncode := rt.BeginStage(StageEncode)
 		writeJSON(w, http.StatusOK, res.resp)
+		endEncode()
 		return http.StatusOK
 	case <-r.Context().Done():
-		return s.writeError(w, r.Context().Err())
+		endWait()
+		return s.writeError(w, r, r.Context().Err())
 	}
 }
 

@@ -4,6 +4,7 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"log/slog"
 	"math/rand"
 	"runtime"
 	"sort"
@@ -53,6 +54,26 @@ type Options struct {
 	// or "beam-W". It is normalized to its canonical spec at New, so cache
 	// keys are stable across spellings.
 	DefaultStrategy string
+	// AccessLog, when set, receives one structured JSON record per request
+	// (id, route, status, cache state, per-stage nanoseconds — the schema
+	// documented in docs/OBSERVABILITY.md and pinned by TestAccessLogSchema).
+	// Nil disables access logging.
+	AccessLog *slog.Logger
+	// TraceSampleEvery records every Nth request's per-stage spans into the
+	// collector's Chrome-trace timeline (0 disables span sampling). Request
+	// IDs and access logs are unaffected: every request gets those.
+	TraceSampleEvery int
+	// SLOTargetP99 is the latency SLO target fed to the rolling-window
+	// tracker behind the service_slo_* gauges (default 250ms).
+	SLOTargetP99 time.Duration
+	// SLOAvailability is the availability SLO target (default 0.999).
+	SLOAvailability float64
+	// SLOWindow is the rolling window of the SLO quantiles and burn rates
+	// (default 60s).
+	SLOWindow time.Duration
+	// SLONow injects the SLO tracker's clock; tests use a fake one so
+	// window expiry is testable without sleeping. Nil uses the wall clock.
+	SLONow func() time.Time
 }
 
 // withDefaults fills unset options and normalizes the default strategy.
@@ -98,6 +119,12 @@ type Server struct {
 	cache    *Cache
 	start    time.Time
 
+	// slo tracks rolling-window latency/availability against the configured
+	// targets; its Publish runs as a scrape hook on the collector.
+	slo *obs.SLOTracker
+	// reqSeq numbers requests for trace sampling (every Nth is sampled).
+	reqSeq atomic.Int64
+
 	// ready gates GET /readyz: false (503) until MarkReady, which the boot
 	// sequence calls once every advisor is trained and any snapshot restore
 	// has finished. Liveness (/healthz) is independent of it.
@@ -139,7 +166,7 @@ func New(advisors map[string]*advisor.Advisor, opt Options, col *obs.Collector) 
 	}
 	sort.Strings(archs)
 	ctx, cancel := context.WithCancel(context.Background())
-	return &Server{
+	s := &Server{
 		advisors: advisors,
 		archs:    archs,
 		opt:      opt,
@@ -150,8 +177,21 @@ func New(advisors map[string]*advisor.Advisor, opt Options, col *obs.Collector) 
 		baseCtx:  ctx,
 		cancel:   cancel,
 		jitter:   rand.New(rand.NewSource(time.Now().UnixNano())),
-	}, nil
+	}
+	s.slo = obs.NewSLOTracker(obs.SLOOptions{
+		Window:             opt.SLOWindow,
+		TargetP99:          opt.SLOTargetP99,
+		TargetAvailability: opt.SLOAvailability,
+		Now:                opt.SLONow,
+	})
+	col.AddScrapeHook(s.slo.Publish)
+	obs.RegisterRuntimeHealth(col)
+	return s, nil
 }
+
+// SLO exposes the server's rolling-window SLO tracker (tests and the load
+// harness read WindowStats from it).
+func (s *Server) SLO() *obs.SLOTracker { return s.slo }
 
 // MarkReady flips GET /readyz to 200. The boot sequence calls it once every
 // advisor is trained and any snapshot restore has finished; until then the
@@ -241,12 +281,16 @@ const (
 // wait: when it fires first, the mapped error (499/504) is returned while
 // the flight completes behind the scenes.
 func (s *Server) doRank(reqCtx context.Context, adv *advisor.Advisor, req *RankRequest) (*RankResponse, string, error) {
+	rt := TraceFrom(reqCtx)
 	key := RankKey(req)
+	endCache := rt.BeginStage(StageCache)
 	resp, fl, leader := s.cache.Begin(key)
+	endCache()
 	outcome := cacheShared
 	switch {
 	case resp != nil:
 		s.col.Add(obs.MetricServiceCacheHitsTotal, 1)
+		rt.SetCache(cacheHit)
 		return resp, cacheHit, nil
 	case leader:
 		outcome = cacheMiss
@@ -256,9 +300,13 @@ func (s *Server) doRank(reqCtx context.Context, adv *advisor.Advisor, req *RankR
 		// remaining budget cannot cover the observed service time is shed
 		// with 504 instead of starting a doomed search.
 		deadline, _ := searchCtx.Deadline()
+		rt.MarkSubmit()
 		err := s.pool.SubmitDeadline(deadline, func() {
 			defer cancelSearch()
+			rt.MarkPickup(s.col)
+			searchStart := s.col.Now()
 			resp, err := s.runRank(searchCtx, adv, req)
+			rt.SearchSpan(s.col, searchStart, s.col.Now()-searchStart)
 			s.cache.Complete(key, resp, err)
 		}, func(err error) {
 			cancelSearch()
@@ -273,10 +321,14 @@ func (s *Server) doRank(reqCtx context.Context, adv *advisor.Advisor, req *RankR
 	default:
 		s.col.Add(obs.MetricServiceSingleflightSharedTotal, 1)
 	}
+	rt.SetCache(outcome)
+	endWait := rt.BeginStage(StageWait)
 	select {
 	case <-fl.done:
+		endWait()
 		return fl.resp, outcome, fl.err
 	case <-reqCtx.Done():
+		endWait()
 		return nil, outcome, reqCtx.Err()
 	}
 }

@@ -227,6 +227,25 @@ func TestSoakChaos(t *testing.T) {
 	client.CloseIdleConnections()
 	s.Close()
 	waitGoroutines(t, baseGoroutines)
+
+	// The runtime_goroutines gauge is sampled at scrape time, so a scrape
+	// after the drain must see the same no-leak state waitGoroutines just
+	// proved: the gauge returns to (near) the pre-soak baseline.
+	if g := gaugeVal(t, s.Collector(), obs.MetricRuntimeGoroutines); int(g) > baseGoroutines+2 {
+		t.Fatalf("runtime_goroutines gauge %v after drain, baseline %d", g, baseGoroutines)
+	}
+}
+
+// gaugeVal scrapes one gauge from the collector.
+func gaugeVal(t testing.TB, col *obs.Collector, name string) float64 {
+	t.Helper()
+	for _, g := range col.Snapshot().Gauges {
+		if g.Name == name {
+			return g.Value
+		}
+	}
+	t.Fatalf("gauge %s not in snapshot", name)
+	return 0
 }
 
 // soakPost issues one request (POST when body is non-empty, GET otherwise),

@@ -137,6 +137,10 @@ type ErrorResponse struct {
 	// "unknown_strategy", "illegal_placement", "invalid_trace",
 	// "invalid_profile", "queue_full", "canceled", "deadline", "internal".
 	Code string `json:"code"`
+	// RequestID echoes the request's identity (the X-Request-ID header) so
+	// an error body quoted in a bug report is traceable to its access-log
+	// line and sampled spans even when the headers were dropped.
+	RequestID string `json:"request_id,omitempty"`
 }
 
 // ReadyResponse is the reply of GET /readyz: the readiness probe, distinct

@@ -1,0 +1,39 @@
+#!/bin/sh
+# bench_load.sh — drive the open-loop load harness (cmd/hmsbench) through a
+# saturation sweep against an in-process server and write the BENCH_load.json
+# artifact: per-step offered/achieved rate, coordinated-omission-safe latency
+# quantiles, cache/status mixes, and the highest sustained rate whose shed
+# fraction stayed under threshold. The sweep asserts the serving acceptance
+# bound — a sustained cached-path rate of at least 40k req/s with zero 5xx,
+# zero missing request IDs, and p99 under the SLO target.
+#
+#   ./scripts/bench_load.sh [output.json]
+#
+# Defaults to BENCH_load.json in the repo root. Tune the ramp via env:
+#   HMS_LOAD_START / HMS_LOAD_STEP / HMS_LOAD_MAX   (req/s, default 30k/10k/70k)
+#   HMS_LOAD_STEP_S                                 (seconds per step, default 2)
+#   HMS_LOAD_FLOOR                                  (asserted sustained req/s, default 40000)
+set -eu
+
+cd "$(dirname "$0")/.."
+
+OUT=${1:-"$PWD/BENCH_load.json"}
+case "$OUT" in
+    /*) ;;
+    *) OUT="$PWD/$OUT" ;;
+esac
+
+START=${HMS_LOAD_START:-30000}
+STEP=${HMS_LOAD_STEP:-10000}
+MAX=${HMS_LOAD_MAX:-70000}
+STEP_S=${HMS_LOAD_STEP_S:-2}
+FLOOR=${HMS_LOAD_FLOOR:-40000}
+
+go run ./cmd/hmsbench \
+    -mode inproc -mix cached -seed 1 \
+    -sweep -sweep-start "$START" -sweep-step "$STEP" -sweep-max "$MAX" \
+    -step-duration "${STEP_S}s" \
+    -assert -assert-sustained-rps "$FLOOR" \
+    -out "$OUT"
+
+echo "wrote $OUT"

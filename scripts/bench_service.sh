@@ -1,8 +1,8 @@
 #!/bin/sh
 # bench_service.sh — measure the advisory service's cold (full search)
 # versus cached request latency through the complete handler stack and
-# write the BENCH_service.json artifact (n, p50/p99/mean ns, req/s per
-# population, and the cold/cached p50 speedup — asserted >= 10x).
+# write the BENCH_service.json artifact (n, p50/p99/mean/stddev ns, req/s
+# per population, and the cold/cached p50 speedup — asserted >= 10x).
 #
 #   ./scripts/bench_service.sh [output.json]
 #

@@ -1,12 +1,13 @@
 #!/bin/sh
-# verify.sh — the repository's verification gate: vet, build, the full test
-# suite under the race detector, the shard-enumerator fuzz seeds under race,
-# a one-pass parallel-ranking benchmark smoke, a short smoke of the
-# observability no-op-overhead contract (the disabled recorder must add zero
-# allocations), a short chaos soak (scripts/soak.sh runs the long one), and
-# an end-to-end service smoke covering warm boot, crash/restart recovery,
-# and corrupt-snapshot cold boot (docs/ROBUSTNESS.md). Run from the repo
-# root:
+# verify.sh — the repository's verification gate: vet (plus staticcheck when
+# installed), build, the full test suite under the race detector, the
+# shard-enumerator fuzz seeds under race, a one-pass parallel-ranking
+# benchmark smoke, a short smoke of the observability no-op-overhead
+# contract (the disabled recorder must add zero allocations), a fixed-seed
+# open-loop load smoke (zero 5xx, every response carries its request ID), a
+# short chaos soak (scripts/soak.sh runs the long one), and an end-to-end
+# service smoke covering warm boot, crash/restart recovery, and
+# corrupt-snapshot cold boot (docs/ROBUSTNESS.md). Run from the repo root:
 #
 #   ./scripts/verify.sh
 #
@@ -17,6 +18,16 @@ cd "$(dirname "$0")/.."
 
 echo "== go vet ./..."
 go vet ./...
+
+# staticcheck is a stricter lint than vet; run it when the toolchain has it,
+# fall back silently to the vet-only gate when it doesn't (the CI image may
+# not bundle it, and the gate must not require network installs).
+if command -v staticcheck >/dev/null 2>&1; then
+    echo "== staticcheck ./..."
+    staticcheck ./...
+else
+    echo "== staticcheck: not installed, vet gate only"
+fi
 
 echo "== go build ./..."
 go build ./...
@@ -47,6 +58,17 @@ rm -f /tmp/BENCH_search.verify.json
 echo "== obs no-op overhead smoke"
 go test ./internal/sim/ -run 'TestRunContextNopRecorderAddsNoAllocs' -count=1
 go test ./internal/sim/ -run '^$' -bench 'BenchmarkRunContextRecorder' -benchtime 3x -benchmem -count=1
+
+echo "== load harness smoke"
+# A short fixed-seed open-loop run against the in-process server. -assert
+# makes hmsbench itself fail the gate on any 5xx, any response missing its
+# X-Request-ID, or a p99 over the SLO target — the traceability and serving
+# invariants docs/OBSERVABILITY.md documents. scripts/bench_load.sh runs the
+# full saturation sweep.
+go run ./cmd/hmsbench -mode inproc -mix cached -seed 1 \
+    -rate 2000 -duration 1s -assert -out /tmp/hmsbench.verify.json
+grep -q '"single"' /tmp/hmsbench.verify.json
+rm -f /tmp/hmsbench.verify.json
 
 echo "== chaos soak (short mode)"
 # The full harness is scripts/soak.sh; the gate runs a short hammer phase so
