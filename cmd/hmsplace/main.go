@@ -14,6 +14,27 @@
 //	hmsplace -kernel spmv -full -strategy beam-4  # bound-pruned beam search
 //	hmsplace -kernel matrixMul -full -trace-out run.json -metrics-out metrics.prom -progress
 //	hmsplace -kernel matrixMul -full -json       # the service's RankResponse JSON
+//	hmsplace -fleet mix:shared-squeeze            # capacity-constrained fleet solve
+//	hmsplace -fleet tenants.txt -solver beam-4 -objective weighted -json
+//
+// -fleet switches to fleet mode (docs/FLEET.md): instead of ranking one
+// kernel on an empty machine, it solves the capacity-constrained placement
+// of several tenant kernels competing for the architecture's per-space byte
+// capacities. The argument is either mix:NAME (a bundled scenario; see
+// docs/FLEET.md for the list) or a tenant-spec file with one directive per
+// line:
+//
+//	# comments and blank lines are ignored
+//	tenant <kernel> [name=N] [scale=K] [weight=W] [sample=SPEC]
+//	budget <space>=<bytes>        # shared/global/constant/texture1D/texture2D; -1 = unbounded
+//
+// -solver picks the assignment search (greedy, the default, or beam-W) and
+// -objective the aggregation (minmax, the default, or weighted); -budget,
+// -parallel, -timeout, and the observability flags apply as in ranking mode.
+// With -json the result is the advisory service's FleetRankResponse — the
+// exact wire shape of `POST /v1/fleet/rank` on hmsserved. Unknown kernel,
+// tenant-kernel, or mix names exit with code 4 (distinct from usage errors)
+// so scripts can tell a typo from a broken invocation.
 //
 // With -json the ranking is emitted as the advisory service's RankResponse
 // (the exact wire shape of `POST /v1/rank` on hmsserved — see
@@ -48,6 +69,7 @@
 package main
 
 import (
+	"bufio"
 	"context"
 	"encoding/json"
 	"errors"
@@ -58,6 +80,7 @@ import (
 	"os"
 	"runtime"
 	"sort"
+	"strconv"
 	"strings"
 	"text/tabwriter"
 	"time"
@@ -66,6 +89,7 @@ import (
 	"gpuhms/internal/baseline"
 	"gpuhms/internal/core"
 	"gpuhms/internal/experiments"
+	"gpuhms/internal/fleet"
 	"gpuhms/internal/gpu"
 	"gpuhms/internal/hmserr"
 	"gpuhms/internal/kernels"
@@ -77,6 +101,11 @@ import (
 // exitPartial is the exit code of a search stopped by -budget or -timeout:
 // results were printed, but they cover only part of the candidate space.
 const exitPartial = 3
+
+// exitUnknownName is the exit code for an unknown kernel, tenant kernel, or
+// fleet mix name: the invocation was well-formed, the name just is not in the
+// registry — scripts can tell a typo (4) from a usage error (1).
+const exitUnknownName = 4
 
 func main() {
 	log.SetFlags(0)
@@ -101,6 +130,10 @@ func main() {
 		top      = flag.Int("top", 0, "print only the K best candidates (0 = all)")
 		parallel = flag.Int("parallel", 0, "ranking workers for -full (0 = GOMAXPROCS, 1 = sequential); output is identical for every value")
 		jsonOut  = flag.Bool("json", false, "emit the ranking as the advisory service's JSON RankResponse (docs/SERVICE.md) instead of a table")
+
+		fleetSpec = flag.String("fleet", "", "solve a capacity-constrained fleet: a tenant-spec file, or mix:NAME for a bundled mix (docs/FLEET.md)")
+		solver    = flag.String("solver", "", "fleet assignment solver: greedy (default) or beam-W")
+		objective = flag.String("objective", "", "fleet objective: minmax (default) or weighted")
 
 		traceOut   = flag.String("trace-out", "", "write the span timeline here: Chrome trace_event JSON (Perfetto-loadable), or CSV with a .csv suffix")
 		metricsOut = flag.String("metrics-out", "", "write collected metrics here: Prometheus text, or JSON with a .json suffix")
@@ -128,6 +161,16 @@ func main() {
 	}
 	if *strategy != "" && !*full {
 		log.Fatal("-strategy applies to -full searches only")
+	}
+	if *fleetSpec != "" {
+		switch {
+		case *kernel != "" || *target != "" || *full || *greedy || *strategy != "":
+			log.Fatal("-fleet is a mode of its own: drop -kernel/-target/-full/-greedy/-strategy")
+		case *measure || *explain:
+			log.Fatal("-measure and -explain apply to single-kernel rankings only")
+		}
+	} else if *solver != "" || *objective != "" {
+		log.Fatal("-solver and -objective apply to -fleet solves only")
 	}
 
 	// The collector gathers the whole session (profiling run, predictions,
@@ -226,12 +269,18 @@ func main() {
 		w.Flush()
 		return
 	}
+	if *fleetSpec != "" {
+		runFleet(runCtx, cfg, *arch, *fleetSpec, *solver, *objective,
+			*budget, *parallel, *jsonOut, rec, emitArtifacts)
+		return
+	}
 	if *kernel == "" {
 		log.Fatal("missing -kernel (use -list to see choices)")
 	}
 	spec, ok := kernels.Get(*kernel)
 	if !ok {
-		log.Fatalf("unknown kernel %q (use -list)", *kernel)
+		fmt.Fprintf(os.Stderr, "hmsplace: unknown kernel %q (use -list)\n", *kernel)
+		os.Exit(exitUnknownName)
 	}
 
 	ctx := experiments.NewContext(cfg, *scale)
@@ -523,4 +572,183 @@ func main() {
 			stopReason, evals)
 		os.Exit(exitPartial)
 	}
+}
+
+// runFleet is the -fleet mode: load the tenants and budgets, train one
+// advisor, solve the capacity-constrained assignment, and render the result
+// as a table or as the service's FleetRankResponse JSON.
+func runFleet(ctx context.Context, cfg *gpu.Config, arch, spec, solverSpec, objectiveSpec string,
+	budget, parallel int, jsonOut bool, rec obs.Recorder, emitArtifacts func()) {
+	sv, err := fleet.ParseSolver(solverSpec)
+	if err != nil {
+		log.Fatal(err)
+	}
+	obj, err := fleet.ParseObjective(objectiveSpec)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	var tenants []fleet.Tenant
+	budgets := fleet.DefaultBudgets(cfg)
+	if name, ok := strings.CutPrefix(spec, "mix:"); ok {
+		mix, ok := fleet.GetMix(name)
+		if !ok {
+			fmt.Fprintf(os.Stderr, "hmsplace: unknown fleet mix %q (have %s)\n",
+				name, strings.Join(fleet.MixNames(), ", "))
+			os.Exit(exitUnknownName)
+		}
+		tenants = mix.Tenants
+		budgets = mix.BudgetsOn(cfg)
+	} else {
+		tenants, budgets, err = parseFleetSpec(spec, budgets)
+		if err != nil {
+			log.Fatal(err)
+		}
+	}
+
+	adv, err := advisor.New(cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	res, err := fleet.Solve(ctx, adv, tenants, fleet.Options{
+		Budgets:       &budgets,
+		Objective:     obj,
+		MaxCandidates: budget,
+		Parallelism:   parallel,
+		Solver:        sv,
+		Recorder:      rec,
+	})
+	if err != nil {
+		emitArtifacts()
+		if errors.Is(err, fleet.ErrUnknownKernel) {
+			fmt.Fprintf(os.Stderr, "hmsplace: %v (use -list)\n", err)
+			os.Exit(exitUnknownName)
+		}
+		log.Fatal(err)
+	}
+
+	if jsonOut {
+		if err := json.NewEncoder(os.Stdout).Encode(service.BuildFleetResponse(arch, res)); err != nil {
+			log.Fatal(err)
+		}
+		emitArtifacts()
+		return
+	}
+
+	fmt.Printf("fleet of %d tenants on %s, solver %s, objective %s\n\n",
+		len(res.Assignments), arch, res.Solver, res.Objective)
+	w := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(w, "TENANT\tKERNEL\tPLACEMENT\tPREDICTED(ns)\tBEST(ns)\tSLOWDOWN")
+	for _, a := range res.Assignments {
+		name := a.Tenant
+		if a.Weight != 1 {
+			name = fmt.Sprintf("%s (w=%g)", a.Tenant, a.Weight)
+		}
+		fmt.Fprintf(w, "%s\t%s\t%s\t%.0f\t%.0f\t%.4fx\n",
+			name, a.Kernel, a.Spec, a.PredictedNS, a.BestNS, a.Slowdown)
+	}
+	w.Flush()
+	fmt.Printf("\nobjective %.4f", res.ObjectiveValue)
+	switch {
+	case res.Independent.UnconstrainedFits:
+		fmt.Printf(" (capacity not binding: matches independent ranking)")
+	case res.Independent.Feasible:
+		fmt.Printf(" (naive independent placement: %.4f)", res.Independent.ObjectiveValue)
+	default:
+		fmt.Printf(" (naive independent placement is infeasible)")
+	}
+	fmt.Println()
+	var usage []string
+	for i, sp := range gpu.Spaces {
+		if res.Budgets[i] >= 0 {
+			usage = append(usage, fmt.Sprintf("%s %d/%d", sp.LongString(), res.Usage[i], res.Budgets[i]))
+		}
+	}
+	if len(usage) > 0 {
+		fmt.Printf("usage: %s\n", strings.Join(usage, ", "))
+	}
+	fmt.Printf("search: %d menu evaluations over %d tenants, %d assignment evaluations",
+		res.MenuEvaluated, len(res.Assignments), res.AssignEvaluated)
+	if res.Pruned > 0 {
+		fmt.Printf(" (%d pruned)", res.Pruned)
+	}
+	fmt.Println()
+	emitArtifacts()
+}
+
+// parseFleetSpec reads a tenant-spec file: one directive per line, "tenant"
+// declaring a kernel instance and "budget" overriding one space's byte
+// capacity on top of the architecture defaults. Comments (#) and blank lines
+// are ignored.
+func parseFleetSpec(path string, budgets fleet.Budgets) ([]fleet.Tenant, fleet.Budgets, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, budgets, err
+	}
+	defer f.Close()
+	var tenants []fleet.Tenant
+	sc := bufio.NewScanner(f)
+	for line := 1; sc.Scan(); line++ {
+		text := strings.TrimSpace(sc.Text())
+		if text == "" || strings.HasPrefix(text, "#") {
+			continue
+		}
+		fields := strings.Fields(text)
+		switch fields[0] {
+		case "tenant":
+			if len(fields) < 2 {
+				return nil, budgets, fmt.Errorf("%s:%d: tenant needs a kernel name", path, line)
+			}
+			t := fleet.Tenant{Kernel: fields[1]}
+			for _, opt := range fields[2:] {
+				key, val, ok := strings.Cut(opt, "=")
+				if !ok {
+					return nil, budgets, fmt.Errorf("%s:%d: tenant option %q is not key=value", path, line, opt)
+				}
+				switch key {
+				case "name":
+					t.Name = val
+				case "scale":
+					if t.Scale, err = strconv.Atoi(val); err != nil {
+						return nil, budgets, fmt.Errorf("%s:%d: scale %q: %v", path, line, val, err)
+					}
+				case "weight":
+					if t.Weight, err = strconv.ParseFloat(val, 64); err != nil {
+						return nil, budgets, fmt.Errorf("%s:%d: weight %q: %v", path, line, val, err)
+					}
+				case "sample":
+					t.Sample = val
+				default:
+					return nil, budgets, fmt.Errorf("%s:%d: unknown tenant option %q", path, line, key)
+				}
+			}
+			tenants = append(tenants, t)
+		case "budget":
+			if len(fields) != 2 {
+				return nil, budgets, fmt.Errorf("%s:%d: budget needs one space=bytes pair", path, line)
+			}
+			name, val, ok := strings.Cut(fields[1], "=")
+			if !ok {
+				return nil, budgets, fmt.Errorf("%s:%d: budget %q is not space=bytes", path, line, fields[1])
+			}
+			sp, err := gpu.ParseSpace(name)
+			if err != nil {
+				return nil, budgets, fmt.Errorf("%s:%d: %v", path, line, err)
+			}
+			v, err := strconv.ParseInt(val, 10, 64)
+			if err != nil || v < fleet.Unbounded {
+				return nil, budgets, fmt.Errorf("%s:%d: budget bytes %q (want >= -1)", path, line, val)
+			}
+			budgets[sp] = v
+		default:
+			return nil, budgets, fmt.Errorf("%s:%d: unknown directive %q (want tenant or budget)", path, line, fields[0])
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, budgets, err
+	}
+	if len(tenants) == 0 {
+		return nil, budgets, fmt.Errorf("%s: no tenant directives", path)
+	}
+	return tenants, budgets, nil
 }

@@ -13,7 +13,9 @@
 //	hmsserved -snapshot state.snap           # crash-safe warm boot (docs/ROBUSTNESS.md)
 //
 // Endpoints (docs/SERVICE.md): POST /v1/rank, POST /v1/predict,
-// GET /v1/kernels, GET /healthz, GET /readyz, GET /metrics. Concurrency is
+// POST /v1/fleet/rank (capacity-constrained multi-kernel placement,
+// docs/FLEET.md; -fleet-solver sets its default solver), GET /v1/kernels,
+// GET /healthz, GET /readyz, GET /metrics. Concurrency is
 // bounded by a worker pool with an explicit queue — a full queue sheds load
 // with 429 and a jittered Retry-After, and requests whose deadline budget
 // cannot cover the observed median service time are shed with 504 — and
@@ -78,6 +80,7 @@ func main() {
 		drain    = flag.Duration("drain", 10*time.Second, "graceful-shutdown grace for in-flight searches")
 		parallel = flag.Int("parallel", 0, "ranking workers per search when the request has no parallelism (0 = NumCPU/workers so the pool never oversubscribes, negative = sequential)")
 		strategy = flag.String("strategy", "", "default search strategy when the request names none: exhaustive, greedy, or beam-W (docs/SEARCH.md)")
+		fleetSlv = flag.String("fleet-solver", "", "default fleet assignment solver when a /v1/fleet/rank request names none: greedy or beam-W (docs/FLEET.md)")
 		snapPath = flag.String("snapshot", "", "snapshot file for crash-safe warm boot: restored at startup, written periodically, on SIGHUP, and after the shutdown drain")
 		snapIvl  = flag.Duration("snapshot-interval", 30*time.Second, "periodic snapshot cadence when -snapshot is set (0 disables the timer; SIGHUP and shutdown still write)")
 
@@ -173,16 +176,17 @@ func main() {
 		adv.Recorder = col
 	}
 	svc, err := service.New(advisors, service.Options{
-		Workers:          *workers,
-		QueueCap:         *queue,
-		CacheCap:         *cacheN,
-		DefaultTimeout:   *timeout,
-		Parallelism:      *parallel,
-		DefaultStrategy:  *strategy,
-		AccessLog:        accessLogger,
-		TraceSampleEvery: *traceSample,
-		SLOTargetP99:     *sloP99,
-		SLOAvailability:  *sloAvail,
+		Workers:            *workers,
+		QueueCap:           *queue,
+		CacheCap:           *cacheN,
+		DefaultTimeout:     *timeout,
+		Parallelism:        *parallel,
+		DefaultStrategy:    *strategy,
+		DefaultFleetSolver: *fleetSlv,
+		AccessLog:          accessLogger,
+		TraceSampleEvery:   *traceSample,
+		SLOTargetP99:       *sloP99,
+		SLOAvailability:    *sloAvail,
 	}, col)
 	if err != nil {
 		log.Fatal(err)
@@ -190,6 +194,10 @@ func main() {
 	if len(snap.Cache) > 0 {
 		restored, skipped := svc.RestoreCache(snap.Cache)
 		log.Printf("snapshot: restored %d cached rankings (%d skipped)", restored, skipped)
+	}
+	if len(snap.Fleet) > 0 {
+		restored, skipped := svc.RestoreFleetCache(snap.Fleet)
+		log.Printf("snapshot: restored %d cached fleet solves (%d skipped)", restored, skipped)
 	}
 
 	// Warm: swap the real handler in and flip readiness.

@@ -1,0 +1,169 @@
+package fleet
+
+import (
+	"context"
+	"encoding/json"
+	"os"
+	"runtime"
+	"sort"
+	"testing"
+	"time"
+)
+
+// fleetLatencyStats mirrors the advisor bench artifact's latency shape so the
+// BENCH_*.json reports read alike.
+type fleetLatencyStats struct {
+	N      int     `json:"n"`
+	P50NS  float64 `json:"p50_ns"`
+	P99NS  float64 `json:"p99_ns"`
+	MeanNS float64 `json:"mean_ns"`
+}
+
+func fleetSummarize(samples []time.Duration) fleetLatencyStats {
+	sort.Slice(samples, func(i, j int) bool { return samples[i] < samples[j] })
+	var sum time.Duration
+	for _, d := range samples {
+		sum += d
+	}
+	pct := func(p float64) float64 {
+		i := int(p * float64(len(samples)-1))
+		return float64(samples[i].Nanoseconds())
+	}
+	return fleetLatencyStats{
+		N:      len(samples),
+		P50NS:  pct(0.50),
+		P99NS:  pct(0.99),
+		MeanNS: float64(sum.Nanoseconds()) / float64(len(samples)),
+	}
+}
+
+// fleetSolverReport is one (mix, solver) row in BENCH_fleet.json.
+type fleetSolverReport struct {
+	AssignEvals int               `json:"assign_evals"`
+	Pruned      int               `json:"pruned,omitempty"`
+	Wall        fleetLatencyStats `json:"wall"`
+	Objective   float64           `json:"objective"`
+	// Regret is this solver's objective / the best objective any bundled
+	// solver reached on the mix (1.0 = matched the best).
+	Regret float64 `json:"regret"`
+	// BaselineObjective is the naive independent first-fit objective — the
+	// number the fleet solvers exist to beat under contention.
+	BaselineObjective float64 `json:"baseline_objective"`
+}
+
+// fleetMixReport is one mix's section of BENCH_fleet.json.
+type fleetMixReport struct {
+	Tenants   int                          `json:"tenants"`
+	MenuEvals int                          `json:"menu_evals"`
+	Budgets   string                       `json:"budgets"`
+	Contended bool                         `json:"contended"`
+	Solvers   map[string]fleetSolverReport `json:"solvers"`
+}
+
+// TestBenchFleetArtifact runs every bundled mix through the fleet solvers and
+// writes BENCH_fleet.json: menu evaluations per mix, assignment evaluations
+// and wall time per solver, and each solver's objective with greedy-vs-beam
+// regret. Gated by BENCH_FLEET_OUT so the ordinary test run stays fast;
+// scripts/bench_fleet.sh drives it.
+//
+// Asserted acceptance: every result is capacity-feasible, and on the
+// contended mixes the fleet objective beats the naive independent baseline.
+func TestBenchFleetArtifact(t *testing.T) {
+	out := os.Getenv("BENCH_FLEET_OUT")
+	if out == "" {
+		t.Skip("set BENCH_FLEET_OUT=/path/to/BENCH_fleet.json to run")
+	}
+	adv := testAdvisor(t)
+	ctx := context.Background()
+
+	const rounds = 5
+	solvers := []Solver{Greedy(), Beam(DefaultBeamWidth)}
+	mixReports := map[string]fleetMixReport{}
+	for _, name := range MixNames() {
+		mix, _ := GetMix(name)
+		b := mix.BudgetsOn(adv.Cfg)
+		p, err := NewProblem(ctx, adv, mix.Tenants, Options{
+			Budgets: &b, Parallelism: runtime.NumCPU(),
+		})
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		var aggregate Demand
+		for _, ts := range p.Tenants {
+			aggregate = aggregate.Plus(ts.Menu[0].Demand)
+		}
+		mr := fleetMixReport{
+			Tenants:   len(p.Tenants),
+			MenuEvals: p.MenuEvaluated,
+			Budgets:   p.Budgets.String(),
+			Contended: !p.Budgets.Fits(Demand{}, aggregate),
+			Solvers:   map[string]fleetSolverReport{},
+		}
+		bestObjective := 0.0
+		for _, solver := range solvers {
+			var res *Result
+			wall := make([]time.Duration, 0, rounds)
+			for i := 0; i < rounds; i++ {
+				start := time.Now()
+				res, err = p.Solve(ctx, solver, nil)
+				wall = append(wall, time.Since(start))
+				if err != nil {
+					t.Fatalf("%s/%s: %v", name, solver.Spec(), err)
+				}
+			}
+			for sp := range p.Budgets {
+				if p.Budgets[sp] >= 0 && res.Usage[sp] > p.Budgets[sp] {
+					t.Errorf("%s/%s: infeasible result (usage %d > budget %d)",
+						name, solver.Spec(), res.Usage[sp], p.Budgets[sp])
+				}
+			}
+			if res.Independent.Feasible && res.ObjectiveValue > res.Independent.ObjectiveValue {
+				t.Errorf("%s/%s: objective %.4f worse than naive baseline %.4f",
+					name, solver.Spec(), res.ObjectiveValue, res.Independent.ObjectiveValue)
+			}
+			if name == "shared-squeeze" && res.ObjectiveValue >= res.Independent.ObjectiveValue {
+				t.Errorf("shared-squeeze/%s: objective %.4f does not beat naive baseline %.4f",
+					solver.Spec(), res.ObjectiveValue, res.Independent.ObjectiveValue)
+			}
+			if bestObjective == 0 || res.ObjectiveValue < bestObjective {
+				bestObjective = res.ObjectiveValue
+			}
+			mr.Solvers[solver.Spec()] = fleetSolverReport{
+				AssignEvals:       res.AssignEvaluated,
+				Pruned:            res.Pruned,
+				Wall:              fleetSummarize(wall),
+				Objective:         res.ObjectiveValue,
+				BaselineObjective: res.Independent.ObjectiveValue,
+			}
+		}
+		for spec, sr := range mr.Solvers {
+			sr.Regret = sr.Objective / bestObjective
+			mr.Solvers[spec] = sr
+		}
+		mixReports[name] = mr
+	}
+
+	report := struct {
+		Bench  string                    `json:"bench"`
+		Arch   string                    `json:"arch"`
+		NumCPU int                       `json:"num_cpu"`
+		Mixes  map[string]fleetMixReport `json:"mixes"`
+	}{
+		Bench:  "fleet_solvers_bundled_mixes",
+		Arch:   adv.Cfg.Name,
+		NumCPU: runtime.NumCPU(),
+		Mixes:  mixReports,
+	}
+	data, err := json.MarshalIndent(&report, "", "  ")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(out, append(data, '\n'), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	sq := mixReports["shared-squeeze"]
+	t.Logf("wrote %s (shared-squeeze: greedy obj %.4f p50 %.2fµs, beam-%d obj %.4f p50 %.2fµs, baseline %.4f)",
+		out, sq.Solvers["greedy"].Objective, sq.Solvers["greedy"].Wall.P50NS/1e3,
+		DefaultBeamWidth, sq.Solvers["beam-4"].Objective, sq.Solvers["beam-4"].Wall.P50NS/1e3,
+		sq.Solvers["greedy"].BaselineObjective)
+}

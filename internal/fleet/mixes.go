@@ -1,0 +1,92 @@
+package fleet
+
+import (
+	"sort"
+
+	"gpuhms/internal/gpu"
+)
+
+// Mix is a bundled synthetic tenant mix: a named fleet scenario with
+// optional per-space budget overrides on top of DefaultBudgets. Mixes give
+// the service, the CLI, the benchmarks, and the golden tests one shared
+// vocabulary of reproducible fleet problems.
+type Mix struct {
+	Name        string
+	Description string
+	Tenants     []Tenant
+	// Budgets overrides individual spaces of DefaultBudgets (keyed by
+	// space; absent spaces keep the architecture default).
+	Budgets map[gpu.MemSpace]int64
+}
+
+// BudgetsOn resolves the mix's budgets against an architecture.
+func (m Mix) BudgetsOn(cfg *gpu.Config) Budgets {
+	b := DefaultBudgets(cfg)
+	for sp, v := range m.Budgets {
+		b[sp] = v
+	}
+	return b
+}
+
+// The bundled mixes. Demands quoted below are the K80 scale-1 best-placement
+// shared footprints the golden tests pin.
+var mixes = map[string]Mix{
+	"balanced": {
+		Name: "balanced",
+		Description: "four small kernels whose unconstrained best placements " +
+			"coexist within the K80's capacities; the fleet answer matches " +
+			"independent ranking (objective 1.0)",
+		Tenants: []Tenant{
+			{Kernel: "md"}, {Kernel: "histogram"}, {Kernel: "vecadd"}, {Kernel: "reduction"},
+		},
+	},
+	"shared-squeeze": {
+		Name: "shared-squeeze",
+		Description: "four kernels whose aggregate best-placement shared demand " +
+			"(~14.1 KiB) overflows a 12 KiB shared budget, so capacity pressure " +
+			"changes the optimum: naive first-fit starves the shared-hungry " +
+			"tail while the fleet solvers starve the tenant that barely cares",
+		Tenants: []Tenant{
+			{Kernel: "spmv"}, {Kernel: "vecadd"}, {Kernel: "fft"}, {Kernel: "sort"},
+		},
+		Budgets: map[gpu.MemSpace]int64{gpu.Shared: 12 << 10},
+	},
+	"shared-storm": {
+		Name: "shared-storm",
+		Description: "six tenants contending for a 4 KiB shared budget — the " +
+			"larger benchmark scenario for solver comparisons",
+		Tenants: []Tenant{
+			{Kernel: "sort"}, {Kernel: "fft"}, {Kernel: "reduction"},
+			{Kernel: "kmeans"}, {Kernel: "vecadd"}, {Kernel: "md"},
+		},
+		Budgets: map[gpu.MemSpace]int64{gpu.Shared: 4 << 10},
+	},
+}
+
+// MixNames lists the bundled mixes, sorted.
+func MixNames() []string {
+	names := make([]string, 0, len(mixes))
+	for n := range mixes {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// GetMix returns a bundled mix by name. The returned value's slices and maps
+// are copies: callers may mutate them freely.
+func GetMix(name string) (Mix, bool) {
+	m, ok := mixes[name]
+	if !ok {
+		return Mix{}, false
+	}
+	cp := m
+	cp.Tenants = append([]Tenant(nil), m.Tenants...)
+	if m.Budgets != nil {
+		cp.Budgets = make(map[gpu.MemSpace]int64, len(m.Budgets))
+		for k, v := range m.Budgets {
+			cp.Budgets[k] = v
+		}
+	}
+	return cp, true
+}

@@ -1,0 +1,339 @@
+package fleet
+
+import (
+	"context"
+	"math"
+	"sort"
+	"strconv"
+	"strings"
+
+	"gpuhms/internal/hmserr"
+)
+
+// Solver picks one menu entry per tenant subject to the budgets. Like the
+// single-kernel Strategy set, the interface is closed (unexported solve) so
+// the contracts — determinism for any caller concurrency, ctx-cancel
+// precedence, capacity infeasibility as hmserr.ErrCapacityExceeded — stay
+// enforceable. Pick by constructor or parse a wire spec with ParseSolver.
+type Solver interface {
+	// Spec returns the canonical wire spelling ("greedy", "beam-4"): what
+	// the service echoes in responses and keys its fleet cache on.
+	Spec() string
+
+	solve(e *engine) error
+}
+
+// DefaultBeamWidth is the frontier width Beam uses when none is given; also
+// what the bare "beam" spec parses to.
+const DefaultBeamWidth = 4
+
+// MaxBeamWidth caps the frontier width accepted from wire specs.
+const MaxBeamWidth = 4096
+
+// Greedy returns the lookahead-greedy solver (the PRISM/ShinkaEvolve shape):
+// tenants are visited hardest-first; each candidate assignment is scored by
+// the objective that *results* from it — assigned tenants exact, unassigned
+// tenants optimistically at their best still-fitting entry — and the
+// candidate minimizing that future objective wins (preferring candidates
+// that strand fewer unassigned tenants, ties to the faster menu entry). A
+// deterministic local-search polish then applies single-tenant reassignments
+// that strictly improve the exact objective, to a fixed point.
+func Greedy() Solver { return greedySolver{} }
+
+// Beam returns a width-w beam over tenants hardest-first. Each frontier
+// state holds a partial assignment; children are ranked by an admissible
+// completion bound — assigned tenants exact, each unassigned tenant at the
+// larger of its core.PlacementBound floor and its best entry fitting the
+// remaining capacity alone (capacity only shrinks, so neither underestimate
+// can exceed the true eventual slowdown) — and the best w survive. Discards
+// are counted as pruned.
+func Beam(width int) Solver {
+	if width < 1 {
+		width = DefaultBeamWidth
+	}
+	if width > MaxBeamWidth {
+		width = MaxBeamWidth
+	}
+	return beamSolver{width: width}
+}
+
+// ParseSolver converts a wire spec into a Solver: "" or "greedy", "beam"
+// (DefaultBeamWidth), or "beam-W". Unknown specs wrap
+// hmserr.ErrUnknownStrategy, like advisor.ParseStrategy.
+func ParseSolver(spec string) (Solver, error) {
+	s := strings.ToLower(strings.TrimSpace(spec))
+	switch s {
+	case "", "greedy":
+		return Greedy(), nil
+	case "beam":
+		return Beam(DefaultBeamWidth), nil
+	}
+	if w, ok := strings.CutPrefix(s, "beam-"); ok {
+		n, err := strconv.Atoi(w)
+		if err == nil && n >= 1 {
+			if n > MaxBeamWidth {
+				return nil, hmserr.Wrap(hmserr.ErrUnknownStrategy,
+					"fleet beam width %d exceeds max %d", n, MaxBeamWidth)
+			}
+			return Beam(n), nil
+		}
+	}
+	return nil, hmserr.Wrap(hmserr.ErrUnknownStrategy,
+		"%q (want greedy or beam-W)", spec)
+}
+
+// engine is the shared assignment-search state: the problem, the visit
+// order, the chosen menu index per tenant (-1 = unassigned), committed
+// usage, and the solver's eval/prune counters.
+type engine struct {
+	ctx    context.Context
+	p      *Problem
+	order  []int
+	chosen []int
+	used   Demand
+	evals  int
+	pruned int
+}
+
+// infeasiblef is the typed capacity-infeasibility error of both solvers.
+func infeasiblef(name string) error {
+	return hmserr.Wrap(hmserr.ErrCapacityExceeded,
+		"no capacity-feasible placement for tenant %q under the fleet budgets", name)
+}
+
+// objectiveWith is the exact objective over the assigned tenants, with
+// tenant ti overridden to menu entry mi (mi < 0 leaves ti out).
+func (e *engine) objectiveWith(ti, mi int) float64 {
+	acc := objAcc{o: e.p.Objective}
+	for i, ts := range e.p.Tenants {
+		ci := e.chosen[i]
+		if i == ti {
+			ci = mi
+		}
+		if ci < 0 {
+			continue
+		}
+		acc.add(ts.Weight * ts.Menu[ci].PredictedNS / ts.BestNS)
+	}
+	return acc.v
+}
+
+// lookahead scores assigning menu entry mi to tenant ti: the objective that
+// results when already-assigned tenants keep their exact entries and each
+// still-unassigned tenant optimistically takes its best entry fitting the
+// hypothetical remaining capacity alone. The second return counts unassigned
+// tenants with no fitting entry at all — candidates stranding fewer tenants
+// always win.
+func (e *engine) lookahead(ti, mi int) (float64, int) {
+	p := e.p
+	hyp := e.used.Plus(p.Tenants[ti].Menu[mi].Demand)
+	acc := objAcc{o: p.Objective}
+	stranded := 0
+	for i, ts := range p.Tenants {
+		switch {
+		case i == ti:
+			acc.add(ts.Weight * ts.Menu[mi].PredictedNS / ts.BestNS)
+		case e.chosen[i] >= 0:
+			acc.add(ts.Weight * ts.Menu[e.chosen[i]].PredictedNS / ts.BestNS)
+		default:
+			fi := bestFitting(ts, hyp, p.Budgets)
+			if fi < 0 {
+				stranded++
+				continue
+			}
+			acc.add(ts.Weight * ts.Menu[fi].PredictedNS / ts.BestNS)
+		}
+	}
+	return acc.v, stranded
+}
+
+// greedySolver is the lookahead greedy with local-search polish.
+type greedySolver struct{}
+
+func (greedySolver) Spec() string { return "greedy" }
+
+func (greedySolver) solve(e *engine) error {
+	p := e.p
+	for _, ti := range e.order {
+		if err := e.ctx.Err(); err != nil {
+			return err
+		}
+		ts := p.Tenants[ti]
+		bestMi := -1
+		bestScore := math.Inf(1)
+		bestStranded := math.MaxInt
+		for mi := range ts.Menu {
+			if !p.Budgets.Fits(e.used, ts.Menu[mi].Demand) {
+				continue
+			}
+			e.evals++
+			score, stranded := e.lookahead(ti, mi)
+			// Menus are fastest-first, so strict improvement keeps the
+			// faster entry on ties — the deterministic tie-break.
+			if stranded < bestStranded || (stranded == bestStranded && score < bestScore) {
+				bestMi, bestScore, bestStranded = mi, score, stranded
+			}
+		}
+		if bestMi < 0 {
+			return infeasiblef(ts.Name)
+		}
+		e.chosen[ti] = bestMi
+		e.used = e.used.Plus(ts.Menu[bestMi].Demand)
+	}
+	e.polish()
+	return nil
+}
+
+// polish is the exemplars' local-search step: scan tenants in input order
+// for single-tenant reassignments that strictly lower the exact objective,
+// repeating until a full pass finds none. Strict improvement on a finite
+// menu space guarantees termination; the pass cap is a safety net.
+func (e *engine) polish() {
+	p := e.p
+	for pass := 0; pass < 8*len(p.Tenants)+8; pass++ {
+		improved := false
+		for ti, ts := range p.Tenants {
+			cur := e.chosen[ti]
+			base := e.used.Minus(ts.Menu[cur].Demand)
+			bestMi := cur
+			bestObj := e.objectiveWith(ti, cur)
+			for mi := range ts.Menu {
+				if mi == cur || !p.Budgets.Fits(base, ts.Menu[mi].Demand) {
+					continue
+				}
+				e.evals++
+				if obj := e.objectiveWith(ti, mi); obj < bestObj {
+					bestObj, bestMi = obj, mi
+				}
+			}
+			if bestMi != cur {
+				e.chosen[ti] = bestMi
+				e.used = base.Plus(ts.Menu[bestMi].Demand)
+				improved = true
+			}
+		}
+		if !improved {
+			return
+		}
+	}
+}
+
+// beamState is one partial assignment on the beam frontier. bound is the
+// admissible completion bound; for a complete state it equals the exact
+// objective (no unassigned floors remain).
+type beamState struct {
+	chosen []int
+	used   Demand
+	bound  float64
+}
+
+// completionBound computes the admissible bound of a state: assigned tenants
+// contribute exactly; each unassigned tenant contributes the larger of its
+// model-derived floor (core.PlacementBound over the whole space) and its
+// fastest menu entry fitting the remaining capacity alone. Remaining
+// capacity only shrinks as more tenants commit, so the per-tenant floor
+// never exceeds the tenant's eventual slowdown — summed (or maxed) floors
+// stay below any completion's objective. +Inf when some unassigned tenant
+// cannot fit at all (no completion exists).
+func (e *engine) completionBound(chosen []int, used Demand) float64 {
+	p := e.p
+	acc := objAcc{o: p.Objective}
+	for i, ts := range p.Tenants {
+		if chosen[i] >= 0 {
+			acc.add(ts.Weight * ts.Menu[chosen[i]].PredictedNS / ts.BestNS)
+			continue
+		}
+		fi := bestFitting(ts, used, p.Budgets)
+		if fi < 0 {
+			return math.Inf(1)
+		}
+		floor := ts.Menu[fi].PredictedNS
+		if ts.FloorNS > floor {
+			floor = ts.FloorNS
+		}
+		acc.add(ts.Weight * floor / ts.BestNS)
+	}
+	return acc.v
+}
+
+// beamSolver is the fleet-level beam search.
+type beamSolver struct{ width int }
+
+func (b beamSolver) Spec() string { return "beam-" + strconv.Itoa(b.width) }
+
+func (b beamSolver) solve(e *engine) error {
+	p := e.p
+	root := beamState{chosen: make([]int, len(p.Tenants))}
+	for i := range root.chosen {
+		root.chosen[i] = -1
+	}
+	root.bound = e.completionBound(root.chosen, root.used)
+	if math.IsInf(root.bound, 1) {
+		// Some tenant cannot fit even into an empty machine.
+		for _, ti := range e.order {
+			if bestFitting(p.Tenants[ti], Demand{}, p.Budgets) < 0 {
+				return infeasiblef(p.Tenants[ti].Name)
+			}
+		}
+	}
+	frontier := []beamState{root}
+
+	for _, ti := range e.order {
+		if err := e.ctx.Err(); err != nil {
+			return err
+		}
+		ts := p.Tenants[ti]
+		var children []beamState
+		for _, st := range frontier {
+			for mi := range ts.Menu {
+				if !p.Budgets.Fits(st.used, ts.Menu[mi].Demand) {
+					continue
+				}
+				e.evals++
+				child := beamState{
+					chosen: append([]int(nil), st.chosen...),
+					used:   st.used.Plus(ts.Menu[mi].Demand),
+				}
+				child.chosen[ti] = mi
+				child.bound = e.completionBound(child.chosen, child.used)
+				if math.IsInf(child.bound, 1) {
+					// No completion fits under this child; joint feasibility
+					// is monotone in used capacity, so the subtree is dead.
+					e.pruned++
+					continue
+				}
+				children = append(children, child)
+			}
+		}
+		if len(children) == 0 {
+			return infeasiblef(ts.Name)
+		}
+		// Rank by (bound, lexicographic chosen vector): the chosen vectors of
+		// one level assign the same tenant set, so the comparison is total
+		// and the frontier — hence the result — is deterministic.
+		sort.Slice(children, func(x, y int) bool {
+			if children[x].bound != children[y].bound {
+				return children[x].bound < children[y].bound
+			}
+			for k := range children[x].chosen {
+				if children[x].chosen[k] != children[y].chosen[k] {
+					return children[x].chosen[k] < children[y].chosen[k]
+				}
+			}
+			return false
+		})
+		if len(children) > b.width {
+			e.pruned += len(children) - b.width
+			children = children[:b.width]
+		}
+		frontier = children
+	}
+
+	// Every frontier state is complete, so bound == exact objective and the
+	// sort above already put the best (and lexicographically smallest among
+	// ties) first.
+	best := frontier[0]
+	copy(e.chosen, best.chosen)
+	e.used = best.used
+	return nil
+}

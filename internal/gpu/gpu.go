@@ -171,7 +171,11 @@ type Config struct {
 	SharedBankBytes   int // bank word width in bytes (4 or 8)
 	SharedLatency     float64
 	SharedBytesPerSM  int
-	ConstantBytes     int     // total constant memory (64 KiB)
+	ConstantBytes     int // total constant memory (64 KiB)
+	// GlobalBytes is the device DRAM capacity backing the global and texture
+	// spaces; 0 means unbounded (capacity checks on DRAM-backed spaces are
+	// skipped).
+	GlobalBytes       int
 	SharedCopyGBs     float64 // global→shared staging bandwidth, GB/s
 	TextureBlockShift uint    // log2 of the 2D texture tile edge, in elements
 
@@ -209,6 +213,7 @@ func KeplerK80() *Config {
 		SharedLatency:     3,
 		SharedBytesPerSM:  48 << 10,
 		ConstantBytes:     64 << 10,
+		GlobalBytes:       12 << 30, // 12 GiB per GK210 die
 		SharedCopyGBs:     160,
 		TextureBlockShift: 4, // 16x16-element tiles
 
@@ -257,8 +262,30 @@ func FermiC2050() *Config {
 	c.AvgInstLatency = 22
 	c.L2 = CacheGeometry{SizeBytes: 768 << 10, LineBytes: 128, Ways: 16}
 	c.Texture = CacheGeometry{SizeBytes: 8 << 10, LineBytes: 128, Ways: 4}
+	c.GlobalBytes = 3 << 30 // 3 GiB GDDR5
 	c.MWPPeakBW = 32
 	return c
+}
+
+// CapacityBytes returns the byte capacity of one memory space on this
+// architecture, or -1 when the space is unbounded for placement purposes:
+// shared memory is the per-SM (per-block) scratchpad size, constant memory
+// the total constant segment, and the DRAM-backed spaces (global, both
+// textures) share the device memory size (unbounded when GlobalBytes is 0).
+// It is the geometry source for placement capacity checks and for the fleet
+// subsystem's default per-space budgets.
+func (c *Config) CapacityBytes(s MemSpace) int {
+	switch s {
+	case Shared:
+		return c.SharedBytesPerSM
+	case Constant:
+		return c.ConstantBytes
+	default: // Global, Texture1D, Texture2D: device DRAM
+		if c.GlobalBytes > 0 {
+			return c.GlobalBytes
+		}
+		return -1
+	}
 }
 
 // CyclesPerNS converts nanoseconds into SM cycles.

@@ -119,3 +119,25 @@ func TestClockConversions(t *testing.T) {
 		t.Error("cycle/ns conversions must be inverses")
 	}
 }
+
+func TestCapacityBytes(t *testing.T) {
+	cfg := KeplerK80()
+	if got := cfg.CapacityBytes(Shared); got != 48<<10 {
+		t.Errorf("shared capacity = %d", got)
+	}
+	if got := cfg.CapacityBytes(Constant); got != 64<<10 {
+		t.Errorf("constant capacity = %d", got)
+	}
+	for _, sp := range []MemSpace{Global, Texture1D, Texture2D} {
+		if got := cfg.CapacityBytes(sp); got != 12<<30 {
+			t.Errorf("%s capacity = %d, want device DRAM size", sp.LongString(), got)
+		}
+	}
+	if got := FermiC2050().CapacityBytes(Global); got != 3<<30 {
+		t.Errorf("fermi global capacity = %d", got)
+	}
+	cfg.GlobalBytes = 0
+	if got := cfg.CapacityBytes(Global); got != -1 {
+		t.Errorf("zero GlobalBytes must report unbounded (-1), got %d", got)
+	}
+}

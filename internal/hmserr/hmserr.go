@@ -8,6 +8,13 @@
 //   - ErrIllegalPlacement: a placement violates legality rules (capacity,
 //     read-only spaces, 2D-texture shape, out-of-range array IDs) or a
 //     placement spec fails to parse.
+//   - ErrCapacityExceeded: the capacity sub-class of ErrIllegalPlacement — a
+//     placement's aggregate demand overflows a memory space's byte budget
+//     (shared per block, constant total, bounded DRAM). It wraps
+//     ErrIllegalPlacement, so errors.Is(err, ErrIllegalPlacement) still
+//     holds; callers that care specifically about capacity (the advisory
+//     service maps it to 422, the fleet solvers to infeasibility) test the
+//     narrower sentinel first.
 //   - ErrInvalidTrace: a kernel trace is internally inconsistent (lane
 //     counts, index ranges, stores to read-only arrays, duplicate array
 //     names, non-positive or overflowing lengths).
@@ -37,6 +44,12 @@ var (
 	ErrBudgetExceeded   = errors.New("search budget exceeded")
 	ErrArchMismatch     = errors.New("architecture mismatch")
 	ErrUnknownStrategy  = errors.New("unknown search strategy")
+
+	// ErrCapacityExceeded is the capacity sub-class of ErrIllegalPlacement:
+	// it chains onto the broader sentinel, so both
+	// errors.Is(err, ErrCapacityExceeded) and
+	// errors.Is(err, ErrIllegalPlacement) hold for capacity overflows.
+	ErrCapacityExceeded = fmt.Errorf("placement capacity exceeded: %w", ErrIllegalPlacement)
 )
 
 // Wrap attaches detail to a sentinel so errors.Is(err, sentinel) holds while

@@ -26,3 +26,16 @@ func TestWrapPreservesSentinel(t *testing.T) {
 		}
 	}
 }
+
+func TestCapacityExceededChainsOntoIllegalPlacement(t *testing.T) {
+	err := Wrap(ErrCapacityExceeded, "shared overflow: %d > %d", 100, 48)
+	if !errors.Is(err, ErrCapacityExceeded) {
+		t.Error("wrapped error must match ErrCapacityExceeded")
+	}
+	if !errors.Is(err, ErrIllegalPlacement) {
+		t.Error("ErrCapacityExceeded must chain onto ErrIllegalPlacement")
+	}
+	if errors.Is(ErrIllegalPlacement, ErrCapacityExceeded) {
+		t.Error("the broad sentinel must not match the narrow one")
+	}
+}

@@ -69,6 +69,9 @@ const (
 	// the trace-sampling option). Every request gets an access-log line and
 	// an X-Request-ID regardless.
 	MetricServiceTraceSampledTotal = "service_trace_sampled_total"
+	// MetricServiceFleetSolvesTotal counts fleet placement solves actually
+	// executed (cache hits and joined singleflights excluded).
+	MetricServiceFleetSolvesTotal = "service_fleet_solves_total"
 )
 
 // ServiceLatencyBuckets is the bucket layout of the service latency

@@ -19,6 +19,13 @@ func illegalf(format string, args ...any) error {
 	return hmserr.Wrap(hmserr.ErrIllegalPlacement, format, args...)
 }
 
+// capacityf builds an error wrapping hmserr.ErrCapacityExceeded (which
+// itself chains onto ErrIllegalPlacement, so existing errors.Is checks on the
+// broad sentinel keep matching capacity overflows).
+func capacityf(format string, args ...any) error {
+	return hmserr.Wrap(hmserr.ErrCapacityExceeded, format, args...)
+}
+
 // Placement assigns a memory space to every array of a trace, indexed by
 // trace.ArrayID.
 type Placement struct {
@@ -145,12 +152,15 @@ func Parse(t *trace.Trace, spec string) (*Placement, error) {
 
 // Check verifies the placement is legal for the trace on the architecture:
 // read-only constraint for constant/texture, 2D texture requires a declared
-// 2D shape, constant memory capacity, and shared-memory capacity per block.
+// 2D shape, and per-space capacity (constant total, shared per block, and —
+// when cfg bounds the device DRAM — the aggregate bytes of global- and
+// texture-placed arrays). Capacity violations wrap
+// hmserr.ErrCapacityExceeded, which chains onto ErrIllegalPlacement.
 func Check(t *trace.Trace, p *Placement, cfg *gpu.Config) error {
 	if len(p.Spaces) != len(t.Arrays) {
 		return illegalf("%d spaces for %d arrays", len(p.Spaces), len(t.Arrays))
 	}
-	constBytes, sharedBytes := 0, 0
+	constBytes, sharedBytes, dramBytes := 0, 0, 0
 	for i, sp := range p.Spaces {
 		a := t.Arrays[i]
 		if !sp.Writable() && !a.ReadOnly {
@@ -162,19 +172,25 @@ func Check(t *trace.Trace, p *Placement, cfg *gpu.Config) error {
 			if !a.Is2D() {
 				return illegalf("array %s has no 2D shape for 2D texture", a.Name)
 			}
+			dramBytes += a.Bytes()
 		case gpu.Constant:
 			constBytes += a.Bytes()
 		case gpu.Shared:
 			sharedBytes += SharedFootprint(t, trace.ArrayID(i))
+		default: // Global, Texture1D
+			dramBytes += a.Bytes()
 		}
 	}
 	if constBytes > cfg.ConstantBytes {
-		return illegalf("constant memory overflow: %d > %d bytes",
+		return capacityf("constant memory overflow: %d > %d bytes",
 			constBytes, cfg.ConstantBytes)
 	}
 	if sharedBytes > cfg.SharedBytesPerSM {
-		return illegalf("shared memory overflow: %d > %d bytes per block",
+		return capacityf("shared memory overflow: %d > %d bytes per block",
 			sharedBytes, cfg.SharedBytesPerSM)
+	}
+	if limit := cfg.CapacityBytes(gpu.Global); limit >= 0 && dramBytes > limit {
+		return capacityf("device memory overflow: %d > %d bytes", dramBytes, limit)
 	}
 	return nil
 }

@@ -1,12 +1,14 @@
 package placement
 
 import (
+	"errors"
 	"math/rand"
 	"strings"
 	"testing"
 	"testing/quick"
 
 	"gpuhms/internal/gpu"
+	"gpuhms/internal/hmserr"
 	"gpuhms/internal/trace"
 )
 
@@ -303,5 +305,67 @@ func TestSharedStagingBytes(t *testing.T) {
 	}
 	if SharedStagingBytes(tr, New(len(tr.Arrays))) != 0 {
 		t.Error("no shared arrays → no staging")
+	}
+}
+
+func TestCheckCapacitySentinel(t *testing.T) {
+	cfg := gpu.KeplerK80()
+
+	// Constant overflow must carry both the narrow capacity sentinel and the
+	// broad illegal-placement sentinel (the chain the service's 422 mapping
+	// depends on).
+	b := trace.NewBuilder("k", trace.Launch{Blocks: 1, ThreadsPerBlock: 32, WarpSize: 32})
+	big := b.DeclareArray(trace.Array{Name: "big", Type: trace.F32, Len: 20000, ReadOnly: true})
+	b.Warp(0, 0).LoadCoalesced(big, 0, 32)
+	tr := b.MustBuild()
+	p, _ := Parse(tr, "big:C")
+	err := Check(tr, p, cfg)
+	if !errors.Is(err, hmserr.ErrCapacityExceeded) {
+		t.Errorf("constant overflow = %v, want ErrCapacityExceeded", err)
+	}
+	if !errors.Is(err, hmserr.ErrIllegalPlacement) {
+		t.Errorf("capacity error must still chain onto ErrIllegalPlacement: %v", err)
+	}
+
+	// Shared overflow likewise.
+	b2 := trace.NewBuilder("k2", trace.Launch{Blocks: 1, ThreadsPerBlock: 32, WarpSize: 32})
+	huge := b2.DeclareArray(trace.Array{Name: "h", Type: trace.F32, Len: 1 << 16})
+	b2.Warp(0, 0).LoadCoalesced(huge, 0, 32)
+	tr2 := b2.MustBuild()
+	p2, _ := Parse(tr2, "h:S")
+	if err := Check(tr2, p2, cfg); !errors.Is(err, hmserr.ErrCapacityExceeded) {
+		t.Errorf("shared overflow = %v, want ErrCapacityExceeded", err)
+	}
+
+	// Non-capacity illegality stays outside the capacity class.
+	trc := testTrace(t)
+	bad, _ := Parse(trc, "out:T")
+	if err := Check(trc, bad, cfg); errors.Is(err, hmserr.ErrCapacityExceeded) {
+		t.Errorf("read-only violation must not classify as capacity: %v", err)
+	}
+}
+
+func TestCheckDeviceMemoryCapacity(t *testing.T) {
+	// Bound the DRAM tightly: in (2 KiB) + out (2 KiB) overflow a 3 KiB
+	// device, so the all-global placement must be rejected as a capacity
+	// error; staging everything possible off DRAM must pass.
+	cfg := gpu.KeplerK80()
+	cfg.GlobalBytes = 3 << 10
+	tr := testTrace(t)
+	allGlobal := New(len(tr.Arrays))
+	err := Check(tr, allGlobal, cfg)
+	if !errors.Is(err, hmserr.ErrCapacityExceeded) {
+		t.Errorf("device overflow = %v, want ErrCapacityExceeded", err)
+	}
+	ok, _ := Parse(tr, "in:2T,w:C,out:S")
+	// in (2 KiB) alone fits in 3 KiB once w and out leave DRAM.
+	if err := Check(tr, ok, cfg); err != nil {
+		t.Errorf("placement within bounded DRAM rejected: %v", err)
+	}
+
+	// GlobalBytes == 0 keeps DRAM unbounded (the historical behavior).
+	cfg.GlobalBytes = 0
+	if err := Check(tr, allGlobal, cfg); err != nil {
+		t.Errorf("unbounded DRAM must accept all-global: %v", err)
 	}
 }

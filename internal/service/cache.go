@@ -33,73 +33,76 @@ func RankKey(req *RankRequest) string {
 // flight is one in-progress search shared by every request with its key.
 // Complete fills resp/err and then closes done; waiters read the fields
 // only after <-done, so the channel close publishes them.
-type flight struct {
+type flight[V any] struct {
 	done chan struct{}
-	resp *RankResponse
+	resp V
 	err  error
 }
 
 // cacheEntry is one LRU slot.
-type cacheEntry struct {
+type cacheEntry[V any] struct {
 	key  string
-	resp *RankResponse
+	resp V
 }
 
-// Cache is the LRU result cache with singleflight collapsing. Begin either
-// answers from the cache, joins an in-flight search, or elects the caller
-// leader of a new flight; Complete publishes a flight's outcome (caching it
-// on success) and wakes every waiter. All methods are safe for concurrent
-// use. Only successful (including partial/206) responses are cached; errors
-// are never negatively cached, so a failed search is retried by the next
-// request.
-type Cache struct {
+// Cache is the LRU result cache with singleflight collapsing, generic over
+// the cached response type — the rank and fleet caches are two
+// instantiations of the same machinery. Begin either answers from the cache,
+// joins an in-flight search, or elects the caller leader of a new flight;
+// Complete publishes a flight's outcome (caching it on success) and wakes
+// every waiter. All methods are safe for concurrent use. Only successful
+// (including partial/206) responses are cached; errors are never negatively
+// cached, so a failed search is retried by the next request.
+type Cache[V any] struct {
 	rec obs.Recorder
 
 	mu      sync.Mutex
 	cap     int
 	ll      *list.List // front = most recently used
 	items   map[string]*list.Element
-	flights map[string]*flight
+	flights map[string]*flight[V]
 }
 
 // NewCache returns a cache keeping at most capacity responses (capacity
 // <= 0 disables caching but keeps singleflight collapsing). The recorder
 // receives the eviction counter.
-func NewCache(capacity int, rec obs.Recorder) *Cache {
-	return &Cache{
+func NewCache[V any](capacity int, rec obs.Recorder) *Cache[V] {
+	return &Cache[V]{
 		rec:     obs.OrNop(rec),
 		cap:     capacity,
 		ll:      list.New(),
 		items:   make(map[string]*list.Element),
-		flights: make(map[string]*flight),
+		flights: make(map[string]*flight[V]),
 	}
 }
 
 // Begin routes one request. Exactly one of the returns is meaningful:
 //
-//   - resp != nil: served from cache (fl is nil).
+//   - fl == nil: served from cache, resp holds the answer (the type
+//     parameter need not be nil-comparable, so the nil flight — not the
+//     response — is the hit signal).
 //   - leader true: the caller must run the search and call Complete; fl is
 //     the flight it must complete.
 //   - otherwise: an identical search is in flight; wait on fl.done.
-func (c *Cache) Begin(key string) (resp *RankResponse, fl *flight, leader bool) {
+func (c *Cache[V]) Begin(key string) (resp V, fl *flight[V], leader bool) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	if el, ok := c.items[key]; ok {
 		c.ll.MoveToFront(el)
-		return el.Value.(*cacheEntry).resp, nil, false
+		return el.Value.(*cacheEntry[V]).resp, nil, false
 	}
 	if fl, ok := c.flights[key]; ok {
-		return nil, fl, false
+		return resp, fl, false
 	}
-	fl = &flight{done: make(chan struct{})}
+	fl = &flight[V]{done: make(chan struct{})}
 	c.flights[key] = fl
-	return nil, fl, true
+	return resp, fl, true
 }
 
 // Complete publishes a leader's outcome: the response is cached when err is
 // nil, the flight is retired, and every waiter wakes with the shared
 // result.
-func (c *Cache) Complete(key string, resp *RankResponse, err error) {
+func (c *Cache[V]) Complete(key string, resp V, err error) {
 	c.mu.Lock()
 	if err == nil {
 		c.insert(key, resp)
@@ -114,55 +117,62 @@ func (c *Cache) Complete(key string, resp *RankResponse, err error) {
 }
 
 // insert adds a response under c.mu, evicting from the LRU tail.
-func (c *Cache) insert(key string, resp *RankResponse) {
+func (c *Cache[V]) insert(key string, resp V) {
 	if c.cap <= 0 {
 		return
 	}
 	if el, ok := c.items[key]; ok {
-		el.Value.(*cacheEntry).resp = resp
+		el.Value.(*cacheEntry[V]).resp = resp
 		c.ll.MoveToFront(el)
 		return
 	}
-	c.items[key] = c.ll.PushFront(&cacheEntry{key: key, resp: resp})
+	c.items[key] = c.ll.PushFront(&cacheEntry[V]{key: key, resp: resp})
 	for c.ll.Len() > c.cap {
 		tail := c.ll.Back()
 		c.ll.Remove(tail)
-		delete(c.items, tail.Value.(*cacheEntry).key)
+		delete(c.items, tail.Value.(*cacheEntry[V]).key)
 		c.rec.Add(obs.MetricServiceCacheEvictionsTotal, 1)
 	}
 }
 
 // Len reports the number of cached responses.
-func (c *Cache) Len() int {
+func (c *Cache[V]) Len() int {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	return c.ll.Len()
 }
 
-// CachedResponse is one (key, response) pair of the cache's snapshot view.
-type CachedResponse struct {
+// CachedEntry is one (key, response) pair of a cache's snapshot view.
+type CachedEntry[V any] struct {
 	Key  string
-	Resp *RankResponse
+	Resp V
 }
+
+// CachedResponse is the rank cache's snapshot entry.
+type CachedResponse = CachedEntry[*RankResponse]
+
+// FleetCachedResponse is the fleet cache's snapshot entry.
+type FleetCachedResponse = CachedEntry[*FleetRankResponse]
 
 // Entries returns the cached responses least-recently-used first, so
 // replaying them through Restore in order reproduces the recency order
 // (the most recently used entry is re-inserted last and evicted last).
-func (c *Cache) Entries() []CachedResponse {
+func (c *Cache[V]) Entries() []CachedEntry[V] {
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	out := make([]CachedResponse, 0, c.ll.Len())
+	out := make([]CachedEntry[V], 0, c.ll.Len())
 	for el := c.ll.Back(); el != nil; el = el.Prev() {
-		e := el.Value.(*cacheEntry)
-		out = append(out, CachedResponse{Key: e.key, Resp: e.resp})
+		e := el.Value.(*cacheEntry[V])
+		out = append(out, CachedEntry[V]{Key: e.key, Resp: e.resp})
 	}
 	return out
 }
 
 // Restore inserts one entry as if it had just been served, subject to the
 // normal LRU capacity. It is the warm-boot path; callers validate entries
-// (service.RestoreCache) before handing them over.
-func (c *Cache) Restore(key string, resp *RankResponse) {
+// (service.RestoreCache, service.RestoreFleetCache) before handing them
+// over.
+func (c *Cache[V]) Restore(key string, resp V) {
 	c.mu.Lock()
 	c.insert(key, resp)
 	c.mu.Unlock()

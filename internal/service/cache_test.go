@@ -12,7 +12,7 @@ import (
 // TestCacheBeginComplete exercises the cache/singleflight state machine
 // without a server around it.
 func TestCacheBeginComplete(t *testing.T) {
-	c := NewCache(2, nil)
+	c := NewCache[*RankResponse](2, nil)
 
 	// First caller leads.
 	resp, fl, leader := c.Begin("a")
@@ -38,7 +38,7 @@ func TestCacheBeginComplete(t *testing.T) {
 }
 
 func TestCacheErrorsNotCached(t *testing.T) {
-	c := NewCache(2, nil)
+	c := NewCache[*RankResponse](2, nil)
 	_, fl, leader := c.Begin("a")
 	if !leader {
 		t.Fatal("want leadership")
@@ -60,7 +60,7 @@ func TestCacheErrorsNotCached(t *testing.T) {
 func TestCacheLRUEviction(t *testing.T) {
 	col := obs.NewCollector()
 	obs.RegisterServiceMetrics(col.Registry())
-	c := NewCache(2, col)
+	c := NewCache[*RankResponse](2, col)
 	for _, key := range []string{"a", "b", "c"} { // c evicts a
 		_, _, leader := c.Begin(key)
 		if !leader {
@@ -87,7 +87,7 @@ func TestCacheLRUEviction(t *testing.T) {
 }
 
 func TestCacheDisabledKeepsSingleflight(t *testing.T) {
-	c := NewCache(-1, nil)
+	c := NewCache[*RankResponse](-1, nil)
 	_, fl, leader := c.Begin("a")
 	if !leader {
 		t.Fatal("want leadership")

@@ -8,6 +8,7 @@ import (
 	"net/http"
 
 	"gpuhms/internal/advisor"
+	"gpuhms/internal/fleet"
 	"gpuhms/internal/hmserr"
 )
 
@@ -165,8 +166,12 @@ func validateCommon(arch, kernel string, scale int, sample string, timeoutMS int
 // statusOf maps the error taxonomy onto HTTP statuses:
 //
 //	ErrBadRequest, ErrIllegalPlacement, ErrUnknownStrategy,
-//	ErrInvalidTrace, ErrInvalidProfile  → 400 Bad Request
-//	ErrUnknownKernel, ErrUnknownArch    → 404 Not Found
+//	ErrInvalidTrace, ErrInvalidProfile,
+//	ErrBudgetExceeded                   → 400 Bad Request
+//	ErrUnknownKernel, ErrUnknownArch,
+//	fleet.ErrUnknownKernel,
+//	fleet.ErrUnknownMix                 → 404 Not Found
+//	ErrCapacityExceeded                 → 422 Unprocessable Entity
 //	ErrQueueFull                        → 429 Too Many Requests
 //	context.Canceled                    → 499 Client Closed Request
 //	ErrShuttingDown                     → 503 Service Unavailable
@@ -174,17 +179,25 @@ func validateCommon(arch, kernel string, scale int, sample string, timeoutMS int
 //	ErrDeadlineBudget                   → 504 Gateway Timeout
 //	anything else                       → 500 Internal Server Error
 //
-// ErrBudgetExceeded never reaches this map: a budget-stopped search is a
-// successful partial result (206), assembled by the rank handler.
+// ErrBudgetExceeded never reaches this map from a single-kernel ranking —
+// a budget-stopped search is a successful partial result (206), assembled
+// by the rank handler — but a fleet solve with half-built menus has no
+// meaningful partial answer, so there it is a 400. ErrCapacityExceeded
+// chains onto ErrIllegalPlacement, so the capacity case must test first:
+// the request was well-formed, the placement just does not fit (422).
 func statusOf(err error) int {
 	switch {
+	case errors.Is(err, hmserr.ErrCapacityExceeded):
+		return http.StatusUnprocessableEntity
 	case errors.Is(err, ErrBadRequest),
 		errors.Is(err, hmserr.ErrIllegalPlacement),
 		errors.Is(err, hmserr.ErrUnknownStrategy),
 		errors.Is(err, hmserr.ErrInvalidTrace),
-		errors.Is(err, hmserr.ErrInvalidProfile):
+		errors.Is(err, hmserr.ErrInvalidProfile),
+		errors.Is(err, hmserr.ErrBudgetExceeded):
 		return http.StatusBadRequest
-	case errors.Is(err, ErrUnknownKernel), errors.Is(err, ErrUnknownArch):
+	case errors.Is(err, ErrUnknownKernel), errors.Is(err, ErrUnknownArch),
+		errors.Is(err, fleet.ErrUnknownKernel), errors.Is(err, fleet.ErrUnknownMix):
 		return http.StatusNotFound
 	case errors.Is(err, ErrQueueFull):
 		return http.StatusTooManyRequests
@@ -202,14 +215,20 @@ func statusOf(err error) int {
 // codeOf names the error class for the machine-readable ErrorResponse.Code.
 func codeOf(err error) string {
 	switch {
-	case errors.Is(err, ErrUnknownKernel):
+	case errors.Is(err, ErrUnknownKernel), errors.Is(err, fleet.ErrUnknownKernel):
 		return "unknown_kernel"
+	case errors.Is(err, fleet.ErrUnknownMix):
+		return "unknown_mix"
 	case errors.Is(err, ErrUnknownArch):
 		return "unknown_arch"
 	case errors.Is(err, ErrBadRequest):
 		return "bad_request"
 	case errors.Is(err, hmserr.ErrUnknownStrategy):
 		return "unknown_strategy"
+	case errors.Is(err, hmserr.ErrCapacityExceeded):
+		return "capacity_exceeded"
+	case errors.Is(err, hmserr.ErrBudgetExceeded):
+		return "budget_exceeded"
 	case errors.Is(err, hmserr.ErrIllegalPlacement):
 		return "illegal_placement"
 	case errors.Is(err, hmserr.ErrInvalidTrace):

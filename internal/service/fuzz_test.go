@@ -6,6 +6,8 @@ import (
 	"testing"
 
 	"gpuhms/internal/advisor"
+	"gpuhms/internal/fleet"
+	"gpuhms/internal/gpu"
 	"gpuhms/internal/hmserr"
 )
 
@@ -111,6 +113,114 @@ func FuzzDecodePredictRequest(f *testing.F) {
 	})
 }
 
+// hostileFleetBodies are the fleet endpoint's adversarial seeds: too many
+// tenants, duplicate names, hostile weights and budgets, mix/tenants
+// conflicts, unknown solvers and objectives. Shared by FuzzDecodeFleetRequest
+// and the end-to-end 4xx sweep.
+var hostileFleetBodies = []string{
+	``,
+	`{`,
+	`null`,
+	`{}`,
+	`{"tenants":[]}`,
+	`{"tenants":[{"kernel":""}]}`,
+	`{"tenants":[{"kernel":"fft"}],"mix":"shared-squeeze"}`,
+	`{"mix":"no-such-mix"}`,
+	`{"mix":"` + strings.Repeat("m", 10000) + `"}`,
+	`{"tenants":[` + strings.Repeat(`{"kernel":"fft"},`, 16) + `{"kernel":"fft"}]}`,
+	`{"tenants":[{"kernel":"fft","name":"a"},{"kernel":"sort","name":"a"}]}`,
+	`{"tenants":[{"kernel":"fft","name":"` + strings.Repeat("n", 1000) + `"}]}`,
+	`{"tenants":[{"kernel":"fft","scale":-3}]}`,
+	`{"tenants":[{"kernel":"fft","scale":2147483647}]}`,
+	`{"tenants":[{"kernel":"fft","weight":-1}]}`,
+	`{"tenants":[{"kernel":"fft","weight":1e308}]}`,
+	`{"tenants":[{"kernel":"fft","sample":"` + strings.Repeat("a:G,", 5000) + `"}]}`,
+	`{"tenants":[{"kernel":"fft"}],"budgets":{"warp":1}}`,
+	`{"tenants":[{"kernel":"fft"}],"budgets":{"shared":-2}}`,
+	`{"tenants":[{"kernel":"fft"}],"budgets":{"shared":1,"S":2}}`,
+	`{"tenants":[{"kernel":"fft"}],"budgets":{"` + strings.Repeat("s", 1000) + `":1}}`,
+	`{"tenants":[{"kernel":"fft"}],"solver":"annealing"}`,
+	`{"tenants":[{"kernel":"fft"}],"solver":"beam-0"}`,
+	`{"tenants":[{"kernel":"fft"}],"solver":"beam-99999999"}`,
+	`{"tenants":[{"kernel":"fft"}],"objective":"fairness"}`,
+	`{"tenants":[{"kernel":"fft"}],"menu_size":-1}`,
+	`{"tenants":[{"kernel":"fft"}],"menu_size":99999}`,
+	`{"tenants":[{"kernel":"fft"}],"max_candidates":-7}`,
+	`{"tenants":[{"kernel":"fft"}],"parallelism":9999}`,
+	`{"tenants":[{"kernel":"fft"}],"timeout_ms":-50}`,
+	`{"tenants":"fft"}`,
+	`{"tenants":[{"kernel":42}]}`,
+	`{"budgets":[1,2,3]}`,
+}
+
+// FuzzDecodeFleetRequest asserts the fleet decode surface never panics and
+// that accepted requests are bounded and canonical — hostile bodies become
+// ErrBadRequest, ErrUnknownStrategy, or fleet.ErrUnknownMix (4xx all), never
+// a 5xx or a crash.
+func FuzzDecodeFleetRequest(f *testing.F) {
+	for _, seed := range hostileFleetBodies {
+		f.Add([]byte(seed))
+	}
+	f.Add([]byte(`{"mix":"shared-squeeze"}`))
+	f.Add([]byte(`{"mix":"balanced","solver":"beam-8","objective":"weighted"}`))
+	f.Add([]byte(`{"tenants":[{"kernel":"fft","weight":2.5},{"kernel":"sort"}],"budgets":{"shared":2048}}`))
+	f.Add([]byte(`{"tenants":[{"kernel":"vecadd"}],"menu_size":8,"max_candidates":50,"parallelism":4}`))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		req, err := DecodeFleetRequest(data)
+		if err != nil {
+			if !errors.Is(err, ErrBadRequest) && !errors.Is(err, hmserr.ErrUnknownStrategy) &&
+				!errors.Is(err, fleet.ErrUnknownMix) {
+				t.Fatalf("decode error %v wraps none of ErrBadRequest/ErrUnknownStrategy/ErrUnknownMix", err)
+			}
+			if s := statusOf(err); s < 400 || s >= 500 {
+				t.Fatalf("decode error %v maps to status %d (want 4xx)", err, s)
+			}
+			return
+		}
+		// Accepted requests are bounded and fully canonical.
+		if len(req.Tenants) == 0 || len(req.Tenants) > MaxTenants {
+			t.Fatalf("accepted %d tenants", len(req.Tenants))
+		}
+		if req.Mix != "" {
+			t.Fatalf("accepted request still carries mix %q after expansion", req.Mix)
+		}
+		seen := map[string]bool{}
+		for _, tn := range req.Tenants {
+			if tn.Kernel == "" || len(tn.Kernel) > 256 || tn.Name == "" || len(tn.Name) > 64 {
+				t.Fatalf("accepted tenant %+v", tn)
+			}
+			if seen[tn.Name] {
+				t.Fatalf("accepted duplicate tenant name %q", tn.Name)
+			}
+			seen[tn.Name] = true
+			if tn.Scale < 1 || tn.Scale > MaxScale || len(tn.Sample) > MaxSpecLen {
+				t.Fatalf("accepted tenant bounds %+v", tn)
+			}
+			if !(tn.Weight > 0 && tn.Weight <= 1000) {
+				t.Fatalf("accepted weight %v", tn.Weight)
+			}
+		}
+		for name, v := range req.Budgets {
+			sp, perr := gpu.ParseSpace(name)
+			if perr != nil || sp.LongString() != name || v < -1 {
+				t.Fatalf("accepted non-canonical budget %q=%d", name, v)
+			}
+		}
+		if req.MenuSize < 1 || req.MenuSize > fleet.MaxMenuSize {
+			t.Fatalf("accepted menu_size %d", req.MenuSize)
+		}
+		if req.Solver != "" {
+			sv, serr := fleet.ParseSolver(req.Solver)
+			if serr != nil || sv.Spec() != req.Solver {
+				t.Fatalf("accepted non-canonical solver %q", req.Solver)
+			}
+		}
+		if obj, oerr := fleet.ParseObjective(req.Objective); oerr != nil || obj.String() != req.Objective {
+			t.Fatalf("accepted non-canonical objective %q", req.Objective)
+		}
+	})
+}
+
 // TestHostileBodiesNever5xx drives every hostile seed through the real
 // handler stack: each must map to a 4xx — never a panic, never a 5xx.
 func TestHostileBodiesNever5xx(t *testing.T) {
@@ -122,6 +232,13 @@ func TestHostileBodiesNever5xx(t *testing.T) {
 				t.Errorf("seed %d on %s: status %d (want 4xx): %.120s",
 					i, path, rr.Code, rr.Body.String())
 			}
+		}
+	}
+	for i, body := range hostileFleetBodies {
+		rr := doJSON(t, s, "POST", "/v1/fleet/rank", body)
+		if rr.Code < 400 || rr.Code >= 500 {
+			t.Errorf("fleet seed %d: status %d (want 4xx): %.120s",
+				i, rr.Code, rr.Body.String())
 		}
 	}
 }

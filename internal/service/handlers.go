@@ -13,13 +13,15 @@ import (
 
 // Handler returns the service's HTTP API:
 //
-//	POST /v1/rank     rank the legal placements of a kernel (cached)
-//	POST /v1/predict  predict one target placement
-//	GET  /v1/kernels  list the bundled workloads
-//	GET  /healthz     liveness + warm architectures
-//	GET  /readyz      readiness: 503 until advisors are trained and any
-//	                  snapshot restore has finished (MarkReady)
-//	GET  /metrics     Prometheus text exposition of the obs registry
+//	POST /v1/rank        rank the legal placements of a kernel (cached)
+//	POST /v1/fleet/rank  place N tenant kernels under capacity budgets
+//	                     (cached; docs/FLEET.md)
+//	POST /v1/predict     predict one target placement
+//	GET  /v1/kernels     list the bundled workloads
+//	GET  /healthz        liveness + warm architectures
+//	GET  /readyz         readiness: 503 until advisors are trained and any
+//	                     snapshot restore has finished (MarkReady)
+//	GET  /metrics        Prometheus text exposition of the obs registry
 //
 // Every response body is JSON; non-2xx bodies are ErrorResponse. See
 // docs/SERVICE.md for the status-code mapping.
@@ -30,6 +32,7 @@ import (
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("POST /v1/rank", s.instrument(s.handleRank))
+	mux.HandleFunc("POST /v1/fleet/rank", s.instrument(s.handleFleetRank))
 	mux.HandleFunc("POST /v1/predict", s.instrument(s.handlePredict))
 	mux.HandleFunc("GET /v1/kernels", s.instrument(s.handleKernels))
 	mux.HandleFunc("GET /healthz", s.handleHealthz)

@@ -13,6 +13,7 @@ import (
 	"time"
 
 	"gpuhms/internal/advisor"
+	"gpuhms/internal/fleet"
 	"gpuhms/internal/hmserr"
 	"gpuhms/internal/kernels"
 	"gpuhms/internal/obs"
@@ -54,6 +55,10 @@ type Options struct {
 	// or "beam-W". It is normalized to its canonical spec at New, so cache
 	// keys are stable across spellings.
 	DefaultStrategy string
+	// DefaultFleetSolver is the fleet assignment solver applied when a
+	// /v1/fleet/rank request carries no "solver" field: "greedy" (the
+	// default when empty) or "beam-W". Normalized like DefaultStrategy.
+	DefaultFleetSolver string
 	// AccessLog, when set, receives one structured JSON record per request
 	// (id, route, status, cache state, per-stage nanoseconds — the schema
 	// documented in docs/OBSERVABILITY.md and pinned by TestAccessLogSchema).
@@ -103,6 +108,11 @@ func (o Options) withDefaults() (Options, error) {
 		return o, err
 	}
 	o.DefaultStrategy = strat.Spec()
+	solver, err := fleet.ParseSolver(o.DefaultFleetSolver)
+	if err != nil {
+		return o, err
+	}
+	o.DefaultFleetSolver = solver.Spec()
 	return o, nil
 }
 
@@ -116,8 +126,12 @@ type Server struct {
 	opt      Options
 	col      *obs.Collector
 	pool     *Pool
-	cache    *Cache
-	start    time.Time
+	cache    *Cache[*RankResponse]
+	// fleetCache is the fleet endpoint's own LRU+singleflight instance:
+	// fleet results are larger and keyed differently, so they never evict
+	// single-kernel rankings (and vice versa).
+	fleetCache *Cache[*FleetRankResponse]
+	start      time.Time
 
 	// slo tracks rolling-window latency/availability against the configured
 	// targets; its Publish runs as a scrape hook on the collector.
@@ -167,16 +181,17 @@ func New(advisors map[string]*advisor.Advisor, opt Options, col *obs.Collector) 
 	sort.Strings(archs)
 	ctx, cancel := context.WithCancel(context.Background())
 	s := &Server{
-		advisors: advisors,
-		archs:    archs,
-		opt:      opt,
-		col:      col,
-		pool:     NewPool(opt.Workers, opt.QueueCap, col),
-		cache:    NewCache(opt.CacheCap, col),
-		start:    time.Now(),
-		baseCtx:  ctx,
-		cancel:   cancel,
-		jitter:   rand.New(rand.NewSource(time.Now().UnixNano())),
+		advisors:   advisors,
+		archs:      archs,
+		opt:        opt,
+		col:        col,
+		pool:       NewPool(opt.Workers, opt.QueueCap, col),
+		cache:      NewCache[*RankResponse](opt.CacheCap, col),
+		fleetCache: NewCache[*FleetRankResponse](opt.CacheCap, col),
+		start:      time.Now(),
+		baseCtx:    ctx,
+		cancel:     cancel,
+		jitter:     rand.New(rand.NewSource(time.Now().UnixNano())),
 	}
 	s.slo = obs.NewSLOTracker(obs.SLOOptions{
 		Window:             opt.SLOWindow,
@@ -273,29 +288,30 @@ const (
 	cacheShared = "shared" // joined an identical search in flight
 )
 
-// doRank serves one rank request through the cache, singleflight, and the
-// worker pool. The search runs detached from the caller: it is bounded by
-// the search context (server base + request timeout), not by the caller's
-// presence, so a client that gives up waiting does not waste the work — the
-// result still lands in the cache. The caller's reqCtx only bounds the
-// wait: when it fires first, the mapped error (499/504) is returned while
-// the flight completes behind the scenes.
-func (s *Server) doRank(reqCtx context.Context, adv *advisor.Advisor, req *RankRequest) (*RankResponse, string, error) {
+// doCached serves one request through a cache, singleflight, and the worker
+// pool — the shared engine behind doRank and doFleet. The search runs
+// detached from the caller: it is bounded by the search context (server base
+// + request timeout), not by the caller's presence, so a client that gives
+// up waiting does not waste the work — the result still lands in the cache.
+// The caller's reqCtx only bounds the wait: when it fires first, the mapped
+// error (499/504) is returned while the flight completes behind the scenes.
+func doCached[V any](s *Server, reqCtx context.Context, cache *Cache[V], key string,
+	timeoutMS int, run func(ctx context.Context) (V, error)) (V, string, error) {
+	var zero V
 	rt := TraceFrom(reqCtx)
-	key := RankKey(req)
 	endCache := rt.BeginStage(StageCache)
-	resp, fl, leader := s.cache.Begin(key)
+	resp, fl, leader := cache.Begin(key)
 	endCache()
 	outcome := cacheShared
 	switch {
-	case resp != nil:
+	case fl == nil:
 		s.col.Add(obs.MetricServiceCacheHitsTotal, 1)
 		rt.SetCache(cacheHit)
 		return resp, cacheHit, nil
 	case leader:
 		outcome = cacheMiss
 		s.col.Add(obs.MetricServiceCacheMissesTotal, 1)
-		searchCtx, cancelSearch := s.searchContext(req.TimeoutMS)
+		searchCtx, cancelSearch := s.searchContext(timeoutMS)
 		// The search deadline rides along to the pool so a job whose
 		// remaining budget cannot cover the observed service time is shed
 		// with 504 instead of starting a doomed search.
@@ -305,18 +321,18 @@ func (s *Server) doRank(reqCtx context.Context, adv *advisor.Advisor, req *RankR
 			defer cancelSearch()
 			rt.MarkPickup(s.col)
 			searchStart := s.col.Now()
-			resp, err := s.runRank(searchCtx, adv, req)
+			resp, err := run(searchCtx)
 			rt.SearchSpan(s.col, searchStart, s.col.Now()-searchStart)
-			s.cache.Complete(key, resp, err)
+			cache.Complete(key, resp, err)
 		}, func(err error) {
 			cancelSearch()
-			s.cache.Complete(key, nil, err)
+			cache.Complete(key, zero, err)
 		})
 		if err != nil {
 			// The queue rejected the job: complete the flight so every
 			// waiter sheds with the same backpressure error.
 			cancelSearch()
-			s.cache.Complete(key, nil, err)
+			cache.Complete(key, zero, err)
 		}
 	default:
 		s.col.Add(obs.MetricServiceSingleflightSharedTotal, 1)
@@ -329,8 +345,24 @@ func (s *Server) doRank(reqCtx context.Context, adv *advisor.Advisor, req *RankR
 		return fl.resp, outcome, fl.err
 	case <-reqCtx.Done():
 		endWait()
-		return nil, outcome, reqCtx.Err()
+		return zero, outcome, reqCtx.Err()
 	}
+}
+
+// doRank serves one rank request through the rank cache.
+func (s *Server) doRank(reqCtx context.Context, adv *advisor.Advisor, req *RankRequest) (*RankResponse, string, error) {
+	return doCached(s, reqCtx, s.cache, RankKey(req), req.TimeoutMS,
+		func(ctx context.Context) (*RankResponse, error) {
+			return s.runRank(ctx, adv, req)
+		})
+}
+
+// doFleet serves one fleet request through the fleet cache.
+func (s *Server) doFleet(reqCtx context.Context, adv *advisor.Advisor, req *FleetRankRequest) (*FleetRankResponse, string, error) {
+	return doCached(s, reqCtx, s.fleetCache, FleetKey(req), req.TimeoutMS,
+		func(ctx context.Context) (*FleetRankResponse, error) {
+			return s.runFleet(ctx, adv, req)
+		})
 }
 
 // runRank executes one ranking search on a worker.

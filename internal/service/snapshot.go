@@ -21,6 +21,9 @@ const (
 	// SnapKindCache frames a snapCachePayload: one LRU result-cache entry,
 	// so a restarted server answers warm keys from the first request on.
 	SnapKindCache uint8 = 2
+	// SnapKindFleet frames a snapFleetPayload: one fleet result-cache
+	// entry, restored into the fleet cache on warm boot.
+	SnapKindFleet uint8 = 3
 )
 
 // MaxSnapshotKeyLen caps a restored cache key. Legitimate keys are built
@@ -46,6 +49,13 @@ type snapCachePayload struct {
 	Response json.RawMessage `json:"response"`
 }
 
+// snapFleetPayload is the JSON body of a SnapKindFleet entry, mirroring
+// snapCachePayload for the fleet cache.
+type snapFleetPayload struct {
+	Key      string          `json:"key"`
+	Response json.RawMessage `json:"response"`
+}
+
 // SnapshotContents is a decoded and schema-validated snapshot file: the
 // trained models by architecture, the cache entries in LRU order, and the
 // count of entries dropped on the way (framing, checksum, version, or
@@ -57,6 +67,9 @@ type SnapshotContents struct {
 	// Cache lists restorable result-cache entries, least recently used
 	// first.
 	Cache []CachedResponse
+	// Fleet lists restorable fleet-cache entries, least recently used
+	// first.
+	Fleet []FleetCachedResponse
 	// Skipped counts dropped entries across every validation layer.
 	Skipped int
 }
@@ -90,6 +103,18 @@ func ReadSnapshotFile(path string) (*SnapshotContents, error) {
 				continue
 			}
 			c.Cache = append(c.Cache, CachedResponse{Key: p.Key, Resp: &resp})
+		case SnapKindFleet:
+			var p snapFleetPayload
+			if json.Unmarshal(e.Payload, &p) != nil || p.Key == "" || len(p.Key) > MaxSnapshotKeyLen {
+				c.Skipped++
+				continue
+			}
+			var resp FleetRankResponse
+			if json.Unmarshal(p.Response, &resp) != nil || len(resp.Tenants) == 0 || resp.Solver == "" {
+				c.Skipped++
+				continue
+			}
+			c.Fleet = append(c.Fleet, FleetCachedResponse{Key: p.Key, Resp: &resp})
 		default:
 			c.Skipped++ // unknown kind: written by a future schema, not for us
 		}
@@ -136,6 +161,19 @@ func (s *Server) appendSnapshotEntries(sw *snapshot.Writer) error {
 			return err
 		}
 	}
+	for _, e := range s.fleetCache.Entries() {
+		resp, err := json.Marshal(e.Resp)
+		if err != nil {
+			return err
+		}
+		payload, err := json.Marshal(snapFleetPayload{Key: e.Key, Response: resp})
+		if err != nil {
+			return err
+		}
+		if err := sw.Append(SnapKindFleet, payload); err != nil {
+			return err
+		}
+	}
 	return nil
 }
 
@@ -165,6 +203,28 @@ func (s *Server) RestoreCache(entries []CachedResponse) (restored, skipped int) 
 			continue
 		}
 		s.cache.Restore(e.Key, e.Resp)
+		restored++
+	}
+	if restored > 0 {
+		s.col.Add(obs.MetricServiceSnapshotRestoredTotal, int64(restored))
+	}
+	if skipped > 0 {
+		s.col.Add(obs.MetricServiceSnapshotSkippedTotal, int64(skipped))
+	}
+	return restored, skipped
+}
+
+// RestoreFleetCache warms the fleet result cache from snapshot contents
+// under the same contract as RestoreCache: entries failing revalidation
+// against the current schema are skipped and counted, never fatal.
+func (s *Server) RestoreFleetCache(entries []FleetCachedResponse) (restored, skipped int) {
+	for _, e := range entries {
+		if e.Resp == nil || e.Key == "" || len(e.Key) > MaxSnapshotKeyLen ||
+			len(e.Resp.Tenants) == 0 || e.Resp.Solver == "" {
+			skipped++
+			continue
+		}
+		s.fleetCache.Restore(e.Key, e.Resp)
 		restored++
 	}
 	if restored > 0 {

@@ -1,0 +1,26 @@
+#!/bin/sh
+# bench_fleet.sh — solve every bundled fleet mix (docs/FLEET.md) with both
+# assignment solvers (lookahead greedy, bound-pruned beam-4) and write the
+# BENCH_fleet.json artifact: menu build cost, per-solver assignment
+# evaluations, wall time (p50/p99/mean), objective, regret versus the best
+# solver, and the naive independent baseline. Asserts feasibility on every
+# mix, the never-worse-than-baseline clamp, and strict improvement over the
+# baseline on the contended shared-squeeze mix.
+#
+#   ./scripts/bench_fleet.sh [output.json]
+#
+# Defaults to BENCH_fleet.json in the repo root.
+set -eu
+
+cd "$(dirname "$0")/.."
+
+OUT=${1:-"$PWD/BENCH_fleet.json"}
+case "$OUT" in
+    /*) ;;
+    *) OUT="$PWD/$OUT" ;;
+esac
+
+BENCH_FLEET_OUT="$OUT" go test ./internal/fleet/ \
+    -run 'TestBenchFleetArtifact' -count=1 -v
+
+echo "wrote $OUT"

@@ -55,6 +55,16 @@ BENCH_SEARCH_OUT=/tmp/BENCH_search.verify.json go test ./internal/advisor/ \
     -run 'TestBenchSearchArtifact' -count=1
 rm -f /tmp/BENCH_search.verify.json
 
+echo "== fleet solver bench artifact"
+# Generates the BENCH_fleet.json comparison (scripts/bench_fleet.sh keeps the
+# repo-root copy) and asserts the acceptance bounds: both fleet solvers must
+# stay feasible and never worse than the naive independent baseline on every
+# bundled mix, and strictly beat it on the contended shared-squeeze mix
+# (docs/FLEET.md).
+BENCH_FLEET_OUT=/tmp/BENCH_fleet.verify.json go test ./internal/fleet/ \
+    -run 'TestBenchFleetArtifact' -count=1
+rm -f /tmp/BENCH_fleet.verify.json
+
 echo "== obs no-op overhead smoke"
 go test ./internal/sim/ -run 'TestRunContextNopRecorderAddsNoAllocs' -count=1
 go test ./internal/sim/ -run '^$' -bench 'BenchmarkRunContextRecorder' -benchtime 3x -benchmem -count=1
@@ -115,6 +125,11 @@ if command -v curl >/dev/null 2>&1; then
     # an unknown one must map to the unknown_strategy error code (a 400).
     curl -fsS "http://$ADDR/v1/rank" -d '{"kernel":"fft","strategy":"greedy"}' | grep -q '"strategy":"greedy"'
     curl -sS "http://$ADDR/v1/rank" -d '{"kernel":"fft","strategy":"annealing"}' | grep -q '"code":"unknown_strategy"'
+    # Fleet smoke: a bundled contended mix must solve (miss on first ask),
+    # and an unknown fleet solver must map to unknown_strategy (docs/FLEET.md).
+    curl -fsS "http://$ADDR/v1/fleet/rank" -d '{"mix":"shared-squeeze"}' -o /tmp/hmsserved.verify.fleet1 -D - | grep -qi 'X-HMS-Cache: miss'
+    grep -q '"objective_value"' /tmp/hmsserved.verify.fleet1
+    curl -sS "http://$ADDR/v1/fleet/rank" -d '{"mix":"balanced","solver":"annealing"}' | grep -q '"code":"unknown_strategy"'
 
     # Crash/restart smoke: SIGHUP forces a snapshot, kill -9 simulates a
     # crash, and the restarted server must answer the warmed ranking from its
@@ -130,6 +145,11 @@ if command -v curl >/dev/null 2>&1; then
     curl -fsS "http://$ADDR/v1/rank" -d '{"kernel":"fft","top_k":3}' -o /tmp/hmsserved.verify.body2 -D - | grep -qi 'X-HMS-Cache: hit'
     cmp -s /tmp/hmsserved.verify.body1 /tmp/hmsserved.verify.body2 || {
         echo "verify: restored ranking differs from pre-crash ranking"; exit 1; }
+    # The fleet solve must also survive the crash: restored from the snapshot,
+    # answered as a cache hit, byte-identical to the pre-crash response.
+    curl -fsS "http://$ADDR/v1/fleet/rank" -d '{"mix":"shared-squeeze"}' -o /tmp/hmsserved.verify.fleet2 -D - | grep -qi 'X-HMS-Cache: hit'
+    cmp -s /tmp/hmsserved.verify.fleet1 /tmp/hmsserved.verify.fleet2 || {
+        echo "verify: restored fleet solve differs from pre-crash solve"; exit 1; }
     kill -TERM "$SRV_PID"
     wait "$SRV_PID"    # graceful shutdown must exit 0
     trap - EXIT
@@ -149,8 +169,9 @@ if command -v curl >/dev/null 2>&1; then
     wait "$SRV_PID"
     trap - EXIT
     rm -f /tmp/hmsserved.verify /tmp/hmsserved.verify.out /tmp/hmsserved.verify.out2 \
-        /tmp/hmsserved.verify.out3 /tmp/hmsserved.verify.body1 /tmp/hmsserved.verify.body2 "$SNAP"
-    echo "service smoke: OK (warm boot, crash/restart, corrupt snapshot)"
+        /tmp/hmsserved.verify.out3 /tmp/hmsserved.verify.body1 /tmp/hmsserved.verify.body2 \
+        /tmp/hmsserved.verify.fleet1 /tmp/hmsserved.verify.fleet2 "$SNAP"
+    echo "service smoke: OK (warm boot, crash/restart, corrupt snapshot, fleet)"
 else
     echo "service smoke: skipped (curl not found)"
 fi
