@@ -66,6 +66,15 @@
 // -progress streams live search progress to stderr. Artifacts are written
 // on every exit path that produced results, including partial searches
 // (exit code 3).
+//
+// Profiling (docs/PERFORMANCE.md): -cpuprofile captures the whole run —
+// training, sample profiling, and search — as a pprof CPU profile, and
+// -memprofile writes a heap profile at exit (after a forced GC, so it shows
+// live retention rather than transient garbage). Both are written on every
+// exit path that produced results, mirroring the observability artifacts:
+//
+//	hmsplace -kernel spmv -full -cpuprofile cpu.pb.gz -memprofile mem.pb.gz
+//	go tool pprof cpu.pb.gz
 package main
 
 import (
@@ -79,6 +88,7 @@ import (
 	"log"
 	"os"
 	"runtime"
+	"runtime/pprof"
 	"sort"
 	"strconv"
 	"strings"
@@ -138,8 +148,53 @@ func main() {
 		traceOut   = flag.String("trace-out", "", "write the span timeline here: Chrome trace_event JSON (Perfetto-loadable), or CSV with a .csv suffix")
 		metricsOut = flag.String("metrics-out", "", "write collected metrics here: Prometheus text, or JSON with a .json suffix")
 		progress   = flag.Bool("progress", false, "stream live search progress to stderr")
+
+		cpuprofile = flag.String("cpuprofile", "", "write a pprof CPU profile of the whole run to this file (docs/PERFORMANCE.md)")
+		memprofile = flag.String("memprofile", "", "write a pprof heap profile to this file at exit")
 	)
 	flag.Parse()
+
+	// Profiles cover everything after flag parsing — training, the sample
+	// simulation, and the search. stopProfiles is idempotent and runs on
+	// every exit path that produces results (emitArtifacts calls it, and the
+	// deferred call covers plain returns), so a partial search still leaves
+	// usable profiles behind.
+	if *cpuprofile != "" {
+		f, err := os.Create(*cpuprofile)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			log.Fatal(err)
+		}
+	}
+	profilesDone := false
+	stopProfiles := func() {
+		if profilesDone {
+			return
+		}
+		profilesDone = true
+		if *cpuprofile != "" {
+			pprof.StopCPUProfile()
+			fmt.Fprintf(os.Stderr, "hmsplace: cpu profile written to %s\n", *cpuprofile)
+		}
+		if *memprofile != "" {
+			f, err := os.Create(*memprofile)
+			if err != nil {
+				log.Print(err)
+				return
+			}
+			runtime.GC() // show live retention, not transient garbage
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				log.Printf("writing %s: %v", *memprofile, err)
+			}
+			if err := f.Close(); err != nil {
+				log.Print(err)
+			}
+			fmt.Fprintf(os.Stderr, "hmsplace: heap profile written to %s\n", *memprofile)
+		}
+	}
+	defer stopProfiles()
 	if *jsonOut && *explain {
 		log.Fatal("-json supports the ranking modes only (not -explain)")
 	}
@@ -198,6 +253,7 @@ func main() {
 		}
 	}
 	emitArtifacts := func() {
+		stopProfiles()
 		if col == nil {
 			return
 		}

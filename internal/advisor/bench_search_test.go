@@ -7,6 +7,10 @@ import (
 	"runtime"
 	"testing"
 	"time"
+
+	"gpuhms/internal/gpu"
+	"gpuhms/internal/placement"
+	"gpuhms/internal/trace"
 )
 
 // searchStrategyReport is one strategy's row in BENCH_search.json: how much
@@ -15,9 +19,13 @@ import (
 type searchStrategyReport struct {
 	Evaluated int          `json:"evaluated"`
 	Pruned    int          `json:"pruned,omitempty"`
+	Deduped   int          `json:"deduped,omitempty"`
 	Total     int          `json:"total"`
 	Wall      latencyStats `json:"wall"`
-	Top1NS    float64      `json:"top1_ns"`
+	// PerEvalNS is the p50 wall divided by predictions run — the effective
+	// per-candidate cost the strategy saw, deltas and cache reuse included.
+	PerEvalNS float64 `json:"per_eval_ns"`
+	Top1NS    float64 `json:"top1_ns"`
 	// Top1Regret is top1_ns / exhaustive top1_ns (1.0 = found the optimum).
 	Top1Regret float64 `json:"top1_regret"`
 	// EvalFraction is evaluated/total — the point of sub-exhaustive search.
@@ -31,7 +39,10 @@ type searchStrategyReport struct {
 // ordinary test run stays fast — scripts/bench_search.sh drives it.
 //
 // Asserted acceptance: greedy and beam-4 must evaluate under half the space
-// while landing within 1% of the exhaustive top-1 prediction.
+// while landing within 1% of the exhaustive top-1 prediction, greedy and
+// beam-4 p50 wall must stay ≤50ms and exhaustive ≤500ms, and a delta
+// evaluation must stay ≥5x cheaper than a cache-bypassing full one (the
+// incremental-evaluation contract, docs/PERFORMANCE.md).
 func TestBenchSearchArtifact(t *testing.T) {
 	out := os.Getenv("BENCH_SEARCH_OUT")
 	if out == "" {
@@ -64,10 +75,14 @@ func TestBenchSearchArtifact(t *testing.T) {
 		r := searchStrategyReport{
 			Evaluated:    res.Evaluated,
 			Pruned:       res.Pruned,
+			Deduped:      res.Deduped,
 			Total:        res.Total,
 			Wall:         summarize(wall),
 			Top1NS:       res.Ranked[0].PredictedNS,
 			EvalFraction: float64(res.Evaluated) / float64(res.Total),
+		}
+		if r.Evaluated > 0 {
+			r.PerEvalNS = r.Wall.P50NS / float64(r.Evaluated)
 		}
 		if strat.Spec() == "exhaustive" {
 			exhaustiveTop1 = r.Top1NS
@@ -78,6 +93,9 @@ func TestBenchSearchArtifact(t *testing.T) {
 
 	for spec, r := range reports {
 		if spec == "exhaustive" {
+			if p50 := time.Duration(r.Wall.P50NS); p50 > 500*time.Millisecond {
+				t.Errorf("exhaustive p50 wall %v — want ≤500ms end-to-end", p50)
+			}
 			continue
 		}
 		if r.EvalFraction >= 0.5 {
@@ -88,18 +106,72 @@ func TestBenchSearchArtifact(t *testing.T) {
 			t.Errorf("%s top-1 regret %.4fx — want within 1%% of the exhaustive optimum",
 				spec, r.Top1Regret)
 		}
+		if p50 := time.Duration(r.Wall.P50NS); p50 > 50*time.Millisecond {
+			t.Errorf("%s p50 wall %v — want ≤50ms end-to-end", spec, p50)
+		}
+	}
+
+	// Per-eval delta-vs-full comparison: the steady-state cost of one delta
+	// evaluation (every single-move contribution already cached, as inside
+	// any search) against one cache-bypassing full evaluation of the same
+	// placement.
+	st := pr.SampleState()
+	space := placement.NewSpace(tr, a.Cfg)
+	var moveArrays []int
+	var moveSpaces []gpu.MemSpace
+	for j := 0; j < space.Arrays(); j++ {
+		for _, sp := range space.ArrayOptions(j) {
+			if sp == sample.Spaces[j] {
+				continue
+			}
+			if placement.Check(tr, sample.WithMove(trace.ArrayID(j), sp), a.Cfg) != nil {
+				continue
+			}
+			moveArrays, moveSpaces = append(moveArrays, j), append(moveSpaces, sp)
+		}
+	}
+	const evalRounds = 20
+	deltaWall := make([]time.Duration, 0, evalRounds)
+	fullWall := make([]time.Duration, 0, evalRounds)
+	target := sample.WithMove(trace.ArrayID(moveArrays[0]), moveSpaces[0])
+	for i := 0; i < evalRounds; i++ {
+		j := i % len(moveArrays)
+		start := time.Now()
+		if _, _, err := pr.PredictDelta(st, moveArrays[j], moveSpaces[j]); err != nil {
+			t.Fatal(err)
+		}
+		deltaWall = append(deltaWall, time.Since(start))
+		start = time.Now()
+		if _, err := pr.PredictFull(target); err != nil {
+			t.Fatal(err)
+		}
+		fullWall = append(fullWall, time.Since(start))
+	}
+	deltaStats, fullStats := summarize(deltaWall), summarize(fullWall)
+	speedup := fullStats.P50NS / deltaStats.P50NS
+	if speedup < 5 {
+		t.Errorf("delta eval p50 %.2fms vs full %.2fms — %.1fx, want ≥5x",
+			deltaStats.P50NS/1e6, fullStats.P50NS/1e6, speedup)
 	}
 
 	report := struct {
-		Bench      string                          `json:"bench"`
-		Kernel     string                          `json:"kernel"`
-		NumCPU     int                             `json:"num_cpu"`
-		Strategies map[string]searchStrategyReport `json:"strategies"`
+		Bench     string       `json:"bench"`
+		Kernel    string       `json:"kernel"`
+		NumCPU    int          `json:"num_cpu"`
+		DeltaEval latencyStats `json:"delta_eval"`
+		FullEval  latencyStats `json:"full_eval"`
+		// DeltaSpeedup is full_eval p50 / delta_eval p50 — how much cheaper
+		// one incremental prediction is than a from-scratch one.
+		DeltaSpeedup float64                         `json:"delta_speedup"`
+		Strategies   map[string]searchStrategyReport `json:"strategies"`
 	}{
-		Bench:      "advisor_search_strategies",
-		Kernel:     kernel,
-		NumCPU:     workers,
-		Strategies: reports,
+		Bench:        "advisor_search_strategies",
+		Kernel:       kernel,
+		NumCPU:       workers,
+		DeltaEval:    deltaStats,
+		FullEval:     fullStats,
+		DeltaSpeedup: speedup,
+		Strategies:   reports,
 	}
 	data, err := json.MarshalIndent(&report, "", "  ")
 	if err != nil {
@@ -109,8 +181,9 @@ func TestBenchSearchArtifact(t *testing.T) {
 		t.Fatal(err)
 	}
 	ex, gr, bm := reports["exhaustive"], reports["greedy"], reports["beam-4"]
-	t.Logf("wrote %s (exhaustive %d evals p50 %.2fms; greedy %d evals p50 %.2fms regret %.4fx; beam-4 %d evals (%d pruned) p50 %.2fms regret %.4fx)",
+	t.Logf("wrote %s (exhaustive %d evals p50 %.2fms; greedy %d evals p50 %.2fms regret %.4fx; beam-4 %d evals (%d pruned, %d deduped) p50 %.2fms regret %.4fx; delta %.3fms vs full %.2fms per eval, %.0fx)",
 		out, ex.Evaluated, ex.Wall.P50NS/1e6,
 		gr.Evaluated, gr.Wall.P50NS/1e6, gr.Top1Regret,
-		bm.Evaluated, bm.Pruned, bm.Wall.P50NS/1e6, bm.Top1Regret)
+		bm.Evaluated, bm.Pruned, bm.Deduped, bm.Wall.P50NS/1e6, bm.Top1Regret,
+		deltaStats.P50NS/1e6, fullStats.P50NS/1e6, speedup)
 }

@@ -32,6 +32,10 @@ type RankResult struct {
 	// admissible lower bound proved they could not enter the top-K; 0 for
 	// exhaustive and greedy searches.
 	Pruned int
+	// Deduped counts candidates a strategy re-submitted that were answered
+	// from the per-search eval cache — free: no prediction ran and no budget
+	// token was spent.
+	Deduped int
 	// Total is the size of the legal placement space. For a complete
 	// exhaustive search it equals Evaluated; sub-exhaustive and
 	// budget-stopped searches count it separately so Evaluated/Total is
@@ -62,8 +66,17 @@ type engine struct {
 	granted   atomic.Int64 // prediction tokens handed out (budget pool)
 	budgetHit atomic.Bool
 	pruned    atomic.Int64
+	dedup     atomic.Int64
 	failOnce  sync.Once
 	firstErr  error
+
+	// cache maps a candidate's space index to its evaluation, so a placement
+	// reachable through several strategy paths (duplicate beam children,
+	// greedy rounds regenerating old neighbors) is predicted at most once per
+	// search. Entries also retain the DeltaState, the parent handle for delta
+	// evaluation of the candidate's own neighbors.
+	cacheMu sync.Mutex
+	cache   map[int64]*evalEntry
 
 	obsMu    sync.Mutex // serializes best-so-far tracking and recording
 	bestNS   float64
@@ -85,69 +98,117 @@ func (e *engine) stopping() bool {
 	return e.inner.Err() != nil || e.budgetHit.Load()
 }
 
+// evalEntry is one cached evaluation: the predicted time and the reusable
+// delta state of the evaluated placement.
+type evalEntry struct {
+	ns float64
+	st *core.DeltaState
+}
+
+// cand is one candidate submitted for evaluation: the placement, its
+// canonical space index, and — when the strategy derived it from an already
+// evaluated placement by a single-array move — the parent state plus the
+// move, which routes the evaluation through the delta fast path.
+type cand struct {
+	idx   int64
+	pl    *placement.Placement
+	prev  *core.DeltaState // parent state; nil forces a standalone eval
+	array int              // moved array, meaningful only with prev
+	space gpu.MemSpace     // its new space, meaningful only with prev
+}
+
 // evalOne evaluates one candidate on worker w's predictor: it takes a budget
-// token, predicts, records, and feeds worker w's top-K heap. The returned ok
-// is false when the search must stop (cancellation, budget, or a prediction
-// error already routed through fail).
-func (e *engine) evalOne(w int, idx int64, pl *placement.Placement) (float64, bool) {
+// token, predicts (via delta from the candidate's parent state when one is
+// attached), records, and feeds worker w's top-K heap. A candidate whose
+// index is already in the per-search cache is free — no budget token, no
+// prediction, no duplicate heap entry; the cached score and state come back
+// as-is. The returned ok is false when the search must stop (cancellation,
+// budget, or a prediction error already routed through fail).
+//
+// Strategies must not submit the same index twice within one batch (the
+// cache is only written after an evaluation completes, so concurrent
+// duplicates would both run); deduplication across batches and rounds is the
+// engine's job.
+func (e *engine) evalOne(w int, c cand) (float64, *core.DeltaState, bool) {
 	if e.inner.Err() != nil {
-		return 0, false
+		return 0, nil, false
 	}
+	e.cacheMu.Lock()
+	if ent, ok := e.cache[c.idx]; ok {
+		e.cacheMu.Unlock()
+		e.dedup.Add(1)
+		if e.enabled {
+			e.rec.Add("advisor_dedup_hits_total", 1)
+		}
+		return ent.ns, ent.st, true
+	}
+	e.cacheMu.Unlock()
 	// Take a budget token before predicting; handing back an over-limit
 	// grant keeps the total number of predictions across all workers exactly
 	// at the limit.
 	if e.granted.Add(1) > e.limit && e.limit > 0 {
 		e.granted.Add(-1)
 		e.budgetHit.Store(true)
-		return 0, false
+		return 0, nil, false
 	}
 	var start float64
 	if e.enabled {
 		start = e.rec.Now()
 	}
-	res, err := e.preds[w].Predict(pl)
+	var res *core.Prediction
+	var st *core.DeltaState
+	var err error
+	if c.prev != nil {
+		res, st, err = e.preds[w].PredictDelta(c.prev, c.array, c.space)
+	} else {
+		res, st, err = e.preds[w].PredictState(c.pl)
+	}
 	if err != nil {
 		e.fail(err)
-		return 0, false
+		return 0, nil, false
 	}
+	e.cacheMu.Lock()
+	e.cache[c.idx] = &evalEntry{ns: res.TimeNS, st: st}
+	e.cacheMu.Unlock()
 	if e.enabled {
 		e.obsMu.Lock()
 		if e.bestNS == 0 || res.TimeNS < e.bestNS {
 			e.bestNS = res.TimeNS
-			e.bestName = pl.Format(e.t)
+			e.bestName = c.pl.Format(e.t)
 			e.rec.Gauge("advisor_best_ns", e.bestNS)
 		}
 		e.rec.Add("advisor_evals_total", 1)
-		e.rec.Span("advisor", "eval "+pl.Format(e.t), start, e.rec.Now()-start)
+		e.rec.Span("advisor", "eval "+c.pl.Format(e.t), start, e.rec.Now()-start)
 		e.rec.ReportProgress(obs.Progress{
 			Evaluated: int(e.granted.Load()), BestNS: e.bestNS, Best: e.bestName,
 			Strategy: e.spec, Pruned: int(e.pruned.Load()),
 		})
 		e.obsMu.Unlock()
 	}
-	// The candidate may be enumeration scratch: clone only when it actually
-	// enters the heap.
+	// The candidate may be enumeration scratch; the state always holds a
+	// private clone of it, so the heap shares that instead of cloning again.
 	kept := &e.heaps[w]
-	c := Ranked{PredictedNS: res.TimeNS, Index: idx}
+	r := Ranked{PredictedNS: res.TimeNS, Index: c.idx}
 	switch {
 	case e.opt.TopK > 0 && len(*kept) == e.opt.TopK:
 		root := &(*kept)[0]
-		if c.PredictedNS < root.PredictedNS ||
-			(c.PredictedNS == root.PredictedNS && c.Index < root.Index) {
-			c.Placement = pl.Clone()
-			(*kept)[0] = c
+		if r.PredictedNS < root.PredictedNS ||
+			(r.PredictedNS == root.PredictedNS && r.Index < root.Index) {
+			r.Placement = st.Placement()
+			(*kept)[0] = r
 			heap.Fix(kept, 0)
 		}
 	default:
-		c.Placement = pl.Clone()
-		heap.Push(kept, c)
+		r.Placement = st.Placement()
+		heap.Push(kept, r)
 	}
-	return res.TimeNS, true
+	return res.TimeNS, st, true
 }
 
 // scored is one evalBatch outcome; ok mirrors evalOne's.
 type scored struct {
 	ns float64
+	st *core.DeltaState
 	ok bool
 }
 
@@ -156,16 +217,16 @@ type scored struct {
 // item is evaluated unless the search is stopping, so batch results — and
 // anything a strategy derives from them — are identical for every worker
 // count.
-func (e *engine) evalBatch(idxs []int64, pls []*placement.Placement) []scored {
-	out := make([]scored, len(pls))
+func (e *engine) evalBatch(batch []cand) []scored {
+	out := make([]scored, len(batch))
 	w := e.workers
-	if w > len(pls) {
-		w = len(pls)
+	if w > len(batch) {
+		w = len(batch)
 	}
 	if w <= 1 {
-		for i := range pls {
-			ns, ok := e.evalOne(0, idxs[i], pls[i])
-			out[i] = scored{ns: ns, ok: ok}
+		for i := range batch {
+			ns, st, ok := e.evalOne(0, batch[i])
+			out[i] = scored{ns: ns, st: st, ok: ok}
 			if !ok {
 				break
 			}
@@ -177,9 +238,9 @@ func (e *engine) evalBatch(idxs []int64, pls []*placement.Placement) []scored {
 		wg.Add(1)
 		go func(wi int) {
 			defer wg.Done()
-			for i := wi; i < len(pls); i += w {
-				ns, ok := e.evalOne(wi, idxs[i], pls[i])
-				out[i] = scored{ns: ns, ok: ok}
+			for i := wi; i < len(batch); i += w {
+				ns, st, ok := e.evalOne(wi, batch[i])
+				out[i] = scored{ns: ns, st: st, ok: ok}
 				if !ok {
 					return
 				}
@@ -272,6 +333,7 @@ func Search(ctx context.Context, cfg *gpu.Config, t *trace.Trace, pr *core.Predi
 		workers: workers,
 		limit:   int64(opt.MaxCandidates),
 		heaps:   make([]rankHeap, workers),
+		cache:   make(map[int64]*evalEntry),
 	}
 
 	strat.run(e)
@@ -311,6 +373,7 @@ func Search(ctx context.Context, cfg *gpu.Config, t *trace.Trace, pr *core.Predi
 		Strategy:  e.spec,
 		Evaluated: candidates,
 		Pruned:    int(e.pruned.Load()),
+		Deduped:   int(e.dedup.Load()),
 	}
 	budget := e.budgetHit.Load()
 	if budget || e.spec != "exhaustive" {

@@ -101,27 +101,93 @@ func ParseStrategy(spec string) (Strategy, error) {
 		"%q (want exhaustive, greedy, or beam-W)", spec)
 }
 
-// exhaustive is the classic complete search: shard the raw space by stride,
-// one shard per worker, each predicting on its own clone (see Search).
+// exhaustive is the complete search: every legal placement predicted exactly
+// once. Workers split the raw mixed-radix space into contiguous blocks of a
+// reflected-Gray walk, so within a block consecutive placements differ in a
+// single array and each evaluation is a delta from the previous one; only
+// block starts (and resumptions after a skipped illegal run) pay a
+// standalone evaluation. Coverage and ranking are identical to a plain
+// enumeration — only the visit order differs.
 type exhaustive struct{}
 
 func (exhaustive) Spec() string { return "exhaustive" }
 
 func (exhaustive) run(e *engine) {
-	runWorker := func(w int) {
-		e.space.EnumerateShard(w, e.workers, func(idx int64, pl *placement.Placement) bool {
-			_, ok := e.evalOne(w, idx, pl)
-			return ok
-		})
+	n := e.space.Arrays()
+	if n == 0 {
+		return
+	}
+	raw := e.space.RawSize()
+	workers := int64(e.workers)
+	runWorker := func(w int64) {
+		lo, hi := w*raw/workers, (w+1)*raw/workers
+		if lo >= hi {
+			return
+		}
+		radix := make([]int64, n)
+		for j := 0; j < n; j++ {
+			radix[j] = int64(len(e.space.ArrayOptions(j)))
+		}
+		std := make([]int64, n) // standard mixed-radix digits of the position
+		pl := placement.New(n)
+		var prev *core.DeltaState
+		for pos := lo; pos < hi; pos++ {
+			// Reflected-Gray decode: digit j counts up or down depending on
+			// the parity of the more significant standard digits, so
+			// consecutive positions differ in exactly one digit (the
+			// mixed-radix generalization of g = b XOR b>>1).
+			for j, rem := n-1, pos; j >= 0; j-- {
+				std[j] = rem % radix[j]
+				rem /= radix[j]
+			}
+			parity := int64(0)
+			for j := 0; j < n; j++ {
+				d := std[j]
+				if parity%2 != 0 {
+					d = radix[j] - 1 - d
+				}
+				pl.Spaces[j] = e.space.ArrayOptions(j)[d]
+				parity += std[j]
+			}
+			if placement.Check(e.t, pl, e.cfg) != nil {
+				continue
+			}
+			idx, ok := e.space.IndexOf(pl)
+			if !ok {
+				continue
+			}
+			c := cand{idx: idx, pl: pl}
+			// Delta from the previous evaluation when the walk has moved
+			// exactly one array since then; a skipped illegal run can
+			// accumulate multi-array differences, which fall back to a
+			// standalone evaluation.
+			if prev != nil {
+				pp := prev.Placement()
+				moved, diff := -1, 0
+				for j := 0; j < n && diff < 2; j++ {
+					if pp.Spaces[j] != pl.Spaces[j] {
+						moved, diff = j, diff+1
+					}
+				}
+				if diff == 1 {
+					c.prev, c.array, c.space = prev, moved, pl.Spaces[moved]
+				}
+			}
+			_, st, ok := e.evalOne(int(w), c)
+			if !ok {
+				return
+			}
+			prev = st
+		}
 	}
 	if e.workers == 1 {
 		runWorker(0)
 		return
 	}
 	var wg sync.WaitGroup
-	for w := 0; w < e.workers; w++ {
+	for w := int64(0); w < workers; w++ {
 		wg.Add(1)
-		go func(w int) { defer wg.Done(); runWorker(w) }(w)
+		go func(w int64) { defer wg.Done(); runWorker(w) }(w)
 	}
 	wg.Wait()
 }
@@ -140,17 +206,20 @@ func (greedy) run(e *engine) {
 	if !ok {
 		return
 	}
-	cur := sample.Clone()
-	seen := map[int64]bool{idx: true}
-	curNS, ok := e.evalOne(0, idx, cur)
+	curNS, curSt, ok := e.evalOne(0, cand{idx: idx, pl: sample.Clone()})
 	if !ok {
 		return
 	}
+	cur := curSt.Placement()
 	for {
-		// One round: every unseen legal single-array move from the current
-		// placement, generated in deterministic (array, option) order.
-		var idxs []int64
-		var pls []*placement.Placement
+		// One round: every legal single-array move from the current
+		// placement, generated in deterministic (array, option) order, each
+		// a delta from the current state. Moves already evaluated in earlier
+		// rounds are resubmitted — the engine answers them from its cache for
+		// free, and they can never win a round: a cached score was produced
+		// when the descent's current prediction was no better than now, so
+		// it is ≥ curNS and fails the strict-improvement test below.
+		var batch []cand
 		for j := 0; j < e.space.Arrays(); j++ {
 			for _, sp := range e.space.ArrayOptions(j) {
 				if sp == cur.Spaces[j] {
@@ -161,18 +230,16 @@ func (greedy) run(e *engine) {
 					continue
 				}
 				ni, ok := e.space.IndexOf(next)
-				if !ok || seen[ni] {
+				if !ok {
 					continue
 				}
-				seen[ni] = true
-				idxs = append(idxs, ni)
-				pls = append(pls, next)
+				batch = append(batch, cand{idx: ni, pl: next, prev: curSt, array: j, space: sp})
 			}
 		}
-		if len(pls) == 0 {
+		if len(batch) == 0 {
 			return
 		}
-		res := e.evalBatch(idxs, pls)
+		res := e.evalBatch(batch)
 		if e.stopping() {
 			return
 		}
@@ -182,7 +249,7 @@ func (greedy) run(e *engine) {
 				continue
 			}
 			if best < 0 || r.ns < res[best].ns ||
-				(r.ns == res[best].ns && idxs[i] < idxs[best]) {
+				(r.ns == res[best].ns && batch[i].idx < batch[best].idx) {
 				best = i
 			}
 		}
@@ -192,7 +259,7 @@ func (greedy) run(e *engine) {
 		if best < 0 || res[best].ns >= curNS {
 			return
 		}
-		cur, curNS = pls[best], res[best].ns
+		cur, curNS, curSt = batch[best].pl, res[best].ns, res[best].st
 	}
 }
 
@@ -216,26 +283,35 @@ func (b beam) run(e *engine) {
 
 	type state struct {
 		pl  *placement.Placement
+		st  *core.DeltaState
 		ns  float64
 		idx int64
 	}
-	rootNS, ok := e.evalOne(0, rootIdx, sample)
+	rootNS, rootSt, ok := e.evalOne(0, cand{idx: rootIdx, pl: sample.Clone()})
 	if !ok {
 		return
 	}
 	// Every frontier state is a fully legal placement: arrays below the
 	// current level are decided, arrays at or above it still hold the
 	// sample's spaces. The root is the sample itself.
-	frontier := []state{{pl: sample.Clone(), ns: rootNS, idx: rootIdx}}
-	seen := map[int64]bool{rootIdx: true}
+	frontier := []state{{pl: sample.Clone(), st: rootSt, ns: rootNS, idx: rootIdx}}
 
 	for level := 0; level < n; level++ {
 		// The prune threshold is the current global k-th best prediction —
 		// computed at the level barrier, where all prior evaluations have
 		// completed, so it is identical for every worker count.
 		worstNS, full := e.worstKept()
-		var idxs []int64
-		var pls []*placement.Placement
+		// Children are deduplicated within the level (two frontier parents
+		// differing only at this level generate the same child) and against
+		// the current frontier; a child evaluated at an earlier level but
+		// since truncated may re-enter — the engine's eval cache answers it
+		// for free, so rediscovered states stay in contention at no cost.
+		inFrontier := make(map[int64]bool, len(frontier))
+		for _, st := range frontier {
+			inFrontier[st.idx] = true
+		}
+		gen := map[int64]bool{}
+		var batch []cand
 		for _, st := range frontier {
 			for _, sp := range e.space.ArrayOptions(level) {
 				if sp == st.pl.Spaces[level] {
@@ -246,10 +322,10 @@ func (b beam) run(e *engine) {
 					continue
 				}
 				ci, ok := e.space.IndexOf(child)
-				if !ok || seen[ci] {
+				if !ok || gen[ci] || inFrontier[ci] {
 					continue
 				}
-				seen[ci] = true
+				gen[ci] = true
 				// Admissible bound on every completion of the child's fixed
 				// prefix: if even the best case cannot beat the worst kept
 				// candidate, neither the child nor any descendant can enter
@@ -259,18 +335,17 @@ func (b beam) run(e *engine) {
 					e.pruned.Add(1)
 					continue
 				}
-				idxs = append(idxs, ci)
-				pls = append(pls, child)
+				batch = append(batch, cand{idx: ci, pl: child, prev: st.st, array: level, space: sp})
 			}
 		}
-		if len(pls) > 0 {
-			res := e.evalBatch(idxs, pls)
+		if len(batch) > 0 {
+			res := e.evalBatch(batch)
 			if e.stopping() {
 				return
 			}
 			for i, r := range res {
 				if r.ok {
-					frontier = append(frontier, state{pl: pls[i], ns: r.ns, idx: idxs[i]})
+					frontier = append(frontier, state{pl: batch[i].pl, st: r.st, ns: r.ns, idx: batch[i].idx})
 				}
 			}
 		}

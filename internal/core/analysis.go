@@ -21,7 +21,6 @@ import (
 	"gpuhms/internal/gpu"
 	"gpuhms/internal/memsys"
 	"gpuhms/internal/perf"
-	"gpuhms/internal/placement"
 	"gpuhms/internal/queuing"
 	"gpuhms/internal/replay"
 	"gpuhms/internal/trace"
@@ -32,6 +31,13 @@ import (
 // events are counted, and the DRAM request stream is reduced to per-bank
 // arrival/service statistics. Unlike the simulator this pass computes no
 // timing — arrival "times" are an instruction-count proxy.
+//
+// The analysis is produced by the decomposed evaluator (see delta.go): a
+// placement-independent program, per-array contributions against private
+// caches, and a merged DRAM interaction pass. Every entry point — Predict,
+// PredictDelta, Model.AnalyzePlacement — assembles an Analysis through that
+// one path, so the same placement always yields a byte-identical Analysis no
+// matter how it was reached.
 type Analysis struct {
 	Events perf.Events
 
@@ -74,193 +80,8 @@ type Analysis struct {
 	Imbalance float64
 }
 
-// analysisScratch holds the per-analysis allocations — the cache hierarchy,
-// one SM's private caches (the lockstep walk models a single scheduler), the
-// DRAM analyzer, and the per-warp walk state — so a Predictor evaluating
-// thousands of candidate placements reuses one set instead of rebuilding
-// ~75k allocations per prediction. Reset between analyses by analyzeScratch.
-type analysisScratch struct {
-	hier  *memsys.Hierarchy
-	sm    *memsys.SMCaches
-	an    *dram.Analyzer
-	pcs   []int
-	inRun []bool
-	mem   memsys.Scratch
-}
-
-// newAnalysisScratch builds scratch bound to one (config, mapping,
-// distribution mode) triple — a Predictor's model never changes these.
-func newAnalysisScratch(cfg *gpu.Config, mapping dram.Mapping, mode dram.DistributionMode) *analysisScratch {
-	return &analysisScratch{
-		hier: memsys.NewHierarchy(cfg),
-		sm:   memsys.NewSMCaches(cfg),
-		an:   dram.NewAnalyzer(cfg.DRAM, mapping, mode),
-	}
-}
-
-// reset returns the scratch to a fresh-analysis state for nWarps warps.
-func (s *analysisScratch) reset(nWarps int) {
-	s.hier.Reset()
-	s.sm.Reset()
-	s.an.Reset()
-	if cap(s.pcs) < nWarps {
-		s.pcs = make([]int, nWarps)
-		s.inRun = make([]bool, nWarps)
-	} else {
-		s.pcs = s.pcs[:nWarps]
-		s.inRun = s.inRun[:nWarps]
-		clear(s.pcs)
-		clear(s.inRun)
-	}
-}
-
-// analyze replays the trace under a binding. Warps advance in lockstep
-// (one instruction per warp per round) to approximate the round-robin
-// interleaving of the hardware scheduler; the proxy clock advances by
-// issue-slots/#SMs per slot, i.e. the stream is timed as if every SM issued
-// one slot per cycle with no stalls. The queuing model later rescales this
-// proxy to the predicted execution span (see tmem.go).
-func analyze(cfg *gpu.Config, mapping dram.Mapping, mode dram.DistributionMode, b *memsys.Binding) *Analysis {
-	return analyzeCollect(cfg, mapping, mode, b, false)
-}
-
-func analyzeCollect(cfg *gpu.Config, mapping dram.Mapping, mode dram.DistributionMode, b *memsys.Binding, collectArrivals bool) *Analysis {
-	return analyzeScratch(cfg, mapping, mode, b, collectArrivals,
-		newAnalysisScratch(cfg, mapping, mode))
-}
-
-// analyzeScratch is analyzeCollect drawing every reusable buffer from scr,
-// which must have been built for the same (cfg, mapping, mode). The returned
-// Analysis owns all of its data — nothing aliases the scratch — so the
-// scratch is free for the next analysis as soon as this one returns.
-func analyzeScratch(cfg *gpu.Config, mapping dram.Mapping, mode dram.DistributionMode, b *memsys.Binding, collectArrivals bool, scr *analysisScratch) *Analysis {
-	t := b.Trace
-	scr.reset(len(t.Warps))
-	hier, sm, an := scr.hier, scr.sm, scr.an
-
-	a := &Analysis{ActiveSMs: cfg.ActiveSMs(t.Launch.Blocks)}
-	nsPerCycle := cfg.NSPerCycle()
-	proxyNS := 0.0
-	slotNS := nsPerCycle / float64(a.ActiveSMs)
-
-	// Per-warp program counters for the lockstep walk.
-	pcs := scr.pcs
-	remaining := len(t.Warps)
-
-	loadRuns, loadsInRuns := int64(0), int64(0)
-	inRun := scr.inRun // per-warp consecutive-load run state
-	lastArrival := -1.0
-
-	for remaining > 0 {
-		for wi := range t.Warps {
-			pc := pcs[wi]
-			if pc >= len(t.Warps[wi].Inst) {
-				continue
-			}
-			in := &t.Warps[wi].Inst[pc]
-			pcs[wi]++
-			if pcs[wi] == len(t.Warps[wi].Inst) {
-				remaining--
-			}
-
-			if !in.Op.IsMem() {
-				inRun[wi] = false
-				slots := int64(in.Count)
-				if in.Op == trace.OpFP64 {
-					slots *= 2
-				}
-				if in.Op == trace.OpSync {
-					a.Syncs++
-				}
-				a.IssueSlots += slots
-				a.Executed += int64(in.Count)
-				a.Events.InstExecuted += int64(in.Count)
-				a.Events.InstIssued += int64(in.Count)
-				a.Events.IssueSlots += slots
-				if in.Op == trace.OpInt {
-					a.Events.InstInteger += int64(in.Count)
-				}
-				proxyNS += float64(slots) * slotNS
-				continue
-			}
-
-			// Memory instruction: addressing preamble + access.
-			space := b.Place.Of(in.Array)
-			k := int64(addrModeInstrs(space, t.Array(in.Array).Type))
-			a.IssueSlots += k
-			a.Executed += k
-			a.Events.InstExecuted += k
-			a.Events.InstIssued += k
-			a.Events.InstInteger += k
-			a.Events.IssueSlots += k
-			proxyNS += float64(k) * slotNS
-
-			res := hier.AccessScratch(sm, b, in, &scr.mem)
-			replays := res.Replays.Total()
-			a.IssueSlots += 1 + replays
-			a.Executed++
-			a.Replays14 += replays
-			a.MemInsts++
-			countAnalysisEvents(&a.Events, &res, replays)
-			proxyNS += float64(1+replays) * slotNS
-
-			if in.Op == trace.OpLoad {
-				if inRun[wi] {
-					loadsInRuns++
-				} else {
-					inRun[wi] = true
-					loadRuns++
-					loadsInRuns++
-				}
-			} else {
-				inRun[wi] = false
-			}
-
-			if space != gpu.Shared {
-				a.OffchipReqs++
-				a.TransPerOffchip += float64(res.Transactions)
-				for _, line := range res.DRAMLines {
-					if collectArrivals {
-						if lastArrival >= 0 {
-							a.InterArrivals = append(a.InterArrivals, proxyNS-lastArrival)
-						}
-						lastArrival = proxyNS
-					}
-					an.Add(line, proxyNS)
-				}
-			}
-		}
-	}
-
-	if a.OffchipReqs > 0 {
-		a.TransPerOffchip /= float64(a.OffchipReqs)
-	}
-	if loadRuns > 0 {
-		a.MLP = float64(loadsInRuns) / float64(loadRuns)
-	} else {
-		a.MLP = 1
-	}
-	a.BankStreams = an.Streams()
-	a.CtlStreams = an.CtlStreams()
-	a.RawSpanNS = proxyNS
-	a.RowCounts = an.Counts()
-	a.Events.RowHits = an.Counts().Hits
-	a.Events.RowMisses = an.Counts().Misses
-	a.Events.RowConflicts = an.Counts().Conflicts
-	a.Events.DRAMRequests = an.Counts().Total()
-	a.Events.WarpsPerSM = residentWarps(t, cfg)
-	a.BankCaMean, a.BankCaStd = an.MeanCa()
-
-	a.StagingNS = placement.SharedStagingBytes(t, b.Place) / cfg.SharedCopyGBs
-	a.Imbalance = 1
-	if blocks := t.Launch.Blocks; blocks > a.ActiveSMs {
-		perSM := float64(blocks) / float64(a.ActiveSMs)
-		worst := float64((blocks + a.ActiveSMs - 1) / a.ActiveSMs)
-		a.Imbalance = worst / perSM
-	}
-	return a
-}
-
+// countAnalysisEvents maps one resolved memory access onto the prediction's
+// event counters.
 func countAnalysisEvents(ev *perf.Events, res *memsys.Result, replays int64) {
 	ev.InstIssued += 1 + replays
 	ev.InstExecuted++

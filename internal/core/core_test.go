@@ -12,7 +12,7 @@ import (
 	"gpuhms/internal/trace"
 )
 
-func profile(t *testing.T, cfg *gpu.Config, tr *trace.Trace, sample *placement.Placement) SampleProfile {
+func profile(t testing.TB, cfg *gpu.Config, tr *trace.Trace, sample *placement.Placement) SampleProfile {
 	t.Helper()
 	m, err := sim.New(cfg).Run(tr, sample, sample)
 	if err != nil {

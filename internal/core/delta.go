@@ -1,0 +1,375 @@
+package core
+
+// The decomposed evaluator. The §IV trace analysis used to be one monolithic
+// lockstep walk per (placement) evaluation; here it is split into three parts
+// so single-array placement moves are cheap (ROADMAP item 1):
+//
+//   - program: everything placement-independent — the lockstep instruction
+//     schedule, base issue-slot prefix sums, barrier counts, the per-warp MLP
+//     statistic, and the non-memory event counters. Built once per trace.
+//
+//   - contribution: one array's accesses resolved under one (space, address)
+//     binding against its own private cache hierarchy — per-access extra
+//     issue slots (addressing preamble + replays), the DRAM line stream, and
+//     aggregated event counters. A contribution is a pure function of
+//     (array, space, address key), so it is built once and cached.
+//
+//   - merge: the interaction term. Per-array contributions are stitched back
+//     together in lockstep order: extra-slot prefix sums recover each DRAM
+//     request's arrival proxy, and the merged line stream drives the shared
+//     bank/row-buffer/controller statistics (dram.Analyzer) that couple
+//     arrays to each other. This is the only per-evaluation cost.
+//
+// Predict, PredictDelta, and Model.AnalyzePlacement all run through this one
+// path, which is what makes delta and full evaluations byte-identical: a
+// "delta" differs only in how many contributions come from cache instead of
+// being rebuilt, never in the math.
+
+import (
+	"sync"
+
+	"gpuhms/internal/dram"
+	"gpuhms/internal/gpu"
+	"gpuhms/internal/memsys"
+	"gpuhms/internal/perf"
+	"gpuhms/internal/placement"
+	"gpuhms/internal/trace"
+)
+
+// memRef is one warp-level memory instruction of the lockstep schedule.
+type memRef struct {
+	inst    *trace.Inst
+	array   trace.ArrayID
+	ordinal int32 // position in the array's own access sequence
+}
+
+// program is the placement-independent part of the §IV analysis: the lockstep
+// schedule of the trace with every quantity that no placement can change.
+// It is immutable once built and shared by all clones of a Predictor.
+type program struct {
+	cfg *gpu.Config
+	t   *trace.Trace
+
+	// refs lists memory instructions in lockstep order (the round-robin
+	// warp interleaving of the hardware scheduler).
+	refs []memRef
+	// basePrefix[i] is the issue slots consumed up to and including ref i's
+	// base slot, counting non-memory slots plus one slot per memory
+	// instruction — everything except the placement-dependent extras
+	// (addressing preambles and replays), which merge adds by prefix sum.
+	basePrefix []int64
+	// arrayInsts[id] lists one array's memory instructions in lockstep
+	// order; contributions are built by walking it.
+	arrayInsts [][]*trace.Inst
+
+	baseSlots  int64 // non-memory issue slots (FP64 double-issue included)
+	baseExec   int64 // non-memory executed instructions
+	baseEvents perf.Events
+	syncs      int64
+	mlp        float64
+	activeSMs  int
+	imbalance  float64
+	warpsPerSM float64
+	slotNS     float64
+}
+
+// newProgram runs the placement-independent lockstep walk once. Warps advance
+// in lockstep (one instruction per warp per round), exactly as the old
+// monolithic analysis did; see merge for how the proxy clock is recovered.
+func newProgram(cfg *gpu.Config, t *trace.Trace) *program {
+	p := &program{cfg: cfg, t: t, activeSMs: cfg.ActiveSMs(t.Launch.Blocks)}
+	p.slotNS = cfg.NSPerCycle() / float64(p.activeSMs)
+	p.arrayInsts = make([][]*trace.Inst, len(t.Arrays))
+	counts := make([]int32, len(t.Arrays))
+
+	pcs := make([]int, len(t.Warps))
+	inRun := make([]bool, len(t.Warps)) // per-warp consecutive-load run state
+	remaining := len(t.Warps)
+	var loadRuns, loadsInRuns int64
+
+	for remaining > 0 {
+		for wi := range t.Warps {
+			pc := pcs[wi]
+			if pc >= len(t.Warps[wi].Inst) {
+				continue
+			}
+			in := &t.Warps[wi].Inst[pc]
+			pcs[wi]++
+			if pcs[wi] == len(t.Warps[wi].Inst) {
+				remaining--
+			}
+
+			if !in.Op.IsMem() {
+				inRun[wi] = false
+				slots := int64(in.Count)
+				if in.Op == trace.OpFP64 {
+					slots *= 2
+				}
+				if in.Op == trace.OpSync {
+					p.syncs++
+				}
+				p.baseSlots += slots
+				p.baseExec += int64(in.Count)
+				p.baseEvents.InstExecuted += int64(in.Count)
+				p.baseEvents.InstIssued += int64(in.Count)
+				p.baseEvents.IssueSlots += slots
+				if in.Op == trace.OpInt {
+					p.baseEvents.InstInteger += int64(in.Count)
+				}
+				continue
+			}
+
+			p.refs = append(p.refs, memRef{inst: in, array: in.Array, ordinal: counts[in.Array]})
+			counts[in.Array]++
+			p.arrayInsts[in.Array] = append(p.arrayInsts[in.Array], in)
+			p.basePrefix = append(p.basePrefix, p.baseSlots+int64(len(p.refs)))
+
+			// The consecutive-load run statistic (MLP) depends only on the op
+			// sequence, never on where arrays live.
+			if in.Op == trace.OpLoad {
+				if inRun[wi] {
+					loadsInRuns++
+				} else {
+					inRun[wi] = true
+					loadRuns++
+					loadsInRuns++
+				}
+			} else {
+				inRun[wi] = false
+			}
+		}
+	}
+
+	p.mlp = 1
+	if loadRuns > 0 {
+		p.mlp = float64(loadsInRuns) / float64(loadRuns)
+	}
+	p.warpsPerSM = residentWarps(t, cfg)
+	p.imbalance = 1
+	if blocks := t.Launch.Blocks; blocks > p.activeSMs {
+		perSM := float64(blocks) / float64(p.activeSMs)
+		worst := float64((blocks + p.activeSMs - 1) / p.activeSMs)
+		p.imbalance = worst / perSM
+	}
+	return p
+}
+
+// contribution is one array's share of the analysis under one
+// (space, address key) binding: per-access extra issue slots, the DRAM line
+// stream, and aggregated counters. The array's accesses run against a private
+// cache hierarchy — each array is analyzed as if it ran alone on cold caches,
+// and cross-array contention is modeled entirely by the merged DRAM pass —
+// which is what makes a contribution a pure function of its key, reusable
+// across every placement that binds the array the same way.
+type contribution struct {
+	// extra[o] is the o-th access's extra issue slots: addressing-mode
+	// preamble plus replays. merge prefix-sums these to recover proxy time.
+	extra []int32
+	// lines holds the DRAM line addresses of all accesses back to back;
+	// access o owns lines[lineOff[o]:lineOff[o+1]]. nil for shared memory,
+	// which never reaches DRAM.
+	lines   []uint64
+	lineOff []int32
+
+	events     perf.Events // memory-side event counters, preambles included
+	executed   int64       // executed instructions: preamble + 1 per access
+	issueSlots int64       // executed + replays
+	replays14  int64       // placement-dependent replays (§III-B (1)-(4), (6))
+	offchip    int64       // accesses counted as off-chip requests
+	transOff   int64       // first-level transactions of off-chip accesses
+}
+
+// buildContribution resolves one array's accesses under (space, addr) against
+// a fresh private cache hierarchy. addr is the array's device base address
+// for off-chip spaces or its block-local byte offset for shared memory.
+func (p *program) buildContribution(array trace.ArrayID, space gpu.MemSpace, addr uint64) *contribution {
+	t := p.t
+	n := len(t.Arrays)
+	pl := placement.New(n)
+	pl.Spaces[array] = space
+	lay := &placement.Layout{Base: make([]uint64, n), SharedOff: make([]uint64, n)}
+	if space == gpu.Shared {
+		lay.SharedOff[array] = addr
+	} else {
+		lay.Base[array] = addr
+	}
+	b := &memsys.Binding{Trace: t, Place: pl, Layout: lay, Tex2DShift: p.cfg.TextureBlockShift}
+	hier := memsys.NewHierarchy(p.cfg)
+	sm := memsys.NewSMCaches(p.cfg)
+	var sc memsys.Scratch
+
+	insts := p.arrayInsts[array]
+	k := int64(addrModeInstrs(space, t.Array(array).Type))
+	c := &contribution{extra: make([]int32, len(insts))}
+	offchip := space != gpu.Shared
+	if offchip {
+		c.lineOff = make([]int32, len(insts)+1)
+	}
+	for o, in := range insts {
+		res := hier.AccessScratch(sm, b, in, &sc)
+		replays := res.Replays.Total()
+		c.extra[o] = int32(k + replays)
+
+		// Addressing preamble: k integer instructions per access.
+		c.events.InstExecuted += k
+		c.events.InstIssued += k
+		c.events.InstInteger += k
+		c.events.IssueSlots += k
+		countAnalysisEvents(&c.events, &res, replays)
+
+		c.executed += k + 1
+		c.issueSlots += k + 1 + replays
+		c.replays14 += replays
+		if offchip {
+			c.offchip++
+			c.transOff += int64(res.Transactions)
+			c.lines = append(c.lines, res.DRAMLines...)
+			c.lineOff[o+1] = int32(len(c.lines))
+		}
+	}
+	return c
+}
+
+// merge is the interaction term: it stitches per-array contributions back
+// into one Analysis. Aggregate counters are plain sums; the DRAM statistics
+// need the lockstep order — each request's arrival proxy is the issue slots
+// consumed before it, recovered as basePrefix plus the running prefix sum of
+// every array's extra slots (so one array's replays still shift every later
+// array's DRAM arrivals, exactly as in the monolithic walk). an must be
+// freshly built or Reset; the returned Analysis owns all of its data.
+func (p *program) merge(pl *placement.Placement, contribs []*contribution, an *dram.Analyzer, collectArrivals bool) *Analysis {
+	t, cfg := p.t, p.cfg
+	a := &Analysis{
+		ActiveSMs:  p.activeSMs,
+		Imbalance:  p.imbalance,
+		MLP:        p.mlp,
+		Syncs:      p.syncs,
+		Events:     p.baseEvents,
+		IssueSlots: p.baseSlots,
+		Executed:   p.baseExec,
+		MemInsts:   int64(len(p.refs)),
+	}
+	for _, c := range contribs {
+		a.IssueSlots += c.issueSlots
+		a.Executed += c.executed
+		a.Replays14 += c.replays14
+		a.OffchipReqs += c.offchip
+		a.TransPerOffchip += float64(c.transOff)
+		a.Events.AddCounts(&c.events)
+	}
+	if a.OffchipReqs > 0 {
+		a.TransPerOffchip /= float64(a.OffchipReqs)
+	}
+
+	var runningExtra int64
+	lastArrival := -1.0
+	for i := range p.refs {
+		r := &p.refs[i]
+		c := contribs[r.array]
+		runningExtra += int64(c.extra[r.ordinal])
+		if c.lineOff == nil {
+			continue
+		}
+		lo, hi := c.lineOff[r.ordinal], c.lineOff[r.ordinal+1]
+		if lo == hi {
+			continue
+		}
+		at := p.slotNS * float64(p.basePrefix[i]+runningExtra)
+		for _, line := range c.lines[lo:hi] {
+			if collectArrivals {
+				if lastArrival >= 0 {
+					a.InterArrivals = append(a.InterArrivals, at-lastArrival)
+				}
+				lastArrival = at
+			}
+			an.Add(line, at)
+		}
+	}
+
+	a.BankStreams = an.Streams()
+	a.CtlStreams = an.CtlStreams()
+	a.RawSpanNS = p.slotNS * float64(a.IssueSlots)
+	a.RowCounts = an.Counts()
+	a.Events.RowHits = an.Counts().Hits
+	a.Events.RowMisses = an.Counts().Misses
+	a.Events.RowConflicts = an.Counts().Conflicts
+	a.Events.DRAMRequests = an.Counts().Total()
+	a.Events.WarpsPerSM = p.warpsPerSM
+	a.BankCaMean, a.BankCaStd = an.MeanCa()
+	a.StagingNS = placement.SharedStagingBytes(t, pl) / cfg.SharedCopyGBs
+	return a
+}
+
+// contribKey identifies a reusable contribution: the array, its space, and
+// its address binding (device base for off-chip spaces, block-local offset
+// for shared memory). The address is part of the key because layout
+// retargeting can move an array's neighbors: a placement that pushes other
+// arrays across the on-chip/off-chip boundary shifts this array's offset or
+// heap range, and a contribution is only valid for the addresses it was
+// resolved at.
+type contribKey struct {
+	array trace.ArrayID
+	space gpu.MemSpace
+	addr  uint64
+}
+
+// contribEntry is one cache slot; once makes concurrent builders of the same
+// key collapse to a single build.
+type contribEntry struct {
+	once sync.Once
+	c    *contribution
+}
+
+// contribCache shares built contributions across every clone of a Predictor.
+// Values are immutable after construction and a pure function of their key,
+// so concurrent lookups from parallel ranking workers are deterministic: any
+// worker that builds a key builds the same value.
+type contribCache struct {
+	prog *program
+	mu   sync.Mutex
+	m    map[contribKey]*contribEntry
+}
+
+func newContribCache(prog *program) *contribCache {
+	return &contribCache{prog: prog, m: make(map[contribKey]*contribEntry)}
+}
+
+// get returns the contribution for key, building it on first use. hit reports
+// whether the value was already resident (the delta fast path).
+func (cc *contribCache) get(array trace.ArrayID, space gpu.MemSpace, addr uint64) (c *contribution, hit bool) {
+	key := contribKey{array: array, space: space, addr: addr}
+	cc.mu.Lock()
+	e, ok := cc.m[key]
+	if !ok {
+		e = &contribEntry{}
+		cc.m[key] = e
+	}
+	cc.mu.Unlock()
+	e.once.Do(func() { e.c = cc.prog.buildContribution(array, space, addr) })
+	return e.c, ok
+}
+
+// DeltaState is a reusable snapshot of one evaluated placement: the placement
+// itself, its resolved layout, and the per-array contributions that produced
+// its Analysis. PredictDelta starts from it to re-resolve only what a single
+// move actually changes. States are immutable and safe to share across
+// goroutines; holding one alive only pins contributions that the predictor's
+// cache retains anyway.
+type DeltaState struct {
+	place    *placement.Placement
+	layout   *placement.Layout
+	contribs []*contribution
+}
+
+// Placement returns the placement this state describes. Callers must not
+// mutate it.
+func (s *DeltaState) Placement() *placement.Placement { return s.place }
+
+// addrKeyOf returns the address-binding component of an array's contribution
+// key under a layout.
+func addrKeyOf(l *placement.Layout, sp gpu.MemSpace, i int) uint64 {
+	if sp == gpu.Shared {
+		return l.SharedOff[i]
+	}
+	return l.Base[i]
+}

@@ -9,7 +9,6 @@ import (
 	"gpuhms/internal/dram"
 	"gpuhms/internal/gpu"
 	"gpuhms/internal/hmserr"
-	"gpuhms/internal/memsys"
 	"gpuhms/internal/obs"
 	"gpuhms/internal/perf"
 	"gpuhms/internal/placement"
@@ -116,32 +115,41 @@ type Prediction struct {
 }
 
 // Predictor holds the per-kernel state: the sample placement's layout, the
-// model's own analysis of the sample, and the sample profile.
+// model's own analysis of the sample, the sample profile, and the decomposed
+// evaluator — the placement-independent program plus the shared contribution
+// cache that makes repeated and delta evaluations cheap (delta.go).
 //
 // A Predictor is safe for concurrent use: the fields set at construction are
-// read-only, and the reusable analysis scratch is guarded by a mutex. For
-// parallel ranking, prefer one Clone per worker — clones share the immutable
-// state but carry private scratch, so they never contend on the lock.
+// read-only, the contribution cache is internally synchronized, and the
+// reusable merge scratch is guarded by a mutex. For parallel ranking, prefer
+// one Clone per worker — clones share the immutable state and the
+// contribution cache but carry private merge scratch, so they never contend
+// on the lock.
 type Predictor struct {
 	model        *Model
 	trace        *trace.Trace
 	sample       *placement.Placement
 	sampleLayout *placement.Layout
 	sampleAn     *Analysis
+	sampleState  *DeltaState
 	profile      SampleProfile
 	rec          obs.Recorder
 
-	// mu guards scr, the lazily-built reusable analysis scratch that makes
-	// repeated Predict calls allocation-lean (one cache hierarchy and DRAM
-	// analyzer per predictor instead of per prediction).
-	mu  sync.Mutex
-	scr *analysisScratch
+	prog  *program
+	cache *contribCache
+
+	// mu guards an, the lazily-built reusable DRAM merge scratch that makes
+	// repeated evaluations allocation-lean (one analyzer per predictor
+	// instead of per prediction).
+	mu sync.Mutex
+	an *dram.Analyzer
 }
 
 // Clone returns a predictor sharing this one's immutable state (model,
-// trace, sample analysis, profile, recorder) but with private analysis
-// scratch — the per-worker handle of a parallel ranking. Clones produce
-// bit-identical predictions to the original.
+// trace, program, contribution cache, sample analysis, profile, recorder)
+// but with private merge scratch — the per-worker handle of a parallel
+// ranking. Clones produce bit-identical predictions to the original, and
+// contributions built by one clone are visible to all.
 func (p *Predictor) Clone() *Predictor {
 	return &Predictor{
 		model:        p.model,
@@ -149,8 +157,11 @@ func (p *Predictor) Clone() *Predictor {
 		sample:       p.sample,
 		sampleLayout: p.sampleLayout,
 		sampleAn:     p.sampleAn,
+		sampleState:  p.sampleState,
 		profile:      p.profile,
 		rec:          p.rec,
+		prog:         p.prog,
+		cache:        p.cache,
 	}
 }
 
@@ -162,6 +173,9 @@ func (p *Predictor) SetRecorder(rec obs.Recorder) { p.rec = obs.OrNop(rec) }
 // NewPredictor analyzes the sample placement and prepares target
 // predictions. The sample profile is validated first: non-finite, negative,
 // or inconsistent profiles are rejected with hmserr.ErrInvalidProfile.
+// Construction builds the placement-independent program, seeds the
+// contribution cache with the sample's contributions, and retains the
+// sample's DeltaState as the canonical root for delta evaluations.
 func NewPredictor(m *Model, t *trace.Trace, sample *placement.Placement, prof SampleProfile) (*Predictor, error) {
 	if err := prof.Validate(); err != nil {
 		return nil, err
@@ -169,16 +183,20 @@ func NewPredictor(m *Model, t *trace.Trace, sample *placement.Placement, prof Sa
 	if err := placement.Check(t, sample, m.Cfg); err != nil {
 		return nil, fmt.Errorf("core: sample placement: %w", err)
 	}
-	layout := placement.NewLayout(t, sample)
-	binding := memsys.NewBinding(m.Cfg, t, sample, layout, sample)
-	return &Predictor{
+	prog := newProgram(m.Cfg, t)
+	p := &Predictor{
 		model:        m,
 		trace:        t,
 		sample:       sample,
-		sampleLayout: layout,
-		sampleAn:     analyze(m.Cfg, m.Mapping, m.distMode(), binding),
+		sampleLayout: placement.NewLayout(t, sample),
 		profile:      prof,
-	}, nil
+		prog:         prog,
+		cache:        newContribCache(prog),
+	}
+	an, st, _, _ := p.evalState(sample, nil, -1, true)
+	p.sampleAn = an
+	p.sampleState = st
+	return p, nil
 }
 
 func (m *Model) distMode() dram.DistributionMode {
@@ -198,17 +216,143 @@ func (p *Predictor) SamplePlacement() *placement.Placement { return p.sample }
 
 // AnalyzePlacement runs the §IV trace analysis of one placement under this
 // model's mapping and distribution mode, optionally collecting the global
-// DRAM inter-arrival samples (the Fig 4 study).
+// DRAM inter-arrival samples (the Fig 4 study). It runs the same decomposed
+// evaluation as Predict, but standalone: the program and every contribution
+// are built fresh and nothing is cached.
 func (m *Model) AnalyzePlacement(t *trace.Trace, sample, target *placement.Placement, collectArrivals bool) *Analysis {
-	layout := placement.NewLayout(t, sample)
-	binding := memsys.NewBinding(m.Cfg, t, sample, layout, target)
-	return analyzeCollect(m.Cfg, m.Mapping, m.distMode(), binding, collectArrivals)
+	prog := newProgram(m.Cfg, t)
+	layout := placement.Retarget(t, placement.NewLayout(t, sample), sample, target)
+	contribs := make([]*contribution, len(t.Arrays))
+	for i := range t.Arrays {
+		sp := target.Spaces[i]
+		contribs[i] = prog.buildContribution(trace.ArrayID(i), sp, addrKeyOf(layout, sp, i))
+	}
+	an := dram.NewAnalyzer(m.Cfg.DRAM, m.Mapping, m.distMode())
+	return prog.merge(target, contribs, an, collectArrivals)
 }
 
-// Predict returns the predicted performance of a target placement.
+// evalState runs the decomposed evaluation of a target placement: resolve the
+// layout, gather one contribution per array — reusing prev's where the move
+// left an array's binding untouched, then the shared cache, then a fresh
+// build — and run the DRAM merge pass. With useCache false every contribution
+// not taken from prev is rebuilt from scratch: the full-evaluation fallback,
+// identical math at cold-start cost. Returns the analysis, the reusable
+// state, and the contribution cache hit/build tallies for the caller's
+// telemetry.
+func (p *Predictor) evalState(target *placement.Placement, prev *DeltaState, moved int, useCache bool) (*Analysis, *DeltaState, int64, int64) {
+	layout := placement.Retarget(p.trace, p.sampleLayout, p.sample, target)
+	contribs := make([]*contribution, len(target.Spaces))
+	var hits, builds int64
+	for i := range contribs {
+		sp := target.Spaces[i]
+		addr := addrKeyOf(layout, sp, i)
+		// Fast path: an array the move did not touch, whose binding the
+		// layout retargeting also left alone, keeps its contribution without
+		// even a cache lookup. Retargeting can shift untouched arrays — a
+		// neighbor crossing the on-chip/off-chip boundary moves shared
+		// offsets and heap ranges — and those fall through to the cache.
+		if prev != nil && i != moved && prev.place.Spaces[i] == sp &&
+			addrKeyOf(prev.layout, sp, i) == addr {
+			contribs[i] = prev.contribs[i]
+			continue
+		}
+		if !useCache {
+			contribs[i] = p.prog.buildContribution(trace.ArrayID(i), sp, addr)
+			builds++
+			continue
+		}
+		c, hit := p.cache.get(trace.ArrayID(i), sp, addr)
+		contribs[i] = c
+		if hit {
+			hits++
+		} else {
+			builds++
+		}
+	}
+	p.mu.Lock()
+	if p.an == nil {
+		p.an = dram.NewAnalyzer(p.model.Cfg.DRAM, p.model.Mapping, p.model.distMode())
+	} else {
+		p.an.Reset()
+	}
+	an := p.prog.merge(target, contribs, p.an, false)
+	p.mu.Unlock()
+	st := &DeltaState{place: target.Clone(), layout: layout, contribs: contribs}
+	return an, st, hits, builds
+}
+
+// recordPrediction emits the per-prediction telemetry shared by every
+// evaluation entry point.
+func (p *Predictor) recordPrediction(rec obs.Recorder, pred *Prediction, span string, hits, builds int64, startNS float64) {
+	rec.Add("model_predictions_total", 1)
+	rec.Add("model_fixedpoint_iters_total", int64(pred.FixedPointIters))
+	if hits > 0 {
+		rec.Add("model_contrib_cache_hits_total", hits)
+	}
+	if builds > 0 {
+		rec.Add("model_contrib_builds_total", builds)
+	}
+	rec.Observe("model_tcomp_cycles", pred.TComp)
+	rec.Observe("model_tmem_cycles", pred.TMem)
+	rec.Observe("model_toverlap_cycles", pred.TOverlap)
+	rec.Observe("model_amat_cycles", pred.AMAT)
+	rec.Observe("model_dram_latency_ns", pred.DRAMLatNS)
+	rec.Observe("model_queue_delay_ns", pred.QueueDelayNS)
+	rec.Observe("model_predicted_ns", pred.TimeNS)
+	rec.Span("model", span, startNS, rec.Now()-startNS)
+}
+
+// Predict returns the predicted performance of a target placement. It runs
+// the decomposed evaluation with the contribution cache on, so repeated
+// predictions against one predictor pay only the merge pass for arrays whose
+// bindings have been seen before.
 func (p *Predictor) Predict(target *placement.Placement) (*Prediction, error) {
+	pred, _, err := p.PredictState(target)
+	return pred, err
+}
+
+// PredictState is Predict returning also the reusable DeltaState of the
+// evaluated placement — the starting point for PredictDelta.
+func (p *Predictor) PredictState(target *placement.Placement) (*Prediction, *DeltaState, error) {
+	return p.predictVia(target, nil, -1, true, "predict")
+}
+
+// PredictDelta predicts the placement obtained by moving one array of a
+// previously evaluated placement to a new space, reusing every untouched
+// per-array contribution from prev. The result is byte-identical to
+// Predict of the same placement — delta and full evaluation share one code
+// path and differ only in cache temperature — which the equivalence suite
+// pins. A delta evaluation still validates placement legality, so capacity
+// and read-only violations surface exactly as they do from Predict.
+func (p *Predictor) PredictDelta(prev *DeltaState, arrayIdx int, newSpace gpu.MemSpace) (*Prediction, *DeltaState, error) {
+	if prev == nil {
+		return nil, nil, fmt.Errorf("core: PredictDelta: nil previous state")
+	}
+	target, err := prev.place.WithMoveChecked(trace.ArrayID(arrayIdx), newSpace)
+	if err != nil {
+		return nil, nil, err
+	}
+	return p.predictVia(target, prev, arrayIdx, true, "predict_delta")
+}
+
+// PredictFull is Predict with the contribution cache bypassed: every
+// per-array contribution is rebuilt from scratch. It is the documented
+// fallback when cached state cannot be trusted (and the honest baseline for
+// delta-speedup benchmarks); the math is identical to Predict, only slower.
+func (p *Predictor) PredictFull(target *placement.Placement) (*Prediction, error) {
+	pred, _, err := p.predictVia(target, nil, -1, false, "predict_full")
+	return pred, err
+}
+
+// SampleState returns the DeltaState of the profiled sample placement — the
+// canonical root for local searches that explore single-array moves.
+func (p *Predictor) SampleState() *DeltaState { return p.sampleState }
+
+// predictVia is the shared evaluation path behind Predict, PredictState,
+// PredictDelta, and PredictFull.
+func (p *Predictor) predictVia(target *placement.Placement, prev *DeltaState, moved int, useCache bool, span string) (*Prediction, *DeltaState, error) {
 	if err := placement.Check(p.trace, target, p.model.Cfg); err != nil {
-		return nil, err
+		return nil, nil, err
 	}
 	rec := obs.OrNop(p.rec)
 	enabled := rec.Enabled()
@@ -216,30 +360,18 @@ func (p *Predictor) Predict(target *placement.Placement) (*Prediction, error) {
 	if enabled {
 		start = rec.Now()
 	}
-	binding := memsys.NewBinding(p.model.Cfg, p.trace, p.sample, p.sampleLayout, target)
-	// The analysis runs on the predictor's reusable scratch; the lock makes
-	// a shared Predictor safe (its cost is noise next to the analysis), and
-	// per-worker Clones avoid even that.
-	p.mu.Lock()
-	if p.scr == nil {
-		p.scr = newAnalysisScratch(p.model.Cfg, p.model.Mapping, p.model.distMode())
-	}
-	an := analyzeScratch(p.model.Cfg, p.model.Mapping, p.model.distMode(), binding, false, p.scr)
-	p.mu.Unlock()
+	an, st, hits, builds := p.evalState(target, prev, moved, useCache)
 	pred, err := p.model.predictFrom(an, p.sampleAn, &p.profile)
-	if enabled && err == nil {
-		rec.Add("model_predictions_total", 1)
-		rec.Add("model_fixedpoint_iters_total", int64(pred.FixedPointIters))
-		rec.Observe("model_tcomp_cycles", pred.TComp)
-		rec.Observe("model_tmem_cycles", pred.TMem)
-		rec.Observe("model_toverlap_cycles", pred.TOverlap)
-		rec.Observe("model_amat_cycles", pred.AMAT)
-		rec.Observe("model_dram_latency_ns", pred.DRAMLatNS)
-		rec.Observe("model_queue_delay_ns", pred.QueueDelayNS)
-		rec.Observe("model_predicted_ns", pred.TimeNS)
-		rec.Span("model", "predict", start, rec.Now()-start)
+	if err != nil {
+		return nil, nil, err
 	}
-	return pred, err
+	if enabled {
+		if span == "predict_delta" {
+			rec.Add("model_delta_predictions_total", 1)
+		}
+		p.recordPrediction(rec, pred, span, hits, builds, start)
+	}
+	return pred, st, nil
 }
 
 // predictFrom assembles the Eq 1 prediction from a target analysis.

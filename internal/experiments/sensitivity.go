@@ -166,6 +166,19 @@ func (r *SensitivityReport) MaxRegret() float64 {
 	return worst
 }
 
+// MeanRegret returns the average regret across all cases — the expected cost
+// of trusting the model's pick on a perturbed architecture.
+func (r *SensitivityReport) MeanRegret() float64 {
+	if len(r.Rows) == 0 {
+		return 0
+	}
+	sum := 0.0
+	for _, row := range r.Rows {
+		sum += row.RegretPct
+	}
+	return sum / float64(len(r.Rows))
+}
+
 // Render prints the sweep.
 func (r *SensitivityReport) Render() string {
 	var b strings.Builder

@@ -167,11 +167,11 @@ type Config struct {
 	CacheHitLatency float64
 
 	// Shared memory.
-	SharedBanks       int // banks (32 on Kepler)
-	SharedBankBytes   int // bank word width in bytes (4 or 8)
-	SharedLatency     float64
-	SharedBytesPerSM  int
-	ConstantBytes     int // total constant memory (64 KiB)
+	SharedBanks      int // banks (32 on Kepler)
+	SharedBankBytes  int // bank word width in bytes (4 or 8)
+	SharedLatency    float64
+	SharedBytesPerSM int
+	ConstantBytes    int // total constant memory (64 KiB)
 	// GlobalBytes is the device DRAM capacity backing the global and texture
 	// spaces; 0 means unbounded (capacity checks on DRAM-backed spaces are
 	// skipped).

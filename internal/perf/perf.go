@@ -83,6 +83,20 @@ func (e *Events) Validate() error {
 	return nil
 }
 
+// AddCounts accumulates every integer counter of o into e. The float-valued
+// occupancy field (WarpsPerSM) is a property of the launch, not a countable
+// event, so it is left untouched — callers set it directly. Iterating the
+// struct by reflection keeps the sum complete if counters are added later.
+func (e *Events) AddCounts(o *Events) {
+	ev := reflect.ValueOf(e).Elem()
+	ov := reflect.ValueOf(o).Elem()
+	for i := 0; i < ev.NumField(); i++ {
+		if f := ev.Field(i); f.Kind() == reflect.Int64 {
+			f.SetInt(f.Int() + ov.Field(i).Int())
+		}
+	}
+}
+
 // TotalReplays returns all modeled replays (causes (1)-(4) and (6)).
 func (e *Events) TotalReplays() int64 {
 	return e.ReplayGlobalDiv + e.ReplayConstMiss + e.ReplayConstDiv +

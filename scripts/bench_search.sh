@@ -2,10 +2,14 @@
 # bench_search.sh — compare the search strategies (exhaustive, greedy,
 # bound-pruned beam-4) on the largest bundled placement space (spmv, 288
 # legal placements) and write the BENCH_search.json artifact: candidates
-# evaluated, candidates pruned by the admissible bound, wall time
-# (p50/p99/mean), and top-1 regret versus the exhaustive optimum per
-# strategy. Asserts that the sub-exhaustive strategies evaluate under half
-# the space while landing within 1% of the exhaustive top-1.
+# evaluated, pruned by the admissible bound, and deduped by the eval cache,
+# wall time (p50/p99/mean) and effective per-evaluation cost per strategy,
+# top-1 regret versus the exhaustive optimum, and the steady-state cost of
+# one delta evaluation next to one cache-bypassing full evaluation
+# (docs/PERFORMANCE.md). Asserts that the sub-exhaustive strategies
+# evaluate under half the space within 1% of the exhaustive top-1, that
+# greedy/beam-4 p50 wall stays ≤50ms and exhaustive ≤500ms, and that a
+# delta evaluation stays ≥5x cheaper than a full one.
 #
 #   ./scripts/bench_search.sh [output.json]
 #

@@ -46,6 +46,14 @@ echo "== parallel rank bench smoke"
 # full artifact); the determinism suite itself runs in the race pass above.
 go test ./internal/advisor/ -run '^$' -bench 'BenchmarkRankParallel' -benchtime 1x -benchmem -count=1
 
+echo "== delta eval smoke"
+# The incremental-evaluation fast path must stay fast: one pass of the
+# PredictDelta benchmark, then the asserted wall-clock smoke — a delta
+# evaluation on spmv must beat the cache-bypassing full evaluation by ≥5x,
+# so the fast path cannot silently regress to the slow one (docs/PERFORMANCE.md).
+go test ./internal/core/ -run '^$' -bench 'BenchmarkPredict(Delta|Full)$' -benchtime 20x -benchmem -count=1
+DELTA_SPEEDUP=1 go test ./internal/core/ -run 'TestDeltaSpeedup' -count=1
+
 echo "== search strategy bench artifact"
 # Generates the BENCH_search.json comparison (scripts/bench_search.sh keeps
 # the repo-root copy) and asserts the acceptance bounds: greedy and beam-4
