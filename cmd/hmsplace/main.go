@@ -159,6 +159,7 @@ func main() {
 	// every exit path that produces results (emitArtifacts calls it, and the
 	// deferred call covers plain returns), so a partial search still leaves
 	// usable profiles behind.
+	var cpuFile *os.File
 	if *cpuprofile != "" {
 		f, err := os.Create(*cpuprofile)
 		if err != nil {
@@ -167,6 +168,7 @@ func main() {
 		if err := pprof.StartCPUProfile(f); err != nil {
 			log.Fatal(err)
 		}
+		cpuFile = f
 	}
 	profilesDone := false
 	stopProfiles := func() {
@@ -174,8 +176,12 @@ func main() {
 			return
 		}
 		profilesDone = true
-		if *cpuprofile != "" {
+		if cpuFile != nil {
+			// StopCPUProfile flushes but does not close the file.
 			pprof.StopCPUProfile()
+			if err := cpuFile.Close(); err != nil {
+				log.Printf("closing %s: %v", *cpuprofile, err)
+			}
 			fmt.Fprintf(os.Stderr, "hmsplace: cpu profile written to %s\n", *cpuprofile)
 		}
 		if *memprofile != "" {

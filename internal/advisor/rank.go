@@ -74,9 +74,13 @@ type engine struct {
 	// reachable through several strategy paths (duplicate beam children,
 	// greedy rounds regenerating old neighbors) is predicted at most once per
 	// search. Entries also retain the DeltaState, the parent handle for delta
-	// evaluation of the candidate's own neighbors.
-	cacheMu sync.Mutex
-	cache   map[int64]*evalEntry
+	// evaluation of the candidate's own neighbors. Strategies that never
+	// revisit an index (exhaustive) turn the cache off via cacheEvals: they
+	// gain nothing from it, and retaining a DeltaState per candidate over a
+	// complete enumeration would hold O(|space|) states alive for no reader.
+	cacheMu    sync.Mutex
+	cache      map[int64]*evalEntry
+	cacheEvals bool
 
 	obsMu    sync.Mutex // serializes best-so-far tracking and recording
 	bestNS   float64
@@ -98,11 +102,18 @@ func (e *engine) stopping() bool {
 	return e.inner.Err() != nil || e.budgetHit.Load()
 }
 
-// evalEntry is one cached evaluation: the predicted time and the reusable
-// delta state of the evaluated placement.
+// evalEntry is one eval-cache slot. once makes concurrent submissions of the
+// same index collapse to a single evaluation (the contribCache pattern):
+// whichever caller wins the race runs the prediction, every other caller
+// blocks until it completes and reads the stored result. ok is false when the
+// evaluation stopped instead of completing (budget, cancellation, error) —
+// terminal states for the whole search, so a poisoned entry is never a
+// problem.
 type evalEntry struct {
-	ns float64
-	st *core.DeltaState
+	once sync.Once
+	ns   float64
+	st   *core.DeltaState
+	ok   bool
 }
 
 // cand is one candidate submitted for evaluation: the placement, its
@@ -122,27 +133,48 @@ type cand struct {
 // attached), records, and feeds worker w's top-K heap. A candidate whose
 // index is already in the per-search cache is free — no budget token, no
 // prediction, no duplicate heap entry; the cached score and state come back
-// as-is. The returned ok is false when the search must stop (cancellation,
+// as-is. Cache hits are served only while the search may continue: once the
+// budget is exhausted (or the search canceled) every call returns not-ok, so
+// a strategy cannot keep advancing rounds on cached answers after a budget
+// stop. The returned ok is false when the search must stop (cancellation,
 // budget, or a prediction error already routed through fail).
 //
-// Strategies must not submit the same index twice within one batch (the
-// cache is only written after an evaluation completes, so concurrent
-// duplicates would both run); deduplication across batches and rounds is the
-// engine's job.
+// Submitting the same index twice within one batch is safe: concurrent
+// duplicates collapse onto one evalEntry and exactly one of them runs the
+// prediction (see evalEntry); which worker's heap receives the candidate is
+// racy, but the final ranking is not — the merged global top-K is contained
+// in the union of per-worker top-Ks for any assignment.
 func (e *engine) evalOne(w int, c cand) (float64, *core.DeltaState, bool) {
-	if e.inner.Err() != nil {
+	if e.inner.Err() != nil || e.budgetHit.Load() {
 		return 0, nil, false
 	}
+	if !e.cacheEvals {
+		return e.evalCand(w, c)
+	}
 	e.cacheMu.Lock()
-	if ent, ok := e.cache[c.idx]; ok {
-		e.cacheMu.Unlock()
+	ent, hit := e.cache[c.idx]
+	if !hit {
+		ent = &evalEntry{}
+		e.cache[c.idx] = ent
+	}
+	e.cacheMu.Unlock()
+	ran := false
+	ent.once.Do(func() {
+		ent.ns, ent.st, ent.ok = e.evalCand(w, c)
+		ran = true
+	})
+	if !ran && ent.ok {
 		e.dedup.Add(1)
 		if e.enabled {
 			e.rec.Add("advisor_dedup_hits_total", 1)
 		}
-		return ent.ns, ent.st, true
 	}
-	e.cacheMu.Unlock()
+	return ent.ns, ent.st, ent.ok
+}
+
+// evalCand is the uncached evaluation behind evalOne: budget token,
+// prediction, recording, heap maintenance.
+func (e *engine) evalCand(w int, c cand) (float64, *core.DeltaState, bool) {
 	// Take a budget token before predicting; handing back an over-limit
 	// grant keeps the total number of predictions across all workers exactly
 	// at the limit.
@@ -167,9 +199,6 @@ func (e *engine) evalOne(w int, c cand) (float64, *core.DeltaState, bool) {
 		e.fail(err)
 		return 0, nil, false
 	}
-	e.cacheMu.Lock()
-	e.cache[c.idx] = &evalEntry{ns: res.TimeNS, st: st}
-	e.cacheMu.Unlock()
 	if e.enabled {
 		e.obsMu.Lock()
 		if e.bestNS == 0 || res.TimeNS < e.bestNS {
@@ -334,6 +363,9 @@ func Search(ctx context.Context, cfg *gpu.Config, t *trace.Trace, pr *core.Predi
 		limit:   int64(opt.MaxCandidates),
 		heaps:   make([]rankHeap, workers),
 		cache:   make(map[int64]*evalEntry),
+		// Strategies that never resubmit an index opt out in their run (the
+		// exhaustive enumeration); everyone else benefits from dedup.
+		cacheEvals: true,
 	}
 
 	strat.run(e)

@@ -113,6 +113,11 @@ type exhaustive struct{}
 func (exhaustive) Spec() string { return "exhaustive" }
 
 func (exhaustive) run(e *engine) {
+	// A complete enumeration visits every index exactly once: the eval cache
+	// could never hit, and populating it would retain a DeltaState per legal
+	// placement until the search ends. Delta chaining below uses the previous
+	// evaluation's state directly and needs no cache.
+	e.cacheEvals = false
 	n := e.space.Arrays()
 	if n == 0 {
 		return

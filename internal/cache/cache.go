@@ -14,14 +14,15 @@ import (
 // Cache is a set-associative cache with true-LRU replacement.
 type Cache struct {
 	lineBytes uint64
+	lineShift uint // log2(lineBytes) when a power of two, else 0 with lineBytes > 1
 	ways      int
 	setMask   uint64
 
-	// sets is laid out as sets*ways entries; tags[i] holds the line tag,
-	// stamp[i] the LRU timestamp. valid is tracked by tag != invalidTag.
-	tags  []uint64
-	stamp []uint64
-	tick  uint64
+	// sets is laid out as sets*ways entries; within a set, tags are kept in
+	// recency order (most-recently-used first), so the LRU victim is always
+	// the last way. valid is tracked by tag != invalidTag, and invalid ways
+	// only ever occupy the tail of a set.
+	tags []uint64
 
 	hits   int64
 	misses int64
@@ -49,7 +50,12 @@ func NewChecked(g gpu.CacheGeometry) (*Cache, error) {
 		ways:      g.Ways,
 		setMask:   uint64(sets - 1),
 		tags:      make([]uint64, sets*g.Ways),
-		stamp:     make([]uint64, sets*g.Ways),
+	}
+	if lb := c.lineBytes; lb&(lb-1) == 0 {
+		for lb > 1 {
+			c.lineShift++
+			lb >>= 1
+		}
 	}
 	for i := range c.tags {
 		c.tags[i] = invalidTag
@@ -73,36 +79,46 @@ func (c *Cache) LineBytes() int { return int(c.lineBytes) }
 
 // Access looks up the line containing addr, updating LRU state and counters;
 // on a miss the line is filled. Returns true on hit.
+//
+// LRU is tracked by keeping each set's tags in recency order, so a hit is a
+// rotate-to-front and a miss evicts the tail — the same hit/miss sequence as
+// timestamped true-LRU without a second metadata array to scan.
 func (c *Cache) Access(addr uint64) bool {
-	tag := addr / c.lineBytes
-	set := int(tag & c.setMask)
-	base := set * c.ways
-	c.tick++
-
-	victim, oldest := base, c.stamp[base]
-	for i := base; i < base+c.ways; i++ {
-		if c.tags[i] == tag {
-			c.stamp[i] = c.tick
+	var tag uint64
+	if c.lineShift != 0 {
+		tag = addr >> c.lineShift
+	} else {
+		tag = addr / c.lineBytes
+	}
+	base := int(tag&c.setMask) * c.ways
+	set := c.tags[base : base+c.ways : base+c.ways]
+	if set[0] == tag {
+		c.hits++
+		return true
+	}
+	for i := 1; i < len(set); i++ {
+		if set[i] == tag {
+			copy(set[1:i+1], set[:i])
+			set[0] = tag
 			c.hits++
 			return true
 		}
-		if c.tags[i] == invalidTag {
-			// Prefer empty ways as victims.
-			victim, oldest = i, 0
-		} else if c.stamp[i] < oldest {
-			victim, oldest = i, c.stamp[i]
-		}
 	}
 	c.misses++
-	c.tags[victim] = tag
-	c.stamp[victim] = c.tick
+	copy(set[1:], set[:len(set)-1])
+	set[0] = tag
 	return false
 }
 
 // Probe reports whether the line containing addr is resident without
 // touching LRU state or counters.
 func (c *Cache) Probe(addr uint64) bool {
-	tag := addr / c.lineBytes
+	var tag uint64
+	if c.lineShift != 0 {
+		tag = addr >> c.lineShift
+	} else {
+		tag = addr / c.lineBytes
+	}
 	base := int(tag&c.setMask) * c.ways
 	for i := base; i < base+c.ways; i++ {
 		if c.tags[i] == tag {
@@ -134,10 +150,48 @@ func (c *Cache) MissRatio() float64 {
 func (c *Cache) Reset() {
 	for i := range c.tags {
 		c.tags[i] = invalidTag
-		c.stamp[i] = 0
 	}
-	c.tick, c.hits, c.misses = 0, 0, 0
+	c.hits, c.misses = 0, 0
 }
+
+// Indexer exposes a cache geometry's address decomposition — line tag and
+// set index — without any cache state. It applies exactly the rounding rules
+// of NewChecked (sets rounded down to a power of two), so Indexer and Cache
+// built from the same geometry agree on every address: two addresses collide
+// in the Cache iff the Indexer gives them the same tag or the same set. This
+// is what lets callers reason about set occupancy analytically (e.g. prove a
+// walk can never evict) instead of simulating.
+type Indexer struct {
+	lineBytes uint64
+	lineShift uint
+	ways      int
+	setMask   uint64
+}
+
+// NewIndexer derives the address decomposition of a geometry. Like New, it
+// panics on geometries gpu.Config.Validate would reject.
+func NewIndexer(g gpu.CacheGeometry) Indexer {
+	c := New(g)
+	return Indexer{lineBytes: c.lineBytes, lineShift: c.lineShift, ways: c.ways, setMask: c.setMask}
+}
+
+// Tag returns the line tag of an address — equal tags mean the same cache
+// line.
+func (x Indexer) Tag(addr uint64) uint64 {
+	if x.lineShift != 0 {
+		return addr >> x.lineShift
+	}
+	return addr / x.lineBytes
+}
+
+// Set returns the set index a tag maps to.
+func (x Indexer) Set(tag uint64) int { return int(tag & x.setMask) }
+
+// Ways returns the geometry's associativity.
+func (x Indexer) Ways() int { return x.ways }
+
+// NumSets returns the number of sets after power-of-two rounding.
+func (x Indexer) NumSets() int { return int(x.setMask) + 1 }
 
 // LinesTouched returns the distinct line base addresses referenced by a set
 // of byte addresses, ascending. This is the warp-level coalescing unit: each

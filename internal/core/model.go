@@ -9,6 +9,7 @@ import (
 	"gpuhms/internal/dram"
 	"gpuhms/internal/gpu"
 	"gpuhms/internal/hmserr"
+	"gpuhms/internal/memsys"
 	"gpuhms/internal/obs"
 	"gpuhms/internal/perf"
 	"gpuhms/internal/placement"
@@ -138,11 +139,12 @@ type Predictor struct {
 	prog  *program
 	cache *contribCache
 
-	// mu guards an, the lazily-built reusable DRAM merge scratch that makes
-	// repeated evaluations allocation-lean (one analyzer per predictor
-	// instead of per prediction).
-	mu sync.Mutex
-	an *dram.Analyzer
+	// mu guards scr, the lazily-built reusable merge scratch (shared cache
+	// hierarchy, per-SM caches, DRAM analyzer) that makes repeated
+	// evaluations allocation-lean — one set per predictor instead of per
+	// prediction.
+	mu  sync.Mutex
+	scr *mergeScratch
 }
 
 // Clone returns a predictor sharing this one's immutable state (model,
@@ -222,13 +224,13 @@ func (p *Predictor) SamplePlacement() *placement.Placement { return p.sample }
 func (m *Model) AnalyzePlacement(t *trace.Trace, sample, target *placement.Placement, collectArrivals bool) *Analysis {
 	prog := newProgram(m.Cfg, t)
 	layout := placement.Retarget(t, placement.NewLayout(t, sample), sample, target)
+	resolver := memsys.NewHierarchy(m.Cfg)
 	contribs := make([]*contribution, len(t.Arrays))
 	for i := range t.Arrays {
 		sp := target.Spaces[i]
-		contribs[i] = prog.buildContribution(trace.ArrayID(i), sp, addrKeyOf(layout, sp, i))
+		contribs[i] = prog.buildContribution(resolver, trace.ArrayID(i), sp, addrKeyOf(layout, sp, i))
 	}
-	an := dram.NewAnalyzer(m.Cfg.DRAM, m.Mapping, m.distMode())
-	return prog.merge(target, contribs, an, collectArrivals)
+	return prog.merge(target, contribs, newMergeScratch(m.Cfg, m.Mapping, m.distMode()), collectArrivals, nil)
 }
 
 // evalState runs the decomposed evaluation of a target placement: resolve the
@@ -257,7 +259,7 @@ func (p *Predictor) evalState(target *placement.Placement, prev *DeltaState, mov
 			continue
 		}
 		if !useCache {
-			contribs[i] = p.prog.buildContribution(trace.ArrayID(i), sp, addr)
+			contribs[i] = p.prog.buildContribution(p.cache.resolver, trace.ArrayID(i), sp, addr)
 			builds++
 			continue
 		}
@@ -269,13 +271,19 @@ func (p *Predictor) evalState(target *placement.Placement, prev *DeltaState, mov
 			builds++
 		}
 	}
-	p.mu.Lock()
-	if p.an == nil {
-		p.an = dram.NewAnalyzer(p.model.Cfg.DRAM, p.model.Mapping, p.model.distMode())
-	} else {
-		p.an.Reset()
+	// PredictFull bypasses the group-sim cache too: cache-distrusting
+	// evaluations rebuild every memoized input.
+	var groups *groupCache
+	if useCache {
+		groups = &p.cache.groups
 	}
-	an := p.prog.merge(target, contribs, p.an, false)
+	p.mu.Lock()
+	if p.scr == nil {
+		p.scr = newMergeScratch(p.model.Cfg, p.model.Mapping, p.model.distMode())
+	} else {
+		p.scr.reset()
+	}
+	an := p.prog.merge(target, contribs, p.scr, false, groups)
 	p.mu.Unlock()
 	st := &DeltaState{place: target.Clone(), layout: layout, contribs: contribs}
 	return an, st, hits, builds

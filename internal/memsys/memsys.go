@@ -239,3 +239,139 @@ func (h *Hierarchy) AccessScratch(sm *SMCaches, b *Binding, in *trace.Inst, sc *
 
 // Reset clears all cache state in the hierarchy (not the per-SM caches).
 func (h *Hierarchy) Reset() { h.L2.Reset() }
+
+// Resolved is the cache-independent half of resolving one memory access: the
+// per-lane addresses coalesced into first-level transactions and the replays
+// that depend only on the address pattern (divergence, shared bank conflicts,
+// atomic serialization). It is a pure function of (instruction, space,
+// address binding) — no cache state is read or written — so it can be
+// computed once per binding and reused, with ProbeLines supplying the
+// cache-dependent half per evaluation. ResolveScratch followed by ProbeLines
+// on the same access reproduces AccessScratch exactly.
+type Resolved struct {
+	Space gpu.MemSpace
+
+	// Transactions is the number of first-level accesses the warp access
+	// coalesced into, exactly as in Result.
+	Transactions int
+
+	// Replays holds the cache-independent replay causes only: global and
+	// constant divergence, shared bank conflicts, atomic conflicts. Constant
+	// cache misses (cause (2)) are cache state and come from ProbeLines.
+	Replays replay.Breakdown
+
+	SharedConflicts int
+
+	// Lines holds the first-level cache line addresses this access probes
+	// (L2 transaction lines for global, constant-cache lines for constant,
+	// texture-cache lines for texture); nil for shared memory, which never
+	// reaches a cache. The slice aliases the Scratch — consume it before the
+	// next ResolveScratch call on the same Scratch.
+	Lines []uint64
+}
+
+// ResolveScratch computes the cache-independent resolution of one memory
+// instruction: addresses, coalescing, and static replays, with the
+// first-level line stream left unprobed. It reads no cache state, so it is
+// safe to call concurrently on a shared Hierarchy (unlike AccessScratch).
+func (h *Hierarchy) ResolveScratch(b *Binding, in *trace.Inst, sc *Scratch) Resolved {
+	sp := b.Place.Of(in.Array)
+	res := Resolved{Space: sp}
+	addrs := b.Addresses(in, sc.addrs)
+	sc.addrs = addrs
+	if len(addrs) == 0 {
+		res.Transactions = 1
+		return res
+	}
+
+	if in.Op == trace.OpAtomic {
+		res.Replays.Add(replay.AtomicConflict, replay.AtomicConflictReplays(addrs))
+	}
+
+	switch sp {
+	case gpu.Shared:
+		res.Transactions = 1
+		conflicts := replay.SharedConflictReplays(h.Sh, addrs)
+		res.SharedConflicts = int(conflicts)
+		res.Replays.Add(replay.SharedBankConflict, conflicts)
+
+	case gpu.Global:
+		lines := cache.LinesTouchedInto(sc.lines, addrs, h.Cfg.TransactionBytes)
+		sc.lines = lines
+		res.Transactions = len(lines)
+		res.Replays.Add(replay.GlobalDivergence, int64(len(lines)-1))
+		res.Lines = lines
+
+	case gpu.Constant:
+		words := cache.LinesTouchedInto(sc.words, addrs, b.Trace.Array(in.Array).Type.Bytes())
+		sc.words = words
+		res.Replays.Add(replay.ConstantDivergence, int64(len(words)-1))
+		lines := cache.LinesTouchedInto(sc.lines, addrs, h.Cfg.Constant.LineBytes)
+		sc.lines = lines
+		res.Transactions = len(words)
+		res.Lines = lines
+
+	case gpu.Texture1D, gpu.Texture2D:
+		lines := cache.LinesTouchedInto(sc.lines, addrs, h.Cfg.Texture.LineBytes)
+		sc.lines = lines
+		res.Transactions = len(lines)
+		res.Lines = lines
+	}
+	return res
+}
+
+// ProbeCounts are the cache-dependent outcomes of replaying one access's
+// first-level lines through the shared caches.
+type ProbeCounts struct {
+	// ConstMisses counts constant-cache misses; each one is also an
+	// instruction replay (§III-B cause (2)).
+	ConstMisses int64
+	TexMisses   int64
+	L2Accesses  int64
+	L2Misses    int64
+}
+
+// ProbeLines is the cache-dependent half of an access: it replays one
+// access's first-level lines (Resolved.Lines) through the shared caches in
+// line order, updating their state exactly as AccessScratch would, and
+// appends the lines that miss everything — the DRAM requests — to dram.
+// Shared-memory accesses have no lines and probe nothing. Because the caches
+// are shared, the outcome depends on every access probed before this one:
+// this is the cross-array cache interaction (one array evicting another's
+// lines) that per-array resolution deliberately leaves out.
+func (h *Hierarchy) ProbeLines(sm *SMCaches, sp gpu.MemSpace, lines []uint64, dram []uint64) (ProbeCounts, []uint64) {
+	var pc ProbeCounts
+	switch sp {
+	case gpu.Global:
+		for _, ln := range lines {
+			pc.L2Accesses++
+			if !h.L2.Access(ln) {
+				pc.L2Misses++
+				dram = append(dram, ln)
+			}
+		}
+	case gpu.Constant:
+		for _, ln := range lines {
+			if !sm.Const.Access(ln) {
+				pc.ConstMisses++
+				pc.L2Accesses++
+				if !h.L2.Access(ln) {
+					pc.L2Misses++
+					dram = append(dram, ln)
+				}
+			}
+		}
+	case gpu.Texture1D, gpu.Texture2D:
+		for _, ln := range lines {
+			if !sm.Tex.Access(ln) {
+				pc.TexMisses++
+				pc.L2Accesses++
+				if !h.L2.Access(ln) {
+					pc.L2Misses++
+					dram = append(dram, ln)
+				}
+			}
+		}
+	}
+	return pc, dram
+}
