@@ -32,7 +32,7 @@ var (
 func ctx(b *testing.B) *experiments.Context {
 	b.Helper()
 	benchOnce.Do(func() {
-		benchCtx = experiments.NewContext(gpu.KeplerK80(), 1)
+		benchCtx = experiments.NewContext(gpu.MustLookup("k80"), 1)
 	})
 	return benchCtx
 }
@@ -220,7 +220,7 @@ func BenchmarkSensitivity(b *testing.B) {
 // BenchmarkSimulator measures ground-truth simulation throughput on the
 // matrixMul kernel (cycles per simulated kernel).
 func BenchmarkSimulator(b *testing.B) {
-	cfg := gpu.KeplerK80()
+	cfg := gpu.MustLookup("k80")
 	s := sim.New(cfg)
 	spec := kernels.MustGet("matrixMul")
 	tr := spec.Trace(1)
@@ -235,7 +235,7 @@ func BenchmarkSimulator(b *testing.B) {
 
 // BenchmarkTraceAnalysis measures the model's §IV analysis pass.
 func BenchmarkTraceAnalysis(b *testing.B) {
-	cfg := gpu.KeplerK80()
+	cfg := gpu.MustLookup("k80")
 	spec := kernels.MustGet("matrixMul")
 	tr := spec.Trace(1)
 	sample, _ := spec.SamplePlacement(tr)
@@ -249,7 +249,7 @@ func BenchmarkTraceAnalysis(b *testing.B) {
 // BenchmarkPredict measures one target-placement prediction (analysis +
 // queuing fixed point).
 func BenchmarkPredict(b *testing.B) {
-	cfg := gpu.KeplerK80()
+	cfg := gpu.MustLookup("k80")
 	spec := kernels.MustGet("spmv")
 	tr := spec.Trace(1)
 	sample, _ := spec.SamplePlacement(tr)
@@ -276,7 +276,7 @@ func BenchmarkPredict(b *testing.B) {
 // training set (fresh context each iteration — nothing memoized).
 func BenchmarkTrainOverlap(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		c := experiments.NewContext(gpu.KeplerK80(), 1)
+		c := experiments.NewContext(gpu.MustLookup("k80"), 1)
 		if _, err := c.TrainOverlap(baseline.Ours()); err != nil {
 			b.Fatal(err)
 		}
@@ -294,7 +294,7 @@ func BenchmarkKernelGen(b *testing.B) {
 
 // BenchmarkDRAMService measures the event-driven bank model.
 func BenchmarkDRAMService(b *testing.B) {
-	topo := gpu.KeplerK80().DRAM
+	topo := gpu.MustLookup("k80").DRAM
 	s := dram.NewSystem(topo, dram.DefaultMapping(topo))
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
@@ -315,7 +315,7 @@ func BenchmarkKingman(b *testing.B) {
 // BenchmarkAdvisorRank measures the end-user flow: rank every legal
 // placement of a kernel (advisor trained once).
 func BenchmarkAdvisorRank(b *testing.B) {
-	adv, err := gpuhms.NewAdvisor(gpuhms.KeplerK80())
+	adv, err := gpuhms.NewAdvisorForArch("k80")
 	if err != nil {
 		b.Fatal(err)
 	}

@@ -21,7 +21,7 @@ func main() {
 	run := flag.String("run", "", "comma-separated experiment names (default: all); one of "+
 		strings.Join(experiments.Names(), ","))
 	scale := flag.Int("scale", 1, "workload scale factor")
-	arch := flag.String("arch", "k80", "architecture: k80 or fermi")
+	arch := flag.String("arch", "k80", "architecture: a registry name or alias ("+strings.Join(gpu.Names(), ", ")+")")
 	flag.Parse()
 
 	names := experiments.Names()
@@ -29,13 +29,9 @@ func main() {
 		names = strings.Split(*run, ",")
 	}
 
-	cfg := gpu.KeplerK80()
-	switch *arch {
-	case "k80":
-	case "fermi":
-		cfg = gpu.FermiC2050()
-	default:
-		fmt.Fprintf(os.Stderr, "unknown -arch %q (want k80 or fermi)\n", *arch)
+	cfg, err := gpu.Lookup(*arch)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
 		os.Exit(2)
 	}
 

@@ -234,14 +234,9 @@ func (a *Artifact) allReports() []*loadgen.Report {
 // buildService trains the advisor and assembles an in-process service with
 // the observability options under test wired in.
 func buildService(arch, accessLog string, traceSample int, sloP99 time.Duration, sloAvail float64) (*service.Server, *obs.Collector, func()) {
-	var cfg *gpu.Config
-	switch arch {
-	case "k80":
-		cfg = gpu.KeplerK80()
-	case "fermi":
-		cfg = gpu.FermiC2050()
-	default:
-		log.Fatalf("unknown -archs %q (want k80 or fermi)", arch)
+	cfg, err := gpu.Lookup(arch)
+	if err != nil {
+		log.Fatalf("-archs: %v", err)
 	}
 	start := time.Now()
 	adv, err := advisor.New(cfg)

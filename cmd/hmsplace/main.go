@@ -132,7 +132,7 @@ func main() {
 		explain  = flag.Bool("explain", false, "print the Eq 1 breakdown of the top-ranked placement")
 		measure  = flag.Bool("measure", false, "also run the simulator on every candidate for comparison")
 		scale    = flag.Int("scale", 1, "workload scale factor")
-		arch     = flag.String("arch", "k80", "architecture: k80 or fermi")
+		arch     = flag.String("arch", "k80", "architecture: a registry name or alias (k80, fermi, hbm, chiplet, ...)")
 		saveTo   = flag.String("save-model", "", "write the trained model JSON to this file")
 		loadFr   = flag.String("load-model", "", "load a trained model JSON instead of training")
 		timeout  = flag.Duration("timeout", 0, "abort profiling and search after this long, e.g. 30s (0 = no limit)")
@@ -309,13 +309,15 @@ func main() {
 		defer cancel()
 	}
 
-	cfg := gpu.KeplerK80()
-	switch *arch {
-	case "k80":
-	case "fermi":
-		cfg = gpu.FermiC2050()
-	default:
-		log.Fatalf("unknown -arch %q (want k80 or fermi)", *arch)
+	// Architectures resolve through the registry: any registered name or
+	// alias works, and the profile arrives pre-validated.
+	archName, err := gpu.Canonical(*arch)
+	if err != nil {
+		log.Fatalf("unknown -arch %q (want one of %s)", *arch, strings.Join(gpu.Names(), ", "))
+	}
+	cfg, err := gpu.Lookup(archName)
+	if err != nil {
+		log.Fatal(err)
 	}
 	if *list {
 		w := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
@@ -332,7 +334,7 @@ func main() {
 		return
 	}
 	if *fleetSpec != "" {
-		runFleet(runCtx, cfg, *arch, *fleetSpec, *solver, *objective,
+		runFleet(runCtx, cfg, archName, *fleetSpec, *solver, *objective,
 			*budget, *parallel, *jsonOut, rec, emitArtifacts)
 		return
 	}
@@ -408,6 +410,7 @@ func main() {
 	}
 	pred.SetRecorder(rec)
 	if !*jsonOut {
+		fmt.Println(archHeader(archName, cfg))
 		fmt.Printf("kernel %s (%s), sample placement %s: profiled %.0f ns\n\n",
 			*kernel, spec.KernelName, samplePl.Format(tr), prof.TimeNS)
 	}
@@ -553,7 +556,7 @@ func main() {
 			}
 		}
 		resp := &service.RankResponse{
-			Arch:   *arch,
+			Arch:   archName,
 			Kernel: *kernel,
 			Scale:  *scale,
 			Sample: samplePl.Format(tr),
@@ -813,4 +816,39 @@ func parseFleetSpec(path string, budgets fleet.Budgets) ([]fleet.Tenant, fleet.B
 		return nil, budgets, fmt.Errorf("%s: no tenant directives", path)
 	}
 	return tenants, budgets, nil
+}
+
+// archHeader summarizes the resolved architecture for table output: the
+// registry name, the hardware model, and the placement capacity of every
+// space legal on it (remote spaces appear only for chiplet architectures).
+func archHeader(archName string, cfg *gpu.Config) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "arch %s (%s):", archName, cfg.Name)
+	for _, sp := range gpu.Spaces {
+		if sp.Remote() && !cfg.HasRemote() {
+			continue
+		}
+		fmt.Fprintf(&b, " %s=%s", sp, fmtBytes(cfg.CapacityBytes(sp)))
+	}
+	if cfg.HasRemote() {
+		fmt.Fprintf(&b, " (interposer %.0fns)", cfg.Interposer.LatencyNS)
+	}
+	return b.String()
+}
+
+// fmtBytes renders a capacity in the largest exact binary unit; negative
+// means unbounded for placement purposes.
+func fmtBytes(n int) string {
+	switch {
+	case n < 0:
+		return "unbounded"
+	case n >= 1<<30 && n%(1<<30) == 0:
+		return fmt.Sprintf("%dGiB", n>>30)
+	case n >= 1<<20 && n%(1<<20) == 0:
+		return fmt.Sprintf("%dMiB", n>>20)
+	case n >= 1<<10 && n%(1<<10) == 0:
+		return fmt.Sprintf("%dKiB", n>>10)
+	default:
+		return fmt.Sprintf("%dB", n)
+	}
 }

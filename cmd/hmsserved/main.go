@@ -5,7 +5,7 @@
 // service instead of a per-invocation CLI.
 //
 //	hmsserved                                # k80 on :8080
-//	hmsserved -addr :9090 -archs k80,fermi
+//	hmsserved -addr :9090 -archs k80,fermi,hbm,chiplet
 //	hmsserved -archs k80 -load-model k80.json
 //	hmsserved -workers 8 -queue 128 -cache 512 -timeout 30s
 //	hmsserved -workers 2 -parallel 8         # few requests, big rankings
@@ -13,9 +13,13 @@
 //	hmsserved -snapshot state.snap           # crash-safe warm boot (docs/ROBUSTNESS.md)
 //
 // Endpoints (docs/SERVICE.md): POST /v1/rank, POST /v1/predict,
-// POST /v1/fleet/rank (capacity-constrained multi-kernel placement,
-// docs/FLEET.md; -fleet-solver sets its default solver), GET /v1/kernels,
-// GET /healthz, GET /readyz, GET /metrics. Concurrency is
+// POST /v1/compare (one kernel ranked across several architectures,
+// docs/ARCHES.md), POST /v1/fleet/rank (capacity-constrained multi-kernel
+// placement, docs/FLEET.md; -fleet-solver sets its default solver),
+// GET /v1/kernels, GET /v1/arches, GET /healthz, GET /readyz,
+// GET /metrics. The -archs list resolves through the gpu registry, so any
+// registered name or alias (k80, fermi, hbm, chiplet, …) can be kept warm.
+// Concurrency is
 // bounded by a worker pool with an explicit queue — a full queue sheds load
 // with 429 and a jittered Retry-After, and requests whose deadline budget
 // cannot cover the observed median service time are shed with 504 — and
@@ -71,7 +75,7 @@ func main() {
 
 	var (
 		addr     = flag.String("addr", ":8080", "listen address (host:port; port 0 picks a free port)")
-		archs    = flag.String("archs", "k80", "comma-separated architectures to keep warm: k80, fermi")
+		archs    = flag.String("archs", "k80", "comma-separated architectures to keep warm (registry names or aliases): "+strings.Join(gpu.Names(), ", "))
 		loadFr   = flag.String("load-model", "", "load a trained model JSON instead of training (single -archs entry only)")
 		workers  = flag.Int("workers", 0, "concurrent searches (0 = GOMAXPROCS)")
 		queue    = flag.Int("queue", 64, "pending-request queue capacity (full queue answers 429)")
@@ -288,12 +292,16 @@ func bootHandler() http.Handler {
 	return mux
 }
 
-// requestedArchs normalizes the -archs flag into the banner's arch list
-// (validation happens later in buildAdvisors).
+// requestedArchs normalizes the -archs flag into the banner's arch list:
+// registry aliases print as their canonical names; unknown names pass
+// through (validation happens later in buildAdvisors).
 func requestedArchs(archList string) []string {
 	var out []string
 	for _, name := range strings.Split(archList, ",") {
 		if name = strings.TrimSpace(name); name != "" {
+			if canon, err := gpu.Canonical(name); err == nil {
+				name = canon
+			}
 			out = append(out, name)
 		}
 	}
@@ -314,16 +322,21 @@ func buildAdvisors(archList, loadFrom string, saved map[string]json.RawMessage, 
 	}
 	cfgs := make(map[string]*gpu.Config, len(names))
 	for _, name := range names {
-		name = strings.TrimSpace(name)
-		switch name {
-		case "k80":
-			cfgs[name] = gpu.KeplerK80()
-		case "fermi":
-			cfgs[name] = gpu.FermiC2050()
-		case "":
-		default:
-			return nil, fmt.Errorf("unknown architecture %q (want k80 or fermi)", name)
+		if name = strings.TrimSpace(name); name == "" {
+			continue
 		}
+		// The registry is the single production path to a *gpu.Config:
+		// aliases resolve to canonical names (so "-archs Tesla-K80" serves
+		// under "k80") and every profile arrives pre-validated.
+		canon, err := gpu.Canonical(name)
+		if err != nil {
+			return nil, err
+		}
+		cfg, err := gpu.Lookup(canon)
+		if err != nil {
+			return nil, err
+		}
+		cfgs[canon] = cfg
 	}
 	if len(cfgs) == 0 {
 		return nil, errors.New("no architectures requested")

@@ -19,7 +19,7 @@ func TestAdvisorConcurrentUse(t *testing.T) {
 	if testing.Short() {
 		t.Skip("trains a full advisor")
 	}
-	adv, err := gpuhms.NewAdvisor(gpuhms.KeplerK80())
+	adv, err := gpuhms.NewAdvisorForArch("k80")
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -14,7 +14,10 @@ import (
 )
 
 func main() {
-	cfg := gpuhms.KeplerK80()
+	cfg, err := gpuhms.LookupArch("k80")
+	if err != nil {
+		panic(err)
+	}
 	res := gpuhms.DetectAddressMapping(cfg)
 
 	fmt.Println("Algorithm 1: DRAM address-mapping detection on the modeled K80")

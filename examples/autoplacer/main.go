@@ -24,7 +24,10 @@ func main() {
 		kernels = []string{"matrixMul", "spmv", "convolution"}
 	}
 
-	cfg := gpuhms.KeplerK80()
+	cfg, err := gpuhms.LookupArch("k80")
+	if err != nil {
+		log.Fatal(err)
+	}
 	adv, err := gpuhms.NewAdvisor(cfg)
 	if err != nil {
 		log.Fatal(err)

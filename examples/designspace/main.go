@@ -19,7 +19,7 @@ func main() {
 	log.SetFlags(0)
 
 	configs := []*gpuhms.Config{
-		gpuhms.KeplerK80(),
+		mustArch("k80"),
 		cacheStarved(),
 		latencyHeavy(),
 	}
@@ -64,7 +64,7 @@ func main() {
 // cacheStarved shrinks every cache by 8x: placements that rely on reuse
 // (texture for the gathered vector) lose their edge.
 func cacheStarved() *gpuhms.Config {
-	cfg := gpuhms.KeplerK80()
+	cfg := mustArch("k80")
 	cfg.Name = "cache-starved K80 (caches / 8)"
 	cfg.L2.SizeBytes /= 8
 	cfg.Texture.SizeBytes /= 8
@@ -74,11 +74,21 @@ func cacheStarved() *gpuhms.Config {
 
 // latencyHeavy doubles every off-chip latency: on-chip placements gain.
 func latencyHeavy() *gpuhms.Config {
-	cfg := gpuhms.KeplerK80()
+	cfg := mustArch("k80")
 	cfg.Name = "latency-heavy K80 (2x DRAM latency)"
 	cfg.DRAM.HitLatencyNS *= 2
 	cfg.DRAM.MissLatencyNS *= 2
 	cfg.DRAM.ConflictLatencyNS *= 2
 	cfg.CacheHitLatency *= 2
+	return cfg
+}
+
+// mustArch resolves a registry architecture, panicking on unknown names —
+// fine for an example with hardcoded names.
+func mustArch(name string) *gpuhms.Config {
+	cfg, err := gpuhms.LookupArch(name)
+	if err != nil {
+		panic(err)
+	}
 	return cfg
 }

@@ -56,8 +56,7 @@ func main() {
 	}
 	tr := b.MustBuild()
 
-	cfg := gpuhms.KeplerK80()
-	adv, err := gpuhms.NewAdvisor(cfg)
+	adv, err := gpuhms.NewAdvisorForArch("k80")
 	if err != nil {
 		log.Fatal(err)
 	}

@@ -18,8 +18,7 @@ import (
 func main() {
 	log.SetFlags(0)
 
-	cfg := gpuhms.KeplerK80()
-	adv, err := gpuhms.NewAdvisor(cfg)
+	adv, err := gpuhms.NewAdvisorForArch("k80")
 	if err != nil {
 		log.Fatal(err)
 	}

@@ -8,7 +8,7 @@ import (
 // TestAdvisorSaveLoadRoundTrip trains once, saves, reloads, and checks the
 // reloaded advisor predicts identically.
 func TestAdvisorSaveLoadRoundTrip(t *testing.T) {
-	cfg := KeplerK80()
+	cfg := MustLookupArch("k80")
 	adv, err := NewAdvisor(cfg)
 	if err != nil {
 		t.Fatal(err)
@@ -48,7 +48,7 @@ func TestAdvisorSaveLoadRoundTrip(t *testing.T) {
 	if err := adv.Save(&buf2); err != nil {
 		t.Fatal(err)
 	}
-	if _, err := NewAdvisorFromSaved(FermiC2050(), &buf2); err == nil {
+	if _, err := NewAdvisorFromSaved(MustLookupArch("fermi"), &buf2); err == nil {
 		t.Error("loading a K80 model for Fermi must fail")
 	}
 }
@@ -56,7 +56,7 @@ func TestAdvisorSaveLoadRoundTrip(t *testing.T) {
 // TestGreedyAgreesWithExhaustiveTop exercises BestGreedy and requires its
 // pick to be competitive with the exhaustive ranking's best.
 func TestGreedyAgreesWithExhaustiveTop(t *testing.T) {
-	cfg := KeplerK80()
+	cfg := MustLookupArch("k80")
 	adv, err := NewAdvisor(cfg)
 	if err != nil {
 		t.Fatal(err)
@@ -87,7 +87,7 @@ func TestGreedyAgreesWithExhaustiveTop(t *testing.T) {
 // TestFermiEndToEnd runs the whole pipeline — simulate, train, predict —
 // on the second architecture.
 func TestFermiEndToEnd(t *testing.T) {
-	cfg := FermiC2050()
+	cfg := MustLookupArch("fermi")
 	if err := cfg.Validate(); err != nil {
 		t.Fatal(err)
 	}

@@ -15,10 +15,15 @@
 //     with replays and addressing modes, G/G/1 DRAM queuing with
 //     row-buffer-aware service times, and the trained overlap model.
 //
+// Architectures resolve through a named registry (LookupArch, ArchNames):
+// the paper's Tesla K80 ("k80"), a Fermi C2050 ("fermi"), an HBM-class
+// wide-bus profile ("hbm"), and a two-die chiplet profile ("chiplet") whose
+// off-chip spaces split into local and remote variants across an interposer
+// (docs/ARCHES.md).
+//
 // A minimal session:
 //
-//	cfg := gpuhms.KeplerK80()
-//	adv, _ := gpuhms.NewAdvisor(cfg)
+//	adv, _ := gpuhms.NewAdvisorForArch("k80")
 //	spec, _ := gpuhms.Kernel("matrixMul")
 //	tr := spec.Trace(1)
 //	sample, _ := spec.SamplePlacement(tr)
@@ -100,22 +105,66 @@ var (
 // Config describes the modeled GPU architecture.
 type Config = gpu.Config
 
+// ErrUnknownArch is wrapped by LookupArch for names the registry does not
+// know; the message always lists the available canonical names.
+var ErrUnknownArch = gpu.ErrUnknownArch
+
+// LookupArch resolves an architecture name or alias through the registry
+// and builds a fresh, validated *Config. This is the production path to a
+// Config: "k80", "fermi", "hbm", "chiplet", and their aliases ("p100",
+// "mcm", "tesla-k80", …) all resolve here. Unknown names return an error
+// wrapping ErrUnknownArch.
+func LookupArch(name string) (*Config, error) { return gpu.Lookup(name) }
+
+// MustLookupArch is LookupArch for registered builtins in examples and
+// tests; it panics on error.
+func MustLookupArch(name string) *Config { return gpu.MustLookup(name) }
+
+// ArchNames returns the sorted canonical names of every registered
+// architecture.
+func ArchNames() []string { return gpu.Names() }
+
+// NewAdvisorForArch trains an advisor for a registry architecture: the
+// one-call replacement for NewAdvisor(KeplerK80()) that works for every
+// registered name or alias.
+func NewAdvisorForArch(name string) (*Advisor, error) {
+	cfg, err := gpu.Lookup(name)
+	if err != nil {
+		return nil, err
+	}
+	return advisor.New(cfg)
+}
+
 // KeplerK80 returns the default Tesla-K80-like architecture.
+//
+// Compatibility wrapper: new code should resolve architectures through the
+// registry (LookupArch("k80")), which validates the profile and accepts
+// aliases.
 func KeplerK80() *Config { return gpu.KeplerK80() }
 
 // FermiC2050 returns a Tesla-C2050-like (Fermi) architecture.
+//
+// Compatibility wrapper: new code should use LookupArch("fermi").
 func FermiC2050() *Config { return gpu.FermiC2050() }
 
 // MemSpace identifies one programmable memory component of the HMS.
 type MemSpace = gpu.MemSpace
 
-// Memory spaces.
+// Memory spaces. The *Remote variants exist only on chiplet architectures
+// (Config.HasRemote): the same physical kind of memory reached across an
+// interposer on the other die, with its own capacity pool and a per-request
+// crossing latency (docs/ARCHES.md).
 const (
 	Global    = gpu.Global
 	Shared    = gpu.Shared
 	Constant  = gpu.Constant
 	Texture1D = gpu.Texture1D
 	Texture2D = gpu.Texture2D
+
+	GlobalRemote    = gpu.GlobalRemote
+	ConstantRemote  = gpu.ConstantRemote
+	Texture1DRemote = gpu.Texture1DRemote
+	Texture2DRemote = gpu.Texture2DRemote
 )
 
 // ParseSpace converts a space name ("G", "2T", "shared", …).
@@ -318,6 +367,18 @@ type (
 	KernelInfo = service.KernelInfo
 	// KernelsResponse is the kernels endpoint's reply.
 	KernelsResponse = service.KernelsResponse
+	// ArchInfo is one architecture in GET /v1/arches.
+	ArchInfo = service.ArchInfo
+	// ArchesResponse is the arches endpoint's reply.
+	ArchesResponse = service.ArchesResponse
+	// SpaceCapacity is one row of an ArchInfo capacity table.
+	SpaceCapacity = service.SpaceCapacity
+	// CompareRequest is the body of POST /v1/compare.
+	CompareRequest = service.CompareRequest
+	// CompareResponse is the compare endpoint's reply.
+	CompareResponse = service.CompareResponse
+	// CompareArchResult is one architecture's ranking in a CompareResponse.
+	CompareArchResult = service.CompareArchResult
 	// ErrorResponse is the JSON body of every non-2xx service reply.
 	ErrorResponse = service.ErrorResponse
 )

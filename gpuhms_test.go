@@ -7,7 +7,7 @@ import (
 
 // TestPublicAPIQuickstart exercises the documented happy path end to end.
 func TestPublicAPIQuickstart(t *testing.T) {
-	cfg := KeplerK80()
+	cfg := MustLookupArch("k80")
 	adv, err := NewAdvisor(cfg)
 	if err != nil {
 		t.Fatal(err)
@@ -63,7 +63,7 @@ func TestPublicAPICustomTrace(t *testing.T) {
 	}
 	tr := b.MustBuild()
 
-	cfg := KeplerK80()
+	cfg := MustLookupArch("k80")
 	sample, err := ParsePlacement(tr, "")
 	if err != nil {
 		t.Fatal(err)
@@ -106,7 +106,7 @@ func TestPublicAPIKernelRegistry(t *testing.T) {
 }
 
 func TestPublicAPIAddressMapping(t *testing.T) {
-	res := DetectAddressMapping(KeplerK80())
+	res := DetectAddressMapping(MustLookupArch("k80"))
 	if res.HitLatencyNS != 352 || res.ConflictLatencyNS != 1008 {
 		t.Errorf("latencies %g/%g", res.HitLatencyNS, res.ConflictLatencyNS)
 	}

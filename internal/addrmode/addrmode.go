@@ -29,9 +29,10 @@ import (
 // InstrPerAccess returns the number of executed (non-replayed) integer
 // instructions needed to form the effective address of one element access in
 // the given memory space for the given element type. Counts follow the SASS
-// analysis of Fig 2.
+// analysis of Fig 2. Remote spaces use their local counterpart's addressing
+// mode — the interposer changes the latency, not the SASS.
 func InstrPerAccess(space gpu.MemSpace, dt trace.DType) int {
-	switch space {
+	switch space.Base() {
 	case gpu.Global:
 		// IMAD + IMAD.HI.X: 64-bit address from 32-bit registers, for every
 		// element size (the size only changes the immediate multiplier).

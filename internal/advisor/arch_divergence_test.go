@@ -1,0 +1,101 @@
+package advisor
+
+import (
+	"context"
+	"errors"
+	"testing"
+
+	"gpuhms/internal/gpu"
+	"gpuhms/internal/hmserr"
+	"gpuhms/internal/kernels"
+	"gpuhms/internal/placement"
+)
+
+// rankTop1 trains an advisor for a registry arch and returns the
+// tablelookup kernel's exhaustive top-1 placement spec.
+func rankTop1(t *testing.T, arch string, parallelism int) string {
+	t.Helper()
+	cfg, err := gpu.Lookup(arch)
+	if err != nil {
+		t.Fatal(err)
+	}
+	adv, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	spec := kernels.MustGet("tablelookup")
+	tr := spec.Trace(1)
+	sample, err := spec.SamplePlacement(tr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := adv.RankPlacements(context.Background(), tr, sample, RankOptions{TopK: 1, Parallelism: parallelism})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Ranked) == 0 {
+		t.Fatalf("%s: empty ranking", arch)
+	}
+	return res.Ranked[0].Placement.Format(tr)
+}
+
+// TestGoldenArchDivergence pins the multi-arch scenario the registry exists
+// for: the tablelookup kernel's best placement provably differs between the
+// K80 and the chiplet. The exact winners are golden — an unexplained change
+// to either side means the cross-arch model behavior moved.
+func TestGoldenArchDivergence(t *testing.T) {
+	k80 := rankTop1(t, "k80", 1)
+	chiplet := rankTop1(t, "chiplet", 1)
+	t.Logf("k80 top-1: %s", k80)
+	t.Logf("chiplet top-1: %s", chiplet)
+	if k80 == chiplet {
+		t.Fatalf("top-1 placements identical across k80 and chiplet: %s", k80)
+	}
+	if want := "table:T,in:S,out:S"; k80 != want {
+		t.Errorf("k80 top-1 = %s, want %s", k80, want)
+	}
+	if want := "table:S,in:S,out:S"; chiplet != want {
+		t.Errorf("chiplet top-1 = %s, want %s", chiplet, want)
+	}
+}
+
+// TestTableConstantCapacityAsymmetry proves the capacity asymmetry behind
+// the tablelookup scenario: the 60 KiB table fits the K80's 64 KiB constant
+// memory but overflows the chiplet's 32 KiB local constant segment — where
+// the 64 KiB remote constant segment across the interposer still takes it.
+func TestTableConstantCapacityAsymmetry(t *testing.T) {
+	tr := kernels.MustGet("tablelookup").Trace(1)
+	place := func(spec string) (*placement.Placement, error) {
+		pl, err := placement.Parse(tr, spec)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return pl, nil
+	}
+	pl, _ := place("table:C")
+	if err := placement.Check(tr, pl, gpu.MustLookup("k80")); err != nil {
+		t.Errorf("table:C on k80: %v, want legal", err)
+	}
+	if err := placement.Check(tr, pl, gpu.MustLookup("chiplet")); !errors.Is(err, hmserr.ErrCapacityExceeded) {
+		t.Errorf("table:C on chiplet: %v, want ErrCapacityExceeded", err)
+	}
+	rc, _ := place("table:rC")
+	if err := placement.Check(tr, rc, gpu.MustLookup("chiplet")); err != nil {
+		t.Errorf("table:rC on chiplet: %v, want legal", err)
+	}
+	if err := placement.Check(tr, rc, gpu.MustLookup("k80")); err == nil {
+		t.Error("table:rC on k80: legal, want rejected (no remote stacks)")
+	}
+}
+
+// TestChipletRankDeterminism re-ranks the chiplet's grown placement space
+// (remote variants included) with 1 and 8 workers and requires identical
+// rankings — the cross-worker determinism contract of docs/PERFORMANCE.md,
+// extended to the remote spaces.
+func TestChipletRankDeterminism(t *testing.T) {
+	seq := rankTop1(t, "chiplet", 1)
+	par := rankTop1(t, "chiplet", 8)
+	if seq != par {
+		t.Fatalf("chiplet top-1 differs across worker counts: %q (sequential) vs %q (8 workers)", seq, par)
+	}
+}

@@ -19,7 +19,7 @@ import (
 // a ranking benchmark needs.
 func benchSetup(tb testing.TB, kernel string) (*Advisor, *trace.Trace, *placement.Placement) {
 	tb.Helper()
-	advOnce.Do(func() { adv, advErr = New(gpu.KeplerK80()) })
+	advOnce.Do(func() { adv, advErr = New(gpu.MustLookup("k80")) })
 	if advErr != nil {
 		tb.Fatal(advErr)
 	}

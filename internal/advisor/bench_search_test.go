@@ -5,10 +5,12 @@ import (
 	"encoding/json"
 	"os"
 	"runtime"
+	"strings"
 	"testing"
 	"time"
 
 	"gpuhms/internal/gpu"
+	"gpuhms/internal/kernels"
 	"gpuhms/internal/placement"
 	"gpuhms/internal/trace"
 )
@@ -32,24 +34,109 @@ type searchStrategyReport struct {
 	EvalFraction float64 `json:"eval_fraction"`
 }
 
+// archSearchReport is one architecture's section of BENCH_search.json.
+type archSearchReport struct {
+	Arch      string       `json:"arch"`
+	Total     int          `json:"total"`
+	DeltaEval latencyStats `json:"delta_eval"`
+	FullEval  latencyStats `json:"full_eval"`
+	// DeltaSpeedup is full_eval p50 / delta_eval p50 — how much cheaper
+	// one incremental prediction is than a from-scratch one.
+	DeltaSpeedup float64                         `json:"delta_speedup"`
+	Strategies   map[string]searchStrategyReport `json:"strategies"`
+}
+
 // TestBenchSearchArtifact compares the search strategies on the largest
-// bundled space (spmv, 288 legal placements): candidates evaluated and wall
-// time per strategy, from one shared profiled sample so the comparison is
-// search-only. Writes BENCH_search.json; gated by BENCH_SEARCH_OUT so the
-// ordinary test run stays fast — scripts/bench_search.sh drives it.
+// bundled space (spmv, 288 legal placements on the K80): candidates
+// evaluated and wall time per strategy, from one shared profiled sample so
+// the comparison is search-only. Writes BENCH_search.json; gated by
+// BENCH_SEARCH_OUT so the ordinary test run stays fast —
+// scripts/bench_search.sh drives it. BENCH_SEARCH_ARCHS selects the
+// architectures swept (registry names, default "k80"): on the chiplet the
+// remote space variants grow the same kernel's legal space several-fold
+// (docs/ARCHES.md), which is exactly when the pruned strategies earn their
+// keep.
 //
-// Asserted acceptance: greedy and beam-4 must evaluate under half the space
-// while landing within 1% of the exhaustive top-1 prediction, greedy and
-// beam-4 p50 wall must stay ≤50ms and exhaustive ≤500ms, and a delta
-// evaluation must stay ≥5x cheaper than a cache-bypassing full one (the
-// incremental-evaluation contract, docs/PERFORMANCE.md).
+// Asserted acceptance, per architecture: greedy and beam-4 must evaluate
+// under half the space while landing within 1% of the exhaustive top-1
+// prediction, greedy and beam-4 p50 wall must stay ≤50ms and exhaustive
+// ≤500ms, and a delta evaluation must stay ≥5x cheaper than a
+// cache-bypassing full one (the incremental-evaluation contract,
+// docs/PERFORMANCE.md).
 func TestBenchSearchArtifact(t *testing.T) {
 	out := os.Getenv("BENCH_SEARCH_OUT")
 	if out == "" {
 		t.Skip("set BENCH_SEARCH_OUT=/path/to/BENCH_search.json to run")
 	}
-	const kernel = "spmv"
-	a, tr, sample := benchSetup(t, kernel)
+	archNames := []string{"k80"}
+	if env := os.Getenv("BENCH_SEARCH_ARCHS"); env != "" {
+		archNames = strings.Split(env, ",")
+	}
+	var archReports []archSearchReport
+	for _, arch := range archNames {
+		arch = strings.TrimSpace(arch)
+		t.Run(arch, func(t *testing.T) {
+			archReports = append(archReports, benchSearchArch(t, arch))
+		})
+	}
+
+	primary := archReports[0]
+	report := struct {
+		Bench     string       `json:"bench"`
+		Kernel    string       `json:"kernel"`
+		NumCPU    int          `json:"num_cpu"`
+		DeltaEval latencyStats `json:"delta_eval"`
+		FullEval  latencyStats `json:"full_eval"`
+		// DeltaSpeedup is full_eval p50 / delta_eval p50 — how much cheaper
+		// one incremental prediction is than a from-scratch one.
+		DeltaSpeedup float64                         `json:"delta_speedup"`
+		Strategies   map[string]searchStrategyReport `json:"strategies"`
+		// Arches holds one full section per swept architecture (the
+		// top-level fields mirror the first, for artifact compatibility).
+		Arches []archSearchReport `json:"arches,omitempty"`
+	}{
+		Bench:        "advisor_search_strategies",
+		Kernel:       benchSearchKernel,
+		NumCPU:       runtime.NumCPU(),
+		DeltaEval:    primary.DeltaEval,
+		FullEval:     primary.FullEval,
+		DeltaSpeedup: primary.DeltaSpeedup,
+		Strategies:   primary.Strategies,
+	}
+	if len(archReports) > 1 {
+		report.Arches = archReports
+	}
+	data, err := json.MarshalIndent(&report, "", "  ")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(out, append(data, '\n'), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("wrote %s (%d arch sections)", out, len(archReports))
+}
+
+const benchSearchKernel = "spmv"
+
+// benchSearchArch runs the strategy comparison and the delta-vs-full
+// microbench on one registry architecture and returns its artifact section.
+func benchSearchArch(t *testing.T, arch string) archSearchReport {
+	const kernel = benchSearchKernel
+	var a *Advisor
+	if arch == "k80" {
+		a, _, _ = benchSetup(t, kernel)
+	} else {
+		var err error
+		if a, err = New(gpu.MustLookup(arch)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	k := kernels.MustGet(kernel)
+	tr := k.Trace(1)
+	sample, err := k.SamplePlacement(tr)
+	if err != nil {
+		t.Fatal(err)
+	}
 	ctx := context.Background()
 	pr, err := a.PredictorContext(ctx, tr, sample)
 	if err != nil {
@@ -93,8 +180,17 @@ func TestBenchSearchArtifact(t *testing.T) {
 
 	for spec, r := range reports {
 		if spec == "exhaustive" {
-			if p50 := time.Duration(r.Wall.P50NS); p50 > 500*time.Millisecond {
-				t.Errorf("exhaustive p50 wall %v — want ≤500ms end-to-end", p50)
+			// The 500ms end-to-end target is calibrated to the K80's
+			// 288-candidate spmv space; on chiplet architectures the remote
+			// variants grow the same space ~12x, so larger spaces are held
+			// to the equivalent per-evaluation cost instead.
+			if r.Total <= 500 {
+				if p50 := time.Duration(r.Wall.P50NS); p50 > 500*time.Millisecond {
+					t.Errorf("exhaustive p50 wall %v — want ≤500ms end-to-end", p50)
+				}
+			} else if r.PerEvalNS > 2e6 {
+				t.Errorf("exhaustive per-eval p50 %.2fms over %d candidates — want ≤2ms",
+					r.PerEvalNS/1e6, r.Total)
 			}
 			continue
 		}
@@ -154,36 +250,18 @@ func TestBenchSearchArtifact(t *testing.T) {
 			deltaStats.P50NS/1e6, fullStats.P50NS/1e6, speedup)
 	}
 
-	report := struct {
-		Bench     string       `json:"bench"`
-		Kernel    string       `json:"kernel"`
-		NumCPU    int          `json:"num_cpu"`
-		DeltaEval latencyStats `json:"delta_eval"`
-		FullEval  latencyStats `json:"full_eval"`
-		// DeltaSpeedup is full_eval p50 / delta_eval p50 — how much cheaper
-		// one incremental prediction is than a from-scratch one.
-		DeltaSpeedup float64                         `json:"delta_speedup"`
-		Strategies   map[string]searchStrategyReport `json:"strategies"`
-	}{
-		Bench:        "advisor_search_strategies",
-		Kernel:       kernel,
-		NumCPU:       workers,
+	ex, gr, bm := reports["exhaustive"], reports["greedy"], reports["beam-4"]
+	t.Logf("%s: exhaustive %d evals p50 %.2fms; greedy %d evals p50 %.2fms regret %.4fx; beam-4 %d evals (%d pruned, %d deduped) p50 %.2fms regret %.4fx; delta %.3fms vs full %.2fms per eval, %.0fx",
+		arch, ex.Evaluated, ex.Wall.P50NS/1e6,
+		gr.Evaluated, gr.Wall.P50NS/1e6, gr.Top1Regret,
+		bm.Evaluated, bm.Pruned, bm.Deduped, bm.Wall.P50NS/1e6, bm.Top1Regret,
+		deltaStats.P50NS/1e6, fullStats.P50NS/1e6, speedup)
+	return archSearchReport{
+		Arch:         arch,
+		Total:        ex.Total,
 		DeltaEval:    deltaStats,
 		FullEval:     fullStats,
 		DeltaSpeedup: speedup,
 		Strategies:   reports,
 	}
-	data, err := json.MarshalIndent(&report, "", "  ")
-	if err != nil {
-		t.Fatal(err)
-	}
-	if err := os.WriteFile(out, append(data, '\n'), 0o644); err != nil {
-		t.Fatal(err)
-	}
-	ex, gr, bm := reports["exhaustive"], reports["greedy"], reports["beam-4"]
-	t.Logf("wrote %s (exhaustive %d evals p50 %.2fms; greedy %d evals p50 %.2fms regret %.4fx; beam-4 %d evals (%d pruned, %d deduped) p50 %.2fms regret %.4fx; delta %.3fms vs full %.2fms per eval, %.0fx)",
-		out, ex.Evaluated, ex.Wall.P50NS/1e6,
-		gr.Evaluated, gr.Wall.P50NS/1e6, gr.Top1Regret,
-		bm.Evaluated, bm.Pruned, bm.Deduped, bm.Wall.P50NS/1e6, bm.Top1Regret,
-		deltaStats.P50NS/1e6, fullStats.P50NS/1e6, speedup)
 }

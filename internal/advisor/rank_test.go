@@ -23,7 +23,7 @@ var (
 // part, and every ranking test can share the read-only trained model.
 func testAdvisor(t *testing.T) *Advisor {
 	t.Helper()
-	advOnce.Do(func() { adv, advErr = New(gpu.KeplerK80()) })
+	advOnce.Do(func() { adv, advErr = New(gpu.MustLookup("k80")) })
 	if advErr != nil {
 		t.Fatal(advErr)
 	}

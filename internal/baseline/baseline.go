@@ -124,8 +124,9 @@ func (p *PORPLE) Score(t *trace.Trace, st *trace.Stats, pl *placement.Placement)
 			continue
 		}
 		foot := float64(t.Arrays[i].Bytes())
+		sp := pl.Of(id)
 		var lat float64
-		switch pl.Of(id) {
+		switch sp.Base() {
 		case gpu.Shared:
 			lat = cfg.SharedLatency
 		case gpu.Constant:
@@ -137,6 +138,9 @@ func (p *PORPLE) Score(t *trace.Trace, st *trace.Stats, pl *placement.Placement)
 		default: // global
 			hit := capRatio(float64(cfg.L2.SizeBytes), foot)
 			lat = cfg.CacheHitLatency + (1-hit)*dramLat
+		}
+		if sp.Remote() {
+			lat += cfg.Interposer.LatencyNS * cfg.CyclesPerNS()
 		}
 		total += reqs * lat
 	}

@@ -47,6 +47,7 @@ type Analysis struct {
 	Replays14   int64 // replays from placement-dependent causes (1)-(4)
 	MemInsts    int64 // warp-level loads+stores
 	OffchipReqs int64 // mem insts to off-chip spaces
+	RemoteReqs  int64 // off-chip mem insts to remote-placed arrays (chiplet)
 	Syncs       int64
 
 	// Memory shape.
@@ -87,7 +88,7 @@ func countAnalysisEvents(ev *perf.Events, res *memsys.Result, replays int64) {
 	ev.InstExecuted++
 	ev.LdstIssued += 1 + replays
 	ev.IssueSlots += 1 + replays
-	switch res.Space {
+	switch res.Space.Base() {
 	case gpu.Global:
 		ev.GlobalRequests++
 	case gpu.Constant:

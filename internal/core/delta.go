@@ -238,7 +238,7 @@ func countResolvedEvents(ev *perf.Events, res *memsys.Resolved, staticReplays in
 	ev.InstExecuted++
 	ev.LdstIssued += 1 + staticReplays
 	ev.IssueSlots += 1 + staticReplays
-	switch res.Space {
+	switch res.Space.Base() {
 	case gpu.Global:
 		ev.GlobalRequests++
 	case gpu.Constant:
@@ -288,7 +288,7 @@ func (p *program) buildContribution(resolver *memsys.Hierarchy, array trace.Arra
 	}
 	c.minTag = ^uint64(0)
 	var seenTags map[uint64]struct{}
-	if space == gpu.Global {
+	if space.Base() == gpu.Global {
 		c.dramOff = make([]int32, len(insts)+1)
 		c.setCounts = make([]uint16, p.l2x.NumSets())
 		seenTags = make(map[uint64]struct{})
@@ -326,7 +326,7 @@ func (p *program) buildContribution(resolver *memsys.Hierarchy, array trace.Arra
 				}
 			}
 		}
-		if space == gpu.Global {
+		if space.Base() == gpu.Global {
 			c.l2Acc += int64(len(res.Lines))
 			for _, ln := range res.Lines {
 				tag := p.l2x.Tag(ln)
@@ -494,10 +494,10 @@ func hasSpace(contribs []*contribution, wantConst bool) bool {
 		if c == nil {
 			continue
 		}
-		if wantConst && c.space == gpu.Constant {
+		if wantConst && c.space.Base() == gpu.Constant {
 			return true
 		}
-		if !wantConst && (c.space == gpu.Texture1D || c.space == gpu.Texture2D) {
+		if b := c.space.Base(); !wantConst && (b == gpu.Texture1D || b == gpu.Texture2D) {
 			return true
 		}
 	}
@@ -513,10 +513,10 @@ func (p *program) groupFor(groups *groupCache, isConst bool, contribs []*contrib
 		if c == nil {
 			continue
 		}
-		if isConst {
-			member[i] = c.space == gpu.Constant
+		if b := c.space.Base(); isConst {
+			member[i] = b == gpu.Constant
 		} else {
-			member[i] = c.space == gpu.Texture1D || c.space == gpu.Texture2D
+			member[i] = b == gpu.Texture1D || b == gpu.Texture2D
 		}
 	}
 	if groups == nil {
@@ -582,7 +582,7 @@ func (p *program) l2EvictionFree(contribs []*contribution, constSim, texSim *gro
 		return true
 	}
 	for _, c := range contribs {
-		if c != nil && c.space == gpu.Global && c.l2Miss > 0 && !addCounts(c.setCounts) {
+		if c != nil && c.space.Base() == gpu.Global && c.l2Miss > 0 && !addCounts(c.setCounts) {
 			return false
 		}
 	}
@@ -614,6 +614,12 @@ func (p *program) analysisHeader(contribs []*contribution) *Analysis {
 		a.Replays14 += c.replays14
 		a.OffchipReqs += c.offchip
 		a.TransPerOffchip += float64(c.transOff)
+		if c.space.Remote() {
+			// Every off-chip request to a remote-placed array crosses the
+			// interposer; the count is placement-static, so summing it here
+			// keeps mergeExact and mergeFast byte-identical.
+			a.RemoteReqs += c.offchip
+		}
 		a.Events.AddCounts(&c.events)
 	}
 	if a.OffchipReqs > 0 {
@@ -714,7 +720,7 @@ func (p *program) mergeFast(pl *placement.Placement, contribs []*contribution, c
 	// depend on interleaving order.
 	var constMisses, texMisses, l2Acc, l2Miss int64
 	for _, c := range contribs {
-		if c != nil && c.space == gpu.Global {
+		if c != nil && c.space.Base() == gpu.Global {
 			l2Acc += c.l2Acc
 			l2Miss += c.l2Miss
 		}
@@ -758,7 +764,7 @@ func (p *program) mergeFast(pl *placement.Placement, contribs []*contribution, c
 
 		var cm int64
 		var dlines []uint64
-		switch c.space {
+		switch c.space.Base() {
 		case gpu.Global:
 			lo, hi := c.dramOff[r.ordinal], c.dramOff[r.ordinal+1]
 			dlines = c.dramLines[lo:hi]

@@ -79,11 +79,16 @@ func (m *Model) amat(an *Analysis, dramNS float64) float64 {
 	dramTripsPerInst := float64(an.Events.L2Misses) / mem
 	offchipRatio := float64(an.OffchipReqs) / mem
 	sharedRatio := float64(an.Events.SharedRequests) / mem
+	remoteRatio := float64(an.RemoteReqs) / mem
 
 	dramCycles := dramNS * cfg.CyclesPerNS()
+	// Remote-placed arrays (chiplet architectures) add one interposer
+	// crossing per off-chip request on top of the normal cache/DRAM path.
+	interposerCycles := cfg.Interposer.LatencyNS * cfg.CyclesPerNS()
 	return dramCycles*dramTripsPerInst +
 		cfg.CacheHitLatency*offchipRatio +
-		cfg.SharedLatency*sharedRatio
+		cfg.SharedLatency*sharedRatio +
+		interposerCycles*remoteRatio
 }
 
 // mwpCwp evaluates the Hong–Kim style warp-parallelism quantities used by

@@ -35,28 +35,30 @@ type SensitivityReport struct {
 	Rows []SensitivityRow
 }
 
-// sensitivityConfigs returns the architecture variants swept.
+// sensitivityConfigs returns the architecture variants swept: registry
+// profiles plus perturbed copies of the paper's platform (Lookup returns a
+// fresh Config per call, so the mutations never alias).
 func sensitivityConfigs() []*gpu.Config {
-	base := gpu.KeplerK80()
+	base := gpu.MustLookup("k80")
 
-	smallL2 := gpu.KeplerK80()
+	smallL2 := gpu.MustLookup("k80")
 	smallL2.Name = "K80 with 256KB L2"
 	smallL2.L2.SizeBytes = 256 << 10
 
-	slowDRAM := gpu.KeplerK80()
+	slowDRAM := gpu.MustLookup("k80")
 	slowDRAM.Name = "K80 with 2x DRAM latency"
 	slowDRAM.DRAM.HitLatencyNS *= 2
 	slowDRAM.DRAM.MissLatencyNS *= 2
 	slowDRAM.DRAM.ConflictLatencyNS *= 2
 
-	narrowBus := gpu.KeplerK80()
+	narrowBus := gpu.MustLookup("k80")
 	narrowBus.Name = "K80 with 4x bus occupancy"
 	narrowBus.DRAM.CtlBusyNS *= 4
 	narrowBus.DRAM.BusyHitNS *= 4
 	narrowBus.DRAM.BusyMissNS *= 4
 	narrowBus.DRAM.BusyConflictNS *= 4
 
-	return []*gpu.Config{base, smallL2, slowDRAM, narrowBus, gpu.FermiC2050()}
+	return []*gpu.Config{base, smallL2, slowDRAM, narrowBus, gpu.MustLookup("fermi")}
 }
 
 // SensitivityKernels are the kernels evaluated per architecture.

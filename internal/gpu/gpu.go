@@ -28,12 +28,27 @@ const (
 	// block-swizzled layout giving 2D spatial locality.
 	Texture2D
 
+	// GlobalRemote is global memory on a different chiplet's stack, reached
+	// across the interposer. Same cache path as Global, plus one interposer
+	// crossing per off-chip request. Only legal on configs with HasRemote().
+	GlobalRemote
+	// ConstantRemote is constant memory backed by a remote stack.
+	ConstantRemote
+	// Texture1DRemote is linear texture memory backed by a remote stack.
+	Texture1DRemote
+	// Texture2DRemote is block-swizzled texture memory backed by a remote
+	// stack.
+	Texture2DRemote
+
 	// NumSpaces is the number of memory spaces.
-	NumSpaces = 5
+	NumSpaces = 9
 )
 
 // Spaces lists every memory space in declaration order.
-var Spaces = [NumSpaces]MemSpace{Global, Shared, Constant, Texture1D, Texture2D}
+var Spaces = [NumSpaces]MemSpace{
+	Global, Shared, Constant, Texture1D, Texture2D,
+	GlobalRemote, ConstantRemote, Texture1DRemote, Texture2DRemote,
+}
 
 // String returns the short name used throughout the paper's tables
 // (G, S, C, T, 2T).
@@ -49,6 +64,14 @@ func (s MemSpace) String() string {
 		return "T"
 	case Texture2D:
 		return "2T"
+	case GlobalRemote:
+		return "rG"
+	case ConstantRemote:
+		return "rC"
+	case Texture1DRemote:
+		return "rT"
+	case Texture2DRemote:
+		return "r2T"
 	}
 	return fmt.Sprintf("MemSpace(%d)", uint8(s))
 }
@@ -66,6 +89,14 @@ func (s MemSpace) LongString() string {
 		return "texture1D"
 	case Texture2D:
 		return "texture2D"
+	case GlobalRemote:
+		return "globalRemote"
+	case ConstantRemote:
+		return "constantRemote"
+	case Texture1DRemote:
+		return "texture1DRemote"
+	case Texture2DRemote:
+		return "texture2DRemote"
 	}
 	return fmt.Sprintf("MemSpace(%d)", uint8(s))
 }
@@ -73,11 +104,39 @@ func (s MemSpace) LongString() string {
 // OffChip reports whether the space is backed by off-chip GDDR DRAM.
 func (s MemSpace) OffChip() bool { return s != Shared }
 
+// Remote reports whether the space lives on another chiplet's memory stack,
+// reached across the interposer. Remote spaces behave exactly like their
+// Base() counterpart through the cache hierarchy; they only add the
+// interposer crossing to each off-chip request.
+func (s MemSpace) Remote() bool { return s >= GlobalRemote && s <= Texture2DRemote }
+
+// Base returns the local counterpart of a remote space (GlobalRemote →
+// Global, …) and the space itself for local spaces. Cache-path, address-mode,
+// and coalescing logic switch on Base(); only capacity checks and the
+// interposer latency term distinguish remote from local.
+func (s MemSpace) Base() MemSpace {
+	switch s {
+	case GlobalRemote:
+		return Global
+	case ConstantRemote:
+		return Constant
+	case Texture1DRemote:
+		return Texture1D
+	case Texture2DRemote:
+		return Texture2D
+	}
+	return s
+}
+
 // Writable reports whether a kernel may store to the space.
 // Constant and texture memories are read-only from device code.
-func (s MemSpace) Writable() bool { return s == Global || s == Shared }
+func (s MemSpace) Writable() bool {
+	b := s.Base()
+	return b == Global || b == Shared
+}
 
-// ParseSpace converts a short or long space name ("G", "2T", "shared", …).
+// ParseSpace converts a short or long space name ("G", "2T", "rG",
+// "shared", …).
 func ParseSpace(name string) (MemSpace, error) {
 	switch name {
 	case "G", "g", "global":
@@ -90,6 +149,14 @@ func ParseSpace(name string) (MemSpace, error) {
 		return Texture1D, nil
 	case "2T", "2t", "texture2D":
 		return Texture2D, nil
+	case "rG", "rg", "globalRemote":
+		return GlobalRemote, nil
+	case "rC", "rc", "constantRemote":
+		return ConstantRemote, nil
+	case "rT", "rt", "textureRemote", "texture1DRemote":
+		return Texture1DRemote, nil
+	case "r2T", "r2t", "texture2DRemote":
+		return Texture2DRemote, nil
 	}
 	return Global, fmt.Errorf("gpu: unknown memory space %q", name)
 }
@@ -137,6 +204,28 @@ type DRAMTopology struct {
 // (NB in the paper's Eq 7).
 func (d DRAMTopology) TotalBanks() int { return d.Controllers * d.BanksPerCtl }
 
+// Interposer describes the chiplet interconnect of a multi-die package
+// (Chung & Kim style): every off-chip request to a remote-placed array pays
+// one crossing of LatencyNS on top of the normal DRAM path, and remote
+// placements draw from the remote stacks' capacity pools rather than the
+// local ones. The zero value means "no remote stacks" — a monolithic die.
+//
+// The model deliberately keeps one DRAM bank pool for local and remote
+// traffic: the remote stack has its own banks in silicon, but merging them
+// only makes the queueing term pessimistic for remote-heavy placements,
+// which is the conservative direction for an advisor.
+type Interposer struct {
+	// LatencyNS is the one-way interposer crossing latency charged per
+	// warp-level off-chip request to a remote-placed array.
+	LatencyNS float64
+	// RemoteGlobalBytes is the DRAM capacity of the remote stacks available
+	// to global/texture placements; 0 disables remote placement entirely.
+	RemoteGlobalBytes int
+	// RemoteConstantBytes is the constant-segment capacity reachable on
+	// remote stacks.
+	RemoteConstantBytes int
+}
+
 // Config is a complete architecture description.
 type Config struct {
 	Name string
@@ -180,6 +269,10 @@ type Config struct {
 	TextureBlockShift uint    // log2 of the 2D texture tile edge, in elements
 
 	DRAM DRAMTopology
+
+	// Interposer describes the chiplet interconnect; the zero value means a
+	// monolithic die with no remote memory spaces.
+	Interposer Interposer
 
 	// MWPPeakBW caps memory warp parallelism by bandwidth (per [6]).
 	MWPPeakBW float64
@@ -267,6 +360,81 @@ func FermiC2050() *Config {
 	return c
 }
 
+// HBMClass returns a P100-generation configuration with a stacked-DRAM
+// memory system: many more SMs, a 4 MiB L2, and 32 narrow HBM2 channels
+// whose rows are smaller but far more numerous than GDDR5's, trading
+// per-access latency for massive bank-level parallelism (Khairy et al.,
+// PAPERS.md). It exercises the model where the memory-system bottleneck
+// shifts from latency to parallelism.
+func HBMClass() *Config {
+	return &Config{
+		Name:           "HBM-class (P100-like, modeled)",
+		SMs:            56,
+		WarpSize:       32,
+		SIMDWidth:      32,
+		ClockGHz:       1.328,
+		MaxWarpsPerSM:  64,
+		AvgInstLatency: 16,
+
+		TransactionBytes: 128,
+
+		L2:       CacheGeometry{SizeBytes: 4096 << 10, LineBytes: 128, Ways: 16},
+		Constant: CacheGeometry{SizeBytes: 8 << 10, LineBytes: 64, Ways: 4},
+		Texture:  CacheGeometry{SizeBytes: 24 << 10, LineBytes: 128, Ways: 4},
+
+		CacheHitLatency: 32,
+
+		SharedBanks:       32,
+		SharedBankBytes:   4,
+		SharedLatency:     3,
+		SharedBytesPerSM:  64 << 10,
+		ConstantBytes:     64 << 10,
+		GlobalBytes:       16 << 30, // 16 GiB HBM2
+		SharedCopyGBs:     480,
+		TextureBlockShift: 4,
+
+		DRAM: DRAMTopology{
+			Controllers:       32, // 4 stacks x 8 channels
+			BanksPerCtl:       16,
+			RowBytes:          1024, // HBM2 pseudo-channel row
+			ColumnBytes:       32,
+			HitLatencyNS:      222,
+			MissLatencyNS:     404,
+			ConflictLatencyNS: 545,
+			BusyHitNS:         4,
+			BusyMissNS:        28,
+			BusyConflictNS:    42,
+			CtlBusyNS:         2,
+		},
+
+		MWPPeakBW:       80,
+		MaxPendingLoads: 8,
+	}
+}
+
+// Chiplet returns a two-chiplet HBM package (Chung & Kim, PAPERS.md): each
+// die owns a local HBM stack, and every off-chip space additionally exists
+// in a remote variant backed by the other die's stack across the interposer.
+// The local pools are deliberately tight — half the HBM stacks, a 32 KiB
+// local constant segment — so placements that fit comfortably on a
+// monolithic die face real capacity pressure here and the remote spaces
+// become load-bearing, not decorative.
+func Chiplet() *Config {
+	c := HBMClass()
+	c.Name = "Chiplet 2-die HBM (modeled)"
+	c.SMs = 28                 // one die's share of the package
+	c.L2.SizeBytes = 2048 << 10
+	c.ConstantBytes = 32 << 10 // local constant segment, half of K80's
+	c.GlobalBytes = 8 << 30    // local stack only
+	c.DRAM.Controllers = 16    // local stack's channels
+	c.Interposer = Interposer{
+		LatencyNS:           96, // one crossing, each way amortized in
+		RemoteGlobalBytes:   8 << 30,
+		RemoteConstantBytes: 64 << 10,
+	}
+	return c
+}
+
 // CapacityBytes returns the byte capacity of one memory space on this
 // architecture, or -1 when the space is unbounded for placement purposes:
 // shared memory is the per-SM (per-block) scratchpad size, constant memory
@@ -280,12 +448,23 @@ func (c *Config) CapacityBytes(s MemSpace) int {
 		return c.SharedBytesPerSM
 	case Constant:
 		return c.ConstantBytes
+	case ConstantRemote:
+		return c.Interposer.RemoteConstantBytes
+	case GlobalRemote, Texture1DRemote, Texture2DRemote:
+		return c.Interposer.RemoteGlobalBytes
 	default: // Global, Texture1D, Texture2D: device DRAM
 		if c.GlobalBytes > 0 {
 			return c.GlobalBytes
 		}
 		return -1
 	}
+}
+
+// HasRemote reports whether this architecture exposes remote memory spaces:
+// a chiplet design with at least one reachable remote stack. Placement
+// enumeration only offers the *Remote spaces when this is true.
+func (c *Config) HasRemote() bool {
+	return c.Interposer.RemoteGlobalBytes > 0 || c.Interposer.RemoteConstantBytes > 0
 }
 
 // CyclesPerNS converts nanoseconds into SM cycles.
@@ -319,6 +498,14 @@ func (c *Config) Validate() error {
 	case c.SharedBanks <= 0 || c.SharedBankBytes <= 0:
 		return fmt.Errorf("gpu: shared memory %d banks x %d bytes invalid",
 			c.SharedBanks, c.SharedBankBytes)
+	case c.Interposer.LatencyNS < 0:
+		return fmt.Errorf("gpu: interposer latency must be non-negative, got %g",
+			c.Interposer.LatencyNS)
+	case c.Interposer.RemoteGlobalBytes < 0 || c.Interposer.RemoteConstantBytes < 0:
+		return fmt.Errorf("gpu: interposer remote capacities %d/%d must be non-negative",
+			c.Interposer.RemoteGlobalBytes, c.Interposer.RemoteConstantBytes)
+	case c.HasRemote() && c.Interposer.LatencyNS <= 0:
+		return fmt.Errorf("gpu: chiplet config exposes remote stacks but has no interposer latency")
 	}
 	return nil
 }

@@ -1,0 +1,167 @@
+package gpu
+
+import (
+	"errors"
+	"strings"
+	"testing"
+)
+
+func TestRegistryRoundTrip(t *testing.T) {
+	names := Names()
+	want := []string{"chiplet", "fermi", "hbm", "k80"}
+	if len(names) < len(want) {
+		t.Fatalf("Names() = %v, want at least %v", names, want)
+	}
+	for _, w := range want {
+		cfg, err := Lookup(w)
+		if err != nil {
+			t.Fatalf("Lookup(%q): %v", w, err)
+		}
+		if err := cfg.Validate(); err != nil {
+			t.Errorf("%s: %v", w, err)
+		}
+		if Describe(w) == "" {
+			t.Errorf("%s: empty description", w)
+		}
+	}
+	// Lookup returns fresh configs: mutating one must not leak into the next.
+	a := MustLookup("k80")
+	a.L2.SizeBytes = 1
+	if b := MustLookup("k80"); b.L2.SizeBytes == 1 {
+		t.Error("Lookup returned an aliased Config")
+	}
+}
+
+func TestRegistryAliases(t *testing.T) {
+	for alias, canon := range map[string]string{
+		"  Tesla-K80 ": "k80",
+		"KEPLER":       "k80",
+		"c2050":        "fermi",
+		"p100":         "hbm",
+		"mcm":          "chiplet",
+		"chiplet":      "chiplet", // canonical names resolve to themselves
+	} {
+		got, err := Canonical(alias)
+		if err != nil {
+			t.Errorf("Canonical(%q): %v", alias, err)
+			continue
+		}
+		if got != canon {
+			t.Errorf("Canonical(%q) = %q, want %q", alias, got, canon)
+		}
+	}
+}
+
+func TestRegistryUnknownArch(t *testing.T) {
+	for _, name := range []string{"", "gtx-9000", "k81"} {
+		_, err := Lookup(name)
+		if !errors.Is(err, ErrUnknownArch) {
+			t.Errorf("Lookup(%q) = %v, want ErrUnknownArch", name, err)
+		}
+		if err != nil && !strings.Contains(err.Error(), "k80") {
+			t.Errorf("Lookup(%q) error %q does not list available arches", name, err)
+		}
+	}
+}
+
+func TestRegisterRejectsCollisions(t *testing.T) {
+	if err := Register(Entry{Name: "synthetic-arch", Build: KeplerK80}); err != nil {
+		t.Fatal(err)
+	}
+	defer Unregister("synthetic-arch")
+	if _, err := Lookup("synthetic-arch"); err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range []Entry{
+		{Name: "k80", Build: KeplerK80},                             // duplicate canonical
+		{Name: "kepler", Build: KeplerK80},                          // canonical colliding with alias
+		{Name: "other", Aliases: []string{"k80"}, Build: KeplerK80}, // alias colliding with canonical
+		{Name: "other", Aliases: []string{"mcm"}, Build: KeplerK80}, // alias colliding with alias
+		{Name: "", Build: KeplerK80},                                // empty name
+		{Name: "other"},                                             // nil Build
+	} {
+		if err := Register(e); err == nil {
+			t.Errorf("Register(%+v) succeeded, want error", e)
+			Unregister(e.Name)
+		}
+	}
+}
+
+func TestNewProfilesValidate(t *testing.T) {
+	hbm := HBMClass()
+	if err := hbm.Validate(); err != nil {
+		t.Errorf("HBMClass: %v", err)
+	}
+	if hbm.HasRemote() {
+		t.Error("HBMClass reports remote stacks")
+	}
+	ch := Chiplet()
+	if err := ch.Validate(); err != nil {
+		t.Errorf("Chiplet: %v", err)
+	}
+	if !ch.HasRemote() {
+		t.Fatal("Chiplet reports no remote stacks")
+	}
+	// A chiplet with remote capacity but no interposer latency is a modeling
+	// hole Validate must catch.
+	broken := Chiplet()
+	broken.Interposer.LatencyNS = 0
+	if err := broken.Validate(); err == nil {
+		t.Error("Validate accepted remote stacks with zero interposer latency")
+	}
+	neg := Chiplet()
+	neg.Interposer.RemoteGlobalBytes = -1
+	if err := neg.Validate(); err == nil {
+		t.Error("Validate accepted negative remote capacity")
+	}
+}
+
+func TestRemoteSpaceProperties(t *testing.T) {
+	pairs := map[MemSpace]MemSpace{
+		GlobalRemote:    Global,
+		ConstantRemote:  Constant,
+		Texture1DRemote: Texture1D,
+		Texture2DRemote: Texture2D,
+	}
+	for remote, local := range pairs {
+		if !remote.Remote() {
+			t.Errorf("%s.Remote() = false", remote.LongString())
+		}
+		if remote.Base() != local {
+			t.Errorf("%s.Base() = %s, want %s", remote.LongString(), remote.Base(), local)
+		}
+		// Round-trip through both spellings.
+		for _, s := range []string{remote.String(), remote.LongString()} {
+			got, err := ParseSpace(s)
+			if err != nil || got != remote {
+				t.Errorf("ParseSpace(%q) = %v, %v, want %s", s, got, err, remote.LongString())
+			}
+		}
+	}
+	for _, sp := range []MemSpace{Global, Shared, Constant, Texture1D, Texture2D} {
+		if sp.Remote() {
+			t.Errorf("%s.Remote() = true", sp.LongString())
+		}
+		if sp.Base() != sp {
+			t.Errorf("%s.Base() = %s, want itself", sp.LongString(), sp.Base())
+		}
+	}
+	if GlobalRemote.Writable() != Global.Writable() || ConstantRemote.Writable() {
+		t.Error("remote writability does not mirror the local counterpart")
+	}
+}
+
+func TestChipletRemoteCapacities(t *testing.T) {
+	ch := Chiplet()
+	if got := ch.CapacityBytes(ConstantRemote); got != ch.Interposer.RemoteConstantBytes {
+		t.Errorf("CapacityBytes(ConstantRemote) = %d, want %d", got, ch.Interposer.RemoteConstantBytes)
+	}
+	for _, sp := range []MemSpace{GlobalRemote, Texture1DRemote, Texture2DRemote} {
+		if got := ch.CapacityBytes(sp); got != ch.Interposer.RemoteGlobalBytes {
+			t.Errorf("CapacityBytes(%s) = %d, want %d", sp.LongString(), got, ch.Interposer.RemoteGlobalBytes)
+		}
+	}
+	if ch.ConstantBytes >= MustLookup("k80").ConstantBytes {
+		t.Error("chiplet local constant segment is not smaller than the K80's")
+	}
+}

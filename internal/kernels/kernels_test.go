@@ -15,8 +15,8 @@ func TestRegistryComplete(t *testing.T) {
 		"bfs", "blackscholes", "cfd", "convolution", "dct8x8", "fft",
 		"histogram", "kmeans", "matrixMul", "md", "md5hash", "mriq",
 		"nbody", "neuralnet", "pathfinder", "qtc", "reduction", "s3d",
-		"scan", "scatteradd", "sort", "spmv", "stencil2d", "transpose",
-		"triad", "vecadd",
+		"scan", "scatteradd", "sort", "spmv", "stencil2d", "tablelookup",
+		"transpose", "triad", "vecadd",
 	}
 	got := Names()
 	if !reflect.DeepEqual(got, want) {

@@ -1,0 +1,62 @@
+package kernels
+
+import "gpuhms/internal/trace"
+
+func init() {
+	register(Spec{
+		Name:       "tablelookup",
+		Suite:      "micro",
+		KernelName: "table_lookup",
+		Description: "broadcast gather through a 60 KiB read-only coefficient table; " +
+			"the table fits K80 constant memory (64 KiB) but not the chiplet's local " +
+			"constant segment (32 KiB), so the best placement differs across architectures",
+		Generate: genTableLookup,
+		Sample:   "",
+		PlacementTests: []string{
+			"table:C",
+			"table:T",
+		},
+		Training: false,
+	})
+}
+
+// genTableLookup emits a coefficient-table kernel: every warp streams its
+// input slice, and each element selects a table entry that all 32 lanes read
+// together (the broadcast pattern constant memory is built for). The table
+// is 15360 float32 = 60 KiB regardless of scale — placement capacity is an
+// architectural property, not a workload one — sized between the chiplet's
+// 32 KiB local constant segment and the K80's 64 KiB one, which is what
+// makes its best placement architecture-dependent (docs/ARCHES.md).
+func genTableLookup(scale int) *trace.Trace {
+	const threadsPerBlock = 256
+	const tableLen = 15360 // 60 KiB of float32
+	n := 8192 * scale
+	blocks := n / threadsPerBlock
+	b := trace.NewBuilder("table_lookup", trace.Launch{
+		Blocks: blocks, ThreadsPerBlock: threadsPerBlock, WarpSize: 32,
+	})
+	table := b.DeclareArray(trace.Array{Name: "table", Type: trace.F32, Len: tableLen, ReadOnly: true})
+	in := b.DeclareArray(trace.Array{Name: "in", Type: trace.F32, Len: n, ReadOnly: true})
+	out := b.DeclareArray(trace.Array{Name: "out", Type: trace.F32, Len: n})
+	warpsPerBlock := threadsPerBlock / 32
+	for blk := 0; blk < blocks; blk++ {
+		for w := 0; w < warpsPerBlock; w++ {
+			wid := blk*warpsPerBlock + w
+			base := int64(wid * 32)
+			wb := b.Warp(blk, w)
+			wb.Int(2).Branch(1) // id = blockIdx*blockDim + threadIdx; bounds check
+			wb.LoadCoalesced(in, base, 32)
+			// 32 table probes per warp over one warp-selected 16-entry row
+			// (a single 64-byte line), each entry read twice: the broadcast-
+			// with-reuse pattern constant memory is built for.
+			for k := 0; k < 32; k++ {
+				idx := int64((wid*16 + k/2%16) % tableLen)
+				wb.Int(2) // index arithmetic: scale + wrap
+				wb.LoadBroadcast(table, idx, 32)
+				wb.FP32(2) // fused multiply-add against the streamed element
+			}
+			wb.StoreCoalesced(out, base, 32)
+		}
+	}
+	return b.MustBuild()
+}

@@ -84,7 +84,7 @@ func (b *Binding) Addresses(in *trace.Inst, buf []uint64) []uint64 {
 		if ix == trace.Inactive {
 			continue
 		}
-		switch sp {
+		switch sp.Base() {
 		case gpu.Shared:
 			out = append(out, b.Layout.SharedAddress(b.Trace, in.Array, ix))
 		case gpu.Texture2D:
@@ -165,7 +165,7 @@ func (h *Hierarchy) AccessScratch(sm *SMCaches, b *Binding, in *trace.Inst, sc *
 		res.Replays.Add(replay.AtomicConflict, replay.AtomicConflictReplays(addrs))
 	}
 
-	switch sp {
+	switch sp.Base() {
 	case gpu.Shared:
 		res.Transactions = 1
 		conflicts := replay.SharedConflictReplays(h.Sh, addrs)
@@ -288,7 +288,7 @@ func (h *Hierarchy) ResolveScratch(b *Binding, in *trace.Inst, sc *Scratch) Reso
 		res.Replays.Add(replay.AtomicConflict, replay.AtomicConflictReplays(addrs))
 	}
 
-	switch sp {
+	switch sp.Base() {
 	case gpu.Shared:
 		res.Transactions = 1
 		conflicts := replay.SharedConflictReplays(h.Sh, addrs)
@@ -341,7 +341,7 @@ type ProbeCounts struct {
 // lines) that per-array resolution deliberately leaves out.
 func (h *Hierarchy) ProbeLines(sm *SMCaches, sp gpu.MemSpace, lines []uint64, dram []uint64) (ProbeCounts, []uint64) {
 	var pc ProbeCounts
-	switch sp {
+	switch sp.Base() {
 	case gpu.Global:
 		for _, ln := range lines {
 			pc.L2Accesses++

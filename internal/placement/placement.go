@@ -161,24 +161,34 @@ func Check(t *trace.Trace, p *Placement, cfg *gpu.Config) error {
 		return illegalf("%d spaces for %d arrays", len(p.Spaces), len(t.Arrays))
 	}
 	constBytes, sharedBytes, dramBytes := 0, 0, 0
+	remoteConstBytes, remoteDramBytes := 0, 0
 	for i, sp := range p.Spaces {
 		a := t.Arrays[i]
 		if !sp.Writable() && !a.ReadOnly {
 			return illegalf("array %s is written but placed in read-only %s",
 				a.Name, sp.LongString())
 		}
-		switch sp {
+		if sp.Remote() && !cfg.HasRemote() {
+			return illegalf("array %s placed in %s but %s has no remote stacks",
+				a.Name, sp.LongString(), cfg.Name)
+		}
+		switch sp.Base() {
 		case gpu.Texture2D:
 			if !a.Is2D() {
 				return illegalf("array %s has no 2D shape for 2D texture", a.Name)
 			}
+		}
+		switch sp {
+		case gpu.Texture2D, gpu.Global, gpu.Texture1D:
 			dramBytes += a.Bytes()
 		case gpu.Constant:
 			constBytes += a.Bytes()
 		case gpu.Shared:
 			sharedBytes += SharedFootprint(t, trace.ArrayID(i))
-		default: // Global, Texture1D
-			dramBytes += a.Bytes()
+		case gpu.ConstantRemote:
+			remoteConstBytes += a.Bytes()
+		default: // GlobalRemote, Texture1DRemote, Texture2DRemote
+			remoteDramBytes += a.Bytes()
 		}
 	}
 	if constBytes > cfg.ConstantBytes {
@@ -191,6 +201,14 @@ func Check(t *trace.Trace, p *Placement, cfg *gpu.Config) error {
 	}
 	if limit := cfg.CapacityBytes(gpu.Global); limit >= 0 && dramBytes > limit {
 		return capacityf("device memory overflow: %d > %d bytes", dramBytes, limit)
+	}
+	if remoteConstBytes > cfg.Interposer.RemoteConstantBytes {
+		return capacityf("remote constant memory overflow: %d > %d bytes",
+			remoteConstBytes, cfg.Interposer.RemoteConstantBytes)
+	}
+	if remoteDramBytes > cfg.Interposer.RemoteGlobalBytes {
+		return capacityf("remote device memory overflow: %d > %d bytes",
+			remoteDramBytes, cfg.Interposer.RemoteGlobalBytes)
 	}
 	return nil
 }
@@ -230,7 +248,10 @@ func SharedStagingBytes(t *trace.Trace, p *Placement) float64 {
 }
 
 // Options returns the legal memory spaces for one array (ignoring aggregate
-// capacity, which Check enforces for the whole placement).
+// capacity, which Check enforces for the whole placement). On chiplet
+// architectures (cfg.HasRemote()) each off-chip space additionally appears
+// in its remote variant, appended after the local options so existing
+// mixed-radix indices keep their meaning as a prefix.
 func Options(t *trace.Trace, id trace.ArrayID, cfg *gpu.Config) []gpu.MemSpace {
 	a := t.Arrays[id]
 	out := []gpu.MemSpace{gpu.Global}
@@ -244,6 +265,22 @@ func Options(t *trace.Trace, id trace.ArrayID, cfg *gpu.Config) []gpu.MemSpace {
 		out = append(out, gpu.Texture1D)
 		if a.Is2D() {
 			out = append(out, gpu.Texture2D)
+		}
+	}
+	if cfg.HasRemote() {
+		if a.Bytes() <= cfg.Interposer.RemoteGlobalBytes {
+			out = append(out, gpu.GlobalRemote)
+		}
+		if a.ReadOnly {
+			if a.Bytes() <= cfg.Interposer.RemoteConstantBytes {
+				out = append(out, gpu.ConstantRemote)
+			}
+			if a.Bytes() <= cfg.Interposer.RemoteGlobalBytes {
+				out = append(out, gpu.Texture1DRemote)
+				if a.Is2D() {
+					out = append(out, gpu.Texture2DRemote)
+				}
+			}
 		}
 	}
 	return out

@@ -1,0 +1,327 @@
+package service
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"strings"
+	"sync"
+	"testing"
+
+	"gpuhms/internal/advisor"
+	"gpuhms/internal/gpu"
+	"gpuhms/internal/hmserr"
+)
+
+// The multi-arch tests need a chiplet advisor next to the shared K80 one.
+// Training takes ~1.5s, so every test shares a single instance.
+var (
+	chipletOnce sync.Once
+	chipletAdv  *advisor.Advisor
+	chipletErr  error
+)
+
+func chipletAdvisor(t testing.TB) *advisor.Advisor {
+	t.Helper()
+	chipletOnce.Do(func() { chipletAdv, chipletErr = advisor.New(gpu.MustLookup("chiplet")) })
+	if chipletErr != nil {
+		t.Fatalf("training chiplet advisor: %v", chipletErr)
+	}
+	return chipletAdv
+}
+
+// multiArchServer builds a server warm on both k80 and chiplet.
+func multiArchServer(t testing.TB, opt Options) *Server {
+	t.Helper()
+	s, err := New(map[string]*advisor.Advisor{
+		"k80":     testAdvisor(t),
+		"chiplet": chipletAdvisor(t),
+	}, opt, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(s.Close)
+	return s
+}
+
+// hostileCompareBodies are the /v1/compare adversarial seeds: arch-list
+// abuse (too many, duplicates under canonicalization, empty names, oversized
+// names) layered on the rank endpoint's hostile knobs. Shared by
+// FuzzDecodeCompareRequest and the end-to-end 4xx sweep.
+var hostileCompareBodies = []string{
+	``,
+	`{`,
+	`null`,
+	`{}`,
+	`{"kernel":""}`,
+	`{"kernel":"no-such-kernel"}`,
+	`{"kernel":"fft","arches":"k80"}`,
+	`{"kernel":"fft","arches":[42]}`,
+	`{"kernel":"fft","arches":[""]}`,
+	`{"kernel":"fft","arches":["   "]}`,
+	`{"kernel":"fft","arches":["k80","k80"]}`,
+	`{"kernel":"fft","arches":["k80","KEPLER"]}`,
+	`{"kernel":"fft","arches":["k80"," Tesla-K80 "]}`,
+	`{"kernel":"fft","arches":["` + strings.Repeat("x", 1000) + `"]}`,
+	`{"kernel":"fft","arches":[` + strings.Repeat(`"a",`, 8) + `"b"]}`,
+	`{"kernel":"fft","scale":-1}`,
+	`{"kernel":"fft","scale":2147483647}`,
+	`{"kernel":"fft","sample":"not-a-spec"}`,
+	`{"kernel":"fft","top_k":-1}`,
+	`{"kernel":"fft","max_candidates":-7}`,
+	`{"kernel":"fft","parallelism":9999}`,
+	`{"kernel":"fft","strategy":"annealing"}`,
+	`{"kernel":"fft","strategy":"beam-0"}`,
+	`{"kernel":"fft","timeout_ms":-50}`,
+}
+
+// FuzzDecodeCompareRequest asserts the compare decode surface never panics
+// and that accepted requests are bounded, deduplicated, and canonical —
+// hostile bodies become ErrBadRequest or ErrUnknownStrategy (4xx), never a
+// 5xx or a crash.
+func FuzzDecodeCompareRequest(f *testing.F) {
+	for _, seed := range hostileCompareBodies {
+		f.Add([]byte(seed))
+	}
+	for _, seed := range hostileRankBodies {
+		f.Add([]byte(seed))
+	}
+	f.Add([]byte(`{"kernel":"tablelookup","arches":["k80","chiplet"],"top_k":3}`))
+	f.Add([]byte(`{"kernel":"fft","arches":["KEPLER","hbm"],"strategy":"beam-4"}`))
+	f.Add([]byte(`{"kernel":"fft"}`))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		req, err := DecodeCompareRequest(data)
+		if err != nil {
+			if !errors.Is(err, ErrBadRequest) && !errors.Is(err, hmserr.ErrUnknownStrategy) {
+				t.Fatalf("decode error %v wraps neither ErrBadRequest nor ErrUnknownStrategy", err)
+			}
+			if s := statusOf(err); s < 400 || s >= 500 {
+				t.Fatalf("decode error %v maps to status %d (want 4xx)", err, s)
+			}
+			return
+		}
+		if req.Kernel == "" || len(req.Kernel) > 256 {
+			t.Fatalf("accepted kernel %q", req.Kernel)
+		}
+		if req.Scale < 1 || req.Scale > MaxScale {
+			t.Fatalf("accepted scale %d", req.Scale)
+		}
+		if len(req.Arches) > MaxCompareArches {
+			t.Fatalf("accepted %d arches", len(req.Arches))
+		}
+		seen := map[string]bool{}
+		for _, a := range req.Arches {
+			if a == "" || len(a) > 64 {
+				t.Fatalf("accepted arch %q", a)
+			}
+			if a != canonicalArch(a) {
+				t.Fatalf("accepted non-canonical arch %q", a)
+			}
+			if seen[a] {
+				t.Fatalf("accepted duplicate arch %q", a)
+			}
+			seen[a] = true
+		}
+		if req.TopK < 0 || req.TopK > MaxTopK || req.MaxCandidates < 0 {
+			t.Fatalf("accepted options k=%d c=%d", req.TopK, req.MaxCandidates)
+		}
+		if req.TimeoutMS < 0 || req.TimeoutMS > MaxTimeoutMS {
+			t.Fatalf("accepted timeout %d", req.TimeoutMS)
+		}
+		if req.Strategy != "" {
+			strat, serr := advisor.ParseStrategy(req.Strategy)
+			if serr != nil || strat.Spec() != req.Strategy {
+				t.Fatalf("accepted non-canonical strategy %q (%v)", req.Strategy, serr)
+			}
+		}
+	})
+}
+
+// TestArchesEndpoint checks the GET /v1/arches capacity table: one entry
+// per warm arch in sorted order, registry metadata attached, and remote
+// spaces listed only for chiplet architectures.
+func TestArchesEndpoint(t *testing.T) {
+	s := multiArchServer(t, Options{})
+	rr := doJSON(t, s, "GET", "/v1/arches", nil)
+	if rr.Code != 200 {
+		t.Fatalf("status %d: %s", rr.Code, rr.Body.String())
+	}
+	var resp ArchesResponse
+	if err := json.Unmarshal(rr.Body.Bytes(), &resp); err != nil {
+		t.Fatal(err)
+	}
+	if len(resp.Arches) != 2 || resp.Arches[0].Name != "chiplet" || resp.Arches[1].Name != "k80" {
+		t.Fatalf("arches = %+v, want [chiplet k80] in sorted order", resp.Arches)
+	}
+	byName := map[string]ArchInfo{}
+	for _, a := range resp.Arches {
+		byName[a.Name] = a
+		if a.Model == "" || a.Description == "" {
+			t.Errorf("%s: missing model/description: %+v", a.Name, a)
+		}
+		caps := map[string]int64{}
+		for _, c := range a.Capacities {
+			sp, err := gpu.ParseSpace(c.Space)
+			if err != nil || sp.LongString() != c.Space {
+				t.Errorf("%s: non-canonical space %q", a.Name, c.Space)
+			}
+			caps[c.Space] = c.CapacityBytes
+		}
+		if caps["shared"] <= 0 || caps["constant"] <= 0 {
+			t.Errorf("%s: missing bounded shared/constant capacities: %v", a.Name, caps)
+		}
+	}
+	k80, chiplet := byName["k80"], byName["chiplet"]
+	if k80.HasRemote || k80.InterposerNS != 0 {
+		t.Errorf("k80 advertises remote stacks: %+v", k80)
+	}
+	if !chiplet.HasRemote || chiplet.InterposerNS <= 0 {
+		t.Errorf("chiplet missing remote metadata: %+v", chiplet)
+	}
+	for _, c := range k80.Capacities {
+		if sp, _ := gpu.ParseSpace(c.Space); sp.Remote() {
+			t.Errorf("k80 capacity table lists remote space %q", c.Space)
+		}
+	}
+	var remotes int
+	for _, c := range chiplet.Capacities {
+		if sp, _ := gpu.ParseSpace(c.Space); sp.Remote() {
+			remotes++
+			if c.Space == "constantRemote" && c.CapacityBytes != 64<<10 {
+				t.Errorf("chiplet constantRemote capacity = %d, want %d", c.CapacityBytes, 64<<10)
+			}
+		}
+	}
+	if remotes != 4 {
+		t.Errorf("chiplet lists %d remote spaces, want 4", remotes)
+	}
+
+	// Deterministic: repeated calls are byte-identical.
+	rr2 := doJSON(t, s, "GET", "/v1/arches", nil)
+	if rr.Body.String() != rr2.Body.String() {
+		t.Error("repeated /v1/arches responses differ")
+	}
+}
+
+// TestCompareEndpoint drives the cross-arch scenario end to end: one
+// /v1/compare call ranks tablelookup on both warm arches and the top-1
+// placements must diverge (the golden behavior pinned in
+// internal/advisor/arch_divergence_test.go, observed through the wire).
+func TestCompareEndpoint(t *testing.T) {
+	s := multiArchServer(t, Options{})
+	rr := doJSON(t, s, "POST", "/v1/compare",
+		`{"kernel":"tablelookup","arches":["k80","chiplet"],"top_k":1}`)
+	if rr.Code != 200 {
+		t.Fatalf("status %d: %s", rr.Code, rr.Body.String())
+	}
+	var resp CompareResponse
+	if err := json.Unmarshal(rr.Body.Bytes(), &resp); err != nil {
+		t.Fatal(err)
+	}
+	if resp.Kernel != "tablelookup" || len(resp.Results) != 2 {
+		t.Fatalf("response %+v, want 2 results for tablelookup", resp)
+	}
+	if resp.Results[0].Arch != "k80" || resp.Results[1].Arch != "chiplet" {
+		t.Fatalf("results out of request order: %s, %s", resp.Results[0].Arch, resp.Results[1].Arch)
+	}
+	var tops []string
+	for _, r := range resp.Results {
+		if len(r.Ranked) != 1 {
+			t.Fatalf("%s: %d ranked entries, want 1", r.Arch, len(r.Ranked))
+		}
+		tops = append(tops, r.Ranked[0].Placement)
+	}
+	if tops[0] == tops[1] {
+		t.Errorf("k80 and chiplet agree on %q; the bundled kernel must diverge", tops[0])
+	}
+	if want := "table:T,in:S,out:S"; tops[0] != want {
+		t.Errorf("k80 top-1 = %q, want %q", tops[0], want)
+	}
+	if want := "table:S,in:S,out:S"; tops[1] != want {
+		t.Errorf("chiplet top-1 = %q, want %q", tops[1], want)
+	}
+
+	// Empty arch list means every warm arch, in sorted name order.
+	rr = doJSON(t, s, "POST", "/v1/compare", `{"kernel":"tablelookup","top_k":1}`)
+	if rr.Code != 200 {
+		t.Fatalf("empty-arches status %d: %s", rr.Code, rr.Body.String())
+	}
+	var all CompareResponse
+	if err := json.Unmarshal(rr.Body.Bytes(), &all); err != nil {
+		t.Fatal(err)
+	}
+	if len(all.Results) != 2 || all.Results[0].Arch != "chiplet" || all.Results[1].Arch != "k80" {
+		t.Fatalf("empty-arches results %+v, want [chiplet k80]", all.Results)
+	}
+
+	// Aliases reach the same advisors as canonical names.
+	rr = doJSON(t, s, "POST", "/v1/compare",
+		`{"kernel":"tablelookup","arches":[" Tesla-K80 "],"top_k":1}`)
+	if rr.Code != 200 {
+		t.Fatalf("alias status %d: %s", rr.Code, rr.Body.String())
+	}
+}
+
+// TestCompareUnknownArch checks a compare naming a cold arch maps to 404
+// and the error body names the warm arches a client could retry with.
+func TestCompareUnknownArch(t *testing.T) {
+	s := multiArchServer(t, Options{})
+	rr := doJSON(t, s, "POST", "/v1/compare", `{"kernel":"fft","arches":["hbm"]}`)
+	if rr.Code != 404 {
+		t.Fatalf("status %d, want 404: %s", rr.Code, rr.Body.String())
+	}
+	var er ErrorResponse
+	if err := json.Unmarshal(rr.Body.Bytes(), &er); err != nil {
+		t.Fatal(err)
+	}
+	if er.Code != "unknown_arch" {
+		t.Errorf("code %q, want unknown_arch", er.Code)
+	}
+	if !strings.Contains(er.Error, "k80") || !strings.Contains(er.Error, "chiplet") {
+		t.Errorf("error %q does not list the warm arches", er.Error)
+	}
+}
+
+// TestCompareHostileBodiesNever5xx drives the compare seeds through the
+// real handler stack on a multi-arch server: each must map to a 4xx.
+func TestCompareHostileBodiesNever5xx(t *testing.T) {
+	s := multiArchServer(t, Options{})
+	for i, body := range hostileCompareBodies {
+		rr := doJSON(t, s, "POST", "/v1/compare", body)
+		if rr.Code < 400 || rr.Code >= 500 {
+			t.Errorf("compare seed %d: status %d (want 4xx): %.120s",
+				i, rr.Code, rr.Body.String())
+		}
+	}
+	// The rank endpoint's seeds must never 5xx here either. A few are only
+	// hostile through rank-specific fields (compare ignores "arch"), so they
+	// may legally succeed — but they must not crash or error internally.
+	for i, body := range hostileRankBodies {
+		rr := doJSON(t, s, "POST", "/v1/compare", body)
+		if rr.Code >= 500 {
+			t.Errorf("rank seed %d on /v1/compare: status %d (want <500): %.120s",
+				i, rr.Code, rr.Body.String())
+		}
+	}
+}
+
+// TestCompareDeterminism is the acceptance contract of ISSUE PR 10: the
+// /v1/compare response over the chiplet's grown placement space is
+// byte-identical across ranking worker counts. Caching is disabled so both
+// requests genuinely recompute.
+func TestCompareDeterminism(t *testing.T) {
+	s := multiArchServer(t, Options{CacheCap: -1})
+	body := func(par int) string {
+		return fmt.Sprintf(
+			`{"kernel":"tablelookup","arches":["chiplet","k80"],"top_k":10,"parallelism":%d}`, par)
+	}
+	seq := doJSON(t, s, "POST", "/v1/compare", body(1))
+	par := doJSON(t, s, "POST", "/v1/compare", body(8))
+	if seq.Code != 200 || par.Code != 200 {
+		t.Fatalf("status %d / %d: %s %s", seq.Code, par.Code, seq.Body.String(), par.Body.String())
+	}
+	if seq.Body.String() != par.Body.String() {
+		t.Errorf("compare responses differ across worker counts:\n1 worker:  %s\n8 workers: %s",
+			seq.Body.String(), par.Body.String())
+	}
+}

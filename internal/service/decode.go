@@ -7,8 +7,11 @@ import (
 	"fmt"
 	"net/http"
 
+	"strings"
+
 	"gpuhms/internal/advisor"
 	"gpuhms/internal/fleet"
+	"gpuhms/internal/gpu"
 	"gpuhms/internal/hmserr"
 )
 
@@ -32,6 +35,9 @@ const (
 	// any machine this serves on, small enough that a hostile request
 	// cannot ask for an absurd goroutine fan-out.
 	MaxParallelism = 64
+	// MaxCompareArches caps the architectures one /v1/compare call may fan
+	// out over: each arch is a full ranking search.
+	MaxCompareArches = 8
 )
 
 // Service-level error classes, alongside the hmserr taxonomy. Handlers map
@@ -76,6 +82,20 @@ func decodeJSON(data []byte, dst any) error {
 	return nil
 }
 
+// canonicalArch normalizes a user-facing architecture string at decode
+// time: trimmed, lowercased, and — when the registry knows the name or one
+// of its aliases — replaced by the canonical registry name, so
+// "  Tesla-K80 " and "k80" resolve to one advisor key and one cache key.
+// Unknown names pass through normalized; existence is checked later against
+// the warm advisor set (advisorFor), which maps misses to 404 with the
+// available names in the message.
+func canonicalArch(arch string) string {
+	if canon, err := gpu.Canonical(arch); err == nil {
+		return canon
+	}
+	return strings.ToLower(strings.TrimSpace(arch))
+}
+
 // DecodeRankRequest parses and validates a /v1/rank body. It is the fuzzed
 // surface of the service (FuzzDecodeRankRequest): on any input it either
 // returns a request whose fields are within the limits above, or an error
@@ -96,24 +116,77 @@ func DecodeRankRequest(data []byte) (*RankRequest, error) {
 	if err := validateCommon(req.Arch, req.Kernel, req.Scale, req.Sample, req.TimeoutMS); err != nil {
 		return nil, err
 	}
-	if req.TopK < 0 || req.TopK > MaxTopK {
-		return nil, badf("top_k %d out of [0,%d]", req.TopK, MaxTopK)
+	req.Arch = canonicalArch(req.Arch)
+	if err := validateSearchKnobs(req.TopK, req.MaxCandidates, req.Parallelism, &req.Strategy); err != nil {
+		return nil, err
 	}
-	if req.MaxCandidates < 0 {
-		return nil, badf("negative max_candidates %d", req.MaxCandidates)
+	return &req, nil
+}
+
+// validateSearchKnobs screens the search-shaping fields shared by rank and
+// compare requests, canonicalizing the strategy spec in place.
+func validateSearchKnobs(topK, maxCandidates, parallelism int, strategy *string) error {
+	if topK < 0 || topK > MaxTopK {
+		return badf("top_k %d out of [0,%d]", topK, MaxTopK)
 	}
-	if req.Parallelism < 0 || req.Parallelism > MaxParallelism {
-		return nil, badf("parallelism %d out of [0,%d]", req.Parallelism, MaxParallelism)
+	if maxCandidates < 0 {
+		return badf("negative max_candidates %d", maxCandidates)
 	}
-	if req.Strategy != "" {
+	if parallelism < 0 || parallelism > MaxParallelism {
+		return badf("parallelism %d out of [0,%d]", parallelism, MaxParallelism)
+	}
+	if *strategy != "" {
 		// Normalize to the canonical spec ("Beam" → error, "beam" →
 		// "beam-4") so equivalent spellings share one cache key. Unknown
 		// strategies wrap hmserr.ErrUnknownStrategy — a 400, never a 5xx.
-		strat, err := advisor.ParseStrategy(req.Strategy)
+		strat, err := advisor.ParseStrategy(*strategy)
 		if err != nil {
-			return nil, err
+			return err
 		}
-		req.Strategy = strat.Spec()
+		*strategy = strat.Spec()
+	}
+	return nil
+}
+
+// DecodeCompareRequest parses and validates a /v1/compare body under the
+// same contract as DecodeRankRequest: any input yields either a request
+// whose fields are within limits (arches deduplicated and canonicalized) or
+// an error wrapping ErrBadRequest / ErrUnknownStrategy — never a panic,
+// never a 5xx. An empty arch list is legal and means "every warm arch".
+func DecodeCompareRequest(data []byte) (*CompareRequest, error) {
+	var req CompareRequest
+	if err := decodeJSON(data, &req); err != nil {
+		return nil, err
+	}
+	if req.Kernel == "" {
+		return nil, badf("missing kernel")
+	}
+	if req.Scale == 0 {
+		req.Scale = 1
+	}
+	if len(req.Arches) > MaxCompareArches {
+		return nil, badf("%d arches out of [0,%d]", len(req.Arches), MaxCompareArches)
+	}
+	seen := make(map[string]bool, len(req.Arches))
+	for i, a := range req.Arches {
+		if len(a) > 64 {
+			return nil, badf("arch name longer than 64 bytes")
+		}
+		canon := canonicalArch(a)
+		if canon == "" {
+			return nil, badf("empty arch name in arches")
+		}
+		if seen[canon] {
+			return nil, badf("duplicate arch %q", canon)
+		}
+		seen[canon] = true
+		req.Arches[i] = canon
+	}
+	if err := validateCommon("", req.Kernel, req.Scale, req.Sample, req.TimeoutMS); err != nil {
+		return nil, err
+	}
+	if err := validateSearchKnobs(req.TopK, req.MaxCandidates, req.Parallelism, &req.Strategy); err != nil {
+		return nil, err
 	}
 	return &req, nil
 }
@@ -140,6 +213,7 @@ func DecodePredictRequest(data []byte) (*PredictRequest, error) {
 	if err := validateCommon(req.Arch, req.Kernel, req.Scale, req.Sample, req.TimeoutMS); err != nil {
 		return nil, err
 	}
+	req.Arch = canonicalArch(req.Arch)
 	return &req, nil
 }
 

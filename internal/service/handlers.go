@@ -14,10 +14,14 @@ import (
 // Handler returns the service's HTTP API:
 //
 //	POST /v1/rank        rank the legal placements of a kernel (cached)
+//	POST /v1/compare     rank one kernel across several architectures in a
+//	                     single call (per-arch searches share the rank cache;
+//	                     docs/ARCHES.md)
 //	POST /v1/fleet/rank  place N tenant kernels under capacity budgets
 //	                     (cached; docs/FLEET.md)
 //	POST /v1/predict     predict one target placement
 //	GET  /v1/kernels     list the bundled workloads
+//	GET  /v1/arches      list the warm architectures with capacity tables
 //	GET  /healthz        liveness + warm architectures
 //	GET  /readyz         readiness: 503 until advisors are trained and any
 //	                     snapshot restore has finished (MarkReady)
@@ -32,9 +36,11 @@ import (
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("POST /v1/rank", s.instrument(s.handleRank))
+	mux.HandleFunc("POST /v1/compare", s.instrument(s.handleCompare))
 	mux.HandleFunc("POST /v1/fleet/rank", s.instrument(s.handleFleetRank))
 	mux.HandleFunc("POST /v1/predict", s.instrument(s.handlePredict))
 	mux.HandleFunc("GET /v1/kernels", s.instrument(s.handleKernels))
+	mux.HandleFunc("GET /v1/arches", s.instrument(s.handleArches))
 	mux.HandleFunc("GET /healthz", s.handleHealthz)
 	mux.HandleFunc("GET /readyz", s.handleReadyz)
 	mux.HandleFunc("GET /metrics", s.handleMetrics)
@@ -149,6 +155,54 @@ func (s *Server) handleRank(w http.ResponseWriter, r *http.Request) int {
 	writeJSON(w, status, resp)
 	endEncode()
 	return status
+}
+
+// handleCompare serves POST /v1/compare: decode → per-arch fan-out through
+// doRank (each sub-search flows through the rank cache, singleflight, and
+// worker pool exactly as a standalone /v1/rank would) → 200, or 206 when
+// any per-arch ranking was budget-truncated.
+func (s *Server) handleCompare(w http.ResponseWriter, r *http.Request) int {
+	rt := TraceFrom(r.Context())
+	endDecode := rt.BeginStage(StageDecode)
+	body, err := readBody(w, r)
+	if err != nil {
+		endDecode()
+		return s.writeError(w, r, err)
+	}
+	req, err := DecodeCompareRequest(body)
+	endDecode()
+	if err != nil {
+		return s.writeError(w, r, err)
+	}
+	if req.Strategy == "" {
+		req.Strategy = s.opt.DefaultStrategy
+	}
+	rt.SetStrategy(req.Strategy)
+	if _, ok := kernels.Get(req.Kernel); !ok {
+		return s.writeError(w, r, badKernel(req.Kernel))
+	}
+	resp, outcome, err := s.doCompare(r.Context(), req)
+	if outcome != "" {
+		w.Header().Set(HeaderCache, outcome)
+	}
+	if err != nil {
+		return s.writeError(w, r, err)
+	}
+	status := http.StatusOK
+	if resp.Partial {
+		status = http.StatusPartialContent
+	}
+	endEncode := rt.BeginStage(StageEncode)
+	writeJSON(w, status, resp)
+	endEncode()
+	return status
+}
+
+// handleArches serves GET /v1/arches: the warm architectures with their
+// per-space capacity tables, sorted by name.
+func (s *Server) handleArches(w http.ResponseWriter, r *http.Request) int {
+	writeJSON(w, http.StatusOK, s.archInfos())
+	return http.StatusOK
 }
 
 // badKernel wraps an unknown kernel name.

@@ -14,6 +14,7 @@ import (
 
 	"gpuhms/internal/advisor"
 	"gpuhms/internal/fleet"
+	"gpuhms/internal/gpu"
 	"gpuhms/internal/hmserr"
 	"gpuhms/internal/kernels"
 	"gpuhms/internal/obs"
@@ -363,6 +364,108 @@ func (s *Server) doFleet(reqCtx context.Context, adv *advisor.Advisor, req *Flee
 		func(ctx context.Context) (*FleetRankResponse, error) {
 			return s.runFleet(ctx, adv, req)
 		})
+}
+
+// archInfos builds the GET /v1/arches body from the warm advisor set: every
+// served architecture with its capacity table, in sorted name order. The
+// reply is a pure function of the advisor set, so it is byte-identical
+// across calls and worker counts.
+func (s *Server) archInfos() *ArchesResponse {
+	out := &ArchesResponse{Arches: make([]ArchInfo, 0, len(s.archs))}
+	for _, name := range s.archs {
+		cfg := s.advisors[name].Cfg
+		info := ArchInfo{
+			Name:        name,
+			Model:       cfg.Name,
+			Description: gpu.Describe(name),
+			HasRemote:   cfg.HasRemote(),
+			Capacities:  make([]SpaceCapacity, 0, gpu.NumSpaces),
+		}
+		if cfg.HasRemote() {
+			info.InterposerNS = cfg.Interposer.LatencyNS
+		}
+		for _, sp := range gpu.Spaces {
+			if sp.Remote() && !cfg.HasRemote() {
+				continue // the space is not legal on this architecture
+			}
+			info.Capacities = append(info.Capacities, SpaceCapacity{
+				Space:         sp.LongString(),
+				CapacityBytes: int64(cfg.CapacityBytes(sp)),
+			})
+		}
+		out.Arches = append(out.Arches, info)
+	}
+	return out
+}
+
+// compareArches resolves a compare request's arch list: empty means every
+// warm arch in sorted order; otherwise each (already canonicalized) name
+// must have a warm advisor.
+func (s *Server) compareArches(req *CompareRequest) ([]string, error) {
+	if len(req.Arches) == 0 {
+		return s.archs, nil
+	}
+	for _, a := range req.Arches {
+		if _, ok := s.advisors[a]; !ok {
+			return nil, fmt.Errorf("%w: %q (have %v)", ErrUnknownArch, a, s.archs)
+		}
+	}
+	return req.Arches, nil
+}
+
+// doCompare ranks one kernel across several architectures by fanning out to
+// doRank — one sub-request per arch, in list order, each flowing through the
+// rank cache, singleflight, worker pool, and budget semantics exactly as a
+// standalone /v1/rank would. Because each per-arch ranking is deterministic
+// and the assembly order is the request order, a compare body is
+// byte-identical across worker counts and cache states. The second return is
+// the aggregated cache outcome: "hit" only when every sub-ranking hit.
+func (s *Server) doCompare(reqCtx context.Context, req *CompareRequest) (*CompareResponse, string, error) {
+	arches, err := s.compareArches(req)
+	if err != nil {
+		return nil, cacheMiss, err
+	}
+	resp := &CompareResponse{
+		Kernel:  req.Kernel,
+		Scale:   req.Scale,
+		Results: make([]CompareArchResult, 0, len(arches)),
+	}
+	outcome := cacheHit
+	for _, arch := range arches {
+		adv, name, err := s.advisorFor(arch)
+		if err != nil {
+			return nil, outcome, err
+		}
+		sub := &RankRequest{
+			Arch:          name,
+			Kernel:        req.Kernel,
+			Scale:         req.Scale,
+			Sample:        req.Sample,
+			TopK:          req.TopK,
+			MaxCandidates: req.MaxCandidates,
+			Parallelism:   req.Parallelism,
+			Strategy:      req.Strategy,
+			TimeoutMS:     req.TimeoutMS,
+		}
+		rr, oc, err := s.doRank(reqCtx, adv, sub)
+		if err != nil {
+			return nil, outcome, fmt.Errorf("arch %q: %w", name, err)
+		}
+		if oc == cacheMiss || (oc == cacheShared && outcome == cacheHit) {
+			outcome = oc
+		}
+		resp.Results = append(resp.Results, CompareArchResult{
+			Arch:     name,
+			Sample:   rr.Sample,
+			Ranked:   rr.Ranked,
+			Partial:  rr.Partial,
+			Coverage: rr.Coverage,
+		})
+		if rr.Partial {
+			resp.Partial = true
+		}
+	}
+	return resp, outcome, nil
 }
 
 // runRank executes one ranking search on a worker.

@@ -32,7 +32,7 @@ var (
 
 func testAdvisor(t testing.TB) *advisor.Advisor {
 	t.Helper()
-	advOnce.Do(func() { sharedAdv, advErr = advisor.New(gpu.KeplerK80()) })
+	advOnce.Do(func() { sharedAdv, advErr = advisor.New(gpu.MustLookup("k80")) })
 	if advErr != nil {
 		t.Fatalf("training advisor: %v", advErr)
 	}

@@ -128,6 +128,82 @@ type KernelsResponse struct {
 	Kernels []KernelInfo `json:"kernels"`
 }
 
+// SpaceCapacity is one row of an architecture's capacity table.
+type SpaceCapacity struct {
+	// Space is the canonical long space name ("global", "constantRemote", …).
+	Space string `json:"space"`
+	// CapacityBytes is the byte capacity of the space; -1 means unbounded
+	// for placement purposes.
+	CapacityBytes int64 `json:"capacity_bytes"`
+}
+
+// ArchInfo is one warm architecture in an ArchesResponse.
+type ArchInfo struct {
+	// Name is the canonical registry name the arch is served under ("k80").
+	Name string `json:"name"`
+	// Model is the Config's human-readable hardware name.
+	Model string `json:"model"`
+	// Description is the registry's one-line summary (empty for synthetic
+	// advisors registered outside the registry).
+	Description string `json:"description,omitempty"`
+	// HasRemote marks chiplet architectures whose off-chip spaces split into
+	// local/remote variants.
+	HasRemote bool `json:"has_remote,omitempty"`
+	// InterposerNS is the one-way interposer crossing latency (chiplet only).
+	InterposerNS float64 `json:"interposer_ns,omitempty"`
+	// Capacities lists the placement capacity of every space legal on this
+	// architecture, in declaration order.
+	Capacities []SpaceCapacity `json:"capacities"`
+}
+
+// ArchesResponse is the reply of GET /v1/arches: the warm architectures, in
+// sorted name order. Deterministic, so repeated calls are byte-identical.
+type ArchesResponse struct {
+	Arches []ArchInfo `json:"arches"`
+}
+
+// CompareRequest is the body of POST /v1/compare: rank one kernel's
+// placements on several architectures in a single call. Every per-search
+// knob matches RankRequest and applies uniformly to each arch.
+type CompareRequest struct {
+	// Arches lists the architectures to compare (registry aliases accepted).
+	// Empty means every warm arch, in sorted name order.
+	Arches []string `json:"arches,omitempty"`
+	Kernel string   `json:"kernel"`
+	Scale  int      `json:"scale,omitempty"`
+	// Sample overrides the kernel's sample placement on every arch; it must
+	// be legal on each (local spaces only, unless every compared arch is a
+	// chiplet).
+	Sample        string `json:"sample,omitempty"`
+	TopK          int    `json:"top_k,omitempty"`
+	MaxCandidates int    `json:"max_candidates,omitempty"`
+	Parallelism   int    `json:"parallelism,omitempty"`
+	Strategy      string `json:"strategy,omitempty"`
+	TimeoutMS     int    `json:"timeout_ms,omitempty"`
+}
+
+// CompareArchResult is one architecture's ranking in a CompareResponse.
+type CompareArchResult struct {
+	Arch   string `json:"arch"`
+	Sample string `json:"sample"`
+	// Ranked lists this arch's candidate placements fastest-first (top_k
+	// applied per arch).
+	Ranked   []RankedPlacement `json:"ranked"`
+	Partial  bool              `json:"partial,omitempty"`
+	Coverage *Coverage         `json:"coverage,omitempty"`
+}
+
+// CompareResponse is the reply of POST /v1/compare: per-arch rankings in
+// request order (or sorted warm-arch order when the request listed none),
+// so responses are deterministic and byte-identical across worker counts.
+type CompareResponse struct {
+	Kernel  string              `json:"kernel"`
+	Scale   int                 `json:"scale"`
+	Results []CompareArchResult `json:"results"`
+	// Partial is true when any per-arch ranking was budget-truncated.
+	Partial bool `json:"partial,omitempty"`
+}
+
 // ErrorResponse is the JSON body of every non-2xx reply.
 type ErrorResponse struct {
 	// Error is the human-readable message.

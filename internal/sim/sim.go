@@ -343,8 +343,13 @@ func (s *Simulator) RunContext(ctx context.Context, t *trace.Trace, sample, targ
 			if space == gpu.Shared {
 				done = issueEnd + s.Cfg.SharedLatency + float64(res.SharedConflicts)
 			} else {
-				// Cache-hit portion.
-				lat := s.Cfg.CacheHitLatency
+				// Cache-hit portion. Remote-placed arrays (chiplet) add one
+				// interposer crossing to every off-chip access, hit or miss.
+				interposer := 0.0
+				if space.Remote() {
+					interposer = s.Cfg.Interposer.LatencyNS / nsPerCycle
+				}
+				lat := s.Cfg.CacheHitLatency + interposer
 				// DRAM portion: service each missing line; completion is the
 				// slowest line.
 				stNS := st * nsPerCycle
@@ -370,7 +375,7 @@ func (s *Simulator) RunContext(ctx context.Context, t *trace.Trace, sample, targ
 							rec.Instant("sim/dram", "row_conflict", stNS)
 						}
 					}
-					if l := latNS/nsPerCycle + s.Cfg.CacheHitLatency; l > lat {
+					if l := latNS/nsPerCycle + s.Cfg.CacheHitLatency + interposer; l > lat {
 						lat = l
 					}
 				}
@@ -515,7 +520,7 @@ func residentWarps(t *trace.Trace, cfg *gpu.Config) float64 {
 }
 
 func countEvents(ev *perf.Events, res *memsys.Result) {
-	switch res.Space {
+	switch res.Space.Base() {
 	case gpu.Global:
 		ev.GlobalRequests++
 	case gpu.Constant:

@@ -12,7 +12,7 @@ import (
 // untrainedAdvisor skips the (slow, irrelevant here) overlap training: the
 // robustness contracts under test hold for any coefficient vector.
 func untrainedAdvisor() *Advisor {
-	cfg := KeplerK80()
+	cfg := MustLookupArch("k80")
 	return &Advisor{Cfg: cfg, Model: NewModel(cfg, FullModelOptions())}
 }
 
@@ -148,7 +148,7 @@ func TestRankBudgetReturnsTypedPartial(t *testing.T) {
 // TestFacadeGuardConvertsPanics: a misassembled advisor (nil model) must
 // surface as an error, not a panic escaping the public API.
 func TestFacadeGuardConvertsPanics(t *testing.T) {
-	adv := &Advisor{Cfg: KeplerK80()} // Model deliberately nil
+	adv := &Advisor{Cfg: MustLookupArch("k80")} // Model deliberately nil
 	spec, err := Kernel("stencil2d")
 	if err != nil {
 		t.Fatal(err)
@@ -171,7 +171,7 @@ func TestAdvisorValidatesConfig(t *testing.T) {
 	if _, err := NewAdvisor(nil); err == nil {
 		t.Error("NewAdvisor(nil) returned no error")
 	}
-	bad := *KeplerK80()
+	bad := *MustLookupArch("k80")
 	bad.WarpSize = 0
 	if _, err := NewAdvisor(&bad); err == nil {
 		t.Error("NewAdvisor with zero warp size returned no error")
@@ -186,7 +186,7 @@ func TestAdvisorValidatesConfig(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	adv := &Advisor{Cfg: &bad, Model: NewModel(KeplerK80(), FullModelOptions())}
+	adv := &Advisor{Cfg: &bad, Model: NewModel(MustLookupArch("k80"), FullModelOptions())}
 	if _, err := adv.Rank(tr, sample); err == nil {
 		t.Error("Rank under an invalid config returned no error")
 	}

@@ -12,8 +12,13 @@
 # delta evaluation stays ≥5x cheaper than a full one.
 #
 #   ./scripts/bench_search.sh [output.json]
+#   BENCH_SEARCH_ARCHS=k80,chiplet ./scripts/bench_search.sh
 #
-# Defaults to BENCH_search.json in the repo root.
+# Defaults to BENCH_search.json in the repo root. BENCH_SEARCH_ARCHS adds a
+# per-architecture dimension (registry names, docs/ARCHES.md): each named
+# arch gets its own artifact section, so the chiplet's remote-variant-grown
+# placement space (3600 legal spmv placements vs the K80's 288) is measured
+# under the same per-evaluation cost and strategy-regret assertions.
 set -eu
 
 cd "$(dirname "$0")/.."
@@ -24,7 +29,8 @@ case "$OUT" in
     *) OUT="$PWD/$OUT" ;;
 esac
 
-BENCH_SEARCH_OUT="$OUT" go test ./internal/advisor/ \
+BENCH_SEARCH_OUT="$OUT" BENCH_SEARCH_ARCHS="${BENCH_SEARCH_ARCHS:-}" \
+    go test ./internal/advisor/ \
     -run 'TestBenchSearchArtifact' -count=1 -v
 
 echo "wrote $OUT"

@@ -6,8 +6,11 @@
 # contract (the disabled recorder must add zero allocations), a fixed-seed
 # open-loop load smoke (zero 5xx, every response carries its request ID), a
 # short chaos soak (scripts/soak.sh runs the long one), and an end-to-end
-# service smoke covering warm boot, crash/restart recovery, and
-# corrupt-snapshot cold boot (docs/ROBUSTNESS.md). Run from the repo root:
+# service smoke covering warm boot, crash/restart recovery,
+# corrupt-snapshot cold boot (docs/ROBUSTNESS.md), and the multi-arch
+# surface — /v1/arches capacity tables and a beam-4 /v1/compare over the
+# chiplet's grown placement space completing under budget with the golden
+# K80-vs-chiplet top-1 divergence (docs/ARCHES.md). Run from the repo root:
 #
 #   ./scripts/verify.sh
 #
@@ -122,7 +125,7 @@ if command -v curl >/dev/null 2>&1; then
         echo "verify: hmsserved never became ready"; cat "$1"; exit 1
     }
 
-    /tmp/hmsserved.verify -addr 127.0.0.1:0 -snapshot "$SNAP" -snapshot-interval 0 >/tmp/hmsserved.verify.out 2>&1 &
+    /tmp/hmsserved.verify -addr 127.0.0.1:0 -archs k80,chiplet -snapshot "$SNAP" -snapshot-interval 0 >/tmp/hmsserved.verify.out 2>&1 &
     SRV_PID=$!
     trap 'kill "$SRV_PID" 2>/dev/null || true' EXIT
     wait_ready /tmp/hmsserved.verify.out
@@ -138,6 +141,24 @@ if command -v curl >/dev/null 2>&1; then
     curl -fsS "http://$ADDR/v1/fleet/rank" -d '{"mix":"shared-squeeze"}' -o /tmp/hmsserved.verify.fleet1 -D - | grep -qi 'X-HMS-Cache: miss'
     grep -q '"objective_value"' /tmp/hmsserved.verify.fleet1
     curl -sS "http://$ADDR/v1/fleet/rank" -d '{"mix":"balanced","solver":"annealing"}' | grep -q '"code":"unknown_strategy"'
+    # Multi-arch smoke (docs/ARCHES.md): /v1/arches must list both warm
+    # arches with the chiplet's remote capacity rows, and a beam-4
+    # /v1/compare over the chiplet's grown placement space must complete
+    # within its budget — a 200 with both per-arch rankings present and no
+    # partial truncation — with the bundled tablelookup kernel's top-1
+    # diverging between the K80 (texture) and the chiplet (shared staging).
+    curl -fsS "http://$ADDR/v1/arches" -o /tmp/hmsserved.verify.arches
+    grep -q '"name":"chiplet"' /tmp/hmsserved.verify.arches
+    grep -q '"name":"k80"' /tmp/hmsserved.verify.arches
+    grep -q '"space":"constantRemote"' /tmp/hmsserved.verify.arches
+    COMPARE_CODE=$(curl -sS -o /tmp/hmsserved.verify.compare -w '%{http_code}' \
+        "http://$ADDR/v1/compare" \
+        -d '{"kernel":"tablelookup","arches":["k80","chiplet"],"top_k":1,"strategy":"beam-4","max_candidates":500,"timeout_ms":30000}')
+    [ "$COMPARE_CODE" = "200" ] || {
+        echo "verify: beam-4 compare on the chiplet space did not complete under budget (status $COMPARE_CODE)"
+        cat /tmp/hmsserved.verify.compare; exit 1; }
+    grep -q '"placement":"table:T,in:S,out:S"' /tmp/hmsserved.verify.compare
+    grep -q '"placement":"table:S,in:S,out:S"' /tmp/hmsserved.verify.compare
 
     # Crash/restart smoke: SIGHUP forces a snapshot, kill -9 simulates a
     # crash, and the restarted server must answer the warmed ranking from its
@@ -178,8 +199,9 @@ if command -v curl >/dev/null 2>&1; then
     trap - EXIT
     rm -f /tmp/hmsserved.verify /tmp/hmsserved.verify.out /tmp/hmsserved.verify.out2 \
         /tmp/hmsserved.verify.out3 /tmp/hmsserved.verify.body1 /tmp/hmsserved.verify.body2 \
-        /tmp/hmsserved.verify.fleet1 /tmp/hmsserved.verify.fleet2 "$SNAP"
-    echo "service smoke: OK (warm boot, crash/restart, corrupt snapshot, fleet)"
+        /tmp/hmsserved.verify.fleet1 /tmp/hmsserved.verify.fleet2 \
+        /tmp/hmsserved.verify.arches /tmp/hmsserved.verify.compare "$SNAP"
+    echo "service smoke: OK (warm boot, crash/restart, corrupt snapshot, fleet, multi-arch compare)"
 else
     echo "service smoke: skipped (curl not found)"
 fi
